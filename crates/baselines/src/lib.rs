@@ -1,0 +1,25 @@
+//! # hipacc-baselines
+//!
+//! The comparator implementations of the paper's evaluation (Section VI):
+//!
+//! * [`manual`] — hand-written CUDA/OpenCL variants of the bilateral
+//!   filter: straightforward code with naive per-access boundary handling,
+//!   optionally upgraded with linear textures (`+Tex`), 2-D textures with
+//!   hardware boundary handling (`+2DTex`/`ImgBH`) and constant-memory
+//!   masks (`+Mask`) — the row structure of Tables II–VII.
+//! * [`rapidmind`] — a RapidMind-style array-programming layer: generic
+//!   boundary handling evaluated on every access, weights recomputed per
+//!   pixel (no constant-memory masks), a fixed square work-group and extra
+//!   per-access abstraction arithmetic, plus the repeat-mode crash the
+//!   paper observed on Fermi.
+//! * [`opencv`] — an OpenCV-GPU-style separable filter: row and column
+//!   passes with constant masks and a *pixels-per-thread* (PPT) mapping of
+//!   1 or 8, per-access boundary remapping (the source of OpenCV's
+//!   mode-dependent timing variance in Tables VIII/IX).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod manual;
+pub mod opencv;
+pub mod rapidmind;

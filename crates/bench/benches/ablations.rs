@@ -1,0 +1,37 @@
+//! Criterion bench over the ablation suite: each iteration recomputes the
+//! modelled effect of one design choice (region specialization, constant
+//! masks, the configuration heuristic, AMD vectorization) at the paper's
+//! 4096² scale.
+//!
+//! ```text
+//! cargo bench -p hipacc-bench --bench ablations
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipacc_bench::ablation;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("region_specialization", |b| {
+        b.iter(|| {
+            let a = ablation::ablate_region_specialization();
+            assert!(a.factor() > 1.0);
+            black_box(a)
+        })
+    });
+    group.bench_function("constant_masks", |b| {
+        b.iter(|| black_box(ablation::ablate_constant_masks()))
+    });
+    group.bench_function("config_heuristic", |b| {
+        b.iter(|| black_box(ablation::ablate_config_heuristic()))
+    });
+    group.bench_function("amd_vectorization", |b| {
+        b.iter(|| black_box(ablation::ablate_vectorization()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the source-to-source compiler itself: lowering,
+//! nine-region specialization, configuration selection and text emission,
+//! plus the Section-VIII optimization passes (constant propagation and
+//! loop unrolling) as ablations.
+//!
+//! ```text
+//! cargo bench -p hipacc-bench --bench compiler
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipacc_codegen::{BoundarySpec, CompileSpec, Compiler};
+use hipacc_core::Target;
+use hipacc_filters::bilateral::bilateral_masked_kernel;
+use hipacc_hwmodel::device::tesla_c2050;
+use hipacc_hwmodel::Backend;
+use hipacc_image::BoundaryMode;
+use hipacc_ir::fold::specialize_kernel;
+use hipacc_ir::ty::Const;
+use hipacc_ir::unroll::unroll_kernel;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn base_spec() -> CompileSpec {
+    CompileSpec::new(tesla_c2050(), Backend::Cuda, 4096, 4096)
+        .with_boundary("Input", BoundarySpec::new(BoundaryMode::Clamp, 13, 13))
+        .with_param("sigma_d", Const::Int(3))
+        .with_param("sigma_r", Const::Int(5))
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    let kernel = bilateral_masked_kernel(3);
+    let _ = Target::cuda(tesla_c2050());
+
+    group.bench_function("full_pipeline_bilateral_cuda", |b| {
+        let compiler = Compiler::new();
+        let spec = base_spec();
+        b.iter(|| black_box(compiler.compile(&kernel, &spec).unwrap()))
+    });
+
+    group.bench_function("full_pipeline_bilateral_opencl", |b| {
+        let compiler = Compiler::new();
+        let mut spec = base_spec();
+        spec.backend = Backend::OpenCl;
+        b.iter(|| black_box(compiler.compile(&kernel, &spec).unwrap()))
+    });
+
+    group.bench_function("constant_propagation_pass", |b| {
+        let mut bindings = HashMap::new();
+        bindings.insert("sigma_d".to_string(), Const::Int(3));
+        bindings.insert("sigma_r".to_string(), Const::Int(5));
+        b.iter(|| black_box(specialize_kernel(&kernel, &bindings)))
+    });
+
+    group.bench_function("unroll_pass_13x13", |b| {
+        let mut bindings = HashMap::new();
+        bindings.insert("sigma_d".to_string(), Const::Int(3));
+        bindings.insert("sigma_r".to_string(), Const::Int(5));
+        let specialized = specialize_kernel(&kernel, &bindings);
+        b.iter(|| black_box(unroll_kernel(&specialized, 200)))
+    });
+
+    group.bench_function("access_analysis", |b| {
+        let mut bindings = HashMap::new();
+        bindings.insert("sigma_d".to_string(), Const::Int(3));
+        b.iter(|| black_box(hipacc_ir::access::analyze(&kernel, &bindings)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

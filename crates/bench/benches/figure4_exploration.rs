@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 4: the full configuration-space exploration
+//! of the bilateral filter on the Tesla C2050 — every valid launch
+//! configuration compiled, its region grid re-derived for the tiling, and
+//! its execution time modelled.
+//!
+//! ```text
+//! cargo bench -p hipacc-bench --bench figure4_exploration
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipacc_bench::figures::figure4;
+use std::hint::black_box;
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+    group.bench_function("configuration_sweep", |b| {
+        b.iter(|| {
+            let e = figure4();
+            assert!(e.points.len() > 50);
+            black_box(e)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the functional SIMT interpreter: how fast the
+//! simulated GPU executes generated kernels on the host. These are host-
+//! performance benchmarks of the substrate itself (the table numbers come
+//! from the analytical model, not from these wall-clock times).
+//!
+//! ```text
+//! cargo bench -p hipacc-bench --bench simulator
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hipacc_core::Target;
+use hipacc_filters::bilateral::bilateral_operator;
+use hipacc_filters::boxf::box_operator;
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_hwmodel::device::tesla_c2050;
+use hipacc_image::{phantom, BoundaryMode};
+use std::hint::black_box;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let target = Target::cuda(tesla_c2050());
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(10);
+
+    let img128 = phantom::vessel_tree(128, 128, &phantom::VesselParams::default());
+    group.throughput(Throughput::Elements(128 * 128));
+    group.bench_function("gaussian_3x3_128", |b| {
+        let op = gaussian_operator(3, 0.8, BoundaryMode::Clamp);
+        b.iter(|| black_box(op.execute(&[("Input", &img128)], &target).unwrap()))
+    });
+    group.bench_function("box_5x5_128", |b| {
+        let op = box_operator(5, 5, BoundaryMode::Mirror);
+        b.iter(|| black_box(op.execute(&[("Input", &img128)], &target).unwrap()))
+    });
+
+    let img64 = phantom::vessel_tree(64, 64, &phantom::VesselParams::default());
+    group.throughput(Throughput::Elements(64 * 64));
+    group.bench_function("bilateral_5x5_64", |b| {
+        let op = bilateral_operator(1, 5, true, BoundaryMode::Clamp);
+        b.iter(|| black_box(op.execute(&[("Input", &img64)], &target).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

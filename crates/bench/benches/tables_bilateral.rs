@@ -1,0 +1,34 @@
+//! Criterion benches regenerating the bilateral-filter tables (II–VII).
+//!
+//! One benchmark per paper table. Each iteration rebuilds the full table —
+//! 10–12 implementation rows × 5 boundary modes, each cell running the
+//! complete pipeline (DSL → analysis → lowering → Algorithm 2 → emission →
+//! analytical timing) at the paper's 4096² / 13×13 scale.
+//!
+//! ```text
+//! cargo bench -p hipacc-bench --bench tables_bilateral
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipacc_bench::tables::bilateral_table;
+use hipacc_core::Target;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bilateral_tables");
+    group.sample_size(10);
+    for (i, target) in Target::evaluation_targets().into_iter().enumerate() {
+        let table_no = 2 + i as u32;
+        group.bench_function(format!("table_{table_no}_{}", target.label()), |b| {
+            b.iter(|| {
+                let t = bilateral_table(black_box(&target), table_no);
+                assert!(t.rows.len() >= 10);
+                black_box(t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches regenerating the Gaussian tables (VIII and IX),
+//! including the OpenCV comparator rows with both PPT mappings.
+//!
+//! ```text
+//! cargo bench -p hipacc-bench --bench tables_gaussian
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipacc_bench::tables::gaussian_table;
+use hipacc_core::Target;
+use hipacc_hwmodel::device::{quadro_fx_5800, tesla_c2050};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_tables");
+    group.sample_size(10);
+    for (table_no, device) in [(8u32, tesla_c2050()), (9, quadro_fx_5800())] {
+        for size in [3u32, 5] {
+            let target = Target::cuda(device.clone());
+            group.bench_function(
+                format!("table_{table_no}_{}x{size}_{}", size, device.name),
+                |b| {
+                    b.iter(|| {
+                        let t = gaussian_table(black_box(&target), size, table_no);
+                        assert_eq!(t.rows.len(), 8);
+                        black_box(t)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Table-cell model.
+
+use std::fmt;
+
+/// One cell of an evaluation table.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// Modelled execution time in milliseconds.
+    Time(f64),
+    /// The implementation crashes (the paper's "crash" entries: reads of
+    /// unallocated memory on Tesla CUDA, RapidMind's Repeat on Fermi).
+    Crash,
+    /// The combination does not exist ("n/a": no hardware support for the
+    /// mode, or the framework lacks the feature).
+    NotAvailable,
+}
+
+impl Cell {
+    /// The time if present.
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            Cell::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Time(t) => write!(f, "{t:.2}"),
+            Cell::Crash => write!(f, "crash"),
+            Cell::NotAvailable => write!(f, "n/a"),
+        }
+    }
+}
+
+/// A rendered table: header, column labels, rows of labelled cells.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table caption (e.g. "Table II: …").
+    pub title: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Rows: label plus one cell per column.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Look up a cell by row and column label.
+    pub fn cell(&self, row: &str, col: &str) -> Option<Cell> {
+        let ci = self.columns.iter().position(|c| c == col)?;
+        self.rows
+            .iter()
+            .find(|(r, _)| r == row)
+            .and_then(|(_, cells)| cells.get(ci).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_display() {
+        assert_eq!(Cell::Time(302.27).to_string(), "302.27");
+        assert_eq!(Cell::Crash.to_string(), "crash");
+        assert_eq!(Cell::NotAvailable.to_string(), "n/a");
+        assert_eq!(Cell::Time(1.5).time(), Some(1.5));
+        assert_eq!(Cell::Crash.time(), None);
+    }
+
+    #[test]
+    fn table_lookup() {
+        let t = Table {
+            title: "t".into(),
+            columns: vec!["A".into(), "B".into()],
+            rows: vec![("r".into(), vec![Cell::Time(1.0), Cell::Crash])],
+        };
+        assert_eq!(t.cell("r", "B"), Some(Cell::Crash));
+        assert_eq!(t.cell("r", "C"), None);
+        assert_eq!(t.cell("x", "A"), None);
+    }
+}

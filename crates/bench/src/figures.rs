@@ -1,0 +1,181 @@
+//! Figures 3 and 4, and the §VI-C lines-of-code metric.
+
+use crate::tables::{IMAGE, SIGMA_D, SIGMA_R, TABLE_CONFIG};
+use hipacc_codegen::regions::RegionGrid;
+use hipacc_core::{PipelineOptions, Target};
+use hipacc_filters::bilateral::bilateral_operator;
+use hipacc_hwmodel::device::tesla_c2050;
+use hipacc_hwmodel::LaunchConfig;
+use hipacc_image::BoundaryMode;
+
+/// One point of the Figure-4 exploration: a configuration, its tiling and
+/// its modelled execution time.
+#[derive(Clone, Debug)]
+pub struct ExplorationPoint {
+    /// Block width.
+    pub bx: u32,
+    /// Block height.
+    pub by: u32,
+    /// Total threads (the figure's x axis).
+    pub threads: u32,
+    /// Modelled time in ms (the figure's y axis).
+    pub time_ms: f64,
+    /// Occupancy at this configuration.
+    pub occupancy: f64,
+}
+
+/// Result of the configuration-space exploration.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// All valid configurations with their times.
+    pub points: Vec<ExplorationPoint>,
+    /// The configuration Algorithm 2 selects.
+    pub heuristic_choice: LaunchConfig,
+    /// Time of the heuristic's choice.
+    pub heuristic_time_ms: f64,
+    /// The true optimum over the sweep.
+    pub optimum: ExplorationPoint,
+}
+
+/// Reproduce Figure 4: sweep every valid configuration of the bilateral
+/// filter (13×13, 4096², Tesla C2050, CUDA) and record modelled times.
+pub fn figure4() -> Exploration {
+    let target = Target::cuda(tesla_c2050());
+    let base = bilateral_operator(SIGMA_D, SIGMA_R, true, BoundaryMode::Clamp);
+
+    // The heuristic's own choice (no forced config).
+    let heuristic = base.compile(&target, IMAGE, IMAGE).expect("compile");
+    let heuristic_choice = heuristic.config;
+    let heuristic_time_ms = base.estimate(&heuristic, &target).total_ms;
+
+    // Sweep all valid configurations.
+    let compiler = hipacc_codegen::Compiler::new();
+    let spec = base.compile_spec(&target, IMAGE, IMAGE);
+    let configs = compiler
+        .explore_configurations(&base.def, &spec)
+        .expect("exploration");
+    let mut points = Vec::new();
+    for cfg in configs {
+        let op = bilateral_operator(SIGMA_D, SIGMA_R, true, BoundaryMode::Clamp).with_options(
+            PipelineOptions {
+                force_config: Some((cfg.bx, cfg.by)),
+                ..PipelineOptions::default()
+            },
+        );
+        if let Ok(compiled) = op.compile(&target, IMAGE, IMAGE) {
+            let occ = compiled.occupancy.map(|o| o.occupancy).unwrap_or(0.0);
+            let t = op.estimate(&compiled, &target);
+            points.push(ExplorationPoint {
+                bx: cfg.bx,
+                by: cfg.by,
+                threads: cfg.threads(),
+                time_ms: t.total_ms,
+                occupancy: occ,
+            });
+        }
+    }
+    let optimum = points
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap())
+        .expect("nonempty sweep");
+    Exploration {
+        points,
+        heuristic_choice,
+        heuristic_time_ms,
+        optimum,
+    }
+}
+
+/// Reproduce Figure 3: the block-to-region assignment for the bilateral
+/// window on a small grid, rendered as an ASCII map of region labels.
+pub fn figure3(width: u32, height: u32, cfg: (u32, u32)) -> Vec<String> {
+    let grid = RegionGrid::compute(
+        width,
+        height,
+        2 * SIGMA_D,
+        2 * SIGMA_D,
+        LaunchConfig {
+            bx: cfg.0,
+            by: cfg.1,
+        },
+    );
+    let mut out = Vec::new();
+    for by in 0..grid.grid_y {
+        let mut row = String::new();
+        for bx in 0..grid.grid_x {
+            let r = grid.region_of(bx, by);
+            let c = match r {
+                hipacc_codegen::Region::TopLeft => "TL",
+                hipacc_codegen::Region::Top => "T ",
+                hipacc_codegen::Region::TopRight => "TR",
+                hipacc_codegen::Region::Left => "L ",
+                hipacc_codegen::Region::Interior => ". ",
+                hipacc_codegen::Region::Right => "R ",
+                hipacc_codegen::Region::BottomLeft => "BL",
+                hipacc_codegen::Region::Bottom => "B ",
+                hipacc_codegen::Region::BottomRight => "BR",
+            };
+            row.push_str(c);
+            row.push(' ');
+        }
+        out.push(row.trim_end().to_string());
+    }
+    out
+}
+
+/// §VI-C: DSL lines vs generated CUDA lines for the bilateral kernel.
+pub fn loc_metric() -> (usize, usize) {
+    let target = Target::cuda(tesla_c2050());
+    let op = bilateral_operator(SIGMA_D, SIGMA_R, true, BoundaryMode::Clamp).with_options(
+        PipelineOptions {
+            force_config: Some(TABLE_CONFIG),
+            ..PipelineOptions::default()
+        },
+    );
+    let compiled = op.compile(&target, IMAGE, IMAGE).expect("compile");
+    let dsl = hipacc_filters::bilateral::bilateral_masked_kernel(SIGMA_D).dsl_loc();
+    (dsl, compiled.generated_loc())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_small_grid_has_all_regions() {
+        // 8x8 blocks of 32x6 over 256x48 pixels, halo 6.
+        let rows = figure3(256, 48, (32, 6));
+        let text = rows.join("\n");
+        for label in ["TL", "TR", "BL", "BR", "T ", "B ", "L ", "R ", ". "] {
+            assert!(text.contains(label.trim_end()), "missing {label} in\n{text}");
+        }
+        // First row starts with the top-left corner.
+        assert!(rows[0].starts_with("TL"));
+    }
+
+    #[test]
+    fn loc_amplification_is_an_order_of_magnitude() {
+        let (dsl, generated) = loc_metric();
+        // Paper: 16 DSL lines -> 317 generated lines. Our shapes differ,
+        // but the amplification must be large.
+        assert!(dsl < 40, "DSL too long: {dsl}");
+        assert!(
+            generated > dsl * 8,
+            "amplification too small: {dsl} -> {generated}"
+        );
+    }
+
+    #[test]
+    #[ignore = "full sweep is slow in debug builds; run with --release"]
+    fn figure4_heuristic_is_near_optimal() {
+        let e = figure4();
+        assert!(e.points.len() > 50);
+        assert!(
+            e.heuristic_time_ms <= e.optimum.time_ms * 1.10,
+            "heuristic {} vs optimum {}",
+            e.heuristic_time_ms,
+            e.optimum.time_ms
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # hipacc-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! * [`cells`] — the cell model: a table entry is a modelled time, a
+//!   "crash" or an "n/a", mirroring the paper's typography.
+//! * [`tables`] — generators for Tables II–IX.
+//! * [`figures`] — Figure 3 (region assignment) and Figure 4
+//!   (configuration-space exploration), plus the §VI-C lines-of-code
+//!   metric.
+//! * [`paper`] — the paper's published numbers, for side-by-side
+//!   comparison in EXPERIMENTS.md.
+//! * [`render`] — plain-text and Markdown rendering.
+//! * [`ablation`] — what each design choice is worth (region
+//!   specialization, constant masks, the heuristic, vectorization).
+//!
+//! The `reproduce` binary drives everything:
+//! `cargo run -p hipacc-bench --bin reproduce -- --all`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod cells;
+pub mod figures;
+pub mod paper;
+pub mod render;
+pub mod tables;

@@ -1,0 +1,234 @@
+//! Plain-text and Markdown rendering of tables and comparisons.
+
+use crate::cells::{Cell, Table};
+use crate::paper::PaperTable;
+
+/// Render a table as aligned plain text.
+pub fn render_text(t: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&t.title);
+    out.push('\n');
+    let label_w = t
+        .rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let col_w = 10usize;
+    out.push_str(&format!("{:label_w$}", ""));
+    for c in &t.columns {
+        out.push_str(&format!(" {c:>col_w$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + (col_w + 1) * t.columns.len()));
+    out.push('\n');
+    for (label, cells) in &t.rows {
+        out.push_str(&format!("{label:label_w$}"));
+        for c in cells {
+            out.push_str(&format!(" {:>col_w$}", c.to_string()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a side-by-side model-vs-paper comparison: each cell shows
+/// `model (paper)` and the per-cell ratio is summarized below.
+pub fn render_comparison(model: &Table, paper: &PaperTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}  [model vs paper]\n", model.title));
+    let label_w = model
+        .rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let col_w = 20usize;
+    out.push_str(&format!("{:label_w$}", ""));
+    for c in &model.columns {
+        out.push_str(&format!(" {c:>col_w$}"));
+    }
+    out.push('\n');
+
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut agree = 0usize;
+    let mut total_special = 0usize;
+    for (ri, (label, cells)) in model.rows.iter().enumerate() {
+        out.push_str(&format!("{label:label_w$}"));
+        let paper_row = paper.rows.get(ri).map(|(_, r)| *r);
+        for (ci, cell) in cells.iter().enumerate() {
+            let p = paper_row.and_then(|r| r.get(ci).copied()).flatten();
+            let s = match (cell, p) {
+                (Cell::Time(m), Some(pv)) => {
+                    ratios.push(m / pv);
+                    format!("{m:.1} ({pv:.1})")
+                }
+                (Cell::Time(m), None) => format!("{m:.1} (—)"),
+                (special, None) => {
+                    total_special += 1;
+                    agree += 1;
+                    format!("{special} ({special})")
+                }
+                (special, Some(pv)) => {
+                    total_special += 1;
+                    format!("{special} ({pv:.1})")
+                }
+            };
+            out.push_str(&format!(" {s:>col_w$}"));
+        }
+        out.push('\n');
+    }
+    if !ratios.is_empty() {
+        let gm = geometric_mean(&ratios);
+        let (lo, hi) = (
+            ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+            ratios.iter().cloned().fold(0.0f64, f64::max),
+        );
+        out.push_str(&format!(
+            "model/paper ratio: geo-mean {gm:.2}, range [{lo:.2}, {hi:.2}] over {} cells",
+            ratios.len()
+        ));
+        if total_special > 0 {
+            out.push_str(&format!(
+                "; crash/n-a cells matching: {agree}/{total_special}"
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a table as CSV (crash/n-a cells become empty fields with a
+/// status column convention: `value` or the literal `crash`/`n/a`).
+pub fn render_csv(t: &Table) -> String {
+    let mut out = String::new();
+    out.push_str("row");
+    for c in &t.columns {
+        out.push(',');
+        out.push_str(c);
+    }
+    out.push('\n');
+    for (label, cells) in &t.rows {
+        out.push_str(label.trim());
+        for c in cells {
+            out.push(',');
+            out.push_str(&c.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Geometric mean.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Spearman rank correlation between two equally long samples — the
+/// "shape" metric EXPERIMENTS.md reports: do cells rank the same way in
+/// the model as in the paper?
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap());
+        let mut r = vec![0.0; xs.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        num += (ra[i] - mean) * (rb[i] - mean);
+        da += (ra[i] - mean).powi(2);
+        db += (rb[i] - mean).powi(2);
+    }
+    num / (da.sqrt() * db.sqrt())
+}
+
+/// Collect the paired (model, paper) time vectors of a comparison.
+pub fn paired_times(model: &Table, paper: &PaperTable) -> (Vec<f64>, Vec<f64>) {
+    let mut m = Vec::new();
+    let mut p = Vec::new();
+    for (ri, (_, cells)) in model.rows.iter().enumerate() {
+        let paper_row = match paper.rows.get(ri) {
+            Some((_, r)) => r,
+            None => continue,
+        };
+        for (ci, cell) in cells.iter().enumerate() {
+            if let (Some(mv), Some(Some(pv))) = (cell.time(), paper_row.get(ci)) {
+                m.push(mv);
+                p.push(*pv);
+            }
+        }
+    }
+    (m, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_includes_all_cells() {
+        let t = Table {
+            title: "Demo".into(),
+            columns: vec!["A".into(), "B".into()],
+            rows: vec![
+                ("row1".into(), vec![Cell::Time(1.5), Cell::Crash]),
+                ("row2".into(), vec![Cell::NotAvailable, Cell::Time(20.0)]),
+            ],
+        };
+        let s = render_text(&t);
+        assert!(s.contains("Demo"));
+        assert!(s.contains("1.50"));
+        assert!(s.contains("crash"));
+        assert!(s.contains("n/a"));
+        assert!(s.contains("20.00"));
+    }
+
+    #[test]
+    fn csv_rendering_is_rectangular() {
+        let t = Table {
+            title: "Demo".into(),
+            columns: vec!["A".into(), "B".into()],
+            rows: vec![
+                ("  row1".into(), vec![Cell::Time(1.5), Cell::Crash]),
+                ("row2".into(), vec![Cell::NotAvailable, Cell::Time(20.0)]),
+            ],
+        };
+        let csv = render_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "row,A,B");
+        assert_eq!(lines[1], "row1,1.50,crash");
+        assert_eq!(lines[2], "row2,n/a,20.00");
+    }
+
+    #[test]
+    fn spearman_detects_perfect_and_inverse_order() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_ones_is_one() {
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geometric_mean(&[0.5, 2.0]) - 1.0).abs() < 1e-12);
+    }
+}

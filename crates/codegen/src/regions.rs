@@ -1,0 +1,337 @@
+//! The nine image regions of Section IV-B (Figure 3).
+//!
+//! "Special boundary handling mode is added for each border — resulting in
+//! nine different kernel implementations … Instead [of nine launches], the
+//! source-to-source compiler creates one big kernel that hosts all nine
+//! implementations, but executes only the required one depending on the
+//! currently processed image region."
+
+use hipacc_hwmodel::LaunchConfig;
+
+/// One of the nine border regions. `Interior` is the paper's `NO_BH`
+/// region, which the tiling heuristic maximizes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Top-left corner.
+    TopLeft,
+    /// Top edge.
+    Top,
+    /// Top-right corner.
+    TopRight,
+    /// Left edge.
+    Left,
+    /// Interior (no boundary handling).
+    Interior,
+    /// Right edge.
+    Right,
+    /// Bottom-left corner.
+    BottomLeft,
+    /// Bottom edge.
+    Bottom,
+    /// Bottom-right corner.
+    BottomRight,
+}
+
+impl Region {
+    /// All nine regions, corners first (dispatch order of Listing 8).
+    pub fn all() -> [Region; 9] {
+        [
+            Region::TopLeft,
+            Region::TopRight,
+            Region::BottomLeft,
+            Region::BottomRight,
+            Region::Top,
+            Region::Bottom,
+            Region::Left,
+            Region::Right,
+            Region::Interior,
+        ]
+    }
+
+    /// Whether reads in this region may fall off the left image edge.
+    pub fn checks_left(self) -> bool {
+        matches!(self, Region::TopLeft | Region::Left | Region::BottomLeft)
+    }
+
+    /// Whether reads may fall off the right edge.
+    pub fn checks_right(self) -> bool {
+        matches!(self, Region::TopRight | Region::Right | Region::BottomRight)
+    }
+
+    /// Whether reads may fall off the top edge.
+    pub fn checks_top(self) -> bool {
+        matches!(self, Region::TopLeft | Region::Top | Region::TopRight)
+    }
+
+    /// Whether reads may fall off the bottom edge.
+    pub fn checks_bottom(self) -> bool {
+        matches!(
+            self,
+            Region::BottomLeft | Region::Bottom | Region::BottomRight
+        )
+    }
+
+    /// Label used in generated code (`TL_BH`, `NO_BH`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::TopLeft => "TL_BH",
+            Region::Top => "T_BH",
+            Region::TopRight => "TR_BH",
+            Region::Left => "L_BH",
+            Region::Interior => "NO_BH",
+            Region::Right => "R_BH",
+            Region::BottomLeft => "BL_BH",
+            Region::Bottom => "B_BH",
+            Region::BottomRight => "BR_BH",
+        }
+    }
+
+    /// Number of boundary checks per access (sides checked).
+    pub fn sides(self) -> u32 {
+        self.checks_left() as u32
+            + self.checks_right() as u32
+            + self.checks_top() as u32
+            + self.checks_bottom() as u32
+    }
+}
+
+/// Block-index thresholds that assign regions to thread blocks for a given
+/// tiling — the constants of Listing 8 ("Whether boundary handling is
+/// required for that regions depends on the size of the block processed by
+/// one SIMD unit … as well as on the size of the filter mask").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RegionGrid {
+    /// Block columns on the left that need left handling.
+    pub left_blocks: u32,
+    /// Block columns on the right that need right handling.
+    pub right_blocks: u32,
+    /// Block rows on the top that need top handling.
+    pub top_blocks: u32,
+    /// Block rows on the bottom that need bottom handling.
+    pub bottom_blocks: u32,
+    /// Grid dimensions.
+    pub grid_x: u32,
+    /// Grid dimensions.
+    pub grid_y: u32,
+    /// Whether left and right border block columns overlap (narrow grid):
+    /// every x-border block must then handle *both* horizontal sides.
+    pub x_overlap: bool,
+    /// Whether top and bottom border block rows overlap.
+    pub y_overlap: bool,
+}
+
+impl RegionGrid {
+    /// Compute thresholds for an image, half-window and tiling.
+    pub fn compute(
+        width: u32,
+        height: u32,
+        half_x: u32,
+        half_y: u32,
+        cfg: LaunchConfig,
+    ) -> RegionGrid {
+        RegionGrid::compute_roi(width, height, 0, 0, width, height, half_x, half_y, cfg)
+    }
+
+    /// Like [`RegionGrid::compute`], but for an iteration space that is a
+    /// sub-rectangle of the image: blocks tile the ROI, and a block needs
+    /// handling only when its reads (ROI coordinates plus the halo) leave
+    /// the *image*. An interior ROI therefore needs no handling at all.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_roi(
+        img_w: u32,
+        img_h: u32,
+        off_x: u32,
+        off_y: u32,
+        roi_w: u32,
+        roi_h: u32,
+        half_x: u32,
+        half_y: u32,
+        cfg: LaunchConfig,
+    ) -> RegionGrid {
+        let (grid_x, grid_y) = cfg.grid_for(roi_w, roi_h);
+        // Blocks on the left that can reach past the image's left edge:
+        // block b starts at off_x + b*bx; handling needed while
+        // off_x + b*bx < half_x.
+        let left_blocks = if half_x > off_x {
+            (half_x - off_x).div_ceil(cfg.bx).min(grid_x)
+        } else {
+            0
+        };
+        let top_blocks = if half_y > off_y {
+            (half_y - off_y).div_ceil(cfg.by).min(grid_y)
+        } else {
+            0
+        };
+        let width = img_w;
+        let height = img_h;
+        // Re-anchor the right/bottom computation at the ROI offset: block
+        // b needs right handling when off_x + (b+1)*bx > img_w - half_x.
+        // A block needs right handling when its tile reaches past
+        // `width - half_x`, i.e. block index b with (b+1)·bx > width - half.
+        let first_bh_block = |extent: u32, half: u32, b: u32| -> u32 {
+            if extent <= half {
+                0
+            } else {
+                (extent - half + 1).div_ceil(b).saturating_sub(1)
+            }
+        };
+        // If even the ROI's last pixel plus the halo stays inside the
+        // image, no block needs right handling at all (interior ROI).
+        let raw_right = if off_x + roi_w + half_x <= width {
+            0
+        } else {
+            let right_start = first_bh_block(width.saturating_sub(off_x), half_x, cfg.bx);
+            grid_x - right_start.min(grid_x)
+        };
+        let right_blocks = raw_right.min(grid_x - left_blocks.min(grid_x));
+        let raw_bottom = if off_y + roi_h + half_y <= height {
+            0
+        } else {
+            let bottom_start = first_bh_block(height.saturating_sub(off_y), half_y, cfg.by);
+            grid_y - bottom_start.min(grid_y)
+        };
+        let bottom_blocks = raw_bottom.min(grid_y - top_blocks.min(grid_y));
+        RegionGrid {
+            left_blocks,
+            right_blocks,
+            top_blocks,
+            bottom_blocks,
+            grid_x,
+            grid_y,
+            x_overlap: half_x > 0 && left_blocks + raw_right > grid_x,
+            y_overlap: half_y > 0 && top_blocks + raw_bottom > grid_y,
+        }
+    }
+
+    /// Compute just the overlap flags (used by the lowering, which widens
+    /// boundary checks to both sides of an axis when the border block
+    /// bands overlap).
+    pub fn overlaps(width: u32, height: u32, half_x: u32, half_y: u32, cfg: LaunchConfig) -> (bool, bool) {
+        let g = RegionGrid::compute(width, height, half_x, half_y, cfg);
+        (g.x_overlap, g.y_overlap)
+    }
+
+    /// Which region a block `(bx_idx, by_idx)` executes.
+    pub fn region_of(&self, bx_idx: u32, by_idx: u32) -> Region {
+        let left = bx_idx < self.left_blocks;
+        let right = bx_idx >= self.grid_x - self.right_blocks;
+        let top = by_idx < self.top_blocks;
+        let bottom = by_idx >= self.grid_y - self.bottom_blocks;
+        match (left, right, top, bottom) {
+            (true, _, true, _) => Region::TopLeft,
+            (_, true, true, _) => Region::TopRight,
+            (true, _, _, true) => Region::BottomLeft,
+            (_, true, _, true) => Region::BottomRight,
+            (_, _, true, _) => Region::Top,
+            (_, _, _, true) => Region::Bottom,
+            (true, _, _, _) => Region::Left,
+            (_, true, _, _) => Region::Right,
+            _ => Region::Interior,
+        }
+    }
+
+    /// Number of blocks executing each region, for the timing model's
+    /// region weighting.
+    pub fn block_counts(&self) -> Vec<(Region, u64)> {
+        let mut counts: Vec<(Region, u64)> =
+            Region::all().iter().map(|r| (*r, 0u64)).collect();
+        for by in 0..self.grid_y {
+            for bx in 0..self.grid_x {
+                let r = self.region_of(bx, by);
+                let slot = counts.iter_mut().find(|(reg, _)| *reg == r).unwrap();
+                slot.1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total blocks in the grid.
+    pub fn total_blocks(&self) -> u64 {
+        self.grid_x as u64 * self.grid_y as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_side_checks() {
+        assert!(Region::TopLeft.checks_left() && Region::TopLeft.checks_top());
+        assert!(!Region::TopLeft.checks_right() && !Region::TopLeft.checks_bottom());
+        assert_eq!(Region::TopLeft.sides(), 2);
+        assert_eq!(Region::Top.sides(), 1);
+        assert_eq!(Region::Interior.sides(), 0);
+        assert_eq!(Region::all().len(), 9);
+    }
+
+    #[test]
+    fn paper_example_13x13_on_128x1() {
+        // 4096x4096 image, 13x13 window (half 6), 128x1 blocks:
+        // left border: 1 block column; top: 6 block rows (by = 1).
+        let grid = RegionGrid::compute(4096, 4096, 6, 6, LaunchConfig { bx: 128, by: 1 });
+        assert_eq!(grid.grid_x, 32);
+        assert_eq!(grid.grid_y, 4096);
+        assert_eq!(grid.left_blocks, 1);
+        assert_eq!(grid.right_blocks, 1);
+        assert_eq!(grid.top_blocks, 6);
+        assert_eq!(grid.bottom_blocks, 6);
+        // Listing 8's dispatch: blockIdx.x < 1 && blockIdx.y < 6 -> TL_BH.
+        assert_eq!(grid.region_of(0, 0), Region::TopLeft);
+        assert_eq!(grid.region_of(0, 5), Region::TopLeft);
+        assert_eq!(grid.region_of(0, 6), Region::Left);
+        assert_eq!(grid.region_of(1, 0), Region::Top);
+        assert_eq!(grid.region_of(31, 0), Region::TopRight);
+        assert_eq!(grid.region_of(16, 2048), Region::Interior);
+        assert_eq!(grid.region_of(31, 4095), Region::BottomRight);
+    }
+
+    #[test]
+    fn region_partition_is_total_and_disjoint() {
+        let grid = RegionGrid::compute(512, 384, 6, 6, LaunchConfig { bx: 32, by: 6 });
+        let counts = grid.block_counts();
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, grid.total_blocks());
+        // The interior dominates for a large image.
+        let interior = counts
+            .iter()
+            .find(|(r, _)| *r == Region::Interior)
+            .unwrap()
+            .1;
+        assert!(interior * 2 > total, "interior should dominate: {interior}/{total}");
+    }
+
+    #[test]
+    fn tall_tiles_shrink_border_rows() {
+        // by = 6 needs 1 top block row for half_y = 6; by = 4 needs 2.
+        let g6 = RegionGrid::compute(4096, 4096, 6, 6, LaunchConfig { bx: 32, by: 6 });
+        let g4 = RegionGrid::compute(4096, 4096, 6, 6, LaunchConfig { bx: 32, by: 4 });
+        assert_eq!(g6.top_blocks, 1);
+        assert_eq!(g4.top_blocks, 2);
+    }
+
+    #[test]
+    fn tiny_image_is_all_border() {
+        // 8x8 image with half-window 6: every block handles borders.
+        let grid = RegionGrid::compute(8, 8, 6, 6, LaunchConfig { bx: 32, by: 1 });
+        let counts = grid.block_counts();
+        let interior = counts
+            .iter()
+            .find(|(r, _)| *r == Region::Interior)
+            .unwrap()
+            .1;
+        assert_eq!(interior, 0);
+    }
+
+    #[test]
+    fn zero_halo_is_all_interior() {
+        let grid = RegionGrid::compute(256, 256, 0, 0, LaunchConfig { bx: 32, by: 4 });
+        assert_eq!(grid.left_blocks, 0);
+        assert_eq!(grid.top_blocks, 0);
+        for by in 0..grid.grid_y {
+            for bx in 0..grid.grid_x {
+                assert_eq!(grid.region_of(bx, by), Region::Interior);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Compilation targets: a device model plus a backend.
+
+use hipacc_hwmodel::{Backend, DeviceModel};
+
+/// A (device, backend) pair the compiler can generate code for — the
+/// paper's compiler flags for target hardware and CUDA/OpenCL selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Target {
+    /// The modelled GPU.
+    pub device: DeviceModel,
+    /// The code-generation backend.
+    pub backend: Backend,
+}
+
+impl Target {
+    /// CUDA on an NVIDIA device.
+    pub fn cuda(device: DeviceModel) -> Self {
+        Self {
+            device,
+            backend: Backend::Cuda,
+        }
+    }
+
+    /// OpenCL on any device.
+    pub fn opencl(device: DeviceModel) -> Self {
+        Self {
+            device,
+            backend: Backend::OpenCl,
+        }
+    }
+
+    /// Display label like "Tesla C2050 / CUDA" used by the harnesses.
+    pub fn label(&self) -> String {
+        format!("{} / {}", self.device.name, self.backend.name())
+    }
+
+    /// The six (device, backend) combinations of Tables II–VII, in table
+    /// order.
+    pub fn evaluation_targets() -> Vec<Target> {
+        use hipacc_hwmodel::device::*;
+        vec![
+            Target::cuda(tesla_c2050()),
+            Target::opencl(tesla_c2050()),
+            Target::cuda(quadro_fx_5800()),
+            Target::opencl(quadro_fx_5800()),
+            Target::opencl(radeon_hd_5870()),
+            Target::opencl(radeon_hd_6970()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_hwmodel::device::tesla_c2050;
+
+    #[test]
+    fn labels_and_constructors() {
+        let t = Target::cuda(tesla_c2050());
+        assert_eq!(t.label(), "Tesla C2050 / CUDA");
+        let t = Target::opencl(tesla_c2050());
+        assert_eq!(t.label(), "Tesla C2050 / OpenCL");
+    }
+
+    #[test]
+    fn evaluation_targets_match_tables() {
+        let ts = Target::evaluation_targets();
+        assert_eq!(ts.len(), 6);
+        assert_eq!(ts[0].label(), "Tesla C2050 / CUDA");
+        assert_eq!(ts[5].label(), "Radeon HD 6970 / OpenCL");
+        // AMD targets are OpenCL-only.
+        for t in &ts {
+            if t.device.vendor == hipacc_hwmodel::Vendor::Amd {
+                assert_eq!(t.backend, Backend::OpenCl);
+            }
+        }
+    }
+}

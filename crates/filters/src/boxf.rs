@@ -1,0 +1,87 @@
+//! Box (mean) filter — the simplest local operator, used heavily by the
+//! integration tests because its reference is exact.
+
+use hipacc_core::prelude::*;
+use hipacc_core::Operator;
+use hipacc_ir::KernelDef;
+
+/// Box-filter kernel over a `w × h` window (loops written out, no mask:
+/// the coefficient is a compile-time constant `1/(w·h)`).
+pub fn box_kernel(w: u32, h: u32) -> KernelDef {
+    assert!(w % 2 == 1 && h % 2 == 1, "box windows must be odd");
+    let hw = (w / 2) as i64;
+    let hh = (h / 2) as i64;
+    let n = (w * h) as f32;
+    let mut b = KernelBuilder::new("BoxFilter", ScalarType::F32);
+    let input = b.accessor("Input", ScalarType::F32);
+    let acc = b.let_("acc", ScalarType::F32, Expr::float(0.0));
+    b.for_inclusive("yf", Expr::int(-hh), Expr::int(hh), |b, yf| {
+        b.for_inclusive("xf", Expr::int(-hw), Expr::int(hw), |b, xf| {
+            b.add_assign(&acc, b.read_at(&input, xf.get(), yf.get()));
+        });
+    });
+    b.output(acc.get() / Expr::float(n));
+    b.finish()
+}
+
+/// Ready-to-run box operator.
+pub fn box_operator(w: u32, h: u32, mode: BoundaryMode) -> Operator {
+    Operator::new(box_kernel(w, h)).boundary("Input", mode, w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_hwmodel::device::{quadro_fx_5800, radeon_hd_6970, tesla_c2050};
+    use hipacc_image::{phantom, reference};
+
+    #[test]
+    fn box_matches_reference_on_all_evaluation_targets() {
+        let img = phantom::vessel_tree(40, 32, &phantom::VesselParams::default());
+        let expected = reference::convolve2d(
+            &img,
+            &reference::MaskCoeffs::box_filter(5, 5),
+            BoundaryMode::Mirror,
+        );
+        for target in [
+            Target::cuda(tesla_c2050()),
+            Target::opencl(tesla_c2050()),
+            Target::cuda(quadro_fx_5800()),
+            Target::opencl(quadro_fx_5800()),
+            Target::opencl(radeon_hd_6970()),
+        ] {
+            let op = box_operator(5, 5, BoundaryMode::Mirror);
+            let result = op.execute(&[("Input", &img)], &target).unwrap();
+            assert!(
+                result.output.max_abs_diff(&expected) < 1e-4,
+                "{}: {}",
+                target.label(),
+                result.output.max_abs_diff(&expected)
+            );
+        }
+    }
+
+    #[test]
+    fn anisotropic_window_9x3() {
+        // The paper's example of an uneven-but-legal window.
+        let img = phantom::checkerboard(32, 24, 3);
+        let op = box_operator(9, 3, BoundaryMode::Clamp);
+        let result = op
+            .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
+            .unwrap();
+        let expected = reference::convolve2d(
+            &img,
+            &reference::MaskCoeffs::box_filter(9, 3),
+            BoundaryMode::Clamp,
+        );
+        assert!(result.output.max_abs_diff(&expected) < 1e-4);
+        let compiled = op.compile(&Target::cuda(tesla_c2050()), 32, 24).unwrap();
+        assert_eq!(compiled.max_half, (4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_rejected() {
+        let _ = box_kernel(4, 3);
+    }
+}

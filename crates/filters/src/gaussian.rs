@@ -1,0 +1,164 @@
+//! Gaussian smoothing — the Tables VIII/IX workload.
+//!
+//! Two device mappings:
+//!
+//! * [`gaussian_kernel`] — dense 2-D convolution over a constant-memory
+//!   `Mask` built with the `convolve()` sugar (what the framework
+//!   generates).
+//! * [`gaussian_separable_operators`] — row/column passes, the structure
+//!   the OpenCV GPU backend uses; two kernel launches.
+
+use hipacc_core::convolve::{convolve, Reduce};
+use hipacc_core::prelude::*;
+use hipacc_core::{Operator, PipelineOptions};
+use hipacc_image::reference::{MaskCoeffs, MaskCoeffs1D};
+use hipacc_ir::KernelDef;
+
+/// Default sigma for a given window size (OpenCV's convention:
+/// `σ = 0.3·((size-1)/2 - 1) + 0.8`).
+pub fn default_sigma(size: u32) -> f32 {
+    0.3 * ((size as f32 - 1.0) / 2.0 - 1.0) + 0.8
+}
+
+/// Dense Gaussian kernel over a `size × size` constant mask.
+pub fn gaussian_kernel(size: u32, sigma: f32) -> KernelDef {
+    let coeffs = MaskCoeffs::gaussian(size, size, sigma);
+    let mut b = KernelBuilder::new("GaussianFilter", ScalarType::F32);
+    let input = b.accessor("Input", ScalarType::F32);
+    let mask = b.mask_const("GMask", size, size, coeffs.data().to_vec());
+    let m2 = mask.clone();
+    let acc = convolve(&mut b, &mask, Reduce::Sum, |b, dx, dy| {
+        b.mask_at(&m2, dx.clone(), dy.clone()) * b.read_at(&input, dx, dy)
+    });
+    b.output(acc.get());
+    b.finish()
+}
+
+/// A 1-D convolution kernel (row pass when `horizontal`, column pass
+/// otherwise) over `size` constant taps.
+pub fn gaussian_1d_kernel(size: u32, sigma: f32, horizontal: bool) -> KernelDef {
+    let taps = MaskCoeffs1D::gaussian(size, sigma);
+    let (w, h) = if horizontal { (size, 1) } else { (1, size) };
+    let name = if horizontal {
+        "GaussianRow"
+    } else {
+        "GaussianCol"
+    };
+    let mut b = KernelBuilder::new(name, ScalarType::F32);
+    let input = b.accessor("Input", ScalarType::F32);
+    let mask = b.mask_const("GMask1", w, h, taps.data().to_vec());
+    let m2 = mask.clone();
+    let acc = convolve(&mut b, &mask, Reduce::Sum, |b, dx, dy| {
+        b.mask_at(&m2, dx.clone(), dy.clone()) * b.read_at(&input, dx, dy)
+    });
+    b.output(acc.get());
+    b.finish()
+}
+
+/// The dense Gaussian as a ready-to-run operator.
+pub fn gaussian_operator(size: u32, sigma: f32, mode: BoundaryMode) -> Operator {
+    Operator::new(gaussian_kernel(size, sigma)).boundary("Input", mode, size, size)
+}
+
+/// The separable Gaussian as a (row, column) operator pair. Each carries
+/// `launches: 2` so launch overhead is attributed once per pass pair.
+pub fn gaussian_separable_operators(
+    size: u32,
+    sigma: f32,
+    mode: BoundaryMode,
+) -> (Operator, Operator) {
+    let row = Operator::new(gaussian_1d_kernel(size, sigma, true))
+        .boundary("Input", mode, size, 1)
+        .with_options(PipelineOptions {
+            launches: 1,
+            ..PipelineOptions::default()
+        });
+    let col = Operator::new(gaussian_1d_kernel(size, sigma, false))
+        .boundary("Input", mode, 1, size)
+        .with_options(PipelineOptions {
+            launches: 1,
+            ..PipelineOptions::default()
+        });
+    (row, col)
+}
+
+/// Run the separable pair on an image.
+pub fn run_separable(
+    img: &Image<f32>,
+    size: u32,
+    sigma: f32,
+    mode: BoundaryMode,
+    target: &Target,
+) -> Result<(Image<f32>, f64), hipacc_core::operator::OperatorError> {
+    let (row, col) = gaussian_separable_operators(size, sigma, mode);
+    let pass1 = row.execute(&[("Input", img)], target)?;
+    let pass2 = col.execute(&[("Input", &pass1.output)], target)?;
+    Ok((
+        pass2.output,
+        pass1.time.total_ms + pass2.time.total_ms,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_hwmodel::device::tesla_c2050;
+    use hipacc_image::{phantom, reference};
+
+    #[test]
+    fn dense_gaussian_matches_reference() {
+        let img = phantom::vessel_tree(48, 32, &phantom::VesselParams::default());
+        for mode in [BoundaryMode::Clamp, BoundaryMode::Mirror] {
+            let op = gaussian_operator(5, 1.2, mode);
+            let result = op
+                .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
+                .unwrap();
+            let expected =
+                reference::convolve2d(&img, &MaskCoeffs::gaussian(5, 5, 1.2), mode);
+            assert!(
+                result.output.max_abs_diff(&expected) < 1e-4,
+                "{mode:?}: {}",
+                result.output.max_abs_diff(&expected)
+            );
+        }
+    }
+
+    #[test]
+    fn separable_matches_reference_separable() {
+        let img = phantom::gradient(40, 28);
+        let (out, time_ms) =
+            run_separable(&img, 5, 1.0, BoundaryMode::Clamp, &Target::cuda(tesla_c2050()))
+                .unwrap();
+        let taps = MaskCoeffs1D::gaussian(5, 1.0);
+        let expected = reference::convolve_separable(&img, &taps, &taps, BoundaryMode::Clamp);
+        assert!(out.max_abs_diff(&expected) < 1e-4);
+        assert!(time_ms > 0.0);
+    }
+
+    #[test]
+    fn gaussian_mask_lands_in_constant_memory() {
+        let op = gaussian_operator(3, default_sigma(3), BoundaryMode::Clamp);
+        let compiled = op.compile(&Target::cuda(tesla_c2050()), 128, 128).unwrap();
+        assert_eq!(compiled.device_kernel.const_buffers.len(), 1);
+        assert!(compiled.device_kernel.const_buffers[0].data.is_some());
+        assert!(compiled.source.contains("__device__ __constant__ float"));
+    }
+
+    #[test]
+    fn smooths_checkerboard_toward_mean() {
+        let img = phantom::checkerboard(32, 32, 1);
+        let op = gaussian_operator(5, 2.0, BoundaryMode::Mirror);
+        let result = op
+            .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
+            .unwrap();
+        // A 1-pixel checkerboard under a wide Gaussian approaches 0.5.
+        let center = result.output.get(16, 16);
+        assert!((center - 0.5).abs() < 0.05, "center {center}");
+    }
+
+    #[test]
+    fn default_sigma_is_opencv_convention() {
+        assert!((default_sigma(3) - 0.8).abs() < 1e-6);
+        assert!((default_sigma(5) - 1.1).abs() < 1e-6);
+    }
+}

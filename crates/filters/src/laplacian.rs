@@ -1,0 +1,94 @@
+//! Laplacian and unsharp-masking kernels.
+
+use hipacc_core::convolve::{convolve, Reduce};
+use hipacc_core::prelude::*;
+use hipacc_core::Operator;
+use hipacc_image::reference::MaskCoeffs;
+use hipacc_ir::KernelDef;
+
+/// 4-connected Laplacian kernel.
+pub fn laplacian_kernel() -> KernelDef {
+    let coeffs = MaskCoeffs::laplacian();
+    let mut b = KernelBuilder::new("Laplacian", ScalarType::F32);
+    let input = b.accessor("Input", ScalarType::F32);
+    let mask = b.mask_const("LMask", 3, 3, coeffs.data().to_vec());
+    let m2 = mask.clone();
+    let acc = convolve(&mut b, &mask, Reduce::Sum, |b, dx, dy| {
+        b.mask_at(&m2, dx.clone(), dy.clone()) * b.read_at(&input, dx, dy)
+    });
+    b.output(acc.get());
+    b.finish()
+}
+
+/// Unsharp masking: `out = in + amount · (in - blur3x3(in))`, fused into a
+/// single local operator.
+pub fn unsharp_kernel(amount: f32) -> KernelDef {
+    let mut b = KernelBuilder::new("Unsharp", ScalarType::F32);
+    let input = b.accessor("Input", ScalarType::F32);
+    let blur = b.let_("blur", ScalarType::F32, Expr::float(0.0));
+    b.for_inclusive("yf", Expr::int(-1), Expr::int(1), |b, yf| {
+        b.for_inclusive("xf", Expr::int(-1), Expr::int(1), |b, xf| {
+            b.add_assign(&blur, b.read_at(&input, xf.get(), yf.get()));
+        });
+    });
+    let center = b.let_("center", ScalarType::F32, b.read_center(&input));
+    b.output(
+        center.get()
+            + Expr::float(amount) * (center.get() - blur.get() / Expr::float(9.0)),
+    );
+    b.finish()
+}
+
+/// Ready-to-run Laplacian operator.
+pub fn laplacian_operator(mode: BoundaryMode) -> Operator {
+    Operator::new(laplacian_kernel()).boundary("Input", mode, 3, 3)
+}
+
+/// Ready-to-run unsharp-masking operator.
+pub fn unsharp_operator(amount: f32, mode: BoundaryMode) -> Operator {
+    Operator::new(unsharp_kernel(amount)).boundary("Input", mode, 3, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_hwmodel::device::tesla_c2050;
+    use hipacc_image::{phantom, reference, Image};
+
+    #[test]
+    fn laplacian_matches_reference() {
+        let img = phantom::vessel_tree(36, 28, &phantom::VesselParams::default());
+        let op = laplacian_operator(BoundaryMode::Mirror);
+        let result = op
+            .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
+            .unwrap();
+        let expected =
+            reference::convolve2d(&img, &MaskCoeffs::laplacian(), BoundaryMode::Mirror);
+        assert!(result.output.max_abs_diff(&expected) < 1e-4);
+    }
+
+    #[test]
+    fn laplacian_of_constant_is_zero() {
+        let img = Image::from_fn(24, 24, |_, _| 0.6);
+        let op = laplacian_operator(BoundaryMode::Clamp);
+        let result = op
+            .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
+            .unwrap();
+        let (lo, hi) = result.output.min_max();
+        assert!(lo.abs() < 1e-6 && hi.abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsharp_amplifies_edges() {
+        let img = phantom::step_edge(32, 16, 0.25, 0.75);
+        let op = unsharp_operator(1.0, BoundaryMode::Clamp);
+        let result = op
+            .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
+            .unwrap();
+        // Overshoot on the bright side of the edge, undershoot on the dark.
+        assert!(result.output.get(16, 8) > 0.75 + 0.05);
+        assert!(result.output.get(15, 8) < 0.25 - 0.05);
+        // Flat regions untouched.
+        assert!((result.output.get(4, 8) - 0.25).abs() < 1e-5);
+    }
+}

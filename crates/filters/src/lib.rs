@@ -1,0 +1,35 @@
+//! # hipacc-filters
+//!
+//! Medical-imaging filters expressed in the hipacc DSL — the workloads of
+//! the paper's evaluation plus the operators its introduction motivates.
+//!
+//! * [`bilateral`] — the headline workload (Tables II–VII, Figure 4), in
+//!   both forms the paper shows: Listing 1 (closeness recomputed per
+//!   pixel) and Listing 5 (precalculated closeness `Mask`).
+//! * [`gaussian`] — dense and separable Gaussian smoothing (Tables
+//!   VIII–IX).
+//! * [`sobel`] — derivative filters (same implementation class as the
+//!   OpenCV comparison's Sobel).
+//! * [`laplacian`] — Laplacian sharpening / unsharp masking.
+//! * [`boxf`] — box (mean) smoothing.
+//! * [`median`] — a rank operator via a min/max exchange network, showing
+//!   the DSL is not limited to convolutions.
+//! * [`harris`] — a multi-accessor corner detector (three input images in
+//!   one kernel).
+//! * [`pyramid`] — the multiresolution filter pipeline of the paper's
+//!   medical motivation (Kunz et al.), combining DSL kernels with host
+//!   resampling.
+//!
+//! Every kernel has a golden test against `hipacc_image::reference`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bilateral;
+pub mod boxf;
+pub mod gaussian;
+pub mod harris;
+pub mod laplacian;
+pub mod median;
+pub mod pyramid;
+pub mod sobel;

@@ -1,0 +1,240 @@
+//! Multiresolution pyramid processing — the paper's medical motivation
+//! for the Mirror boundary mode.
+//!
+//! "Mirroring is important in medical imaging, for example, when a
+//! multiresolution filter is applied to an image: the image gets upsampled
+//! multiple times and at the border occur large unnatural-looking
+//! artifacts when the border pixel gets replicated repeatedly."
+//!
+//! Pyramid levels change the image geometry, which the per-pixel DSL does
+//! not express; as in the real framework, the resampling is host-side
+//! while the filtering runs as generated device kernels.
+
+use crate::gaussian::gaussian_operator;
+use hipacc_core::operator::OperatorError;
+use hipacc_core::prelude::*;
+use hipacc_image::reference;
+
+/// Result of a pyramid round trip.
+#[derive(Clone, Debug)]
+pub struct PyramidResult {
+    /// The reconstructed full-resolution image.
+    pub reconstructed: Image<f32>,
+    /// Images per level, coarsest last.
+    pub levels: Vec<Image<f32>>,
+    /// Summed modelled kernel time over all levels (ms).
+    pub total_time_ms: f64,
+}
+
+/// Downsample one level: device Gaussian (5×5) then host 2:1 subsample.
+pub fn level_down(
+    img: &Image<f32>,
+    mode: BoundaryMode,
+    target: &Target,
+) -> Result<(Image<f32>, f64), OperatorError> {
+    let op = gaussian_operator(5, 1.1, mode);
+    let blurred = op.execute(&[("Input", img)], target)?;
+    let w = img.width().div_ceil(2);
+    let h = img.height().div_ceil(2);
+    let down = Image::from_fn(w, h, |x, y| blurred.output.get(2 * x, 2 * y));
+    Ok((down, blurred.time.total_ms))
+}
+
+/// Build an `levels`-deep pyramid, then reconstruct by repeated
+/// upsampling. The boundary mode applies to every device kernel *and* the
+/// host resampling, so Repeat/Clamp artifacts appear exactly as the paper
+/// describes.
+pub fn pyramid_roundtrip(
+    img: &Image<f32>,
+    levels: u32,
+    mode: BoundaryMode,
+    target: &Target,
+) -> Result<PyramidResult, OperatorError> {
+    let mut level_imgs = vec![img.clone()];
+    let mut total = 0.0;
+    let mut current = img.clone();
+    for _ in 0..levels {
+        let (down, t) = level_down(&current, mode, target)?;
+        total += t;
+        level_imgs.push(down.clone());
+        current = down;
+    }
+    // Reconstruct coarsest-to-finest with host bilinear upsampling.
+    let mut recon = current;
+    for lvl in (0..levels as usize).rev() {
+        let (w, h) = (level_imgs[lvl].width(), level_imgs[lvl].height());
+        recon = reference::pyramid_up(&recon, w, h, mode);
+    }
+    Ok(PyramidResult {
+        reconstructed: recon,
+        levels: level_imgs,
+        total_time_ms: total,
+    })
+}
+
+/// The nonlinear detail-attenuation point operator of a gradient-adaptive
+/// multiresolution filter (after Kunz et al.): small detail coefficients
+/// are treated as noise and shrunk with a Wiener-style gain
+/// `d² / (d² + t²)`, large ones (edges) pass through.
+///
+/// This is a *point operator* in the paper's taxonomy — each output pixel
+/// depends only on its own input pixel — and exercises that part of the
+/// framework.
+pub fn attenuate_kernel() -> hipacc_ir::KernelDef {
+    let mut b = KernelBuilder::new("DetailAttenuate", ScalarType::F32);
+    let input = b.accessor("Input", ScalarType::F32);
+    let t = b.param("threshold", ScalarType::F32);
+    let d = b.let_("d", ScalarType::F32, b.read_center(&input));
+    let d2 = b.let_("d2", ScalarType::F32, d.get() * d.get());
+    b.output(d.get() * (d2.get() / (d2.get() + t.get() * t.get())));
+    b.finish()
+}
+
+/// Multi-level gradient-adaptive denoising. Detail layers at every level
+/// are attenuated with the same relative threshold; the coarsest level
+/// passes through untouched.
+pub fn multiresolution_denoise(
+    img: &Image<f32>,
+    levels: u32,
+    threshold: f32,
+    mode: BoundaryMode,
+    target: &Target,
+) -> Result<(Image<f32>, f64), OperatorError> {
+    fn go(
+        img: &Image<f32>,
+        level: u32,
+        threshold: f32,
+        mode: BoundaryMode,
+        target: &Target,
+    ) -> Result<(Image<f32>, f64), OperatorError> {
+        if level == 0 || img.width() < 8 || img.height() < 8 {
+            return Ok((img.clone(), 0.0));
+        }
+        // Denoise the coarse level recursively, then this level's detail.
+        let (coarse, t_down) = level_down(img, mode, target)?;
+        let (coarse_dn, t_rec) = go(&coarse, level - 1, threshold, mode, target)?;
+        let up = reference::pyramid_up(&coarse_dn, img.width(), img.height(), mode);
+        let detail = Image::from_fn(img.width(), img.height(), |x, y| {
+            img.get(x, y) - up.get(x, y)
+        });
+        let attenuate = hipacc_core::Operator::new(attenuate_kernel())
+            .param_float("threshold", threshold);
+        let result = attenuate.execute(&[("Input", &detail)], target)?;
+        let out = Image::from_fn(img.width(), img.height(), |x, y| {
+            up.get(x, y) + result.output.get(x, y)
+        });
+        Ok((out, t_down + t_rec + result.time.total_ms))
+    }
+    go(img, levels, threshold, mode, target)
+}
+
+/// Border artifact metric: worst absolute reconstruction error on the
+/// outermost pixel ring.
+pub fn border_error(original: &Image<f32>, reconstructed: &Image<f32>) -> f32 {
+    let w = original.width() as i32;
+    let h = original.height() as i32;
+    let mut worst = 0.0f32;
+    for x in 0..w {
+        worst = worst.max((original.get(x, 0) - reconstructed.get(x, 0)).abs());
+        worst = worst.max((original.get(x, h - 1) - reconstructed.get(x, h - 1)).abs());
+    }
+    for y in 0..h {
+        worst = worst.max((original.get(0, y) - reconstructed.get(0, y)).abs());
+        worst = worst.max((original.get(w - 1, y) - reconstructed.get(w - 1, y)).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_hwmodel::device::tesla_c2050;
+    use hipacc_image::phantom;
+
+    #[test]
+    fn pyramid_halves_each_level() {
+        let img = phantom::gradient(64, 48);
+        let res =
+            pyramid_roundtrip(&img, 2, BoundaryMode::Mirror, &Target::cuda(tesla_c2050()))
+                .unwrap();
+        assert_eq!(res.levels.len(), 3);
+        assert_eq!(res.levels[1].width(), 32);
+        assert_eq!(res.levels[2].width(), 16);
+        assert_eq!(res.reconstructed.width(), 64);
+        assert!(res.total_time_ms > 0.0);
+    }
+
+    #[test]
+    fn smooth_image_reconstructs_well() {
+        let img = phantom::gradient(64, 64);
+        let res =
+            pyramid_roundtrip(&img, 1, BoundaryMode::Mirror, &Target::cuda(tesla_c2050()))
+                .unwrap();
+        // Interior reconstruction error of a linear ramp is small.
+        let mut worst = 0.0f32;
+        for y in 8..56 {
+            for x in 8..56 {
+                worst = worst.max((img.get(x, y) - res.reconstructed.get(x, y)).abs());
+            }
+        }
+        assert!(worst < 0.06, "interior error {worst}");
+    }
+
+    #[test]
+    fn attenuation_is_a_point_operator() {
+        // The access analysis must classify the kernel as a point op.
+        let k = attenuate_kernel();
+        let info = hipacc_ir::access::analyze(&k, &std::collections::HashMap::new());
+        assert!(!info.is_local_operator());
+    }
+
+    #[test]
+    fn denoise_reduces_noise_and_keeps_edges() {
+        let clean = phantom::step_edge(64, 64, 0.2, 0.8);
+        let mut noisy = clean.clone();
+        phantom::add_gaussian_noise(&mut noisy, 0.04, 13);
+        let t = Target::cuda(tesla_c2050());
+        let (denoised, kernel_ms) =
+            multiresolution_denoise(&noisy, 2, 0.08, BoundaryMode::Mirror, &t).unwrap();
+        assert!(kernel_ms > 0.0);
+        // Noise power in flat regions drops.
+        let noise = |img: &Image<f32>| {
+            let mut acc = 0.0f64;
+            let mut n = 0;
+            for y in 8..56 {
+                for x in 4..24 {
+                    let d = img.get(x, y) - clean.get(x, y);
+                    acc += (d * d) as f64;
+                    n += 1;
+                }
+            }
+            acc / n as f64
+        };
+        assert!(
+            noise(&denoised) < noise(&noisy) * 0.7,
+            "denoised {} vs noisy {}",
+            noise(&denoised),
+            noise(&noisy)
+        );
+        // Edge contrast survives (within 30% of the original step).
+        let edge = (denoised.get(33, 32) - denoised.get(30, 32)).abs();
+        assert!(edge > 0.6 * 0.42, "edge contrast {edge}");
+    }
+
+    #[test]
+    fn mirror_borders_beat_repeat_borders() {
+        // The paper's claim, quantified: after a multi-level round trip a
+        // ramp image shows smaller border artifacts under Mirror than
+        // under Repeat (which wraps the opposite edge into the border).
+        let img = phantom::gradient(64, 64);
+        let t = Target::cuda(tesla_c2050());
+        let mirror = pyramid_roundtrip(&img, 2, BoundaryMode::Mirror, &t).unwrap();
+        let repeat = pyramid_roundtrip(&img, 2, BoundaryMode::Repeat, &t).unwrap();
+        let e_mirror = border_error(&img, &mirror.reconstructed);
+        let e_repeat = border_error(&img, &repeat.reconstructed);
+        assert!(
+            e_mirror < e_repeat,
+            "mirror {e_mirror} vs repeat {e_repeat}"
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Kernel-configuration selection — Algorithm 2 of the paper.
+//!
+//! Given a kernel's resource usage, the device model, and the boundary-
+//! handling metadata (window size plus image size), the heuristic:
+//!
+//! 1. keeps configurations that are a multiple of the SIMD width and fit
+//!    the device's resource limits,
+//! 2. sorts by descending occupancy and ascending thread count,
+//! 3. without border handling: picks the top configuration, tiling
+//!    x-major (`128×1`-style — "such configurations are typically selected
+//!    by expert programmers"),
+//! 4. with border handling: prefers the y-dimension for tiling and, among
+//!    the highest-occupancy candidates, minimizes the number of threads
+//!    that live in blocks executing boundary-handling conditionals.
+
+use crate::device::DeviceModel;
+use crate::occupancy::{occupancy, Occupancy};
+use crate::resources::KernelResources;
+
+/// A kernel launch configuration (threads per block in x and y).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LaunchConfig {
+    /// Threads per block, x.
+    pub bx: u32,
+    /// Threads per block, y.
+    pub by: u32,
+}
+
+impl LaunchConfig {
+    /// Total threads per block.
+    pub fn threads(&self) -> u32 {
+        self.bx * self.by
+    }
+
+    /// Grid dimensions covering a `width × height` iteration space.
+    pub fn grid_for(&self, width: u32, height: u32) -> (u32, u32) {
+        (width.div_ceil(self.bx), height.div_ceil(self.by))
+    }
+}
+
+impl std::fmt::Display for LaunchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.bx, self.by)
+    }
+}
+
+/// Boundary-handling metadata consumed by the heuristic: the half-window
+/// of the largest accessor and the image geometry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BorderInfo {
+    /// Half-window in x (`m` of a `(2m+1)` wide operator).
+    pub half_x: u32,
+    /// Half-window in y.
+    pub half_y: u32,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl BorderInfo {
+    /// Number of threads residing in blocks that execute boundary-handling
+    /// conditionals for a given configuration — the quantity Algorithm 2
+    /// minimizes (`threads_bh`).
+    ///
+    /// A block executes a specialized border body when its tile is within
+    /// the window's reach of an image edge, so whole border block rows and
+    /// columns count even if only part of their threads touch the border.
+    pub fn threads_bh(&self, cfg: LaunchConfig) -> u64 {
+        let (gx, gy) = cfg.grid_for(self.width, self.height);
+        let bh_cols_left = self.half_x.div_ceil(cfg.bx).min(gx);
+        let bh_cols_right = self.half_x.div_ceil(cfg.bx).min(gx - bh_cols_left);
+        let bh_rows_top = self.half_y.div_ceil(cfg.by).min(gy);
+        let bh_rows_bottom = self.half_y.div_ceil(cfg.by).min(gy - bh_rows_top);
+        let interior_x = gx - bh_cols_left - bh_cols_right;
+        let interior_y = gy - bh_rows_top - bh_rows_bottom;
+        let total_blocks = gx as u64 * gy as u64;
+        let interior_blocks = interior_x as u64 * interior_y as u64;
+        (total_blocks - interior_blocks) * cfg.threads() as u64
+    }
+}
+
+/// Result of the selection heuristic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectionResult {
+    /// The chosen configuration.
+    pub config: LaunchConfig,
+    /// Its occupancy on the device.
+    pub occupancy: Occupancy,
+    /// `threads_bh` for the chosen configuration (0 without border
+    /// handling).
+    pub threads_bh: u64,
+    /// All valid candidates with their occupancy, sorted as the heuristic
+    /// saw them (descending occupancy, ascending threads) — exposed for
+    /// the configuration-exploration mode of Section V-D / Figure 4.
+    pub candidates: Vec<(LaunchConfig, Occupancy)>,
+}
+
+/// Enumerate candidate configurations for a device: block widths that are
+/// multiples of the SIMD width (for coalesced accesses), crossed with
+/// y-tilings, bounded by the maximum block size.
+pub fn enumerate_configs(dev: &DeviceModel) -> Vec<LaunchConfig> {
+    let mut out = Vec::new();
+    let max = dev.max_threads_per_block;
+    let mut bx = dev.simd_width;
+    while bx <= max.min(1024) {
+        let mut by = 1;
+        while bx * by <= max {
+            out.push(LaunchConfig { bx, by });
+            by += 1;
+        }
+        bx += dev.simd_width;
+    }
+    out
+}
+
+/// Run Algorithm 2.
+///
+/// `border` carries the boundary-handling metadata when the compiler
+/// generated border-specialized code; `None` reproduces the "no border
+/// handling" branch.
+pub fn select_configuration(
+    dev: &DeviceModel,
+    res: &KernelResources,
+    border: Option<BorderInfo>,
+) -> Option<SelectionResult> {
+    // Line 1–2: multiples of SIMD width within resource limits.
+    let mut candidates: Vec<(LaunchConfig, Occupancy)> = enumerate_configs(dev)
+        .into_iter()
+        .filter(|c| c.threads() % dev.simd_width == 0)
+        .filter_map(|c| occupancy(dev, res, c.bx, c.by).map(|o| (c, o)))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    // Line 3: sort by descending occupancy, ascending thread count. To
+    // make the result fully deterministic we also order by x-major tiling
+    // preference within ties (larger bx first for the no-BH branch).
+    candidates.sort_by(|(ca, oa), (cb, ob)| {
+        ob.occupancy
+            .partial_cmp(&oa.occupancy)
+            .unwrap()
+            .then(ca.threads().cmp(&cb.threads()))
+            .then(cb.bx.cmp(&ca.bx))
+    });
+
+    match border {
+        None => {
+            // Lines 18–20: highest occupancy, fewest threads, x-major
+            // tiling (prefer x over y). Within the same thread count the
+            // sort already placed the widest-x variant first.
+            let (config, occ) = candidates[0];
+            Some(SelectionResult {
+                config,
+                occupancy: occ,
+                threads_bh: 0,
+                candidates,
+            })
+        }
+        Some(info) => {
+            // Lines 4–17: start from the top candidate, then scan the
+            // highest-occupancy group for the configuration minimizing
+            // threads_bh, preferring y over x for tiling (the sort's
+            // ascending-threads order means narrow-x/tall-y configs with
+            // the same product are reached; prefer-y is realized by
+            // comparing threads_bh which tall tiles minimize for
+            // symmetric windows).
+            let top_occ = candidates[0].1.occupancy;
+            let group: Vec<&(LaunchConfig, Occupancy)> = candidates
+                .iter()
+                .filter(|(_, o)| (o.occupancy - top_occ).abs() < 1e-12)
+                .collect();
+            let mut best = group[0];
+            let mut best_bh = info.threads_bh(best.0);
+            for cand in &group[1..] {
+                let bh = info.threads_bh(cand.0);
+                let better = bh < best_bh
+                    || (bh == best_bh && cand.0.threads() < best.0.threads())
+                    || (bh == best_bh
+                        && cand.0.threads() == best.0.threads()
+                        && cand.0.by > best.0.by);
+                if better {
+                    best = cand;
+                    best_bh = bh;
+                }
+            }
+            Some(SelectionResult {
+                config: best.0,
+                occupancy: best.1,
+                threads_bh: best_bh,
+                candidates: candidates.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{radeon_hd_5870, tesla_c2050};
+
+    fn bilateral_like() -> KernelResources {
+        // Typical register footprint of the generated bilateral kernel.
+        KernelResources {
+            registers_per_thread: 22,
+            shared_bytes: 0,
+            instruction_estimate: 400,
+        }
+    }
+
+    fn border_13x13() -> BorderInfo {
+        BorderInfo {
+            half_x: 6,
+            half_y: 6,
+            width: 4096,
+            height: 4096,
+        }
+    }
+
+    #[test]
+    fn no_border_prefers_x_major_tiling() {
+        let sel = select_configuration(&tesla_c2050(), &bilateral_like(), None).unwrap();
+        // "we get 1D-configurations like 128x1 or 256x1".
+        assert_eq!(sel.config.by, 1, "selected {}", sel.config);
+        assert!(sel.config.bx >= 128, "selected {}", sel.config);
+        assert!(sel.occupancy.occupancy > 0.9);
+    }
+
+    #[test]
+    fn border_prefers_tall_tiles_paper_example() {
+        // "we prefer a configuration of 32x6 over 32x4 for a window size
+        // of 13x13; a configuration of 32x3, however, would be preferred
+        // to the two aforementioned."
+        let info = border_13x13();
+        let c = |bx, by| LaunchConfig { bx, by };
+        assert!(info.threads_bh(c(32, 6)) < info.threads_bh(c(32, 4)));
+        assert!(info.threads_bh(c(32, 3)) <= info.threads_bh(c(32, 6)));
+        // 32x3 has fewer threads, so it wins the tie.
+        assert_eq!(info.threads_bh(c(32, 3)), info.threads_bh(c(32, 6)));
+        assert!(c(32, 3).threads() < c(32, 6).threads());
+    }
+
+    #[test]
+    fn border_selection_minimizes_threads_bh() {
+        let sel =
+            select_configuration(&tesla_c2050(), &bilateral_like(), Some(border_13x13()))
+                .unwrap();
+        // The winner must not be beaten by any same-occupancy candidate.
+        let top = sel.occupancy.occupancy;
+        for (c, o) in &sel.candidates {
+            if (o.occupancy - top).abs() < 1e-12 {
+                assert!(
+                    border_13x13().threads_bh(*c) >= sel.threads_bh,
+                    "{c} beats selected {}",
+                    sel.config
+                );
+            }
+        }
+        // And it is a tall-ish tile, not 1D.
+        assert!(sel.config.by > 1, "selected {}", sel.config);
+    }
+
+    #[test]
+    fn candidates_are_simd_multiples_and_valid() {
+        let dev = radeon_hd_5870();
+        let sel = select_configuration(&dev, &bilateral_like(), None).unwrap();
+        for (c, _) in &sel.candidates {
+            assert_eq!(c.threads() % dev.simd_width, 0);
+            assert!(c.threads() <= dev.max_threads_per_block);
+        }
+        // AMD cap is 256 threads.
+        assert!(sel.config.threads() <= 256);
+    }
+
+    #[test]
+    fn selection_is_pareto_optimal_in_occupancy() {
+        let dev = tesla_c2050();
+        let res = bilateral_like();
+        let sel = select_configuration(&dev, &res, None).unwrap();
+        for (c, o) in &sel.candidates {
+            assert!(
+                o.occupancy <= sel.occupancy.occupancy + 1e-12,
+                "{c} has higher occupancy than the selection"
+            );
+        }
+    }
+
+    #[test]
+    fn smem_heavy_kernel_still_selects_valid_config() {
+        let res = KernelResources {
+            registers_per_thread: 32,
+            shared_bytes: 20_000,
+            instruction_estimate: 500,
+        };
+        let sel = select_configuration(&tesla_c2050(), &res, None).unwrap();
+        assert!(sel.occupancy.blocks_per_sm >= 1);
+    }
+
+    #[test]
+    fn impossible_kernel_returns_none() {
+        let res = KernelResources {
+            registers_per_thread: 32,
+            shared_bytes: 1 << 20, // 1 MiB never fits
+            instruction_estimate: 0,
+        };
+        assert!(select_configuration(&tesla_c2050(), &res, None).is_none());
+    }
+
+    #[test]
+    fn grid_covers_image() {
+        let c = LaunchConfig { bx: 128, by: 1 };
+        assert_eq!(c.grid_for(4096, 4096), (32, 4096));
+        let c = LaunchConfig { bx: 32, by: 6 };
+        assert_eq!(c.grid_for(4096, 4096), (128, 683));
+    }
+
+    #[test]
+    fn threads_bh_zero_for_windowless_kernel() {
+        let info = BorderInfo {
+            half_x: 0,
+            half_y: 0,
+            width: 4096,
+            height: 4096,
+        };
+        assert_eq!(info.threads_bh(LaunchConfig { bx: 128, by: 1 }), 0);
+    }
+
+    #[test]
+    fn threads_bh_counts_whole_border_blocks() {
+        // 128-wide image, 32x4 blocks, halo 6: 4 block columns, 32 rows.
+        let info = BorderInfo {
+            half_x: 6,
+            half_y: 6,
+            width: 128,
+            height: 128,
+        };
+        let c = LaunchConfig { bx: 32, by: 4 };
+        // gx=4, gy=32; left/right 1 col each; top/bottom 2 rows each.
+        // interior = 2 * 28 = 56; total = 128; border = 72 blocks.
+        assert_eq!(info.threads_bh(c), 72 * 128);
+    }
+}

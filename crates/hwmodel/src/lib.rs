@@ -1,0 +1,32 @@
+//! # hipacc-hwmodel
+//!
+//! The abstract GPU hardware model of Section V of the paper.
+//!
+//! The paper's compiler keeps "an abstract architecture model of the target
+//! graphics card hardware" describing SIMD width, thread-configuration
+//! limits, register file and shared memory (with allocation granularity),
+//! and uses it to (a) reject invalid kernel configurations, (b) compute
+//! *occupancy*, and (c) select a configuration and 2-D tiling via the
+//! heuristic of Algorithm 2. This crate reproduces all three, plus the
+//! micro-benchmark-derived optimization database of Section V-B and the
+//! resource estimator that stands in for `nvcc --ptxas-options=-v`.
+//!
+//! The device database covers the four cards of the evaluation — Tesla
+//! C2050 and Quadro FX 5800 (NVIDIA), Radeon HD 5870 and HD 6970 (AMD) —
+//! plus the other CUDA compute capabilities the paper says its database
+//! contains.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod heuristic;
+pub mod occupancy;
+pub mod optdb;
+pub mod resources;
+
+pub use device::{Architecture, Backend, DeviceModel, Vendor};
+pub use heuristic::{select_configuration, BorderInfo, LaunchConfig, SelectionResult};
+pub use occupancy::{occupancy, ConfigValidity, Occupancy};
+pub use optdb::{OptimizationDb, OptimizationFlags};
+pub use resources::{estimate_resources, KernelResources};

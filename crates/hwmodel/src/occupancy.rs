@@ -1,0 +1,272 @@
+//! The occupancy calculator.
+//!
+//! Occupancy — resident warps divided by the hardware maximum — is the
+//! quantity the paper's heuristic maximizes "in order to hide instruction
+//! and global memory latency". The calculation follows NVIDIA's occupancy
+//! spreadsheet: resident blocks per SIMD unit are limited by (a) the warp
+//! budget, (b) the register file under the device's allocation
+//! granularity, (c) shared memory under its granularity, and (d) the
+//! hardware block cap; occupancy follows from the minimum.
+
+use crate::device::{Architecture, DeviceModel};
+use crate::resources::KernelResources;
+
+/// Why a configuration is invalid on a device, mirroring the "kernel
+/// launch error at run-time" the paper warns about when "a configuration …
+/// allocates more resources than available".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigValidity {
+    /// Valid configuration.
+    Valid,
+    /// More threads per block than the device allows.
+    TooManyThreads,
+    /// Register demand exceeds the register file for even one block.
+    RegistersExhausted,
+    /// Scratchpad demand exceeds the per-SM scratchpad.
+    SharedMemoryExhausted,
+    /// A block dimension is zero.
+    ZeroDimension,
+}
+
+/// The result of an occupancy calculation.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SIMD unit.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SIMD unit.
+    pub active_warps: u32,
+    /// `active_warps / max_warps`, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Which resource limits the block count (for diagnostics).
+    pub limiter: Limiter,
+}
+
+/// The resource that bounds residency.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    /// Warp budget (max threads per SM).
+    Warps,
+    /// Register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+    /// Hardware cap on resident blocks.
+    BlockCap,
+}
+
+fn div_round_up(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+fn round_up_to(v: u32, granularity: u32) -> u32 {
+    if granularity == 0 {
+        v
+    } else {
+        div_round_up(v, granularity) * granularity
+    }
+}
+
+/// Check whether a `(bx, by)` configuration can launch at all.
+pub fn validate(dev: &DeviceModel, res: &KernelResources, bx: u32, by: u32) -> ConfigValidity {
+    if bx == 0 || by == 0 {
+        return ConfigValidity::ZeroDimension;
+    }
+    let threads = bx * by;
+    if threads > dev.max_threads_per_block {
+        return ConfigValidity::TooManyThreads;
+    }
+    if registers_per_block(dev, res, threads) > dev.registers_per_sm {
+        return ConfigValidity::RegistersExhausted;
+    }
+    if round_up_to(res.shared_bytes, dev.shared_granularity) > dev.shared_mem_per_sm {
+        return ConfigValidity::SharedMemoryExhausted;
+    }
+    ConfigValidity::Valid
+}
+
+/// Register allocation for one block under the device's strategy.
+fn registers_per_block(dev: &DeviceModel, res: &KernelResources, threads: u32) -> u32 {
+    let regs = res.registers_per_thread.min(dev.max_registers_per_thread);
+    match dev.arch {
+        // Fermi allocates per warp, rounded to the warp granularity.
+        Architecture::Fermi => {
+            let warps = div_round_up(threads, dev.simd_width);
+            warps * round_up_to(regs * dev.simd_width, dev.register_granularity)
+        }
+        // Pre-Fermi NVIDIA (and our AMD approximation) allocate per block,
+        // rounded to the block granularity.
+        _ => round_up_to(
+            round_up_to(threads, dev.simd_width) * regs,
+            dev.register_granularity,
+        ),
+    }
+}
+
+/// Compute occupancy of a valid `(bx, by)` configuration.
+///
+/// Returns `None` for invalid configurations.
+pub fn occupancy(dev: &DeviceModel, res: &KernelResources, bx: u32, by: u32) -> Option<Occupancy> {
+    if validate(dev, res, bx, by) != ConfigValidity::Valid {
+        return None;
+    }
+    let threads = bx * by;
+    let warps_per_block = div_round_up(threads, dev.simd_width);
+    let max_warps = dev.max_warps_per_sm();
+
+    // `limit_warps` etc. are the per-resource residency bounds.
+    let limit_warps = max_warps / warps_per_block;
+    let regs_block = registers_per_block(dev, res, threads);
+    let limit_regs = dev
+        .registers_per_sm
+        .checked_div(regs_block)
+        .unwrap_or(u32::MAX);
+    let smem_block = round_up_to(res.shared_bytes.max(1), dev.shared_granularity);
+    let limit_smem = dev.shared_mem_per_sm / smem_block;
+    let limit_cap = dev.max_blocks_per_sm;
+
+    let blocks = limit_warps.min(limit_regs).min(limit_smem).min(limit_cap);
+    if blocks == 0 {
+        return None;
+    }
+    let limiter = if blocks == limit_warps {
+        Limiter::Warps
+    } else if blocks == limit_regs {
+        Limiter::Registers
+    } else if blocks == limit_smem {
+        Limiter::SharedMemory
+    } else {
+        Limiter::BlockCap
+    };
+    let active_warps = blocks * warps_per_block;
+    Some(Occupancy {
+        blocks_per_sm: blocks,
+        active_warps,
+        occupancy: active_warps as f64 / max_warps as f64,
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{quadro_fx_5800, radeon_hd_5870, tesla_c2050};
+
+    fn light() -> KernelResources {
+        KernelResources {
+            registers_per_thread: 16,
+            shared_bytes: 0,
+            instruction_estimate: 100,
+        }
+    }
+
+    #[test]
+    fn full_occupancy_with_light_kernel() {
+        // 16 regs, no smem, 192 threads: Fermi fits 8 blocks (block cap)
+        // = 48 warps = 100%.
+        let o = occupancy(&tesla_c2050(), &light(), 32, 6).unwrap();
+        assert_eq!(o.active_warps, 48);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_one() {
+        let dev = tesla_c2050();
+        let res = light();
+        for bx in [32, 64, 128, 256, 512, 1024] {
+            for by in 1..=8 {
+                if let Some(o) = occupancy(&dev, &res, bx, by) {
+                    assert!(o.occupancy <= 1.0 + 1e-12, "{bx}x{by}: {}", o.occupancy);
+                    assert!(o.occupancy > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn register_pressure_reduces_occupancy() {
+        let dev = tesla_c2050();
+        let heavy = KernelResources {
+            registers_per_thread: 63,
+            shared_bytes: 0,
+            instruction_estimate: 100,
+        };
+        let o_light = occupancy(&dev, &light(), 256, 1).unwrap();
+        let o_heavy = occupancy(&dev, &heavy, 256, 1).unwrap();
+        assert!(o_heavy.occupancy < o_light.occupancy);
+        assert_eq!(o_heavy.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        let dev = tesla_c2050();
+        let smem_hog = KernelResources {
+            registers_per_thread: 16,
+            shared_bytes: 24 * 1024, // two blocks fit in 48 KiB
+            instruction_estimate: 100,
+        };
+        let o = occupancy(&dev, &smem_hog, 128, 1).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let dev = radeon_hd_5870(); // 256-thread block cap
+        assert_eq!(
+            validate(&dev, &light(), 512, 1),
+            ConfigValidity::TooManyThreads
+        );
+        assert_eq!(validate(&dev, &light(), 0, 4), ConfigValidity::ZeroDimension);
+        let smem_over = KernelResources {
+            shared_bytes: 64 * 1024,
+            ..light()
+        };
+        assert_eq!(
+            validate(&dev, &smem_over, 64, 1),
+            ConfigValidity::SharedMemoryExhausted
+        );
+        assert!(occupancy(&dev, &smem_over, 64, 1).is_none());
+    }
+
+    #[test]
+    fn gt200_block_granularity_rounds_registers() {
+        // On GT200 registers allocate per block rounded to 512: a 33-thread
+        // block (2 warps = 64 lanes) with 16 regs consumes
+        // round_up(64*16, 512) = 1024 regs.
+        let dev = quadro_fx_5800();
+        let o_33 = occupancy(&dev, &light(), 33, 1).unwrap();
+        let o_64 = occupancy(&dev, &light(), 64, 1).unwrap();
+        // Both allocate two warps' worth; same block count limit by warps.
+        assert_eq!(o_33.active_warps, o_64.active_warps);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_register_use() {
+        let dev = tesla_c2050();
+        let mut last = f64::INFINITY;
+        for regs in [8u32, 16, 24, 32, 40, 48, 56, 63] {
+            let res = KernelResources {
+                registers_per_thread: regs,
+                shared_bytes: 0,
+                instruction_estimate: 0,
+            };
+            let o = occupancy(&dev, &res, 128, 1).unwrap().occupancy;
+            assert!(o <= last + 1e-12, "occupancy increased with more regs");
+            last = o;
+        }
+    }
+
+    #[test]
+    fn paper_example_128x1_is_valid_everywhere() {
+        // The tables all use a 128x1 configuration on NVIDIA; AMD's cap is
+        // 256 so 128x1 is valid there too.
+        for dev in crate::device::all_devices() {
+            assert_eq!(
+                validate(&dev, &light(), 128, 1),
+                ConfigValidity::Valid,
+                "{}",
+                dev.name
+            );
+        }
+    }
+}

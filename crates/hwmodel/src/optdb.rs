@@ -1,0 +1,157 @@
+//! The micro-benchmark-derived optimization database (Section V-B).
+//!
+//! "The knowledge we get from our micro-benchmarks is stored in a
+//! database that is utilized by the source-to-source compiler to decide
+//! what optimization should be applied for which a) target hardware and
+//! b) backend. This includes the amount of padding required for optimal
+//! memory bandwidth utilization, whether texture memory is beneficial, or
+//! whether constant memory should be initialized statically or
+//! dynamically."
+//!
+//! The entries below encode the conclusions visible in the paper's own
+//! result tables:
+//!
+//! * CUDA on NVIDIA: linear texture memory is beneficial for local
+//!   operators (Tables II/IV: `+Tex` rows beat plain rows).
+//! * OpenCL on NVIDIA: image objects are *not* beneficial ("the benefit of
+//!   texturing hardware in OpenCL is not present anymore since no linear
+//!   memory can be used").
+//! * AMD: texture impact is marginal and unpredictable for scalar code;
+//!   default to plain global loads.
+//! * Scratchpad staging rarely pays off for small windows ("staging to
+//!   scratchpad memory makes only sense in case the benefit of data reuse
+//!   exceeds the multithreading benefit. For local operators with small
+//!   window sizes, this is rarely the case").
+//! * Masks always go to constant memory; statically when the coefficients
+//!   are compile-time constants.
+
+use crate::device::{Backend, DeviceModel, Vendor};
+
+/// Optimization decisions for one (device, backend) pair.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct OptimizationFlags {
+    /// Read inputs through the texture path.
+    pub use_texture: bool,
+    /// Stage input tiles into scratchpad memory.
+    pub use_scratchpad: bool,
+    /// Place masks in statically initialized constant memory when the
+    /// coefficients are known at compile time.
+    pub static_const_mem: bool,
+    /// Global-memory row padding (bytes) for coalescing.
+    pub padding_bytes: u32,
+    /// Map math functions to fast hardware intrinsics (`__expf`). The
+    /// paper supports this but disables it for the evaluation; we default
+    /// to off for the same reason.
+    pub fast_intrinsics: bool,
+}
+
+/// The database: a total function over (device, backend).
+#[derive(Clone, Debug, Default)]
+pub struct OptimizationDb;
+
+impl OptimizationDb {
+    /// Create the built-in database.
+    pub fn new() -> Self {
+        OptimizationDb
+    }
+
+    /// Decide optimization flags for a device/backend pair, optionally
+    /// overridden by the local-operator window size (scratchpad staging
+    /// only pays off for large windows).
+    pub fn flags(&self, dev: &DeviceModel, backend: Backend, window: (u32, u32)) -> OptimizationFlags {
+        let window_area = window.0 as u64 * window.1 as u64;
+        // Threshold where data reuse beats the lost multithreading:
+        // micro-benchmarks in the paper put 13x13 below it on all targets
+        // (the +Smem rows lose in Tables VIII/IX even at 5x5); we keep
+        // staging off until very large windows.
+        let scratchpad_pays = window_area > 441; // > 21x21
+        match (dev.vendor, backend) {
+            (Vendor::Nvidia, Backend::Cuda) => OptimizationFlags {
+                use_texture: true,
+                use_scratchpad: scratchpad_pays,
+                static_const_mem: true,
+                padding_bytes: 256,
+                fast_intrinsics: false,
+            },
+            (Vendor::Nvidia, Backend::OpenCl) => OptimizationFlags {
+                use_texture: false,
+                use_scratchpad: scratchpad_pays,
+                static_const_mem: true,
+                padding_bytes: 256,
+                fast_intrinsics: false,
+            },
+            (Vendor::Amd, Backend::OpenCl) => OptimizationFlags {
+                use_texture: false,
+                use_scratchpad: scratchpad_pays,
+                static_const_mem: true,
+                padding_bytes: 256,
+                fast_intrinsics: false,
+            },
+            (Vendor::Amd, Backend::Cuda) => {
+                // CUDA cannot target AMD; fall back to conservative flags
+                // (callers validate this combination separately).
+                OptimizationFlags {
+                    use_texture: false,
+                    use_scratchpad: false,
+                    static_const_mem: true,
+                    padding_bytes: 256,
+                    fast_intrinsics: false,
+                }
+            }
+        }
+    }
+
+    /// Whether the backend can target the device at all.
+    pub fn backend_supported(&self, dev: &DeviceModel, backend: Backend) -> bool {
+        !(dev.vendor == Vendor::Amd && backend == Backend::Cuda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{quadro_fx_5800, radeon_hd_5870, tesla_c2050};
+
+    #[test]
+    fn cuda_on_nvidia_uses_texture() {
+        let db = OptimizationDb::new();
+        let f = db.flags(&tesla_c2050(), Backend::Cuda, (13, 13));
+        assert!(f.use_texture);
+        assert!(f.static_const_mem);
+        let f = db.flags(&quadro_fx_5800(), Backend::Cuda, (13, 13));
+        assert!(f.use_texture);
+    }
+
+    #[test]
+    fn opencl_avoids_image_objects() {
+        let db = OptimizationDb::new();
+        assert!(!db.flags(&tesla_c2050(), Backend::OpenCl, (13, 13)).use_texture);
+        assert!(!db.flags(&radeon_hd_5870(), Backend::OpenCl, (13, 13)).use_texture);
+    }
+
+    #[test]
+    fn scratchpad_off_for_small_windows() {
+        let db = OptimizationDb::new();
+        for dev in [tesla_c2050(), radeon_hd_5870()] {
+            assert!(!db.flags(&dev, Backend::OpenCl, (3, 3)).use_scratchpad);
+            assert!(!db.flags(&dev, Backend::OpenCl, (13, 13)).use_scratchpad);
+            assert!(db.flags(&dev, Backend::OpenCl, (25, 25)).use_scratchpad);
+        }
+    }
+
+    #[test]
+    fn cuda_cannot_target_amd() {
+        let db = OptimizationDb::new();
+        assert!(!db.backend_supported(&radeon_hd_5870(), Backend::Cuda));
+        assert!(db.backend_supported(&radeon_hd_5870(), Backend::OpenCl));
+        assert!(db.backend_supported(&tesla_c2050(), Backend::Cuda));
+        assert!(db.backend_supported(&tesla_c2050(), Backend::OpenCl));
+    }
+
+    #[test]
+    fn padding_matches_row_alignment() {
+        let db = OptimizationDb::new();
+        let f = db.flags(&tesla_c2050(), Backend::Cuda, (13, 13));
+        assert_eq!(f.padding_bytes, 256);
+    }
+}

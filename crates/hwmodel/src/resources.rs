@@ -1,0 +1,197 @@
+//! Kernel resource estimation — the stand-in for `nvcc`'s PTXAS report.
+//!
+//! The paper passes generated CUDA/OpenCL to `nvcc` / the OpenCL runtime
+//! and reads back per-kernel register and shared-memory usage, which feeds
+//! the occupancy calculation. We do not have those toolchains, so this
+//! module derives the same numbers from the device-level IR with a simple,
+//! deterministic, monotone cost model:
+//!
+//! * **Registers** — a fixed base (index arithmetic, parameters) plus one
+//!   register per live scalar declaration, plus extras for texture paths
+//!   and loop state, clamped to the device maximum at launch time.
+//! * **Shared memory** — exact, from the staged-tile declarations.
+//! * **Instructions** — the static statement/expression count (used by the
+//!   timing model's instruction-fetch component).
+//!
+//! The absolute numbers do not need to match PTXAS; what matters is that
+//! heavier kernels report more pressure, so the heuristic exercises the
+//! same occupancy-limit decisions as the original.
+
+use hipacc_ir::kernel::DeviceKernelDef;
+use hipacc_ir::{Expr, Stmt};
+
+/// Resource usage of one compiled kernel.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Estimated 32-bit registers per thread.
+    pub registers_per_thread: u32,
+    /// Scratchpad bytes per block.
+    pub shared_bytes: u32,
+    /// Static instruction estimate (expression nodes).
+    pub instruction_estimate: u32,
+}
+
+/// Estimate resources for a device-level kernel.
+pub fn estimate_resources(kernel: &DeviceKernelDef) -> KernelResources {
+    // Distinct declared scalars, at any nesting depth. The nine region
+    // bodies of a boundary-specialized kernel redeclare the same names, so
+    // distinct-name counting naturally models register reuse across the
+    // mutually exclusive branches (a register allocator would assign them
+    // the same registers).
+    let mut decls: Vec<String> = Vec::new();
+    let mut uses_texture = false;
+    let mut expr_nodes = 0u32;
+    Stmt::visit_all(&kernel.body, &mut |s| {
+        if let Stmt::Decl { name, .. } = s {
+            if !decls.contains(name) {
+                decls.push(name.clone());
+            }
+        }
+    });
+    Stmt::visit_exprs(&kernel.body, &mut |e| {
+        expr_nodes += 1;
+        if matches!(e, Expr::TexFetch { .. }) {
+            uses_texture = true;
+        }
+    });
+
+    // Loop induction registers: only simultaneously-live loops count, so
+    // take the maximum For-nesting depth rather than the total loop count
+    // (sequential and branch-exclusive loops reuse registers).
+    fn loop_depth(stmts: &[Stmt]) -> u32 {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::For { body, .. } => 1 + loop_depth(body),
+                Stmt::If { then, els, .. } => loop_depth(then).max(loop_depth(els)),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+    let depth = loop_depth(&kernel.body);
+
+    // Base cost: thread-index computation, stride arithmetic, parameter
+    // registers. One register per live declaration is generous but
+    // monotone; nested loops carry induction state; the texture path pins
+    // a few registers for the fetch setup.
+    let base = 10u32;
+    let registers = base
+        + decls.len() as u32
+        + depth
+        + if uses_texture { 2 } else { 0 }
+        + (kernel.buffers.len() as u32);
+
+    KernelResources {
+        registers_per_thread: registers,
+        shared_bytes: kernel.shared_bytes(),
+        instruction_estimate: expr_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_ir::kernel::*;
+    use hipacc_ir::ty::ScalarType;
+    use hipacc_ir::{Expr, Stmt};
+
+    fn minimal_kernel(body: Vec<Stmt>, shared: Vec<SharedDecl>) -> DeviceKernelDef {
+        DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![
+                BufferParam {
+                    name: "IN".into(),
+                    ty: ScalarType::F32,
+                    access: BufferAccess::ReadOnly,
+                    space: MemorySpace::Global,
+                    address_mode: AddressMode::None,
+                },
+                BufferParam {
+                    name: "OUT".into(),
+                    ty: ScalarType::F32,
+                    access: BufferAccess::WriteOnly,
+                    space: MemorySpace::Global,
+                    address_mode: AddressMode::None,
+                },
+            ],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared,
+            body,
+        }
+    }
+
+    #[test]
+    fn more_declarations_mean_more_registers() {
+        let small = minimal_kernel(
+            vec![Stmt::Decl {
+                name: "a".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::float(0.0)),
+            }],
+            vec![],
+        );
+        let big_body: Vec<Stmt> = (0..12)
+            .map(|i| Stmt::Decl {
+                name: format!("v{i}"),
+                ty: ScalarType::F32,
+                init: Some(Expr::float(0.0)),
+            })
+            .collect();
+        let big = minimal_kernel(big_body, vec![]);
+        let rs = estimate_resources(&small);
+        let rb = estimate_resources(&big);
+        assert!(rb.registers_per_thread > rs.registers_per_thread);
+    }
+
+    #[test]
+    fn shared_bytes_are_exact() {
+        let k = minimal_kernel(
+            vec![],
+            vec![SharedDecl {
+                name: "_smem".into(),
+                ty: ScalarType::F32,
+                rows: 13,
+                cols: 141,
+            }],
+        );
+        assert_eq!(estimate_resources(&k).shared_bytes, 13 * 141 * 4);
+    }
+
+    #[test]
+    fn texture_path_costs_extra_registers() {
+        let plain = minimal_kernel(
+            vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: Expr::GlobalLoad {
+                    buf: "IN".into(),
+                    idx: Box::new(Expr::int(0)),
+                },
+            }],
+            vec![],
+        );
+        let tex = minimal_kernel(
+            vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: Expr::TexFetch {
+                    buf: "IN".into(),
+                    coords: hipacc_ir::TexCoords::Linear(Box::new(Expr::int(0))),
+                },
+            }],
+            vec![],
+        );
+        assert!(
+            estimate_resources(&tex).registers_per_thread
+                > estimate_resources(&plain).registers_per_thread
+        );
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let k = minimal_kernel(vec![Stmt::Barrier], vec![]);
+        assert_eq!(estimate_resources(&k), estimate_resources(&k));
+    }
+}

@@ -1,0 +1,365 @@
+//! The [`Image`] container.
+//!
+//! Mirrors the paper's `Image<T>` class: a 2-D pixel array whose data layout
+//! is "handled internally", including the device-side padding ("global
+//! memory padding for memory coalescing") that the HIPAcc runtime applies so
+//! that each row starts on an aligned boundary. The *stride* (row pitch in
+//! elements) is therefore kept separate from the logical width, exactly as
+//! the generated CUDA code indexes `IN[gid_x + gid_y * stride]`.
+
+use crate::pixel::Pixel;
+use crate::region::Rect;
+
+/// A strided 2-D image.
+///
+/// ```
+/// use hipacc_image::Image;
+///
+/// let mut img = Image::<f32>::new(640, 480);
+/// img.set(10, 20, 0.5);
+/// assert_eq!(img.get(10, 20), 0.5);
+/// assert_eq!(img.width(), 640);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image<T: Pixel> {
+    width: u32,
+    height: u32,
+    /// Row pitch in *elements* (not bytes); `stride >= width`.
+    stride: u32,
+    data: Vec<T>,
+}
+
+/// Alignment (in bytes) the simulated device runtime pads rows to. 256 bytes
+/// matches the texture-alignment requirement on the GPUs the paper targets.
+pub const ROW_ALIGNMENT_BYTES: usize = 256;
+
+/// Compute the padded stride (in elements) for a row of `width` elements of
+/// `bytes_per_elem` bytes each, aligned to [`ROW_ALIGNMENT_BYTES`].
+pub fn padded_stride(width: u32, bytes_per_elem: usize) -> u32 {
+    let row_bytes = width as usize * bytes_per_elem;
+    let padded = row_bytes.div_ceil(ROW_ALIGNMENT_BYTES) * ROW_ALIGNMENT_BYTES;
+    (padded / bytes_per_elem.max(1)) as u32
+}
+
+impl<T: Pixel> Image<T> {
+    /// Create a zero-filled image with device-style padded stride.
+    pub fn new(width: u32, height: u32) -> Self {
+        let stride = padded_stride(width, T::BYTES);
+        Self {
+            width,
+            height,
+            stride,
+            data: vec![T::ZERO; stride as usize * height as usize],
+        }
+    }
+
+    /// Create an image with an exact (unpadded) stride equal to the width.
+    /// Useful for interop tests where host data is densely packed.
+    pub fn new_unpadded(width: u32, height: u32) -> Self {
+        Self {
+            width,
+            height,
+            stride: width,
+            data: vec![T::ZERO; width as usize * height as usize],
+        }
+    }
+
+    /// Build an image from densely packed row-major host data, mirroring the
+    /// paper's `IN = host_in` assignment operator.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            width as usize * height as usize,
+            "host buffer size must equal width * height"
+        );
+        let mut img = Self::new(width, height);
+        img.copy_from_host(&data);
+        img
+    }
+
+    /// Build an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(i32, i32) -> T) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height as i32 {
+            for x in 0..width as i32 {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Logical width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Row pitch in elements (`>= width` due to device padding).
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// The full image as a [`Rect`] anchored at the origin.
+    pub fn bounds(&self) -> Rect {
+        Rect::of_size(self.width, self.height)
+    }
+
+    /// Read pixel `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when `(x, y)` is out of bounds; out-of-bounds access policy is
+    /// the job of [`BoundaryView`](crate::boundary::BoundaryView).
+    #[inline]
+    pub fn get(&self, x: i32, y: i32) -> T {
+        assert!(
+            self.bounds().contains(x, y),
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
+        self.data[y as usize * self.stride as usize + x as usize]
+    }
+
+    /// Read pixel `(x, y)` without a bounds check on the logical rectangle
+    /// (still memory-safe: clamps into the allocation). This models what a
+    /// GPU kernel with *Undefined* boundary handling does — it reads
+    /// whatever lies at the computed address.
+    #[inline]
+    pub fn get_unchecked_semantics(&self, x: i32, y: i32) -> T {
+        let idx = y as i64 * self.stride as i64 + x as i64;
+        let idx = idx.clamp(0, self.data.len() as i64 - 1) as usize;
+        self.data[idx]
+    }
+
+    /// Write pixel `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when `(x, y)` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: i32, y: i32, v: T) {
+        assert!(
+            self.bounds().contains(x, y),
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
+        self.data[y as usize * self.stride as usize + x as usize] = v;
+    }
+
+    /// Copy densely packed row-major host data into the (strided) image.
+    ///
+    /// # Panics
+    /// Panics if `host.len() != width * height`.
+    pub fn copy_from_host(&mut self, host: &[T]) {
+        assert_eq!(host.len(), self.width as usize * self.height as usize);
+        for y in 0..self.height as usize {
+            let src = &host[y * self.width as usize..(y + 1) * self.width as usize];
+            let dst_start = y * self.stride as usize;
+            self.data[dst_start..dst_start + self.width as usize].copy_from_slice(src);
+        }
+    }
+
+    /// Copy the image out to a densely packed row-major host buffer,
+    /// mirroring the paper's `host_out = OUT.getData()`.
+    pub fn to_host_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.width as usize * self.height as usize);
+        for y in 0..self.height as usize {
+            let start = y * self.stride as usize;
+            out.extend_from_slice(&self.data[start..start + self.width as usize]);
+        }
+        out
+    }
+
+    /// One row of valid pixels.
+    ///
+    /// # Panics
+    /// Panics if `y >= height`.
+    pub fn row(&self, y: u32) -> &[T] {
+        assert!(y < self.height);
+        let start = y as usize * self.stride as usize;
+        &self.data[start..start + self.width as usize]
+    }
+
+    /// Raw backing storage including padding; used by the simulator's
+    /// memory system which addresses the image by linear element index.
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw backing storage including padding.
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Fill every valid pixel with `v` (padding is untouched).
+    pub fn fill(&mut self, v: T) {
+        for y in 0..self.height {
+            let start = y as usize * self.stride as usize;
+            self.data[start..start + self.width as usize].fill(v);
+        }
+    }
+
+    /// Map every valid pixel through `f`, in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(T) -> T) {
+        for y in 0..self.height {
+            let start = y as usize * self.stride as usize;
+            for p in &mut self.data[start..start + self.width as usize] {
+                *p = f(*p);
+            }
+        }
+    }
+
+    /// Maximum absolute difference between two images of identical shape.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let mut m = 0.0f32;
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                m = m.max(self.get(x, y).abs_diff(other.get(x, y)));
+            }
+        }
+        m
+    }
+}
+
+impl Image<f32> {
+    /// Mean pixel value, for quick sanity assertions in tests and examples.
+    pub fn mean(&self) -> f32 {
+        let mut sum = 0.0f64;
+        for y in 0..self.height {
+            for &p in self.row(y) {
+                sum += p as f64;
+            }
+        }
+        (sum / (self.width as f64 * self.height as f64)) as f32
+    }
+
+    /// Minimum and maximum pixel values.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for y in 0..self.height {
+            for &p in self.row(y) {
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_is_padded_to_alignment() {
+        // 100 f32s = 400 bytes -> padded to 512 bytes = 128 elements.
+        let img = Image::<f32>::new(100, 10);
+        assert_eq!(img.stride(), 128);
+        // A width that is already aligned keeps its stride.
+        let img = Image::<f32>::new(1024, 4);
+        assert_eq!(img.stride(), 1024);
+        // u8 rows pad to 256-byte multiples.
+        let img = Image::<u8>::new(100, 4);
+        assert_eq!(img.stride(), 256);
+    }
+
+    #[test]
+    fn unpadded_stride_equals_width() {
+        let img = Image::<f32>::new_unpadded(100, 10);
+        assert_eq!(img.stride(), 100);
+    }
+
+    #[test]
+    fn host_roundtrip_preserves_data() {
+        let host: Vec<f32> = (0..100 * 7).map(|i| i as f32).collect();
+        let img = Image::from_vec(100, 7, host.clone());
+        assert_eq!(img.to_host_vec(), host);
+        assert_eq!(img.get(99, 6), (6 * 100 + 99) as f32);
+    }
+
+    #[test]
+    fn from_fn_evaluates_every_pixel() {
+        let img = Image::from_fn(8, 4, |x, y| (x + 10 * y) as f32);
+        assert_eq!(img.get(3, 2), 23.0);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(7, 3), 37.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image::<f32>::new(4, 4);
+        let _ = img.get(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_negative_panics() {
+        let mut img = Image::<f32>::new(4, 4);
+        img.set(-1, 0, 1.0);
+    }
+
+    #[test]
+    fn unchecked_semantics_is_memory_safe() {
+        let img = Image::from_fn(4, 4, |x, y| (x + 4 * y) as f32);
+        // Reads outside the logical image return *some* in-allocation value
+        // without panicking, like a GPU reading past the row end.
+        let _ = img.get_unchecked_semantics(-10, -10);
+        let _ = img.get_unchecked_semantics(100, 100);
+    }
+
+    #[test]
+    fn fill_does_not_touch_padding() {
+        let mut img = Image::<f32>::new(100, 3);
+        img.raw_mut().fill(7.0); // scribble on padding
+        img.fill(1.0);
+        assert_eq!(img.get(99, 2), 1.0);
+        // Padding element just past the row keeps the scribble.
+        let stride = img.stride() as usize;
+        assert_eq!(img.raw()[stride - 1], 7.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_single_pixel_change() {
+        let a = Image::from_fn(16, 16, |x, y| (x * y) as f32);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(5, 5, b.get(5, 5) + 2.5);
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+    }
+
+    #[test]
+    fn mean_and_min_max() {
+        let img = Image::from_fn(2, 2, |x, y| (x + 2 * y) as f32); // 0,1,2,3
+        assert!((img.mean() - 1.5).abs() < 1e-6);
+        assert_eq!(img.min_max(), (0.0, 3.0));
+    }
+
+    #[test]
+    fn map_in_place_applies_everywhere() {
+        let mut img = Image::from_fn(5, 5, |x, _| x as f32);
+        img.map_in_place(|p| p * 2.0);
+        assert_eq!(img.get(4, 4), 8.0);
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_returns_logical_width() {
+        let img = Image::<f32>::new(100, 2);
+        assert_eq!(img.row(0).len(), 100);
+        assert_eq!(img.row(1).len(), 100);
+    }
+}

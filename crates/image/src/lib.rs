@@ -1,0 +1,37 @@
+//! # hipacc-image
+//!
+//! Image containers, boundary-handling semantics, CPU reference operators and
+//! synthetic medical phantoms for the hipacc framework.
+//!
+//! This crate is the *data substrate* of the reproduction: everything the
+//! paper's `Image<T>` C++ class does (multi-dimensional pixel storage with a
+//! device-friendly layout), plus the semantic ground truth used to validate
+//! the GPU simulator — a set of straightforward, obviously-correct CPU
+//! implementations of every operator the evaluation uses.
+//!
+//! ## Layout
+//!
+//! * [`pixel`] — the `Pixel` trait and arithmetic helpers.
+//! * [`image`] — `Image`, a strided 2-D container.
+//! * [`boundary`] — `BoundaryMode` and the index
+//!   maps for Clamp / Repeat / Mirror / Constant / Undefined handling
+//!   (Table I / Figure 2 of the paper).
+//! * [`region`] — rectangular regions of interest.
+//! * `reference` — golden CPU implementations of local operators
+//!   (convolution, separable convolution, bilateral filter, …).
+//! * [`phantom`] — synthetic angiography-style test images.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod boundary;
+pub mod image;
+pub mod phantom;
+pub mod pixel;
+pub mod reference;
+pub mod region;
+
+pub use boundary::{BoundaryMode, BoundaryView};
+pub use image::Image;
+pub use pixel::Pixel;
+pub use region::Rect;

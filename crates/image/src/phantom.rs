@@ -1,0 +1,248 @@
+//! Synthetic medical-style test images.
+//!
+//! The paper evaluates on angiography data from Siemens Healthcare, which we
+//! obviously do not have. Local-operator execution time is data-independent
+//! (trip counts are fixed by the window size), so phantoms only need to
+//! provide *plausible structure* for functional validation and examples:
+//! vessel-like curvilinear structures on a noisy background, step edges that
+//! exercise the bilateral filter's edge-preserving behaviour, and smooth
+//! gradients that make boundary-handling errors visible.
+
+use crate::image::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A smooth horizontal gradient in `[0, 1]`.
+pub fn gradient(width: u32, height: u32) -> Image<f32> {
+    Image::from_fn(width, height, |x, _| x as f32 / (width.max(2) - 1) as f32)
+}
+
+/// A checkerboard with `cell`-pixel squares and amplitudes `{0, 1}`.
+/// Maximally hostile to smoothing filters; useful to verify window sizes.
+pub fn checkerboard(width: u32, height: u32, cell: u32) -> Image<f32> {
+    let cell = cell.max(1) as i32;
+    Image::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)) % 2 == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    })
+}
+
+/// A vertical step edge: left half `lo`, right half `hi`. The canonical
+/// input for demonstrating that the bilateral filter preserves edges where
+/// a Gaussian does not.
+pub fn step_edge(width: u32, height: u32, lo: f32, hi: f32) -> Image<f32> {
+    Image::from_fn(
+        width,
+        height,
+        |x, _| if x < width as i32 / 2 { lo } else { hi },
+    )
+}
+
+/// Additive Gaussian noise (Box–Muller from a seeded RNG, so phantoms are
+/// reproducible across runs and platforms).
+pub fn add_gaussian_noise(img: &mut Image<f32>, sigma: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    img.map_in_place(|p| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let n = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        p + sigma * n
+    });
+}
+
+/// Parameters for [`vessel_tree`].
+#[derive(Clone, Debug)]
+pub struct VesselParams {
+    /// Number of primary vessel branches.
+    pub branches: u32,
+    /// Stroke half-width of the root vessel in pixels.
+    pub root_radius: f32,
+    /// Vessel-to-background contrast (vessels are darker, as in X-ray
+    /// angiography where contrast agent absorbs).
+    pub contrast: f32,
+    /// Standard deviation of the additive background noise.
+    pub noise_sigma: f32,
+    /// RNG seed for branch geometry and noise.
+    pub seed: u64,
+}
+
+impl Default for VesselParams {
+    fn default() -> Self {
+        Self {
+            branches: 6,
+            root_radius: 4.0,
+            contrast: 0.55,
+            noise_sigma: 0.04,
+            seed: 42,
+        }
+    }
+}
+
+/// A synthetic angiogram: dark curvilinear vessels on a bright, slightly
+/// vignetted background with additive noise.
+///
+/// The generator draws each vessel as a random piecewise-quadratic walk from
+/// a border point, stamping an anti-aliased disc at each step with a radius
+/// that tapers toward the tip — enough structure for the bilateral filter
+/// and the multiresolution example to show their medical motivation.
+pub fn vessel_tree(width: u32, height: u32, params: &VesselParams) -> Image<f32> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Bright background with mild vignette.
+    let cx = width as f32 / 2.0;
+    let cy = height as f32 / 2.0;
+    let rmax = (cx * cx + cy * cy).sqrt();
+    let mut img = Image::from_fn(width, height, |x, y| {
+        let dx = x as f32 - cx;
+        let dy = y as f32 - cy;
+        let r = (dx * dx + dy * dy).sqrt() / rmax;
+        0.9 - 0.15 * r * r
+    });
+
+    for _ in 0..params.branches {
+        // Start on a random border point heading inward.
+        let (mut x, mut y, mut angle) = match rng.gen_range(0..4u32) {
+            0 => (rng.gen_range(0.0..width as f32), 0.0, std::f32::consts::FRAC_PI_2),
+            1 => (
+                rng.gen_range(0.0..width as f32),
+                height as f32 - 1.0,
+                -std::f32::consts::FRAC_PI_2,
+            ),
+            2 => (0.0, rng.gen_range(0.0..height as f32), 0.0),
+            _ => (
+                width as f32 - 1.0,
+                rng.gen_range(0.0..height as f32),
+                std::f32::consts::PI,
+            ),
+        };
+        let steps = (width.max(height) as f32 * 1.2) as u32;
+        for step in 0..steps {
+            angle += rng.gen_range(-0.25..0.25f32);
+            x += angle.cos();
+            y += angle.sin();
+            if x < -10.0 || y < -10.0 || x > width as f32 + 10.0 || y > height as f32 + 10.0 {
+                break;
+            }
+            // Taper toward the tip.
+            let radius = (params.root_radius * (1.0 - step as f32 / steps as f32)).max(0.8);
+            stamp_disc(&mut img, x, y, radius, params.contrast);
+        }
+    }
+
+    if params.noise_sigma > 0.0 {
+        add_gaussian_noise(&mut img, params.noise_sigma, params.seed ^ 0x9e37_79b9);
+    }
+    img
+}
+
+/// Subtract an anti-aliased disc of the given radius from the image
+/// (vessels absorb: pixel value decreases by up to `depth`).
+fn stamp_disc(img: &mut Image<f32>, cx: f32, cy: f32, radius: f32, depth: f32) {
+    let x0 = (cx - radius - 1.0).floor() as i32;
+    let x1 = (cx + radius + 1.0).ceil() as i32;
+    let y0 = (cy - radius - 1.0).floor() as i32;
+    let y1 = (cy + radius + 1.0).ceil() as i32;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            if !img.bounds().contains(x, y) {
+                continue;
+            }
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            let d = (dx * dx + dy * dy).sqrt();
+            // Smooth falloff over one pixel at the rim.
+            let cover = (radius + 0.5 - d).clamp(0.0, 1.0);
+            if cover > 0.0 {
+                let p = img.get(x, y);
+                img.set(x, y, (p - depth * cover).max(p.min(1.0 - depth)));
+            }
+        }
+    }
+}
+
+/// An impulse (delta) image: zero everywhere except a single bright pixel.
+/// Convolving it with any mask recovers the mask — the standard trick the
+/// filter tests use to verify coefficient layout and orientation.
+pub fn impulse(width: u32, height: u32, x: i32, y: i32) -> Image<f32> {
+    let mut img = Image::new(width, height);
+    img.set(x, y, 1.0);
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_is_monotone_in_x() {
+        let g = gradient(64, 8);
+        for x in 1..64 {
+            assert!(g.get(x, 4) >= g.get(x - 1, 4));
+        }
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(63, 7), 1.0);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let c = checkerboard(16, 16, 4);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(4, 0), 1.0);
+        assert_eq!(c.get(0, 4), 1.0);
+        assert_eq!(c.get(4, 4), 0.0);
+    }
+
+    #[test]
+    fn step_edge_halves() {
+        let s = step_edge(10, 4, 0.2, 0.8);
+        assert_eq!(s.get(0, 0), 0.2);
+        assert_eq!(s.get(4, 3), 0.2);
+        assert_eq!(s.get(5, 0), 0.8);
+        assert_eq!(s.get(9, 3), 0.8);
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let mut a = gradient(32, 32);
+        let mut b = gradient(32, 32);
+        add_gaussian_noise(&mut a, 0.1, 7);
+        add_gaussian_noise(&mut b, 0.1, 7);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let mut c = gradient(32, 32);
+        add_gaussian_noise(&mut c, 0.1, 8);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn vessel_tree_darkens_background() {
+        let clean = vessel_tree(
+            128,
+            128,
+            &VesselParams {
+                noise_sigma: 0.0,
+                ..VesselParams::default()
+            },
+        );
+        let (lo, hi) = clean.min_max();
+        assert!(hi <= 0.95, "background should be bright but < 1, got {hi}");
+        assert!(lo < 0.6, "vessels should darken the image, got min {lo}");
+    }
+
+    #[test]
+    fn vessel_tree_is_reproducible() {
+        let p = VesselParams::default();
+        let a = vessel_tree(64, 64, &p);
+        let b = vessel_tree(64, 64, &p);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn impulse_has_unit_energy() {
+        let d = impulse(9, 9, 4, 4);
+        assert_eq!(d.get(4, 4), 1.0);
+        let total: f32 = d.to_host_vec().iter().sum();
+        assert_eq!(total, 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Pixel element types.
+//!
+//! The paper's `Image<T>` is templated over the pixel representation
+//! ("integer number, a floating point number, or … RGB"). We mirror that
+//! with the [`Pixel`] trait, implemented for the scalar formats the
+//! evaluation uses (`f32` throughout) plus the integer formats common in
+//! medical imaging (12/16-bit X-ray detectors store `u16`).
+
+use std::fmt::Debug;
+
+/// An element type that can be stored in an [`Image`](crate::Image).
+///
+/// The trait bundles the conversions the framework needs: every pixel can be
+/// losslessly widened to `f32` for filtering arithmetic and narrowed back
+/// with saturation, matching what the generated GPU code does when it
+/// convolves integer images with floating-point masks.
+pub trait Pixel: Copy + Clone + Debug + PartialEq + Send + Sync + 'static {
+    /// The additive identity (a black pixel).
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Short type name as it would appear in generated CUDA/OpenCL code.
+    const C_NAME: &'static str;
+    /// Size of the pixel in bytes on the device (used by the memory model).
+    const BYTES: usize;
+
+    /// Widen to `f32` for filter arithmetic.
+    fn to_f32(self) -> f32;
+    /// Narrow from `f32`, saturating at the representable range.
+    fn from_f32(v: f32) -> Self;
+    /// Component-wise addition (saturating for integer formats).
+    fn add(self, rhs: Self) -> Self;
+    /// Absolute difference, used by rank/bilateral style filters.
+    fn abs_diff(self, rhs: Self) -> f32 {
+        (self.to_f32() - rhs.to_f32()).abs()
+    }
+}
+
+impl Pixel for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const C_NAME: &'static str = "float";
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+}
+
+impl Pixel for i32 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const C_NAME: &'static str = "int";
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        // Saturating conversion; `as` already saturates in Rust but we also
+        // round to nearest the way device code does with `__float2int_rn`.
+        v.round() as i32
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Pixel for u8 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const C_NAME: &'static str = "uchar";
+    const BYTES: usize = 1;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v.round().clamp(0.0, 255.0) as u8
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Pixel for u16 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const C_NAME: &'static str = "ushort";
+    const BYTES: usize = 2;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v.round().clamp(0.0, 65535.0) as u16
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+/// A four-component RGBA pixel, stored as it would be in a `float4`.
+///
+/// The paper's framework supports "another format such as RGB"; the OpenCL
+/// backend in particular always moves `float4` vectors through image
+/// objects. Filtering arithmetic treats the components independently.
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct Rgba {
+    /// Red component.
+    pub r: f32,
+    /// Green component.
+    pub g: f32,
+    /// Blue component.
+    pub b: f32,
+    /// Alpha component.
+    pub a: f32,
+}
+
+impl Rgba {
+    /// Create an RGBA pixel from its components.
+    pub const fn new(r: f32, g: f32, b: f32, a: f32) -> Self {
+        Self { r, g, b, a }
+    }
+
+    /// Grayscale luminance (Rec. 601 weights), used when a color image is
+    /// fed to a scalar filter.
+    pub fn luma(self) -> f32 {
+        0.299 * self.r + 0.587 * self.g + 0.114 * self.b
+    }
+
+    /// Component-wise scale.
+    pub fn scale(self, s: f32) -> Self {
+        Self::new(self.r * s, self.g * s, self.b * s, self.a * s)
+    }
+}
+
+impl Pixel for Rgba {
+    const ZERO: Self = Rgba::new(0.0, 0.0, 0.0, 0.0);
+    const ONE: Self = Rgba::new(1.0, 1.0, 1.0, 1.0);
+    const C_NAME: &'static str = "float4";
+    const BYTES: usize = 16;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self.luma()
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        Rgba::new(v, v, v, 1.0)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Rgba::new(
+            self.r + rhs.r,
+            self.g + rhs.g,
+            self.b + rhs.b,
+            self.a + rhs.a,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_is_identity() {
+        for v in [-1.5f32, 0.0, 3.25, 1e6] {
+            assert_eq!(f32::from_f32(v), v);
+            assert_eq!(v.to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn u8_saturates_on_narrowing() {
+        assert_eq!(u8::from_f32(-3.0), 0);
+        assert_eq!(u8::from_f32(255.4), 255);
+        assert_eq!(u8::from_f32(300.0), 255);
+        assert_eq!(u8::from_f32(127.5), 128);
+    }
+
+    #[test]
+    fn u16_saturates_on_narrowing() {
+        assert_eq!(u16::from_f32(-1.0), 0);
+        assert_eq!(u16::from_f32(70000.0), 65535);
+        assert_eq!(u16::from_f32(4095.2), 4095);
+    }
+
+    #[test]
+    fn i32_rounds_to_nearest() {
+        assert_eq!(i32::from_f32(2.5), 3);
+        assert_eq!(i32::from_f32(-2.5), -3);
+        assert_eq!(i32::from_f32(2.4), 2);
+    }
+
+    #[test]
+    fn integer_add_saturates() {
+        assert_eq!(250u8.add(10), 255);
+        assert_eq!(65530u16.add(10), 65535);
+        assert_eq!(i32::MAX.add(1), i32::MAX);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        assert_eq!(3.0f32.abs_diff(5.0), 2.0);
+        assert_eq!(5.0f32.abs_diff(3.0), 2.0);
+        assert_eq!(Pixel::abs_diff(10u8, 3), 7.0);
+        assert_eq!(Pixel::abs_diff(3u8, 10), 7.0);
+    }
+
+    #[test]
+    fn rgba_luma_weights_sum_to_one() {
+        let white = Rgba::new(1.0, 1.0, 1.0, 1.0);
+        assert!((white.luma() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rgba_add_is_componentwise() {
+        let a = Rgba::new(0.1, 0.2, 0.3, 0.4);
+        let b = Rgba::new(1.0, 2.0, 3.0, 4.0);
+        let c = a.add(b);
+        assert!((c.r - 1.1).abs() < 1e-6);
+        assert!((c.g - 2.2).abs() < 1e-6);
+        assert!((c.b - 3.3).abs() < 1e-6);
+        assert!((c.a - 4.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn c_names_match_device_types() {
+        assert_eq!(f32::C_NAME, "float");
+        assert_eq!(i32::C_NAME, "int");
+        assert_eq!(u8::C_NAME, "uchar");
+        assert_eq!(u16::C_NAME, "ushort");
+        assert_eq!(Rgba::C_NAME, "float4");
+    }
+
+    #[test]
+    fn byte_sizes_are_correct() {
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(u8::BYTES, 1);
+        assert_eq!(u16::BYTES, 2);
+        assert_eq!(Rgba::BYTES, 16);
+    }
+}

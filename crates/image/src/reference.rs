@@ -1,0 +1,664 @@
+//! Golden CPU implementations of the paper's operators.
+//!
+//! Everything in this module is written for *obvious correctness*, not
+//! speed: the GPU simulator, the code generator and every baseline are
+//! validated against these functions. They also serve as the semantic
+//! definition of the DSL: a generated kernel is correct iff it matches the
+//! reference for every boundary mode and region of interest.
+
+use crate::boundary::{BoundaryMode, BoundaryView};
+use crate::image::Image;
+use crate::region::Rect;
+
+/// A dense 2-D coefficient window — the data behind the paper's `Mask`.
+///
+/// The window is centered at `(0, 0)` and bounded to
+/// `[-half_w, +half_w] × [-half_h, +half_h]`, which forces odd dimensions
+/// `(2·half_w + 1) × (2·half_h + 1)` exactly as the paper requires
+/// ("window size … to be uneven (e.g. 3×3, 5×5, 9×3)").
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaskCoeffs {
+    half_w: i32,
+    half_h: i32,
+    /// Row-major coefficients, `(2*half_w+1) * (2*half_h+1)` entries.
+    data: Vec<f32>,
+}
+
+impl MaskCoeffs {
+    /// Build from explicit coefficients.
+    ///
+    /// # Panics
+    /// Panics when `width`/`height` are even or do not match `data.len()`.
+    pub fn new(width: u32, height: u32, data: Vec<f32>) -> Self {
+        assert!(
+            width % 2 == 1 && height % 2 == 1,
+            "local operator window sizes must be uneven, got {width}x{height}"
+        );
+        assert_eq!(data.len(), (width * height) as usize);
+        Self {
+            half_w: (width / 2) as i32,
+            half_h: (height / 2) as i32,
+            data,
+        }
+    }
+
+    /// Window width `2*half_w + 1`.
+    pub fn width(&self) -> u32 {
+        (2 * self.half_w + 1) as u32
+    }
+
+    /// Window height `2*half_h + 1`.
+    pub fn height(&self) -> u32 {
+        (2 * self.half_h + 1) as u32
+    }
+
+    /// Horizontal half-window `m` of the `[-m, +m]` bound.
+    pub fn half_w(&self) -> i32 {
+        self.half_w
+    }
+
+    /// Vertical half-window `n` of the `[-n, +n]` bound.
+    pub fn half_h(&self) -> i32 {
+        self.half_h
+    }
+
+    /// Coefficient at offset `(dx, dy)`, `dx ∈ [-half_w, half_w]`.
+    #[inline]
+    pub fn at(&self, dx: i32, dy: i32) -> f32 {
+        debug_assert!(dx.abs() <= self.half_w && dy.abs() <= self.half_h);
+        let row = (dy + self.half_h) as usize;
+        let col = (dx + self.half_w) as usize;
+        self.data[row * self.width() as usize + col]
+    }
+
+    /// Raw coefficients in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Sum of all coefficients (1.0 for normalized smoothing masks).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Iterate `(dx, dy, coefficient)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, i32, f32)> + '_ {
+        let hw = self.half_w;
+        let hh = self.half_h;
+        (-hh..=hh).flat_map(move |dy| (-hw..=hw).map(move |dx| (dx, dy, self.at(dx, dy))))
+    }
+
+    /// A normalized Gaussian mask of the given window size.
+    pub fn gaussian(width: u32, height: u32, sigma: f32) -> Self {
+        let hw = (width / 2) as i32;
+        let hh = (height / 2) as i32;
+        let c = 1.0 / (2.0 * sigma * sigma);
+        let mut data = Vec::with_capacity((width * height) as usize);
+        for dy in -hh..=hh {
+            for dx in -hw..=hw {
+                data.push((-c * (dx * dx + dy * dy) as f32).exp());
+            }
+        }
+        let s: f32 = data.iter().sum();
+        for v in &mut data {
+            *v /= s;
+        }
+        Self::new(width, height, data)
+    }
+
+    /// The bilateral *closeness* mask of the paper (Figure 1): a Gaussian of
+    /// the Euclidean distance with spread `sigma_d`, over a
+    /// `(4σd+1) × (4σd+1)` window, **unnormalized** exactly as Listing 1
+    /// computes it (`c = exp(-c_d*xf²)·exp(-c_d*yf²)`).
+    pub fn closeness(sigma_d: u32) -> Self {
+        let half = 2 * sigma_d as i32;
+        let size = 4 * sigma_d + 1;
+        let c_d = 1.0 / (2.0 * (sigma_d * sigma_d) as f32);
+        let mut data = Vec::with_capacity((size * size) as usize);
+        for dy in -half..=half {
+            for dx in -half..=half {
+                data.push((-c_d * (dx * dx) as f32).exp() * (-c_d * (dy * dy) as f32).exp());
+            }
+        }
+        Self::new(size, size, data)
+    }
+
+    /// A normalized box (mean) mask.
+    pub fn box_filter(width: u32, height: u32) -> Self {
+        let n = (width * height) as f32;
+        Self::new(width, height, vec![1.0 / n; (width * height) as usize])
+    }
+
+    /// Horizontal Sobel derivative mask (3×3).
+    pub fn sobel_x() -> Self {
+        Self::new(
+            3,
+            3,
+            vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],
+        )
+    }
+
+    /// Vertical Sobel derivative mask (3×3).
+    pub fn sobel_y() -> Self {
+        Self::new(
+            3,
+            3,
+            vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0],
+        )
+    }
+
+    /// 4-connected Laplacian mask (3×3).
+    pub fn laplacian() -> Self {
+        Self::new(3, 3, vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0])
+    }
+}
+
+/// A 1-D coefficient vector for separable filters (OpenCV-style row/column
+/// passes). Length must be odd.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaskCoeffs1D {
+    half: i32,
+    data: Vec<f32>,
+}
+
+impl MaskCoeffs1D {
+    /// Build from explicit coefficients; `data.len()` must be odd.
+    pub fn new(data: Vec<f32>) -> Self {
+        assert!(data.len() % 2 == 1, "separable taps must be odd in length");
+        Self {
+            half: (data.len() / 2) as i32,
+            data,
+        }
+    }
+
+    /// Normalized 1-D Gaussian taps.
+    pub fn gaussian(size: u32, sigma: f32) -> Self {
+        let half = (size / 2) as i32;
+        let c = 1.0 / (2.0 * sigma * sigma);
+        let mut data: Vec<f32> = (-half..=half)
+            .map(|d| (-c * (d * d) as f32).exp())
+            .collect();
+        let s: f32 = data.iter().sum();
+        for v in &mut data {
+            *v /= s;
+        }
+        Self::new(data)
+    }
+
+    /// Half-window.
+    pub fn half(&self) -> i32 {
+        self.half
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are no taps (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Tap at offset `d ∈ [-half, half]`.
+    #[inline]
+    pub fn at(&self, d: i32) -> f32 {
+        self.data[(d + self.half) as usize]
+    }
+
+    /// Raw taps.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Outer product with another 1-D mask, producing the equivalent dense
+    /// 2-D mask (used by tests to check separable == dense).
+    pub fn outer(&self, col: &MaskCoeffs1D) -> MaskCoeffs {
+        let w = self.len() as u32;
+        let h = col.len() as u32;
+        let mut data = Vec::with_capacity((w * h) as usize);
+        for dy in -col.half..=col.half {
+            for dx in -self.half..=self.half {
+                data.push(self.at(dx) * col.at(dy));
+            }
+        }
+        MaskCoeffs::new(w, h, data)
+    }
+}
+
+/// Apply an arbitrary local operator: for every pixel of `roi` in the
+/// output, call `op` with a window-reader closure. This is the most general
+/// form; the named operators below are built on it.
+pub fn apply_local_op(
+    input: &Image<f32>,
+    mode: BoundaryMode,
+    roi: Rect,
+    mut op: impl FnMut(&dyn Fn(i32, i32) -> f32, i32, i32) -> f32,
+) -> Image<f32> {
+    let view = BoundaryView::new(input, mode);
+    let mut out = Image::new(input.width(), input.height());
+    for (x, y) in roi.points() {
+        let read = |dx: i32, dy: i32| view.get(x + dx, y + dy);
+        let v = op(&read, x, y);
+        out.set(x, y, v);
+    }
+    out
+}
+
+/// Dense 2-D convolution (correlation orientation, as image processing and
+/// the paper's `Input(xf, yf)` indexing use): `out(x,y) = Σ m(dx,dy) ·
+/// in(x+dx, y+dy)`.
+pub fn convolve2d(input: &Image<f32>, mask: &MaskCoeffs, mode: BoundaryMode) -> Image<f32> {
+    apply_local_op(input, mode, input.bounds(), |read, _, _| {
+        let mut acc = 0.0f32;
+        for (dx, dy, m) in mask.iter() {
+            acc += m * read(dx, dy);
+        }
+        acc
+    })
+}
+
+/// Separable convolution: a horizontal pass with `row` taps followed by a
+/// vertical pass with `col` taps, both under the same boundary mode. This
+/// is what the OpenCV baseline implements on the device.
+pub fn convolve_separable(
+    input: &Image<f32>,
+    row: &MaskCoeffs1D,
+    col: &MaskCoeffs1D,
+    mode: BoundaryMode,
+) -> Image<f32> {
+    let view = BoundaryView::new(input, mode);
+    let mut tmp = Image::new(input.width(), input.height());
+    for y in 0..input.height() as i32 {
+        for x in 0..input.width() as i32 {
+            let mut acc = 0.0f32;
+            for d in -row.half()..=row.half() {
+                acc += row.at(d) * view.get(x + d, y);
+            }
+            tmp.set(x, y, acc);
+        }
+    }
+    let view = BoundaryView::new(&tmp, mode);
+    let mut out = Image::new(input.width(), input.height());
+    for y in 0..input.height() as i32 {
+        for x in 0..input.width() as i32 {
+            let mut acc = 0.0f32;
+            for d in -col.half()..=col.half() {
+                acc += col.at(d) * view.get(x, y + d);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// The bilateral filter exactly as Listing 1 / Algorithm 1 of the paper:
+/// window `[-2σd, +2σd]²`, closeness `exp(-(xf² + yf²)/(2σd²))`, similarity
+/// `exp(-diff²/(2σr²))`, output `p/d`.
+pub fn bilateral(
+    input: &Image<f32>,
+    sigma_d: u32,
+    sigma_r: f32,
+    mode: BoundaryMode,
+) -> Image<f32> {
+    let c_r = 1.0 / (2.0 * sigma_r * sigma_r);
+    let c_d = 1.0 / (2.0 * (sigma_d * sigma_d) as f32);
+    let half = 2 * sigma_d as i32;
+    apply_local_op(input, mode, input.bounds(), |read, _, _| {
+        let center = read(0, 0);
+        let mut d = 0.0f32;
+        let mut p = 0.0f32;
+        for yf in -half..=half {
+            for xf in -half..=half {
+                let v = read(xf, yf);
+                let diff = v - center;
+                let s = (-c_r * diff * diff).exp();
+                let c = (-c_d * (xf * xf) as f32).exp() * (-c_d * (yf * yf) as f32).exp();
+                d += s * c;
+                p += s * c * v;
+            }
+        }
+        p / d
+    })
+}
+
+/// Bilateral filter with a precomputed closeness mask (the Listing 5
+/// variant); must agree with [`bilateral`] to float tolerance.
+pub fn bilateral_with_mask(
+    input: &Image<f32>,
+    sigma_d: u32,
+    sigma_r: f32,
+    mode: BoundaryMode,
+) -> Image<f32> {
+    let c_r = 1.0 / (2.0 * sigma_r * sigma_r);
+    let cmask = MaskCoeffs::closeness(sigma_d);
+    let half = 2 * sigma_d as i32;
+    apply_local_op(input, mode, input.bounds(), |read, _, _| {
+        let center = read(0, 0);
+        let mut d = 0.0f32;
+        let mut p = 0.0f32;
+        for yf in -half..=half {
+            for xf in -half..=half {
+                let v = read(xf, yf);
+                let diff = v - center;
+                let s = (-c_r * diff * diff).exp();
+                let c = cmask.at(xf, yf);
+                d += s * c;
+                p += s * c * v;
+            }
+        }
+        p / d
+    })
+}
+
+/// Median filter over a `(2r+1)²` window — a rank (non-convolution) local
+/// operator, included to show the DSL is not limited to convolutions.
+pub fn median(input: &Image<f32>, radius: u32, mode: BoundaryMode) -> Image<f32> {
+    let r = radius as i32;
+    apply_local_op(input, mode, input.bounds(), |read, _, _| {
+        let mut vals = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        for dy in -r..=r {
+            for dx in -r..=r {
+                vals.push(read(dx, dy));
+            }
+        }
+        vals.sort_by(f32::total_cmp);
+        vals[vals.len() / 2]
+    })
+}
+
+/// Sobel gradient magnitude `sqrt(gx² + gy²)`.
+pub fn sobel_magnitude(input: &Image<f32>, mode: BoundaryMode) -> Image<f32> {
+    let gx = convolve2d(input, &MaskCoeffs::sobel_x(), mode);
+    let gy = convolve2d(input, &MaskCoeffs::sobel_y(), mode);
+    Image::from_fn(input.width(), input.height(), |x, y| {
+        let a = gx.get(x, y);
+        let b = gy.get(x, y);
+        (a * a + b * b).sqrt()
+    })
+}
+
+/// Global reduction: sum of all pixels (the paper's example of a *global
+/// operator*).
+pub fn reduce_sum(input: &Image<f32>) -> f64 {
+    let mut acc = 0.0f64;
+    for y in 0..input.height() {
+        for &p in input.row(y) {
+            acc += p as f64;
+        }
+    }
+    acc
+}
+
+/// Global reduction: maximum pixel value.
+pub fn reduce_max(input: &Image<f32>) -> f32 {
+    input.min_max().1
+}
+
+/// Downsample by 2 with a 5×5 Gaussian pre-filter — one level of the
+/// multiresolution pyramid from the paper's medical motivation (ref. 7:
+/// "Nonlinear Multiresolution Gradient Adaptive Filter"). `mode` matters at
+/// the border, which is exactly why the paper argues for Mirror.
+pub fn pyramid_down(input: &Image<f32>, mode: BoundaryMode) -> Image<f32> {
+    let smoothed = convolve2d(input, &MaskCoeffs::gaussian(5, 5, 1.1), mode);
+    let w = input.width().div_ceil(2);
+    let h = input.height().div_ceil(2);
+    Image::from_fn(w, h, |x, y| smoothed.get(2 * x, 2 * y))
+}
+
+/// Upsample by 2 with bilinear interpolation to a target size.
+pub fn pyramid_up(input: &Image<f32>, width: u32, height: u32, mode: BoundaryMode) -> Image<f32> {
+    let view = BoundaryView::new(input, mode);
+    Image::from_fn(width, height, |x, y| {
+        let fx = x as f32 / 2.0;
+        let fy = y as f32 / 2.0;
+        let x0 = fx.floor() as i32;
+        let y0 = fy.floor() as i32;
+        let tx = fx - x0 as f32;
+        let ty = fy - y0 as f32;
+        let a = view.get(x0, y0);
+        let b = view.get(x0 + 1, y0);
+        let c = view.get(x0, y0 + 1);
+        let d = view.get(x0 + 1, y0 + 1);
+        a * (1.0 - tx) * (1.0 - ty) + b * tx * (1.0 - ty) + c * (1.0 - tx) * ty + d * tx * ty
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom;
+
+    fn close(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn mask_dimensions_and_center() {
+        let m = MaskCoeffs::gaussian(5, 3, 1.0);
+        assert_eq!(m.width(), 5);
+        assert_eq!(m.height(), 3);
+        assert_eq!(m.half_w(), 2);
+        assert_eq!(m.half_h(), 1);
+        // Center is the largest coefficient of a Gaussian.
+        for (dx, dy, v) in m.iter() {
+            assert!(v <= m.at(0, 0) + 1e-7, "({dx},{dy}) exceeds center");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uneven")]
+    fn even_mask_size_rejected() {
+        let _ = MaskCoeffs::new(4, 3, vec![0.0; 12]);
+    }
+
+    #[test]
+    fn gaussian_mask_is_normalized_and_symmetric() {
+        let m = MaskCoeffs::gaussian(7, 7, 1.5);
+        assert!(close(m.sum(), 1.0, 1e-5));
+        for (dx, dy, v) in m.iter() {
+            assert!(close(v, m.at(-dx, -dy), 1e-7));
+            assert!(close(v, m.at(dy, dx), 1e-7)); // isotropic
+        }
+    }
+
+    #[test]
+    fn closeness_mask_matches_listing1_formula() {
+        let m = MaskCoeffs::closeness(3);
+        assert_eq!(m.width(), 13);
+        assert_eq!(m.at(0, 0), 1.0);
+        let c_d = 1.0 / 18.0;
+        let expected = (-c_d * 4.0f32).exp() * (-c_d * 9.0f32).exp();
+        assert!(close(m.at(2, 3), expected, 1e-6));
+    }
+
+    #[test]
+    fn convolving_impulse_recovers_mask() {
+        let mask = MaskCoeffs::gaussian(5, 5, 1.0);
+        let delta = phantom::impulse(11, 11, 5, 5);
+        let out = convolve2d(&delta, &mask, BoundaryMode::Clamp);
+        // out(x, y) = mask(5 - x, 5 - y): correlation flips the stamp.
+        for (dx, dy, m) in mask.iter() {
+            assert!(close(out.get(5 - dx, 5 - dy), m, 1e-6));
+        }
+    }
+
+    #[test]
+    fn box_filter_preserves_constant_image() {
+        let img = Image::from_fn(16, 16, |_, _| 3.5);
+        for mode in [
+            BoundaryMode::Clamp,
+            BoundaryMode::Repeat,
+            BoundaryMode::Mirror,
+        ] {
+            let out = convolve2d(&img, &MaskCoeffs::box_filter(5, 5), mode);
+            assert!(out.max_abs_diff(&img) < 1e-5, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn constant_boundary_darkens_border_of_constant_image() {
+        let img = Image::from_fn(16, 16, |_, _| 1.0);
+        let out = convolve2d(
+            &img,
+            &MaskCoeffs::box_filter(3, 3),
+            BoundaryMode::Constant(0.0),
+        );
+        // Interior untouched, corner mixes in 5 zero pixels of 9.
+        assert!(close(out.get(8, 8), 1.0, 1e-6));
+        assert!(close(out.get(0, 0), 4.0 / 9.0, 1e-6));
+    }
+
+    #[test]
+    fn separable_equals_dense_for_gaussian() {
+        let img = phantom::vessel_tree(48, 40, &phantom::VesselParams::default());
+        let taps = MaskCoeffs1D::gaussian(5, 1.0);
+        let dense = taps.outer(&taps);
+        // Interior pixels agree exactly (border pixels differ because the
+        // separable second pass filters already-filtered border values).
+        let a = convolve_separable(&img, &taps, &taps, BoundaryMode::Clamp);
+        let b = convolve2d(&img, &dense, BoundaryMode::Clamp);
+        for y in 2..38 {
+            for x in 2..46 {
+                assert!(
+                    close(a.get(x, y), b.get(x, y), 1e-4),
+                    "({x},{y}): {} vs {}",
+                    a.get(x, y),
+                    b.get(x, y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bilateral_matches_masked_variant() {
+        let img = phantom::vessel_tree(32, 32, &phantom::VesselParams::default());
+        let a = bilateral(&img, 1, 0.1, BoundaryMode::Clamp);
+        let b = bilateral_with_mask(&img, 1, 0.1, BoundaryMode::Clamp);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn bilateral_preserves_step_edge_better_than_gaussian() {
+        let mut img = phantom::step_edge(32, 16, 0.0, 1.0);
+        phantom::add_gaussian_noise(&mut img, 0.02, 3);
+        let bi = bilateral(&img, 1, 0.1, BoundaryMode::Clamp);
+        let ga = convolve2d(&img, &MaskCoeffs::gaussian(5, 5, 1.0), BoundaryMode::Clamp);
+        // Edge contrast at the step (columns 15 vs 16), center row.
+        let edge = |im: &Image<f32>| (im.get(16, 8) - im.get(15, 8)).abs();
+        assert!(
+            edge(&bi) > edge(&ga) * 2.0,
+            "bilateral {} vs gaussian {}",
+            edge(&bi),
+            edge(&ga)
+        );
+        // And it still smooths the flat region more than the raw image noise.
+        let flat_var = |im: &Image<f32>| {
+            let vals: Vec<f32> = (2..10).map(|x| im.get(x, 8)).collect();
+            let m = vals.iter().sum::<f32>() / vals.len() as f32;
+            vals.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / vals.len() as f32
+        };
+        assert!(flat_var(&bi) < flat_var(&img));
+    }
+
+    #[test]
+    fn bilateral_of_constant_image_is_identity() {
+        let img = Image::from_fn(20, 20, |_, _| 0.7);
+        let out = bilateral(&img, 2, 0.05, BoundaryMode::Mirror);
+        assert!(out.max_abs_diff(&img) < 1e-5);
+    }
+
+    #[test]
+    fn median_removes_impulse_noise() {
+        let mut img = Image::from_fn(16, 16, |_, _| 0.5);
+        img.set(8, 8, 100.0);
+        let out = median(&img, 1, BoundaryMode::Clamp);
+        assert!(close(out.get(8, 8), 0.5, 1e-6));
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let img = phantom::step_edge(16, 16, 0.0, 1.0);
+        let mag = sobel_magnitude(&img, BoundaryMode::Clamp);
+        // Strong response at the step columns, none in flat regions.
+        assert!(mag.get(7, 8) > 1.0);
+        assert!(close(mag.get(2, 8), 0.0, 1e-6));
+        assert!(close(mag.get(13, 8), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn sobel_on_constant_is_zero_with_remapping_modes() {
+        let img = Image::from_fn(12, 12, |_, _| 0.3);
+        for mode in [
+            BoundaryMode::Clamp,
+            BoundaryMode::Repeat,
+            BoundaryMode::Mirror,
+        ] {
+            let mag = sobel_magnitude(&img, mode);
+            let (_, hi) = mag.min_max();
+            assert!(hi < 1e-6, "mode {mode:?} leaked border gradient {hi}");
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_mean() {
+        let img = phantom::gradient(32, 8);
+        let s = reduce_sum(&img);
+        assert!((s as f32 - img.mean() * 32.0 * 8.0).abs() < 1e-2);
+        assert!(close(reduce_max(&img), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn pyramid_down_halves_dimensions() {
+        let img = phantom::gradient(64, 48);
+        let down = pyramid_down(&img, BoundaryMode::Mirror);
+        assert_eq!(down.width(), 32);
+        assert_eq!(down.height(), 24);
+        // Smooth gradient survives downsampling approximately.
+        assert!(down.get(0, 0) < down.get(31, 0));
+    }
+
+    #[test]
+    fn pyramid_up_restores_size_and_smoothness() {
+        let img = phantom::gradient(32, 32);
+        let down = pyramid_down(&img, BoundaryMode::Mirror);
+        let up = pyramid_up(&down, 32, 32, BoundaryMode::Mirror);
+        assert_eq!(up.width(), 32);
+        assert_eq!(up.height(), 32);
+        // Reconstruction error of a smooth ramp is small away from borders.
+        for x in 2..30 {
+            assert!(close(up.get(x, 16), img.get(x, 16), 0.08), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn mirror_avoids_upsample_border_artifacts_vs_clamp() {
+        // The paper's medical argument: repeated up/down sampling with
+        // Repeat produces unnatural borders; Mirror looks natural. Build a
+        // ramp, run one down/up cycle, compare border error.
+        let img = phantom::gradient(64, 64);
+        let err = |mode: BoundaryMode| {
+            let cyc = pyramid_up(&pyramid_down(&img, mode), 64, 64, mode);
+            let mut worst = 0.0f32;
+            for y in 0..64 {
+                worst = worst.max((cyc.get(63, y) - img.get(63, y)).abs());
+            }
+            worst
+        };
+        assert!(
+            err(BoundaryMode::Mirror) <= err(BoundaryMode::Repeat),
+            "mirror {} vs repeat {}",
+            err(BoundaryMode::Mirror),
+            err(BoundaryMode::Repeat)
+        );
+    }
+
+    #[test]
+    fn roi_restricts_writes() {
+        let img = phantom::gradient(16, 16);
+        let roi = Rect::new(4, 4, 8, 8);
+        let out = apply_local_op(&img, BoundaryMode::Clamp, roi, |read, _, _| read(0, 0) + 1.0);
+        assert_eq!(out.get(0, 0), 0.0); // untouched outside ROI
+        assert!(out.get(5, 5) > 1.0); // written inside ROI
+    }
+}

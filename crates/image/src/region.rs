@@ -1,0 +1,167 @@
+//! Rectangular regions.
+//!
+//! The paper's `IterationSpace` describes "a rectangular region of interest
+//! in the output image"; an `Accessor` similarly defines a view rectangle on
+//! an input image. Both are backed by [`Rect`].
+
+/// A rectangle in pixel coordinates, `[x, x + width) × [y, y + height)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x: i32,
+    /// Top edge (inclusive).
+    pub y: i32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Rect {
+    /// A rectangle anchored at the origin.
+    pub const fn of_size(width: u32, height: u32) -> Self {
+        Self {
+            x: 0,
+            y: 0,
+            width,
+            height,
+        }
+    }
+
+    /// A rectangle with an explicit anchor.
+    pub const fn new(x: i32, y: i32, width: u32, height: u32) -> Self {
+        Self {
+            x,
+            y,
+            width,
+            height,
+        }
+    }
+
+    /// Number of pixels covered.
+    pub const fn area(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Right edge (exclusive).
+    pub const fn right(&self) -> i32 {
+        self.x + self.width as i32
+    }
+
+    /// Bottom edge (exclusive).
+    pub const fn bottom(&self) -> i32 {
+        self.y + self.height as i32
+    }
+
+    /// Whether `(x, y)` lies inside the rectangle.
+    pub const fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x && x < self.right() && y >= self.y && y < self.bottom()
+    }
+
+    /// Whether `other` lies fully inside `self`.
+    pub const fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x
+            && other.y >= self.y
+            && other.right() <= self.right()
+            && other.bottom() <= self.bottom()
+    }
+
+    /// Intersection of two rectangles, or `None` when they do not overlap.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x0 < x1 && y0 < y1 {
+            Some(Rect::new(x0, y0, (x1 - x0) as u32, (y1 - y0) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Grow the rectangle by `hx`/`hy` pixels on each side. Used to compute
+    /// the footprint a local operator with half-window `(hx, hy)` reads.
+    pub fn inflate(&self, hx: u32, hy: u32) -> Rect {
+        Rect::new(
+            self.x - hx as i32,
+            self.y - hy as i32,
+            self.width + 2 * hx,
+            self.height + 2 * hy,
+        )
+    }
+
+    /// Iterate over all `(x, y)` points in row-major order.
+    pub fn points(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
+        let r = *self;
+        (r.y..r.bottom()).flat_map(move |y| (r.x..r.right()).map(move |x| (x, y)))
+    }
+
+    /// Whether the rectangle covers no pixels.
+    pub const fn is_empty(&self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_respects_half_open_bounds() {
+        let r = Rect::new(2, 3, 4, 5);
+        assert!(r.contains(2, 3));
+        assert!(r.contains(5, 7));
+        assert!(!r.contains(6, 3));
+        assert!(!r.contains(2, 8));
+        assert!(!r.contains(1, 3));
+    }
+
+    #[test]
+    fn area_of_size() {
+        assert_eq!(Rect::of_size(1024, 768).area(), 1024 * 768);
+        assert_eq!(Rect::of_size(0, 100).area(), 0);
+        assert!(Rect::of_size(0, 100).is_empty());
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(&b), Some(Rect::new(5, 5, 5, 5)));
+        // Intersection is symmetric.
+        assert_eq!(b.intersect(&a), a.intersect(&b));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(4, 0, 4, 4); // touching edges do not overlap
+        assert_eq!(a.intersect(&b), None);
+        let c = Rect::new(100, 100, 4, 4);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let r = Rect::new(10, 10, 20, 20).inflate(3, 2);
+        assert_eq!(r, Rect::new(7, 8, 26, 24));
+    }
+
+    #[test]
+    fn contains_rect_for_inflated_window() {
+        let img = Rect::of_size(100, 100);
+        let inner = Rect::new(6, 6, 88, 88);
+        assert!(img.contains_rect(&inner));
+        assert!(img.contains_rect(&img));
+        assert!(!inner.contains_rect(&img));
+        assert!(!img.contains_rect(&inner.inflate(7, 7)));
+    }
+
+    #[test]
+    fn points_iterates_row_major() {
+        let r = Rect::new(1, 2, 2, 2);
+        let pts: Vec<_> = r.points().collect();
+        assert_eq!(pts, vec![(1, 2), (2, 2), (1, 3), (2, 3)]);
+        assert_eq!(pts.len() as u64, r.area());
+    }
+}

@@ -1,0 +1,316 @@
+//! Pretty-printing of IR in an abstract C-like syntax.
+//!
+//! This printer is backend-neutral (builtins print in CUDA spelling, math
+//! functions unsuffixed); the real CUDA/OpenCL emitters live in
+//! `hipacc-codegen` and reuse [`expr_to_string`] with backend-specific
+//! renderers for the memory nodes.
+
+use crate::expr::{Builtin, Expr, TexCoords, UnOp};
+use crate::stmt::{LValue, Stmt};
+
+/// How to render the backend-specific leaf nodes of an expression. The
+/// neutral printer and both codegen backends provide implementations.
+pub trait LeafRenderer {
+    /// Render a thread/block builtin.
+    fn builtin(&self, b: Builtin) -> String;
+    /// Render a math-function name for the given argument renderings.
+    fn math_call(&self, f: crate::expr::MathFn, args: &[String]) -> String;
+    /// Render a global load `buf[idx]`.
+    fn global_load(&self, buf: &str, idx: &str) -> String;
+    /// Render a texture fetch.
+    fn tex_fetch(&self, buf: &str, coords: &RenderedCoords) -> String;
+    /// Render a constant-memory load.
+    fn const_load(&self, buf: &str, idx: &str) -> String;
+    /// Render a shared-memory load.
+    fn shared_load(&self, buf: &str, y: &str, x: &str) -> String;
+}
+
+/// Rendered texture coordinates.
+pub enum RenderedCoords {
+    /// Linear element index.
+    Linear(String),
+    /// 2-D coordinates.
+    Xy(String, String),
+}
+
+/// The neutral renderer used for diagnostics and DSL pretty-printing.
+pub struct NeutralRenderer;
+
+impl LeafRenderer for NeutralRenderer {
+    fn builtin(&self, b: Builtin) -> String {
+        b.cuda_name().to_string()
+    }
+    fn math_call(&self, f: crate::expr::MathFn, args: &[String]) -> String {
+        format!("{}({})", f.name(), args.join(", "))
+    }
+    fn global_load(&self, buf: &str, idx: &str) -> String {
+        format!("{buf}[{idx}]")
+    }
+    fn tex_fetch(&self, buf: &str, coords: &RenderedCoords) -> String {
+        match coords {
+            RenderedCoords::Linear(i) => format!("tex({buf}, {i})"),
+            RenderedCoords::Xy(x, y) => format!("tex2({buf}, {x}, {y})"),
+        }
+    }
+    fn const_load(&self, buf: &str, idx: &str) -> String {
+        format!("{buf}[{idx}]")
+    }
+    fn shared_load(&self, buf: &str, y: &str, x: &str) -> String {
+        format!("{buf}[{y}][{x}]")
+    }
+}
+
+/// Operator precedence for parenthesization.
+fn precedence(e: &Expr) -> u8 {
+    use crate::expr::BinOp::*;
+    match e {
+        Expr::Binary(op, ..) => match op {
+            Or => 1,
+            And => 2,
+            Eq | Ne => 3,
+            Lt | Le | Gt | Ge => 4,
+            Add | Sub => 5,
+            Mul | Div | Rem => 6,
+        },
+        Expr::Select(..) => 0,
+        Expr::Unary(..) | Expr::Cast(..) => 7,
+        _ => 8,
+    }
+}
+
+/// Render an expression with a leaf renderer.
+pub fn expr_to_string(e: &Expr, r: &dyn LeafRenderer) -> String {
+    fn child(e: &Expr, parent_prec: u8, r: &dyn LeafRenderer) -> String {
+        let s = expr_to_string(e, r);
+        if precedence(e) < parent_prec {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+    match e {
+        Expr::ImmInt(i) => i.to_string(),
+        Expr::ImmFloat(f) => crate::ty::Const::Float(*f).to_string(),
+        Expr::ImmBool(b) => b.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Unary(op, a) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}{}", child(a, 7, r))
+        }
+        Expr::Binary(op, a, b) => {
+            let p = precedence(e);
+            format!(
+                "{} {} {}",
+                child(a, p, r),
+                op.c_symbol(),
+                child(b, p + 1, r)
+            )
+        }
+        Expr::Call(f, args) => {
+            let rendered: Vec<String> = args.iter().map(|a| expr_to_string(a, r)).collect();
+            r.math_call(*f, &rendered)
+        }
+        Expr::Cast(ty, a) => format!("({}){}", ty.c_name(), child(a, 7, r)),
+        Expr::Select(c, a, b) => format!(
+            "{} ? {} : {}",
+            child(c, 1, r),
+            child(a, 1, r),
+            child(b, 1, r)
+        ),
+        Expr::InputAt { acc, dx, dy } => {
+            let dx = expr_to_string(dx, r);
+            let dy = expr_to_string(dy, r);
+            if dx == "0" && dy == "0" {
+                format!("{acc}()")
+            } else {
+                format!("{acc}({dx}, {dy})")
+            }
+        }
+        Expr::MaskAt { mask, dx, dy } => format!(
+            "{mask}({}, {})",
+            expr_to_string(dx, r),
+            expr_to_string(dy, r)
+        ),
+        Expr::OutputX => "x()".to_string(),
+        Expr::OutputY => "y()".to_string(),
+        Expr::Builtin(b) => r.builtin(*b),
+        Expr::GlobalLoad { buf, idx } => r.global_load(buf, &expr_to_string(idx, r)),
+        Expr::TexFetch { buf, coords } => {
+            let rc = match coords {
+                TexCoords::Linear(i) => RenderedCoords::Linear(expr_to_string(i, r)),
+                TexCoords::Xy(x, y) => {
+                    RenderedCoords::Xy(expr_to_string(x, r), expr_to_string(y, r))
+                }
+            };
+            r.tex_fetch(buf, &rc)
+        }
+        Expr::ConstLoad { buf, idx } => r.const_load(buf, &expr_to_string(idx, r)),
+        Expr::SharedLoad { buf, y, x } => {
+            r.shared_load(buf, &expr_to_string(y, r), &expr_to_string(x, r))
+        }
+    }
+}
+
+/// Emit a statement list with a leaf renderer into `out`, indented by
+/// `indent` levels of four spaces.
+pub fn emit_stmts(stmts: &[Stmt], r: &dyn LeafRenderer, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, ty, init } => match init {
+                Some(e) => out.push_str(&format!(
+                    "{pad}{} {name} = {};\n",
+                    ty.c_name(),
+                    expr_to_string(e, r)
+                )),
+                None => out.push_str(&format!("{pad}{} {name};\n", ty.c_name())),
+            },
+            Stmt::Assign { target, value } => {
+                let LValue::Var(name) = target;
+                out.push_str(&format!("{pad}{name} = {};\n", expr_to_string(value, r)));
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                out.push_str(&format!(
+                    "{pad}for (int {var} = {}; {var} <= {}; ++{var}) {{\n",
+                    expr_to_string(from, r),
+                    expr_to_string(to, r)
+                ));
+                emit_stmts(body, r, indent + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::If { cond, then, els } => {
+                out.push_str(&format!("{pad}if ({}) {{\n", expr_to_string(cond, r)));
+                emit_stmts(then, r, indent + 1, out);
+                if els.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    emit_stmts(els, r, indent + 1, out);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            Stmt::Output(e) => {
+                out.push_str(&format!("{pad}output() = {};\n", expr_to_string(e, r)));
+            }
+            Stmt::GlobalStore { buf, idx, value } => {
+                out.push_str(&format!(
+                    "{pad}{buf}[{}] = {};\n",
+                    expr_to_string(idx, r),
+                    expr_to_string(value, r)
+                ));
+            }
+            Stmt::SharedStore { buf, y, x, value } => {
+                out.push_str(&format!(
+                    "{pad}{buf}[{}][{}] = {};\n",
+                    expr_to_string(y, r),
+                    expr_to_string(x, r),
+                    expr_to_string(value, r)
+                ));
+            }
+            Stmt::Barrier => out.push_str(&format!("{pad}__barrier();\n")),
+            Stmt::Return => out.push_str(&format!("{pad}return;\n")),
+            Stmt::Comment(c) => out.push_str(&format!("{pad}// {c}\n")),
+        }
+    }
+}
+
+/// Pretty-print a statement list in the neutral syntax.
+pub fn pretty(stmts: &[Stmt]) -> String {
+    let mut out = String::new();
+    emit_stmts(stmts, &NeutralRenderer, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::ScalarType;
+
+    #[test]
+    fn precedence_parenthesizes_correctly() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let e = (Expr::var("a") + Expr::var("b")) * Expr::var("c");
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "(a + b) * c");
+        let e = Expr::var("a") + Expr::var("b") * Expr::var("c");
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "a + b * c");
+    }
+
+    #[test]
+    fn subtraction_is_left_associative() {
+        // a - (b - c) must keep its parens; (a - b) - c must not.
+        let e = Expr::var("a") - (Expr::var("b") - Expr::var("c"));
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "a - (b - c)");
+        let e = (Expr::var("a") - Expr::var("b")) - Expr::var("c");
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "a - b - c");
+    }
+
+    #[test]
+    fn input_center_prints_empty_parens() {
+        let e = Expr::input_center("Input");
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "Input()");
+        let e = Expr::input_at("Input", Expr::var("xf"), Expr::var("yf"));
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "Input(xf, yf)");
+    }
+
+    #[test]
+    fn float_literals_keep_suffix() {
+        let e = Expr::float(1.0) / Expr::float(2.0);
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "1.0f / 2.0f");
+    }
+
+    #[test]
+    fn statements_render_as_c() {
+        let stmts = vec![
+            Stmt::Decl {
+                name: "d".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::float(0.0)),
+            },
+            Stmt::For {
+                var: "i".into(),
+                from: Expr::int(-1),
+                to: Expr::int(1),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("d".into()),
+                    value: Expr::var("d") + Expr::var("i").cast(ScalarType::F32),
+                }],
+            },
+            Stmt::Output(Expr::var("d")),
+        ];
+        let text = pretty(&stmts);
+        assert_eq!(
+            text,
+            "float d = 0.0f;\n\
+             for (int i = -1; i <= 1; ++i) {\n    \
+                 d = d + (float)i;\n\
+             }\n\
+             output() = d;\n"
+        );
+    }
+
+    #[test]
+    fn select_renders_ternary() {
+        let e = Expr::select(
+            Expr::var("x").lt(Expr::int(0)),
+            Expr::int(0),
+            Expr::var("x"),
+        );
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "x < 0 ? 0 : x");
+    }
+
+    #[test]
+    fn cast_and_negation() {
+        let e = -(Expr::var("c") * Expr::var("d"));
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "-(c * d)");
+        let e = Expr::var("i").cast(ScalarType::F32) * Expr::var("j").cast(ScalarType::F32);
+        assert_eq!(expr_to_string(&e, &NeutralRenderer), "(float)i * (float)j");
+    }
+}

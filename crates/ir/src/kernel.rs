@@ -1,0 +1,330 @@
+//! Kernel definitions at both IR levels.
+//!
+//! [`KernelDef`] is the DSL-level artifact: the body of the programmer's
+//! `kernel()` method plus declarations of the accessors, masks and scalar
+//! parameters it uses — exactly the information the paper's compiler gets
+//! from the Clang AST and the framework's built-in classes.
+//!
+//! [`DeviceKernelDef`] is the device-level artifact the source-to-source
+//! compiler produces: explicit buffer parameters with memory spaces,
+//! scratchpad declarations, and a body written against thread/block
+//! builtins. Both the CUDA/OpenCL text emitters and the functional
+//! simulator consume it, which is what lets us *execute* the generated
+//! code and check it against the CPU reference.
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+use crate::ty::ScalarType;
+
+/// A scalar kernel parameter (e.g. `sigma_d`, `sigma_r`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: ScalarType,
+}
+
+/// An input-image accessor declared on a DSL kernel. Boundary conditions
+/// and window sizes are attached later (they are *access metadata* carried
+/// by the framework objects, not by the kernel body).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccessorDecl {
+    /// Accessor name as referenced by `Expr::InputAt`.
+    pub name: String,
+    /// Element type of the underlying image.
+    pub ty: ScalarType,
+}
+
+/// A filter mask declared on a DSL kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaskDecl {
+    /// Mask name as referenced by `Expr::MaskAt`.
+    pub name: String,
+    /// Window width (odd).
+    pub width: u32,
+    /// Window height (odd).
+    pub height: u32,
+    /// Row-major coefficients when known at compile time (static constant
+    /// memory); `None` for dynamically initialized masks.
+    pub coeffs: Option<Vec<f32>>,
+}
+
+impl MaskDecl {
+    /// Horizontal half-window.
+    pub fn half_w(&self) -> i32 {
+        (self.width / 2) as i32
+    }
+
+    /// Vertical half-window.
+    pub fn half_h(&self) -> i32 {
+        (self.height / 2) as i32
+    }
+}
+
+/// A DSL-level kernel: the paper's `Kernel` subclass after "parsing".
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelDef {
+    /// Kernel name (becomes the generated function name).
+    pub name: String,
+    /// Output pixel type.
+    pub pixel: ScalarType,
+    /// Scalar parameters.
+    pub params: Vec<ParamDecl>,
+    /// Input accessors.
+    pub accessors: Vec<AccessorDecl>,
+    /// Filter masks.
+    pub masks: Vec<MaskDecl>,
+    /// The `kernel()` body.
+    pub body: Vec<Stmt>,
+}
+
+impl KernelDef {
+    /// Look up an accessor declaration by name.
+    pub fn accessor(&self, name: &str) -> Option<&AccessorDecl> {
+        self.accessors.iter().find(|a| a.name == name)
+    }
+
+    /// Look up a mask declaration by name.
+    pub fn mask(&self, name: &str) -> Option<&MaskDecl> {
+        self.masks.iter().find(|m| m.name == name)
+    }
+
+    /// Look up a scalar parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamDecl> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Source lines of the DSL body when pretty-printed — the paper's
+    /// "16 lines of code" metric for Listing 5.
+    pub fn dsl_loc(&self) -> usize {
+        crate::display::pretty(&self.body).lines().count()
+    }
+}
+
+/// How a device buffer parameter may be accessed; result of the paper's
+/// read/write analysis, and the source of OpenCL's `read_only` /
+/// `write_only` image attributes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BufferAccess {
+    /// Only read by the kernel.
+    ReadOnly,
+    /// Only written by the kernel.
+    WriteOnly,
+    /// Both read and written.
+    ReadWrite,
+}
+
+/// The memory path a device buffer is bound to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemorySpace {
+    /// Plain global memory pointer.
+    Global,
+    /// Read through the texture path (CUDA linear texture / OpenCL image).
+    Texture,
+    /// Constant memory (broadcast-cached).
+    Constant,
+}
+
+/// Hardware texture address mode, for the `+2DTex` / `ImgBH` variants where
+/// boundary handling is delegated to the texture unit.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum AddressMode {
+    /// No hardware handling; coordinates must be in range.
+    None,
+    /// Hardware clamp-to-edge.
+    Clamp,
+    /// Hardware wrap/repeat.
+    Repeat,
+    /// Hardware constant border (OpenCL `CLK_ADDRESS_CLAMP`, border color).
+    BorderConstant(f32),
+}
+
+/// A buffer parameter of a device kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferParam {
+    /// Buffer name as referenced by loads/stores in the body.
+    pub name: String,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Read/write classification.
+    pub access: BufferAccess,
+    /// Bound memory path.
+    pub space: MemorySpace,
+    /// Hardware address mode (only meaningful for 2-D texture bindings).
+    pub address_mode: AddressMode,
+}
+
+/// A scratchpad (shared/local memory) array declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SharedDecl {
+    /// Array name.
+    pub name: String,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Number of rows (`SY + BSY` in Listing 7).
+    pub rows: u32,
+    /// Number of columns, including the +1 bank-conflict pad
+    /// (`SX + BSX + 1`).
+    pub cols: u32,
+}
+
+impl SharedDecl {
+    /// Bytes of scratchpad this declaration consumes (4-byte elements; the
+    /// IR only stages `float`/`int` tiles).
+    pub fn bytes(&self) -> u32 {
+        self.rows * self.cols * 4
+    }
+}
+
+/// A constant-memory buffer holding filter-mask coefficients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstBufferDecl {
+    /// Buffer name as referenced by `Expr::ConstLoad`.
+    pub name: String,
+    /// Window width.
+    pub width: u32,
+    /// Window height.
+    pub height: u32,
+    /// Coefficients when statically initialized; `None` when the host
+    /// uploads them at run time (`cudaMemcpyToSymbol`).
+    pub data: Option<Vec<f32>>,
+}
+
+/// A device-level kernel: the product of source-to-source compilation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceKernelDef {
+    /// Kernel function name.
+    pub name: String,
+    /// Buffer parameters (inputs and output).
+    pub buffers: Vec<BufferParam>,
+    /// Scalar parameters (image geometry, filter parameters, region-dispatch
+    /// constants).
+    pub scalars: Vec<ParamDecl>,
+    /// Constant-memory buffers.
+    pub const_buffers: Vec<ConstBufferDecl>,
+    /// Scratchpad arrays.
+    pub shared: Vec<SharedDecl>,
+    /// Kernel body (device level).
+    pub body: Vec<Stmt>,
+}
+
+impl DeviceKernelDef {
+    /// Total scratchpad bytes declared.
+    pub fn shared_bytes(&self) -> u32 {
+        self.shared.iter().map(SharedDecl::bytes).sum()
+    }
+
+    /// Find a buffer parameter by name.
+    pub fn buffer(&self, name: &str) -> Option<&BufferParam> {
+        self.buffers.iter().find(|b| b.name == name)
+    }
+
+    /// Find a constant buffer by name.
+    pub fn const_buffer(&self, name: &str) -> Option<&ConstBufferDecl> {
+        self.const_buffers.iter().find(|b| b.name == name)
+    }
+
+    /// Whether the body contains any barrier (implies scratchpad phases).
+    pub fn has_barrier(&self) -> bool {
+        let mut found = false;
+        Stmt::visit_all(&self.body, &mut |s| {
+            if matches!(s, Stmt::Barrier) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Collect the names of all buffers read via the texture path in the
+    /// body (used by emitters to declare texture references/samplers).
+    pub fn texture_reads(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        Stmt::visit_exprs(&self.body, &mut |e| {
+            if let Expr::TexFetch { buf, .. } = e {
+                if !names.contains(buf) {
+                    names.push(buf.clone());
+                }
+            }
+        });
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_half_windows() {
+        let m = MaskDecl {
+            name: "M".into(),
+            width: 13,
+            height: 13,
+            coeffs: None,
+        };
+        assert_eq!(m.half_w(), 6);
+        assert_eq!(m.half_h(), 6);
+    }
+
+    #[test]
+    fn shared_decl_bytes() {
+        // Listing 7: [SY + BSY][SX + BSX + 1] floats.
+        let s = SharedDecl {
+            name: "_smemIN".into(),
+            ty: ScalarType::F32,
+            rows: 12 + 1,
+            cols: 12 + 128 + 1,
+        };
+        assert_eq!(s.bytes(), 13 * 141 * 4);
+    }
+
+    #[test]
+    fn device_kernel_lookup_helpers() {
+        let dk = DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![BufferParam {
+                name: "IN".into(),
+                ty: ScalarType::F32,
+                access: BufferAccess::ReadOnly,
+                space: MemorySpace::Texture,
+                address_mode: AddressMode::None,
+            }],
+            scalars: vec![],
+            const_buffers: vec![ConstBufferDecl {
+                name: "_constCM".into(),
+                width: 3,
+                height: 3,
+                data: Some(vec![0.0; 9]),
+            }],
+            shared: vec![],
+            body: vec![Stmt::Barrier],
+        };
+        assert!(dk.buffer("IN").is_some());
+        assert!(dk.buffer("OUT").is_none());
+        assert!(dk.const_buffer("_constCM").is_some());
+        assert!(dk.has_barrier());
+        assert_eq!(dk.shared_bytes(), 0);
+    }
+
+    #[test]
+    fn texture_reads_deduplicates() {
+        use crate::expr::TexCoords;
+        let fetch = Expr::TexFetch {
+            buf: "_texIN".into(),
+            coords: TexCoords::Linear(Box::new(Expr::int(0))),
+        };
+        let dk = DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared: vec![],
+            body: vec![
+                Stmt::Output(fetch.clone() + fetch.clone()),
+                Stmt::Output(fetch),
+            ],
+        };
+        assert_eq!(dk.texture_reads(), vec!["_texIN".to_string()]);
+    }
+}

@@ -1,0 +1,913 @@
+//! Static per-thread operation counting.
+//!
+//! The paper's compiler feeds generated kernels to `nvcc` / the OpenCL
+//! runtime to learn their resource usage; our stand-in walks the IR and
+//! produces dynamic operation estimates per thread — ALU operations,
+//! special-function (transcendental) operations, memory operations per
+//! space, and branches — with loop bodies weighted by their trip counts.
+//!
+//! Both the register-pressure estimator in `hipacc-hwmodel` and the
+//! analytical timing model in `hipacc-sim` consume these counts.
+
+use crate::expr::{BinOp, Expr, MathFn, TexCoords};
+use crate::fold::eval_const;
+use crate::stmt::Stmt;
+use crate::ty::Const;
+use std::collections::HashMap;
+use std::ops::{Add, AddAssign};
+
+/// Dynamic operation counts for one thread, as `f64` so that divergent
+/// branches can be weighted fractionally.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct OpCounts {
+    /// Simple arithmetic/logic operations (add, mul, compare, select, cast).
+    pub alu: f64,
+    /// Special-function operations (`exp`, `sqrt`, `sin`, …).
+    pub sfu: f64,
+    /// Floating-point divisions (slower than plain ALU on all targets).
+    pub fdiv: f64,
+    /// Integer division/remainder operations (expensive on GPUs).
+    pub idiv: f64,
+    /// Global-memory loads.
+    pub global_loads: f64,
+    /// Global-memory stores.
+    pub global_stores: f64,
+    /// Texture fetches.
+    pub tex_fetches: f64,
+    /// Constant-memory loads.
+    pub const_loads: f64,
+    /// Shared-memory loads.
+    pub shared_loads: f64,
+    /// Shared-memory stores.
+    pub shared_stores: f64,
+    /// Barriers executed.
+    pub barriers: f64,
+    /// Conditional branches evaluated.
+    pub branches: f64,
+    /// DSL-level accessor reads (before memory-space lowering).
+    pub input_reads: f64,
+    /// DSL-level mask reads.
+    pub mask_reads: f64,
+    /// Selects whose arms contain memory operations: these compile to real
+    /// (divergence-capable) branches around loads rather than predicated
+    /// moves, and carry a per-device control-flow penalty in the timing
+    /// model.
+    pub mem_selects: f64,
+}
+
+impl OpCounts {
+    /// Scale all counts by a factor (loop trip count, region weight).
+    pub fn scaled(mut self, k: f64) -> OpCounts {
+        for f in [
+            &mut self.alu,
+            &mut self.sfu,
+            &mut self.fdiv,
+            &mut self.idiv,
+            &mut self.global_loads,
+            &mut self.global_stores,
+            &mut self.tex_fetches,
+            &mut self.const_loads,
+            &mut self.shared_loads,
+            &mut self.shared_stores,
+            &mut self.barriers,
+            &mut self.branches,
+            &mut self.input_reads,
+            &mut self.mask_reads,
+            &mut self.mem_selects,
+        ] {
+            *f *= k;
+        }
+        self
+    }
+
+    /// Total memory operations of any kind.
+    pub fn total_memory_ops(&self) -> f64 {
+        self.global_loads
+            + self.global_stores
+            + self.tex_fetches
+            + self.const_loads
+            + self.shared_loads
+            + self.shared_stores
+    }
+
+    /// Total compute operations (ALU + weighted SFU + weighted divides).
+    /// SFUs and divides are weighted by their typical issue-cost ratio
+    /// relative to a fused multiply-add.
+    pub fn weighted_compute(&self, sfu_cost: f64, div_cost: f64) -> f64 {
+        self.alu + self.sfu * sfu_cost + (self.fdiv + self.idiv) * div_cost + self.branches
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, o: OpCounts) -> OpCounts {
+        OpCounts {
+            alu: self.alu + o.alu,
+            sfu: self.sfu + o.sfu,
+            fdiv: self.fdiv + o.fdiv,
+            idiv: self.idiv + o.idiv,
+            global_loads: self.global_loads + o.global_loads,
+            global_stores: self.global_stores + o.global_stores,
+            tex_fetches: self.tex_fetches + o.tex_fetches,
+            const_loads: self.const_loads + o.const_loads,
+            shared_loads: self.shared_loads + o.shared_loads,
+            shared_stores: self.shared_stores + o.shared_stores,
+            barriers: self.barriers + o.barriers,
+            branches: self.branches + o.branches,
+            input_reads: self.input_reads + o.input_reads,
+            mask_reads: self.mask_reads + o.mask_reads,
+            mem_selects: self.mem_selects + o.mem_selects,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, o: OpCounts) {
+        *self = *self + o;
+    }
+}
+
+/// Configuration for counting.
+#[derive(Copy, Clone, Debug)]
+pub struct CountConfig {
+    /// Trip count assumed for loops whose bounds cannot be evaluated.
+    pub default_trip: f64,
+    /// How to weight `if` branches: `true` counts both sides (divergent
+    /// warp executes both paths), `false` counts the heavier side only
+    /// (uniform branch: one path per warp).
+    pub divergent_branches: bool,
+}
+
+impl Default for CountConfig {
+    fn default() -> Self {
+        Self {
+            default_trip: 8.0,
+            divergent_branches: false,
+        }
+    }
+}
+
+
+/// Whether an expression contains any memory operation (load of any kind).
+fn contains_memory(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |n| {
+        if matches!(
+            n,
+            Expr::GlobalLoad { .. }
+                | Expr::TexFetch { .. }
+                | Expr::ConstLoad { .. }
+                | Expr::SharedLoad { .. }
+                | Expr::InputAt { .. }
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn count_expr(e: &Expr, c: &mut OpCounts) {
+    e.visit(&mut |n| match n {
+        Expr::Binary(op, ..) => match op {
+            BinOp::Div => c.fdiv += 1.0, // refined by type below if needed
+            BinOp::Rem => c.idiv += 1.0,
+            _ => c.alu += 1.0,
+        },
+        Expr::Unary(..) | Expr::Cast(..) => c.alu += 1.0,
+        Expr::Select(_, a, b) => {
+            c.alu += 1.0;
+            if contains_memory(a) || contains_memory(b) {
+                c.mem_selects += 1.0;
+            }
+        }
+        Expr::Call(f, _) => {
+            if f.uses_sfu() {
+                c.sfu += 1.0;
+            } else if matches!(f, MathFn::Min | MathFn::Max | MathFn::Abs | MathFn::Floor | MathFn::Round)
+            {
+                c.alu += 1.0;
+            }
+        }
+        Expr::GlobalLoad { .. } => c.global_loads += 1.0,
+        Expr::TexFetch { coords, .. } => {
+            c.tex_fetches += 1.0;
+            // Index arithmetic inside coords is visited separately below.
+            match coords {
+                TexCoords::Linear(_) | TexCoords::Xy(..) => {}
+            }
+        }
+        Expr::ConstLoad { .. } => c.const_loads += 1.0,
+        Expr::SharedLoad { .. } => c.shared_loads += 1.0,
+        Expr::InputAt { .. } => c.input_reads += 1.0,
+        Expr::MaskAt { .. } => c.mask_reads += 1.0,
+        _ => {}
+    });
+}
+
+fn count_stmts(
+    stmts: &[Stmt],
+    cfg: &CountConfig,
+    consts: &HashMap<String, Const>,
+) -> OpCounts {
+    let mut total = OpCounts::default();
+    for s in stmts {
+        match s {
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    count_expr(e, &mut total);
+                }
+            }
+            Stmt::Assign { value, .. } | Stmt::Output(value) => {
+                count_expr(value, &mut total);
+                if matches!(s, Stmt::Output(_)) {
+                    // The output write lowers to one global store.
+                    total.global_stores += 1.0;
+                }
+            }
+            Stmt::For {
+                from, to, body, ..
+            } => {
+                count_expr(from, &mut total);
+                count_expr(to, &mut total);
+                let trip = match (eval_const(from, consts), eval_const(to, consts)) {
+                    (Some(f), Some(t)) => ((t.as_i64() - f.as_i64() + 1).max(0)) as f64,
+                    _ => cfg.default_trip,
+                };
+                // Loop overhead: one compare + one increment per iteration.
+                let mut per_iter = count_stmts(body, cfg, consts);
+                per_iter.alu += 2.0;
+                per_iter.branches += 1.0;
+                total += per_iter.scaled(trip);
+            }
+            Stmt::If { cond, then, els } => {
+                count_expr(cond, &mut total);
+                total.branches += 1.0;
+                let ct = count_stmts(then, cfg, consts);
+                let ce = count_stmts(els, cfg, consts);
+                if cfg.divergent_branches {
+                    total += ct + ce;
+                } else {
+                    // Take the heavier path (uniform branching).
+                    let heavier = if ct.weighted_compute(1.0, 1.0) + ct.total_memory_ops()
+                        >= ce.weighted_compute(1.0, 1.0) + ce.total_memory_ops()
+                    {
+                        ct
+                    } else {
+                        ce
+                    };
+                    total += heavier;
+                }
+            }
+            Stmt::GlobalStore { idx, value, .. } => {
+                count_expr(idx, &mut total);
+                count_expr(value, &mut total);
+                total.global_stores += 1.0;
+            }
+            Stmt::SharedStore { y, x, value, .. } => {
+                count_expr(y, &mut total);
+                count_expr(x, &mut total);
+                count_expr(value, &mut total);
+                total.shared_stores += 1.0;
+            }
+            Stmt::Barrier => total.barriers += 1.0,
+            Stmt::Return | Stmt::Comment(_) => {}
+        }
+    }
+    total
+}
+
+/// Count per-thread dynamic operations for a statement list, resolving
+/// loop trip counts with the given parameter bindings.
+pub fn count_ops(
+    stmts: &[Stmt],
+    cfg: &CountConfig,
+    params: &HashMap<String, Const>,
+) -> OpCounts {
+    count_stmts(stmts, cfg, params)
+}
+
+// ---------------------------------------------------------------------
+// Loop-invariant-aware counting.
+// ---------------------------------------------------------------------
+
+use std::collections::HashSet;
+
+fn assigned_in(stmts: &[Stmt]) -> HashSet<String> {
+    let mut set = HashSet::new();
+    Stmt::visit_all(stmts, &mut |s| {
+        if let Stmt::Assign {
+            target: crate::stmt::LValue::Var(n),
+            ..
+        } = s
+        {
+            set.insert(n.clone());
+        }
+        if let Stmt::Decl { name, .. } = s {
+            set.insert(name.clone());
+        }
+    });
+    set
+}
+
+/// Multi-level LICM-aware counter. `levels[k]` holds the variant-variable
+/// set of the (k+1)-th enclosing loop; `acc[k+1]` accumulates costs that
+/// execute once per iteration of that loop, `acc[0]` costs hoisted out of
+/// every loop.
+/// A constant-trip loop this small gets fully unrolled by any backend
+/// compiler (nvcc, the OpenCL JIT), folding loop-variable arithmetic into
+/// immediate operands and removing loop control entirely.
+const UNROLL_TRIP: f64 = 32.0;
+/// Cap on the unrolled nest product (25 for a 5x5 convolution qualifies;
+/// the 169-tap bilateral does not).
+const UNROLL_TOTAL: f64 = 128.0;
+
+struct Licm<'a> {
+    cfg: &'a CountConfig,
+    consts: &'a HashMap<String, Const>,
+    levels: Vec<HashSet<String>>,
+    /// Per level: (loop variable, whether the backend unrolls this loop).
+    loop_vars: Vec<(String, bool)>,
+    /// Trip counts of unrolled ancestors (1.0 for non-unrolled levels).
+    unrolled_trips: Vec<f64>,
+    /// Currently walking a memory-address operand.
+    in_addr: bool,
+    acc: Vec<OpCounts>,
+    /// Common-subexpression memo, one map per level: a pure subtree already
+    /// counted at level `l` costs nothing when it recurs within the same
+    /// iteration scope — real backends CSE these (the repeated `ix` in a
+    /// mirror select, the repeated `Input(xf, yf)` read of Listing 1).
+    memo: Vec<HashMap<String, usize>>,
+    /// Variables that are reassigned somewhere in the kernel: subtrees
+    /// containing them are not CSE-safe across statements.
+    mutable_vars: HashSet<String>,
+}
+
+impl Licm<'_> {
+    /// Whether level `l` (1-based) is an unrolled loop.
+    fn level_unrolled(&self, l: usize) -> bool {
+        l >= 1 && self.loop_vars.get(l - 1).map(|(_, u)| *u).unwrap_or(false)
+    }
+
+    /// Whether the subtree becomes a literal once unrolled loops are
+    /// expanded: every variable it touches is an unrolled loop variable
+    /// (pure math over such variables constant-folds, `exp` included —
+    /// LLVM folds libm calls with literal arguments).
+    fn folds_after_unroll(&self, e: &Expr) -> bool {
+        let mut ok = true;
+        e.visit(&mut |n| match n {
+            Expr::ImmInt(_) | Expr::ImmFloat(_) | Expr::ImmBool(_) => {}
+            Expr::Var(v) => {
+                if !self
+                    .loop_vars
+                    .iter()
+                    .any(|(name, unrolled)| *unrolled && name == v)
+                {
+                    ok = false;
+                }
+            }
+            Expr::Unary(..)
+            | Expr::Binary(..)
+            | Expr::Cast(..)
+            | Expr::Select(..)
+            | Expr::Call(..) => {}
+            _ => ok = false,
+        });
+        ok
+    }
+
+    /// Like [`Self::split`], but for memory-address operands: add/sub/mul
+    /// whose level is an unrolled loop folds into the instruction's
+    /// immediate offset (`[base + imm]`, strength-reduced row bases) and
+    /// costs nothing. Boundary-handling arithmetic (min/max/select/
+    /// compares) stays priced — it does not fold into addressing modes.
+    fn split_addr(&mut self, e: &Expr) -> usize {
+        let saved = self.in_addr;
+        self.in_addr = true;
+        let l = self.split(e);
+        self.in_addr = saved;
+        l
+    }
+
+    fn level_of_var(&self, n: &str) -> usize {
+        for (i, vs) in self.levels.iter().enumerate().rev() {
+            if vs.contains(n) {
+                return i + 1;
+            }
+        }
+        0
+    }
+
+    /// Whether a subtree may be memoized: pure over immutable state only.
+    fn is_memoizable(&self, e: &Expr) -> bool {
+        let mut ok = true;
+        e.visit(&mut |n| match n {
+            Expr::Var(v) if self.mutable_vars.contains(v) => ok = false,
+            Expr::SharedLoad { .. } => ok = false,
+            Expr::Select(_, a, b) if contains_memory(a) || contains_memory(b) => ok = false,
+            _ => {}
+        });
+        ok
+    }
+
+    /// Classify an expression with CSE: a repeated pure subtree is free.
+    fn split(&mut self, e: &Expr) -> usize {
+        let trivial = matches!(
+            e,
+            Expr::ImmInt(_)
+                | Expr::ImmFloat(_)
+                | Expr::ImmBool(_)
+                | Expr::Var(_)
+                | Expr::Builtin(_)
+                | Expr::OutputX
+                | Expr::OutputY
+        );
+        if !trivial && self.folds_after_unroll(e) {
+            // Becomes a literal after unrolling: free, but each unrolled
+            // iteration gets its own literal, so the *level* is preserved
+            // (parent expressions stay per-iteration).
+            let mut l = 0;
+            e.visit(&mut |n| {
+                if let Expr::Var(v) = n {
+                    l = l.max(self.level_of_var(v));
+                }
+            });
+            return l;
+        }
+        if trivial || !self.is_memoizable(e) {
+            return self.split_uncached(e);
+        }
+        let key = format!("{e:?}");
+        for m in self.memo.iter().rev() {
+            if let Some(&l) = m.get(&key) {
+                return l;
+            }
+        }
+        let level = self.split_uncached(e);
+        let idx = level.min(self.memo.len() - 1);
+        self.memo[idx].insert(key, level);
+        level
+    }
+
+    /// Classify an expression; its own cost is charged at the returned
+    /// level (the innermost loop it depends on; 0 = fully hoistable).
+    fn split_uncached(&mut self, e: &Expr) -> usize {
+        use crate::expr::TexCoords;
+        match e {
+            Expr::ImmInt(_) | Expr::ImmFloat(_) | Expr::ImmBool(_) => 0,
+            Expr::Var(n) => self.level_of_var(n),
+            Expr::Builtin(_) | Expr::OutputX | Expr::OutputY => 0,
+            Expr::Unary(_, a) | Expr::Cast(_, a) => {
+                let l = self.split(a);
+                self.acc[l].alu += 1.0;
+                l
+            }
+            Expr::Binary(op, a, b) => {
+                let l = self.split(a).max(self.split(b));
+                let folds_into_address = self.in_addr
+                    && self.level_unrolled(l)
+                    && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul);
+                if !folds_into_address {
+                    match op {
+                        BinOp::Div => self.acc[l].fdiv += 1.0,
+                        BinOp::Rem => self.acc[l].idiv += 1.0,
+                        _ => self.acc[l].alu += 1.0,
+                    }
+                }
+                l
+            }
+            Expr::Select(c, a, b) => {
+                let l = self.split(c).max(self.split(a)).max(self.split(b));
+                self.acc[l].alu += 1.0;
+                if contains_memory(a) || contains_memory(b) {
+                    // A guarded load is a real branch, not a cmov.
+                    self.acc[l].mem_selects += 1.0;
+                }
+                l
+            }
+            Expr::Call(f, args) => {
+                let mut l = 0;
+                for a in args {
+                    l = l.max(self.split(a));
+                }
+                if f.uses_sfu() {
+                    self.acc[l].sfu += 1.0;
+                } else {
+                    self.acc[l].alu += 1.0;
+                }
+                l
+            }
+            // Read-only loads hoist with their address: the buffers are
+            // immutable during the launch (guaranteed by the read/write
+            // analysis), which is what lets nvcc hoist e.g. the bilateral
+            // filter's center-pixel read out of the convolution loops.
+            Expr::ConstLoad { idx, .. } => {
+                let l = self.split_addr(idx);
+                self.acc[l].const_loads += 1.0;
+                l
+            }
+            Expr::GlobalLoad { idx, .. } => {
+                let l = self.split_addr(idx);
+                self.acc[l].global_loads += 1.0;
+                l
+            }
+            Expr::TexFetch { coords, .. } => {
+                let l = match coords {
+                    TexCoords::Linear(i) => self.split_addr(i),
+                    TexCoords::Xy(x, y) => self.split_addr(x).max(self.split_addr(y)),
+                };
+                self.acc[l].tex_fetches += 1.0;
+                l
+            }
+            // Shared memory mutates across barriers: pinned to the current
+            // (innermost) level, never hoisted.
+            Expr::SharedLoad { y, x, .. } => {
+                self.split(y);
+                self.split(x);
+                let l = self.levels.len();
+                self.acc[l].shared_loads += 1.0;
+                l
+            }
+            Expr::InputAt { dx, dy, .. } => {
+                let l = self.split(dx).max(self.split(dy));
+                self.acc[l].input_reads += 1.0;
+                l
+            }
+            Expr::MaskAt { dx, dy, .. } => {
+                let l = self.split(dx).max(self.split(dy));
+                self.acc[l].mask_reads += 1.0;
+                l
+            }
+        }
+    }
+
+    fn top(&mut self) -> &mut OpCounts {
+        self.acc.last_mut().expect("acc stack")
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Decl { init, .. } => {
+                    if let Some(e) = init {
+                        self.split(e);
+                    }
+                }
+                Stmt::Assign { value, .. } => {
+                    self.split(value);
+                }
+                Stmt::Output(e) => {
+                    self.split(e);
+                    self.top().global_stores += 1.0;
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    self.split(from);
+                    self.split(to);
+                    let trip = match (
+                        eval_const(from, self.consts),
+                        eval_const(to, self.consts),
+                    ) {
+                        (Some(f), Some(t)) => ((t.as_i64() - f.as_i64() + 1).max(0)) as f64,
+                        _ => self.cfg.default_trip,
+                    };
+                    let const_trip = matches!(
+                        (eval_const(from, self.consts), eval_const(to, self.consts)),
+                        (Some(_), Some(_))
+                    );
+                    let unrolled_parents: f64 = self.unrolled_trips.iter().product();
+                    let unrolled = const_trip
+                        && trip <= UNROLL_TRIP
+                        && unrolled_parents * trip <= UNROLL_TOTAL;
+                    let mut vset = assigned_in(body);
+                    vset.insert(var.clone());
+                    self.levels.push(vset);
+                    self.loop_vars.push((var.clone(), unrolled));
+                    self.unrolled_trips.push(if unrolled { trip } else { 1.0 });
+                    self.acc.push(OpCounts::default());
+                    self.memo.push(HashMap::new());
+                    self.walk(body);
+                    let mut per_iter = self.acc.pop().expect("acc stack");
+                    self.memo.pop();
+                    self.loop_vars.pop();
+                    self.unrolled_trips.pop();
+                    self.levels.pop();
+                    if !unrolled {
+                        per_iter.alu += 2.0;
+                        per_iter.branches += 1.0;
+                    }
+                    *self.top() += per_iter.scaled(trip);
+                }
+                Stmt::If { cond, then, els } => {
+                    self.split(cond);
+                    self.top().branches += 1.0;
+                    // No hoisting out of conditionals: branch bodies are
+                    // counted naively and charged at the current level.
+                    let ct = count_stmts(then, self.cfg, self.consts);
+                    let ce = count_stmts(els, self.cfg, self.consts);
+                    if self.cfg.divergent_branches {
+                        *self.top() += ct + ce;
+                    } else if ct.weighted_compute(1.0, 1.0) + ct.total_memory_ops()
+                        >= ce.weighted_compute(1.0, 1.0) + ce.total_memory_ops()
+                    {
+                        *self.top() += ct;
+                    } else {
+                        *self.top() += ce;
+                    }
+                }
+                Stmt::GlobalStore { idx, value, .. } => {
+                    self.split(idx);
+                    self.split(value);
+                    let l = self.levels.len();
+                    self.acc[l].global_stores += 1.0;
+                }
+                Stmt::SharedStore { y, x, value, .. } => {
+                    self.split(y);
+                    self.split(x);
+                    self.split(value);
+                    let l = self.levels.len();
+                    self.acc[l].shared_stores += 1.0;
+                }
+                Stmt::Barrier => self.top().barriers += 1.0,
+                Stmt::Return | Stmt::Comment(_) => {}
+            }
+        }
+    }
+}
+
+/// Count per-thread dynamic operations like [`count_ops`], but model the
+/// loop-invariant code motion a backend compiler (nvcc, the OpenCL JIT)
+/// performs: a subexpression is charged once per iteration of the
+/// innermost loop it actually depends on — fully invariant work (including
+/// read-only loads with invariant addresses) is charged exactly once.
+pub fn count_ops_licm(
+    stmts: &[Stmt],
+    cfg: &CountConfig,
+    params: &HashMap<String, Const>,
+) -> OpCounts {
+    let mut mutable_vars = HashSet::new();
+    Stmt::visit_all(stmts, &mut |s| {
+        if let Stmt::Assign {
+            target: crate::stmt::LValue::Var(n),
+            ..
+        } = s
+        {
+            mutable_vars.insert(n.clone());
+        }
+    });
+    let mut licm = Licm {
+        cfg,
+        consts: params,
+        levels: Vec::new(),
+        loop_vars: Vec::new(),
+        unrolled_trips: Vec::new(),
+        in_addr: false,
+        acc: vec![OpCounts::default()],
+        memo: vec![HashMap::new()],
+        mutable_vars,
+    };
+    licm.walk(stmts);
+    licm.acc[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ty::ScalarType;
+
+    #[test]
+    fn counts_loop_body_times_trip() {
+        let mut b = KernelBuilder::new("k", ScalarType::F32);
+        let input = b.accessor("IN", ScalarType::F32);
+        let acc = b.let_("acc", ScalarType::F32, Expr::float(0.0));
+        let i2 = input.clone();
+        b.for_inclusive("xf", Expr::int(-6), Expr::int(6), |b, xf| {
+            b.add_assign(&acc, b.read_at(&i2, xf.get(), Expr::int(0)));
+        });
+        b.output(acc.get());
+        let k = b.finish();
+        let c = count_ops(&k.body, &CountConfig::default(), &HashMap::new());
+        // 13 iterations, one input read each.
+        assert_eq!(c.input_reads, 13.0);
+        assert_eq!(c.global_stores, 1.0); // output()
+        assert!(c.branches >= 13.0); // loop back-edge checks
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut b = KernelBuilder::new("k", ScalarType::F32);
+        let input = b.accessor("IN", ScalarType::F32);
+        let acc = b.let_("acc", ScalarType::F32, Expr::float(0.0));
+        b.for_inclusive("yf", Expr::int(-6), Expr::int(6), |b, yf| {
+            b.for_inclusive("xf", Expr::int(-6), Expr::int(6), |b, xf| {
+                b.add_assign(&acc, Expr::exp(b.read_at(&input, xf.get(), yf.get())));
+            });
+        });
+        b.output(acc.get());
+        let k = b.finish();
+        let c = count_ops(&k.body, &CountConfig::default(), &HashMap::new());
+        assert_eq!(c.input_reads, 169.0);
+        assert_eq!(c.sfu, 169.0); // one exp per tap
+    }
+
+    #[test]
+    fn symbolic_bounds_use_default_trip() {
+        let stmts = vec![Stmt::For {
+            var: "i".into(),
+            from: Expr::int(0),
+            to: Expr::var("n"),
+            body: vec![Stmt::Assign {
+                target: crate::stmt::LValue::Var("a".into()),
+                value: Expr::var("a") + Expr::float(1.0),
+            }],
+        }];
+        let cfg = CountConfig {
+            default_trip: 4.0,
+            ..CountConfig::default()
+        };
+        let c = count_ops(&stmts, &cfg, &HashMap::new());
+        assert_eq!(c.alu, 4.0 * (1.0 + 2.0)); // add + loop overhead per iter
+    }
+
+    #[test]
+    fn parameterized_bounds_resolve_with_bindings() {
+        let stmts = vec![Stmt::For {
+            var: "i".into(),
+            from: Expr::int(-2) * Expr::var("sigma"),
+            to: Expr::int(2) * Expr::var("sigma"),
+            body: vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: Expr::float(0.0),
+            }],
+        }];
+        let mut params = HashMap::new();
+        params.insert("sigma".to_string(), Const::Int(3));
+        let c = count_ops(&stmts, &CountConfig::default(), &params);
+        assert_eq!(c.global_stores, 13.0);
+    }
+
+    #[test]
+    fn divergent_branches_count_both_sides() {
+        let stmts = vec![Stmt::If {
+            cond: Expr::var("x").lt(Expr::int(0)),
+            then: vec![Stmt::Assign {
+                target: crate::stmt::LValue::Var("a".into()),
+                value: Expr::var("a") + Expr::float(1.0),
+            }],
+            els: vec![Stmt::Assign {
+                target: crate::stmt::LValue::Var("a".into()),
+                value: Expr::var("a") * Expr::float(2.0),
+            }],
+        }];
+        let uniform = count_ops(&stmts, &CountConfig::default(), &HashMap::new());
+        let divergent = count_ops(
+            &stmts,
+            &CountConfig {
+                divergent_branches: true,
+                ..CountConfig::default()
+            },
+            &HashMap::new(),
+        );
+        assert_eq!(uniform.alu, 1.0 + 1.0); // compare + one branch body
+        assert_eq!(divergent.alu, 1.0 + 2.0); // compare + both bodies
+    }
+
+    #[test]
+    fn memory_spaces_are_distinguished() {
+        let stmts = vec![
+            Stmt::Decl {
+                name: "v".into(),
+                ty: ScalarType::F32,
+                init: Some(
+                    Expr::GlobalLoad {
+                        buf: "IN".into(),
+                        idx: Box::new(Expr::int(0)),
+                    } + Expr::TexFetch {
+                        buf: "T".into(),
+                        coords: TexCoords::Linear(Box::new(Expr::int(0))),
+                    } + Expr::ConstLoad {
+                        buf: "C".into(),
+                        idx: Box::new(Expr::int(0)),
+                    } + Expr::SharedLoad {
+                        buf: "S".into(),
+                        y: Box::new(Expr::int(0)),
+                        x: Box::new(Expr::int(0)),
+                    },
+                ),
+            },
+            Stmt::SharedStore {
+                buf: "S".into(),
+                y: Expr::int(0),
+                x: Expr::int(0),
+                value: Expr::var("v"),
+            },
+            Stmt::Barrier,
+        ];
+        let c = count_ops(&stmts, &CountConfig::default(), &HashMap::new());
+        assert_eq!(c.global_loads, 1.0);
+        assert_eq!(c.tex_fetches, 1.0);
+        assert_eq!(c.const_loads, 1.0);
+        assert_eq!(c.shared_loads, 1.0);
+        assert_eq!(c.shared_stores, 1.0);
+        assert_eq!(c.barriers, 1.0);
+        assert_eq!(c.total_memory_ops(), 5.0);
+    }
+
+    #[test]
+    fn licm_hoists_center_read_out_of_loops() {
+        // d += IN[gid] inside a double loop: the load address is
+        // loop-invariant, so LICM counting charges it once; naive counting
+        // charges it per tap.
+        let load = Expr::GlobalLoad {
+            buf: "IN".into(),
+            idx: Box::new(Expr::var("gid")),
+        };
+        let stmts = vec![Stmt::For {
+            var: "y".into(),
+            from: Expr::int(-6),
+            to: Expr::int(6),
+            body: vec![Stmt::For {
+                var: "x".into(),
+                from: Expr::int(-6),
+                to: Expr::int(6),
+                body: vec![Stmt::Assign {
+                    target: crate::stmt::LValue::Var("d".into()),
+                    value: Expr::var("d") + load.clone(),
+                }],
+            }],
+        }];
+        let naive = count_ops(&stmts, &CountConfig::default(), &HashMap::new());
+        let licm = count_ops_licm(&stmts, &CountConfig::default(), &HashMap::new());
+        assert_eq!(naive.global_loads, 169.0);
+        assert_eq!(licm.global_loads, 1.0);
+        // The variant add still runs per tap.
+        assert!(licm.alu >= 169.0);
+    }
+
+    #[test]
+    fn licm_keeps_variant_loads_per_iteration() {
+        let load = Expr::GlobalLoad {
+            buf: "IN".into(),
+            idx: Box::new(Expr::var("gid") + Expr::var("x")),
+        };
+        let stmts = vec![Stmt::For {
+            var: "x".into(),
+            from: Expr::int(0),
+            to: Expr::int(12),
+            body: vec![Stmt::Assign {
+                target: crate::stmt::LValue::Var("d".into()),
+                value: Expr::var("d") + load,
+            }],
+        }];
+        let licm = count_ops_licm(&stmts, &CountConfig::default(), &HashMap::new());
+        assert_eq!(licm.global_loads, 13.0);
+    }
+
+    #[test]
+    fn licm_hoists_row_term_out_of_inner_loop() {
+        // exp(-(c*y*y)) depends only on the outer loop variable: charged 13
+        // times (once per outer iteration) instead of 169.
+        let inner_exp = Expr::exp(-(Expr::var("c")
+            * Expr::var("y").cast(ScalarType::F32)
+            * Expr::var("y").cast(ScalarType::F32)));
+        let stmts = vec![Stmt::For {
+            var: "y".into(),
+            from: Expr::int(-6),
+            to: Expr::int(6),
+            body: vec![Stmt::For {
+                var: "x".into(),
+                from: Expr::int(-6),
+                to: Expr::int(6),
+                body: vec![Stmt::Assign {
+                    target: crate::stmt::LValue::Var("d".into()),
+                    value: Expr::var("d")
+                        + inner_exp.clone()
+                            * Expr::exp(-(Expr::var("c")
+                                * Expr::var("x").cast(ScalarType::F32)
+                                * Expr::var("x").cast(ScalarType::F32))),
+                }],
+            }],
+        }];
+        let naive = count_ops(&stmts, &CountConfig::default(), &HashMap::new());
+        let licm = count_ops_licm(&stmts, &CountConfig::default(), &HashMap::new());
+        assert_eq!(naive.sfu, 2.0 * 169.0);
+        // x-exp per tap (169) + y-exp per row (13).
+        assert_eq!(licm.sfu, 169.0 + 13.0);
+    }
+
+    #[test]
+    fn weighted_compute_applies_cost_ratios() {
+        let c = OpCounts {
+            alu: 10.0,
+            sfu: 2.0,
+            fdiv: 1.0,
+            ..OpCounts::default()
+        };
+        assert_eq!(c.weighted_compute(4.0, 8.0), 10.0 + 8.0 + 8.0);
+    }
+}

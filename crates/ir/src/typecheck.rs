@@ -1,0 +1,611 @@
+//! Well-formedness and type checking for both IR levels.
+//!
+//! The DSL check runs when a kernel is built (so filter authors get errors
+//! at construction time, like the paper's compiler emitting diagnostics for
+//! unsupported constructs); the device check runs in the codegen tests to
+//! guarantee the lowering never leaves DSL nodes behind.
+
+use crate::expr::{BinOp, Expr, TexCoords, UnOp};
+use crate::kernel::{DeviceKernelDef, KernelDef};
+use crate::stmt::{LValue, Stmt};
+use crate::ty::ScalarType;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A type-check failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError(msg.into()))
+}
+
+/// Which IR level a kernel is being checked against.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Level {
+    Dsl,
+    Device,
+}
+
+struct Ctx<'a> {
+    level: Level,
+    vars: Vec<HashMap<String, ScalarType>>,
+    kernel: Option<&'a KernelDef>,
+    device: Option<&'a DeviceKernelDef>,
+    output_seen: bool,
+}
+
+impl<'a> Ctx<'a> {
+    fn lookup(&self, name: &str) -> Option<ScalarType> {
+        self.vars.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: ScalarType) -> Result<(), TypeError> {
+        let scope = self.vars.last_mut().expect("no scope");
+        if scope.contains_key(name) {
+            return err(format!("variable `{name}` redeclared in the same scope"));
+        }
+        scope.insert(name.to_string(), ty);
+        Ok(())
+    }
+
+    fn push_scope(&mut self) {
+        self.vars.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.vars.pop();
+    }
+}
+
+/// Numeric promotion following C: any float operand promotes the result.
+fn promote(a: ScalarType, b: ScalarType) -> Result<ScalarType, TypeError> {
+    use ScalarType::*;
+    match (a, b) {
+        (Bool, Bool) => Ok(Bool),
+        (F32, _) | (_, F32) => {
+            if a == Bool || b == Bool {
+                err("cannot mix bool with float")
+            } else {
+                Ok(F32)
+            }
+        }
+        (I32, I32) => Ok(I32),
+        (U32, U32) => Ok(U32),
+        (I32, U32) | (U32, I32) => Ok(I32),
+        (Bool, _) | (_, Bool) => err("cannot mix bool with numeric type"),
+    }
+}
+
+fn infer(e: &Expr, ctx: &Ctx<'_>) -> Result<ScalarType, TypeError> {
+    match e {
+        Expr::ImmInt(_) => Ok(ScalarType::I32),
+        Expr::ImmFloat(_) => Ok(ScalarType::F32),
+        Expr::ImmBool(_) => Ok(ScalarType::Bool),
+        Expr::Var(name) => ctx
+            .lookup(name)
+            .ok_or_else(|| TypeError(format!("use of undeclared variable `{name}`"))),
+        Expr::Unary(op, a) => {
+            let t = infer(a, ctx)?;
+            match op {
+                UnOp::Neg => {
+                    if t == ScalarType::Bool {
+                        err("cannot negate bool")
+                    } else {
+                        Ok(t)
+                    }
+                }
+                UnOp::Not => {
+                    if t == ScalarType::Bool {
+                        Ok(ScalarType::Bool)
+                    } else {
+                        err("logical not requires bool")
+                    }
+                }
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = infer(a, ctx)?;
+            let tb = infer(b, ctx)?;
+            match op {
+                BinOp::And | BinOp::Or => {
+                    if ta == ScalarType::Bool && tb == ScalarType::Bool {
+                        Ok(ScalarType::Bool)
+                    } else {
+                        err(format!("`{}` requires bool operands", op.c_symbol()))
+                    }
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    promote(ta, tb)?;
+                    Ok(ScalarType::Bool)
+                }
+                BinOp::Rem => {
+                    let t = promote(ta, tb)?;
+                    if t.is_integer() {
+                        Ok(t)
+                    } else {
+                        err("`%` requires integer operands")
+                    }
+                }
+                _ => promote(ta, tb),
+            }
+        }
+        Expr::Call(f, args) => {
+            if args.len() != f.arity() {
+                return err(format!(
+                    "`{}` expects {} argument(s), got {}",
+                    f.name(),
+                    f.arity(),
+                    args.len()
+                ));
+            }
+            let mut t = infer(&args[0], ctx)?;
+            for a in &args[1..] {
+                t = promote(t, infer(a, ctx)?)?;
+            }
+            if t == ScalarType::Bool {
+                return err(format!("`{}` is not defined on bool", f.name()));
+            }
+            // Transcendentals operate in float.
+            if f.uses_sfu() {
+                Ok(ScalarType::F32)
+            } else {
+                Ok(t)
+            }
+        }
+        Expr::Cast(ty, a) => {
+            infer(a, ctx)?;
+            Ok(*ty)
+        }
+        Expr::Select(c, a, b) => {
+            if infer(c, ctx)? != ScalarType::Bool {
+                return err("select condition must be bool");
+            }
+            promote(infer(a, ctx)?, infer(b, ctx)?)
+        }
+        Expr::InputAt { acc, dx, dy } => {
+            if ctx.level != Level::Dsl {
+                return err("Input(..) is not allowed in device-level kernels");
+            }
+            let kernel = ctx.kernel.expect("dsl ctx");
+            let decl = kernel
+                .accessor(acc)
+                .ok_or_else(|| TypeError(format!("unknown accessor `{acc}`")))?;
+            for (axis, off) in [("dx", dx), ("dy", dy)] {
+                let t = infer(off, ctx)?;
+                if !t.is_integer() {
+                    return err(format!("accessor offset {axis} must be an integer"));
+                }
+            }
+            Ok(decl.ty)
+        }
+        Expr::MaskAt { mask, dx, dy } => {
+            if ctx.level != Level::Dsl {
+                return err("Mask(..) is not allowed in device-level kernels");
+            }
+            let kernel = ctx.kernel.expect("dsl ctx");
+            kernel
+                .mask(mask)
+                .ok_or_else(|| TypeError(format!("unknown mask `{mask}`")))?;
+            for off in [dx, dy] {
+                if !infer(off, ctx)?.is_integer() {
+                    return err("mask offset must be an integer");
+                }
+            }
+            Ok(ScalarType::F32)
+        }
+        Expr::OutputX | Expr::OutputY => {
+            if ctx.level != Level::Dsl {
+                return err("x()/y() are not allowed in device-level kernels");
+            }
+            Ok(ScalarType::I32)
+        }
+        Expr::Builtin(_) => {
+            if ctx.level != Level::Device {
+                return err("thread builtins are not allowed in DSL kernels");
+            }
+            Ok(ScalarType::I32)
+        }
+        Expr::GlobalLoad { buf, idx } => {
+            let dk = device_only(ctx, "global loads")?;
+            let b = dk
+                .buffer(buf)
+                .ok_or_else(|| TypeError(format!("unknown buffer `{buf}`")))?;
+            if !infer(idx, ctx)?.is_integer() {
+                return err("buffer index must be an integer");
+            }
+            Ok(b.ty)
+        }
+        Expr::TexFetch { buf, coords } => {
+            let dk = device_only(ctx, "texture fetches")?;
+            let b = dk
+                .buffer(buf)
+                .ok_or_else(|| TypeError(format!("unknown texture `{buf}`")))?;
+            match coords {
+                TexCoords::Linear(i) => {
+                    if !infer(i, ctx)?.is_integer() {
+                        return err("texture index must be an integer");
+                    }
+                }
+                TexCoords::Xy(x, y) => {
+                    if !infer(x, ctx)?.is_integer() || !infer(y, ctx)?.is_integer() {
+                        return err("texture coordinates must be integers");
+                    }
+                }
+            }
+            Ok(b.ty)
+        }
+        Expr::ConstLoad { buf, idx } => {
+            let dk = device_only(ctx, "constant loads")?;
+            dk.const_buffer(buf)
+                .ok_or_else(|| TypeError(format!("unknown constant buffer `{buf}`")))?;
+            if !infer(idx, ctx)?.is_integer() {
+                return err("constant buffer index must be an integer");
+            }
+            Ok(ScalarType::F32)
+        }
+        Expr::SharedLoad { buf, y, x } => {
+            let dk = device_only(ctx, "shared loads")?;
+            let s = dk
+                .shared
+                .iter()
+                .find(|s| &s.name == buf)
+                .ok_or_else(|| TypeError(format!("unknown shared array `{buf}`")))?;
+            if !infer(y, ctx)?.is_integer() || !infer(x, ctx)?.is_integer() {
+                return err("shared indices must be integers");
+            }
+            Ok(s.ty)
+        }
+    }
+}
+
+fn device_only<'a>(ctx: &Ctx<'a>, what: &str) -> Result<&'a DeviceKernelDef, TypeError> {
+    if ctx.level != Level::Device {
+        return err(format!("{what} are not allowed in DSL kernels"));
+    }
+    Ok(ctx.device.expect("device ctx"))
+}
+
+fn check_stmts(stmts: &[Stmt], ctx: &mut Ctx<'_>) -> Result<(), TypeError> {
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, ty, init } => {
+                if let Some(e) = init {
+                    let t = infer(e, ctx)?;
+                    promote(*ty, t).map_err(|_| {
+                        TypeError(format!(
+                            "cannot initialize `{name}: {ty}` from expression of type {t}"
+                        ))
+                    })?;
+                }
+                ctx.declare(name, *ty)?;
+            }
+            Stmt::Assign { target, value } => {
+                let LValue::Var(name) = target;
+                let vt = ctx
+                    .lookup(name)
+                    .ok_or_else(|| TypeError(format!("assignment to undeclared `{name}`")))?;
+                let et = infer(value, ctx)?;
+                promote(vt, et).map_err(|_| {
+                    TypeError(format!("cannot assign expression of type {et} to `{name}: {vt}`"))
+                })?;
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                if !infer(from, ctx)?.is_integer() || !infer(to, ctx)?.is_integer() {
+                    return err("loop bounds must be integers");
+                }
+                ctx.push_scope();
+                ctx.declare(var, ScalarType::I32)?;
+                check_stmts(body, ctx)?;
+                ctx.pop_scope();
+            }
+            Stmt::If { cond, then, els } => {
+                if infer(cond, ctx)? != ScalarType::Bool {
+                    return err("if condition must be bool");
+                }
+                ctx.push_scope();
+                check_stmts(then, ctx)?;
+                ctx.pop_scope();
+                ctx.push_scope();
+                check_stmts(els, ctx)?;
+                ctx.pop_scope();
+            }
+            Stmt::Output(e) => {
+                if ctx.level != Level::Dsl {
+                    return err("output() is not allowed in device-level kernels");
+                }
+                infer(e, ctx)?;
+                ctx.output_seen = true;
+            }
+            Stmt::GlobalStore { buf, idx, value } => {
+                let dk = device_only(ctx, "global stores")?;
+                if dk.buffer(buf).is_none() {
+                    return err(format!("store to unknown buffer `{buf}`"));
+                }
+                if !infer(idx, ctx)?.is_integer() {
+                    return err("store index must be an integer");
+                }
+                infer(value, ctx)?;
+            }
+            Stmt::SharedStore { buf, y, x, value } => {
+                let dk = device_only(ctx, "shared stores")?;
+                if !dk.shared.iter().any(|s| &s.name == buf) {
+                    return err(format!("store to unknown shared array `{buf}`"));
+                }
+                if !infer(y, ctx)?.is_integer() || !infer(x, ctx)?.is_integer() {
+                    return err("shared store indices must be integers");
+                }
+                infer(value, ctx)?;
+            }
+            Stmt::Barrier => {
+                if ctx.level != Level::Device {
+                    return err("barriers are not allowed in DSL kernels");
+                }
+            }
+            Stmt::Return | Stmt::Comment(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Check a DSL-level kernel: declarations before use, consistent types, no
+/// device-level nodes, and at least one `output()` on some path.
+pub fn check_dsl(kernel: &KernelDef) -> Result<(), TypeError> {
+    let mut ctx = Ctx {
+        level: Level::Dsl,
+        vars: vec![HashMap::new()],
+        kernel: Some(kernel),
+        device: None,
+        output_seen: false,
+    };
+    for p in &kernel.params {
+        ctx.declare(&p.name, p.ty)?;
+    }
+    check_stmts(&kernel.body, &mut ctx)?;
+    if !ctx.output_seen {
+        return err("kernel never writes output()");
+    }
+    Ok(())
+}
+
+/// Check a device-level kernel: no DSL nodes, all buffer/shared/constant
+/// references resolve, consistent types.
+pub fn check_device(kernel: &DeviceKernelDef) -> Result<(), TypeError> {
+    let mut ctx = Ctx {
+        level: Level::Device,
+        vars: vec![HashMap::new()],
+        kernel: None,
+        device: Some(kernel),
+        output_seen: false,
+    };
+    for p in &kernel.scalars {
+        ctx.declare(&p.name, p.ty)?;
+    }
+    check_stmts(&kernel.body, &mut ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{AccessorDecl, MaskDecl, ParamDecl};
+
+    fn kernel_with_body(body: Vec<Stmt>) -> KernelDef {
+        KernelDef {
+            name: "k".into(),
+            pixel: ScalarType::F32,
+            params: vec![ParamDecl {
+                name: "sigma".into(),
+                ty: ScalarType::I32,
+            }],
+            accessors: vec![AccessorDecl {
+                name: "IN".into(),
+                ty: ScalarType::F32,
+            }],
+            masks: vec![MaskDecl {
+                name: "M".into(),
+                width: 3,
+                height: 3,
+                coeffs: None,
+            }],
+            body,
+        }
+    }
+
+    #[test]
+    fn valid_kernel_passes() {
+        let k = kernel_with_body(vec![Stmt::Output(Expr::input_center("IN"))]);
+        assert!(check_dsl(&k).is_ok());
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        let k = kernel_with_body(vec![Stmt::Output(Expr::var("ghost"))]);
+        let e = check_dsl(&k).unwrap_err();
+        assert!(e.0.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn unknown_accessor_rejected() {
+        let k = kernel_with_body(vec![Stmt::Output(Expr::input_center("NOPE"))]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("unknown accessor"));
+    }
+
+    #[test]
+    fn unknown_mask_rejected() {
+        let k = kernel_with_body(vec![Stmt::Output(Expr::mask_at(
+            "NOPE",
+            Expr::int(0),
+            Expr::int(0),
+        ))]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("unknown mask"));
+    }
+
+    #[test]
+    fn float_accessor_offset_rejected() {
+        let k = kernel_with_body(vec![Stmt::Output(Expr::input_at(
+            "IN",
+            Expr::float(1.5),
+            Expr::int(0),
+        ))]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("integer"));
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        let k = kernel_with_body(vec![Stmt::Decl {
+            name: "v".into(),
+            ty: ScalarType::F32,
+            init: Some(Expr::float(0.0)),
+        }]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("output"));
+    }
+
+    #[test]
+    fn device_nodes_rejected_in_dsl() {
+        let k = kernel_with_body(vec![
+            Stmt::Barrier,
+            Stmt::Output(Expr::input_center("IN")),
+        ]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("not allowed"));
+        let k = kernel_with_body(vec![Stmt::Output(Expr::Builtin(
+            crate::expr::Builtin::ThreadIdxX,
+        )
+        .cast(ScalarType::F32))]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("not allowed"));
+    }
+
+    #[test]
+    fn loop_variable_scoped_to_loop() {
+        let k = kernel_with_body(vec![
+            Stmt::For {
+                var: "i".into(),
+                from: Expr::int(0),
+                to: Expr::int(3),
+                body: vec![],
+            },
+            // `i` is out of scope here.
+            Stmt::Output(Expr::var("i").cast(ScalarType::F32)),
+        ]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("undeclared"));
+    }
+
+    #[test]
+    fn redeclaration_in_same_scope_rejected() {
+        let k = kernel_with_body(vec![
+            Stmt::Decl {
+                name: "v".into(),
+                ty: ScalarType::F32,
+                init: None,
+            },
+            Stmt::Decl {
+                name: "v".into(),
+                ty: ScalarType::F32,
+                init: None,
+            },
+            Stmt::Output(Expr::float(0.0)),
+        ]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("redeclared"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_allowed() {
+        let k = kernel_with_body(vec![
+            Stmt::Decl {
+                name: "v".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::float(1.0)),
+            },
+            Stmt::For {
+                var: "i".into(),
+                from: Expr::int(0),
+                to: Expr::int(1),
+                body: vec![Stmt::Decl {
+                    name: "v".into(),
+                    ty: ScalarType::I32,
+                    init: Some(Expr::int(0)),
+                }],
+            },
+            Stmt::Output(Expr::var("v")),
+        ]);
+        assert!(check_dsl(&k).is_ok());
+    }
+
+    #[test]
+    fn rem_on_floats_rejected() {
+        let k = kernel_with_body(vec![Stmt::Output(
+            Expr::float(1.0).rem(Expr::float(2.0)),
+        )]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("integer"));
+    }
+
+    #[test]
+    fn bool_arithmetic_rejected() {
+        let k = kernel_with_body(vec![Stmt::Output(Expr::ImmBool(true) + Expr::float(1.0))]);
+        assert!(check_dsl(&k).is_err());
+    }
+
+    #[test]
+    fn if_condition_must_be_bool() {
+        let k = kernel_with_body(vec![
+            Stmt::If {
+                cond: Expr::int(1),
+                then: vec![],
+                els: vec![],
+            },
+            Stmt::Output(Expr::float(0.0)),
+        ]);
+        assert!(check_dsl(&k).unwrap_err().0.contains("bool"));
+    }
+
+    #[test]
+    fn device_kernel_checks_buffers() {
+        use crate::kernel::*;
+        let dk = DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![BufferParam {
+                name: "OUT".into(),
+                ty: ScalarType::F32,
+                access: BufferAccess::WriteOnly,
+                space: MemorySpace::Global,
+                address_mode: AddressMode::None,
+            }],
+            scalars: vec![ParamDecl {
+                name: "stride".into(),
+                ty: ScalarType::I32,
+            }],
+            const_buffers: vec![],
+            shared: vec![],
+            body: vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::Builtin(crate::expr::Builtin::ThreadIdxX),
+                value: Expr::float(1.0),
+            }],
+        };
+        assert!(check_device(&dk).is_ok());
+        // Unknown buffer.
+        let mut bad = dk.clone();
+        bad.body = vec![Stmt::GlobalStore {
+            buf: "NOPE".into(),
+            idx: Expr::int(0),
+            value: Expr::float(1.0),
+        }];
+        assert!(check_device(&bad).unwrap_err().0.contains("unknown buffer"));
+        // DSL node in device kernel.
+        let mut bad = dk;
+        bad.body = vec![Stmt::Output(Expr::float(1.0))];
+        assert!(check_device(&bad).unwrap_err().0.contains("not allowed"));
+    }
+}

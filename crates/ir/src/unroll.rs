@@ -1,0 +1,409 @@
+//! Loop unrolling for convolution loops (Section VIII outlook).
+//!
+//! After constant propagation the convolution loops of a local operator
+//! have literal bounds (`for (yf = -6; yf <= 6; ++yf)`); fully unrolling
+//! them and substituting the loop variable exposes every mask coefficient
+//! as a constant, which [`crate::fold`] then propagates — the combination
+//! the paper describes for the `convolve(cMask, SUM, …)` lambda syntax.
+
+use crate::expr::Expr;
+use crate::fold::{eval_const, fold_expr};
+use crate::kernel::KernelDef;
+use crate::stmt::{LValue, Stmt};
+use std::collections::HashMap;
+
+/// Substitute `var := value` in a statement list, respecting shadowing: a
+/// redeclaration of `var` (by `Decl` or an inner loop with the same
+/// variable) stops the substitution for the shadowed region.
+fn subst_stmts(stmts: Vec<Stmt>, var: &str, value: &Expr) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut shadowed = false;
+    for s in stmts {
+        if shadowed {
+            out.push(s);
+            continue;
+        }
+        let subst_expr = |e: Expr| {
+            e.rewrite(&mut |n| {
+                if matches!(&n, Expr::Var(v) if v == var) {
+                    value.clone()
+                } else {
+                    n
+                }
+            })
+        };
+        match s {
+            Stmt::Decl { name, ty, init } => {
+                let init = init.map(subst_expr);
+                if name == var {
+                    shadowed = true;
+                }
+                out.push(Stmt::Decl { name, ty, init });
+            }
+            Stmt::For {
+                var: lv,
+                from,
+                to,
+                body,
+            } => {
+                let from = subst_expr(from);
+                let to = subst_expr(to);
+                let body = if lv == var {
+                    body // inner loop shadows; leave its body alone
+                } else {
+                    subst_stmts(body, var, value)
+                };
+                out.push(Stmt::For {
+                    var: lv,
+                    from,
+                    to,
+                    body,
+                });
+            }
+            Stmt::If { cond, then, els } => out.push(Stmt::If {
+                cond: subst_expr(cond),
+                then: subst_stmts(then, var, value),
+                els: subst_stmts(els, var, value),
+            }),
+            other => {
+                let mut rewritten = Stmt::rewrite_exprs(vec![other], &mut |n| {
+                    if matches!(&n, Expr::Var(v) if v == var) {
+                        value.clone()
+                    } else {
+                        n
+                    }
+                });
+                out.append(&mut rewritten);
+            }
+        }
+    }
+    out
+}
+
+/// Rename every occurrence of variable `old` (declarations, assignment
+/// targets and uses) to `new`. The shadowing structure is preserved, so
+/// semantics are unchanged as long as `new` is fresh.
+fn rename_var(stmts: Vec<Stmt>, old: &str, new: &str) -> Vec<Stmt> {
+    let renamed = Stmt::rewrite_exprs(stmts, &mut |e| {
+        if matches!(&e, Expr::Var(v) if v == old) {
+            Expr::var(new)
+        } else {
+            e
+        }
+    });
+    renamed
+        .into_iter()
+        .map(|s| match s {
+            Stmt::Decl { name, ty, init } => Stmt::Decl {
+                name: if name == old { new.to_string() } else { name },
+                ty,
+                init,
+            },
+            Stmt::Assign {
+                target: LValue::Var(n),
+                value,
+            } => Stmt::Assign {
+                target: LValue::Var(if n == old { new.to_string() } else { n }),
+                value,
+            },
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => Stmt::For {
+                var,
+                from,
+                to,
+                body: rename_var(body, old, new),
+            },
+            Stmt::If { cond, then, els } => Stmt::If {
+                cond,
+                then: rename_var(then, old, new),
+                els: rename_var(els, old, new),
+            },
+            other => other,
+        })
+        .collect()
+}
+
+/// Collect all names declared by `Decl` statements at any depth.
+fn declared_names(stmts: &[Stmt]) -> Vec<String> {
+    let mut names = Vec::new();
+    Stmt::visit_all(stmts, &mut |s| {
+        if let Stmt::Decl { name, .. } = s {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+    });
+    names
+}
+
+/// Statistics reported by an unrolling pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnrollStats {
+    /// Loops fully unrolled.
+    pub unrolled: u32,
+    /// Loops left intact (non-constant bounds or over budget).
+    pub kept: u32,
+}
+
+/// Format an iteration index as an identifier-safe suffix (`m` for minus).
+fn iter_tag(i: i64) -> String {
+    if i < 0 {
+        format!("m{}", -i)
+    } else {
+        i.to_string()
+    }
+}
+
+/// Unroll every loop whose trip count is a compile-time constant not
+/// exceeding `max_trip`. Nested loops unroll inside-out, so a 13×13
+/// convolution becomes 169 straight-line statement groups when the budget
+/// allows. Declarations inside unrolled bodies are renamed per iteration
+/// (`diff` → `diff_xfm2`) so the flattened code stays well-formed C.
+pub fn unroll_stmts(stmts: Vec<Stmt>, max_trip: u32, stats: &mut UnrollStats) -> Vec<Stmt> {
+    let empty = HashMap::new();
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let body = unroll_stmts(body, max_trip, stats);
+                let from_c = eval_const(&from, &empty);
+                let to_c = eval_const(&to, &empty);
+                if let (Some(f), Some(t)) = (from_c, to_c) {
+                    let (f, t) = (f.as_i64(), t.as_i64());
+                    let trip = (t - f + 1).max(0) as u64;
+                    if trip <= max_trip as u64 {
+                        stats.unrolled += 1;
+                        let decls = declared_names(&body);
+                        for i in f..=t {
+                            let mut iter_body = body.clone();
+                            for name in &decls {
+                                let fresh = format!("{name}_{var}{}", iter_tag(i));
+                                iter_body = rename_var(iter_body, name, &fresh);
+                            }
+                            out.extend(subst_stmts(iter_body, &var, &Expr::int(i)));
+                        }
+                        continue;
+                    }
+                }
+                stats.kept += 1;
+                out.push(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                });
+            }
+            Stmt::If { cond, then, els } => out.push(Stmt::If {
+                cond,
+                then: unroll_stmts(then, max_trip, stats),
+                els: unroll_stmts(els, max_trip, stats),
+            }),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Unroll a DSL kernel's constant-bound loops, then fold the result so the
+/// now-constant offsets simplify.
+pub fn unroll_kernel(kernel: &KernelDef, max_trip: u32) -> (KernelDef, UnrollStats) {
+    let mut stats = UnrollStats::default();
+    let body = unroll_stmts(kernel.body.clone(), max_trip, &mut stats);
+    let body = Stmt::rewrite_exprs(body, &mut |e| fold_expr(e, &HashMap::new()));
+    (
+        KernelDef {
+            body,
+            ..kernel.clone()
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::ScalarType;
+
+    #[test]
+    fn unrolls_constant_loop() {
+        let stmts = vec![Stmt::For {
+            var: "i".into(),
+            from: Expr::int(0),
+            to: Expr::int(2),
+            body: vec![Stmt::Assign {
+                target: LValue::Var("acc".into()),
+                value: Expr::var("acc") + Expr::var("i").cast(ScalarType::F32),
+            }],
+        }];
+        let mut stats = UnrollStats::default();
+        let out = unroll_stmts(stmts, 16, &mut stats);
+        assert_eq!(stats.unrolled, 1);
+        assert_eq!(out.len(), 3);
+        match &out[2] {
+            Stmt::Assign { value, .. } => {
+                let printed =
+                    crate::display::expr_to_string(value, &crate::display::NeutralRenderer);
+                assert_eq!(printed, "acc + (float)2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keeps_loops_over_budget() {
+        let stmts = vec![Stmt::For {
+            var: "i".into(),
+            from: Expr::int(0),
+            to: Expr::int(99),
+            body: vec![],
+        }];
+        let mut stats = UnrollStats::default();
+        let out = unroll_stmts(stmts, 16, &mut stats);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn keeps_symbolic_bounds() {
+        let stmts = vec![Stmt::For {
+            var: "i".into(),
+            from: Expr::int(0),
+            to: Expr::var("n"),
+            body: vec![],
+        }];
+        let mut stats = UnrollStats::default();
+        let out = unroll_stmts(stmts, 1024, &mut stats);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_unroll_to_product() {
+        let stmts = vec![Stmt::For {
+            var: "y".into(),
+            from: Expr::int(-1),
+            to: Expr::int(1),
+            body: vec![Stmt::For {
+                var: "x".into(),
+                from: Expr::int(-1),
+                to: Expr::int(1),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("acc".into()),
+                    value: Expr::var("acc")
+                        + Expr::input_at("IN", Expr::var("x"), Expr::var("y")),
+                }],
+            }],
+        }];
+        let mut stats = UnrollStats::default();
+        let out = unroll_stmts(stmts, 16, &mut stats);
+        assert_eq!(out.len(), 9);
+        // Every offset pair appears exactly once.
+        let mut offsets = Vec::new();
+        Stmt::visit_exprs(&out, &mut |e| {
+            if let Expr::InputAt { dx, dy, .. } = e {
+                if let (Expr::ImmInt(a), Expr::ImmInt(b)) = (&**dx, &**dy) {
+                    offsets.push((*a, *b));
+                }
+            }
+        });
+        offsets.sort_unstable();
+        let mut expected: Vec<(i64, i64)> = (-1..=1i64)
+            .flat_map(|y| (-1..=1i64).map(move |x| (x, y)))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(offsets, expected);
+    }
+
+    #[test]
+    fn unrolled_declarations_get_unique_names() {
+        let stmts = vec![Stmt::For {
+            var: "xf".into(),
+            from: Expr::int(-1),
+            to: Expr::int(1),
+            body: vec![Stmt::Decl {
+                name: "diff".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::var("xf").cast(ScalarType::F32)),
+            }],
+        }];
+        let mut stats = UnrollStats::default();
+        let out = unroll_stmts(stmts, 8, &mut stats);
+        let names = declared_names(&out);
+        assert_eq!(
+            names,
+            vec!["diff_xfm1".to_string(), "diff_xf0".into(), "diff_xf1".into()]
+        );
+    }
+
+    #[test]
+    fn shadowed_variable_not_substituted() {
+        // The loop body redeclares a variable named like an outer one the
+        // substitution must not touch past the redeclaration point.
+        let body = vec![
+            Stmt::Assign {
+                target: LValue::Var("a".into()),
+                value: Expr::var("i"),
+            },
+            Stmt::Decl {
+                name: "i".into(),
+                ty: ScalarType::I32,
+                init: Some(Expr::int(42)),
+            },
+            Stmt::Assign {
+                target: LValue::Var("a".into()),
+                value: Expr::var("i"), // refers to the *inner* i
+            },
+        ];
+        let out = subst_stmts(body, "i", &Expr::int(7));
+        match &out[0] {
+            Stmt::Assign { value, .. } => assert_eq!(*value, Expr::int(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &out[2] {
+            Stmt::Assign { value, .. } => assert_eq!(*value, Expr::var("i")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unroll_kernel_folds_offsets_and_typechecks() {
+        use crate::builder::KernelBuilder;
+        let mut b = KernelBuilder::new("blur", ScalarType::F32);
+        let input = b.accessor("IN", ScalarType::F32);
+        let acc = b.let_("acc", ScalarType::F32, Expr::float(0.0));
+        let input2 = input.clone();
+        b.for_inclusive("xf", Expr::int(-1), Expr::int(1), |b, xf| {
+            let d = b.let_(
+                "d",
+                ScalarType::F32,
+                b.read_at(&input2, xf.get(), Expr::int(0)),
+            );
+            b.add_assign(&acc, d.get());
+        });
+        b.output(acc.get() / Expr::float(3.0));
+        let kernel = b.finish();
+        let (unrolled, stats) = unroll_kernel(&kernel, 8);
+        assert_eq!(stats.unrolled, 1);
+        // No loops remain.
+        let mut loops = 0;
+        Stmt::visit_all(&unrolled.body, &mut |s| {
+            if matches!(s, Stmt::For { .. }) {
+                loops += 1;
+            }
+        });
+        assert_eq!(loops, 0);
+        // And the flattened kernel still passes the DSL type check (no
+        // duplicate declarations).
+        crate::typecheck::check_dsl(&unrolled).expect("unrolled kernel well-formed");
+    }
+}

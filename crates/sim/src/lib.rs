@@ -1,0 +1,44 @@
+//! # hipacc-sim
+//!
+//! The GPU substrate of the reproduction: a software model of the graphics
+//! cards the paper evaluates on.
+//!
+//! Two cooperating halves:
+//!
+//! * [`interp`] — a **functional SIMT interpreter** that executes
+//!   device-level kernel IR over a grid of thread blocks, with shared
+//!   memory, barriers (phase-wise execution), texture samplers with
+//!   hardware address modes, constant memory and per-launch statistics
+//!   (including out-of-bounds reads, which reproduce the paper's "crash"
+//!   table entries for *Undefined* handling). Output images are checked
+//!   against the CPU references in `hipacc-image`.
+//!
+//! * [`timing`] — an **analytical timing model** in the spirit of
+//!   first-order GPU performance models: per-region operation counts (with
+//!   loop-invariant hoisting, as a real backend compiler would apply),
+//!   special-function and divide costs, memory-system traffic with
+//!   coalescing and cache-footprint reuse, occupancy-based latency hiding,
+//!   scratchpad staging costs and kernel launch overhead. The absolute
+//!   numbers are calibrated once per device against a single anchor cell
+//!   of the paper's tables and then *frozen*; every other cell is a
+//!   prediction.
+//!
+//! [`banks`] statically checks shared-memory accesses for bank conflicts
+//! (validating the paper's +1-column pad); [`memory`] holds the simulated
+//! device memory (buffers with strides and
+//! texture geometry); [`launch`] wires compiled kernels, images and the
+//! interpreter together.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod banks;
+pub mod interp;
+pub mod launch;
+pub mod memory;
+pub mod timing;
+
+pub use interp::{execute, ExecStats, SimError};
+pub use launch::{run_on_image, LaunchResult};
+pub use memory::{DeviceMemory, LaunchParams};
+pub use timing::{estimate_time, TimeBreakdown, TimingInput};

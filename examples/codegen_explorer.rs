@@ -1,0 +1,93 @@
+//! Inspect what the source-to-source compiler produces: the full generated
+//! CUDA and OpenCL for the bilateral filter, the nine-region structure,
+//! and the configuration-space exploration of Figure 4.
+//!
+//! ```text
+//! cargo run --release --example codegen_explorer           # summary
+//! cargo run --release --example codegen_explorer -- cuda   # dump CUDA
+//! cargo run --release --example codegen_explorer -- opencl # dump OpenCL
+//! cargo run --release --example codegen_explorer -- host   # dump host code
+//! cargo run --release --example codegen_explorer -- sweep  # Figure 4 sweep
+//! ```
+
+use hipacc::prelude::*;
+use hipacc_core::PipelineOptions;
+use hipacc_filters::bilateral::bilateral_operator;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "summary".into());
+    let op = bilateral_operator(3, 5, true, BoundaryMode::Clamp).with_options(PipelineOptions {
+        force_config: Some((128, 1)),
+        ..PipelineOptions::default()
+    });
+
+    match mode.as_str() {
+        "cuda" => {
+            let c = op
+                .compile(&Target::cuda(hipacc_hwmodel::device::tesla_c2050()), 4096, 4096)
+                .unwrap();
+            println!("{}", c.source);
+        }
+        "opencl" => {
+            let c = op
+                .compile(
+                    &Target::opencl(hipacc_hwmodel::device::radeon_hd_6970()),
+                    4096,
+                    4096,
+                )
+                .unwrap();
+            println!("{}", c.source);
+        }
+        "host" => {
+            let c = op
+                .compile(&Target::cuda(hipacc_hwmodel::device::tesla_c2050()), 4096, 4096)
+                .unwrap();
+            println!("{}", c.host_source);
+        }
+        "sweep" => {
+            let e = hipacc_bench::figures::figure4();
+            println!("configuration sweep (bilateral 13x13, 4096^2, Tesla C2050):");
+            println!("{:>8} {:>8} {:>10} {:>10}", "config", "threads", "occ", "ms");
+            let mut pts = e.points.clone();
+            pts.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap());
+            for p in pts.iter().take(10) {
+                println!(
+                    "{:>5}x{:<3} {:>7} {:>10.3} {:>10.2}",
+                    p.bx, p.by, p.threads, p.occupancy, p.time_ms
+                );
+            }
+            println!("... ({} configurations total)", e.points.len());
+            println!(
+                "heuristic: {} -> {:.2} ms; optimum {}x{} -> {:.2} ms",
+                e.heuristic_choice,
+                e.heuristic_time_ms,
+                e.optimum.bx,
+                e.optimum.by,
+                e.optimum.time_ms
+            );
+        }
+        _ => {
+            let tesla = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+            let c = op.compile(&tesla, 4096, 4096).unwrap();
+            println!("bilateral filter, 13x13 window, {}:", tesla.label());
+            println!("  DSL lines:        {}", op.def.dsl_loc());
+            println!("  generated lines:  {}", c.generated_loc());
+            println!("  launch config:    {} (forced to the paper's)", c.config);
+            println!("  grid:             {:?}", c.grid);
+            let g = c.region_grid.unwrap();
+            println!(
+                "  region grid:      left {} right {} top {} bottom {} block rows/cols",
+                g.left_blocks, g.right_blocks, g.top_blocks, g.bottom_blocks
+            );
+            println!(
+                "  occupancy:        {:.1} %",
+                c.occupancy.unwrap().occupancy * 100.0
+            );
+            println!("\nregion map for a small 256x96 image (32x6 blocks):");
+            for row in hipacc_bench::figures::figure3(256, 96, (32, 6)) {
+                println!("    {row}");
+            }
+            println!("\nrun with `cuda`, `opencl`, `host` or `sweep` for full dumps.");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The multiresolution filter pipeline of the paper's medical motivation
+//! (Kunz et al., "Nonlinear Multiresolution Gradient Adaptive Filter for
+//! Medical Images"): repeated down/upsampling makes border handling
+//! visible, and Mirror is the mode that keeps borders natural.
+//!
+//! ```text
+//! cargo run --release --example multiresolution
+//! ```
+
+use hipacc::prelude::*;
+use hipacc_filters::pyramid::{border_error, pyramid_roundtrip};
+use hipacc_image::phantom;
+
+fn main() {
+    let image = phantom::vessel_tree(128, 128, &phantom::VesselParams::default());
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+
+    println!("multiresolution pyramid on {}", target.label());
+    println!("input: {}x{}", image.width(), image.height());
+
+    for levels in [1u32, 2, 3] {
+        println!("\n{levels}-level round trip:");
+        println!(
+            "  {:<10} {:>14} {:>12}",
+            "mode", "border error", "kernel ms"
+        );
+        for mode in [
+            BoundaryMode::Clamp,
+            BoundaryMode::Repeat,
+            BoundaryMode::Mirror,
+        ] {
+            let res = pyramid_roundtrip(&image, levels, mode, &target).unwrap();
+            println!(
+                "  {:<10} {:>14.4} {:>12.3}",
+                mode.name(),
+                border_error(&image, &res.reconstructed),
+                res.total_time_ms
+            );
+        }
+    }
+
+    // Show the pyramid geometry.
+    let res = pyramid_roundtrip(&image, 3, BoundaryMode::Mirror, &target).unwrap();
+    println!("\npyramid levels (Mirror):");
+    for (i, lvl) in res.levels.iter().enumerate() {
+        println!(
+            "  level {i}: {}x{} (range {:?})",
+            lvl.width(),
+            lvl.height(),
+            lvl.min_max()
+        );
+    }
+
+    println!(
+        "\nthe Mirror row should show the smallest border error at every depth —\n\
+         the paper's argument for supporting mirroring in the framework\n\
+         (RapidMind, for comparison, had no mirror mode at all)."
+    );
+
+    // The full gradient-adaptive denoising pipeline (Kunz et al.): device
+    // Gaussians for the pyramid, a DSL *point operator* for the nonlinear
+    // detail attenuation.
+    let mut noisy = image.clone();
+    hipacc_image::phantom::add_gaussian_noise(&mut noisy, 0.05, 3);
+    let (denoised, kernel_ms) = hipacc_filters::pyramid::multiresolution_denoise(
+        &noisy,
+        3,
+        0.08,
+        BoundaryMode::Mirror,
+        &target,
+    )
+    .unwrap();
+    let mse = |a: &Image<f32>, b: &Image<f32>| {
+        let mut acc = 0.0f64;
+        for y in 0..a.height() as i32 {
+            for x in 0..a.width() as i32 {
+                let d = a.get(x, y) - b.get(x, y);
+                acc += (d * d) as f64;
+            }
+        }
+        acc / (a.width() * a.height()) as f64
+    };
+    println!("\ngradient-adaptive multiresolution denoising (3 levels):");
+    println!("  mse vs clean before: {:.6}", mse(&noisy, &image));
+    println!("  mse vs clean after:  {:.6}", mse(&denoised, &image));
+    println!("  device kernel time:  {kernel_ms:.3} ms");
+
+    println!("\nok: multiresolution finished");
+}

@@ -1,0 +1,40 @@
+//! # hipacc
+//!
+//! Facade crate for the Rust reproduction of *"Generating Device-specific
+//! GPU Code for Local Operators in Medical Imaging"* (Membarth, Hannig,
+//! Teich, Körner, Eckert — IPDPS 2012).
+//!
+//! The workspace implements the paper's HIPAcc framework end to end on a
+//! simulated GPU substrate:
+//!
+//! * [`image`] — pixel containers, boundary handling, CPU references.
+//! * [`ir`] — the kernel IR the source-to-source compiler consumes.
+//! * [`hwmodel`] — abstract GPU hardware model, occupancy, the
+//!   configuration-selection heuristic.
+//! * [`codegen`] — CUDA/OpenCL source emission with device-specific memory
+//!   mapping and boundary-handling specialization.
+//! * [`sim`] — a SIMT functional interpreter plus analytical timing model.
+//! * [`core`] — the DSL front-end (`Image`, `IterationSpace`, `Accessor`,
+//!   `BoundaryCondition`, `Mask`, `Kernel`) and the compile/execute
+//!   pipeline.
+//! * [`filters`] — medical-imaging filters expressed in the DSL.
+//! * [`baselines`] — the comparators from the paper's evaluation
+//!   (hand-written variants, RapidMind-style, OpenCV-style).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and the per-experiment index.
+
+pub use hipacc_baselines as baselines;
+pub use hipacc_codegen as codegen;
+pub use hipacc_core as core;
+pub use hipacc_filters as filters;
+pub use hipacc_hwmodel as hwmodel;
+pub use hipacc_image as image;
+pub use hipacc_ir as ir;
+pub use hipacc_sim as sim;
+
+/// Convenience prelude re-exporting the types most programs need.
+pub mod prelude {
+    pub use hipacc_core::prelude::*;
+    pub use hipacc_image::{BoundaryMode, Image, Rect};
+}

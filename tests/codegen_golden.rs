@@ -1,0 +1,189 @@
+//! Golden tests on generated source text: the CUDA/OpenCL the compiler
+//! emits for the paper's kernels has the structure the paper describes.
+
+use hipacc::prelude::*;
+use hipacc_core::PipelineOptions;
+use hipacc_filters::bilateral::bilateral_operator;
+use hipacc_hwmodel::device::{quadro_fx_5800, tesla_c2050};
+
+fn compile_bilateral_cuda() -> hipacc_codegen::CompiledKernel {
+    bilateral_operator(3, 5, true, BoundaryMode::Clamp)
+        .with_options(PipelineOptions {
+            variant: MemVariant::Texture,
+            force_config: Some((128, 1)),
+            ..PipelineOptions::default()
+        })
+        .compile(&Target::cuda(tesla_c2050()), 4096, 4096)
+        .unwrap()
+}
+
+#[test]
+fn cuda_source_has_paper_structure() {
+    let c = compile_bilateral_cuda();
+    let src = &c.source;
+    // Texture reference declared globally, not as a parameter (§IV-A).
+    assert!(src.contains("texture<float, cudaTextureType1D, cudaReadModeElementType> _texInput;"));
+    assert!(!src.contains("(_texInput,") || src.contains("tex1Dfetch(_texInput,"));
+    // Statically initialized constant memory for the closeness mask (§IV-C).
+    assert!(src.contains("__device__ __constant__ float _constCMask[169]"));
+    // Nine region bodies (§IV-B).
+    for label in ["TL_BH", "T_BH", "TR_BH", "L_BH", "NO_BH", "R_BH", "BL_BH", "B_BH", "BR_BH"] {
+        assert!(src.contains(label), "missing region {label}");
+    }
+    // Region dispatch on block indices, as Listing 8.
+    assert!(src.contains("blockIdx.x") && src.contains("blockIdx.y"));
+    // CUDA keeps the float suffix on math functions (§V-A).
+    assert!(src.contains("expf("));
+    assert!(!src.contains(" exp("));
+    // Balanced braces — a cheap syntactic sanity check.
+    assert_eq!(src.matches('{').count(), src.matches('}').count());
+}
+
+#[test]
+fn opencl_source_has_paper_structure() {
+    let c = bilateral_operator(3, 5, true, BoundaryMode::Clamp)
+        .with_options(PipelineOptions {
+            force_config: Some((128, 1)),
+            ..PipelineOptions::default()
+        })
+        .compile(&Target::opencl(tesla_c2050()), 4096, 4096)
+        .unwrap();
+    let src = &c.source;
+    assert!(src.contains("__kernel void"));
+    // OpenCL drops the suffix: exp not expf (§V-A).
+    assert!(src.contains("exp("));
+    assert!(!src.contains("expf("));
+    // Work-item builtins.
+    assert!(src.contains("get_group_id(0)"));
+    // Constant memory at program scope.
+    assert!(src.contains("__constant float _constCMask[169]"));
+    assert_eq!(src.matches('{').count(), src.matches('}').count());
+}
+
+#[test]
+fn region_dispatch_constants_follow_tiling() {
+    // For 4096² with halo 6 and 128×1 blocks the paper's Listing 8 uses
+    // `blockIdx.x < 1 && blockIdx.y < 6` for the top-left region.
+    let c = compile_bilateral_cuda();
+    let grid = c.region_grid.expect("region grid");
+    assert_eq!(grid.left_blocks, 1);
+    assert_eq!(grid.top_blocks, 6);
+    assert!(c.source.contains("blockIdx.x < 1"));
+    assert!(c.source.contains("blockIdx.y < 6"));
+}
+
+#[test]
+fn loc_amplification_matches_paper_scale() {
+    // §VI-C: a ~16-line DSL kernel becomes a ~317-line CUDA kernel. Our
+    // printer's exact counts differ, but both sides must be of the same
+    // order.
+    let c = compile_bilateral_cuda();
+    let dsl = hipacc_filters::bilateral::bilateral_masked_kernel(3).dsl_loc();
+    let generated = c.generated_loc();
+    assert!((10..=40).contains(&dsl), "DSL lines: {dsl}");
+    assert!(
+        (150..=1200).contains(&generated),
+        "generated lines: {generated}"
+    );
+    assert!(generated / dsl >= 8, "amplification {dsl} -> {generated}");
+}
+
+#[test]
+fn host_code_contains_launch_sequence() {
+    let c = compile_bilateral_cuda();
+    let host = &c.host_source;
+    assert!(host.contains("cudaMalloc"));
+    assert!(host.contains("cudaBindTexture(NULL, _texInput"));
+    assert!(host.contains("dim3 block(128, 1);"));
+    assert!(host.contains("<<<grid, block>>>"));
+    assert!(host.contains("cudaMemcpy2D"));
+}
+
+#[test]
+fn scratchpad_variant_emits_shared_memory_with_pad() {
+    let c = bilateral_operator(1, 5, true, BoundaryMode::Clamp)
+        .with_options(PipelineOptions {
+            variant: MemVariant::Scratchpad,
+            force_config: Some((32, 4)),
+            ..PipelineOptions::default()
+        })
+        .compile(&Target::cuda(tesla_c2050()), 512, 512)
+        .unwrap();
+    // Tile (4 + 2·2) rows × (32 + 2·2 + 1) cols — the +1 bank-conflict pad
+    // of Listing 7.
+    assert!(c.source.contains("__shared__ float _smemInput[8][37];"));
+    assert!(c.source.contains("__syncthreads();"));
+}
+
+#[test]
+fn quadro_and_tesla_get_device_specific_configs() {
+    // Without a forced config the heuristic adapts to the device limits.
+    let tesla = bilateral_operator(3, 5, true, BoundaryMode::Clamp)
+        .compile(&Target::cuda(tesla_c2050()), 4096, 4096)
+        .unwrap();
+    let quadro = bilateral_operator(3, 5, true, BoundaryMode::Clamp)
+        .compile(&Target::cuda(quadro_fx_5800()), 4096, 4096)
+        .unwrap();
+    assert!(tesla.config.threads() <= 1024);
+    assert!(quadro.config.threads() <= 512);
+    // Figure 4's selection on the Tesla.
+    assert_eq!(
+        (tesla.config.bx, tesla.config.by),
+        (32, 6),
+        "heuristic should pick the paper's 32x6 on the Tesla"
+    );
+}
+
+#[test]
+fn generated_sources_differ_between_backends_only_in_spelling() {
+    let cuda = compile_bilateral_cuda();
+    let ocl = bilateral_operator(3, 5, true, BoundaryMode::Clamp)
+        .with_options(PipelineOptions {
+            force_config: Some((128, 1)),
+            ..PipelineOptions::default()
+        })
+        .compile(&Target::opencl(tesla_c2050()), 4096, 4096)
+        .unwrap();
+    // Same region structure on both backends.
+    for label in ["TL_BH", "NO_BH", "BR_BH"] {
+        assert!(cuda.source.contains(label));
+        assert!(ocl.source.contains(label));
+    }
+    // Same launch configuration and grid.
+    assert_eq!(cuda.config, ocl.config);
+    assert_eq!(cuda.grid, ocl.grid);
+}
+
+#[test]
+fn every_generated_variant_passes_the_source_linter() {
+    use hipacc_codegen::lint::assert_clean;
+    use hipacc_filters::boxf::box_operator;
+    let devices = [
+        Target::cuda(tesla_c2050()),
+        Target::opencl(tesla_c2050()),
+        Target::cuda(quadro_fx_5800()),
+        Target::opencl(hipacc_hwmodel::device::radeon_hd_6970()),
+    ];
+    for target in devices {
+        for mode in BoundaryMode::all() {
+            for variant in [
+                MemVariant::Global,
+                MemVariant::Texture,
+                MemVariant::Scratchpad,
+            ] {
+                let op = box_operator(5, 5, mode).with_options(PipelineOptions {
+                    variant,
+                    ..PipelineOptions::default()
+                });
+                if let Ok(compiled) = op.compile(&target, 512, 512) {
+                    assert_clean(&compiled.source);
+                }
+            }
+        }
+        // Vectorized variant too.
+        let op = box_operator(3, 3, BoundaryMode::Clamp).vectorized(4);
+        if let Ok(compiled) = op.compile(&target, 512, 512) {
+            assert_clean(&compiled.source);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Integration tests for the Section-VIII extension features: iteration-
+//! space ROIs, vectorization for VLIW devices, loop unrolling with
+//! constant propagation, and global reductions.
+
+use hipacc::prelude::*;
+use hipacc_core::reduce::{reduce_image, ReduceOp};
+use hipacc_core::PipelineOptions;
+use hipacc_filters::bilateral::bilateral_operator;
+use hipacc_filters::boxf::box_operator;
+use hipacc_image::{phantom, reference};
+
+// ---------------------------------------------------------------------
+// Iteration-space ROIs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn roi_writes_only_its_rectangle() {
+    let img = phantom::gradient(64, 48);
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+    let op = box_operator(3, 3, BoundaryMode::Clamp).with_roi(16, 8, 24, 20);
+    let result = op.execute(&[("Input", &img)], &target).unwrap();
+    let expected = reference::convolve2d(
+        &img,
+        &reference::MaskCoeffs::box_filter(3, 3),
+        BoundaryMode::Clamp,
+    );
+    // Inside the ROI: filtered values.
+    for y in 8..28 {
+        for x in 16..40 {
+            assert!(
+                (result.output.get(x, y) - expected.get(x, y)).abs() < 1e-5,
+                "inside ROI at ({x},{y})"
+            );
+        }
+    }
+    // Outside: untouched output buffer (zero).
+    assert_eq!(result.output.get(0, 0), 0.0);
+    assert_eq!(result.output.get(63, 47), 0.0);
+    assert_eq!(result.output.get(15, 8), 0.0);
+    assert_eq!(result.output.get(40, 27), 0.0);
+}
+
+#[test]
+fn interior_roi_needs_no_boundary_handling() {
+    // A ROI that keeps the window inside the image everywhere generates
+    // interior-only blocks: every block count lands on Interior.
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+    let op = box_operator(5, 5, BoundaryMode::Mirror).with_roi(8, 8, 48, 48);
+    let compiled = op.compile(&target, 64, 64).unwrap();
+    if let Some(g) = &compiled.region_grid {
+        let interior = g
+            .block_counts()
+            .into_iter()
+            .find(|(r, _)| *r == hipacc_codegen::Region::Interior)
+            .unwrap()
+            .1;
+        assert_eq!(
+            interior,
+            g.total_blocks(),
+            "an interior ROI must be all interior blocks"
+        );
+    }
+}
+
+#[test]
+fn edge_roi_still_handles_the_touched_border() {
+    let img = phantom::gradient(40, 40);
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+    // ROI flush against the left edge: left handling must still happen.
+    let op = box_operator(5, 5, BoundaryMode::Mirror).with_roi(0, 10, 20, 20);
+    let result = op.execute(&[("Input", &img)], &target).unwrap();
+    let expected = reference::convolve2d(
+        &img,
+        &reference::MaskCoeffs::box_filter(5, 5),
+        BoundaryMode::Mirror,
+    );
+    for y in 10..30 {
+        for x in 0..20 {
+            assert!(
+                (result.output.get(x, y) - expected.get(x, y)).abs() < 1e-5,
+                "({x},{y}): {} vs {}",
+                result.output.get(x, y),
+                expected.get(x, y)
+            );
+        }
+    }
+    assert_eq!(result.stats.oob_reads, 0);
+}
+
+// ---------------------------------------------------------------------
+// Vectorization (Section VIII).
+// ---------------------------------------------------------------------
+
+#[test]
+fn vectorized_kernel_is_functionally_identical() {
+    let img = phantom::vessel_tree(50, 36, &phantom::VesselParams::default());
+    let target = Target::opencl(hipacc_hwmodel::device::radeon_hd_5870());
+    let scalar = box_operator(3, 3, BoundaryMode::Clamp)
+        .execute(&[("Input", &img)], &target)
+        .unwrap()
+        .output;
+    for v in [2u32, 4, 5] {
+        let vectorized = box_operator(3, 3, BoundaryMode::Clamp)
+            .vectorized(v)
+            .execute(&[("Input", &img)], &target)
+            .unwrap()
+            .output;
+        assert!(
+            scalar.max_abs_diff(&vectorized) < 1e-6,
+            "v={v}: {}",
+            scalar.max_abs_diff(&vectorized)
+        );
+    }
+}
+
+#[test]
+fn vectorization_speeds_up_amd_significantly() {
+    // "First manual vectorization shows that the performance improves
+    // significantly on graphics cards from AMD."
+    let target = Target::opencl(hipacc_hwmodel::device::radeon_hd_5870());
+    let scalar = bilateral_operator(3, 5, true, BoundaryMode::Clamp);
+    let vectorized = bilateral_operator(3, 5, true, BoundaryMode::Clamp).vectorized(4);
+    let t_scalar = {
+        let c = scalar.compile(&target, 4096, 4096).unwrap();
+        scalar.estimate(&c, &target).compute_ms
+    };
+    let t_vec = {
+        let c = vectorized.compile(&target, 4096, 4096).unwrap();
+        vectorized.estimate(&c, &target).compute_ms
+    };
+    assert!(
+        t_vec < t_scalar / 2.0,
+        "vectorized {t_vec} ms vs scalar {t_scalar} ms"
+    );
+}
+
+#[test]
+fn vectorization_is_neutral_on_nvidia_compute() {
+    // Scalar-issue NVIDIA parts get no lane-fill benefit.
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+    let scalar = bilateral_operator(1, 5, true, BoundaryMode::Clamp);
+    let vectorized = bilateral_operator(1, 5, true, BoundaryMode::Clamp).vectorized(4);
+    let t_scalar = {
+        let c = scalar.compile(&target, 1024, 1024).unwrap();
+        scalar.estimate(&c, &target).compute_ms
+    };
+    let t_vec = {
+        let c = vectorized.compile(&target, 1024, 1024).unwrap();
+        vectorized.estimate(&c, &target).compute_ms
+    };
+    // Within 25%: the per-pixel work is the same, only scheduling shifts.
+    assert!(
+        (t_vec - t_scalar).abs() / t_scalar < 0.25,
+        "vectorized {t_vec} vs scalar {t_scalar}"
+    );
+}
+
+#[test]
+fn vectorized_source_carries_the_lane_loop() {
+    let target = Target::opencl(hipacc_hwmodel::device::radeon_hd_6970());
+    let c = box_operator(3, 3, BoundaryMode::Clamp)
+        .vectorized(4)
+        .compile(&target, 256, 256)
+        .unwrap();
+    assert!(c.source.contains("vectorized: 4 pixels per work-item"));
+    assert!(c.source.contains("_vlane"));
+    assert_eq!(c.vector_width, 4);
+    // Grid shrinks by the vector width.
+    assert_eq!(c.grid.0, 256u32.div_ceil(c.config.bx * 4));
+}
+
+#[test]
+fn vectorization_rejects_scratchpad() {
+    let target = Target::opencl(hipacc_hwmodel::device::radeon_hd_5870());
+    let op = box_operator(3, 3, BoundaryMode::Clamp)
+        .vectorized(4)
+        .with_options(PipelineOptions {
+            variant: MemVariant::Scratchpad,
+            vectorize: 4,
+            ..PipelineOptions::default()
+        });
+    assert!(op.compile(&target, 128, 128).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Global operators.
+// ---------------------------------------------------------------------
+
+#[test]
+fn reductions_work_on_all_targets() {
+    let img = phantom::vessel_tree(70, 50, &phantom::VesselParams::default());
+    let expected = reference::reduce_sum(&img);
+    for target in Target::evaluation_targets() {
+        let (sum, _) = reduce_image(&img, ReduceOp::Sum, &target).unwrap();
+        assert!(
+            (sum - expected).abs() / expected.abs() < 1e-4,
+            "{}: {sum} vs {expected}",
+            target.label()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unrolling + constant propagation together (the Listing-9 pipeline).
+// ---------------------------------------------------------------------
+
+#[test]
+fn unrolled_convolution_eliminates_loops_from_generated_source() {
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+    let op = hipacc_filters::gaussian::gaussian_operator(3, 0.8, BoundaryMode::Clamp)
+        .with_options(PipelineOptions {
+            unroll_limit: 16,
+            ..PipelineOptions::default()
+        });
+    let compiled = op.compile(&target, 128, 128).unwrap();
+    assert!(
+        !compiled.source.contains("for ("),
+        "unrolled kernel must contain no loops:\n{}",
+        compiled.source
+    );
+    // And it still computes the right thing.
+    let img = phantom::gradient(32, 32);
+    let result = op.execute(&[("Input", &img)], &target).unwrap();
+    let expected = reference::convolve2d(
+        &img,
+        &reference::MaskCoeffs::gaussian(3, 3, 0.8),
+        BoundaryMode::Clamp,
+    );
+    assert!(result.output.max_abs_diff(&expected) < 1e-4);
+}

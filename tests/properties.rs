@@ -1,0 +1,372 @@
+//! Property-based tests (proptest) on the core invariants of the system.
+
+use hipacc_codegen::regions::RegionGrid;
+use hipacc_hwmodel::{occupancy, KernelResources, LaunchConfig};
+use hipacc_image::boundary::{clamp_index, mirror_index, repeat_index};
+use hipacc_image::{phantom, reference, BoundaryMode, Image};
+use hipacc_ir::fold::{eval_const, fold_expr};
+use hipacc_ir::metrics::{count_ops, count_ops_licm, CountConfig};
+use hipacc_ir::{Expr, MathFn, Stmt};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Boundary index maps (Table I / Figure 2 semantics).
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every index map lands inside the image and is idempotent.
+    #[test]
+    fn index_maps_are_inbounds_and_idempotent(i in -10_000i32..10_000, n in 1u32..4096) {
+        for f in [clamp_index, repeat_index, mirror_index] {
+            let m = f(i, n);
+            prop_assert!((0..n as i32).contains(&m), "map({i}, {n}) = {m}");
+            prop_assert_eq!(f(m, n), m, "not idempotent at {}", i);
+        }
+    }
+
+    /// In-bounds coordinates are fixed points of every map.
+    #[test]
+    fn inbounds_are_fixed_points(n in 1u32..2048, k in 0u32..2048) {
+        let i = (k % n) as i32;
+        prop_assert_eq!(clamp_index(i, n), i);
+        prop_assert_eq!(repeat_index(i, n), i);
+        prop_assert_eq!(mirror_index(i, n), i);
+    }
+
+    /// Mirror is an involution across the border for one period: the
+    /// reflection of the reflection of an out-of-range point maps back to
+    /// the same in-range pixel.
+    #[test]
+    fn mirror_reflection_symmetry(d in 1i32..100, n in 100u32..500) {
+        // Point d-1 pixels outside the left border mirrors to d-1 inside.
+        prop_assert_eq!(mirror_index(-d, n), d - 1);
+        // And symmetrically on the right.
+        prop_assert_eq!(mirror_index(n as i32 - 1 + d, n), n as i32 - d);
+    }
+
+    /// Repeat is periodic with period n.
+    #[test]
+    fn repeat_is_periodic(i in -5_000i32..5_000, n in 1u32..1000) {
+        prop_assert_eq!(repeat_index(i, n), repeat_index(i + n as i32, n));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Constant folding.
+// ---------------------------------------------------------------------
+
+/// A generator of small pure integer expressions.
+fn int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Expr::int),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x + y),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x - y),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x * y),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Expr::call2(MathFn::Min, x, y)),
+            (inner.clone(), inner).prop_map(|(x, y)| Expr::call2(MathFn::Max, x, y)),
+        ]
+    })
+}
+
+proptest! {
+    /// Folding preserves the value of every expression under any binding.
+    #[test]
+    fn folding_preserves_value(e in int_expr(), a in -100i64..100, b in -100i64..100) {
+        let mut env = HashMap::new();
+        env.insert("a".to_string(), hipacc_ir::Const::Int(a));
+        env.insert("b".to_string(), hipacc_ir::Const::Int(b));
+        let before = eval_const(&e, &env);
+        let folded = fold_expr(e, &env);
+        let after = eval_const(&folded, &env);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Folding with an empty environment never changes the value either.
+    #[test]
+    fn partial_folding_is_sound(e in int_expr(), a in -100i64..100, b in -100i64..100) {
+        let mut env = HashMap::new();
+        env.insert("a".to_string(), hipacc_ir::Const::Int(a));
+        env.insert("b".to_string(), hipacc_ir::Const::Int(b));
+        let before = eval_const(&e, &env);
+        // Fold knowing nothing, then evaluate with the full environment.
+        let folded = fold_expr(e, &HashMap::new());
+        let after = eval_const(&folded, &env);
+        prop_assert_eq!(before, after);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operation counting.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The LICM/CSE-aware count never exceeds the naive count in any
+    /// category a backend compiler cannot increase.
+    #[test]
+    fn licm_counts_are_bounded_by_naive(half in 1i64..6) {
+        let load = Expr::GlobalLoad {
+            buf: "IN".into(),
+            idx: Box::new(Expr::var("gid") + Expr::var("x")),
+        };
+        let stmts = vec![Stmt::For {
+            var: "y".into(),
+            from: Expr::int(-half),
+            to: Expr::int(half),
+            body: vec![Stmt::For {
+                var: "x".into(),
+                from: Expr::int(-half),
+                to: Expr::int(half),
+                body: vec![Stmt::Assign {
+                    target: hipacc_ir::LValue::Var("acc".into()),
+                    value: Expr::var("acc") + Expr::exp(load.clone()),
+                }],
+            }],
+        }];
+        let cfg = CountConfig::default();
+        let naive = count_ops(&stmts, &cfg, &HashMap::new());
+        let licm = count_ops_licm(&stmts, &cfg, &HashMap::new());
+        prop_assert!(licm.global_loads <= naive.global_loads);
+        prop_assert!(licm.sfu <= naive.sfu);
+        prop_assert!(licm.alu <= naive.alu + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Occupancy.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Occupancy is within (0, 1] and monotonically non-increasing in
+    /// register pressure and shared-memory use.
+    #[test]
+    fn occupancy_bounds_and_monotonicity(
+        regs in 8u32..60,
+        smem in 0u32..40_000,
+        bx_pow in 5u32..9,
+        by in 1u32..4,
+    ) {
+        let dev = hipacc_hwmodel::device::tesla_c2050();
+        let bx = 1u32 << bx_pow;
+        if bx * by > dev.max_threads_per_block {
+            return Ok(());
+        }
+        let res = KernelResources {
+            registers_per_thread: regs,
+            shared_bytes: smem,
+            instruction_estimate: 0,
+        };
+        if let Some(o) = occupancy(&dev, &res, bx, by) {
+            prop_assert!(o.occupancy > 0.0 && o.occupancy <= 1.0);
+            // More registers can only lower (or keep) occupancy.
+            let res2 = KernelResources {
+                registers_per_thread: regs + 4,
+                ..res
+            };
+            if let Some(o2) = occupancy(&dev, &res2, bx, by) {
+                prop_assert!(o2.occupancy <= o.occupancy + 1e-12);
+            }
+            // More shared memory likewise.
+            let res3 = KernelResources {
+                shared_bytes: smem + 4096,
+                ..res
+            };
+            if let Some(o3) = occupancy(&dev, &res3, bx, by) {
+                prop_assert!(o3.occupancy <= o.occupancy + 1e-12);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Region partition.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The nine regions partition every grid: block counts are total and
+    /// the interior never handles boundaries.
+    #[test]
+    fn region_partition_is_total(
+        w in 16u32..700,
+        h in 16u32..700,
+        halo in 0u32..8,
+        bx_pow in 5u32..8,
+        by in 1u32..8,
+    ) {
+        let cfg = LaunchConfig { bx: 1 << bx_pow, by };
+        let grid = RegionGrid::compute(w, h, halo, halo, cfg);
+        let counts = grid.block_counts();
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, grid.total_blocks());
+        // Threshold sanity.
+        prop_assert!(grid.left_blocks + grid.right_blocks <= grid.grid_x);
+        prop_assert!(grid.top_blocks + grid.bottom_blocks <= grid.grid_y);
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end functional property: random convolutions match the CPU
+// reference through the whole compile + simulate pipeline.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn random_convolutions_match_reference(
+        seed in 0u64..1000,
+        hw in 0u32..3,
+        hh in 0u32..3,
+        mode_ix in 0usize..4,
+    ) {
+        let w = 2 * hw + 1;
+        let h = 2 * hh + 1;
+        let mode = [
+            BoundaryMode::Clamp,
+            BoundaryMode::Repeat,
+            BoundaryMode::Mirror,
+            BoundaryMode::Constant(0.25),
+        ][mode_ix];
+        // Random but reproducible coefficients.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let coeffs: Vec<f32> = (0..w * h).map(|_| next()).collect();
+
+        let mut img = phantom::gradient(24, 20);
+        phantom::add_gaussian_noise(&mut img, 0.2, seed);
+
+        // DSL kernel via the convolve() sugar.
+        use hipacc_core::convolve::{convolve, Reduce};
+        use hipacc_ir::{KernelBuilder, ScalarType};
+        let mut b = KernelBuilder::new("randconv", ScalarType::F32);
+        let input = b.accessor("Input", ScalarType::F32);
+        let mask = b.mask_const("M", w, h, coeffs.clone());
+        let m2 = mask.clone();
+        let acc = convolve(&mut b, &mask, Reduce::Sum, |b, dx, dy| {
+            b.mask_at(&m2, dx.clone(), dy.clone()) * b.read_at(&input, dx, dy)
+        });
+        b.output(acc.get());
+        let op = hipacc_core::Operator::new(b.finish())
+            .boundary("Input", mode, w.max(3) | 1, h.max(3) | 1);
+        let target = hipacc_core::Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+        let result = op.execute(&[("Input", &img)], &target).unwrap();
+
+        let expected = reference::convolve2d(
+            &img,
+            &reference::MaskCoeffs::new(w, h, coeffs),
+            mode,
+        );
+        prop_assert!(
+            result.output.max_abs_diff(&expected) < 1e-3,
+            "diff {}",
+            result.output.max_abs_diff(&expected)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Image container.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Host round-trips are lossless for any geometry.
+    #[test]
+    fn host_roundtrip_lossless(w in 1u32..200, h in 1u32..50) {
+        let data: Vec<f32> = (0..w * h).map(|i| i as f32 * 0.5).collect();
+        let img = Image::from_vec(w, h, data.clone());
+        prop_assert_eq!(img.to_host_vec(), data);
+    }
+
+    /// The boundary view agrees with direct access inside the image.
+    #[test]
+    fn boundary_view_transparent_inside(w in 2u32..60, h in 2u32..60, seed in 0u64..50) {
+        let mut img = phantom::gradient(w, h);
+        phantom::add_gaussian_noise(&mut img, 0.5, seed);
+        for mode in BoundaryMode::all() {
+            let v = hipacc_image::BoundaryView::new(&img, mode);
+            let x = (seed % w as u64) as i32;
+            let y = (seed % h as u64) as i32;
+            prop_assert_eq!(v.get(x, y), img.get(x, y));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interpreter vs constant evaluator: the two expression evaluators in the
+// system (the simulator's and the folder's) must agree on pure math.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn interpreter_agrees_with_const_evaluator(
+        e in int_expr(),
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        use hipacc_ir::kernel::{
+            AddressMode, BufferAccess, BufferParam, DeviceKernelDef, MemorySpace, ParamDecl,
+        };
+        use hipacc_ir::{ScalarType, Stmt};
+        use hipacc_sim::memory::{BufferGeometry, DeviceBuffer, DeviceMemory, LaunchParams};
+
+        let mut env = HashMap::new();
+        env.insert("a".to_string(), hipacc_ir::Const::Int(a));
+        env.insert("b".to_string(), hipacc_ir::Const::Int(b));
+        let Some(expected) = eval_const(&e, &env) else {
+            // Overflow or division by zero: the folder refuses; skip.
+            return Ok(());
+        };
+
+        let kernel = DeviceKernelDef {
+            name: "probe".into(),
+            buffers: vec![BufferParam {
+                name: "OUT".into(),
+                ty: ScalarType::F32,
+                access: BufferAccess::WriteOnly,
+                space: MemorySpace::Global,
+                address_mode: AddressMode::None,
+            }],
+            scalars: vec![
+                ParamDecl { name: "a".into(), ty: ScalarType::I32 },
+                ParamDecl { name: "b".into(), ty: ScalarType::I32 },
+            ],
+            const_buffers: vec![],
+            shared: vec![],
+            body: vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: e.cast(hipacc_ir::ScalarType::F32),
+            }],
+        };
+        let mut mem = DeviceMemory::new();
+        mem.bind(
+            "OUT",
+            DeviceBuffer::new(BufferGeometry { width: 1, height: 1, stride: 1 }),
+        );
+        let mut params = LaunchParams::new((1, 1), (1, 1));
+        params.set_int("a", a).set_int("b", b);
+        match hipacc_sim::execute(&kernel, &params, &mut mem) {
+            Ok(_) => {
+                let got = mem.buffer("OUT").unwrap().data[0];
+                prop_assert!(
+                    (got - expected.as_f32()).abs() < 1e-3,
+                    "interp {got} vs folder {}",
+                    expected.as_f32()
+                );
+            }
+            // The interpreter may reject what the folder also refuses
+            // (e.g. division by zero) — but if the folder produced a
+            // value, the interpreter must too.
+            Err(err) => prop_assert!(false, "interpreter failed: {err}"),
+        }
+    }
+}
