@@ -1,0 +1,107 @@
+//! Tree-walk vs bytecode execution-engine comparison.
+//!
+//! Measures the simulator's two engines on the same compiled device
+//! kernels — the paper's 5×5 Gaussian and the 5×5 bilateral filter — and
+//! prints the speedup of the bytecode register machine over the reference
+//! tree-walking interpreter. The device kernel is compiled from the DSL
+//! once outside the timed region, so the comparison isolates launch +
+//! execution (the part the bytecode engine restructures).
+//!
+//! ```text
+//! cargo bench -p hipacc-bench --bench engine
+//! ```
+
+use criterion::{criterion_group, criterion_main, time_median, Criterion, Throughput};
+use hipacc_core::pipeline::launch_spec;
+use hipacc_core::{Engine, Operator, Target};
+use hipacc_filters::bilateral::bilateral_operator;
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_hwmodel::device::tesla_c2050;
+use hipacc_image::{phantom, BoundaryMode, Image};
+use hipacc_sim::run_on_image_with;
+use std::hint::black_box;
+
+const SIZE: u32 = 128;
+const SAMPLES: usize = 8;
+
+/// Compare both engines on one operator; returns (tree-walk, bytecode)
+/// median times and asserts the engines still agree on the output.
+fn compare(op: &Operator, img: &Image<f32>, name: &str) -> (f64, f64) {
+    let target = Target::cuda(tesla_c2050());
+    let compiled = op.compile(&target, img.width(), img.height()).unwrap();
+    let spec = launch_spec(&compiled, &[("Input", img)], &op.params, &op.mask_uploads);
+
+    let ref_out = run_on_image_with(&compiled.device_kernel, &spec, Engine::TreeWalk).unwrap();
+    let bc_out = run_on_image_with(&compiled.device_kernel, &spec, Engine::Bytecode).unwrap();
+    assert_eq!(ref_out.stats, bc_out.stats, "{name}: engine stats diverge");
+    assert_eq!(
+        ref_out.output.max_abs_diff(&bc_out.output),
+        0.0,
+        "{name}: engine outputs diverge"
+    );
+
+    let tree = time_median(SAMPLES, || {
+        black_box(run_on_image_with(&compiled.device_kernel, &spec, Engine::TreeWalk).unwrap())
+    });
+    let bc = time_median(SAMPLES, || {
+        black_box(run_on_image_with(&compiled.device_kernel, &spec, Engine::Bytecode).unwrap())
+    });
+    (tree.as_secs_f64(), bc.as_secs_f64())
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let img = phantom::vessel_tree(SIZE, SIZE, &phantom::VesselParams::default());
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(SAMPLES);
+    group.throughput(Throughput::Elements((SIZE * SIZE) as u64));
+
+    let benches: Vec<(&str, Operator)> = vec![
+        (
+            "gaussian_5x5",
+            gaussian_operator(5, 1.0, BoundaryMode::Clamp),
+        ),
+        (
+            "bilateral_5x5",
+            bilateral_operator(1, 5, true, BoundaryMode::Clamp),
+        ),
+    ];
+
+    let mut report = Vec::new();
+    for (name, op) in &benches {
+        let (tree, bc) = compare(op, &img, name);
+        report.push((*name, tree, bc));
+        // Standard criterion lines for each engine as well, so the bench
+        // output stays comparable across runs.
+        let target = Target::cuda(tesla_c2050());
+        let compiled = op.compile(&target, img.width(), img.height()).unwrap();
+        let spec = launch_spec(&compiled, &[("Input", &img)], &op.params, &op.mask_uploads);
+        group.bench_function(format!("{name}_treewalk"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_on_image_with(&compiled.device_kernel, &spec, Engine::TreeWalk).unwrap(),
+                )
+            })
+        });
+        group.bench_function(format!("{name}_bytecode"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_on_image_with(&compiled.device_kernel, &spec, Engine::Bytecode).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    println!("\nengine speedup (tree-walk / bytecode), {SIZE}x{SIZE}:");
+    for (name, tree, bc) in &report {
+        println!(
+            "  {name:<16} tree-walk {:>8.2} ms   bytecode {:>8.2} ms   speedup {:>5.2}x",
+            tree * 1e3,
+            bc * 1e3,
+            tree / bc
+        );
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -37,6 +37,7 @@ pub mod pipeline;
 pub mod reduce;
 pub mod target;
 
+pub use hipacc_sim::Engine;
 pub use operator::{Execution, Operator, PipelineOptions};
 pub use target::Target;
 

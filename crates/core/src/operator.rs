@@ -246,16 +246,27 @@ impl Operator {
     }
 
     /// Full pipeline: compile, execute on the simulated device, estimate
-    /// the time.
+    /// the time. Runs on the simulator's default engine.
     pub fn execute(
         &self,
         inputs: &[(&str, &Image<f32>)],
         target: &Target,
     ) -> Result<Execution, OperatorError> {
+        self.execute_with(inputs, target, hipacc_sim::Engine::default())
+    }
+
+    /// [`Self::execute`] on an explicitly chosen simulator engine
+    /// (bytecode register machine or the reference tree-walk).
+    pub fn execute_with(
+        &self,
+        inputs: &[(&str, &Image<f32>)],
+        target: &Target,
+        engine: hipacc_sim::Engine,
+    ) -> Result<Execution, OperatorError> {
         let (_, first) = inputs.first().ok_or(OperatorError::NoInputs)?;
         let compiled = self.compile(target, first.width(), first.height())?;
         let spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
-        let run = hipacc_sim::launch::run_on_image(&compiled.device_kernel, &spec)?;
+        let run = hipacc_sim::launch::run_on_image_with(&compiled.device_kernel, &spec, engine)?;
         let time = self.estimate(&compiled, target);
         Ok(Execution {
             output: run.output,

@@ -11,10 +11,8 @@
 //! All numbers are public-specification values for the real cards; they
 //! are *frozen* here and never tuned per experiment.
 
-use serde::{Deserialize, Serialize};
-
 /// GPU vendor.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Vendor {
     /// NVIDIA (CUDA and OpenCL backends).
     Nvidia,
@@ -24,7 +22,7 @@ pub enum Vendor {
 
 /// Microarchitecture family, which decides coalescing rules, default
 /// caching and register allocation granularity.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Architecture {
     /// NVIDIA Tesla G80/G92 (compute capability 1.0/1.1).
     G80,
@@ -57,7 +55,7 @@ impl Architecture {
 }
 
 /// Code-generation backend.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// NVIDIA CUDA.
     Cuda,
@@ -76,7 +74,7 @@ impl Backend {
 }
 
 /// An abstract model of one GPU.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeviceModel {
     /// Marketing name ("Tesla C2050").
     pub name: String,

@@ -20,6 +20,9 @@
 //! * `reference` — golden CPU implementations of local operators
 //!   (convolution, separable convolution, bilateral filter, …).
 //! * [`phantom`] — synthetic angiography-style test images.
+//! * [`rng`] — a small seeded PCG32 used by the phantoms and by
+//!   randomized tests across the workspace (the build environment has no
+//!   crates.io access, so `rand` is not available).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +33,7 @@ pub mod phantom;
 pub mod pixel;
 pub mod reference;
 pub mod region;
+pub mod rng;
 
 pub use boundary::{BoundaryMode, BoundaryView};
 pub use image::Image;

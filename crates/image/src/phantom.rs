@@ -9,8 +9,7 @@
 //! gradients that make boundary-handling errors visible.
 
 use crate::image::Image;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Pcg32;
 
 /// A smooth horizontal gradient in `[0, 1]`.
 pub fn gradient(width: u32, height: u32) -> Image<f32> {
@@ -44,13 +43,8 @@ pub fn step_edge(width: u32, height: u32, lo: f32, hi: f32) -> Image<f32> {
 /// Additive Gaussian noise (Box–Muller from a seeded RNG, so phantoms are
 /// reproducible across runs and platforms).
 pub fn add_gaussian_noise(img: &mut Image<f32>, sigma: f32, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    img.map_in_place(|p| {
-        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = rng.gen_range(0.0..1.0);
-        let n = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
-        p + sigma * n
-    });
+    let mut rng = Pcg32::seed_from_u64(seed);
+    img.map_in_place(|p| p + sigma * rng.gen_normal());
 }
 
 /// Parameters for [`vessel_tree`].
@@ -89,7 +83,7 @@ impl Default for VesselParams {
 /// that tapers toward the tip — enough structure for the bilateral filter
 /// and the multiresolution example to show their medical motivation.
 pub fn vessel_tree(width: u32, height: u32, params: &VesselParams) -> Image<f32> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Pcg32::seed_from_u64(params.seed);
     // Bright background with mild vignette.
     let cx = width as f32 / 2.0;
     let cy = height as f32 / 2.0;
@@ -103,23 +97,27 @@ pub fn vessel_tree(width: u32, height: u32, params: &VesselParams) -> Image<f32>
 
     for _ in 0..params.branches {
         // Start on a random border point heading inward.
-        let (mut x, mut y, mut angle) = match rng.gen_range(0..4u32) {
-            0 => (rng.gen_range(0.0..width as f32), 0.0, std::f32::consts::FRAC_PI_2),
+        let (mut x, mut y, mut angle) = match rng.gen_below(4) {
+            0 => (
+                rng.gen_range_f32(0.0, width as f32),
+                0.0,
+                std::f32::consts::FRAC_PI_2,
+            ),
             1 => (
-                rng.gen_range(0.0..width as f32),
+                rng.gen_range_f32(0.0, width as f32),
                 height as f32 - 1.0,
                 -std::f32::consts::FRAC_PI_2,
             ),
-            2 => (0.0, rng.gen_range(0.0..height as f32), 0.0),
+            2 => (0.0, rng.gen_range_f32(0.0, height as f32), 0.0),
             _ => (
                 width as f32 - 1.0,
-                rng.gen_range(0.0..height as f32),
+                rng.gen_range_f32(0.0, height as f32),
                 std::f32::consts::PI,
             ),
         };
         let steps = (width.max(height) as f32 * 1.2) as u32;
         for step in 0..steps {
-            angle += rng.gen_range(-0.25..0.25f32);
+            angle += rng.gen_range_f32(-0.25, 0.25);
             x += angle.cos();
             y += angle.sin();
             if x < -10.0 || y < -10.0 || x > width as f32 + 10.0 || y > height as f32 + 10.0 {

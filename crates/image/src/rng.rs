@@ -1,0 +1,134 @@
+//! A small, seeded, portable PRNG.
+//!
+//! The phantoms (and a few randomized tests elsewhere in the workspace)
+//! only need *reproducible* pseudo-randomness, not cryptographic quality,
+//! and the build environment has no crates.io access — so instead of the
+//! `rand` crate this module carries a PCG32 (O'Neill's `pcg32_oneseq`:
+//! 64-bit LCG state, XSH-RR output) seeded through SplitMix64. Output is
+//! fully determined by the seed and identical on every platform.
+
+/// PCG32 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+const PCG_INC: u64 = 1442695040888963407;
+
+impl Pcg32 {
+    /// Seed the generator. Seeds are scrambled through SplitMix64 so that
+    /// small consecutive seeds (0, 1, 2, …) produce unrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        let mut rng = Self { state: z ^ (z >> 31) };
+        rng.next_u32(); // decorrelate the first output from the raw seed
+        rng
+    }
+
+    /// Next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(PCG_INC);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn gen_f32(&mut self) -> f32 {
+        // 24 mantissa-sized bits scaled into [0, 1).
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.gen_f32()
+    }
+
+    /// Uniform `u32` in `[0, n)`. `n` must be nonzero.
+    pub fn gen_below(&mut self, n: u32) -> u32 {
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        assert!(n > 0, "gen_below(0)");
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = self.next_u32() as u64 * n as u64;
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn gen_normal(&mut self) -> f32 {
+        let u1 = self.gen_range_f32(f32::EPSILON, 1.0);
+        let u2 = self.gen_f32();
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mut a = Pcg32::seed_from_u64(7);
+        let mut b = Pcg32::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = Pcg32::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_range() {
+        let mut r = Pcg32::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = r.gen_f32();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.gen_range_f32(-0.25, 0.25);
+            assert!((-0.25..0.25).contains(&g));
+        }
+    }
+
+    #[test]
+    fn bounded_ints_cover_range() {
+        let mut r = Pcg32::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = r.gen_range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut r = Pcg32::seed_from_u64(5);
+        let n = 10_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.gen_normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,250 @@
+//! A dependency-free stand-in for the subset of the `criterion` API the
+//! bench binaries use.
+//!
+//! The build environment has no crates.io access, so `crates/bench`
+//! declares `criterion = { package = "hipacc-microbench", ... }` and the
+//! bench sources compile unchanged (`use criterion::{...}`). The harness
+//! is deliberately simple: per benchmark it warms up, sizes the iteration
+//! batch so one sample costs at least a few milliseconds, collects
+//! `sample_size` samples and reports median, spread and (optionally)
+//! throughput. Numbers are wall-clock medians — good enough for the
+//! relative comparisons the benches make (engine A vs engine B, table
+//! reproduction cost), not a statistics suite.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle (criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(m) => {
+                let thr = self.throughput.map(|t| m.format_throughput(t));
+                println!(
+                    "  {:<40} time: [{} .. {} .. {}]{}",
+                    format!("{}/{}", self.name, id),
+                    fmt_duration(m.min),
+                    fmt_duration(m.median),
+                    fmt_duration(m.max),
+                    thr.map(|s| format!("  thrpt: {s}")).unwrap_or_default(),
+                );
+            }
+            None => println!("  {}/{}  (no measurement)", self.name, id),
+        }
+        self
+    }
+
+    /// End the group (printing already happened incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Measurement result of one benchmark.
+#[derive(Copy, Clone, Debug)]
+struct Measurement {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+}
+
+impl Measurement {
+    fn format_throughput(&self, t: Throughput) -> String {
+        let per_sec = |n: u64| n as f64 / self.median.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("{}/s", fmt_scaled(per_sec(n), "elem")),
+            Throughput::Bytes(n) => format!("{}/s", fmt_scaled(per_sec(n), "B")),
+        }
+    }
+}
+
+/// Per-benchmark driver handed to the closure (criterion's `Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measure the closure. The closure's return value is black-boxed so
+    /// the computation is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: target >= 2 ms per sample so timer
+        // resolution is irrelevant, cap the batch for slow benchmarks.
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(2);
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.result = Some(Measurement {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            max: *samples.last().unwrap(),
+        });
+    }
+
+    /// Median duration of the last `iter` call (extension over criterion,
+    /// used by the engine-comparison bench to compute speedups).
+    pub fn last_median(&self) -> Option<Duration> {
+        self.result.map(|m| m.median)
+    }
+}
+
+/// Time a closure directly: median per-iteration wall time over `samples`
+/// samples. Extension over the criterion API for benches that need the
+/// number itself (speedup ratios) rather than a printed line.
+pub fn time_median<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
+    let mut b = Bencher {
+        sample_size: samples.max(2),
+        result: None,
+    };
+    b.iter(&mut f);
+    b.last_median().unwrap()
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_scaled(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K{unit}", v / 1e3)
+    } else {
+        format!("{v:.1} {unit}")
+    }
+}
+
+/// Define a bench group function from `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("self");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = b.last_median().is_some();
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_median_is_positive() {
+        let d = time_median(3, || (0..100).sum::<u64>());
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).contains("ms"));
+        assert_eq!(fmt_scaled(2.5e9, "elem"), "2.50 Gelem");
+    }
+}

@@ -1,0 +1,2485 @@
+//! The bytecode execution engine: compile once, run blocks on a register
+//! machine.
+//!
+//! The tree-walking interpreter in [`crate::interp`] re-resolves variable
+//! names, buffer names and launch constants on every expression node of
+//! every thread. This module lowers a [`DeviceKernelDef`] *once per launch*
+//! into a flat register-machine program and then runs that program for each
+//! thread:
+//!
+//! * **Slot resolution** — variables become dense register indices; buffer,
+//!   constant-buffer and shared-memory references become indices into
+//!   binding tables. The hot loop performs no name lookups and no hashing.
+//! * **Launch-constant folding** — `BlockDim*`/`GridDim*` and scalar
+//!   arguments are known at compile time; pure constant subtrees are folded
+//!   with [`hipacc_ir::fold`] semantics (constant *evaluation* only — the
+//!   algebraic identities of `fold_expr` are skipped because they may drop
+//!   operands containing counted memory loads, which would change
+//!   [`ExecStats`]).
+//! * **Block-uniform hoisting** — maximal pure subexpressions built only
+//!   from `BlockIdx*`, launch constants and scalars are compiled into a
+//!   per-block *prologue tape*, evaluated once per block, and read from a
+//!   uniform register file by the thread tape.
+//! * **Interior/border split** — an affine interval analysis over the
+//!   thread/block builtins derives, for every global/texture access, a
+//!   per-block test of the form `cbx·bx + cby·by + k` within limits. Blocks
+//!   that pass every test take a fast path that skips address-mode
+//!   dispatch; only border blocks pay the full handling. The fast path
+//!   still range-checks through `slice::get`, so an imprecise analysis can
+//!   never change results — only cost.
+//! * **Control flow** — `For`/`If`/`Select` and short-circuit `&&`/`||`
+//!   become conditional jumps; loop bounds are evaluated once, like the
+//!   interpreter. Lazy-evaluation semantics (only the chosen `Select`
+//!   branch runs) are preserved exactly, so out-of-bounds counting agrees
+//!   bit-for-bit with the tree-walk.
+//!
+//! Semantics are intentionally *identical* to the interpreter: the
+//! differential harness in the workspace test-suite asserts bit-identical
+//! outputs and identical [`ExecStats`] across both engines.
+
+use crate::interp::{phases, ExecStats, SimError};
+use crate::memory::{BufferGeometry, DeviceMemory, LaunchParams};
+use hipacc_image::boundary::{clamp_index, repeat_index};
+use hipacc_ir::fold::{eval_binop, eval_const, eval_mathfn, eval_unop};
+use hipacc_ir::kernel::{AddressMode, DeviceKernelDef};
+use hipacc_ir::ty::{Const, ScalarType};
+use hipacc_ir::{BinOp, Builtin, Expr, LValue, MathFn, Stmt, TexCoords, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// A register index in the per-thread (or per-block uniform) register file.
+type Reg = u16;
+
+/// One register-machine instruction.
+///
+/// Registers hold [`Const`] values (dynamically typed, like the
+/// interpreter's variable slots). Jump targets are absolute instruction
+/// indices within the containing tape.
+#[derive(Clone, Debug)]
+enum Inst {
+    /// `regs[dst] = v`.
+    Imm { dst: Reg, v: Const },
+    /// `regs[dst] = regs[src]`.
+    Mov { dst: Reg, src: Reg },
+    /// `regs[dst] = uniform[src]` (thread tape only).
+    LoadU { dst: Reg, src: Reg },
+    /// `regs[dst] = Int(threadIdx.{x,y})` (thread tape only).
+    Tid { dst: Reg, axis: u8 },
+    /// `regs[dst] = Int(blockIdx.{x,y})` (prologue tape only).
+    Bid { dst: Reg, axis: u8 },
+    /// Unary operation via `eval_unop`.
+    Un { dst: Reg, op: UnOp, a: Reg },
+    /// Binary operation via `eval_binop` (never `And`/`Or`: those compile
+    /// to jumps to preserve short-circuit evaluation).
+    Bin { dst: Reg, op: BinOp, a: Reg, b: Reg },
+    /// `regs[dst] = Bool(regs[a].as_bool())` — the coercion the
+    /// interpreter applies to `&&`/`||` operands.
+    AsBool { dst: Reg, a: Reg },
+    /// Math-function call via `eval_mathfn`.
+    Call { dst: Reg, f: MathFn, args: Box<[Reg]> },
+    /// C-style cast, identical to the interpreter's `Expr::Cast`.
+    Cast { dst: Reg, ty: ScalarType, a: Reg },
+    /// Unconditional jump.
+    Jmp { to: u32 },
+    /// Jump when `regs[cond].as_bool()` is false.
+    JmpIfFalse { cond: Reg, to: u32 },
+    /// Jump when `regs[cond].as_bool()` is true.
+    JmpIfTrue { cond: Reg, to: u32 },
+    /// `regs[dst] = Bool(regs[var] <= regs[hi])` as exact `i64` compare
+    /// (the interpreter's `for i in lo..=hi` never goes through `as_f32`).
+    LoopTest { dst: Reg, var: Reg, hi: Reg },
+    /// `regs[reg] += 1` (checked; loop counters only).
+    IncInt { reg: Reg },
+    /// Global-memory load with OOB counting.
+    GLoad { dst: Reg, buf: u16, idx: Reg },
+    /// Buffered global store with OOB counting.
+    GStore { buf: u16, idx: Reg, val: Reg },
+    /// Linear texture fetch (OOB counted and clamped).
+    TexLin { dst: Reg, buf: u16, idx: Reg },
+    /// 2-D texture fetch through the binding's address mode.
+    TexXy { dst: Reg, buf: u16, x: Reg, y: Reg },
+    /// Constant-memory load (index clamped).
+    CLoad { dst: Reg, cb: u16, idx: Reg },
+    /// Shared-memory load (index clamped into the tile).
+    SLoad { dst: Reg, sb: u16, y: Reg, x: Reg },
+    /// Shared-memory store (index clamped into the tile).
+    SStore { sb: u16, y: Reg, x: Reg, val: Reg },
+    /// Thread returned: stop executing this thread for all phases.
+    Halt,
+}
+
+/// A global/texture buffer referenced by the program.
+#[derive(Clone, Debug)]
+struct GlobalBinding {
+    name: String,
+    /// Geometry observed at compile time; re-validated before running so a
+    /// stale `CompiledKernel` cannot index with outdated interior checks.
+    geom: BufferGeometry,
+    mode: AddressMode,
+}
+
+/// A constant buffer with its coefficients (static mask data or uploaded
+/// dynamic coefficients; both are small, so they are owned by the program).
+#[derive(Clone, Debug)]
+struct ConstBinding {
+    name: String,
+    data: Vec<f32>,
+}
+
+/// Shared-memory tile layout.
+#[derive(Clone, Copy, Debug)]
+struct SharedLayout {
+    len: usize,
+    cols: u32,
+}
+
+/// A per-block interior test: the access `cbx·bx + cby·by + [lo, hi]`
+/// (thread extremes already folded into `lo`/`hi`) stays inside
+/// `[0, limit)` — i.e. the block never needs boundary handling for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct InteriorCheck {
+    cbx: i64,
+    cby: i64,
+    lo: i64,
+    hi: i64,
+    limit: i64,
+}
+
+impl InteriorCheck {
+    /// A check that never holds (emitted when the analysis cannot bound an
+    /// access; such a kernel simply has no interior fast path).
+    const NEVER: InteriorCheck = InteriorCheck {
+        cbx: 0,
+        cby: 0,
+        lo: -1,
+        hi: 0,
+        limit: 0,
+    };
+
+    fn holds(&self, bx: i64, by: i64) -> bool {
+        let base = match self
+            .cbx
+            .checked_mul(bx)
+            .and_then(|a| self.cby.checked_mul(by).and_then(|b| a.checked_add(b)))
+        {
+            Some(v) => v,
+            None => return false,
+        };
+        base.checked_add(self.lo).is_some_and(|v| v >= 0)
+            && base
+                .checked_add(self.hi)
+                .is_some_and(|v| v < self.limit)
+    }
+}
+
+/// A buffered global store (binding index instead of a name — applying
+/// stores does not clone strings).
+struct StoreRec {
+    buf: u16,
+    idx: u32,
+    value: f32,
+}
+
+/// A kernel lowered to register-machine tapes for one launch configuration.
+///
+/// Produced by [`compile`]; run with [`CompiledKernel::run`] (or use
+/// [`execute`] for the one-shot compile-and-run path). The program bakes in
+/// the launch's grid/block dimensions and scalar arguments, so it is only
+/// valid for the `LaunchParams` it was compiled against.
+pub struct CompiledKernel {
+    grid: (u32, u32),
+    block: (u32, u32),
+    /// Per-block prologue evaluating block-uniform subexpressions.
+    prologue: Vec<Inst>,
+    n_uregs: usize,
+    /// Barrier-delimited phase tapes.
+    phases: Vec<Vec<Inst>>,
+    n_regs: usize,
+    globals: Vec<GlobalBinding>,
+    consts: Vec<ConstBinding>,
+    shared: Vec<SharedLayout>,
+    checks: Vec<InteriorCheck>,
+}
+
+impl CompiledKernel {
+    /// Number of barrier-delimited phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Size of the per-thread register file.
+    pub fn thread_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    /// Number of instructions hoisted into the per-block uniform prologue.
+    pub fn uniform_insts(&self) -> usize {
+        self.prologue.len()
+    }
+
+    /// Number of per-block interior tests derived by the affine analysis.
+    /// Zero means every block runs the fast path unconditionally.
+    pub fn interior_checks(&self) -> usize {
+        self.checks
+            .iter()
+            .filter(|c| **c != InteriorCheck::NEVER)
+            .count()
+    }
+
+    /// True when the analysis found an unbounded access, disabling the
+    /// interior fast path for every block.
+    pub fn always_border(&self) -> bool {
+        self.checks.contains(&InteriorCheck::NEVER)
+    }
+
+    /// Whether block `(bx, by)` takes the bounds-dispatch-free fast path.
+    pub fn block_is_interior(&self, bx: u32, by: u32) -> bool {
+        self.checks.iter().all(|c| c.holds(bx as i64, by as i64))
+    }
+
+    /// Names of the constant buffers whose coefficients were captured at
+    /// compile time (a re-upload requires recompiling).
+    pub fn captured_const_buffers(&self) -> impl Iterator<Item = &str> {
+        self.consts.iter().map(|c| c.name.as_str())
+    }
+}
+
+/// Replace `BlockDim*`/`GridDim*` with launch constants and fold pure
+/// constant subtrees bottom-up. Unlike `fold_expr` this performs *no*
+/// algebraic identity rewrites: `load(..) * 0` must still execute (and
+/// count) the load, exactly as the tree-walk does.
+fn fold_launch_constants(
+    body: Vec<Stmt>,
+    params: &LaunchParams,
+    env: &HashMap<String, Const>,
+) -> Vec<Stmt> {
+    let (bdx, bdy) = params.block;
+    let (gdx, gdy) = params.grid;
+    let body = Stmt::rewrite_exprs(body, &mut |e| match e {
+        Expr::Builtin(Builtin::BlockDimX) => Expr::ImmInt(bdx as i64),
+        Expr::Builtin(Builtin::BlockDimY) => Expr::ImmInt(bdy as i64),
+        Expr::Builtin(Builtin::GridDimX) => Expr::ImmInt(gdx as i64),
+        Expr::Builtin(Builtin::GridDimY) => Expr::ImmInt(gdy as i64),
+        other => other,
+    });
+    Stmt::rewrite_exprs(body, &mut |e| match eval_const(&e, env) {
+        Some(Const::Bool(b)) => Expr::ImmBool(b),
+        Some(Const::Int(i)) => Expr::ImmInt(i),
+        Some(Const::Float(f)) => Expr::ImmFloat(f),
+        None => e,
+    })
+}
+
+/// Names declared anywhere in the body (`Decl` targets and loop variables).
+fn declared_names(body: &[Stmt]) -> HashSet<String> {
+    let mut set = HashSet::new();
+    Stmt::visit_all(body, &mut |s| match s {
+        Stmt::Decl { name, .. } => {
+            set.insert(name.clone());
+        }
+        Stmt::For { var, .. } => {
+            set.insert(var.clone());
+        }
+        _ => {}
+    });
+    set
+}
+
+/// Names that are ever the target of an `Assign`.
+fn assigned_names(body: &[Stmt]) -> HashSet<String> {
+    let mut set = HashSet::new();
+    Stmt::visit_all(body, &mut |s| {
+        if let Stmt::Assign {
+            target: LValue::Var(n),
+            ..
+        } = s
+        {
+            set.insert(n.clone());
+        }
+    });
+    set
+}
+
+/// Compile a device kernel for one launch configuration.
+///
+/// Performs the interpreter's up-front validation (missing scalars, unbound
+/// buffers) plus compile-time versions of its runtime errors (undefined
+/// variables, nested barriers, DSL-level nodes).
+pub fn compile(
+    kernel: &DeviceKernelDef,
+    params: &LaunchParams,
+    mem: &DeviceMemory,
+) -> Result<CompiledKernel, SimError> {
+    for p in &kernel.scalars {
+        if !params.scalars.contains_key(&p.name) {
+            return Err(SimError::MissingScalar(p.name.clone()));
+        }
+    }
+    for buf in &kernel.buffers {
+        if mem.buffer(&buf.name).is_none() {
+            return Err(SimError::UnboundBuffer(buf.name.clone()));
+        }
+    }
+
+    // Scalars whose names are never locally declared fold as constants;
+    // shadowed names resolve per-site through the compile-time scope map.
+    let declared = declared_names(&kernel.body);
+    let mut fold_env = params.scalars.clone();
+    fold_env.retain(|n, _| !declared.contains(n));
+    let body = fold_launch_constants(kernel.body.clone(), params, &fold_env);
+    let assigned = assigned_names(&body);
+
+    let mut c = Compiler {
+        kernel,
+        params,
+        mem,
+        scopes: Vec::new(),
+        marks: Vec::new(),
+        locals_top: 0,
+        temp_top: 0,
+        max_regs: 0,
+        next_ureg: 0,
+        prologue: Vec::new(),
+        hoisted: HashMap::new(),
+        globals: Vec::new(),
+        global_idx: HashMap::new(),
+        consts: Vec::new(),
+        const_idx: HashMap::new(),
+        shared: Vec::new(),
+        shared_idx: HashMap::new(),
+        assigned,
+    };
+    for sh in &kernel.shared {
+        c.shared_idx.insert(sh.name.clone(), c.shared.len() as u16);
+        c.shared.push(SharedLayout {
+            len: (sh.rows * sh.cols) as usize,
+            cols: sh.cols,
+        });
+    }
+
+    let mut tapes = Vec::new();
+    for phase in phases(&body) {
+        let mut tape = Vec::new();
+        c.compile_stmts(phase, &mut tape, true)?;
+        tapes.push(tape);
+    }
+
+    let checks = analyze_interior(&body, params, &c);
+
+    Ok(CompiledKernel {
+        grid: params.grid,
+        block: params.block,
+        prologue: std::mem::take(&mut c.prologue),
+        n_uregs: c.next_ureg as usize,
+        phases: tapes,
+        n_regs: c.max_regs as usize,
+        globals: std::mem::take(&mut c.globals),
+        consts: std::mem::take(&mut c.consts),
+        shared: std::mem::take(&mut c.shared),
+        checks,
+    })
+}
+
+/// Where a name lives: a thread register or a block-uniform register.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    Reg(Reg),
+    Uniform(Reg),
+}
+
+struct Compiler<'a> {
+    kernel: &'a DeviceKernelDef,
+    params: &'a LaunchParams,
+    mem: &'a DeviceMemory,
+    /// Compile-time scope map mirroring the interpreter's flat variable
+    /// stack: reverse-scan resolution, marks for scope entry/exit.
+    scopes: Vec<(String, Slot)>,
+    marks: Vec<usize>,
+    /// Registers `0..locals_top` are live locals; statement temporaries
+    /// are allocated above and recycled at each statement boundary.
+    locals_top: Reg,
+    temp_top: Reg,
+    max_regs: Reg,
+    next_ureg: Reg,
+    prologue: Vec<Inst>,
+    /// Memoized hoisted subexpressions (structural key → uniform reg), so
+    /// repeated uses of e.g. `bx*BDX` share one prologue computation.
+    hoisted: HashMap<String, Reg>,
+    globals: Vec<GlobalBinding>,
+    global_idx: HashMap<String, u16>,
+    consts: Vec<ConstBinding>,
+    const_idx: HashMap<String, u16>,
+    shared: Vec<SharedLayout>,
+    shared_idx: HashMap<String, u16>,
+    /// Names ever assigned — excluded from uniform promotion.
+    assigned: HashSet<String>,
+}
+
+impl<'a> Compiler<'a> {
+    fn alloc_temp(&mut self) -> Reg {
+        let r = self.temp_top;
+        self.temp_top += 1;
+        self.max_regs = self.max_regs.max(self.temp_top);
+        r
+    }
+
+    /// Allocate a persistent local register. Locals are always allocated
+    /// *before* the expressions whose results feed them are compiled, so a
+    /// fresh local can never alias a live temporary.
+    fn alloc_local(&mut self) -> Reg {
+        let r = self.locals_top;
+        self.locals_top += 1;
+        if self.temp_top < self.locals_top {
+            self.temp_top = self.locals_top;
+        }
+        self.max_regs = self.max_regs.max(self.locals_top);
+        r
+    }
+
+    fn alloc_ureg(&mut self) -> Reg {
+        let r = self.next_ureg;
+        self.next_ureg += 1;
+        r
+    }
+
+    fn push_scope(&mut self) {
+        self.marks.push(self.scopes.len());
+    }
+
+    fn pop_scope(&mut self) {
+        let mark = self.marks.pop().expect("scope mark");
+        self.scopes.truncate(mark);
+    }
+
+    fn resolve(&self, name: &str) -> Option<Slot> {
+        self.scopes
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+
+    fn scalar(&self, name: &str) -> Option<Const> {
+        self.params.scalars.get(name).copied()
+    }
+
+    fn global_binding(&mut self, name: &str) -> Result<u16, SimError> {
+        if let Some(&i) = self.global_idx.get(name) {
+            return Ok(i);
+        }
+        let b = self
+            .mem
+            .buffer(name)
+            .ok_or_else(|| SimError::UnboundBuffer(name.to_string()))?;
+        let mode = self
+            .mem
+            .tex_modes
+            .get(name)
+            .copied()
+            .unwrap_or(AddressMode::None);
+        let i = self.globals.len() as u16;
+        self.globals.push(GlobalBinding {
+            name: name.to_string(),
+            geom: b.geom,
+            mode,
+        });
+        self.global_idx.insert(name.to_string(), i);
+        Ok(i)
+    }
+
+    fn const_binding(&mut self, name: &str) -> Result<u16, SimError> {
+        if let Some(&i) = self.const_idx.get(name) {
+            return Ok(i);
+        }
+        let cb = self
+            .kernel
+            .const_buffer(name)
+            .ok_or_else(|| SimError::UnboundBuffer(name.to_string()))?;
+        let data = match &cb.data {
+            Some(d) => d.clone(),
+            None => self
+                .mem
+                .dynamic_const
+                .get(name)
+                .ok_or_else(|| SimError::UnboundBuffer(name.to_string()))?
+                .clone(),
+        };
+        let i = self.consts.len() as u16;
+        self.consts.push(ConstBinding {
+            name: name.to_string(),
+            data,
+        });
+        self.const_idx.insert(name.to_string(), i);
+        Ok(i)
+    }
+
+    /// Uniformity of an expression: `None` when it (or a subterm) varies
+    /// per thread or touches memory; `Some(has_block_idx)` when it is pure
+    /// and block-uniform. `Div`/`Rem` are excluded so eager per-block
+    /// evaluation can never raise a division error that a thread-lazy
+    /// evaluation would have skipped.
+    fn uniformity(&self, e: &Expr) -> Option<bool> {
+        match e {
+            Expr::ImmInt(_) | Expr::ImmFloat(_) | Expr::ImmBool(_) => Some(false),
+            Expr::Builtin(Builtin::BlockIdxX | Builtin::BlockIdxY) => Some(true),
+            Expr::Builtin(Builtin::ThreadIdxX | Builtin::ThreadIdxY) => None,
+            Expr::Builtin(_) => Some(false),
+            Expr::Var(n) => match self.resolve(n) {
+                Some(Slot::Uniform(_)) => Some(false),
+                Some(Slot::Reg(_)) => None,
+                None => self.scalar(n).map(|_| false),
+            },
+            Expr::Unary(_, a) | Expr::Cast(_, a) => self.uniformity(a),
+            Expr::Binary(BinOp::Div | BinOp::Rem, _, _) => None,
+            Expr::Binary(_, a, b) => Some(self.uniformity(a)? | self.uniformity(b)?),
+            Expr::Call(_, args) => {
+                let mut has = false;
+                for a in args {
+                    has |= self.uniformity(a)?;
+                }
+                Some(has)
+            }
+            Expr::Select(c, a, b) => {
+                Some(self.uniformity(c)? | self.uniformity(a)? | self.uniformity(b)?)
+            }
+            _ => None,
+        }
+    }
+
+    /// Hoist a block-uniform subexpression into the prologue tape,
+    /// memoized structurally.
+    fn hoist(&mut self, e: &Expr) -> Result<Reg, SimError> {
+        let key = format!("{e:?}");
+        if let Some(&u) = self.hoisted.get(&key) {
+            return Ok(u);
+        }
+        let u = self.compile_uniform_expr(e)?;
+        self.hoisted.insert(key, u);
+        Ok(u)
+    }
+
+    /// Compile an expression into the per-block prologue, returning the
+    /// uniform register holding its value. Only called on subtrees that
+    /// passed `uniformity`, so memory operations and thread builtins are
+    /// unreachable here.
+    fn compile_uniform_expr(&mut self, e: &Expr) -> Result<Reg, SimError> {
+        match e {
+            Expr::ImmInt(i) => {
+                let dst = self.alloc_ureg();
+                self.prologue.push(Inst::Imm {
+                    dst,
+                    v: Const::Int(*i),
+                });
+                Ok(dst)
+            }
+            Expr::ImmFloat(f) => {
+                let dst = self.alloc_ureg();
+                self.prologue.push(Inst::Imm {
+                    dst,
+                    v: Const::Float(*f),
+                });
+                Ok(dst)
+            }
+            Expr::ImmBool(b) => {
+                let dst = self.alloc_ureg();
+                self.prologue.push(Inst::Imm {
+                    dst,
+                    v: Const::Bool(*b),
+                });
+                Ok(dst)
+            }
+            Expr::Builtin(b) => {
+                let dst = self.alloc_ureg();
+                let inst = match b {
+                    Builtin::BlockIdxX => Inst::Bid { dst, axis: 0 },
+                    Builtin::BlockIdxY => Inst::Bid { dst, axis: 1 },
+                    // BlockDim/GridDim were substituted by the fold pass;
+                    // keep a correct fallback anyway.
+                    Builtin::BlockDimX => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.block.0 as i64),
+                    },
+                    Builtin::BlockDimY => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.block.1 as i64),
+                    },
+                    Builtin::GridDimX => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.grid.0 as i64),
+                    },
+                    Builtin::GridDimY => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.grid.1 as i64),
+                    },
+                    Builtin::ThreadIdxX | Builtin::ThreadIdxY => {
+                        unreachable!("thread builtin in uniform subtree")
+                    }
+                };
+                self.prologue.push(inst);
+                Ok(dst)
+            }
+            Expr::Var(n) => match self.resolve(n) {
+                Some(Slot::Uniform(u)) => Ok(u),
+                Some(Slot::Reg(_)) => unreachable!("thread-local var in uniform subtree"),
+                None => {
+                    let v = self
+                        .scalar(n)
+                        .ok_or_else(|| SimError::UndefinedVariable(n.clone()))?;
+                    let dst = self.alloc_ureg();
+                    self.prologue.push(Inst::Imm { dst, v });
+                    Ok(dst)
+                }
+            },
+            Expr::Unary(op, a) => {
+                let ra = self.compile_uniform_expr(a)?;
+                let dst = self.alloc_ureg();
+                self.prologue.push(Inst::Un { dst, op: *op, a: ra });
+                Ok(dst)
+            }
+            Expr::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
+                let dst = self.alloc_ureg();
+                let ra = self.compile_uniform_expr(a)?;
+                self.prologue.push(Inst::AsBool { dst, a: ra });
+                let patch = self.prologue.len();
+                self.prologue.push(Inst::Jmp { to: 0 }); // placeholder
+                let rb = self.compile_uniform_expr(b)?;
+                self.prologue.push(Inst::AsBool { dst, a: rb });
+                let end = self.prologue.len() as u32;
+                self.prologue[patch] = if *op == BinOp::And {
+                    Inst::JmpIfFalse { cond: dst, to: end }
+                } else {
+                    Inst::JmpIfTrue { cond: dst, to: end }
+                };
+                Ok(dst)
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.compile_uniform_expr(a)?;
+                let rb = self.compile_uniform_expr(b)?;
+                let dst = self.alloc_ureg();
+                self.prologue.push(Inst::Bin {
+                    dst,
+                    op: *op,
+                    a: ra,
+                    b: rb,
+                });
+                Ok(dst)
+            }
+            Expr::Call(f, args) => {
+                let regs: Result<Vec<Reg>, SimError> =
+                    args.iter().map(|a| self.compile_uniform_expr(a)).collect();
+                let dst = self.alloc_ureg();
+                self.prologue.push(Inst::Call {
+                    dst,
+                    f: *f,
+                    args: regs?.into_boxed_slice(),
+                });
+                Ok(dst)
+            }
+            Expr::Cast(ty, a) => {
+                let ra = self.compile_uniform_expr(a)?;
+                let dst = self.alloc_ureg();
+                self.prologue.push(Inst::Cast {
+                    dst,
+                    ty: *ty,
+                    a: ra,
+                });
+                Ok(dst)
+            }
+            Expr::Select(c, a, b) => {
+                let dst = self.alloc_ureg();
+                let rc = self.compile_uniform_expr(c)?;
+                let patch_else = self.prologue.len();
+                self.prologue.push(Inst::Jmp { to: 0 });
+                let ra = self.compile_uniform_expr(a)?;
+                self.prologue.push(Inst::Mov { dst, src: ra });
+                let patch_end = self.prologue.len();
+                self.prologue.push(Inst::Jmp { to: 0 });
+                let else_pc = self.prologue.len() as u32;
+                let rb = self.compile_uniform_expr(b)?;
+                self.prologue.push(Inst::Mov { dst, src: rb });
+                let end = self.prologue.len() as u32;
+                self.prologue[patch_else] = Inst::JmpIfFalse {
+                    cond: rc,
+                    to: else_pc,
+                };
+                self.prologue[patch_end] = Inst::Jmp { to: end };
+                Ok(dst)
+            }
+            other => unreachable!("non-uniform node {other:?} in uniform subtree"),
+        }
+    }
+
+    /// Compile a statement list into the thread tape. `top_level` is true
+    /// only for the direct children of a phase (where barriers would have
+    /// been split away already — one encountered here is nested).
+    fn compile_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        out: &mut Vec<Inst>,
+        top_level: bool,
+    ) -> Result<(), SimError> {
+        for s in stmts {
+            self.temp_top = self.locals_top;
+            match s {
+                Stmt::Decl { name, ty, init } => {
+                    match init {
+                        Some(e) => {
+                            // Block-uniform write-once locals live in the
+                            // uniform file: computed once per block.
+                            let uniform_ok = top_level
+                                && !self.assigned.contains(name)
+                                && self.uniformity(e).is_some();
+                            if uniform_ok {
+                                let r = self.hoist(e)?;
+                                let u = self.alloc_ureg();
+                                self.prologue.push(Inst::Cast {
+                                    dst: u,
+                                    ty: *ty,
+                                    a: r,
+                                });
+                                self.scopes.push((name.clone(), Slot::Uniform(u)));
+                            } else {
+                                let local = self.alloc_local();
+                                let r = self.compile_expr(e, out)?;
+                                out.push(Inst::Cast {
+                                    dst: local,
+                                    ty: *ty,
+                                    a: r,
+                                });
+                                self.scopes.push((name.clone(), Slot::Reg(local)));
+                            }
+                        }
+                        None => {
+                            let local = self.alloc_local();
+                            out.push(Inst::Imm {
+                                dst: local,
+                                v: Const::Int(0),
+                            });
+                            self.scopes.push((name.clone(), Slot::Reg(local)));
+                        }
+                    }
+                }
+                Stmt::Assign { target, value } => {
+                    let LValue::Var(name) = target;
+                    let slot = self
+                        .resolve(name)
+                        .ok_or_else(|| SimError::UndefinedVariable(name.clone()))?;
+                    let Slot::Reg(dst) = slot else {
+                        unreachable!("assigned names are never promoted to uniform")
+                    };
+                    let r = self.compile_expr(value, out)?;
+                    if r != dst {
+                        out.push(Inst::Mov { dst, src: r });
+                    }
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    // Bounds are evaluated once, before the loop, and kept
+                    // in persistent locals (matching the interpreter).
+                    let var_l = self.alloc_local();
+                    let hi_l = self.alloc_local();
+                    let rf = self.compile_expr(from, out)?;
+                    out.push(Inst::Cast {
+                        dst: var_l,
+                        ty: ScalarType::I32,
+                        a: rf,
+                    });
+                    let rt = self.compile_expr(to, out)?;
+                    out.push(Inst::Cast {
+                        dst: hi_l,
+                        ty: ScalarType::I32,
+                        a: rt,
+                    });
+                    let test_pc = out.len() as u32;
+                    let t = self.alloc_temp();
+                    out.push(Inst::LoopTest {
+                        dst: t,
+                        var: var_l,
+                        hi: hi_l,
+                    });
+                    let patch_exit = out.len();
+                    out.push(Inst::Jmp { to: 0 });
+                    self.push_scope();
+                    self.scopes.push((var.clone(), Slot::Reg(var_l)));
+                    self.compile_stmts(body, out, false)?;
+                    self.pop_scope();
+                    out.push(Inst::IncInt { reg: var_l });
+                    out.push(Inst::Jmp { to: test_pc });
+                    let end = out.len() as u32;
+                    out[patch_exit] = Inst::JmpIfFalse { cond: t, to: end };
+                }
+                Stmt::If { cond, then, els } => {
+                    // Statically decided guards (folded scalar compares)
+                    // compile to the taken branch only — the interpreter's
+                    // condition evaluation has no observable effects here.
+                    if let Expr::ImmBool(b) = cond {
+                        self.push_scope();
+                        self.compile_stmts(if *b { then } else { els }, out, false)?;
+                        self.pop_scope();
+                        continue;
+                    }
+                    let rc = self.compile_expr(cond, out)?;
+                    let patch_else = out.len();
+                    out.push(Inst::Jmp { to: 0 });
+                    self.push_scope();
+                    self.compile_stmts(then, out, false)?;
+                    self.pop_scope();
+                    if els.is_empty() {
+                        let end = out.len() as u32;
+                        out[patch_else] = Inst::JmpIfFalse { cond: rc, to: end };
+                    } else {
+                        let patch_end = out.len();
+                        out.push(Inst::Jmp { to: 0 });
+                        let else_pc = out.len() as u32;
+                        self.push_scope();
+                        self.compile_stmts(els, out, false)?;
+                        self.pop_scope();
+                        let end = out.len() as u32;
+                        out[patch_else] = Inst::JmpIfFalse {
+                            cond: rc,
+                            to: else_pc,
+                        };
+                        out[patch_end] = Inst::Jmp { to: end };
+                    }
+                }
+                Stmt::GlobalStore { buf, idx, value } => {
+                    let b = self.global_binding(buf)?;
+                    let ri = self.compile_expr(idx, out)?;
+                    let rv = self.compile_expr(value, out)?;
+                    out.push(Inst::GStore {
+                        buf: b,
+                        idx: ri,
+                        val: rv,
+                    });
+                }
+                Stmt::SharedStore { buf, y, x, value } => {
+                    let sb = *self
+                        .shared_idx
+                        .get(buf)
+                        .ok_or_else(|| SimError::UnboundBuffer(buf.clone()))?;
+                    let ry = self.compile_expr(y, out)?;
+                    let rx = self.compile_expr(x, out)?;
+                    let rv = self.compile_expr(value, out)?;
+                    out.push(Inst::SStore {
+                        sb,
+                        y: ry,
+                        x: rx,
+                        val: rv,
+                    });
+                }
+                Stmt::Barrier => return Err(SimError::NestedBarrier),
+                Stmt::Return => out.push(Inst::Halt),
+                Stmt::Comment(_) => {}
+                Stmt::Output(_) => {
+                    return Err(SimError::EvalError(
+                        "DSL-level output() reached the interpreter".into(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile an expression into the thread tape, returning the register
+    /// holding its value. The returned register may be a live local (for
+    /// `Var` leaves) — callers never write through it.
+    fn compile_expr(&mut self, e: &Expr, out: &mut Vec<Inst>) -> Result<Reg, SimError> {
+        // Block-uniform subtrees that actually depend on BlockIdx* are
+        // hoisted into the prologue; pure-constant subtrees were already
+        // folded to immediates.
+        if self.uniformity(e) == Some(true) {
+            let u = self.hoist(e)?;
+            let dst = self.alloc_temp();
+            out.push(Inst::LoadU { dst, src: u });
+            return Ok(dst);
+        }
+        match e {
+            Expr::ImmInt(i) => {
+                let dst = self.alloc_temp();
+                out.push(Inst::Imm {
+                    dst,
+                    v: Const::Int(*i),
+                });
+                Ok(dst)
+            }
+            Expr::ImmFloat(f) => {
+                let dst = self.alloc_temp();
+                out.push(Inst::Imm {
+                    dst,
+                    v: Const::Float(*f),
+                });
+                Ok(dst)
+            }
+            Expr::ImmBool(b) => {
+                let dst = self.alloc_temp();
+                out.push(Inst::Imm {
+                    dst,
+                    v: Const::Bool(*b),
+                });
+                Ok(dst)
+            }
+            Expr::Var(n) => match self.resolve(n) {
+                Some(Slot::Reg(r)) => Ok(r),
+                Some(Slot::Uniform(u)) => {
+                    let dst = self.alloc_temp();
+                    out.push(Inst::LoadU { dst, src: u });
+                    Ok(dst)
+                }
+                None => {
+                    let v = self
+                        .scalar(n)
+                        .ok_or_else(|| SimError::UndefinedVariable(n.clone()))?;
+                    let dst = self.alloc_temp();
+                    out.push(Inst::Imm { dst, v });
+                    Ok(dst)
+                }
+            },
+            Expr::Builtin(b) => {
+                let dst = self.alloc_temp();
+                let inst = match b {
+                    Builtin::ThreadIdxX => Inst::Tid { dst, axis: 0 },
+                    Builtin::ThreadIdxY => Inst::Tid { dst, axis: 1 },
+                    // BlockIdx* is handled by the uniformity check above;
+                    // BlockDim/GridDim were folded to immediates.
+                    Builtin::BlockIdxX | Builtin::BlockIdxY => {
+                        unreachable!("BlockIdx reaches the thread tape only via hoisting")
+                    }
+                    Builtin::BlockDimX => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.block.0 as i64),
+                    },
+                    Builtin::BlockDimY => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.block.1 as i64),
+                    },
+                    Builtin::GridDimX => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.grid.0 as i64),
+                    },
+                    Builtin::GridDimY => Inst::Imm {
+                        dst,
+                        v: Const::Int(self.params.grid.1 as i64),
+                    },
+                };
+                out.push(inst);
+                Ok(dst)
+            }
+            Expr::Unary(op, a) => {
+                let ra = self.compile_expr(a, out)?;
+                let dst = self.alloc_temp();
+                out.push(Inst::Un { dst, op: *op, a: ra });
+                Ok(dst)
+            }
+            Expr::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
+                let dst = self.alloc_temp();
+                let ra = self.compile_expr(a, out)?;
+                out.push(Inst::AsBool { dst, a: ra });
+                let patch = out.len();
+                out.push(Inst::Jmp { to: 0 });
+                let rb = self.compile_expr(b, out)?;
+                out.push(Inst::AsBool { dst, a: rb });
+                let end = out.len() as u32;
+                out[patch] = if *op == BinOp::And {
+                    Inst::JmpIfFalse { cond: dst, to: end }
+                } else {
+                    Inst::JmpIfTrue { cond: dst, to: end }
+                };
+                Ok(dst)
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.compile_expr(a, out)?;
+                let rb = self.compile_expr(b, out)?;
+                let dst = self.alloc_temp();
+                out.push(Inst::Bin {
+                    dst,
+                    op: *op,
+                    a: ra,
+                    b: rb,
+                });
+                Ok(dst)
+            }
+            Expr::Call(f, args) => {
+                let regs: Result<Vec<Reg>, SimError> =
+                    args.iter().map(|a| self.compile_expr(a, out)).collect();
+                let dst = self.alloc_temp();
+                out.push(Inst::Call {
+                    dst,
+                    f: *f,
+                    args: regs?.into_boxed_slice(),
+                });
+                Ok(dst)
+            }
+            Expr::Cast(ty, a) => {
+                let ra = self.compile_expr(a, out)?;
+                let dst = self.alloc_temp();
+                out.push(Inst::Cast {
+                    dst,
+                    ty: *ty,
+                    a: ra,
+                });
+                Ok(dst)
+            }
+            Expr::Select(c, a, b) => {
+                let dst = self.alloc_temp();
+                let rc = self.compile_expr(c, out)?;
+                let patch_else = out.len();
+                out.push(Inst::Jmp { to: 0 });
+                let ra = self.compile_expr(a, out)?;
+                out.push(Inst::Mov { dst, src: ra });
+                let patch_end = out.len();
+                out.push(Inst::Jmp { to: 0 });
+                let else_pc = out.len() as u32;
+                let rb = self.compile_expr(b, out)?;
+                out.push(Inst::Mov { dst, src: rb });
+                let end = out.len() as u32;
+                out[patch_else] = Inst::JmpIfFalse {
+                    cond: rc,
+                    to: else_pc,
+                };
+                out[patch_end] = Inst::Jmp { to: end };
+                Ok(dst)
+            }
+            Expr::GlobalLoad { buf, idx } => {
+                let b = self.global_binding(buf)?;
+                let ri = self.compile_expr(idx, out)?;
+                let dst = self.alloc_temp();
+                out.push(Inst::GLoad {
+                    dst,
+                    buf: b,
+                    idx: ri,
+                });
+                Ok(dst)
+            }
+            Expr::TexFetch { buf, coords } => {
+                let b = self.global_binding(buf)?;
+                match coords {
+                    TexCoords::Linear(i) => {
+                        let ri = self.compile_expr(i, out)?;
+                        let dst = self.alloc_temp();
+                        out.push(Inst::TexLin {
+                            dst,
+                            buf: b,
+                            idx: ri,
+                        });
+                        Ok(dst)
+                    }
+                    TexCoords::Xy(xe, ye) => {
+                        let rx = self.compile_expr(xe, out)?;
+                        let ry = self.compile_expr(ye, out)?;
+                        let dst = self.alloc_temp();
+                        out.push(Inst::TexXy {
+                            dst,
+                            buf: b,
+                            x: rx,
+                            y: ry,
+                        });
+                        Ok(dst)
+                    }
+                }
+            }
+            Expr::ConstLoad { buf, idx } => {
+                let cb = self.const_binding(buf)?;
+                let ri = self.compile_expr(idx, out)?;
+                let dst = self.alloc_temp();
+                out.push(Inst::CLoad {
+                    dst,
+                    cb,
+                    idx: ri,
+                });
+                Ok(dst)
+            }
+            Expr::SharedLoad { buf, y, x } => {
+                let sb = *self
+                    .shared_idx
+                    .get(buf)
+                    .ok_or_else(|| SimError::UnboundBuffer(buf.clone()))?;
+                let ry = self.compile_expr(y, out)?;
+                let rx = self.compile_expr(x, out)?;
+                let dst = self.alloc_temp();
+                out.push(Inst::SLoad {
+                    dst,
+                    sb,
+                    y: ry,
+                    x: rx,
+                });
+                Ok(dst)
+            }
+            Expr::InputAt { .. } | Expr::MaskAt { .. } | Expr::OutputX | Expr::OutputY => Err(
+                SimError::EvalError("DSL-level node reached the interpreter".into()),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interior analysis
+// ---------------------------------------------------------------------------
+
+/// Abstract value: an affine form over the thread/block indices with a
+/// constant interval, or unknown. `taint` marks values that passed through
+/// `f32` arithmetic (exact only within ±2^24); tainted values degrade to
+/// `Any` when their bounds leave that window.
+#[derive(Clone, Copy, Debug)]
+enum Abs {
+    Aff {
+        tx: i64,
+        ty: i64,
+        bx: i64,
+        by: i64,
+        lo: i64,
+        hi: i64,
+        taint: bool,
+    },
+    Any,
+}
+
+const F32_EXACT: i64 = 1 << 24;
+
+impl Abs {
+    fn constant(c: i64) -> Abs {
+        Abs::Aff {
+            tx: 0,
+            ty: 0,
+            bx: 0,
+            by: 0,
+            lo: c,
+            hi: c,
+            taint: false,
+        }
+    }
+
+    fn float_const(f: f32) -> Abs {
+        if f.fract() == 0.0 && f.abs() < F32_EXACT as f32 {
+            match Abs::constant(f as i64) {
+                Abs::Aff { tx, ty, bx, by, lo, hi, .. } => Abs::Aff {
+                    tx,
+                    ty,
+                    bx,
+                    by,
+                    lo,
+                    hi,
+                    taint: true,
+                },
+                any => any,
+            }
+        } else {
+            Abs::Any
+        }
+    }
+
+    fn scalar_const(c: Const) -> Abs {
+        match c {
+            Const::Int(i) => Abs::constant(i),
+            Const::Float(f) => Abs::float_const(f),
+            Const::Bool(_) => Abs::Any,
+        }
+    }
+
+    /// Degrade tainted values whose magnitude may exceed f32 exactness.
+    fn sanitize(self, ranges: &VarRanges) -> Abs {
+        if let Abs::Aff { taint: true, .. } = self {
+            match self.bounds(ranges) {
+                Some((lo, hi)) if lo > -F32_EXACT && hi < F32_EXACT => self,
+                _ => Abs::Any,
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Global value bounds with the builtin ranges substituted in.
+    fn bounds(&self, r: &VarRanges) -> Option<(i64, i64)> {
+        let Abs::Aff { tx, ty, bx, by, lo, hi, .. } = *self else {
+            return None;
+        };
+        let mut min = lo;
+        let mut max = hi;
+        for (c, m) in [(tx, r.tx_max), (ty, r.ty_max), (bx, r.bx_max), (by, r.by_max)] {
+            let term = c.checked_mul(m)?;
+            min = min.checked_add(term.min(0))?;
+            max = max.checked_add(term.max(0))?;
+        }
+        Some((min, max))
+    }
+
+    fn interval(lo: i64, hi: i64, taint: bool) -> Abs {
+        Abs::Aff {
+            tx: 0,
+            ty: 0,
+            bx: 0,
+            by: 0,
+            lo,
+            hi,
+            taint,
+        }
+    }
+
+    fn add(self, other: Abs, r: &VarRanges) -> Abs {
+        let (Abs::Aff { tx: atx, ty: aty, bx: abx, by: aby, lo: alo, hi: ahi, taint: at },
+             Abs::Aff { tx: btx, ty: bty, bx: bbx, by: bby, lo: blo, hi: bhi, taint: bt }) =
+            (self, other)
+        else {
+            return Abs::Any;
+        };
+        let aff = (|| {
+            Some(Abs::Aff {
+                tx: atx.checked_add(btx)?,
+                ty: aty.checked_add(bty)?,
+                bx: abx.checked_add(bbx)?,
+                by: aby.checked_add(bby)?,
+                lo: alo.checked_add(blo)?,
+                hi: ahi.checked_add(bhi)?,
+                taint: at | bt,
+            })
+        })();
+        aff.map_or(Abs::Any, |v| v.sanitize(r))
+    }
+
+    fn neg(self) -> Abs {
+        let Abs::Aff { tx, ty, bx, by, lo, hi, taint } = self else {
+            return Abs::Any;
+        };
+        (|| {
+            Some(Abs::Aff {
+                tx: tx.checked_neg()?,
+                ty: ty.checked_neg()?,
+                bx: bx.checked_neg()?,
+                by: by.checked_neg()?,
+                lo: hi.checked_neg()?,
+                hi: lo.checked_neg()?,
+                taint,
+            })
+        })()
+        .unwrap_or(Abs::Any)
+    }
+
+    fn sub(self, other: Abs, r: &VarRanges) -> Abs {
+        self.add(other.neg(), r)
+    }
+
+    fn is_singleton(&self) -> Option<(i64, bool)> {
+        match *self {
+            Abs::Aff { tx: 0, ty: 0, bx: 0, by: 0, lo, hi, taint } if lo == hi => {
+                Some((lo, taint))
+            }
+            _ => None,
+        }
+    }
+
+    fn scale(self, k: i64, k_taint: bool, r: &VarRanges) -> Abs {
+        let Abs::Aff { tx, ty, bx, by, lo, hi, taint } = self else {
+            return Abs::Any;
+        };
+        let aff = (|| {
+            let (nlo, nhi) = if k >= 0 { (lo, hi) } else { (hi, lo) };
+            Some(Abs::Aff {
+                tx: tx.checked_mul(k)?,
+                ty: ty.checked_mul(k)?,
+                bx: bx.checked_mul(k)?,
+                by: by.checked_mul(k)?,
+                lo: nlo.checked_mul(k)?,
+                hi: nhi.checked_mul(k)?,
+                taint: taint | k_taint,
+            })
+        })();
+        aff.map_or(Abs::Any, |v| v.sanitize(r))
+    }
+
+    fn mul(self, other: Abs, r: &VarRanges) -> Abs {
+        if let Some((k, kt)) = other.is_singleton() {
+            return self.scale(k, kt, r);
+        }
+        if let Some((k, kt)) = self.is_singleton() {
+            return other.scale(k, kt, r);
+        }
+        // Pure-interval product.
+        let (Some((alo, ahi)), Some((blo, bhi))) = (self.pure_interval(), other.pure_interval())
+        else {
+            return Abs::Any;
+        };
+        let taint = self.tainted() | other.tainted();
+        let combos = [
+            alo.checked_mul(blo),
+            alo.checked_mul(bhi),
+            ahi.checked_mul(blo),
+            ahi.checked_mul(bhi),
+        ];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for c in combos {
+            let Some(v) = c else { return Abs::Any };
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Abs::interval(lo, hi, taint).sanitize(r)
+    }
+
+    fn pure_interval(&self) -> Option<(i64, i64)> {
+        match *self {
+            Abs::Aff { tx: 0, ty: 0, bx: 0, by: 0, lo, hi, .. } => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    fn tainted(&self) -> bool {
+        matches!(self, Abs::Aff { taint: true, .. })
+    }
+
+    /// `x % n` for singleton positive `n`: the C remainder lies in
+    /// `(-n, n)`, or `[0, n)` when `x` is provably non-negative.
+    fn rem(self, other: Abs, r: &VarRanges) -> Abs {
+        let Some((n, nt)) = other.is_singleton() else {
+            return Abs::Any;
+        };
+        if n <= 0 {
+            return Abs::Any;
+        }
+        let taint = self.tainted() | nt;
+        match self.bounds(r) {
+            Some((lo, hi)) => {
+                if lo >= 0 {
+                    Abs::interval(0, hi.min(n - 1), taint)
+                } else {
+                    Abs::interval(-(n - 1), n - 1, taint)
+                }
+            }
+            None => match self {
+                Abs::Any => Abs::Any,
+                _ => Abs::interval(-(n - 1), n - 1, taint),
+            },
+        }
+    }
+
+    /// Join for `Select` branches: equal coefficients keep the affine
+    /// form; otherwise degrade to the union of global bounds.
+    fn join(self, other: Abs, r: &VarRanges) -> Abs {
+        if let (
+            Abs::Aff { tx: atx, ty: aty, bx: abx, by: aby, lo: alo, hi: ahi, taint: at },
+            Abs::Aff { tx: btx, ty: bty, bx: bbx, by: bby, lo: blo, hi: bhi, taint: bt },
+        ) = (self, other)
+        {
+            if atx == btx && aty == bty && abx == bbx && aby == bby {
+                return Abs::Aff {
+                    tx: atx,
+                    ty: aty,
+                    bx: abx,
+                    by: aby,
+                    lo: alo.min(blo),
+                    hi: ahi.max(bhi),
+                    taint: at | bt,
+                };
+            }
+        }
+        match (self.bounds(r), other.bounds(r)) {
+            (Some((alo, ahi)), Some((blo, bhi))) => {
+                Abs::interval(alo.min(blo), ahi.max(bhi), self.tainted() | other.tainted())
+            }
+            _ => Abs::Any,
+        }
+    }
+
+    /// Min/Max over global bounds (coefficients are lost, which is what
+    /// makes clamp-style boundary arithmetic classify as interior).
+    fn min_max(self, other: Abs, is_min: bool, r: &VarRanges) -> Abs {
+        let (Some((alo, ahi)), Some((blo, bhi))) = (self.bounds(r), other.bounds(r)) else {
+            return Abs::Any;
+        };
+        let taint = self.tainted() | other.tainted();
+        if is_min {
+            Abs::interval(alo.min(blo), ahi.min(bhi), taint)
+        } else {
+            Abs::interval(alo.max(blo), ahi.max(bhi), taint)
+        }
+    }
+}
+
+/// Maximum values of the builtin index variables for one launch.
+struct VarRanges {
+    tx_max: i64,
+    ty_max: i64,
+    bx_max: i64,
+    by_max: i64,
+}
+
+/// The statement walker that derives interior checks. Scoping mirrors the
+/// interpreter (flat stack + marks); every global/texture access found
+/// anywhere — including never-executed branches — contributes a check,
+/// which is conservative in exactly the safe direction.
+struct InteriorScan<'a> {
+    ranges: VarRanges,
+    scalars: &'a HashMap<String, Const>,
+    env: Vec<(String, Abs)>,
+    marks: Vec<usize>,
+    checks: Vec<InteriorCheck>,
+    geom_of: &'a dyn Fn(&str) -> Option<BufferGeometry>,
+}
+
+impl<'a> InteriorScan<'a> {
+    fn lookup(&self, name: &str) -> Abs {
+        self.env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .or_else(|| self.scalars.get(name).map(|c| Abs::scalar_const(*c)))
+            .unwrap_or(Abs::Any)
+    }
+
+    fn set(&mut self, name: &str, v: Abs) {
+        for (n, slot) in self.env.iter_mut().rev() {
+            if n == name {
+                *slot = v;
+                return;
+            }
+        }
+    }
+
+    /// Record an access constraint: `abs` must stay inside `[0, limit)`.
+    fn record(&mut self, abs: Abs, limit: i64) {
+        let check = match abs {
+            Abs::Aff { tx, ty, bx, by, lo, hi, .. } => (|| {
+                let mut lo_t = lo;
+                let mut hi_t = hi;
+                for (c, m) in [(tx, self.ranges.tx_max), (ty, self.ranges.ty_max)] {
+                    let term = c.checked_mul(m)?;
+                    lo_t = lo_t.checked_add(term.min(0))?;
+                    hi_t = hi_t.checked_add(term.max(0))?;
+                }
+                Some(InteriorCheck {
+                    cbx: bx,
+                    cby: by,
+                    lo: lo_t,
+                    hi: hi_t,
+                    limit,
+                })
+            })()
+            .unwrap_or(InteriorCheck::NEVER),
+            Abs::Any => InteriorCheck::NEVER,
+        };
+        if !self.checks.contains(&check) {
+            self.checks.push(check);
+        }
+    }
+
+    fn abs_expr(&mut self, e: &Expr) -> Abs {
+        let r = &self.ranges;
+        match e {
+            Expr::ImmInt(i) => Abs::constant(*i),
+            Expr::ImmFloat(f) => Abs::float_const(*f),
+            Expr::ImmBool(_) => Abs::Any,
+            Expr::Var(n) => self.lookup(n),
+            Expr::Builtin(Builtin::ThreadIdxX) => Abs::Aff {
+                tx: 1, ty: 0, bx: 0, by: 0, lo: 0, hi: 0, taint: false,
+            },
+            Expr::Builtin(Builtin::ThreadIdxY) => Abs::Aff {
+                tx: 0, ty: 1, bx: 0, by: 0, lo: 0, hi: 0, taint: false,
+            },
+            Expr::Builtin(Builtin::BlockIdxX) => Abs::Aff {
+                tx: 0, ty: 0, bx: 1, by: 0, lo: 0, hi: 0, taint: false,
+            },
+            Expr::Builtin(Builtin::BlockIdxY) => Abs::Aff {
+                tx: 0, ty: 0, bx: 0, by: 1, lo: 0, hi: 0, taint: false,
+            },
+            Expr::Builtin(Builtin::BlockDimX) => Abs::constant(r.tx_max + 1),
+            Expr::Builtin(Builtin::BlockDimY) => Abs::constant(r.ty_max + 1),
+            Expr::Builtin(Builtin::GridDimX) => Abs::constant(r.bx_max + 1),
+            Expr::Builtin(Builtin::GridDimY) => Abs::constant(r.by_max + 1),
+            Expr::Unary(op, a) => {
+                let va = self.abs_expr(a);
+                match op {
+                    UnOp::Neg => va.neg(),
+                    UnOp::Not => Abs::Any,
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.abs_expr(a);
+                let vb = self.abs_expr(b);
+                let r = &self.ranges;
+                match op {
+                    BinOp::Add => va.add(vb, r),
+                    BinOp::Sub => va.sub(vb, r),
+                    BinOp::Mul => va.mul(vb, r),
+                    BinOp::Rem => va.rem(vb, r),
+                    _ => Abs::Any,
+                }
+            }
+            Expr::Call(f, args) => {
+                let vals: Vec<Abs> = args.iter().map(|a| self.abs_expr(a)).collect();
+                match (f, vals.as_slice()) {
+                    (MathFn::Min, [a, b]) => a.min_max(*b, true, &self.ranges),
+                    (MathFn::Max, [a, b]) => a.min_max(*b, false, &self.ranges),
+                    _ => Abs::Any,
+                }
+            }
+            Expr::Cast(ty, a) => {
+                let va = self.abs_expr(a);
+                match ty {
+                    // Aff values are integral by construction, so int
+                    // truncation and float widening are identities.
+                    ScalarType::I32 | ScalarType::U32 | ScalarType::F32 => va,
+                    ScalarType::Bool => {
+                        Abs::Any
+                    }
+                }
+            }
+            Expr::Select(c, a, b) => {
+                self.abs_expr(c);
+                let va = self.abs_expr(a);
+                let vb = self.abs_expr(b);
+                va.join(vb, &self.ranges)
+            }
+            Expr::GlobalLoad { buf, idx } => {
+                let vi = self.abs_expr(idx);
+                if let Some(g) = (self.geom_of)(buf) {
+                    self.record(vi, g.len() as i64);
+                }
+                Abs::Any
+            }
+            Expr::TexFetch { buf, coords } => {
+                match coords {
+                    TexCoords::Linear(i) => {
+                        let vi = self.abs_expr(i);
+                        if let Some(g) = (self.geom_of)(buf) {
+                            self.record(vi, g.len() as i64);
+                        }
+                    }
+                    TexCoords::Xy(xe, ye) => {
+                        let vx = self.abs_expr(xe);
+                        let vy = self.abs_expr(ye);
+                        if let Some(g) = (self.geom_of)(buf) {
+                            self.record(vx, g.width as i64);
+                            self.record(vy, g.height as i64);
+                        }
+                    }
+                }
+                Abs::Any
+            }
+            Expr::ConstLoad { idx, .. } => {
+                // Constant loads clamp on both paths; only walk for
+                // nested accesses.
+                self.abs_expr(idx);
+                Abs::Any
+            }
+            Expr::SharedLoad { y, x, .. } => {
+                self.abs_expr(y);
+                self.abs_expr(x);
+                Abs::Any
+            }
+            Expr::InputAt { .. } | Expr::MaskAt { .. } | Expr::OutputX | Expr::OutputY => Abs::Any,
+        }
+    }
+
+    fn scan_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Decl { name, init, .. } => {
+                    let v = match init {
+                        Some(e) => self.abs_expr(e),
+                        None => Abs::constant(0),
+                    };
+                    self.env.push((name.clone(), v));
+                }
+                Stmt::Assign { target, value } => {
+                    let LValue::Var(name) = target;
+                    let v = self.abs_expr(value);
+                    self.set(name, v);
+                }
+                Stmt::For { var, from, to, body } => {
+                    let vf = self.abs_expr(from);
+                    let vt = self.abs_expr(to);
+                    let var_abs = match (vf.bounds(&self.ranges), vt.bounds(&self.ranges)) {
+                        (Some((flo, _)), Some((_, thi))) => Abs::interval(flo, thi.max(flo), false),
+                        _ => Abs::Any,
+                    };
+                    // Anything assigned inside the loop varies across
+                    // iterations: havoc it before scanning the body once.
+                    for n in assigned_names(body) {
+                        self.set(&n, Abs::Any);
+                    }
+                    self.marks.push(self.env.len());
+                    self.env.push((var.clone(), var_abs));
+                    self.scan_stmts(body);
+                    let mark = self.marks.pop().expect("scope mark");
+                    self.env.truncate(mark);
+                }
+                Stmt::If { cond, then, els } => {
+                    self.abs_expr(cond);
+                    let saved = self.env.clone();
+                    self.marks.push(self.env.len());
+                    self.scan_stmts(then);
+                    let mark = self.marks.pop().expect("scope mark");
+                    self.env.truncate(mark);
+                    self.env = saved.clone();
+                    self.marks.push(self.env.len());
+                    self.scan_stmts(els);
+                    let mark = self.marks.pop().expect("scope mark");
+                    self.env.truncate(mark);
+                    self.env = saved;
+                    // Either branch may or may not have run.
+                    for n in assigned_names(then).union(&assigned_names(els)) {
+                        self.set(n, Abs::Any);
+                    }
+                }
+                Stmt::GlobalStore { buf, idx, value } => {
+                    let vi = self.abs_expr(idx);
+                    if let Some(g) = (self.geom_of)(buf) {
+                        self.record(vi, g.len() as i64);
+                    }
+                    self.abs_expr(value);
+                }
+                Stmt::SharedStore { y, x, value, .. } => {
+                    self.abs_expr(y);
+                    self.abs_expr(x);
+                    self.abs_expr(value);
+                }
+                Stmt::Return | Stmt::Comment(_) | Stmt::Barrier => {}
+                Stmt::Output(e) => {
+                    self.abs_expr(e);
+                }
+            }
+        }
+    }
+}
+
+/// Derive the per-block interior checks for a folded kernel body.
+fn analyze_interior(body: &[Stmt], params: &LaunchParams, c: &Compiler<'_>) -> Vec<InteriorCheck> {
+    let geom_of = |name: &str| c.mem.buffer(name).map(|b| b.geom);
+    let mut scan = InteriorScan {
+        ranges: VarRanges {
+            tx_max: params.block.0 as i64 - 1,
+            ty_max: params.block.1 as i64 - 1,
+            bx_max: params.grid.0 as i64 - 1,
+            by_max: params.grid.1 as i64 - 1,
+        },
+        scalars: &params.scalars,
+        env: Vec::new(),
+        marks: Vec::new(),
+        checks: Vec::new(),
+        geom_of: &geom_of,
+    };
+    scan.scan_stmts(body);
+    scan.checks
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Resolved view of one bound buffer.
+#[derive(Clone, Copy)]
+struct BufView<'m> {
+    data: &'m [f32],
+    w: u32,
+    h: u32,
+    stride: u32,
+    mode: AddressMode,
+}
+
+/// Mutable per-block machine state.
+struct BlockRun<'r> {
+    prog: &'r CompiledKernel,
+    bufs: &'r [BufView<'r>],
+    shared: Vec<Vec<f32>>,
+    stores: Vec<StoreRec>,
+    stats: ExecStats,
+    call_scratch: Vec<Const>,
+    fast: bool,
+    bx: i64,
+    by: i64,
+}
+
+impl BlockRun<'_> {
+    /// Execute one tape over a register file. Returns `true` when the
+    /// thread hit `Halt` (returned) and must skip the remaining phases.
+    fn exec_tape(
+        &mut self,
+        insts: &[Inst],
+        regs: &mut [Const],
+        uregs: &[Const],
+        tx: i64,
+        ty: i64,
+    ) -> Result<bool, SimError> {
+        let mut pc = 0usize;
+        while pc < insts.len() {
+            match &insts[pc] {
+                Inst::Imm { dst, v } => regs[*dst as usize] = *v,
+                Inst::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
+                Inst::LoadU { dst, src } => regs[*dst as usize] = uregs[*src as usize],
+                Inst::Tid { dst, axis } => {
+                    regs[*dst as usize] = Const::Int(if *axis == 0 { tx } else { ty });
+                }
+                Inst::Bid { dst, axis } => {
+                    regs[*dst as usize] = Const::Int(if *axis == 0 { self.bx } else { self.by });
+                }
+                Inst::Un { dst, op, a } => {
+                    let v = regs[*a as usize];
+                    regs[*dst as usize] = eval_unop(*op, v)
+                        .ok_or_else(|| SimError::EvalError(format!("{op:?} on {v:?}")))?;
+                }
+                Inst::Bin { dst, op, a, b } => {
+                    let va = regs[*a as usize];
+                    let vb = regs[*b as usize];
+                    if matches!(op, BinOp::Div | BinOp::Rem) {
+                        if let (Const::Int(_), Const::Int(0)) = (va, vb) {
+                            return Err(SimError::DivisionByZero);
+                        }
+                    }
+                    regs[*dst as usize] = eval_binop(*op, va, vb).ok_or_else(|| {
+                        SimError::EvalError(format!("{op:?} on {va:?}, {vb:?}"))
+                    })?;
+                }
+                Inst::AsBool { dst, a } => {
+                    regs[*dst as usize] = Const::Bool(regs[*a as usize].as_bool());
+                }
+                Inst::Call { dst, f, args } => {
+                    self.call_scratch.clear();
+                    for &r in args.iter() {
+                        self.call_scratch.push(regs[r as usize]);
+                    }
+                    regs[*dst as usize] =
+                        eval_mathfn(*f, &self.call_scratch).ok_or_else(|| {
+                            SimError::EvalError(format!("{f:?} on {:?}", self.call_scratch))
+                        })?;
+                }
+                Inst::Cast { dst, ty, a } => {
+                    let v = regs[*a as usize];
+                    regs[*dst as usize] = match ty {
+                        ScalarType::F32 => Const::Float(v.as_f32()),
+                        ScalarType::I32 | ScalarType::U32 => Const::Int(v.as_i64()),
+                        ScalarType::Bool => Const::Bool(v.as_bool()),
+                    };
+                }
+                Inst::Jmp { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Inst::JmpIfFalse { cond, to } => {
+                    if !regs[*cond as usize].as_bool() {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Inst::JmpIfTrue { cond, to } => {
+                    if regs[*cond as usize].as_bool() {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Inst::LoopTest { dst, var, hi } => {
+                    regs[*dst as usize] =
+                        Const::Bool(regs[*var as usize].as_i64() <= regs[*hi as usize].as_i64());
+                }
+                Inst::IncInt { reg } => {
+                    let v = regs[*reg as usize].as_i64();
+                    let next = v
+                        .checked_add(1)
+                        .ok_or_else(|| SimError::EvalError("loop counter overflow".into()))?;
+                    regs[*reg as usize] = Const::Int(next);
+                }
+                Inst::GLoad { dst, buf, idx } | Inst::TexLin { dst, buf, idx } => {
+                    let b = &self.bufs[*buf as usize];
+                    if matches!(&insts[pc], Inst::GLoad { .. }) {
+                        self.stats.global_loads += 1;
+                    } else {
+                        self.stats.tex_fetches += 1;
+                    }
+                    let i = regs[*idx as usize].as_i64();
+                    // Negative indices wrap to huge usize values, so one
+                    // `get` covers both OOB directions.
+                    let v = match b.data.get(i as usize) {
+                        Some(v) => *v,
+                        None => {
+                            self.stats.oob_reads += 1;
+                            b.data[i.clamp(0, b.data.len() as i64 - 1) as usize]
+                        }
+                    };
+                    regs[*dst as usize] = Const::Float(v);
+                }
+                Inst::GStore { buf, idx, val } => {
+                    let i = regs[*idx as usize].as_i64();
+                    let v = regs[*val as usize].as_f32();
+                    self.stats.global_stores += 1;
+                    let len = self.bufs[*buf as usize].data.len();
+                    if i < 0 || i as usize >= len {
+                        self.stats.oob_stores += 1;
+                    } else {
+                        self.stores.push(StoreRec {
+                            buf: *buf,
+                            idx: i as u32,
+                            value: v,
+                        });
+                    }
+                }
+                Inst::TexXy { dst, buf, x, y } => {
+                    self.stats.tex_fetches += 1;
+                    let b = &self.bufs[*buf as usize];
+                    let xi = regs[*x as usize].as_i64() as i32;
+                    let yi = regs[*y as usize].as_i64() as i32;
+                    // Interior blocks skip the address-mode dispatch: any
+                    // mode is the identity for in-range coordinates.
+                    let v = if self.fast && (xi as u32) < b.w && (yi as u32) < b.h {
+                        b.data[yi as usize * b.stride as usize + xi as usize]
+                    } else {
+                        let (ax, ay) = match b.mode {
+                            AddressMode::Clamp => (clamp_index(xi, b.w), clamp_index(yi, b.h)),
+                            AddressMode::Repeat => (repeat_index(xi, b.w), repeat_index(yi, b.h)),
+                            AddressMode::BorderConstant(c) => {
+                                if xi < 0 || yi < 0 || xi >= b.w as i32 || yi >= b.h as i32 {
+                                    regs[*dst as usize] = Const::Float(c);
+                                    pc += 1;
+                                    continue;
+                                }
+                                (xi, yi)
+                            }
+                            AddressMode::None => {
+                                if xi < 0 || yi < 0 || xi >= b.w as i32 || yi >= b.h as i32 {
+                                    self.stats.oob_reads += 1;
+                                    (clamp_index(xi, b.w), clamp_index(yi, b.h))
+                                } else {
+                                    (xi, yi)
+                                }
+                            }
+                        };
+                        b.data[ay as usize * b.stride as usize + ax as usize]
+                    };
+                    regs[*dst as usize] = Const::Float(v);
+                }
+                Inst::CLoad { dst, cb, idx } => {
+                    self.stats.const_loads += 1;
+                    let data = &self.prog.consts[*cb as usize].data;
+                    let i = regs[*idx as usize]
+                        .as_i64()
+                        .clamp(0, data.len() as i64 - 1) as usize;
+                    regs[*dst as usize] = Const::Float(data[i]);
+                }
+                Inst::SLoad { dst, sb, y, x } => {
+                    let yi = regs[*y as usize].as_i64();
+                    let xi = regs[*x as usize].as_i64();
+                    self.stats.shared_loads += 1;
+                    let tile = &self.shared[*sb as usize];
+                    let cols = self.prog.shared[*sb as usize].cols as i64;
+                    let i = (yi * cols + xi).clamp(0, tile.len() as i64 - 1) as usize;
+                    regs[*dst as usize] = Const::Float(tile[i]);
+                }
+                Inst::SStore { sb, y, x, val } => {
+                    let yi = regs[*y as usize].as_i64();
+                    let xi = regs[*x as usize].as_i64();
+                    let v = regs[*val as usize].as_f32();
+                    self.stats.shared_stores += 1;
+                    let tile = &mut self.shared[*sb as usize];
+                    let cols = self.prog.shared[*sb as usize].cols as i64;
+                    let i = (yi * cols + xi).clamp(0, tile.len() as i64 - 1) as usize;
+                    tile[i] = v;
+                }
+                Inst::Halt => return Ok(true),
+            }
+            pc += 1;
+        }
+        Ok(false)
+    }
+}
+
+/// Run one block: uniform prologue, interior classification, then all
+/// threads phase by phase.
+fn run_block(
+    prog: &CompiledKernel,
+    bufs: &[BufView<'_>],
+    bx: u32,
+    by: u32,
+) -> Result<(Vec<StoreRec>, ExecStats), SimError> {
+    let mut run = BlockRun {
+        prog,
+        bufs,
+        shared: prog.shared.iter().map(|l| vec![0.0f32; l.len]).collect(),
+        stores: Vec::new(),
+        stats: ExecStats::default(),
+        call_scratch: Vec::with_capacity(4),
+        fast: false,
+        bx: bx as i64,
+        by: by as i64,
+    };
+
+    let mut uregs = vec![Const::Int(0); prog.n_uregs];
+    if !prog.prologue.is_empty() {
+        // The prologue's register file *is* the uniform file.
+        let mut prologue_regs = std::mem::take(&mut uregs);
+        run.exec_tape(&prog.prologue, &mut prologue_regs, &[], 0, 0)?;
+        uregs = prologue_regs;
+    }
+    run.fast = prog.block_is_interior(bx, by);
+
+    let (tbx, tby) = prog.block;
+    let n_regs = prog.n_regs.max(1);
+    if prog.phases.len() == 1 {
+        // Single phase: one reusable register file. Every register read
+        // is dominated by a write in the same run (declare-before-use is
+        // enforced at compile time), so stale values are never observed.
+        let mut regs = vec![Const::Int(0); n_regs];
+        let tape = &prog.phases[0];
+        for ty in 0..tby {
+            for tx in 0..tbx {
+                run.exec_tape(tape, &mut regs, &uregs, tx as i64, ty as i64)?;
+            }
+        }
+    } else {
+        // Registers persist across phases per thread, like the
+        // interpreter's thread-local variables.
+        let nthreads = (tbx * tby) as usize;
+        let mut all_regs = vec![Const::Int(0); n_regs * nthreads];
+        let mut done = vec![false; nthreads];
+        let n_phases = prog.phases.len();
+        for (pi, tape) in prog.phases.iter().enumerate() {
+            let mut ti = 0usize;
+            for ty in 0..tby {
+                for tx in 0..tbx {
+                    if !done[ti] {
+                        let regs = &mut all_regs[ti * n_regs..(ti + 1) * n_regs];
+                        if run.exec_tape(tape, regs, &uregs, tx as i64, ty as i64)? {
+                            done[ti] = true;
+                        }
+                    }
+                    ti += 1;
+                }
+            }
+            if pi + 1 < n_phases {
+                run.stats.barriers += done.iter().filter(|d| !**d).count() as u64;
+            }
+        }
+    }
+
+    Ok((run.stores, run.stats))
+}
+
+impl CompiledKernel {
+    /// Execute the compiled program over the whole grid. Blocks run in
+    /// parallel across host cores; buffered stores are applied in
+    /// deterministic block order afterwards, exactly like the tree-walk
+    /// engine.
+    ///
+    /// The bound buffers must still have the geometry observed at compile
+    /// time (the interior checks were derived from it).
+    pub fn run(&self, mem: &mut DeviceMemory) -> Result<ExecStats, SimError> {
+        let mem_ro: &DeviceMemory = mem;
+        let mut bufs = Vec::with_capacity(self.globals.len());
+        for g in &self.globals {
+            let b = mem_ro
+                .buffer(&g.name)
+                .ok_or_else(|| SimError::UnboundBuffer(g.name.clone()))?;
+            if b.geom != g.geom {
+                return Err(SimError::EvalError(format!(
+                    "buffer `{}` geometry changed since compile",
+                    g.name
+                )));
+            }
+            bufs.push(BufView {
+                data: &b.data,
+                w: g.geom.width,
+                h: g.geom.height,
+                stride: g.geom.stride,
+                mode: g.mode,
+            });
+        }
+
+        let (gx, gy) = self.grid;
+        let blocks: Vec<(u32, u32)> = (0..gy)
+            .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
+            .collect();
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(blocks.len().max(1));
+
+        let bufs_ref = &bufs;
+        let mut results: Vec<Result<(Vec<StoreRec>, ExecStats), SimError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let chunk = blocks.len().div_ceil(n_workers);
+            let mut handles = Vec::new();
+            for worker_blocks in blocks.chunks(chunk.max(1)) {
+                handles.push(scope.spawn(move || {
+                    let mut stores = Vec::new();
+                    let mut stats = ExecStats::default();
+                    for &(bx, by) in worker_blocks {
+                        let (mut s, block_stats) = run_block(self, bufs_ref, bx, by)?;
+                        stats.merge(&block_stats);
+                        stores.append(&mut s);
+                    }
+                    Ok((stores, stats))
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("simulator worker panicked"));
+            }
+        });
+        drop(bufs);
+
+        let mut stats_total = ExecStats::default();
+        for result in results {
+            let (stores, worker_stats) = result?;
+            stats_total.merge(&worker_stats);
+            for st in stores {
+                let name = &self.globals[st.buf as usize].name;
+                let buf = mem
+                    .buffer_mut(name)
+                    .ok_or_else(|| SimError::UnboundBuffer(name.clone()))?;
+                buf.data[st.idx as usize] = st.value;
+            }
+        }
+        Ok(stats_total)
+    }
+}
+
+/// Compile a kernel for this launch and execute it: the bytecode engine's
+/// drop-in equivalent of [`crate::interp::execute`].
+pub fn execute(
+    kernel: &DeviceKernelDef,
+    params: &LaunchParams,
+    mem: &mut DeviceMemory,
+) -> Result<ExecStats, SimError> {
+    compile(kernel, params, mem)?.run(mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use crate::memory::DeviceBuffer;
+    use hipacc_ir::kernel::{
+        BufferAccess, BufferParam, ConstBufferDecl, MemorySpace, ParamDecl, SharedDecl,
+    };
+    use hipacc_ir::stmt::LValue;
+
+    /// Run the same launch through both engines and assert bit-identical
+    /// outputs and identical dynamic statistics, then return them.
+    fn engines_agree(
+        k: &DeviceKernelDef,
+        p: &LaunchParams,
+        mem: &DeviceMemory,
+    ) -> (DeviceMemory, ExecStats) {
+        let mut mem_tree = mem.clone();
+        let mut mem_bc = mem.clone();
+        let stats_tree = interp::execute(k, p, &mut mem_tree).unwrap();
+        let stats_bc = execute(k, p, &mut mem_bc).unwrap();
+        assert_eq!(stats_tree, stats_bc, "ExecStats diverge for `{}`", k.name);
+        for name in mem_tree.buffer_names() {
+            let a = &mem_tree.buffer(&name).unwrap().data;
+            let b = &mem_bc.buffer(&name).unwrap().data;
+            let eq = a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(eq, "buffer `{name}` diverges for `{}`", k.name);
+        }
+        (mem_bc, stats_bc)
+    }
+
+    /// OUT[gid] = 2 * IN[gid] over a 1-D launch (mirrors the interpreter's
+    /// reference kernel).
+    fn double_kernel() -> DeviceKernelDef {
+        DeviceKernelDef {
+            name: "double".into(),
+            buffers: vec![
+                BufferParam {
+                    name: "IN".into(),
+                    ty: ScalarType::F32,
+                    access: BufferAccess::ReadOnly,
+                    space: MemorySpace::Global,
+                    address_mode: AddressMode::None,
+                },
+                BufferParam {
+                    name: "OUT".into(),
+                    ty: ScalarType::F32,
+                    access: BufferAccess::WriteOnly,
+                    space: MemorySpace::Global,
+                    address_mode: AddressMode::None,
+                },
+            ],
+            scalars: vec![ParamDecl {
+                name: "n".into(),
+                ty: ScalarType::I32,
+            }],
+            const_buffers: vec![],
+            shared: vec![],
+            body: vec![
+                Stmt::Decl {
+                    name: "gid".into(),
+                    ty: ScalarType::I32,
+                    init: Some(
+                        Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+                            + Expr::Builtin(Builtin::ThreadIdxX),
+                    ),
+                },
+                Stmt::If {
+                    cond: Expr::var("gid").ge(Expr::var("n")),
+                    then: vec![Stmt::Return],
+                    els: vec![],
+                },
+                Stmt::GlobalStore {
+                    buf: "OUT".into(),
+                    idx: Expr::var("gid"),
+                    value: Expr::float(2.0)
+                        * Expr::GlobalLoad {
+                            buf: "IN".into(),
+                            idx: Box::new(Expr::var("gid")),
+                        },
+                },
+            ],
+        }
+    }
+
+    fn linear_mem(n: usize) -> DeviceMemory {
+        let mut mem = DeviceMemory::new();
+        let geom = BufferGeometry {
+            width: n as u32,
+            height: 1,
+            stride: n as u32,
+        };
+        let mut inp = DeviceBuffer::new(geom);
+        for (i, v) in inp.data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        mem.bind("IN", inp);
+        mem.bind("OUT", DeviceBuffer::new(geom));
+        mem
+    }
+
+    #[test]
+    fn executes_simple_kernel() {
+        let k = double_kernel();
+        let mem = linear_mem(100);
+        let mut p = LaunchParams::new((4, 1), (32, 1));
+        p.set_int("n", 100);
+        let (mem, stats) = engines_agree(&k, &p, &mem);
+        let out = &mem.buffer("OUT").unwrap().data;
+        for (i, v) in out.iter().take(100).enumerate() {
+            assert_eq!(*v, 2.0 * i as f32);
+        }
+        assert_eq!(stats.global_stores, 100);
+        assert_eq!(stats.global_loads, 100);
+    }
+
+    #[test]
+    fn uniform_prologue_hoists_block_offset() {
+        let k = double_kernel();
+        let mut p = LaunchParams::new((4, 1), (32, 1));
+        p.set_int("n", 100);
+        let mem = linear_mem(100);
+        let ck = compile(&k, &p, &mem).unwrap();
+        // `BlockIdxX * BlockDimX` is block-uniform and must run once per
+        // block, not once per thread.
+        assert!(ck.uniform_insts() > 0, "no uniform prologue emitted");
+    }
+
+    #[test]
+    fn missing_scalar_and_unbound_buffer_match_interpreter() {
+        let k = double_kernel();
+        let mut mem = linear_mem(10);
+        let p = LaunchParams::new((1, 1), (32, 1));
+        assert_eq!(
+            execute(&k, &p, &mut mem).unwrap_err(),
+            SimError::MissingScalar("n".into())
+        );
+        let mut empty = DeviceMemory::new();
+        let mut p2 = LaunchParams::new((1, 1), (32, 1));
+        p2.set_int("n", 10);
+        assert!(matches!(
+            execute(&k, &p2, &mut empty).unwrap_err(),
+            SimError::UnboundBuffer(_)
+        ));
+    }
+
+    #[test]
+    fn oob_reads_match_interpreter() {
+        let mut k = double_kernel();
+        k.body[2] = Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::var("gid"),
+            value: Expr::GlobalLoad {
+                buf: "IN".into(),
+                idx: Box::new(Expr::var("gid") + Expr::int(1_000_000)),
+            },
+        };
+        let mem = linear_mem(64);
+        let mut p = LaunchParams::new((2, 1), (32, 1));
+        p.set_int("n", 64);
+        let (_, stats) = engines_agree(&k, &p, &mem);
+        assert_eq!(stats.oob_reads, 64);
+    }
+
+    #[test]
+    fn negative_oob_reads_match_interpreter() {
+        let mut k = double_kernel();
+        k.body[2] = Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::var("gid"),
+            value: Expr::GlobalLoad {
+                buf: "IN".into(),
+                idx: Box::new(Expr::var("gid") - Expr::int(5)),
+            },
+        };
+        let mem = linear_mem(64);
+        let mut p = LaunchParams::new((2, 1), (32, 1));
+        p.set_int("n", 64);
+        let (_, stats) = engines_agree(&k, &p, &mem);
+        assert_eq!(stats.oob_reads, 5);
+    }
+
+    #[test]
+    fn barrier_phases_match_interpreter() {
+        let k = DeviceKernelDef {
+            name: "rev".into(),
+            buffers: double_kernel().buffers,
+            scalars: vec![],
+            const_buffers: vec![],
+            shared: vec![SharedDecl {
+                name: "_s".into(),
+                ty: ScalarType::F32,
+                rows: 1,
+                cols: 32,
+            }],
+            body: vec![
+                Stmt::Decl {
+                    name: "gid".into(),
+                    ty: ScalarType::I32,
+                    init: Some(
+                        Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+                            + Expr::Builtin(Builtin::ThreadIdxX),
+                    ),
+                },
+                Stmt::SharedStore {
+                    buf: "_s".into(),
+                    y: Expr::int(0),
+                    x: Expr::Builtin(Builtin::ThreadIdxX),
+                    value: Expr::GlobalLoad {
+                        buf: "IN".into(),
+                        idx: Box::new(Expr::var("gid")),
+                    },
+                },
+                Stmt::Barrier,
+                Stmt::GlobalStore {
+                    buf: "OUT".into(),
+                    idx: Expr::var("gid"),
+                    value: Expr::SharedLoad {
+                        buf: "_s".into(),
+                        y: Box::new(Expr::int(0)),
+                        x: Box::new(
+                            Expr::Builtin(Builtin::BlockDimX)
+                                - Expr::int(1)
+                                - Expr::Builtin(Builtin::ThreadIdxX),
+                        ),
+                    },
+                },
+            ],
+        };
+        let mem = linear_mem(64);
+        let p = LaunchParams::new((2, 1), (32, 1));
+        let (mem, stats) = engines_agree(&k, &p, &mem);
+        let out = &mem.buffer("OUT").unwrap().data;
+        assert_eq!(out[0], 31.0);
+        assert_eq!(out[31], 0.0);
+        assert_eq!(out[32], 63.0);
+        assert_eq!(stats.barriers, 64);
+    }
+
+    fn stencil_kernel(mode: AddressMode) -> DeviceKernelDef {
+        let mut k = double_kernel();
+        k.scalars.clear();
+        k.buffers[0].space = MemorySpace::Texture;
+        k.buffers[0].address_mode = mode;
+        let tap = |dx: i64| Expr::TexFetch {
+            buf: "IN".into(),
+            coords: TexCoords::Xy(
+                Box::new(
+                    Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+                        + Expr::Builtin(Builtin::ThreadIdxX)
+                        + Expr::int(dx),
+                ),
+                Box::new(Expr::int(0)),
+            ),
+        };
+        k.body = vec![Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+                + Expr::Builtin(Builtin::ThreadIdxX),
+            value: tap(-1) + tap(0) + tap(1),
+        }];
+        k
+    }
+
+    #[test]
+    fn texture_modes_match_interpreter() {
+        for mode in [
+            AddressMode::Clamp,
+            AddressMode::Repeat,
+            AddressMode::BorderConstant(9.5),
+            AddressMode::None,
+        ] {
+            let k = stencil_kernel(mode);
+            let mut mem = linear_mem(64);
+            mem.tex_modes.insert("IN".into(), mode);
+            let p = LaunchParams::new((4, 1), (16, 1));
+            engines_agree(&k, &p, &mem);
+        }
+    }
+
+    #[test]
+    fn interior_blocks_are_classified() {
+        let mode = AddressMode::Clamp;
+        let k = stencil_kernel(mode);
+        let mut mem = linear_mem(64);
+        mem.tex_modes.insert("IN".into(), mode);
+        let p = LaunchParams::new((4, 1), (16, 1));
+        let ck = compile(&k, &p, &mem).unwrap();
+        assert!(ck.interior_checks() > 0, "no usable interior checks");
+        // The ±1 stencil leaves only the outermost blocks on the border.
+        assert!(!ck.block_is_interior(0, 0));
+        assert!(ck.block_is_interior(1, 0));
+        assert!(ck.block_is_interior(2, 0));
+        assert!(!ck.block_is_interior(3, 0));
+    }
+
+    #[test]
+    fn lazy_select_and_short_circuit_match_interpreter() {
+        // The guarded load must not execute (or count) for out-of-range
+        // threads; an eager engine would diverge in `global_loads`.
+        let mut k = double_kernel();
+        k.body[1] = Stmt::Comment("no early return".into());
+        k.body[2] = Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::min(Expr::var("gid"), Expr::var("n") - Expr::int(1)),
+            value: Expr::select(
+                Expr::var("gid").lt(Expr::var("n")).and(
+                    Expr::GlobalLoad {
+                        buf: "IN".into(),
+                        idx: Box::new(Expr::var("gid")),
+                    }
+                    .ge(Expr::float(0.0)),
+                ),
+                Expr::GlobalLoad {
+                    buf: "IN".into(),
+                    idx: Box::new(Expr::var("gid")),
+                },
+                Expr::float(-1.0),
+            ),
+        };
+        let mem = linear_mem(40);
+        let mut p = LaunchParams::new((2, 1), (32, 1));
+        p.set_int("n", 40);
+        let (_, stats) = engines_agree(&k, &p, &mem);
+        // 40 live threads take both loads; 24 guarded threads take none.
+        assert_eq!(stats.global_loads, 80);
+    }
+
+    #[test]
+    fn for_loop_and_const_buffer_match_interpreter() {
+        let mut k = double_kernel();
+        k.const_buffers = vec![ConstBufferDecl {
+            name: "coeffs".into(),
+            width: 3,
+            height: 1,
+            data: Some(vec![0.25, 0.5, 0.25]),
+        }];
+        k.body = vec![
+            Stmt::Decl {
+                name: "gid".into(),
+                ty: ScalarType::I32,
+                init: Some(
+                    Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+                        + Expr::Builtin(Builtin::ThreadIdxX),
+                ),
+            },
+            Stmt::Decl {
+                name: "acc".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::float(0.0)),
+            },
+            Stmt::For {
+                var: "i".into(),
+                from: Expr::int(0),
+                to: Expr::int(2),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("acc".into()),
+                    value: Expr::var("acc")
+                        + Expr::ConstLoad {
+                            buf: "coeffs".into(),
+                            idx: Box::new(Expr::var("i")),
+                        } * Expr::GlobalLoad {
+                            buf: "IN".into(),
+                            idx: Box::new(Expr::var("gid") + Expr::var("i") - Expr::int(1)),
+                        },
+                }],
+            },
+            Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::var("gid"),
+                value: Expr::var("acc"),
+            },
+        ];
+        k.scalars.clear();
+        let mem = linear_mem(64);
+        let p = LaunchParams::new((2, 1), (32, 1));
+        let (mem, stats) = engines_agree(&k, &p, &mem);
+        assert_eq!(stats.const_loads, 3 * 64);
+        let out = &mem.buffer("OUT").unwrap().data;
+        assert_eq!(out[10], 0.25 * 9.0 + 0.5 * 10.0 + 0.25 * 11.0);
+    }
+
+    #[test]
+    fn math_calls_match_interpreter() {
+        let mut k = double_kernel();
+        k.body[2] = Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::var("gid"),
+            value: Expr::exp(
+                -Expr::GlobalLoad {
+                    buf: "IN".into(),
+                    idx: Box::new(Expr::var("gid")),
+                } * Expr::float(0.1),
+            ) + Expr::max(
+                Expr::var("gid").cast(ScalarType::F32),
+                Expr::float(7.0),
+            ),
+        };
+        let mem = linear_mem(64);
+        let mut p = LaunchParams::new((2, 1), (32, 1));
+        p.set_int("n", 64);
+        engines_agree(&k, &p, &mem);
+    }
+
+    #[test]
+    fn division_by_zero_matches_interpreter() {
+        let mut k = double_kernel();
+        k.body = vec![Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::int(0),
+            value: (Expr::int(1) / Expr::int(0)).cast(ScalarType::F32),
+        }];
+        let mut mem = linear_mem(8);
+        let mut p = LaunchParams::new((1, 1), (1, 1));
+        p.set_int("n", 8);
+        assert_eq!(
+            execute(&k, &p, &mut mem).unwrap_err(),
+            SimError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn compiled_kernel_is_reusable_and_validates_geometry() {
+        let k = double_kernel();
+        let mut p = LaunchParams::new((2, 1), (32, 1));
+        p.set_int("n", 64);
+        let mut mem = linear_mem(64);
+        let ck = compile(&k, &p, &mem).unwrap();
+        ck.run(&mut mem).unwrap();
+        let first = mem.buffer("OUT").unwrap().data.clone();
+        let mut mem2 = linear_mem(64);
+        ck.run(&mut mem2).unwrap();
+        assert_eq!(first, mem2.buffer("OUT").unwrap().data);
+
+        let mut small = linear_mem(32);
+        assert!(matches!(
+            ck.run(&mut small).unwrap_err(),
+            SimError::EvalError(_)
+        ));
+    }
+}

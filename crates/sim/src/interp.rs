@@ -13,7 +13,7 @@
 //!   allocation) but *counted*, reproducing the paper's observation that
 //!   Undefined-handling kernels crash on some hardware: a launch reports
 //!   `oob_reads > 0` and the harness renders the cell as "crash".
-//! * Thread blocks run in parallel across host cores (crossbeam scoped
+//! * Thread blocks run in parallel across host cores (std scoped
 //!   threads); stores are buffered per block and applied deterministically
 //!   in block order, which is exact for kernels whose blocks write
 //!   disjoint locations (all kernels in this system).
@@ -29,7 +29,6 @@ use hipacc_ir::ty::{Const, ScalarType};
 use hipacc_ir::{BinOp, Builtin, Expr, LValue, Stmt, TexCoords};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Simulation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,68 +86,30 @@ pub struct ExecStats {
     pub oob_stores: u64,
 }
 
-#[derive(Default)]
-struct AtomicStats {
-    global_loads: AtomicU64,
-    global_stores: AtomicU64,
-    tex_fetches: AtomicU64,
-    const_loads: AtomicU64,
-    shared_loads: AtomicU64,
-    shared_stores: AtomicU64,
-    barriers: AtomicU64,
-    oob_reads: AtomicU64,
-    oob_stores: AtomicU64,
-}
-
-impl AtomicStats {
-    fn snapshot(&self) -> ExecStats {
-        ExecStats {
-            global_loads: self.global_loads.load(Ordering::Relaxed),
-            global_stores: self.global_stores.load(Ordering::Relaxed),
-            tex_fetches: self.tex_fetches.load(Ordering::Relaxed),
-            const_loads: self.const_loads.load(Ordering::Relaxed),
-            shared_loads: self.shared_loads.load(Ordering::Relaxed),
-            shared_stores: self.shared_stores.load(Ordering::Relaxed),
-            barriers: self.barriers.load(Ordering::Relaxed),
-            oob_reads: self.oob_reads.load(Ordering::Relaxed),
-            oob_stores: self.oob_stores.load(Ordering::Relaxed),
-        }
+impl ExecStats {
+    /// Accumulate another block's (or launch's) counters into this one.
+    ///
+    /// Counters are accumulated in plain per-block structs on the worker
+    /// threads and merged once per worker at join time — no atomics in
+    /// (or anywhere near) the per-thread hot loop.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.global_loads += other.global_loads;
+        self.global_stores += other.global_stores;
+        self.tex_fetches += other.tex_fetches;
+        self.const_loads += other.const_loads;
+        self.shared_loads += other.shared_loads;
+        self.shared_stores += other.shared_stores;
+        self.barriers += other.barriers;
+        self.oob_reads += other.oob_reads;
+        self.oob_stores += other.oob_stores;
     }
-
-    fn add(&self, s: &LocalStats) {
-        self.global_loads.fetch_add(s.global_loads, Ordering::Relaxed);
-        self.global_stores
-            .fetch_add(s.global_stores, Ordering::Relaxed);
-        self.tex_fetches.fetch_add(s.tex_fetches, Ordering::Relaxed);
-        self.const_loads.fetch_add(s.const_loads, Ordering::Relaxed);
-        self.shared_loads
-            .fetch_add(s.shared_loads, Ordering::Relaxed);
-        self.shared_stores
-            .fetch_add(s.shared_stores, Ordering::Relaxed);
-        self.barriers.fetch_add(s.barriers, Ordering::Relaxed);
-        self.oob_reads.fetch_add(s.oob_reads, Ordering::Relaxed);
-        self.oob_stores.fetch_add(s.oob_stores, Ordering::Relaxed);
-    }
-}
-
-#[derive(Clone, Copy, Default)]
-struct LocalStats {
-    global_loads: u64,
-    global_stores: u64,
-    tex_fetches: u64,
-    const_loads: u64,
-    shared_loads: u64,
-    shared_stores: u64,
-    barriers: u64,
-    oob_reads: u64,
-    oob_stores: u64,
 }
 
 /// A buffered global store.
-struct PendingStore {
-    buf: String,
-    idx: usize,
-    value: f32,
+pub(crate) struct PendingStore {
+    pub(crate) buf: String,
+    pub(crate) idx: usize,
+    pub(crate) value: f32,
 }
 
 enum Flow {
@@ -232,7 +193,7 @@ struct BlockCtx<'a> {
 struct BlockState {
     shared: HashMap<String, (Vec<f32>, u32 /* cols */)>,
     stores: Vec<PendingStore>,
-    stats: LocalStats,
+    stats: ExecStats,
 }
 
 struct Interp<'a> {
@@ -534,7 +495,7 @@ impl<'a> Interp<'a> {
 }
 
 /// Split the body into barrier-delimited phases (top level only).
-fn phases(body: &[Stmt]) -> Vec<&[Stmt]> {
+pub(crate) fn phases(body: &[Stmt]) -> Vec<&[Stmt]> {
     let mut out = Vec::new();
     let mut start = 0;
     for (i, s) in body.iter().enumerate() {
@@ -554,7 +515,7 @@ fn run_block(
     params: &LaunchParams,
     bx: u32,
     by: u32,
-) -> Result<(Vec<PendingStore>, LocalStats), SimError> {
+) -> Result<(Vec<PendingStore>, ExecStats), SimError> {
     let mut shared = HashMap::new();
     for sh in &kernel.shared {
         shared.insert(
@@ -573,7 +534,7 @@ fn run_block(
         block: BlockState {
             shared,
             stores: Vec::new(),
-            stats: LocalStats::default(),
+            stats: ExecStats::default(),
         },
     };
 
@@ -627,41 +588,37 @@ pub fn execute(
         .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
         .collect();
 
-    let stats = AtomicStats::default();
     let n_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(blocks.len().max(1));
 
     let mem_ro: &DeviceMemory = mem;
-    let mut all_stores: Vec<Result<Vec<PendingStore>, SimError>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    let mut results: Vec<Result<(Vec<PendingStore>, ExecStats), SimError>> = Vec::new();
+    std::thread::scope(|scope| {
         let chunk = blocks.len().div_ceil(n_workers);
         let mut handles = Vec::new();
         for worker_blocks in blocks.chunks(chunk.max(1)) {
-            let stats = &stats;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut stores = Vec::new();
+                let mut stats = ExecStats::default();
                 for &(bx, by) in worker_blocks {
-                    match run_block(kernel, mem_ro, params, bx, by) {
-                        Ok((mut s, local)) => {
-                            stats.add(&local);
-                            stores.append(&mut s);
-                        }
-                        Err(e) => return Err(e),
-                    }
+                    let (mut s, block_stats) = run_block(kernel, mem_ro, params, bx, by)?;
+                    stats.merge(&block_stats);
+                    stores.append(&mut s);
                 }
-                Ok(stores)
+                Ok((stores, stats))
             }));
         }
         for h in handles {
-            all_stores.push(h.join().expect("simulator worker panicked"));
+            results.push(h.join().expect("simulator worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
-    for result in all_stores {
-        let stores = result?;
+    let mut stats_total = ExecStats::default();
+    for result in results {
+        let (stores, worker_stats) = result?;
+        stats_total.merge(&worker_stats);
         for st in stores {
             let buf = mem
                 .buffer_mut(&st.buf)
@@ -670,7 +627,7 @@ pub fn execute(
         }
     }
 
-    Ok(stats.snapshot())
+    Ok(stats_total)
 }
 
 #[cfg(test)]

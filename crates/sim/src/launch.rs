@@ -4,9 +4,16 @@
 //! allocates device buffers from host images, binds textures with their
 //! address modes, uploads dynamic mask coefficients, fills the standard
 //! geometry scalars (`width`, `height`, `stride`, `is_width`,
-//! `is_height`), runs the interpreter and downloads the output.
+//! `is_height`), runs one of the execution engines and downloads the
+//! output.
+//!
+//! Launches go through the [`Engine::Bytecode`] register machine by
+//! default (compile once, run blocks on a flat tape — see
+//! [`crate::bytecode`]); [`Engine::TreeWalk`] keeps the original
+//! tree-walking interpreter available as the reference implementation.
+//! Both produce bit-identical outputs and statistics.
 
-use crate::interp::{execute, ExecStats, SimError};
+use crate::interp::{ExecStats, SimError};
 use crate::memory::{BufferGeometry, DeviceBuffer, DeviceMemory, LaunchParams};
 use hipacc_image::Image;
 use hipacc_ir::kernel::{BufferAccess, DeviceKernelDef};
@@ -38,7 +45,20 @@ pub struct LaunchResult {
     pub stats: ExecStats,
 }
 
-/// Run a device kernel over host images.
+/// Which execution engine runs the kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Compile to a register-machine tape once, then run blocks on it
+    /// (see [`crate::bytecode`]). The default.
+    #[default]
+    Bytecode,
+    /// Walk the IR tree directly per thread (see [`crate::interp`]).
+    /// Reference semantics; slower.
+    TreeWalk,
+}
+
+/// Run a device kernel over host images with the default engine
+/// ([`Engine::Bytecode`]).
 ///
 /// The first input image defines the output geometry. Buffers named in the
 /// kernel but missing from `inputs`/`mask_data` produce
@@ -46,6 +66,15 @@ pub struct LaunchResult {
 pub fn run_on_image(
     kernel: &DeviceKernelDef,
     spec: &LaunchSpec<'_>,
+) -> Result<LaunchResult, SimError> {
+    run_on_image_with(kernel, spec, Engine::default())
+}
+
+/// Run a device kernel over host images on an explicitly chosen engine.
+pub fn run_on_image_with(
+    kernel: &DeviceKernelDef,
+    spec: &LaunchSpec<'_>,
+    engine: Engine,
 ) -> Result<LaunchResult, SimError> {
     let reference = spec
         .inputs
@@ -113,7 +142,10 @@ pub fn run_on_image(
             .or_insert(Const::Int(v));
     }
 
-    let stats = execute(kernel, &params, &mut mem)?;
+    let stats = match engine {
+        Engine::Bytecode => crate::bytecode::execute(kernel, &params, &mut mem)?,
+        Engine::TreeWalk => crate::interp::execute(kernel, &params, &mut mem)?,
+    };
     let output = mem
         .buffer("OUT")
         .ok_or_else(|| SimError::UnboundBuffer("OUT".into()))?
@@ -221,6 +253,24 @@ mod tests {
         }
         assert_eq!(res.stats.oob_reads, 0);
         assert_eq!(res.stats.global_stores, 100 * 37);
+    }
+
+    #[test]
+    fn engines_agree_through_the_launch_path() {
+        let img = Image::from_fn(100, 37, |x, y| (x * y) as f32);
+        let mut inputs = HashMap::new();
+        inputs.insert("IN".to_string(), &img);
+        let spec = LaunchSpec {
+            grid: (100u32.div_ceil(32), 37),
+            block: (32, 1),
+            inputs,
+            ..Default::default()
+        };
+        let k = add_one_kernel();
+        let bc = run_on_image_with(&k, &spec, Engine::Bytecode).unwrap();
+        let tw = run_on_image_with(&k, &spec, Engine::TreeWalk).unwrap();
+        assert_eq!(bc.stats, tw.stats);
+        assert_eq!(bc.output.max_abs_diff(&tw.output), 0.0);
     }
 
     #[test]

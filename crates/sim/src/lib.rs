@@ -3,7 +3,7 @@
 //! The GPU substrate of the reproduction: a software model of the graphics
 //! cards the paper evaluates on.
 //!
-//! Two cooperating halves:
+//! Three cooperating parts:
 //!
 //! * [`interp`] — a **functional SIMT interpreter** that executes
 //!   device-level kernel IR over a grid of thread blocks, with shared
@@ -11,7 +11,17 @@
 //!   hardware address modes, constant memory and per-launch statistics
 //!   (including out-of-bounds reads, which reproduce the paper's "crash"
 //!   table entries for *Undefined* handling). Output images are checked
-//!   against the CPU references in `hipacc-image`.
+//!   against the CPU references in `hipacc-image`. This is the reference
+//!   engine: a direct tree walk over the IR, easy to audit.
+//!
+//! * [`bytecode`] — the **default execution engine**: the same kernel IR
+//!   lowered once per launch into a flat register-machine program
+//!   (variables become dense register slots, buffer references become
+//!   binding-table indices, launch constants are folded, block-uniform
+//!   subexpressions are hoisted into a once-per-block prologue, and
+//!   interior blocks skip address-mode handling). Semantics — outputs *and*
+//!   [`ExecStats`] — are bit-identical to [`interp`] by construction and
+//!   by differential test.
 //!
 //! * [`timing`] — an **analytical timing model** in the spirit of
 //!   first-order GPU performance models: per-region operation counts (with
@@ -33,12 +43,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod banks;
+pub mod bytecode;
 pub mod interp;
 pub mod launch;
 pub mod memory;
 pub mod timing;
 
+pub use bytecode::{compile, execute as execute_bytecode, CompiledKernel};
 pub use interp::{execute, ExecStats, SimError};
-pub use launch::{run_on_image, LaunchResult};
+pub use launch::{run_on_image, run_on_image_with, Engine, LaunchResult};
 pub use memory::{DeviceMemory, LaunchParams};
 pub use timing::{estimate_time, TimeBreakdown, TimingInput};

@@ -30,6 +30,14 @@
 //! * **AMD scalar penalty** — scalar code fills one VLIW lane.
 //! * **Occupancy effects (Figure 4)** — low-occupancy configurations
 //!   cannot hide memory latency and stretch compute time.
+//!
+//! The model is *static*: it never executes the kernel, so it is
+//! independent of which functional engine ([`crate::interp`] or
+//! [`crate::bytecode`]) ran the launch. The same interior/border
+//! distinction it prices through per-region block counts is what the
+//! bytecode engine exploits dynamically: interior blocks skip the
+//! address-mode dispatch entirely, mirroring the paper's observation that
+//! border handling only touches the outermost ring of blocks.
 
 use hipacc_hwmodel::{DeviceModel, LaunchConfig};
 use hipacc_ir::metrics::OpCounts;

@@ -1,116 +1,144 @@
-//! Property-based tests (proptest) on the core invariants of the system.
+//! Property-style randomized tests on the core invariants of the system.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these use a small hand-rolled case driver: each test runs a few hundred
+//! cases drawn from a seeded PCG32 (`hipacc_image::rng::Pcg32`), so every
+//! failure is reproducible from the printed case seed.
 
 use hipacc_codegen::regions::RegionGrid;
 use hipacc_hwmodel::{occupancy, KernelResources, LaunchConfig};
 use hipacc_image::boundary::{clamp_index, mirror_index, repeat_index};
+use hipacc_image::rng::Pcg32;
 use hipacc_image::{phantom, reference, BoundaryMode, Image};
 use hipacc_ir::fold::{eval_const, fold_expr};
 use hipacc_ir::metrics::{count_ops, count_ops_licm, CountConfig};
 use hipacc_ir::{Expr, MathFn, Stmt};
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// Run `n` randomized cases. Each case gets a fresh RNG derived from the
+/// case index, so a failing assertion pinpoints the case via `seed` in its
+/// message and can be replayed in isolation.
+fn cases(n: u64, mut f: impl FnMut(u64, &mut Pcg32)) {
+    for i in 0..n {
+        let seed = 0x5EED_0000 + i;
+        let mut rng = Pcg32::seed_from_u64(seed);
+        f(seed, &mut rng);
+    }
+}
 
 // ---------------------------------------------------------------------
 // Boundary index maps (Table I / Figure 2 semantics).
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Every index map lands inside the image and is idempotent.
-    #[test]
-    fn index_maps_are_inbounds_and_idempotent(i in -10_000i32..10_000, n in 1u32..4096) {
+#[test]
+fn index_maps_are_inbounds_and_idempotent() {
+    cases(500, |seed, rng| {
+        let i = rng.gen_range_i64(-10_000, 10_000) as i32;
+        let n = rng.gen_range_i64(1, 4096) as u32;
         for f in [clamp_index, repeat_index, mirror_index] {
             let m = f(i, n);
-            prop_assert!((0..n as i32).contains(&m), "map({i}, {n}) = {m}");
-            prop_assert_eq!(f(m, n), m, "not idempotent at {}", i);
+            assert!((0..n as i32).contains(&m), "map({i}, {n}) = {m} [seed {seed:#x}]");
+            assert_eq!(f(m, n), m, "not idempotent at {i} [seed {seed:#x}]");
         }
-    }
+    });
+}
 
-    /// In-bounds coordinates are fixed points of every map.
-    #[test]
-    fn inbounds_are_fixed_points(n in 1u32..2048, k in 0u32..2048) {
-        let i = (k % n) as i32;
-        prop_assert_eq!(clamp_index(i, n), i);
-        prop_assert_eq!(repeat_index(i, n), i);
-        prop_assert_eq!(mirror_index(i, n), i);
-    }
+#[test]
+fn inbounds_are_fixed_points() {
+    cases(500, |_, rng| {
+        let n = rng.gen_range_i64(1, 2048) as u32;
+        let i = (rng.gen_range_i64(0, 2048) % n as i64) as i32;
+        assert_eq!(clamp_index(i, n), i);
+        assert_eq!(repeat_index(i, n), i);
+        assert_eq!(mirror_index(i, n), i);
+    });
+}
 
-    /// Mirror is an involution across the border for one period: the
-    /// reflection of the reflection of an out-of-range point maps back to
-    /// the same in-range pixel.
-    #[test]
-    fn mirror_reflection_symmetry(d in 1i32..100, n in 100u32..500) {
+#[test]
+fn mirror_reflection_symmetry() {
+    cases(300, |_, rng| {
+        let d = rng.gen_range_i64(1, 99) as i32;
+        let n = rng.gen_range_i64(100, 499) as u32;
         // Point d-1 pixels outside the left border mirrors to d-1 inside.
-        prop_assert_eq!(mirror_index(-d, n), d - 1);
+        assert_eq!(mirror_index(-d, n), d - 1);
         // And symmetrically on the right.
-        prop_assert_eq!(mirror_index(n as i32 - 1 + d, n), n as i32 - d);
-    }
+        assert_eq!(mirror_index(n as i32 - 1 + d, n), n as i32 - d);
+    });
+}
 
-    /// Repeat is periodic with period n.
-    #[test]
-    fn repeat_is_periodic(i in -5_000i32..5_000, n in 1u32..1000) {
-        prop_assert_eq!(repeat_index(i, n), repeat_index(i + n as i32, n));
-    }
+#[test]
+fn repeat_is_periodic() {
+    cases(500, |_, rng| {
+        let i = rng.gen_range_i64(-5_000, 5_000) as i32;
+        let n = rng.gen_range_i64(1, 999) as u32;
+        assert_eq!(repeat_index(i, n), repeat_index(i + n as i32, n));
+    });
 }
 
 // ---------------------------------------------------------------------
 // Constant folding.
 // ---------------------------------------------------------------------
 
-/// A generator of small pure integer expressions.
-fn int_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(Expr::int),
-        Just(Expr::var("a")),
-        Just(Expr::var("b")),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x + y),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x - y),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x * y),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Expr::call2(MathFn::Min, x, y)),
-            (inner.clone(), inner).prop_map(|(x, y)| Expr::call2(MathFn::Max, x, y)),
-        ]
-    })
+/// A random small pure integer expression over variables `a` and `b`.
+fn gen_int_expr(rng: &mut Pcg32, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_below(3) == 0 {
+        match rng.gen_below(3) {
+            0 => Expr::int(rng.gen_range_i64(-50, 49)),
+            1 => Expr::var("a"),
+            _ => Expr::var("b"),
+        }
+    } else {
+        let x = gen_int_expr(rng, depth - 1);
+        let y = gen_int_expr(rng, depth - 1);
+        match rng.gen_below(5) {
+            0 => x + y,
+            1 => x - y,
+            2 => x * y,
+            3 => Expr::call2(MathFn::Min, x, y),
+            _ => Expr::call2(MathFn::Max, x, y),
+        }
+    }
 }
 
-proptest! {
-    /// Folding preserves the value of every expression under any binding.
-    #[test]
-    fn folding_preserves_value(e in int_expr(), a in -100i64..100, b in -100i64..100) {
-        let mut env = HashMap::new();
-        env.insert("a".to_string(), hipacc_ir::Const::Int(a));
-        env.insert("b".to_string(), hipacc_ir::Const::Int(b));
+fn int_env(a: i64, b: i64) -> HashMap<String, hipacc_ir::Const> {
+    let mut env = HashMap::new();
+    env.insert("a".to_string(), hipacc_ir::Const::Int(a));
+    env.insert("b".to_string(), hipacc_ir::Const::Int(b));
+    env
+}
+
+#[test]
+fn folding_preserves_value() {
+    cases(400, |seed, rng| {
+        let e = gen_int_expr(rng, 4);
+        let env = int_env(rng.gen_range_i64(-100, 100), rng.gen_range_i64(-100, 100));
         let before = eval_const(&e, &env);
         let folded = fold_expr(e, &env);
         let after = eval_const(&folded, &env);
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after, "[seed {seed:#x}]");
+    });
+}
 
-    /// Folding with an empty environment never changes the value either.
-    #[test]
-    fn partial_folding_is_sound(e in int_expr(), a in -100i64..100, b in -100i64..100) {
-        let mut env = HashMap::new();
-        env.insert("a".to_string(), hipacc_ir::Const::Int(a));
-        env.insert("b".to_string(), hipacc_ir::Const::Int(b));
+#[test]
+fn partial_folding_is_sound() {
+    cases(400, |seed, rng| {
+        let e = gen_int_expr(rng, 4);
+        let env = int_env(rng.gen_range_i64(-100, 100), rng.gen_range_i64(-100, 100));
         let before = eval_const(&e, &env);
         // Fold knowing nothing, then evaluate with the full environment.
         let folded = fold_expr(e, &HashMap::new());
         let after = eval_const(&folded, &env);
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after, "[seed {seed:#x}]");
+    });
 }
 
 // ---------------------------------------------------------------------
 // Operation counting.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// The LICM/CSE-aware count never exceeds the naive count in any
-    /// category a backend compiler cannot increase.
-    #[test]
-    fn licm_counts_are_bounded_by_naive(half in 1i64..6) {
+#[test]
+fn licm_counts_are_bounded_by_naive() {
+    for half in 1i64..6 {
         let load = Expr::GlobalLoad {
             buf: "IN".into(),
             idx: Box::new(Expr::var("gid") + Expr::var("x")),
@@ -132,9 +160,9 @@ proptest! {
         let cfg = CountConfig::default();
         let naive = count_ops(&stmts, &cfg, &HashMap::new());
         let licm = count_ops_licm(&stmts, &cfg, &HashMap::new());
-        prop_assert!(licm.global_loads <= naive.global_loads);
-        prop_assert!(licm.sfu <= naive.sfu);
-        prop_assert!(licm.alu <= naive.alu + 1e-9);
+        assert!(licm.global_loads <= naive.global_loads);
+        assert!(licm.sfu <= naive.sfu);
+        assert!(licm.alu <= naive.alu + 1e-9);
     }
 }
 
@@ -142,20 +170,16 @@ proptest! {
 // Occupancy.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Occupancy is within (0, 1] and monotonically non-increasing in
-    /// register pressure and shared-memory use.
-    #[test]
-    fn occupancy_bounds_and_monotonicity(
-        regs in 8u32..60,
-        smem in 0u32..40_000,
-        bx_pow in 5u32..9,
-        by in 1u32..4,
-    ) {
+#[test]
+fn occupancy_bounds_and_monotonicity() {
+    cases(400, |seed, rng| {
+        let regs = rng.gen_range_i64(8, 59) as u32;
+        let smem = rng.gen_range_i64(0, 39_999) as u32;
+        let bx = 1u32 << rng.gen_range_i64(5, 8) as u32;
+        let by = rng.gen_range_i64(1, 3) as u32;
         let dev = hipacc_hwmodel::device::tesla_c2050();
-        let bx = 1u32 << bx_pow;
         if bx * by > dev.max_threads_per_block {
-            return Ok(());
+            return;
         }
         let res = KernelResources {
             registers_per_thread: regs,
@@ -163,14 +187,14 @@ proptest! {
             instruction_estimate: 0,
         };
         if let Some(o) = occupancy(&dev, &res, bx, by) {
-            prop_assert!(o.occupancy > 0.0 && o.occupancy <= 1.0);
+            assert!(o.occupancy > 0.0 && o.occupancy <= 1.0, "[seed {seed:#x}]");
             // More registers can only lower (or keep) occupancy.
             let res2 = KernelResources {
                 registers_per_thread: regs + 4,
                 ..res
             };
             if let Some(o2) = occupancy(&dev, &res2, bx, by) {
-                prop_assert!(o2.occupancy <= o.occupancy + 1e-12);
+                assert!(o2.occupancy <= o.occupancy + 1e-12, "[seed {seed:#x}]");
             }
             // More shared memory likewise.
             let res3 = KernelResources {
@@ -178,36 +202,34 @@ proptest! {
                 ..res
             };
             if let Some(o3) = occupancy(&dev, &res3, bx, by) {
-                prop_assert!(o3.occupancy <= o.occupancy + 1e-12);
+                assert!(o3.occupancy <= o.occupancy + 1e-12, "[seed {seed:#x}]");
             }
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Region partition.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// The nine regions partition every grid: block counts are total and
-    /// the interior never handles boundaries.
-    #[test]
-    fn region_partition_is_total(
-        w in 16u32..700,
-        h in 16u32..700,
-        halo in 0u32..8,
-        bx_pow in 5u32..8,
-        by in 1u32..8,
-    ) {
-        let cfg = LaunchConfig { bx: 1 << bx_pow, by };
+#[test]
+fn region_partition_is_total() {
+    cases(400, |seed, rng| {
+        let w = rng.gen_range_i64(16, 700) as u32;
+        let h = rng.gen_range_i64(16, 700) as u32;
+        let halo = rng.gen_range_i64(0, 7) as u32;
+        let cfg = LaunchConfig {
+            bx: 1 << rng.gen_range_i64(5, 7),
+            by: rng.gen_range_i64(1, 7) as u32,
+        };
         let grid = RegionGrid::compute(w, h, halo, halo, cfg);
         let counts = grid.block_counts();
         let total: u64 = counts.iter().map(|(_, c)| c).sum();
-        prop_assert_eq!(total, grid.total_blocks());
+        assert_eq!(total, grid.total_blocks(), "[seed {seed:#x}]");
         // Threshold sanity.
-        prop_assert!(grid.left_blocks + grid.right_blocks <= grid.grid_x);
-        prop_assert!(grid.top_blocks + grid.bottom_blocks <= grid.grid_y);
-    }
+        assert!(grid.left_blocks + grid.right_blocks <= grid.grid_x, "[seed {seed:#x}]");
+        assert!(grid.top_blocks + grid.bottom_blocks <= grid.grid_y, "[seed {seed:#x}]");
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -215,30 +237,18 @@ proptest! {
 // reference through the whole compile + simulate pipeline.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    #[test]
-    fn random_convolutions_match_reference(
-        seed in 0u64..1000,
-        hw in 0u32..3,
-        hh in 0u32..3,
-        mode_ix in 0usize..4,
-    ) {
-        let w = 2 * hw + 1;
-        let h = 2 * hh + 1;
+#[test]
+fn random_convolutions_match_reference() {
+    cases(8, |seed, rng| {
+        let w = 2 * rng.gen_below(3) + 1;
+        let h = 2 * rng.gen_below(3) + 1;
         let mode = [
             BoundaryMode::Clamp,
             BoundaryMode::Repeat,
             BoundaryMode::Mirror,
             BoundaryMode::Constant(0.25),
-        ][mode_ix];
-        // Random but reproducible coefficients.
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
-        };
-        let coeffs: Vec<f32> = (0..w * h).map(|_| next()).collect();
+        ][rng.gen_below(4) as usize];
+        let coeffs: Vec<f32> = (0..w * h).map(|_| rng.gen_range_f32(-1.0, 1.0)).collect();
 
         let mut img = phantom::gradient(24, 20);
         phantom::add_gaussian_noise(&mut img, 0.2, seed);
@@ -259,44 +269,45 @@ proptest! {
         let target = hipacc_core::Target::cuda(hipacc_hwmodel::device::tesla_c2050());
         let result = op.execute(&[("Input", &img)], &target).unwrap();
 
-        let expected = reference::convolve2d(
-            &img,
-            &reference::MaskCoeffs::new(w, h, coeffs),
-            mode,
-        );
-        prop_assert!(
+        let expected =
+            reference::convolve2d(&img, &reference::MaskCoeffs::new(w, h, coeffs), mode);
+        assert!(
             result.output.max_abs_diff(&expected) < 1e-3,
-            "diff {}",
+            "diff {} [seed {seed:#x}]",
             result.output.max_abs_diff(&expected)
         );
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Image container.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Host round-trips are lossless for any geometry.
-    #[test]
-    fn host_roundtrip_lossless(w in 1u32..200, h in 1u32..50) {
+#[test]
+fn host_roundtrip_lossless() {
+    cases(100, |_, rng| {
+        let w = rng.gen_range_i64(1, 199) as u32;
+        let h = rng.gen_range_i64(1, 49) as u32;
         let data: Vec<f32> = (0..w * h).map(|i| i as f32 * 0.5).collect();
         let img = Image::from_vec(w, h, data.clone());
-        prop_assert_eq!(img.to_host_vec(), data);
-    }
+        assert_eq!(img.to_host_vec(), data);
+    });
+}
 
-    /// The boundary view agrees with direct access inside the image.
-    #[test]
-    fn boundary_view_transparent_inside(w in 2u32..60, h in 2u32..60, seed in 0u64..50) {
+#[test]
+fn boundary_view_transparent_inside() {
+    cases(100, |seed, rng| {
+        let w = rng.gen_range_i64(2, 59) as u32;
+        let h = rng.gen_range_i64(2, 59) as u32;
         let mut img = phantom::gradient(w, h);
         phantom::add_gaussian_noise(&mut img, 0.5, seed);
+        let x = rng.gen_below(w) as i32;
+        let y = rng.gen_below(h) as i32;
         for mode in BoundaryMode::all() {
             let v = hipacc_image::BoundaryView::new(&img, mode);
-            let x = (seed % w as u64) as i32;
-            let y = (seed % h as u64) as i32;
-            prop_assert_eq!(v.get(x, y), img.get(x, y));
+            assert_eq!(v.get(x, y), img.get(x, y), "[seed {seed:#x}]");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -304,26 +315,22 @@ proptest! {
 // system (the simulator's and the folder's) must agree on pure math.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn interpreter_agrees_with_const_evaluator(
-        e in int_expr(),
-        a in -100i64..100,
-        b in -100i64..100,
-    ) {
-        use hipacc_ir::kernel::{
-            AddressMode, BufferAccess, BufferParam, DeviceKernelDef, MemorySpace, ParamDecl,
-        };
-        use hipacc_ir::{ScalarType, Stmt};
-        use hipacc_sim::memory::{BufferGeometry, DeviceBuffer, DeviceMemory, LaunchParams};
+#[test]
+fn interpreter_agrees_with_const_evaluator() {
+    use hipacc_ir::kernel::{
+        AddressMode, BufferAccess, BufferParam, DeviceKernelDef, MemorySpace, ParamDecl,
+    };
+    use hipacc_ir::ScalarType;
+    use hipacc_sim::memory::{BufferGeometry, DeviceBuffer, DeviceMemory, LaunchParams};
 
-        let mut env = HashMap::new();
-        env.insert("a".to_string(), hipacc_ir::Const::Int(a));
-        env.insert("b".to_string(), hipacc_ir::Const::Int(b));
+    cases(150, |seed, rng| {
+        let e = gen_int_expr(rng, 4);
+        let a = rng.gen_range_i64(-100, 100);
+        let b = rng.gen_range_i64(-100, 100);
+        let env = int_env(a, b);
         let Some(expected) = eval_const(&e, &env) else {
             // Overflow or division by zero: the folder refuses; skip.
-            return Ok(());
+            return;
         };
 
         let kernel = DeviceKernelDef {
@@ -344,7 +351,7 @@ proptest! {
             body: vec![Stmt::GlobalStore {
                 buf: "OUT".into(),
                 idx: Expr::int(0),
-                value: e.cast(hipacc_ir::ScalarType::F32),
+                value: e.cast(ScalarType::F32),
             }],
         };
         let mut mem = DeviceMemory::new();
@@ -357,16 +364,211 @@ proptest! {
         match hipacc_sim::execute(&kernel, &params, &mut mem) {
             Ok(_) => {
                 let got = mem.buffer("OUT").unwrap().data[0];
-                prop_assert!(
+                assert!(
                     (got - expected.as_f32()).abs() < 1e-3,
-                    "interp {got} vs folder {}",
+                    "interp {got} vs folder {} [seed {seed:#x}]",
                     expected.as_f32()
                 );
             }
             // The interpreter may reject what the folder also refuses
             // (e.g. division by zero) — but if the folder produced a
             // value, the interpreter must too.
-            Err(err) => prop_assert!(false, "interpreter failed: {err}"),
+            Err(err) => panic!("interpreter failed: {err} [seed {seed:#x}]"),
         }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Execution-engine equivalence: for randomly generated small kernels the
+// bytecode engine and the tree-walking interpreter must produce identical
+// outputs and identical dynamic statistics (including `oob_reads`).
+// ---------------------------------------------------------------------
+
+mod engines {
+    use super::*;
+    use hipacc_ir::kernel::{
+        AddressMode, BufferAccess, BufferParam, DeviceKernelDef, MemorySpace, ParamDecl,
+    };
+    use hipacc_ir::{Builtin, LValue, ScalarType};
+    use hipacc_sim::memory::{BufferGeometry, DeviceBuffer, DeviceMemory, LaunchParams};
+
+    /// A random value expression over the named locals, input loads with
+    /// random (sometimes out-of-bounds) offsets, lazy `Select`/`&&`/`||`
+    /// and math calls — the operator mix the engines must agree on
+    /// operation-for-operation, not just value-for-value.
+    fn gen_val_expr(rng: &mut Pcg32, depth: u32, vars: &[&str]) -> Expr {
+        if depth == 0 || rng.gen_below(4) == 0 {
+            return match rng.gen_below(4) {
+                0 => Expr::float(rng.gen_range_f32(-2.0, 2.0)),
+                1 => Expr::int(rng.gen_range_i64(-3, 3)),
+                2 => Expr::var(vars[rng.gen_below(vars.len() as u32) as usize]),
+                _ => {
+                    // Offsets occasionally jump far out of bounds so both
+                    // engines exercise (and must agree on) OOB clamping.
+                    let far = if rng.gen_below(8) == 0 { 1000 } else { 1 };
+                    Expr::GlobalLoad {
+                        buf: "IN".into(),
+                        idx: Box::new(
+                            Expr::var("gid") + Expr::int(rng.gen_range_i64(-4, 4) * far),
+                        ),
+                    }
+                }
+            };
+        }
+        let x = gen_val_expr(rng, depth - 1, vars);
+        let y = gen_val_expr(rng, depth - 1, vars);
+        match rng.gen_below(8) {
+            0 => x + y,
+            1 => x - y,
+            2 => x * y,
+            3 => Expr::min(x, y),
+            4 => Expr::max(x, y),
+            5 => {
+                let z = gen_val_expr(rng, depth - 1, vars);
+                Expr::select(x.lt(y), z, Expr::float(0.5))
+            }
+            6 => Expr::select(
+                x.clone().lt(Expr::float(0.0)).and(y.clone().gt(Expr::float(-1.0))),
+                x,
+                y,
+            ),
+            _ => Expr::select(
+                x.clone().ge(Expr::float(1.0)).or(y.clone().le(Expr::float(0.0))),
+                y,
+                x,
+            ),
+        }
+    }
+
+    /// A random one-dimensional kernel: thread id, an optional extra
+    /// local, an optional accumulation loop, and a guarded store.
+    fn gen_kernel(rng: &mut Pcg32) -> DeviceKernelDef {
+        let mut vars: Vec<&str> = vec!["gid"];
+        let mut body = vec![Stmt::Decl {
+            name: "gid".into(),
+            ty: ScalarType::I32,
+            init: Some(
+                Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+                    + Expr::Builtin(Builtin::ThreadIdxX),
+            ),
+        }];
+        if rng.gen_below(2) == 0 {
+            let init = gen_val_expr(rng, 2, &vars);
+            body.push(Stmt::Decl {
+                name: "t".into(),
+                ty: ScalarType::F32,
+                init: Some(init),
+            });
+            vars.push("t");
+        }
+        if rng.gen_below(2) == 0 {
+            body.push(Stmt::Decl {
+                name: "acc".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::float(0.0)),
+            });
+            let taps = rng.gen_range_i64(0, 3);
+            body.push(Stmt::For {
+                var: "i".into(),
+                from: Expr::int(-taps),
+                to: Expr::int(taps),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("acc".into()),
+                    value: Expr::var("acc")
+                        + Expr::GlobalLoad {
+                            buf: "IN".into(),
+                            idx: Box::new(Expr::var("gid") + Expr::var("i")),
+                        },
+                }],
+            });
+            vars.push("acc");
+        }
+        let value = gen_val_expr(rng, 3, &vars);
+        if rng.gen_below(3) == 0 {
+            body.push(Stmt::If {
+                cond: Expr::var("gid").rem(Expr::int(3)).eq_(Expr::int(0)),
+                then: vec![Stmt::Return],
+                els: vec![],
+            });
+        }
+        body.push(Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::var("gid") + Expr::int(rng.gen_range_i64(-2, 2)),
+            value,
+        });
+        DeviceKernelDef {
+            name: "randkern".into(),
+            buffers: vec![
+                BufferParam {
+                    name: "IN".into(),
+                    ty: ScalarType::F32,
+                    access: BufferAccess::ReadOnly,
+                    space: MemorySpace::Global,
+                    address_mode: AddressMode::None,
+                },
+                BufferParam {
+                    name: "OUT".into(),
+                    ty: ScalarType::F32,
+                    access: BufferAccess::WriteOnly,
+                    space: MemorySpace::Global,
+                    address_mode: AddressMode::None,
+                },
+            ],
+            scalars: vec![ParamDecl {
+                name: "bias".into(),
+                ty: ScalarType::F32,
+            }],
+            const_buffers: vec![],
+            shared: vec![],
+            body,
+        }
+    }
+
+    #[test]
+    fn random_kernels_agree_between_engines() {
+        cases(60, |seed, rng| {
+            let k = gen_kernel(rng);
+            let n = 48usize;
+            let geom = BufferGeometry {
+                width: n as u32,
+                height: 1,
+                stride: n as u32,
+            };
+            let mut mem = DeviceMemory::new();
+            let mut inp = DeviceBuffer::new(geom);
+            for v in inp.data.iter_mut() {
+                *v = rng.gen_range_f32(-3.0, 3.0);
+            }
+            mem.bind("IN", inp);
+            mem.bind("OUT", DeviceBuffer::new(geom));
+            let mut params = LaunchParams::new((2, 1), (32, 1));
+            params.set_float("bias", rng.gen_range_f32(-1.0, 1.0));
+
+            let mut mem_tree = mem.clone();
+            let mut mem_bc = mem;
+            let r_tree = hipacc_sim::execute(&k, &params, &mut mem_tree);
+            let r_bc = hipacc_sim::execute_bytecode(&k, &params, &mut mem_bc);
+            match (r_tree, r_bc) {
+                (Ok(stats_tree), Ok(stats_bc)) => {
+                    assert_eq!(stats_tree, stats_bc, "ExecStats diverge [seed {seed:#x}]");
+                    for name in ["IN", "OUT"] {
+                        let a = &mem_tree.buffer(name).unwrap().data;
+                        let b = &mem_bc.buffer(name).unwrap().data;
+                        let same = a.len() == b.len()
+                            && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+                        assert!(same, "buffer `{name}` diverges [seed {seed:#x}]");
+                    }
+                }
+                (r_tree, r_bc) => {
+                    // If one engine rejects the kernel, both must, with
+                    // the same error.
+                    assert_eq!(
+                        r_tree.map(|_| ()),
+                        r_bc.map(|_| ()),
+                        "engines disagree on failure [seed {seed:#x}]"
+                    );
+                }
+            }
+        });
     }
 }
