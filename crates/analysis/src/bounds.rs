@@ -1,0 +1,1107 @@
+//! Bounds analysis: interval arithmetic proving every memory access of a
+//! device kernel in range.
+//!
+//! For each boundary-region seed (a rectangle of block indices — the nine
+//! specialized regions of the paper's boundary handling, Section IV-B),
+//! the pass evaluates the kernel body over integer intervals:
+//!
+//! * `threadIdx.x/y` range over `[0, blockDim-1]`, `blockIdx.x/y` over the
+//!   seed rectangle, and the geometry scalars (`width`, `is_offset_x`, …)
+//!   are points supplied by the compiler.
+//! * Branch conditions are *refined* into the taken branch: after
+//!   `if (gid_x >= is_offset_x + is_width) return;` the fall-through path
+//!   knows `gid_x < is_offset_x + is_width`. Refinement applies to
+//!   variables, builtins, and — via an override list keyed on structural
+//!   expression equality — arbitrary index expressions (the unrolled
+//!   staging guards compare the same `tid + step*bs` expression that later
+//!   indexes the tile).
+//! * `min`/`max` chains (clamping), `Select` chains (mirror/repeat and
+//!   constant-mode in-bounds tests, evaluated with per-branch refinement)
+//!   and loops (loop variable spans `[from.lo, to.hi]`; variables assigned
+//!   in the body widen to top) are all interpreted conservatively.
+//!
+//! Every `GlobalLoad`/`GlobalStore`/`TexFetch` index not provably inside
+//! the buffer raises [A0301] (a warning when the access sits on a buffer
+//! whose boundary mode is `Undefined` — the paper's intentional "crash"
+//! cells — and an error otherwise), shared-memory accesses outside the
+//! declared tile raise [A0302], and constant-memory accesses outside the
+//! mask raise [A0303].
+//!
+//! [A0301]: crate::diag#diagnostic-code-space
+//! [A0302]: crate::diag#diagnostic-code-space
+//! [A0303]: crate::diag#diagnostic-code-space
+
+use crate::diag::Diagnostic;
+use crate::{RegionSeed, VerifyInput};
+use hipacc_ir::{Builtin, Expr, MathFn, Stmt, TexCoords, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// Absolute magnitude cap: intervals are clamped to `[-BOUND, BOUND]`, so
+/// arithmetic never overflows and "unknown" is representable.
+const BOUND: i64 = 1 << 40;
+
+/// A (possibly empty) inclusive integer interval.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Ival {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound (`hi < lo` means the empty interval).
+    pub hi: i64,
+}
+
+fn sat(v: i128) -> i64 {
+    v.clamp(-(BOUND as i128), BOUND as i128) as i64
+}
+
+// The arithmetic methods intentionally shadow the `std::ops` names:
+// interval arithmetic is partial (empty intervals, widening to top), so
+// operator sugar would suggest a precision these transfer functions do
+// not have.
+#[allow(clippy::should_implement_trait)]
+impl Ival {
+    /// Interval `[lo, hi]`, clamped to the representable range.
+    pub fn new(lo: i64, hi: i64) -> Ival {
+        Ival {
+            lo: lo.clamp(-BOUND, BOUND),
+            hi: hi.clamp(-BOUND, BOUND),
+        }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i64) -> Ival {
+        Ival::new(v, v)
+    }
+
+    /// The unknown-value interval `[-BOUND, BOUND]`.
+    pub fn top() -> Ival {
+        Ival {
+            lo: -BOUND,
+            hi: BOUND,
+        }
+    }
+
+    /// The empty interval (unreachable value).
+    pub fn empty() -> Ival {
+        Ival { lo: 1, hi: 0 }
+    }
+
+    /// Whether no value is contained.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether every contained value lies within `[lo, hi]`.
+    pub fn within(self, lo: i64, hi: i64) -> bool {
+        self.is_empty() || (self.lo >= lo && self.hi <= hi)
+    }
+
+    fn lift2(self, rhs: Ival, f: impl Fn(i128, i128) -> i128) -> Ival {
+        if self.is_empty() || rhs.is_empty() {
+            return Ival::empty();
+        }
+        let c = [
+            f(self.lo as i128, rhs.lo as i128),
+            f(self.lo as i128, rhs.hi as i128),
+            f(self.hi as i128, rhs.lo as i128),
+            f(self.hi as i128, rhs.hi as i128),
+        ];
+        Ival {
+            lo: sat(*c.iter().min().unwrap()),
+            hi: sat(*c.iter().max().unwrap()),
+        }
+    }
+
+    /// Interval addition.
+    pub fn add(self, rhs: Ival) -> Ival {
+        self.lift2(rhs, |a, b| a + b)
+    }
+
+    /// Interval subtraction.
+    pub fn sub(self, rhs: Ival) -> Ival {
+        self.lift2(rhs, |a, b| a - b)
+    }
+
+    /// Interval multiplication.
+    pub fn mul(self, rhs: Ival) -> Ival {
+        self.lift2(rhs, |a, b| a * b)
+    }
+
+    /// Interval negation.
+    pub fn neg(self) -> Ival {
+        if self.is_empty() {
+            return self;
+        }
+        Ival::new(-self.hi, -self.lo)
+    }
+
+    /// Truncated (C) division. Sound only bounds are produced when the
+    /// divisor may be zero or change sign: the result widens to top.
+    pub fn div(self, rhs: Ival) -> Ival {
+        if self.is_empty() || rhs.is_empty() {
+            return Ival::empty();
+        }
+        if rhs.lo > 0 || rhs.hi < 0 {
+            // Truncated division is monotone in the dividend for a
+            // fixed-sign divisor; the four corners bound the result.
+            self.lift2(rhs, |a, b| a / b)
+        } else {
+            Ival::top()
+        }
+    }
+
+    /// Truncated (C) remainder: for a constant positive divisor `r` the
+    /// result lies in `[-(r-1), r-1]`, tightened by the dividend's sign.
+    pub fn rem(self, rhs: Ival) -> Ival {
+        if self.is_empty() || rhs.is_empty() {
+            return Ival::empty();
+        }
+        if rhs.lo == rhs.hi && rhs.lo > 0 {
+            let r = rhs.lo;
+            let lo = if self.lo >= 0 { 0 } else { -(r - 1) };
+            let hi = if self.hi <= 0 { 0 } else { r - 1 };
+            // A non-negative dividend smaller than r is unchanged.
+            if self.lo >= 0 {
+                return Ival::new(0, self.hi.min(r - 1));
+            }
+            Ival::new(lo, hi)
+        } else {
+            Ival::top()
+        }
+    }
+
+    /// Pointwise minimum (the `min()` math call).
+    pub fn min_(self, rhs: Ival) -> Ival {
+        self.lift2(rhs, |a, b| a.min(b))
+    }
+
+    /// Pointwise maximum (the `max()` math call).
+    pub fn max_(self, rhs: Ival) -> Ival {
+        self.lift2(rhs, |a, b| a.max(b))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Ival {
+        if self.is_empty() {
+            return self;
+        }
+        if self.lo >= 0 {
+            self
+        } else if self.hi <= 0 {
+            self.neg()
+        } else {
+            Ival::new(0, (-self.lo).max(self.hi))
+        }
+    }
+
+    /// Union hull (lattice join).
+    pub fn join(self, rhs: Ival) -> Ival {
+        if self.is_empty() {
+            return rhs;
+        }
+        if rhs.is_empty() {
+            return self;
+        }
+        Ival {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
+    }
+
+    /// Intersection (lattice meet); may be empty.
+    pub fn meet(self, rhs: Ival) -> Ival {
+        Ival {
+            lo: self.lo.max(rhs.lo),
+            hi: self.hi.min(rhs.hi),
+        }
+    }
+}
+
+/// The abstract store: variable intervals plus the eight builtins.
+#[derive(Clone)]
+struct Env {
+    vars: HashMap<String, Ival>,
+    builtins: [Ival; 8],
+}
+
+fn bidx(b: Builtin) -> usize {
+    match b {
+        Builtin::ThreadIdxX => 0,
+        Builtin::ThreadIdxY => 1,
+        Builtin::BlockIdxX => 2,
+        Builtin::BlockIdxY => 3,
+        Builtin::BlockDimX => 4,
+        Builtin::BlockDimY => 5,
+        Builtin::GridDimX => 6,
+        Builtin::GridDimY => 7,
+    }
+}
+
+/// Refinements for non-variable expressions, keyed on structural equality
+/// (the staging guards compare the exact index expression used later).
+type Overrides = Vec<(Expr, Ival)>;
+
+struct Ctx<'a> {
+    input: &'a VerifyInput<'a>,
+    label: Option<&'a str>,
+    diags: Vec<Diagnostic>,
+    reported: HashSet<(&'static str, String)>,
+}
+
+impl Ctx<'_> {
+    fn report(&mut self, code: &'static str, buf: &str, error: bool, message: String) {
+        if !self.reported.insert((code, buf.to_string())) {
+            return;
+        }
+        let mut d = if error {
+            Diagnostic::error(code, &self.input.kernel.name, message)
+        } else {
+            Diagnostic::warning(code, &self.input.kernel.name, message)
+        };
+        if let Some(l) = self.label {
+            d = d.with_region(l);
+        }
+        self.diags.push(d);
+    }
+
+    fn check_linear(&mut self, buf: &str, idx: Ival, write: bool) {
+        let Some(&len) = self.input.buffer_len.get(buf) else {
+            return; // size unknown: nothing to prove against
+        };
+        if idx.within(0, len - 1) {
+            return;
+        }
+        let error = !self.input.oob_allowed.contains(buf);
+        let what = if write { "store to" } else { "load from" };
+        self.report(
+            "A0301",
+            buf,
+            error,
+            format!(
+                "{what} `{buf}` not provably in bounds: index range [{}, {}] vs {len} elements{}",
+                idx.lo,
+                idx.hi,
+                if error {
+                    ""
+                } else {
+                    " (Undefined boundary mode)"
+                }
+            ),
+        );
+    }
+
+    fn check_tex_xy(&mut self, buf: &str, x: Ival, y: Ival) {
+        if self.input.hw_bounded.contains(buf) {
+            return; // the texture unit's address mode handles any coordinate
+        }
+        let Some(&(w, h)) = self.input.buffer_dims.get(buf) else {
+            return;
+        };
+        if x.within(0, w - 1) && y.within(0, h - 1) {
+            return;
+        }
+        let error = !self.input.oob_allowed.contains(buf);
+        self.report(
+            "A0301",
+            buf,
+            error,
+            format!(
+                "texture fetch from `{buf}` not provably in bounds: x in [{}, {}], y in [{}, {}] vs {w}x{h}",
+                x.lo, x.hi, y.lo, y.hi
+            ),
+        );
+    }
+
+    fn check_shared(&mut self, buf: &str, y: Ival, x: Ival, write: bool) {
+        let Some(decl) = self.input.kernel.shared.iter().find(|s| s.name == buf) else {
+            return;
+        };
+        let (rows, cols) = (decl.rows as i64, decl.cols as i64);
+        if y.within(0, rows - 1) && x.within(0, cols - 1) {
+            return;
+        }
+        let what = if write { "store to" } else { "load from" };
+        self.report(
+            "A0302",
+            buf,
+            true,
+            format!(
+                "shared-memory {what} `{buf}` not provably in bounds: row [{}, {}], col [{}, {}] vs {rows}x{cols} tile",
+                y.lo, y.hi, x.lo, x.hi
+            ),
+        );
+    }
+
+    fn check_const(&mut self, buf: &str, idx: Ival) {
+        let Some(decl) = self
+            .input
+            .kernel
+            .const_buffers
+            .iter()
+            .find(|c| c.name == buf)
+        else {
+            return;
+        };
+        let len = decl.width as i64 * decl.height as i64;
+        if idx.within(0, len - 1) {
+            return;
+        }
+        self.report(
+            "A0303",
+            buf,
+            true,
+            format!(
+                "constant-memory load from `{buf}` not provably in bounds: index [{}, {}] vs {len} coefficients",
+                idx.lo, idx.hi
+            ),
+        );
+    }
+}
+
+fn mentions_var(e: &Expr, name: &str) -> bool {
+    let mut m = false;
+    e.visit(&mut |n| {
+        if let Expr::Var(v) = n {
+            if v == name {
+                m = true;
+            }
+        }
+    });
+    m
+}
+
+/// Evaluate an expression to an interval, running memory checks on every
+/// load encountered, then tighten with any matching override.
+fn eval(e: &Expr, env: &Env, ov: &Overrides, ctx: &mut Ctx<'_>) -> Ival {
+    let mut r = eval_raw(e, env, ov, ctx);
+    for (pat, iv) in ov {
+        if pat == e {
+            r = r.meet(*iv);
+        }
+    }
+    r
+}
+
+fn eval_raw(e: &Expr, env: &Env, ov: &Overrides, ctx: &mut Ctx<'_>) -> Ival {
+    use hipacc_ir::BinOp::*;
+    match e {
+        Expr::ImmInt(v) => Ival::point(*v),
+        Expr::ImmFloat(_) | Expr::ImmBool(_) => Ival::top(),
+        Expr::Var(v) => env.vars.get(v).copied().unwrap_or_else(Ival::top),
+        Expr::Builtin(b) => env.builtins[bidx(*b)],
+        Expr::Unary(UnOp::Neg, a) => eval(a, env, ov, ctx).neg(),
+        Expr::Unary(UnOp::Not, a) => {
+            eval(a, env, ov, ctx);
+            Ival::new(0, 1)
+        }
+        Expr::Binary(op, a, b) => {
+            let ia = eval(a, env, ov, ctx);
+            let ib = eval(b, env, ov, ctx);
+            match op {
+                Add => ia.add(ib),
+                Sub => ia.sub(ib),
+                Mul => ia.mul(ib),
+                Div => ia.div(ib),
+                Rem => ia.rem(ib),
+                // Comparisons/logic produce 0/1; their refinement value
+                // comes from `truth`/`refine`, not from here.
+                Eq | Ne | Lt | Le | Gt | Ge | And | Or => Ival::new(0, 1),
+            }
+        }
+        Expr::Call(f, args) => {
+            let vals: Vec<Ival> = args.iter().map(|a| eval(a, env, ov, ctx)).collect();
+            match f {
+                MathFn::Min => vals[0].min_(vals[1]),
+                MathFn::Max => vals[0].max_(vals[1]),
+                MathFn::Abs => vals[0].abs(),
+                _ => Ival::top(),
+            }
+        }
+        Expr::Cast(_, a) => eval(a, env, ov, ctx),
+        Expr::Select(c, a, b) => {
+            // Evaluate each branch under the refined condition, so the
+            // Constant-mode pattern `in_bounds ? IN[idx] : k` only checks
+            // `idx` where the guard holds.
+            match truth(c, env, ov, ctx) {
+                Some(true) => branch_eval(c, true, a, env, ov, ctx),
+                Some(false) => branch_eval(c, false, b, env, ov, ctx),
+                None => {
+                    let ta = branch_eval(c, true, a, env, ov, ctx);
+                    let tb = branch_eval(c, false, b, env, ov, ctx);
+                    ta.join(tb)
+                }
+            }
+        }
+        Expr::GlobalLoad { buf, idx } => {
+            let iv = eval(idx, env, ov, ctx);
+            if !iv.is_empty() {
+                ctx.check_linear(buf, iv, false);
+            }
+            Ival::top()
+        }
+        Expr::TexFetch { buf, coords } => {
+            match coords {
+                TexCoords::Linear(idx) => {
+                    let iv = eval(idx, env, ov, ctx);
+                    if !iv.is_empty() {
+                        ctx.check_linear(buf, iv, false);
+                    }
+                }
+                TexCoords::Xy(x, y) => {
+                    let ix = eval(x, env, ov, ctx);
+                    let iy = eval(y, env, ov, ctx);
+                    if !ix.is_empty() && !iy.is_empty() {
+                        ctx.check_tex_xy(buf, ix, iy);
+                    }
+                }
+            }
+            Ival::top()
+        }
+        Expr::ConstLoad { buf, idx } => {
+            let iv = eval(idx, env, ov, ctx);
+            if !iv.is_empty() {
+                ctx.check_const(buf, iv);
+            }
+            Ival::top()
+        }
+        Expr::SharedLoad { buf, y, x } => {
+            let iy = eval(y, env, ov, ctx);
+            let ix = eval(x, env, ov, ctx);
+            if !iy.is_empty() && !ix.is_empty() {
+                ctx.check_shared(buf, iy, ix, false);
+            }
+            Ival::top()
+        }
+        // DSL-level nodes never reach the verifier (it runs on lowered
+        // device kernels), but evaluate conservatively anyway.
+        Expr::InputAt { .. } | Expr::MaskAt { .. } | Expr::OutputX | Expr::OutputY => Ival::top(),
+    }
+}
+
+fn branch_eval(
+    cond: &Expr,
+    want: bool,
+    value: &Expr,
+    env: &Env,
+    ov: &Overrides,
+    ctx: &mut Ctx<'_>,
+) -> Ival {
+    let mut e2 = env.clone();
+    let mut o2 = ov.clone();
+    if refine(cond, want, &mut e2, &mut o2, ctx) {
+        eval(value, &e2, &o2, ctx)
+    } else {
+        Ival::empty()
+    }
+}
+
+/// Decide a condition where the intervals separate.
+fn truth(cond: &Expr, env: &Env, ov: &Overrides, ctx: &mut Ctx<'_>) -> Option<bool> {
+    use hipacc_ir::BinOp::*;
+    match cond {
+        Expr::ImmBool(b) => Some(*b),
+        Expr::Unary(UnOp::Not, a) => truth(a, env, ov, ctx).map(|b| !b),
+        Expr::Binary(And, a, b) => match (truth(a, env, ov, ctx), truth(b, env, ov, ctx)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Expr::Binary(Or, a, b) => match (truth(a, env, ov, ctx), truth(b, env, ov, ctx)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Expr::Binary(op @ (Eq | Ne | Lt | Le | Gt | Ge), a, b) => {
+            let ia = eval(a, env, ov, ctx);
+            let ib = eval(b, env, ov, ctx);
+            if ia.is_empty() || ib.is_empty() {
+                return None;
+            }
+            match op {
+                Lt => cmp_truth(ia, ib, 1),
+                Le => cmp_truth(ia, ib, 0),
+                Gt => cmp_truth(ib, ia, 1),
+                Ge => cmp_truth(ib, ia, 0),
+                Eq => {
+                    if ia.lo == ia.hi && ia == ib {
+                        Some(true)
+                    } else if ia.meet(ib).is_empty() {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                Ne => {
+                    if ia.meet(ib).is_empty() {
+                        Some(true)
+                    } else if ia.lo == ia.hi && ia == ib {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `a < b` when `strict = 1`, `a <= b` when `strict = 0`.
+fn cmp_truth(a: Ival, b: Ival, strict: i64) -> Option<bool> {
+    if a.hi + strict <= b.lo {
+        Some(true)
+    } else if a.lo >= b.hi + strict {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Constrain `e` to lie within `iv`; returns `false` if that is infeasible
+/// (the branch is dead).
+fn constrain(e: &Expr, iv: Ival, env: &mut Env, ov: &mut Overrides, ctx: &mut Ctx<'_>) -> bool {
+    let cur = eval(e, env, ov, ctx);
+    let new = cur.meet(iv);
+    match e {
+        Expr::Var(v) => {
+            env.vars.insert(v.clone(), new);
+        }
+        Expr::Builtin(b) => env.builtins[bidx(*b)] = new,
+        Expr::ImmInt(_) => {} // a literal is already as tight as it gets
+        _ => ov.push((e.clone(), new)),
+    }
+    !new.is_empty()
+}
+
+/// Propagate a condition's truth value into the environment.
+fn refine(cond: &Expr, want: bool, env: &mut Env, ov: &mut Overrides, ctx: &mut Ctx<'_>) -> bool {
+    use hipacc_ir::BinOp::*;
+    match cond {
+        Expr::Unary(UnOp::Not, a) => refine(a, !want, env, ov, ctx),
+        Expr::Binary(And, a, b) if want => {
+            refine(a, true, env, ov, ctx) && refine(b, true, env, ov, ctx)
+        }
+        Expr::Binary(Or, a, b) if !want => {
+            refine(a, false, env, ov, ctx) && refine(b, false, env, ov, ctx)
+        }
+        Expr::Binary(op @ (Lt | Le | Gt | Ge | Eq), a, b) => {
+            // Normalize to `a REL b` with `REL` one of `<=`, `<`, `==`.
+            let (lhs, rhs, strict) = match (op, want) {
+                (Lt, true) => (&**a, &**b, 1),  // a <  b
+                (Lt, false) => (&**b, &**a, 0), // b <= a
+                (Le, true) => (&**a, &**b, 0),  // a <= b
+                (Le, false) => (&**b, &**a, 1), // b <  a
+                (Gt, true) => (&**b, &**a, 1),  // b <  a
+                (Gt, false) => (&**a, &**b, 0), // a <= b
+                (Ge, true) => (&**b, &**a, 0),  // b <= a
+                (Ge, false) => (&**a, &**b, 1), // a <  b
+                (Eq, true) => {
+                    let ia = eval(a, env, ov, ctx);
+                    let ib = eval(b, env, ov, ctx);
+                    return constrain(a, ib, env, ov, ctx) && constrain(b, ia, env, ov, ctx);
+                }
+                _ => return true, // Eq-false / Ne: no interval refinement
+            };
+            let il = eval(lhs, env, ov, ctx);
+            let ir = eval(rhs, env, ov, ctx);
+            if il.is_empty() || ir.is_empty() {
+                return false;
+            }
+            // lhs <= rhs.hi - strict, rhs >= lhs.lo + strict.
+            constrain(lhs, Ival::new(-BOUND, ir.hi - strict), env, ov, ctx)
+                && constrain(rhs, Ival::new(il.lo + strict, BOUND), env, ov, ctx)
+        }
+        _ => true, // opaque condition (boolean var, float compare, …)
+    }
+}
+
+fn join_env(a: &Env, b: &Env) -> Env {
+    let mut vars = HashMap::new();
+    for (k, va) in &a.vars {
+        if let Some(vb) = b.vars.get(k) {
+            vars.insert(k.clone(), va.join(*vb));
+        }
+    }
+    let mut builtins = [Ival::top(); 8];
+    for (i, slot) in builtins.iter_mut().enumerate() {
+        *slot = a.builtins[i].join(b.builtins[i]);
+    }
+    Env { vars, builtins }
+}
+
+fn join_ov(a: &Overrides, b: &Overrides) -> Overrides {
+    a.iter()
+        .filter_map(|(p, ia)| {
+            b.iter()
+                .find(|(q, _)| q == p)
+                .map(|(_, ib)| (p.clone(), ia.join(*ib)))
+        })
+        .collect()
+}
+
+fn kill_var(name: &str, ov: &mut Overrides) {
+    ov.retain(|(p, _)| !mentions_var(p, name));
+}
+
+fn assigned_vars(stmts: &[Stmt], out: &mut HashSet<String>) {
+    Stmt::visit_all(stmts, &mut |s| {
+        if let Stmt::Assign {
+            target: hipacc_ir::LValue::Var(v),
+            ..
+        } = s
+        {
+            out.insert(v.clone());
+        }
+    });
+}
+
+/// Walk a statement list; returns whether execution definitely terminates
+/// (reaches `Return` on every live path).
+fn walk(stmts: &[Stmt], env: &mut Env, ov: &mut Overrides, ctx: &mut Ctx<'_>) -> bool {
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, init, .. } => {
+                let iv = init
+                    .as_ref()
+                    .map(|e| eval(e, env, ov, ctx))
+                    .unwrap_or_else(Ival::top);
+                kill_var(name, ov);
+                env.vars.insert(name.clone(), iv);
+            }
+            Stmt::Assign {
+                target: hipacc_ir::LValue::Var(name),
+                value,
+            } => {
+                let iv = eval(value, env, ov, ctx);
+                kill_var(name, ov);
+                env.vars.insert(name.clone(), iv);
+            }
+            Stmt::If { cond, then, els } => match truth(cond, env, ov, ctx) {
+                Some(true) => {
+                    if refine(cond, true, env, ov, ctx) && walk(then, env, ov, ctx) {
+                        return true;
+                    }
+                }
+                Some(false) => {
+                    if refine(cond, false, env, ov, ctx) && walk(els, env, ov, ctx) {
+                        return true;
+                    }
+                }
+                None => {
+                    let mut te = env.clone();
+                    let mut to = ov.clone();
+                    // An infeasible branch counts as terminated: nothing
+                    // flows out of it.
+                    let t_term = if refine(cond, true, &mut te, &mut to, ctx) {
+                        walk(then, &mut te, &mut to, ctx)
+                    } else {
+                        true
+                    };
+                    let mut ee = env.clone();
+                    let mut eo = ov.clone();
+                    let e_term = if refine(cond, false, &mut ee, &mut eo, ctx) {
+                        walk(els, &mut ee, &mut eo, ctx)
+                    } else {
+                        true
+                    };
+                    match (t_term, e_term) {
+                        (true, true) => return true,
+                        // Guard-return: only the other branch falls through,
+                        // carrying its refinement forward.
+                        (true, false) => {
+                            *env = ee;
+                            *ov = eo;
+                        }
+                        (false, true) => {
+                            *env = te;
+                            *ov = to;
+                        }
+                        (false, false) => {
+                            *env = join_env(&te, &ee);
+                            *ov = join_ov(&to, &eo);
+                        }
+                    }
+                }
+            },
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let f = eval(from, env, ov, ctx);
+                let t = eval(to, env, ov, ctx);
+                if f.is_empty() || t.is_empty() || f.lo > t.hi {
+                    continue; // provably zero iterations
+                }
+                let mut assigned = HashSet::new();
+                assigned_vars(body, &mut assigned);
+                // Single sound pass: loop-carried variables are top, the
+                // loop variable spans every iteration at once.
+                let mut be = env.clone();
+                let mut bo = ov.clone();
+                for a in &assigned {
+                    be.vars.insert(a.clone(), Ival::top());
+                    kill_var(a, &mut bo);
+                }
+                kill_var(var, &mut bo);
+                be.vars.insert(var.clone(), Ival::new(f.lo, t.hi));
+                walk(body, &mut be, &mut bo, ctx);
+                for a in &assigned {
+                    env.vars.insert(a.clone(), Ival::top());
+                    kill_var(a, ov);
+                }
+                kill_var(var, ov);
+                env.vars.remove(var);
+            }
+            Stmt::Return => return true,
+            Stmt::GlobalStore { buf, idx, value } => {
+                let iv = eval(idx, env, ov, ctx);
+                eval(value, env, ov, ctx);
+                if !iv.is_empty() {
+                    ctx.check_linear(buf, iv, true);
+                }
+            }
+            Stmt::SharedStore { buf, y, x, value } => {
+                let iy = eval(y, env, ov, ctx);
+                let ix = eval(x, env, ov, ctx);
+                eval(value, env, ov, ctx);
+                if !iy.is_empty() && !ix.is_empty() {
+                    ctx.check_shared(buf, iy, ix, true);
+                }
+            }
+            Stmt::Output(e) => {
+                eval(e, env, ov, ctx);
+            }
+            Stmt::Barrier | Stmt::Comment(_) => {}
+        }
+    }
+    false
+}
+
+fn seed_env(input: &VerifyInput<'_>, seed: &RegionSeed) -> Env {
+    let (bx, by) = (input.block.0 as i64, input.block.1 as i64);
+    let (gx, gy) = (input.grid.0 as i64, input.grid.1 as i64);
+    let mut builtins = [Ival::top(); 8];
+    builtins[bidx(Builtin::ThreadIdxX)] = Ival::new(0, bx - 1);
+    builtins[bidx(Builtin::ThreadIdxY)] = Ival::new(0, by - 1);
+    builtins[bidx(Builtin::BlockIdxX)] = Ival::new(seed.bx.0, seed.bx.1);
+    builtins[bidx(Builtin::BlockIdxY)] = Ival::new(seed.by.0, seed.by.1);
+    builtins[bidx(Builtin::BlockDimX)] = Ival::point(bx);
+    builtins[bidx(Builtin::BlockDimY)] = Ival::point(by);
+    builtins[bidx(Builtin::GridDimX)] = Ival::point(gx);
+    builtins[bidx(Builtin::GridDimY)] = Ival::point(gy);
+    let vars = input
+        .scalars
+        .iter()
+        .map(|(k, &v)| (k.clone(), Ival::point(v)))
+        .collect();
+    Env { vars, builtins }
+}
+
+/// Run the bounds pass over every region seed of the input.
+pub fn check_bounds(input: &VerifyInput<'_>) -> Vec<Diagnostic> {
+    let default_regions;
+    let regions: &[RegionSeed] = if input.regions.is_empty() {
+        default_regions = vec![RegionSeed {
+            label: None,
+            bx: (0, input.grid.0 as i64 - 1),
+            by: (0, input.grid.1 as i64 - 1),
+        }];
+        &default_regions
+    } else {
+        &input.regions
+    };
+    let mut diags = Vec::new();
+    for seed in regions {
+        let mut ctx = Ctx {
+            input,
+            label: seed.label.as_deref(),
+            diags: Vec::new(),
+            reported: HashSet::new(),
+        };
+        let mut env = seed_env(input, seed);
+        let mut ov = Vec::new();
+        walk(&input.kernel.body, &mut env, &mut ov, &mut ctx);
+        diags.extend(ctx.diags);
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VerifyInput;
+    use hipacc_hwmodel::device as devices;
+    use hipacc_ir::kernel::{
+        AddressMode, BufferAccess, BufferParam, DeviceKernelDef, MemorySpace, SharedDecl,
+    };
+    use hipacc_ir::ScalarType;
+
+    fn gid() -> Expr {
+        // blockIdx.x * blockDim.x + threadIdx.x
+        Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+            + Expr::Builtin(Builtin::ThreadIdxX)
+    }
+
+    fn buf(name: &str, access: BufferAccess) -> BufferParam {
+        BufferParam {
+            name: name.into(),
+            ty: ScalarType::F32,
+            access,
+            space: MemorySpace::Global,
+            address_mode: AddressMode::None,
+        }
+    }
+
+    fn kernel(body: Vec<Stmt>, shared: Vec<SharedDecl>) -> DeviceKernelDef {
+        DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![
+                buf("IN", BufferAccess::ReadOnly),
+                buf("OUT", BufferAccess::WriteOnly),
+            ],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared,
+            body,
+        }
+    }
+
+    /// 64 elements, 4 blocks of 16x1 threads.
+    fn input<'a>(k: &'a DeviceKernelDef, dev: &'a hipacc_hwmodel::DeviceModel) -> VerifyInput<'a> {
+        let mut v = VerifyInput::new(k, dev, (16, 1), (4, 1));
+        v.buffer_len.insert("IN".into(), 64);
+        v.buffer_len.insert("OUT".into(), 64);
+        v
+    }
+
+    #[test]
+    fn interval_arithmetic_basics() {
+        let a = Ival::new(-2, 3);
+        let b = Ival::new(1, 4);
+        assert_eq!(a.add(b), Ival::new(-1, 7));
+        assert_eq!(a.mul(b), Ival::new(-8, 12));
+        assert_eq!(a.min_(Ival::point(0)), Ival::new(-2, 0));
+        assert_eq!(a.max_(Ival::point(0)), Ival::new(0, 3));
+        assert_eq!(Ival::new(5, 20).rem(Ival::point(7)), Ival::new(0, 6));
+        assert_eq!(Ival::new(0, 20).div(Ival::point(4)), Ival::new(0, 5));
+        assert!(a.meet(Ival::new(10, 12)).is_empty());
+    }
+
+    #[test]
+    fn clamped_load_is_in_bounds() {
+        // OUT[gid] = IN[min(max(gid + 1, 0), 63)] with an iteration-space
+        // guard: the clamp proves the load, the guard proves the store.
+        let dev = devices::tesla_c2050();
+        let load = Expr::GlobalLoad {
+            buf: "IN".into(),
+            idx: Box::new(Expr::min(
+                Expr::max(Expr::var("g") + Expr::int(1), Expr::int(0)),
+                Expr::int(63),
+            )),
+        };
+        let k = kernel(
+            vec![
+                Stmt::Decl {
+                    name: "g".into(),
+                    ty: ScalarType::I32,
+                    init: Some(gid()),
+                },
+                Stmt::If {
+                    cond: Expr::var("g").ge(Expr::int(64)),
+                    then: vec![Stmt::Return],
+                    els: vec![],
+                },
+                Stmt::GlobalStore {
+                    buf: "OUT".into(),
+                    idx: Expr::var("g"),
+                    value: load,
+                },
+            ],
+            vec![],
+        );
+        let d = check_bounds(&input(&k, &dev));
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn unclamped_load_is_flagged() {
+        let dev = devices::tesla_c2050();
+        let k = kernel(
+            vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: Expr::GlobalLoad {
+                    buf: "IN".into(),
+                    idx: Box::new(gid() + Expr::int(1)),
+                },
+            }],
+            vec![],
+        );
+        let d = check_bounds(&input(&k, &dev));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0301");
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn undefined_mode_downgrades_to_warning() {
+        let dev = devices::tesla_c2050();
+        let k = kernel(
+            vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: Expr::GlobalLoad {
+                    buf: "IN".into(),
+                    idx: Box::new(gid() + Expr::int(1)),
+                },
+            }],
+            vec![],
+        );
+        let mut inp = input(&k, &dev);
+        inp.oob_allowed.insert("IN".into());
+        let d = check_bounds(&inp);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0301");
+        assert!(!d[0].is_error());
+    }
+
+    #[test]
+    fn guard_return_refines_fall_through() {
+        // Without the guard, OUT[gid] for gid in [0, 63] on a 60-element
+        // buffer would be flagged; the guard proves it.
+        let dev = devices::tesla_c2050();
+        let store = Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: gid(),
+            value: Expr::float(0.0),
+        };
+        let guarded = kernel(
+            vec![
+                Stmt::If {
+                    cond: gid().ge(Expr::int(60)),
+                    then: vec![Stmt::Return],
+                    els: vec![],
+                },
+                store.clone(),
+            ],
+            vec![],
+        );
+        let unguarded = kernel(vec![store], vec![]);
+        let mut inp = input(&guarded, &dev);
+        inp.buffer_len.insert("OUT".into(), 60);
+        assert!(check_bounds(&inp).is_empty());
+        let mut inp = input(&unguarded, &dev);
+        inp.buffer_len.insert("OUT".into(), 60);
+        assert_eq!(check_bounds(&inp)[0].code, "A0301");
+    }
+
+    #[test]
+    fn shared_tile_overrun_is_a0302() {
+        let dev = devices::tesla_c2050();
+        let k = kernel(
+            vec![Stmt::SharedStore {
+                buf: "tile".into(),
+                y: Expr::int(0),
+                x: Expr::Builtin(Builtin::ThreadIdxX) * Expr::int(2),
+                value: Expr::float(0.0),
+            }],
+            vec![SharedDecl {
+                name: "tile".into(),
+                ty: ScalarType::F32,
+                rows: 1,
+                cols: 17,
+            }],
+        );
+        let d = check_bounds(&input(&k, &dev));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0302");
+    }
+
+    #[test]
+    fn select_guard_proves_conditional_load() {
+        // Constant boundary mode: (0 <= g && g < 64) ? IN[g] : 0.0
+        let dev = devices::tesla_c2050();
+        let g = gid() - Expr::int(8); // may be negative
+        let cond = Expr::int(0).le(g.clone()).and(g.clone().lt(Expr::int(64)));
+        let k = kernel(
+            vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: Expr::select(
+                    cond,
+                    Expr::GlobalLoad {
+                        buf: "IN".into(),
+                        idx: Box::new(g),
+                    },
+                    Expr::float(0.0),
+                ),
+            }],
+            vec![],
+        );
+        let d = check_bounds(&input(&k, &dev));
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn loop_bounds_feed_the_index_interval() {
+        let dev = devices::tesla_c2050();
+        let k = kernel(
+            vec![Stmt::For {
+                var: "i".into(),
+                from: Expr::int(0),
+                to: Expr::int(2),
+                body: vec![Stmt::GlobalStore {
+                    buf: "OUT".into(),
+                    idx: Expr::var("i"),
+                    value: Expr::GlobalLoad {
+                        buf: "IN".into(),
+                        idx: Box::new(Expr::var("i")),
+                    },
+                }],
+            }],
+            vec![],
+        );
+        let mut inp = input(&k, &dev);
+        inp.buffer_len.insert("IN".into(), 3);
+        inp.buffer_len.insert("OUT".into(), 3);
+        assert!(check_bounds(&inp).is_empty());
+        let mut inp = input(&k, &dev);
+        inp.buffer_len.insert("IN".into(), 2);
+        inp.buffer_len.insert("OUT".into(), 2);
+        let d = check_bounds(&inp);
+        assert_eq!(d.len(), 2, "both the load and the store overrun: {d:?}");
+    }
+
+    #[test]
+    fn region_seeds_carry_their_label() {
+        let dev = devices::tesla_c2050();
+        let k = kernel(
+            vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: gid(),
+                value: Expr::float(0.0),
+            }],
+            vec![],
+        );
+        let mut inp = input(&k, &dev);
+        inp.buffer_len.insert("OUT".into(), 16);
+        inp.regions = vec![
+            RegionSeed {
+                label: Some("L_BH".into()),
+                bx: (0, 0),
+                by: (0, 0),
+            },
+            RegionSeed {
+                label: Some("R_BH".into()),
+                bx: (3, 3),
+                by: (0, 0),
+            },
+        ];
+        let d = check_bounds(&inp);
+        // Only the right-hand region overruns the 16-element buffer.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].region.as_deref(), Some("R_BH"));
+    }
+}

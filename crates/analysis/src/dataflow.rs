@@ -1,0 +1,121 @@
+//! A small forward dataflow framework over the device-IR CFG.
+//!
+//! The verifier's analyses are expressed as monotone transfer functions
+//! over a join-semilattice; [`forward_fixpoint`] runs the classic
+//! worklist algorithm to a fixpoint and returns the entry state of every
+//! block. The framework is deliberately tiny — the kernels this compiler
+//! generates have a few dozen blocks — but it is a genuine fixpoint
+//! engine: loops (`Stmt::For` back edges) converge through repeated
+//! joins, exactly like the read/write analysis traversal of Section IV-A.
+
+use hipacc_ir::cfg::{Block, Cfg};
+use std::collections::VecDeque;
+
+/// A join-semilattice element.
+pub trait Lattice: Clone {
+    /// Join `other` into `self`; returns whether `self` changed. Joins
+    /// must be monotone (never lose information) for the worklist to
+    /// terminate.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// The powerset lattice over names (used by the taint analysis).
+impl Lattice for std::collections::BTreeSet<String> {
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.len();
+        self.extend(other.iter().cloned());
+        self.len() != before
+    }
+}
+
+/// Run a forward dataflow analysis to fixpoint.
+///
+/// `entry` seeds block 0; every other block starts from `bottom`.
+/// `transfer` maps a block's entry state to its exit state and must be
+/// monotone. Returns the fixpoint *entry* state of every block
+/// (unreachable blocks keep `bottom`).
+pub fn forward_fixpoint<L: Lattice>(
+    cfg: &Cfg,
+    entry: L,
+    bottom: L,
+    mut transfer: impl FnMut(&Block, &L) -> L,
+) -> Vec<L> {
+    let n = cfg.blocks.len();
+    let mut states = vec![bottom; n];
+    states[0] = entry;
+    // Seed every block, not just the entry: a transfer applied to the
+    // bottom state can still produce a non-bottom exit state that must
+    // reach the successors.
+    let mut queued = vec![true; n];
+    let mut work: VecDeque<usize> = (0..n).collect();
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let out = transfer(&cfg.blocks[b], &states[b]);
+        for &s in &cfg.blocks[b].succs {
+            if states[s].join(&out) && !queued[s] {
+                queued[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_ir::{Expr, ScalarType, Stmt};
+    use std::collections::BTreeSet;
+
+    fn decl(name: &str, init: Expr) -> Stmt {
+        Stmt::Decl {
+            name: name.into(),
+            ty: ScalarType::I32,
+            init: Some(init),
+        }
+    }
+
+    /// Transfer: a declared variable becomes "defined"; the set of defined
+    /// names flows forward.
+    fn defined_names(block: &Block, inp: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut out = inp.clone();
+        for s in &block.stmts {
+            if let Stmt::Decl { name, .. } = s {
+                out.insert(name.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn straight_line_accumulates() {
+        let cfg = hipacc_ir::cfg::Cfg::build(&[decl("a", Expr::int(0)), decl("b", Expr::int(1))]);
+        let states = forward_fixpoint(&cfg, BTreeSet::new(), BTreeSet::new(), defined_names);
+        // The exit block's entry state has seen both declarations.
+        assert!(states[cfg.exit].contains("a") && states[cfg.exit].contains("b"));
+    }
+
+    #[test]
+    fn branches_join_at_the_merge_point() {
+        let cfg = hipacc_ir::cfg::Cfg::build(&[Stmt::If {
+            cond: Expr::var("c").lt(Expr::int(0)),
+            then: vec![decl("t", Expr::int(0))],
+            els: vec![decl("e", Expr::int(0))],
+        }]);
+        let states = forward_fixpoint(&cfg, BTreeSet::new(), BTreeSet::new(), defined_names);
+        // Join of both branches reaches the exit.
+        assert!(states[cfg.exit].contains("t") && states[cfg.exit].contains("e"));
+    }
+
+    #[test]
+    fn loops_reach_a_fixpoint() {
+        let cfg = hipacc_ir::cfg::Cfg::build(&[Stmt::For {
+            var: "i".into(),
+            from: Expr::int(0),
+            to: Expr::int(3),
+            body: vec![decl("inner", Expr::int(0))],
+        }]);
+        let states = forward_fixpoint(&cfg, BTreeSet::new(), BTreeSet::new(), defined_names);
+        assert!(states[cfg.exit].contains("inner"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Structured diagnostics.
+//!
+//! Every finding of the kernel verifier — and of the generated-source
+//! linter in `hipacc-codegen` — is a [`Diagnostic`]: a stable code, a
+//! severity, the kernel (and, when applicable, the boundary region and
+//! source-line span) it refers to, and a rendered message. Errors fail
+//! compilation; warnings ride along on the compile output.
+//!
+//! # Diagnostic code space
+//!
+//! | Code  | Pass                | Meaning |
+//! |-------|---------------------|---------|
+//! | A0101 | barrier divergence  | barrier under thread-dependent control flow |
+//! | A0102 | barrier divergence  | barrier reachable after a thread-dependent early return |
+//! | A0201 | shared-memory races | write/write race in one barrier interval |
+//! | A0202 | shared-memory races | read/write race in one barrier interval |
+//! | A0301 | bounds              | global/texture access not provably in bounds |
+//! | A0302 | bounds              | shared-memory access not provably in bounds |
+//! | A0303 | bounds              | constant-memory access not provably in bounds |
+//! | A0401 | resource limits     | shared memory exceeds the device budget |
+//! | A0402 | resource limits     | register estimate exceeds the per-thread limit |
+//! | A0403 | resource limits     | constant-mask bytes exceed constant memory |
+//! | A0404 | resource limits     | block shape exceeds the device thread limits |
+//! | A0501 | source lint         | unbalanced delimiters in generated source |
+//! | A0502 | source lint         | undeclared identifier in generated source |
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Surfaced on the compile output; compilation succeeds.
+    Warning,
+    /// Compilation fails.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used when rendering ("error"/"warning").
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding from a verifier pass or the source linter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`A0101`, …); see the module docs.
+    pub code: &'static str,
+    /// Severity: errors fail compilation, warnings ride along.
+    pub severity: Severity,
+    /// Name of the kernel the finding refers to.
+    pub kernel: String,
+    /// Boundary-region label (`TL_BH`, `NO_BH`, …) when the finding is
+    /// specific to one of the nine specialized regions.
+    pub region: Option<String>,
+    /// 1-based line span in the generated source, when known (lint
+    /// findings carry one; IR-level findings do not).
+    pub lines: Option<(u32, u32)>,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Create an error-severity diagnostic.
+    pub fn error(
+        code: &'static str,
+        kernel: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            kernel: kernel.into(),
+            region: None,
+            lines: None,
+            message: message.into(),
+        }
+    }
+
+    /// Create a warning-severity diagnostic.
+    pub fn warning(
+        code: &'static str,
+        kernel: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, kernel, message)
+        }
+    }
+
+    /// Attach a boundary-region label.
+    pub fn with_region(mut self, region: impl Into<String>) -> Self {
+        self.region = Some(region.into());
+        self
+    }
+
+    /// Attach a 1-based source-line span.
+    pub fn with_lines(mut self, first: u32, last: u32) -> Self {
+        self.lines = Some((first, last));
+        self
+    }
+
+    /// Whether this finding fails compilation.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// The rendered single-line form, identical to `Display`.
+    pub fn rendered(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] kernel `{}`",
+            self.severity.label(),
+            self.code,
+            self.kernel
+        )?;
+        if let Some(r) = &self.region {
+            write!(f, " ({r})")?;
+        }
+        if let Some((a, b)) = self.lines {
+            if a == b {
+                write!(f, " line {a}")?;
+            } else {
+                write!(f, " lines {a}-{b}")?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Whether any diagnostic in the slice is error-severity.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_code_kernel_region_and_lines() {
+        let d = Diagnostic::error("A0101", "blur_kernel", "barrier diverges")
+            .with_region("TL_BH")
+            .with_lines(3, 3);
+        assert_eq!(
+            d.to_string(),
+            "error[A0101] kernel `blur_kernel` (TL_BH) line 3: barrier diverges"
+        );
+        let w = Diagnostic::warning("A0301", "k", "may read out of bounds").with_lines(2, 5);
+        assert_eq!(
+            w.to_string(),
+            "warning[A0301] kernel `k` lines 2-5: may read out of bounds"
+        );
+    }
+
+    #[test]
+    fn severity_queries() {
+        let e = Diagnostic::error("A0401", "k", "too much shared memory");
+        let w = Diagnostic::warning("A0301", "k", "maybe oob");
+        assert!(e.is_error() && !w.is_error());
+        assert!(has_errors(&[w.clone(), e]));
+        assert!(!has_errors(&[w]));
+        assert!(!has_errors(&[]));
+    }
+}

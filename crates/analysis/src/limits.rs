@@ -1,0 +1,180 @@
+//! Resource-limit checks against the abstract device model.
+//!
+//! The paper's compiler consults its architecture model to reject invalid
+//! kernel configurations before ever invoking the vendor toolchain
+//! (Section V). This pass re-checks the final lowered kernel:
+//!
+//! * scratchpad bytes — including the `+1` bank-conflict pad column —
+//!   against the per-SM shared memory ([A0401]),
+//! * the register estimate against the per-thread architectural limit
+//!   ([A0402], warning — the toolchain spills rather than fails),
+//! * filter-mask bytes placed in constant memory against the 64 KiB
+//!   constant budget ([A0403]),
+//! * the block shape against the device's thread limits ([A0404]).
+//!
+//! [A0401]: crate::diag#diagnostic-code-space
+//! [A0402]: crate::diag#diagnostic-code-space
+//! [A0403]: crate::diag#diagnostic-code-space
+//! [A0404]: crate::diag#diagnostic-code-space
+
+use crate::diag::Diagnostic;
+use crate::VerifyInput;
+
+/// Run the resource-limit checks.
+pub fn check_limits(input: &VerifyInput<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let dev = input.device;
+    let kernel = input.kernel;
+
+    let shared_bytes = kernel.shared_bytes();
+    if shared_bytes > dev.shared_mem_per_sm {
+        diags.push(Diagnostic::error(
+            "A0401",
+            &kernel.name,
+            format!(
+                "scratchpad tiles need {shared_bytes} B but {} has {} B of shared memory per SM",
+                dev.name, dev.shared_mem_per_sm
+            ),
+        ));
+    }
+
+    // Exceeding the per-thread register file is legal — the toolchain
+    // spills to local memory — but costs enough bandwidth to be worth a
+    // warning (the paper's heuristic avoids such configurations).
+    if input.registers_per_thread > dev.max_registers_per_thread {
+        diags.push(Diagnostic::warning(
+            "A0402",
+            &kernel.name,
+            format!(
+                "estimated {} registers per thread exceed the {} architectural limit of {} \
+                 (spill to local memory expected)",
+                input.registers_per_thread, dev.name, dev.max_registers_per_thread
+            ),
+        ));
+    }
+
+    let const_bytes: u64 = kernel
+        .const_buffers
+        .iter()
+        .map(|c| c.width as u64 * c.height as u64 * 4)
+        .sum();
+    if const_bytes > dev.const_mem_bytes as u64 {
+        diags.push(Diagnostic::error(
+            "A0403",
+            &kernel.name,
+            format!(
+                "filter masks need {const_bytes} B of constant memory but {} provides {} B",
+                dev.name, dev.const_mem_bytes
+            ),
+        ));
+    }
+
+    let threads = input.block.0 * input.block.1;
+    if threads > dev.max_threads_per_block {
+        diags.push(Diagnostic::error(
+            "A0404",
+            &kernel.name,
+            format!(
+                "block shape {}x{} ({threads} threads) exceeds the {} limit of {} threads per block",
+                input.block.0, input.block.1, dev.name, dev.max_threads_per_block
+            ),
+        ));
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_hwmodel::device as devices;
+    use hipacc_ir::kernel::{ConstBufferDecl, DeviceKernelDef, SharedDecl};
+    use hipacc_ir::ScalarType;
+
+    fn kernel(shared: Vec<SharedDecl>, const_buffers: Vec<ConstBufferDecl>) -> DeviceKernelDef {
+        DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![],
+            scalars: vec![],
+            const_buffers,
+            shared,
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn within_budget_is_clean() {
+        let k = kernel(
+            vec![SharedDecl {
+                name: "tile".into(),
+                ty: ScalarType::F32,
+                rows: 20,
+                cols: 37,
+            }],
+            vec![ConstBufferDecl {
+                name: "_cmask".into(),
+                width: 5,
+                height: 5,
+                data: None,
+            }],
+        );
+        let dev = devices::tesla_c2050();
+        let inp = crate::VerifyInput::new(&k, &dev, (32, 4), (10, 10));
+        assert!(check_limits(&inp).is_empty());
+    }
+
+    #[test]
+    fn oversized_tile_is_a0401() {
+        let k = kernel(
+            vec![SharedDecl {
+                name: "tile".into(),
+                ty: ScalarType::F32,
+                rows: 200,
+                cols: 200,
+            }],
+            vec![],
+        );
+        let dev = devices::tesla_c2050();
+        let inp = crate::VerifyInput::new(&k, &dev, (32, 4), (10, 10));
+        let d = check_limits(&inp);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0401");
+    }
+
+    #[test]
+    fn register_pressure_is_a0402() {
+        let k = kernel(vec![], vec![]);
+        let dev = devices::tesla_c2050();
+        let mut inp = crate::VerifyInput::new(&k, &dev, (32, 4), (10, 10));
+        inp.registers_per_thread = dev.max_registers_per_thread + 1;
+        let d = check_limits(&inp);
+        assert_eq!(d[0].code, "A0402");
+        // Spilling is legal: a warning, not a compile failure.
+        assert!(!d[0].is_error());
+    }
+
+    #[test]
+    fn oversized_mask_is_a0403() {
+        // 129x129 f32 coefficients = 66564 B > 64 KiB.
+        let k = kernel(
+            vec![],
+            vec![ConstBufferDecl {
+                name: "_cmask".into(),
+                width: 129,
+                height: 129,
+                data: None,
+            }],
+        );
+        let dev = devices::tesla_c2050();
+        let inp = crate::VerifyInput::new(&k, &dev, (32, 4), (10, 10));
+        assert_eq!(check_limits(&inp)[0].code, "A0403");
+    }
+
+    #[test]
+    fn oversized_block_is_a0404() {
+        let k = kernel(vec![], vec![]);
+        let dev = devices::tesla_c2050();
+        let inp = crate::VerifyInput::new(&k, &dev, (64, 32), (10, 10));
+        assert_eq!(check_limits(&inp)[0].code, "A0404");
+    }
+}

@@ -1,0 +1,533 @@
+//! Shared-memory race detection over barrier-delimited intervals.
+//!
+//! Within one barrier interval ("phase"), two accesses to the same
+//! scratchpad cell race when they come from different threads and at
+//! least one is a write (GKLEE-style barrier-interval semantics). The
+//! pass splits the kernel body at its top-level barriers, collects every
+//! shared access site symbolically — inlining local definitions so each
+//! site's row/column become closed expressions over `threadIdx`,
+//! loop variables and kernel scalars — and then evaluates each site
+//! *concretely for every thread of one representative block* (the same
+//! lane-evaluation trick the simulator's bank-conflict model uses). Two
+//! distinct threads landing on one flat address raise [A0201]
+//! (write/write) or [A0202] (read/write).
+//!
+//! The analysis is exact for the address expressions the lowering emits
+//! (affine in `threadIdx` with unrolled staging steps) and best-effort
+//! beyond that: a site whose address does not fold to a constant for a
+//! lane is skipped, guards that do not fold are assumed taken, and a
+//! global evaluation budget caps pathological block shapes. Barriers
+//! nested under control flow do *not* split phases (the divergence pass
+//! rejects the thread-dependent ones); merging their intervals can only
+//! over-approximate, never miss, a race within the shipped kernels.
+//!
+//! [A0201]: crate::diag#diagnostic-code-space
+//! [A0202]: crate::diag#diagnostic-code-space
+
+use crate::diag::Diagnostic;
+use crate::VerifyInput;
+use hipacc_ir::fold::eval_const;
+use hipacc_ir::{Builtin, Const, Expr, LValue, Stmt, UnOp};
+use std::collections::{BTreeSet, HashMap};
+
+/// Total (site x lane x loop-combination) evaluation budget.
+const MAX_EVALS: u64 = 1 << 20;
+
+/// One symbolic shared-memory access site.
+struct Site {
+    buf: String,
+    y: Expr,
+    x: Expr,
+    write: bool,
+    /// Path conditions (already substituted); a lane where any folds to
+    /// `false` does not execute the access.
+    guards: Vec<Expr>,
+    /// Enclosing loops as `(var, from, to)`, outermost first.
+    loops: Vec<(String, Expr, Expr)>,
+    /// Barrier interval the site belongs to.
+    phase: usize,
+}
+
+struct Collector {
+    sites: Vec<Site>,
+    guards: Vec<Expr>,
+    loops: Vec<(String, Expr, Expr)>,
+    phase: usize,
+}
+
+fn subst(e: &Expr, defs: &HashMap<String, Option<Expr>>) -> Expr {
+    e.clone().rewrite(&mut |n| {
+        if let Expr::Var(v) = &n {
+            if let Some(Some(d)) = defs.get(v) {
+                return d.clone();
+            }
+        }
+        n
+    })
+}
+
+fn not(e: Expr) -> Expr {
+    Expr::Unary(UnOp::Not, Box::new(e))
+}
+
+impl Collector {
+    fn harvest_reads(&mut self, e: &Expr) {
+        let mut found = Vec::new();
+        e.visit(&mut |n| {
+            if let Expr::SharedLoad { buf, y, x } = n {
+                found.push((buf.clone(), (**y).clone(), (**x).clone()));
+            }
+        });
+        for (buf, y, x) in found {
+            self.sites.push(Site {
+                buf,
+                y,
+                x,
+                write: false,
+                guards: self.guards.clone(),
+                loops: self.loops.clone(),
+                phase: self.phase,
+            });
+        }
+    }
+
+    fn poison_assigned(stmts: &[Stmt], defs: &mut HashMap<String, Option<Expr>>) {
+        Stmt::visit_all(stmts, &mut |s| {
+            if let Stmt::Assign {
+                target: LValue::Var(v),
+                ..
+            } = s
+            {
+                defs.insert(v.clone(), None);
+            }
+        });
+    }
+
+    /// Walk one statement list; returns whether it unconditionally returns.
+    fn collect(
+        &mut self,
+        stmts: &[Stmt],
+        defs: &mut HashMap<String, Option<Expr>>,
+        top_level: bool,
+    ) -> bool {
+        let guard_depth = self.guards.len();
+        for s in stmts {
+            match s {
+                Stmt::Barrier => {
+                    if top_level {
+                        self.phase += 1;
+                    }
+                }
+                Stmt::Decl { name, init, .. } => {
+                    let init_s = init.as_ref().map(|e| subst(e, defs));
+                    if let Some(e) = &init_s {
+                        self.harvest_reads(e);
+                    }
+                    defs.insert(name.clone(), init_s);
+                }
+                Stmt::Assign {
+                    target: LValue::Var(v),
+                    value,
+                } => {
+                    let value_s = subst(value, defs);
+                    self.harvest_reads(&value_s);
+                    defs.insert(v.clone(), None);
+                }
+                Stmt::GlobalStore { idx, value, .. } => {
+                    self.harvest_reads(&subst(idx, defs));
+                    self.harvest_reads(&subst(value, defs));
+                }
+                Stmt::SharedStore { buf, y, x, value } => {
+                    let (y_s, x_s) = (subst(y, defs), subst(x, defs));
+                    self.harvest_reads(&subst(value, defs));
+                    self.harvest_reads(&y_s);
+                    self.harvest_reads(&x_s);
+                    self.sites.push(Site {
+                        buf: buf.clone(),
+                        y: y_s,
+                        x: x_s,
+                        write: true,
+                        guards: self.guards.clone(),
+                        loops: self.loops.clone(),
+                        phase: self.phase,
+                    });
+                }
+                Stmt::If { cond, then, els } => {
+                    let cond_s = subst(cond, defs);
+                    self.harvest_reads(&cond_s);
+                    let mut then_defs = defs.clone();
+                    self.guards.push(cond_s.clone());
+                    let t_term = self.collect(then, &mut then_defs, false);
+                    self.guards.pop();
+                    let mut els_defs = defs.clone();
+                    self.guards.push(not(cond_s.clone()));
+                    let e_term = self.collect(els, &mut els_defs, false);
+                    self.guards.pop();
+                    Self::poison_assigned(then, defs);
+                    Self::poison_assigned(els, defs);
+                    match (t_term, e_term) {
+                        (true, true) => {
+                            self.guards.truncate(guard_depth);
+                            return true;
+                        }
+                        // One branch returned: the rest of this list only
+                        // runs on lanes that took the other branch.
+                        (true, false) => self.guards.push(not(cond_s)),
+                        (false, true) => self.guards.push(cond_s),
+                        (false, false) => {}
+                    }
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let from_s = subst(from, defs);
+                    let to_s = subst(to, defs);
+                    self.harvest_reads(&from_s);
+                    self.harvest_reads(&to_s);
+                    let mut body_defs = defs.clone();
+                    Self::poison_assigned(body, &mut body_defs);
+                    self.loops.push((var.clone(), from_s, to_s));
+                    self.collect(body, &mut body_defs, false);
+                    self.loops.pop();
+                    Self::poison_assigned(body, defs);
+                }
+                Stmt::Output(e) => self.harvest_reads(&subst(e, defs)),
+                Stmt::Return => {
+                    self.guards.truncate(guard_depth);
+                    return true;
+                }
+                Stmt::Comment(_) => {}
+            }
+        }
+        self.guards.truncate(guard_depth);
+        false
+    }
+}
+
+fn bind_builtins(e: &Expr, tx: i64, ty: i64, block: (u32, u32), grid: (u32, u32)) -> Expr {
+    e.clone().rewrite(&mut |n| match n {
+        Expr::Builtin(b) => Expr::ImmInt(match b {
+            Builtin::ThreadIdxX => tx,
+            Builtin::ThreadIdxY => ty,
+            // Representative block: shared addressing in lowered kernels
+            // never involves the block index.
+            Builtin::BlockIdxX | Builtin::BlockIdxY => 0,
+            Builtin::BlockDimX => block.0 as i64,
+            Builtin::BlockDimY => block.1 as i64,
+            Builtin::GridDimX => grid.0 as i64,
+            Builtin::GridDimY => grid.1 as i64,
+        }),
+        other => other,
+    })
+}
+
+/// Enumerate loop-variable assignments depth-first.
+fn for_each_combo(
+    loops: &[(String, Expr, Expr)],
+    env: &mut HashMap<String, Const>,
+    budget: &mut u64,
+    f: &mut impl FnMut(&mut HashMap<String, Const>, &mut u64),
+) {
+    let Some((var, from, to)) = loops.first() else {
+        if *budget > 0 {
+            *budget -= 1;
+            f(env, budget);
+        }
+        return;
+    };
+    let (Some(Const::Int(lo)), Some(Const::Int(hi))) = (eval_const(from, env), eval_const(to, env))
+    else {
+        return; // non-constant loop bound: skip this site
+    };
+    for v in lo..=hi {
+        if *budget == 0 {
+            return;
+        }
+        env.insert(var.clone(), Const::Int(v));
+        for_each_combo(&loops[1..], env, budget, f);
+    }
+    env.remove(var);
+}
+
+/// Run the race pass: evaluate every shared access site for every thread
+/// of a representative block and look for colliding flat addresses.
+pub fn check_shared_races(input: &VerifyInput<'_>) -> Vec<Diagnostic> {
+    if input.kernel.shared.is_empty() {
+        return Vec::new();
+    }
+    let mut col = Collector {
+        sites: Vec::new(),
+        guards: Vec::new(),
+        loops: Vec::new(),
+        phase: 0,
+    };
+    let mut defs = HashMap::new();
+    col.collect(&input.kernel.body, &mut defs, true);
+    let phases = col.phase + 1;
+
+    let cols_of: HashMap<&str, i64> = input
+        .kernel
+        .shared
+        .iter()
+        .map(|s| (s.name.as_str(), s.cols as i64))
+        .collect();
+    let scalar_env: HashMap<String, Const> = input
+        .scalars
+        .iter()
+        .map(|(k, &v)| (k.clone(), Const::Int(v)))
+        .collect();
+
+    let (bx, by) = (input.block.0 as i64, input.block.1 as i64);
+    let mut budget = MAX_EVALS;
+    let mut diags = Vec::new();
+    for phase in 0..phases {
+        let phase_sites: Vec<&Site> = col.sites.iter().filter(|s| s.phase == phase).collect();
+        if !phase_sites.iter().any(|s| s.write) {
+            continue; // reads alone cannot race
+        }
+        // (buf, flat address) -> set of linear thread ids.
+        let mut writers: HashMap<(String, i64), BTreeSet<i64>> = HashMap::new();
+        let mut readers: HashMap<(String, i64), BTreeSet<i64>> = HashMap::new();
+        for site in &phase_sites {
+            let Some(&cols) = cols_of.get(site.buf.as_str()) else {
+                continue;
+            };
+            for ty in 0..by {
+                for tx in 0..bx {
+                    let tid = ty * bx + tx;
+                    let bind = |e: &Expr| bind_builtins(e, tx, ty, input.block, input.grid);
+                    let y_e = bind(&site.y);
+                    let x_e = bind(&site.x);
+                    let guards: Vec<Expr> = site.guards.iter().map(&bind).collect();
+                    let loops: Vec<(String, Expr, Expr)> = site
+                        .loops
+                        .iter()
+                        .map(|(v, f, t)| (v.clone(), bind(f), bind(t)))
+                        .collect();
+                    let mut env = scalar_env.clone();
+                    for_each_combo(&loops, &mut env, &mut budget, &mut |env, _| {
+                        // A guard folding to false disables the lane; one
+                        // that does not fold is conservatively taken.
+                        if guards
+                            .iter()
+                            .any(|g| matches!(eval_const(g, env), Some(Const::Bool(false))))
+                        {
+                            return;
+                        }
+                        let (Some(Const::Int(y)), Some(Const::Int(x))) =
+                            (eval_const(&y_e, env), eval_const(&x_e, env))
+                        else {
+                            return; // address does not fold: skip lane
+                        };
+                        let key = (site.buf.clone(), y * cols + x);
+                        if site.write {
+                            writers.entry(key).or_default().insert(tid);
+                        } else {
+                            readers.entry(key).or_default().insert(tid);
+                        }
+                    });
+                }
+            }
+        }
+        // Write/write collisions.
+        let mut ww_seen = BTreeSet::new();
+        for ((buf, addr), tids) in &writers {
+            if tids.len() >= 2 && ww_seen.insert(buf.clone()) {
+                let mut it = tids.iter();
+                let (a, b) = (it.next().unwrap(), it.next().unwrap());
+                let cols = cols_of[buf.as_str()];
+                diags.push(Diagnostic::error(
+                    "A0201",
+                    &input.kernel.name,
+                    format!(
+                        "shared write/write race on `{buf}` in barrier interval {phase}: \
+                         threads {a} and {b} both write [{}][{}]",
+                        addr / cols,
+                        addr % cols
+                    ),
+                ));
+            }
+        }
+        // Read/write collisions between distinct threads.
+        let mut rw_seen = BTreeSet::new();
+        for ((buf, addr), rtids) in &readers {
+            let Some(wtids) = writers.get(&(buf.clone(), *addr)) else {
+                continue;
+            };
+            let pair = rtids
+                .iter()
+                .find_map(|r| wtids.iter().find(|w| *w != r).map(|w| (*r, *w)));
+            if let Some((r, w)) = pair {
+                if rw_seen.insert(buf.clone()) {
+                    let cols = cols_of[buf.as_str()];
+                    diags.push(Diagnostic::error(
+                        "A0202",
+                        &input.kernel.name,
+                        format!(
+                            "shared read/write race on `{buf}` in barrier interval {phase}: \
+                             thread {r} reads [{y}][{x}] while thread {w} writes it",
+                            y = addr / cols,
+                            x = addr % cols
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_hwmodel::device as devices;
+    use hipacc_ir::kernel::{DeviceKernelDef, SharedDecl};
+    use hipacc_ir::ScalarType;
+
+    fn tid() -> Expr {
+        Expr::Builtin(Builtin::ThreadIdxX)
+    }
+
+    fn kernel(body: Vec<Stmt>) -> DeviceKernelDef {
+        DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared: vec![SharedDecl {
+                name: "tile".into(),
+                ty: ScalarType::F32,
+                rows: 2,
+                cols: 33,
+            }],
+            body,
+        }
+    }
+
+    fn store(y: Expr, x: Expr) -> Stmt {
+        Stmt::SharedStore {
+            buf: "tile".into(),
+            y,
+            x,
+            value: Expr::float(1.0),
+        }
+    }
+
+    fn load(y: Expr, x: Expr) -> Stmt {
+        Stmt::Decl {
+            name: "v".into(),
+            ty: ScalarType::F32,
+            init: Some(Expr::SharedLoad {
+                buf: "tile".into(),
+                y: Box::new(y),
+                x: Box::new(x),
+            }),
+        }
+    }
+
+    fn check(body: Vec<Stmt>) -> Vec<Diagnostic> {
+        let k = kernel(body);
+        let dev = devices::tesla_c2050();
+        let inp = crate::VerifyInput::new(&k, &dev, (16, 1), (4, 1));
+        check_shared_races(&inp)
+    }
+
+    #[test]
+    fn distinct_lanes_do_not_race() {
+        let d = check(vec![
+            store(Expr::int(0), tid()),
+            Stmt::Barrier,
+            load(Expr::int(0), tid() + Expr::int(1)),
+        ]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn colliding_writes_are_a0201() {
+        // tid/2 maps threads 0 and 1 to the same cell.
+        let d = check(vec![store(Expr::int(0), tid() / Expr::int(2))]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0201");
+    }
+
+    #[test]
+    fn unsynchronized_neighbor_read_is_a0202() {
+        let d = check(vec![
+            store(Expr::int(0), tid()),
+            load(Expr::int(0), tid() + Expr::int(1)),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0202");
+    }
+
+    #[test]
+    fn same_thread_read_after_write_is_fine() {
+        let d = check(vec![store(Expr::int(0), tid()), load(Expr::int(0), tid())]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn guards_split_the_lanes() {
+        // Each lane writes a distinct cell, chosen by a branch.
+        let d = check(vec![Stmt::If {
+            cond: tid().lt(Expr::int(8)),
+            then: vec![store(Expr::int(0), tid())],
+            els: vec![store(Expr::int(1), tid())],
+        }]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn staging_loop_with_stride_is_clean_and_without_is_not() {
+        // for s in 0..=1 { tile[0][tid + s*16] } covers 32 distinct cells.
+        let strided = check(vec![Stmt::For {
+            var: "s".into(),
+            from: Expr::int(0),
+            to: Expr::int(1),
+            body: vec![store(Expr::int(0), tid() + Expr::var("s") * Expr::int(16))],
+        }]);
+        assert!(strided.is_empty(), "unexpected: {strided:?}");
+        // Without the stride every iteration rewrites the same cells from
+        // the same thread — still one thread per cell, so to provoke the
+        // race collapse the thread index instead.
+        let collapsed = check(vec![Stmt::For {
+            var: "s".into(),
+            from: Expr::int(0),
+            to: Expr::int(1),
+            body: vec![store(Expr::int(0), Expr::var("s"))],
+        }]);
+        assert_eq!(collapsed[0].code, "A0201");
+    }
+
+    #[test]
+    fn inlined_definitions_reach_the_address() {
+        // lx = tid + 3; tile[0][lx] — needs the Decl substitution.
+        let d = check(vec![
+            Stmt::Decl {
+                name: "lx".into(),
+                ty: ScalarType::I32,
+                init: Some(tid() + Expr::int(3)),
+            },
+            store(Expr::int(0), Expr::var("lx")),
+        ]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn kernels_without_shared_memory_are_skipped() {
+        let k = DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared: vec![],
+            body: vec![store(Expr::int(0), Expr::int(0))],
+        };
+        let dev = devices::tesla_c2050();
+        let inp = crate::VerifyInput::new(&k, &dev, (16, 1), (1, 1));
+        assert!(check_shared_races(&inp).is_empty());
+    }
+}

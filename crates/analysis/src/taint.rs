@@ -1,0 +1,275 @@
+//! Barrier-divergence checking via a thread-dependence taint lattice.
+//!
+//! GPU barriers (`__syncthreads` / `barrier(CLK_LOCAL_MEM_FENCE)`) are
+//! only well-defined when *every* thread of a block reaches them. The
+//! lowering therefore emits the single staging barrier at the top level,
+//! before the iteration-space guard. This pass proves that property for
+//! arbitrary device kernels, GPUVerify-style:
+//!
+//! 1. A taint fixpoint over the CFG (via [`crate::dataflow`]) computes
+//!    the set of variables whose values are *thread-dependent* — seeded
+//!    from the `threadIdx.x/y` builtins and closed over assignments.
+//!    (`blockIdx`/`blockDim`/`gridDim` are uniform across a block and do
+//!    not taint: the nine-region dispatch branches on `blockIdx` and is
+//!    perfectly convergent.)
+//! 2. A structural walk rejects every barrier that sits under a branch
+//!    or loop whose condition is tainted ([A0101]), and every barrier
+//!    reachable after a `return` that only *some* threads may have taken
+//!    ([A0102]).
+//!
+//! [A0101]: crate::diag#diagnostic-code-space
+//! [A0102]: crate::diag#diagnostic-code-space
+
+use crate::dataflow::forward_fixpoint;
+use crate::diag::Diagnostic;
+use hipacc_ir::cfg::Cfg;
+use hipacc_ir::kernel::DeviceKernelDef;
+use hipacc_ir::{Builtin, Expr, Stmt};
+use std::collections::BTreeSet;
+
+/// Whether an expression's value can differ between threads of a block,
+/// given the set of thread-dependent variables.
+pub fn expr_thread_dependent(e: &Expr, tainted: &BTreeSet<String>) -> bool {
+    let mut dep = false;
+    e.visit(&mut |n| match n {
+        Expr::Builtin(Builtin::ThreadIdxX | Builtin::ThreadIdxY) => dep = true,
+        Expr::Var(v) if tainted.contains(v) => dep = true,
+        // Loads may read data written per-thread; treat shared loads as
+        // thread-dependent (their index usually is anyway).
+        Expr::SharedLoad { .. } => dep = true,
+        _ => {}
+    });
+    dep
+}
+
+/// The taint fixpoint: variables whose values are thread-dependent
+/// anywhere in the kernel (may-analysis over all CFG paths).
+pub fn thread_dependent_vars(body: &[Stmt]) -> BTreeSet<String> {
+    let cfg = Cfg::build(body);
+    let transfer = |block: &hipacc_ir::cfg::Block, inp: &BTreeSet<String>| {
+        let mut out = inp.clone();
+        // Iterate locally to a fixpoint so chains like `a = tid; b = a`
+        // inside one block resolve in a single transfer application.
+        loop {
+            let before = out.len();
+            for s in &block.stmts {
+                match s {
+                    Stmt::Decl {
+                        name,
+                        init: Some(e),
+                        ..
+                    } if expr_thread_dependent(e, &out) => {
+                        out.insert(name.clone());
+                    }
+                    Stmt::Assign { target, value } if expr_thread_dependent(value, &out) => {
+                        let hipacc_ir::LValue::Var(name) = target;
+                        out.insert(name.clone());
+                    }
+                    _ => {}
+                }
+            }
+            if out.len() == before {
+                break;
+            }
+        }
+        out
+    };
+    let states = forward_fixpoint(&cfg, BTreeSet::new(), BTreeSet::new(), transfer);
+    // The union over all blocks is the may-tainted set of the kernel.
+    let mut all = BTreeSet::new();
+    for (i, s) in states.iter().enumerate() {
+        all.extend(transfer(&cfg.blocks[i], s));
+    }
+    all
+}
+
+/// Check every barrier in the kernel for divergence (A0101/A0102).
+pub fn check_barrier_divergence(kernel: &DeviceKernelDef) -> Vec<Diagnostic> {
+    let tainted = thread_dependent_vars(&kernel.body);
+    let mut diags = Vec::new();
+    let mut may_have_returned = false;
+    walk(
+        &kernel.body,
+        false,
+        &tainted,
+        &mut may_have_returned,
+        &kernel.name,
+        &mut diags,
+    );
+    diags
+}
+
+fn walk(
+    stmts: &[Stmt],
+    divergent: bool,
+    tainted: &BTreeSet<String>,
+    may_have_returned: &mut bool,
+    kernel: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Barrier => {
+                if divergent {
+                    diags.push(Diagnostic::error(
+                        "A0101",
+                        kernel,
+                        "barrier under thread-dependent control flow: threads of a block \
+                         may disagree on reaching it",
+                    ));
+                } else if *may_have_returned {
+                    diags.push(Diagnostic::error(
+                        "A0102",
+                        kernel,
+                        "barrier reachable after a thread-dependent early return: exited \
+                         threads never arrive",
+                    ));
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                let div = divergent || expr_thread_dependent(cond, tainted);
+                walk(then, div, tainted, may_have_returned, kernel, diags);
+                walk(els, div, tainted, may_have_returned, kernel, diags);
+            }
+            Stmt::For { from, to, body, .. } => {
+                let div = divergent
+                    || expr_thread_dependent(from, tainted)
+                    || expr_thread_dependent(to, tainted);
+                walk(body, div, tainted, may_have_returned, kernel, diags);
+            }
+            Stmt::Return if divergent => {
+                *may_have_returned = true;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_ir::kernel::DeviceKernelDef;
+    use hipacc_ir::ScalarType;
+
+    fn kernel(body: Vec<Stmt>) -> DeviceKernelDef {
+        DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared: vec![],
+            body,
+        }
+    }
+
+    fn tid() -> Expr {
+        Expr::Builtin(Builtin::ThreadIdxX)
+    }
+
+    #[test]
+    fn taint_propagates_through_assignments() {
+        let body = vec![
+            Stmt::Decl {
+                name: "gid".into(),
+                ty: ScalarType::I32,
+                init: Some(tid() + Expr::int(1)),
+            },
+            Stmt::Decl {
+                name: "twice".into(),
+                ty: ScalarType::I32,
+                init: Some(Expr::var("gid") * Expr::int(2)),
+            },
+            Stmt::Decl {
+                name: "uniform".into(),
+                ty: ScalarType::I32,
+                init: Some(Expr::Builtin(Builtin::BlockIdxX)),
+            },
+        ];
+        let t = thread_dependent_vars(&body);
+        assert!(t.contains("gid") && t.contains("twice"));
+        assert!(!t.contains("uniform"), "blockIdx is uniform per block");
+    }
+
+    #[test]
+    fn top_level_barrier_is_clean() {
+        let k = kernel(vec![
+            Stmt::Barrier,
+            Stmt::If {
+                cond: tid().ge(Expr::int(8)),
+                then: vec![Stmt::Return],
+                els: vec![],
+            },
+        ]);
+        assert!(check_barrier_divergence(&k).is_empty());
+    }
+
+    #[test]
+    fn barrier_in_thread_dependent_branch_is_a0101() {
+        let k = kernel(vec![Stmt::If {
+            cond: tid().lt(Expr::int(8)),
+            then: vec![Stmt::Barrier],
+            els: vec![],
+        }]);
+        let d = check_barrier_divergence(&k);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0101");
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn barrier_under_derived_taint_is_a0101() {
+        // gid = blockIdx*blockDim + threadIdx; if (gid < 8) barrier;
+        let k = kernel(vec![
+            Stmt::Decl {
+                name: "gid".into(),
+                ty: ScalarType::I32,
+                init: Some(
+                    Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX) + tid(),
+                ),
+            },
+            Stmt::If {
+                cond: Expr::var("gid").lt(Expr::int(8)),
+                then: vec![Stmt::Barrier],
+                els: vec![],
+            },
+        ]);
+        assert_eq!(check_barrier_divergence(&k)[0].code, "A0101");
+    }
+
+    #[test]
+    fn barrier_after_divergent_return_is_a0102() {
+        let k = kernel(vec![
+            Stmt::If {
+                cond: tid().ge(Expr::int(8)),
+                then: vec![Stmt::Return],
+                els: vec![],
+            },
+            Stmt::Barrier,
+        ]);
+        let d = check_barrier_divergence(&k);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "A0102");
+    }
+
+    #[test]
+    fn barrier_in_uniform_branch_is_clean() {
+        // Region dispatch: branching on blockIdx is convergent.
+        let k = kernel(vec![Stmt::If {
+            cond: Expr::Builtin(Builtin::BlockIdxX).lt(Expr::int(1)),
+            then: vec![Stmt::Barrier],
+            els: vec![Stmt::Barrier],
+        }]);
+        assert!(check_barrier_divergence(&k).is_empty());
+    }
+
+    #[test]
+    fn barrier_in_thread_dependent_loop_is_a0101() {
+        let k = kernel(vec![Stmt::For {
+            var: "i".into(),
+            from: Expr::int(0),
+            to: tid(),
+            body: vec![Stmt::Barrier],
+        }]);
+        assert_eq!(check_barrier_divergence(&k)[0].code, "A0101");
+    }
+}

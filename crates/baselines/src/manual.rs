@@ -139,12 +139,26 @@ mod tests {
         let labels: Vec<String> = rows.iter().map(|v| v.label(false)).collect();
         assert_eq!(
             labels,
-            vec!["Manual", "+Tex", "+2DTex", "+Mask", "+Mask+Tex", "+Mask+2DTex"]
+            vec![
+                "Manual",
+                "+Tex",
+                "+2DTex",
+                "+Mask",
+                "+Mask+Tex",
+                "+Mask+2DTex"
+            ]
         );
         let ocl: Vec<String> = rows.iter().map(|v| v.label(true)).collect();
         assert_eq!(
             ocl,
-            vec!["Manual", "+Img", "+ImgBH", "+Mask", "+Mask+Img", "+Mask+ImgBH"]
+            vec![
+                "Manual",
+                "+Img",
+                "+ImgBH",
+                "+Mask",
+                "+Mask+Img",
+                "+Mask+ImgBH"
+            ]
         );
     }
 
@@ -229,14 +243,10 @@ mod tests {
         )
         .compile(&t, 512, 512)
         .unwrap();
-        let generated = hipacc_filters::bilateral::bilateral_operator(
-            3,
-            5,
-            true,
-            BoundaryMode::Clamp,
-        )
-        .compile(&t, 512, 512)
-        .unwrap();
+        let generated =
+            hipacc_filters::bilateral::bilateral_operator(3, 5, true, BoundaryMode::Clamp)
+                .compile(&t, 512, 512)
+                .unwrap();
         let cfg = CountConfig::default();
         let params = std::collections::HashMap::from([
             ("sigma_d".to_string(), hipacc_ir::Const::Int(3)),

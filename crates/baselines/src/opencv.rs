@@ -125,12 +125,8 @@ impl OpencvSeparable {
                         Sides::none(),
                     )
                     .expect("sides");
-                    let clamped = adjust_coord(
-                        BoundaryMode::Clamp,
-                        pos.clone(),
-                        extent,
-                        Sides::both(),
-                    );
+                    let clamped =
+                        adjust_coord(BoundaryMode::Clamp, pos.clone(), extent, Sides::both());
                     vec![
                         Stmt::Decl {
                             name: "_v".into(),
@@ -350,7 +346,11 @@ mod tests {
             .unwrap();
         let taps = MaskCoeffs1D::gaussian(5, 1.1);
         let expected = reference::convolve_separable(&img, &taps, &taps, BoundaryMode::Clamp);
-        assert!(out.max_abs_diff(&expected) < 1e-4, "{}", out.max_abs_diff(&expected));
+        assert!(
+            out.max_abs_diff(&expected) < 1e-4,
+            "{}",
+            out.max_abs_diff(&expected)
+        );
         assert_eq!(stats.oob_reads, 0);
     }
 

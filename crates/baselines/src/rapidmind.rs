@@ -52,9 +52,9 @@ pub fn rapidmind_outcome(mode: BoundaryMode, arch: Architecture) -> RapidMindOut
 /// the remapping modes).
 fn rm_wrap(
     b: &mut KernelBuilder,
-    pos_axis: Expr,      // x() + dx
-    axis_origin: Expr,   // x()
-    extent: &VarHandle,  // rm_width / rm_height
+    pos_axis: Expr,     // x() + dx
+    axis_origin: Expr,  // x()
+    extent: &VarHandle, // rm_width / rm_height
     mode: BoundaryMode,
 ) -> Expr {
     let pos = b.let_fresh("_rm_pos", ScalarType::I32, pos_axis);
@@ -93,17 +93,13 @@ pub fn rapidmind_bilateral_kernel(mode: BoundaryMode) -> KernelDef {
         "c_r",
         ScalarType::F32,
         Expr::float(1.0)
-            / (Expr::float(2.0)
-                * sr.get().cast(ScalarType::F32)
-                * sr.get().cast(ScalarType::F32)),
+            / (Expr::float(2.0) * sr.get().cast(ScalarType::F32) * sr.get().cast(ScalarType::F32)),
     );
     let c_d = b.let_(
         "c_d",
         ScalarType::F32,
         Expr::float(1.0)
-            / (Expr::float(2.0)
-                * sd.get().cast(ScalarType::F32)
-                * sd.get().cast(ScalarType::F32)),
+            / (Expr::float(2.0) * sd.get().cast(ScalarType::F32) * sd.get().cast(ScalarType::F32)),
     );
     let d = b.let_("d", ScalarType::F32, Expr::float(0.0));
     let p = b.let_("p", ScalarType::F32, Expr::float(0.0));
@@ -147,13 +143,9 @@ pub fn rapidmind_bilateral_kernel(mode: BoundaryMode) -> KernelDef {
                 "_rm_c",
                 ScalarType::F32,
                 Expr::exp(
-                    -(c_d.get()
-                        * xf.get().cast(ScalarType::F32)
-                        * xf.get().cast(ScalarType::F32)),
+                    -(c_d.get() * xf.get().cast(ScalarType::F32) * xf.get().cast(ScalarType::F32)),
                 ) * Expr::exp(
-                    -(c_d.get()
-                        * yf.get().cast(ScalarType::F32)
-                        * yf.get().cast(ScalarType::F32)),
+                    -(c_d.get() * yf.get().cast(ScalarType::F32) * yf.get().cast(ScalarType::F32)),
                 ),
             );
             b.add_assign(&d, s.get() * c.get());
@@ -240,8 +232,8 @@ mod tests {
     #[test]
     fn rapidmind_clamp_matches_reference() {
         let img = phantom::vessel_tree(36, 28, &phantom::VesselParams::default());
-        let op = rapidmind_bilateral(1, 5, BoundaryMode::Clamp, Architecture::Fermi, false)
-            .unwrap();
+        let op =
+            rapidmind_bilateral(1, 5, BoundaryMode::Clamp, Architecture::Fermi, false).unwrap();
         let op = with_geometry(op, img.width(), img.height());
         let result = op
             .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
@@ -261,8 +253,8 @@ mod tests {
     #[test]
     fn rapidmind_repeat_runs_on_gt200_with_idiv_cost() {
         let img = phantom::gradient(32, 24);
-        let op = rapidmind_bilateral(1, 5, BoundaryMode::Repeat, Architecture::GT200, false)
-            .unwrap();
+        let op =
+            rapidmind_bilateral(1, 5, BoundaryMode::Repeat, Architecture::GT200, false).unwrap();
         let op = with_geometry(op, 32, 24);
         let result = op
             .execute(&[("Input", &img)], &Target::cuda(quadro_fx_5800()))
@@ -276,22 +268,17 @@ mod tests {
         // The paper's headline: generated code outperforms RapidMind by
         // ~2x. Compare modelled times for the 4096² bilateral.
         let t = Target::cuda(tesla_c2050());
-        let gen = hipacc_filters::bilateral::bilateral_operator(
-            3,
-            5,
-            true,
-            BoundaryMode::Clamp,
-        )
-        .with_options(PipelineOptions {
-            force_config: Some((128, 1)),
-            ..PipelineOptions::default()
-        });
+        let gen = hipacc_filters::bilateral::bilateral_operator(3, 5, true, BoundaryMode::Clamp)
+            .with_options(PipelineOptions {
+                force_config: Some((128, 1)),
+                ..PipelineOptions::default()
+            });
         let gen_time = {
             let c = gen.compile(&t, 4096, 4096).unwrap();
             gen.estimate(&c, &t).total_ms
         };
-        let rm = rapidmind_bilateral(3, 5, BoundaryMode::Clamp, Architecture::Fermi, false)
-            .unwrap();
+        let rm =
+            rapidmind_bilateral(3, 5, BoundaryMode::Clamp, Architecture::Fermi, false).unwrap();
         let rm = with_geometry(rm, 4096, 4096);
         let rm_time = {
             let c = rm.compile(&t, 4096, 4096).unwrap();

@@ -66,6 +66,13 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter(|| black_box(hipacc_ir::access::analyze(&kernel, &bindings)))
     });
 
+    group.bench_function("kernel_verifier", |b| {
+        let compiler = Compiler::new();
+        let spec = base_spec();
+        let compiled = compiler.compile(&kernel, &spec).unwrap();
+        b.iter(|| black_box(hipacc_codegen::verify_compiled(&compiled, &spec)))
+    });
+
     group.finish();
 }
 

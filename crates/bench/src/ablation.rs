@@ -121,8 +121,12 @@ pub fn ablate_vectorization() -> Vec<Ablation> {
 pub fn sobel_equals_gaussian() -> (f64, f64) {
     let target = Target::cuda(tesla_c2050());
     let gauss = gaussian_operator(3, 0.8, BoundaryMode::Clamp);
-    let sobel = Operator::new(hipacc_filters::sobel::sobel_kernel(true))
-        .boundary("Input", BoundaryMode::Clamp, 3, 3);
+    let sobel = Operator::new(hipacc_filters::sobel::sobel_kernel(true)).boundary(
+        "Input",
+        BoundaryMode::Clamp,
+        3,
+        3,
+    );
     (time_of(&gauss, &target), time_of(&sobel, &target))
 }
 
@@ -177,9 +181,6 @@ mod tests {
         // "the Sobel filter uses the same implementation and has the same
         // performance" (SVI-A3).
         let (g, s) = sobel_equals_gaussian();
-        assert!(
-            (g - s).abs() / g < 0.15,
-            "gaussian {g:.2} vs sobel {s:.2}"
-        );
+        assert!((g - s).abs() / g < 0.15, "gaussian {g:.2} vs sobel {s:.2}");
     }
 }

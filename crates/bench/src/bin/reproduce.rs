@@ -28,12 +28,14 @@ fn print_table(n: u32) {
             }
         }
         8 | 9 => {
-            let dev = if n == 8 { tesla_c2050() } else { quadro_fx_5800() };
+            let dev = if n == 8 {
+                tesla_c2050()
+            } else {
+                quadro_fx_5800()
+            };
             for (size, pt) in [(3u32, 0usize), (5, 1)] {
                 let model = gaussian_table(&Target::cuda(dev.clone()), size, n);
-                let paper_entry = paper::gaussian_tables()
-                    [if n == 8 { pt } else { 2 + pt }]
-                .2;
+                let paper_entry = paper::gaussian_tables()[if n == 8 { pt } else { 2 + pt }].2;
                 print!("{}", render_comparison(&model, paper_entry));
                 let (m, p) = paired_times(&model, paper_entry);
                 if m.len() > 2 {
@@ -48,7 +50,9 @@ fn print_table(n: u32) {
 fn print_figure(n: u32) {
     match n {
         3 => {
-            println!("Figure 3: block-to-region assignment (256x96 image, 32x6 blocks, 13x13 window)");
+            println!(
+                "Figure 3: block-to-region assignment (256x96 image, 32x6 blocks, 13x13 window)"
+            );
             for row in figure3(256, 96, (32, 6)) {
                 println!("  {row}");
             }
@@ -56,8 +60,13 @@ fn print_figure(n: u32) {
         }
         4 => {
             let e = figure4();
-            println!("Figure 4: configuration exploration, bilateral 13x13, 4096^2, Tesla C2050 (CUDA)");
-            println!("  {:>6} {:>9} {:>10} {:>10}", "config", "threads", "occupancy", "time_ms");
+            println!(
+                "Figure 4: configuration exploration, bilateral 13x13, 4096^2, Tesla C2050 (CUDA)"
+            );
+            println!(
+                "  {:>6} {:>9} {:>10} {:>10}",
+                "config", "threads", "occupancy", "time_ms"
+            );
             let mut pts = e.points.clone();
             pts.sort_by_key(|p| (p.threads, p.by));
             for p in &pts {
@@ -87,11 +96,17 @@ fn print_figure(n: u32) {
 
 fn print_ablations() {
     println!("Ablations: what each design choice is worth (bilateral 13x13, 4096^2)");
-    println!("  {:<58} {:>10} {:>10} {:>8}", "feature", "with ms", "without", "factor");
+    println!(
+        "  {:<58} {:>10} {:>10} {:>8}",
+        "feature", "with ms", "without", "factor"
+    );
     for a in ablation::all_ablations() {
         println!(
             "  {:<58} {:>10.2} {:>10.2} {:>7.2}x",
-            a.name, a.baseline_ms, a.ablated_ms, a.factor()
+            a.name,
+            a.baseline_ms,
+            a.ablated_ms,
+            a.factor()
         );
     }
     let (g, s) = ablation::sobel_equals_gaussian();

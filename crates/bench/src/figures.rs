@@ -148,7 +148,10 @@ mod tests {
         let rows = figure3(256, 48, (32, 6));
         let text = rows.join("\n");
         for label in ["TL", "TR", "BL", "BR", "T ", "B ", "L ", "R ", ". "] {
-            assert!(text.contains(label.trim_end()), "missing {label} in\n{text}");
+            assert!(
+                text.contains(label.trim_end()),
+                "missing {label} in\n{text}"
+            );
         }
         // First row starts with the top-left corner.
         assert!(rows[0].starts_with("TL"));

@@ -22,18 +22,78 @@ pub const TABLE2: PaperTable = PaperTable {
     title: "Bilateral, Tesla C2050, CUDA",
     columns: &["Undef.", "Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("Manual", &[None, Some(302.27), Some(363.96), Some(321.81), Some(568.46)]),
-        ("  +Tex", &[Some(260.03), Some(285.61), Some(362.70), Some(310.61), Some(520.25)]),
-        ("  +2DTex", &[Some(272.39), Some(272.40), Some(300.56), None, None]),
-        ("  +Mask", &[None, Some(214.51), Some(281.89), Some(225.88), Some(481.76)]),
-        ("  +Mask+Tex", &[Some(170.79), Some(192.46), Some(259.26), Some(205.29), Some(425.13)]),
-        ("  +Mask+2DTex", &[Some(181.19), Some(181.19), Some(203.13), None, None]),
-        ("Generated", &[None, Some(285.29), Some(298.29), Some(289.22), Some(291.26)]),
-        ("  +Tex", &[Some(276.76), Some(265.36), Some(285.57), Some(278.04), Some(268.01)]),
-        ("  +Mask", &[None, Some(181.45), Some(200.66), Some(193.16), Some(197.23)]),
-        ("  +Mask+Tex", &[Some(172.60), Some(182.80), Some(180.38), Some(173.59), Some(175.52)]),
-        ("RapidMind", &[Some(430.95), Some(489.94), None, None, Some(539.69)]),
-        ("  +Tex", &[Some(456.35), Some(514.63), None, None, Some(518.49)]),
+        (
+            "Manual",
+            &[None, Some(302.27), Some(363.96), Some(321.81), Some(568.46)],
+        ),
+        (
+            "  +Tex",
+            &[
+                Some(260.03),
+                Some(285.61),
+                Some(362.70),
+                Some(310.61),
+                Some(520.25),
+            ],
+        ),
+        (
+            "  +2DTex",
+            &[Some(272.39), Some(272.40), Some(300.56), None, None],
+        ),
+        (
+            "  +Mask",
+            &[None, Some(214.51), Some(281.89), Some(225.88), Some(481.76)],
+        ),
+        (
+            "  +Mask+Tex",
+            &[
+                Some(170.79),
+                Some(192.46),
+                Some(259.26),
+                Some(205.29),
+                Some(425.13),
+            ],
+        ),
+        (
+            "  +Mask+2DTex",
+            &[Some(181.19), Some(181.19), Some(203.13), None, None],
+        ),
+        (
+            "Generated",
+            &[None, Some(285.29), Some(298.29), Some(289.22), Some(291.26)],
+        ),
+        (
+            "  +Tex",
+            &[
+                Some(276.76),
+                Some(265.36),
+                Some(285.57),
+                Some(278.04),
+                Some(268.01),
+            ],
+        ),
+        (
+            "  +Mask",
+            &[None, Some(181.45), Some(200.66), Some(193.16), Some(197.23)],
+        ),
+        (
+            "  +Mask+Tex",
+            &[
+                Some(172.60),
+                Some(182.80),
+                Some(180.38),
+                Some(173.59),
+                Some(175.52),
+            ],
+        ),
+        (
+            "RapidMind",
+            &[Some(430.95), Some(489.94), None, None, Some(539.69)],
+        ),
+        (
+            "  +Tex",
+            &[Some(456.35), Some(514.63), None, None, Some(518.49)],
+        ),
     ],
 };
 
@@ -43,16 +103,94 @@ pub const TABLE3: PaperTable = PaperTable {
     title: "Bilateral, Tesla C2050, OpenCL",
     columns: &["Undef.", "Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("Manual", &[Some(449.86), Some(485.60), Some(552.83), Some(504.39), Some(505.11)]),
-        ("  +Img", &[Some(465.48), Some(487.80), Some(557.88), Some(501.18), Some(508.28)]),
-        ("  +ImgBH", &[Some(452.15), Some(452.39), Some(464.07), None, Some(452.24)]),
-        ("  +Mask", &[Some(215.23), Some(250.67), Some(331.11), Some(261.05), Some(267.62)]),
-        ("  +Mask+Img", &[Some(228.29), Some(251.51), Some(322.61), Some(264.54), Some(288.08)]),
-        ("  +Mask+ImgBH", &[Some(214.68), Some(227.74), Some(215.07), None, Some(215.07)]),
-        ("Generated", &[Some(453.78), Some(466.49), Some(474.86), Some(455.59), Some(467.05)]),
-        ("  +Img", &[Some(463.62), Some(466.61), Some(472.67), Some(468.43), Some(466.62)]),
-        ("  +Mask", &[Some(217.95), Some(215.61), Some(222.78), Some(220.27), Some(220.16)]),
-        ("  +Mask+Img", &[Some(219.49), Some(219.64), Some(238.81), Some(220.28), Some(232.57)]),
+        (
+            "Manual",
+            &[
+                Some(449.86),
+                Some(485.60),
+                Some(552.83),
+                Some(504.39),
+                Some(505.11),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(465.48),
+                Some(487.80),
+                Some(557.88),
+                Some(501.18),
+                Some(508.28),
+            ],
+        ),
+        (
+            "  +ImgBH",
+            &[Some(452.15), Some(452.39), Some(464.07), None, Some(452.24)],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(215.23),
+                Some(250.67),
+                Some(331.11),
+                Some(261.05),
+                Some(267.62),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(228.29),
+                Some(251.51),
+                Some(322.61),
+                Some(264.54),
+                Some(288.08),
+            ],
+        ),
+        (
+            "  +Mask+ImgBH",
+            &[Some(214.68), Some(227.74), Some(215.07), None, Some(215.07)],
+        ),
+        (
+            "Generated",
+            &[
+                Some(453.78),
+                Some(466.49),
+                Some(474.86),
+                Some(455.59),
+                Some(467.05),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(463.62),
+                Some(466.61),
+                Some(472.67),
+                Some(468.43),
+                Some(466.62),
+            ],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(217.95),
+                Some(215.61),
+                Some(222.78),
+                Some(220.27),
+                Some(220.16),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(219.49),
+                Some(219.64),
+                Some(238.81),
+                Some(220.28),
+                Some(232.57),
+            ],
+        ),
     ],
 };
 
@@ -62,18 +200,114 @@ pub const TABLE4: PaperTable = PaperTable {
     title: "Bilateral, Quadro FX 5800, CUDA",
     columns: &["Undef.", "Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("Manual", &[Some(319.67), Some(349.32), Some(394.96), Some(393.00), Some(779.68)]),
-        ("  +Tex", &[Some(310.22), Some(336.46), Some(369.74), Some(378.47), Some(590.18)]),
-        ("  +2DTex", &[Some(330.50), Some(330.49), Some(369.06), None, None]),
-        ("  +Mask", &[Some(224.56), Some(321.55), Some(323.50), Some(321.46), Some(778.48)]),
-        ("  +Mask+Tex", &[Some(199.11), Some(237.60), Some(271.45), Some(278.89), Some(497.75)]),
-        ("  +Mask+2DTex", &[Some(214.53), Some(215.53), Some(348.92), None, None]),
-        ("Generated", &[Some(321.24), Some(331.36), Some(404.81), Some(332.17), Some(436.77)]),
-        ("  +Tex", &[Some(312.71), Some(313.74), Some(356.52), Some(316.08), Some(383.19)]),
-        ("  +Mask", &[Some(225.58), Some(227.65), Some(281.82), Some(228.18), Some(290.78)]),
-        ("  +Mask+Tex", &[Some(200.55), Some(204.45), Some(218.22), Some(204.53), Some(246.96)]),
-        ("RapidMind", &[Some(737.69), Some(862.86), Some(2352.34), None, Some(989.55)]),
-        ("  +Tex", &[Some(679.52), Some(734.48), Some(2226.33), None, Some(805.62)]),
+        (
+            "Manual",
+            &[
+                Some(319.67),
+                Some(349.32),
+                Some(394.96),
+                Some(393.00),
+                Some(779.68),
+            ],
+        ),
+        (
+            "  +Tex",
+            &[
+                Some(310.22),
+                Some(336.46),
+                Some(369.74),
+                Some(378.47),
+                Some(590.18),
+            ],
+        ),
+        (
+            "  +2DTex",
+            &[Some(330.50), Some(330.49), Some(369.06), None, None],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(224.56),
+                Some(321.55),
+                Some(323.50),
+                Some(321.46),
+                Some(778.48),
+            ],
+        ),
+        (
+            "  +Mask+Tex",
+            &[
+                Some(199.11),
+                Some(237.60),
+                Some(271.45),
+                Some(278.89),
+                Some(497.75),
+            ],
+        ),
+        (
+            "  +Mask+2DTex",
+            &[Some(214.53), Some(215.53), Some(348.92), None, None],
+        ),
+        (
+            "Generated",
+            &[
+                Some(321.24),
+                Some(331.36),
+                Some(404.81),
+                Some(332.17),
+                Some(436.77),
+            ],
+        ),
+        (
+            "  +Tex",
+            &[
+                Some(312.71),
+                Some(313.74),
+                Some(356.52),
+                Some(316.08),
+                Some(383.19),
+            ],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(225.58),
+                Some(227.65),
+                Some(281.82),
+                Some(228.18),
+                Some(290.78),
+            ],
+        ),
+        (
+            "  +Mask+Tex",
+            &[
+                Some(200.55),
+                Some(204.45),
+                Some(218.22),
+                Some(204.53),
+                Some(246.96),
+            ],
+        ),
+        (
+            "RapidMind",
+            &[
+                Some(737.69),
+                Some(862.86),
+                Some(2352.34),
+                None,
+                Some(989.55),
+            ],
+        ),
+        (
+            "  +Tex",
+            &[
+                Some(679.52),
+                Some(734.48),
+                Some(2226.33),
+                None,
+                Some(805.62),
+            ],
+        ),
     ],
 };
 
@@ -83,16 +317,94 @@ pub const TABLE5: PaperTable = PaperTable {
     title: "Bilateral, Quadro FX 5800, OpenCL",
     columns: &["Undef.", "Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("Manual", &[Some(439.55), Some(504.79), Some(537.04), Some(528.47), Some(770.34)]),
-        ("  +Img", &[Some(509.95), Some(529.39), Some(560.77), Some(550.43), Some(732.55)]),
-        ("  +ImgBH", &[Some(509.82), Some(509.33), Some(509.38), None, Some(509.65)]),
-        ("  +Mask", &[Some(355.70), Some(455.69), Some(458.90), Some(452.71), Some(775.83)]),
-        ("  +Mask+Img", &[Some(468.94), Some(466.67), Some(467.19), Some(464.62), Some(708.93)]),
-        ("  +Mask+ImgBH", &[Some(468.00), Some(470.04), Some(468.80), None, Some(470.46)]),
-        ("Generated", &[Some(446.24), Some(449.67), Some(514.89), Some(453.68), Some(460.68)]),
-        ("  +Img", &[Some(511.38), Some(512.50), Some(553.23), Some(511.78), Some(654.08)]),
-        ("  +Mask", &[Some(354.93), Some(357.77), Some(407.01), Some(357.72), Some(384.30)]),
-        ("  +Mask+Img", &[Some(466.26), Some(465.70), Some(522.53), Some(461.56), Some(539.77)]),
+        (
+            "Manual",
+            &[
+                Some(439.55),
+                Some(504.79),
+                Some(537.04),
+                Some(528.47),
+                Some(770.34),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(509.95),
+                Some(529.39),
+                Some(560.77),
+                Some(550.43),
+                Some(732.55),
+            ],
+        ),
+        (
+            "  +ImgBH",
+            &[Some(509.82), Some(509.33), Some(509.38), None, Some(509.65)],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(355.70),
+                Some(455.69),
+                Some(458.90),
+                Some(452.71),
+                Some(775.83),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(468.94),
+                Some(466.67),
+                Some(467.19),
+                Some(464.62),
+                Some(708.93),
+            ],
+        ),
+        (
+            "  +Mask+ImgBH",
+            &[Some(468.00), Some(470.04), Some(468.80), None, Some(470.46)],
+        ),
+        (
+            "Generated",
+            &[
+                Some(446.24),
+                Some(449.67),
+                Some(514.89),
+                Some(453.68),
+                Some(460.68),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(511.38),
+                Some(512.50),
+                Some(553.23),
+                Some(511.78),
+                Some(654.08),
+            ],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(354.93),
+                Some(357.77),
+                Some(407.01),
+                Some(357.72),
+                Some(384.30),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(466.26),
+                Some(465.70),
+                Some(522.53),
+                Some(461.56),
+                Some(539.77),
+            ],
+        ),
     ],
 };
 
@@ -102,16 +414,94 @@ pub const TABLE6: PaperTable = PaperTable {
     title: "Bilateral, Radeon HD 5870, OpenCL",
     columns: &["Undef.", "Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("Manual", &[Some(334.96), Some(408.36), Some(404.83), Some(419.59), Some(440.64)]),
-        ("  +Img", &[Some(353.93), Some(385.23), Some(405.81), Some(396.45), Some(484.25)]),
-        ("  +ImgBH", &[Some(353.93), Some(353.91), Some(353.96), None, Some(353.95)]),
-        ("  +Mask", &[Some(311.85), Some(397.40), Some(434.36), Some(408.32), Some(402.59)]),
-        ("  +Mask+Img", &[Some(341.23), Some(373.93), Some(400.71), Some(375.48), Some(444.36)]),
-        ("  +Mask+ImgBH", &[Some(341.25), Some(341.24), Some(341.24), None, Some(341.27)]),
-        ("Generated", &[Some(342.67), Some(354.49), Some(472.20), Some(355.57), Some(351.83)]),
-        ("  +Img", &[Some(372.14), Some(376.91), Some(482.28), Some(382.71), Some(446.98)]),
-        ("  +Mask", &[Some(326.22), Some(357.96), Some(487.53), Some(359.72), Some(348.77)]),
-        ("  +Mask+Img", &[Some(350.56), Some(364.34), Some(481.76), Some(364.39), Some(428.22)]),
+        (
+            "Manual",
+            &[
+                Some(334.96),
+                Some(408.36),
+                Some(404.83),
+                Some(419.59),
+                Some(440.64),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(353.93),
+                Some(385.23),
+                Some(405.81),
+                Some(396.45),
+                Some(484.25),
+            ],
+        ),
+        (
+            "  +ImgBH",
+            &[Some(353.93), Some(353.91), Some(353.96), None, Some(353.95)],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(311.85),
+                Some(397.40),
+                Some(434.36),
+                Some(408.32),
+                Some(402.59),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(341.23),
+                Some(373.93),
+                Some(400.71),
+                Some(375.48),
+                Some(444.36),
+            ],
+        ),
+        (
+            "  +Mask+ImgBH",
+            &[Some(341.25), Some(341.24), Some(341.24), None, Some(341.27)],
+        ),
+        (
+            "Generated",
+            &[
+                Some(342.67),
+                Some(354.49),
+                Some(472.20),
+                Some(355.57),
+                Some(351.83),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(372.14),
+                Some(376.91),
+                Some(482.28),
+                Some(382.71),
+                Some(446.98),
+            ],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(326.22),
+                Some(357.96),
+                Some(487.53),
+                Some(359.72),
+                Some(348.77),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(350.56),
+                Some(364.34),
+                Some(481.76),
+                Some(364.39),
+                Some(428.22),
+            ],
+        ),
     ],
 };
 
@@ -121,16 +511,94 @@ pub const TABLE7: PaperTable = PaperTable {
     title: "Bilateral, Radeon HD 6970, OpenCL",
     columns: &["Undef.", "Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("Manual", &[Some(286.29), Some(337.13), Some(375.11), Some(346.18), Some(381.76)]),
-        ("  +Img", &[Some(286.38), Some(319.20), Some(364.59), Some(328.12), Some(435.16)]),
-        ("  +ImgBH", &[Some(286.44), Some(286.44), Some(286.43), None, Some(286.46)]),
-        ("  +Mask", &[Some(265.57), Some(332.41), Some(387.81), Some(340.59), Some(349.37)]),
-        ("  +Mask+Img", &[Some(268.26), Some(310.84), Some(349.31), Some(311.42), Some(387.73)]),
-        ("  +Mask+ImgBH", &[Some(268.20), Some(268.23), Some(268.20), None, Some(268.24)]),
-        ("Generated", &[Some(291.30), Some(309.52), Some(470.90), Some(322.69), Some(321.19)]),
-        ("  +Img", &[Some(303.36), Some(298.50), Some(465.30), Some(305.38), Some(438.74)]),
-        ("  +Mask", &[Some(289.33), Some(296.20), Some(467.76), Some(332.91), Some(314.05)]),
-        ("  +Mask+Img", &[Some(279.66), Some(291.49), Some(474.60), Some(291.58), Some(414.31)]),
+        (
+            "Manual",
+            &[
+                Some(286.29),
+                Some(337.13),
+                Some(375.11),
+                Some(346.18),
+                Some(381.76),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(286.38),
+                Some(319.20),
+                Some(364.59),
+                Some(328.12),
+                Some(435.16),
+            ],
+        ),
+        (
+            "  +ImgBH",
+            &[Some(286.44), Some(286.44), Some(286.43), None, Some(286.46)],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(265.57),
+                Some(332.41),
+                Some(387.81),
+                Some(340.59),
+                Some(349.37),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(268.26),
+                Some(310.84),
+                Some(349.31),
+                Some(311.42),
+                Some(387.73),
+            ],
+        ),
+        (
+            "  +Mask+ImgBH",
+            &[Some(268.20), Some(268.23), Some(268.20), None, Some(268.24)],
+        ),
+        (
+            "Generated",
+            &[
+                Some(291.30),
+                Some(309.52),
+                Some(470.90),
+                Some(322.69),
+                Some(321.19),
+            ],
+        ),
+        (
+            "  +Img",
+            &[
+                Some(303.36),
+                Some(298.50),
+                Some(465.30),
+                Some(305.38),
+                Some(438.74),
+            ],
+        ),
+        (
+            "  +Mask",
+            &[
+                Some(289.33),
+                Some(296.20),
+                Some(467.76),
+                Some(332.91),
+                Some(314.05),
+            ],
+        ),
+        (
+            "  +Mask+Img",
+            &[
+                Some(279.66),
+                Some(291.49),
+                Some(474.60),
+                Some(291.58),
+                Some(414.31),
+            ],
+        ),
     ],
 };
 
@@ -140,14 +608,38 @@ pub const TABLE8_3X3: PaperTable = PaperTable {
     title: "Gaussian 3x3, Tesla C2050",
     columns: &["Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("OpenCV: PPT=8", &[Some(5.10), Some(6.36), Some(8.09), Some(6.75)]),
-        ("OpenCV: PPT=1", &[Some(9.44), Some(11.85), Some(15.97), Some(12.36)]),
-        ("CUDA(Gen)", &[Some(7.00), Some(7.53), Some(7.21), Some(7.10)]),
-        ("CUDA(+Tex)", &[Some(7.00), Some(7.44), Some(7.17), Some(7.13)]),
-        ("CUDA(+Smem)", &[Some(7.73), Some(8.09), Some(8.02), Some(8.00)]),
-        ("OpenCL(Gen)", &[Some(9.26), Some(9.70), Some(9.40), Some(9.33)]),
-        ("OpenCL(+Img)", &[Some(13.41), Some(13.62), Some(13.33), Some(13.16)]),
-        ("OpenCL(+Lmem)", &[Some(11.29), Some(11.46), Some(11.12), Some(11.13)]),
+        (
+            "OpenCV: PPT=8",
+            &[Some(5.10), Some(6.36), Some(8.09), Some(6.75)],
+        ),
+        (
+            "OpenCV: PPT=1",
+            &[Some(9.44), Some(11.85), Some(15.97), Some(12.36)],
+        ),
+        (
+            "CUDA(Gen)",
+            &[Some(7.00), Some(7.53), Some(7.21), Some(7.10)],
+        ),
+        (
+            "CUDA(+Tex)",
+            &[Some(7.00), Some(7.44), Some(7.17), Some(7.13)],
+        ),
+        (
+            "CUDA(+Smem)",
+            &[Some(7.73), Some(8.09), Some(8.02), Some(8.00)],
+        ),
+        (
+            "OpenCL(Gen)",
+            &[Some(9.26), Some(9.70), Some(9.40), Some(9.33)],
+        ),
+        (
+            "OpenCL(+Img)",
+            &[Some(13.41), Some(13.62), Some(13.33), Some(13.16)],
+        ),
+        (
+            "OpenCL(+Lmem)",
+            &[Some(11.29), Some(11.46), Some(11.12), Some(11.13)],
+        ),
     ],
 };
 
@@ -157,14 +649,38 @@ pub const TABLE8_5X5: PaperTable = PaperTable {
     title: "Gaussian 5x5, Tesla C2050",
     columns: &["Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("OpenCV: PPT=8", &[Some(5.11), Some(6.36), Some(8.10), Some(6.76)]),
-        ("OpenCV: PPT=1", &[Some(9.45), Some(11.88), Some(15.99), Some(12.37)]),
-        ("CUDA(Gen)", &[Some(8.84), Some(9.86), Some(9.47), Some(9.45)]),
-        ("CUDA(+Tex)", &[Some(8.94), Some(9.72), Some(9.35), Some(9.47)]),
-        ("CUDA(+Smem)", &[Some(9.38), Some(9.59), Some(9.44), Some(9.55)]),
-        ("OpenCL(Gen)", &[Some(10.88), Some(11.82), Some(11.13), Some(10.44)]),
-        ("OpenCL(+Img)", &[Some(14.96), Some(15.87), Some(15.17), Some(15.12)]),
-        ("OpenCL(+Lmem)", &[Some(13.24), Some(13.72), Some(13.35), Some(13.22)]),
+        (
+            "OpenCV: PPT=8",
+            &[Some(5.11), Some(6.36), Some(8.10), Some(6.76)],
+        ),
+        (
+            "OpenCV: PPT=1",
+            &[Some(9.45), Some(11.88), Some(15.99), Some(12.37)],
+        ),
+        (
+            "CUDA(Gen)",
+            &[Some(8.84), Some(9.86), Some(9.47), Some(9.45)],
+        ),
+        (
+            "CUDA(+Tex)",
+            &[Some(8.94), Some(9.72), Some(9.35), Some(9.47)],
+        ),
+        (
+            "CUDA(+Smem)",
+            &[Some(9.38), Some(9.59), Some(9.44), Some(9.55)],
+        ),
+        (
+            "OpenCL(Gen)",
+            &[Some(10.88), Some(11.82), Some(11.13), Some(10.44)],
+        ),
+        (
+            "OpenCL(+Img)",
+            &[Some(14.96), Some(15.87), Some(15.17), Some(15.12)],
+        ),
+        (
+            "OpenCL(+Lmem)",
+            &[Some(13.24), Some(13.72), Some(13.35), Some(13.22)],
+        ),
     ],
 };
 
@@ -174,14 +690,38 @@ pub const TABLE9_3X3: PaperTable = PaperTable {
     title: "Gaussian 3x3, Quadro FX 5800",
     columns: &["Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("OpenCV: PPT=8", &[Some(4.86), Some(5.82), Some(10.46), Some(6.22)]),
-        ("OpenCV: PPT=1", &[Some(7.63), Some(9.22), Some(20.98), Some(9.79)]),
-        ("CUDA(Gen)", &[Some(8.60), Some(8.63), Some(8.64), Some(8.67)]),
-        ("CUDA(+Tex)", &[Some(8.55), Some(8.58), Some(8.60), Some(8.63)]),
-        ("CUDA(+Smem)", &[Some(11.83), Some(11.83), Some(11.84), Some(11.90)]),
-        ("OpenCL(Gen)", &[Some(13.58), Some(13.47), Some(13.10), Some(13.46)]),
-        ("OpenCL(+Img)", &[Some(15.42), Some(15.47), Some(15.06), Some(15.24)]),
-        ("OpenCL(+Lmem)", &[Some(17.84), Some(17.86), Some(17.91), Some(18.35)]),
+        (
+            "OpenCV: PPT=8",
+            &[Some(4.86), Some(5.82), Some(10.46), Some(6.22)],
+        ),
+        (
+            "OpenCV: PPT=1",
+            &[Some(7.63), Some(9.22), Some(20.98), Some(9.79)],
+        ),
+        (
+            "CUDA(Gen)",
+            &[Some(8.60), Some(8.63), Some(8.64), Some(8.67)],
+        ),
+        (
+            "CUDA(+Tex)",
+            &[Some(8.55), Some(8.58), Some(8.60), Some(8.63)],
+        ),
+        (
+            "CUDA(+Smem)",
+            &[Some(11.83), Some(11.83), Some(11.84), Some(11.90)],
+        ),
+        (
+            "OpenCL(Gen)",
+            &[Some(13.58), Some(13.47), Some(13.10), Some(13.46)],
+        ),
+        (
+            "OpenCL(+Img)",
+            &[Some(15.42), Some(15.47), Some(15.06), Some(15.24)],
+        ),
+        (
+            "OpenCL(+Lmem)",
+            &[Some(17.84), Some(17.86), Some(17.91), Some(18.35)],
+        ),
     ],
 };
 
@@ -191,14 +731,38 @@ pub const TABLE9_5X5: PaperTable = PaperTable {
     title: "Gaussian 5x5, Quadro FX 5800",
     columns: &["Clamp", "Repeat", "Mirror", "Const."],
     rows: &[
-        ("OpenCV: PPT=8", &[Some(4.90), Some(5.87), Some(10.45), Some(6.22)]),
-        ("OpenCV: PPT=1", &[Some(7.64), Some(9.22), Some(20.98), Some(9.79)]),
-        ("CUDA(Gen)", &[Some(9.88), Some(9.95), Some(9.95), Some(10.12)]),
-        ("CUDA(+Tex)", &[Some(9.91), Some(9.97), Some(9.98), Some(10.20)]),
-        ("CUDA(+Smem)", &[Some(14.36), Some(14.36), Some(14.37), Some(14.43)]),
-        ("OpenCL(Gen)", &[Some(16.14), Some(16.26), Some(16.18), Some(16.60)]),
-        ("OpenCL(+Img)", &[Some(18.38), Some(18.44), Some(18.33), Some(18.65)]),
-        ("OpenCL(+Lmem)", &[Some(23.61), Some(23.62), Some(23.62), Some(24.13)]),
+        (
+            "OpenCV: PPT=8",
+            &[Some(4.90), Some(5.87), Some(10.45), Some(6.22)],
+        ),
+        (
+            "OpenCV: PPT=1",
+            &[Some(7.64), Some(9.22), Some(20.98), Some(9.79)],
+        ),
+        (
+            "CUDA(Gen)",
+            &[Some(9.88), Some(9.95), Some(9.95), Some(10.12)],
+        ),
+        (
+            "CUDA(+Tex)",
+            &[Some(9.91), Some(9.97), Some(9.98), Some(10.20)],
+        ),
+        (
+            "CUDA(+Smem)",
+            &[Some(14.36), Some(14.36), Some(14.37), Some(14.43)],
+        ),
+        (
+            "OpenCL(Gen)",
+            &[Some(16.14), Some(16.26), Some(16.18), Some(16.60)],
+        ),
+        (
+            "OpenCL(+Img)",
+            &[Some(18.38), Some(18.44), Some(18.33), Some(18.65)],
+        ),
+        (
+            "OpenCL(+Lmem)",
+            &[Some(23.61), Some(23.62), Some(23.62), Some(24.13)],
+        ),
     ],
 };
 

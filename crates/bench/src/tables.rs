@@ -154,14 +154,32 @@ pub fn bilateral_table(target: &Target, table_no: u32) -> Table {
 
     // Generated rows.
     let gen_variants = [
-        (GenVariant { tex: false, mask: false }, "Generated"),
         (
-            GenVariant { tex: true, mask: false },
+            GenVariant {
+                tex: false,
+                mask: false,
+            },
+            "Generated",
+        ),
+        (
+            GenVariant {
+                tex: true,
+                mask: false,
+            },
             if opencl { "  +Img" } else { "  +Tex" },
         ),
-        (GenVariant { tex: false, mask: true }, "  +Mask"),
         (
-            GenVariant { tex: true, mask: true },
+            GenVariant {
+                tex: false,
+                mask: true,
+            },
+            "  +Mask",
+        ),
+        (
+            GenVariant {
+                tex: true,
+                mask: true,
+            },
             if opencl { "  +Mask+Img" } else { "  +Mask+Tex" },
         ),
     ];
@@ -323,7 +341,7 @@ mod tests {
         let t = bilateral_table(&Target::cuda(tesla_c2050()), 2);
         assert_eq!(t.columns.len(), 5);
         assert_eq!(t.rows.len(), 12); // 6 manual + 4 generated + 2 RapidMind
-        // Tesla CUDA: global-path Undefined crashes …
+                                      // Tesla CUDA: global-path Undefined crashes …
         assert_eq!(t.cell("Manual", "Undef."), Some(Cell::Crash));
         assert_eq!(t.cell("  +Mask", "Undef."), Some(Cell::Crash));
         // … but texture paths survive.
@@ -345,17 +363,11 @@ mod tests {
         // Row 9 is the *generated* +Mask+Tex (rows 0-5 are manual, which
         // share labels with the generated section, as in the paper).
         assert_eq!(t.rows[9].0, "  +Mask+Tex");
-        let times: Vec<f64> = t.rows[9].1[1..5]
-            .iter()
-            .filter_map(|x| x.time())
-            .collect();
+        let times: Vec<f64> = t.rows[9].1[1..5].iter().filter_map(|x| x.time()).collect();
         assert_eq!(times.len(), 4);
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = times.iter().cloned().fold(0.0, f64::max);
-        assert!(
-            max / min < 1.10,
-            "generated times vary too much: {times:?}"
-        );
+        assert!(max / min < 1.10, "generated times vary too much: {times:?}");
     }
 
     #[test]

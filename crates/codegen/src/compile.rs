@@ -13,6 +13,7 @@ use crate::lower::{hw_address_mode, resolve_mem, Lowering, MemPath};
 use crate::opencl::emit_opencl;
 use crate::options::CompileSpec;
 use crate::regions::{Region, RegionGrid};
+use hipacc_analysis::{has_errors, Diagnostic, RegionSeed, VerifyInput};
 use hipacc_hwmodel::{
     estimate_resources, occupancy, select_configuration, Backend, BorderInfo, KernelResources,
     LaunchConfig, Occupancy, OptimizationDb,
@@ -20,10 +21,10 @@ use hipacc_hwmodel::{
 use hipacc_image::BoundaryMode;
 use hipacc_ir::access::analyze;
 use hipacc_ir::fold::specialize_kernel;
-use hipacc_ir::kernel::DeviceKernelDef;
+use hipacc_ir::kernel::{AddressMode, DeviceKernelDef};
 use hipacc_ir::typecheck::check_device;
 use hipacc_ir::unroll::unroll_kernel;
-use hipacc_ir::{KernelDef, Stmt};
+use hipacc_ir::{Const, KernelDef, Stmt};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -43,6 +44,10 @@ pub enum CompileError {
     Internal(String),
     /// A feature combination the compiler does not support.
     UnsupportedCombination(String),
+    /// The kernel verifier found error-severity defects in the generated
+    /// kernel (barrier divergence, shared-memory race, out-of-bounds
+    /// access, resource overflow, or a lint failure).
+    Verification(Vec<Diagnostic>),
 }
 
 impl fmt::Display for CompileError {
@@ -59,6 +64,13 @@ impl fmt::Display for CompileError {
             CompileError::Internal(m) => write!(f, "internal codegen error: {m}"),
             CompileError::UnsupportedCombination(m) => {
                 write!(f, "unsupported combination: {m}")
+            }
+            CompileError::Verification(diags) => {
+                write!(f, "kernel verification failed:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -105,6 +117,10 @@ pub struct CompiledKernel {
     /// Pixels per work-item (1 = scalar; >1 = the Section-VIII
     /// vectorization extension).
     pub vector_width: u32,
+    /// Warning-severity verifier findings. Error-severity findings never
+    /// reach here — they fail the compile with
+    /// [`CompileError::Verification`] instead.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl CompiledKernel {
@@ -208,14 +224,25 @@ impl Compiler {
         // that is used to determine the resource usage uses default
         // constants"), so its register pressure matches the final kernel.
         let probe_cfg = LaunchConfig {
-            bx: spec.device.simd_width.min(spec.device.max_threads_per_block),
+            bx: spec
+                .device
+                .simd_width
+                .min(spec.device.max_threads_per_block),
             by: 1,
         };
         let probe = Lowering::new(&work, spec, mem, halves.clone(), probe_cfg);
         let probe_grid = needs_bh.then(|| {
             let (ox, oy, rw, rh) = spec.iteration_space();
             RegionGrid::compute_roi(
-                spec.width, spec.height, ox, oy, rw, rh, max_half.0, max_half.1, probe_cfg,
+                spec.width,
+                spec.height,
+                ox,
+                oy,
+                rw,
+                rh,
+                max_half.0,
+                max_half.1,
+                probe_cfg,
             )
         });
         let probe_kernel = probe.device_kernel(probe_grid.as_ref());
@@ -255,7 +282,14 @@ impl Compiler {
                 by: config.by,
             };
             RegionGrid::compute_roi(
-                spec.width, spec.height, roi_x, roi_y, roi_w, roi_h, max_half.0, max_half.1,
+                spec.width,
+                spec.height,
+                roi_x,
+                roi_y,
+                roi_w,
+                roi_h,
+                max_half.0,
+                max_half.1,
                 eff,
             )
         });
@@ -310,7 +344,7 @@ impl Compiler {
             ),
         };
 
-        Ok(CompiledKernel {
+        let mut out = CompiledKernel {
             device_kernel,
             config,
             grid,
@@ -327,7 +361,17 @@ impl Compiler {
             max_half,
             iteration_space: (roi_x, roi_y, roi_w, roi_h),
             vector_width: vec_w,
-        })
+            diagnostics: Vec::new(),
+        };
+
+        // 9. Kernel verification: the four static analyses plus the source
+        // lint run on every compile. Errors abort; warnings ride along.
+        let diags = verify_compiled(&out, spec);
+        if has_errors(&diags) {
+            return Err(CompileError::Verification(diags));
+        }
+        out.diagnostics = diags;
+        Ok(out)
     }
 
     /// Enumerate all valid configurations with their occupancy for the
@@ -342,9 +386,7 @@ impl Compiler {
         let mut configs: Vec<LaunchConfig> =
             hipacc_hwmodel::heuristic::enumerate_configs(&spec.device)
                 .into_iter()
-                .filter(|c| {
-                    occupancy(&spec.device, &base.resources, c.bx, c.by).is_some()
-                })
+                .filter(|c| occupancy(&spec.device, &base.resources, c.bx, c.by).is_some())
                 .collect();
         configs.sort_by_key(|c| (c.threads(), c.by));
         Ok(configs)
@@ -353,6 +395,100 @@ impl Compiler {
 
 fn lowering_region_body(lowering: &Lowering<'_>, region: Region) -> Vec<Stmt> {
     lowering.region_body(region)
+}
+
+/// Build the verifier's view of a compiled kernel and run every analysis
+/// pass over it — barrier divergence, shared-memory races, bounds,
+/// resource limits — plus the generated-source lint. `compile` calls this
+/// on every kernel; it is public so the verifier can be rerun (and timed)
+/// in isolation.
+pub fn verify_compiled(out: &CompiledKernel, spec: &CompileSpec) -> Vec<Diagnostic> {
+    let k = &out.device_kernel;
+    let mut input = VerifyInput::new(k, &spec.device, (out.config.bx, out.config.by), out.grid);
+
+    // Geometry scalars: the launcher always binds these.
+    let (ox, oy, rw, rh) = out.iteration_space;
+    for (name, v) in [
+        ("width", spec.width as i64),
+        ("height", spec.height as i64),
+        ("stride", spec.stride as i64),
+        ("is_offset_x", ox as i64),
+        ("is_offset_y", oy as i64),
+        ("is_width", rw as i64),
+        ("is_height", rh as i64),
+    ] {
+        input.scalars.insert(name.to_string(), v);
+    }
+    for (name, c) in &spec.param_bindings {
+        if let Const::Int(v) = c {
+            input.scalars.insert(name.clone(), *v);
+        }
+    }
+
+    // Buffer geometry. Image buffers hold `stride * height` elements;
+    // `_gmask*` fallback buffers hold the mask coefficients row-major.
+    for b in &k.buffers {
+        if let Some(mask) = b.name.strip_prefix("_gmask") {
+            if let Some(m) = out.kernel.masks.iter().find(|m| m.name == mask) {
+                input
+                    .buffer_len
+                    .insert(b.name.clone(), m.width as i64 * m.height as i64);
+            }
+            continue;
+        }
+        input
+            .buffer_len
+            .insert(b.name.clone(), spec.stride as i64 * spec.height as i64);
+        input
+            .buffer_dims
+            .insert(b.name.clone(), (spec.width as i64, spec.height as i64));
+        if b.address_mode != AddressMode::None {
+            input.hw_bounded.insert(b.name.clone());
+        }
+    }
+    for acc in &out.kernel.accessors {
+        if spec.boundary_mode(&acc.name) == BoundaryMode::Undefined {
+            input.oob_allowed.insert(acc.name.clone());
+        }
+    }
+
+    // One block-rectangle seed per generated boundary region, so each
+    // specialized body is checked exactly for the blocks that reach it.
+    if let Some(g) = &out.region_grid {
+        let (gx, gy) = (g.grid_x as i64, g.grid_y as i64);
+        let (lb, rb) = (g.left_blocks as i64, g.right_blocks as i64);
+        let (tb, bb) = (g.top_blocks as i64, g.bottom_blocks as i64);
+        for r in Region::all() {
+            let bx = if r.checks_left() {
+                (0, lb - 1)
+            } else if r.checks_right() {
+                (gx - rb, gx - 1)
+            } else {
+                (lb, gx - rb - 1)
+            };
+            let by = if r.checks_top() {
+                (0, tb - 1)
+            } else if r.checks_bottom() {
+                (gy - bb, gy - 1)
+            } else {
+                (tb, gy - bb - 1)
+            };
+            if bx.0 > bx.1 || by.0 > by.1 {
+                continue;
+            }
+            input.regions.push(RegionSeed {
+                label: Some(r.label().to_string()),
+                bx,
+                by,
+            });
+        }
+    }
+
+    input.registers_per_thread = out.resources.registers_per_thread;
+
+    let mut diags = hipacc_analysis::verify(&input);
+    diags.extend(crate::lint::lint_diagnostics(&out.source, &k.name));
+    diags
 }
 
 #[cfg(test)]
@@ -432,8 +568,7 @@ mod tests {
 
     #[test]
     fn invalid_forced_config_rejected() {
-        let spec = CompileSpec::new(radeon_hd_5870(), Backend::OpenCl, 64, 64)
-            .with_config(512, 1); // above the 256 cap
+        let spec = CompileSpec::new(radeon_hd_5870(), Backend::OpenCl, 64, 64).with_config(512, 1); // above the 256 cap
         let err = Compiler::new().compile(&blur3(), &spec).unwrap_err();
         assert!(matches!(err, CompileError::InvalidForcedConfiguration(_)));
     }

@@ -145,7 +145,9 @@ mod tests {
     #[test]
     fn every_ir_function_is_mapped() {
         use MathFn::*;
-        for f in [Exp, Log, Sqrt, Rsqrt, Abs, Sin, Cos, Pow, Min, Max, Floor, Round] {
+        for f in [
+            Exp, Log, Sqrt, Rsqrt, Abs, Sin, Cos, Pow, Min, Max, Floor, Round,
+        ] {
             // Must not panic.
             let _ = map_function(f, Backend::Cuda, false);
             let _ = map_function(f, Backend::OpenCl, false);

@@ -72,11 +72,7 @@ pub fn mirror_expr(i: Expr, n: Expr, sides: Sides) -> Expr {
     let mut e = i;
     if sides.low {
         // i < 0 ? -i - 1 : i
-        e = Expr::select(
-            e.clone().lt(Expr::int(0)),
-            -e.clone() - Expr::int(1),
-            e,
-        );
+        e = Expr::select(e.clone().lt(Expr::int(0)), -e.clone() - Expr::int(1), e);
     }
     if sides.high {
         // i >= n ? 2n - 1 - i : i
@@ -143,7 +139,12 @@ mod tests {
     #[test]
     fn no_sides_is_identity() {
         let i = Expr::var("ix");
-        let out = adjust_coord(BoundaryMode::Clamp, i.clone(), Expr::var("w"), Sides::none());
+        let out = adjust_coord(
+            BoundaryMode::Clamp,
+            i.clone(),
+            Expr::var("w"),
+            Sides::none(),
+        );
         assert_eq!(out, i);
     }
 

@@ -41,6 +41,6 @@ pub mod opencl;
 pub mod options;
 pub mod regions;
 
-pub use compile::{CompiledKernel, Compiler};
+pub use compile::{verify_compiled, CompileError, CompiledKernel, Compiler};
 pub use options::{BoundarySpec, CompileSpec, MemVariant};
 pub use regions::Region;

@@ -6,8 +6,16 @@
 //! delimiters, no empty statements from botched substitutions, statements
 //! terminated, and every identifier the body uses declared somewhere in
 //! the translation unit (parameters, declarations, globals, builtins).
-//! Every golden test runs it; the `Compiler` runs it in debug builds.
+//! Every golden test runs it, and the `Compiler` runs it on every compile,
+//! surfacing findings as `A0501`/`A0502` diagnostics through the verifier
+//! pipeline ([`lint_diagnostics`]).
+//!
+//! Comments (`//` and `/* */`, including multi-line) and string literals
+//! are stripped — with line structure preserved — before any token or
+//! delimiter scanning, so a brace or stray word inside either never
+//! produces a finding.
 
+use hipacc_analysis::Diagnostic;
 use std::collections::HashSet;
 
 /// A lint finding.
@@ -21,31 +29,184 @@ pub struct LintError {
 
 /// Words that are part of C/CUDA/OpenCL rather than program identifiers.
 const KEYWORDS: &[&str] = &[
-    "if", "else", "for", "while", "return", "goto", "int", "float", "bool", "void", "unsigned",
-    "const", "true", "false", "struct", "sizeof", "char", "uchar", "ushort", "size_t",
+    "if",
+    "else",
+    "for",
+    "while",
+    "return",
+    "goto",
+    "int",
+    "float",
+    "bool",
+    "void",
+    "unsigned",
+    "const",
+    "true",
+    "false",
+    "struct",
+    "sizeof",
+    "char",
+    "uchar",
+    "ushort",
+    "size_t",
     // CUDA
-    "__global__", "__device__", "__constant__", "__shared__", "__syncthreads", "texture",
-    "cudaTextureType1D", "cudaTextureType2D", "cudaReadModeElementType", "tex1Dfetch", "tex2D",
-    "threadIdx", "blockIdx", "blockDim", "gridDim", "dim3", "cudaMemcpyToSymbol",
+    "__global__",
+    "__device__",
+    "__constant__",
+    "__shared__",
+    "__syncthreads",
+    "texture",
+    "cudaTextureType1D",
+    "cudaTextureType2D",
+    "cudaReadModeElementType",
+    "tex1Dfetch",
+    "tex2D",
+    "threadIdx",
+    "blockIdx",
+    "blockDim",
+    "gridDim",
+    "dim3",
+    "cudaMemcpyToSymbol",
     // OpenCL
-    "__kernel", "__local", "__private", "__global", "__constant", "read_only", "write_only",
-    "read_write", "image2d_t",
-    "sampler_t", "barrier", "CLK_LOCAL_MEM_FENCE", "CLK_NORMALIZED_COORDS_FALSE",
-    "CLK_ADDRESS_NONE", "CLK_ADDRESS_CLAMP_TO_EDGE", "CLK_ADDRESS_CLAMP", "CLK_ADDRESS_REPEAT",
-    "CLK_FILTER_NEAREST", "get_local_id", "get_group_id", "get_local_size", "get_num_groups",
-    "read_imagef", "write_imagef", "int2", "float4",
+    "__kernel",
+    "__local",
+    "__private",
+    "__global",
+    "__constant",
+    "read_only",
+    "write_only",
+    "read_write",
+    "image2d_t",
+    "sampler_t",
+    "barrier",
+    "CLK_LOCAL_MEM_FENCE",
+    "CLK_NORMALIZED_COORDS_FALSE",
+    "CLK_ADDRESS_NONE",
+    "CLK_ADDRESS_CLAMP_TO_EDGE",
+    "CLK_ADDRESS_CLAMP",
+    "CLK_ADDRESS_REPEAT",
+    "CLK_FILTER_NEAREST",
+    "get_local_id",
+    "get_group_id",
+    "get_local_size",
+    "get_num_groups",
+    "read_imagef",
+    "write_imagef",
+    "int2",
+    "float4",
     // Math library
-    "expf", "exp", "logf", "log", "sqrtf", "sqrt", "rsqrtf", "rsqrt", "fabsf", "fabs", "sinf",
-    "sin", "cosf", "cos", "powf", "pow", "min", "max", "floorf", "floor", "roundf", "round",
-    "__expf", "__logf", "__sinf", "__cosf", "__powf", "__fsqrt_rn", "__frsqrt_rn",
+    "expf",
+    "exp",
+    "logf",
+    "log",
+    "sqrtf",
+    "sqrt",
+    "rsqrtf",
+    "rsqrt",
+    "fabsf",
+    "fabs",
+    "sinf",
+    "sin",
+    "cosf",
+    "cos",
+    "powf",
+    "pow",
+    "min",
+    "max",
+    "floorf",
+    "floor",
+    "roundf",
+    "round",
+    "__expf",
+    "__logf",
+    "__sinf",
+    "__cosf",
+    "__powf",
+    "__fsqrt_rn",
+    "__frsqrt_rn",
 ];
 
-/// Check balanced `()`, `{}`, `[]` and collect per-line errors.
-fn check_delimiters(source: &str, errors: &mut Vec<LintError>) {
+/// Replace comments (`//`, `/* */` — possibly spanning lines) and string
+/// literals with spaces, preserving every newline so line numbers in
+/// findings still refer to the original source.
+fn strip_comments_and_strings(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment,
+        Str,
+    }
+    let mut out = String::with_capacity(source.len());
+    let mut st = St::Code;
+    let mut chars = source.chars().peekable();
+    while let Some(c) = chars.next() {
+        match st {
+            St::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    out.push_str("  ");
+                    st = St::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    out.push_str("  ");
+                    st = St::BlockComment;
+                }
+                '"' => {
+                    out.push(' ');
+                    st = St::Str;
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    st = St::Code;
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    out.push_str("  ");
+                    st = St::Code;
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Skip the escaped character (handles \" and \\).
+                    if let Some(e) = chars.next() {
+                        out.push(' ');
+                        if e == '\n' {
+                            out.push('\n');
+                        }
+                    }
+                    out.push(' ');
+                } else if c == '"' {
+                    out.push(' ');
+                    st = St::Code;
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Check balanced `()`, `{}`, `[]` over comment-stripped source and
+/// collect per-line errors.
+fn check_delimiters(stripped: &str, errors: &mut Vec<LintError>) {
     let mut stack: Vec<(char, usize)> = Vec::new();
-    for (lineno, line) in source.lines().enumerate() {
-        // Strip line comments.
-        let code = line.split("//").next().unwrap_or("");
+    for (lineno, code) in stripped.lines().enumerate() {
         for c in code.chars() {
             match c {
                 '(' | '{' | '[' => stack.push((c, lineno + 1)),
@@ -94,12 +255,25 @@ fn declared_on_line(code: &str, declared: &mut HashSet<String>) {
     }
     // Parameter lists and declarations share the shape `<type tokens> name`
     // where name is the identifier before `=`, `[`, `,`, `)` or `;`.
-    let mut tokens = tokenize(code);
+    let tokens = tokenize(code);
     // A crude declaration scan: after a type keyword, the next identifier
     // is declared.
     let type_words = [
-        "int", "float", "bool", "unsigned", "uchar", "ushort", "image2d_t", "sampler_t", "dim3",
-        "size_t", "cl_mem", "cl_kernel", "cl_image_format", "texture",
+        "int",
+        "float",
+        "bool",
+        "char",
+        "unsigned",
+        "uchar",
+        "ushort",
+        "image2d_t",
+        "sampler_t",
+        "dim3",
+        "size_t",
+        "cl_mem",
+        "cl_kernel",
+        "cl_image_format",
+        "texture",
     ];
     let mut i = 0;
     while i < tokens.len() {
@@ -107,7 +281,9 @@ fn declared_on_line(code: &str, declared: &mut HashSet<String>) {
             // Skip further type tokens and pointer stars.
             let mut j = i + 1;
             while j < tokens.len()
-                && (type_words.contains(&tokens[j].as_str()) || tokens[j] == "*" || tokens[j] == "const")
+                && (type_words.contains(&tokens[j].as_str())
+                    || tokens[j] == "*"
+                    || tokens[j] == "const")
             {
                 j += 1;
             }
@@ -124,7 +300,6 @@ fn declared_on_line(code: &str, declared: &mut HashSet<String>) {
             declared.insert(name);
         }
     }
-    tokens.clear();
 }
 
 fn is_identifier(t: &str) -> bool {
@@ -154,28 +329,23 @@ fn tokenize(code: &str) -> Vec<String> {
     out
 }
 
-/// Lint a generated translation unit. Returns all findings (empty = clean).
-pub fn lint_source(source: &str) -> Vec<LintError> {
-    let mut errors = Vec::new();
-    check_delimiters(source, &mut errors);
-
-    // Identifier discipline: every used identifier must be declared
-    // somewhere in the unit (order-insensitive — globals may follow uses
-    // in host snippets) or be a known keyword/builtin.
+/// The identifier-discipline scan over comment-stripped source.
+fn check_identifiers(stripped: &str, errors: &mut Vec<LintError>) {
+    // Every used identifier must be declared somewhere in the unit
+    // (order-insensitive — globals may follow uses in host snippets) or
+    // be a known keyword/builtin.
     let mut declared: HashSet<String> = HashSet::new();
-    for line in source.lines() {
+    for line in stripped.lines() {
         if line.trim_start().starts_with('#') {
             continue; // preprocessor
         }
-        let code = line.split("//").next().unwrap_or("");
-        declared_on_line(code, &mut declared);
+        declared_on_line(line, &mut declared);
     }
     let keywords: HashSet<&str> = KEYWORDS.iter().copied().collect();
-    for (lineno, line) in source.lines().enumerate() {
-        if line.trim_start().starts_with('#') {
+    for (lineno, code) in stripped.lines().enumerate() {
+        if code.trim_start().starts_with('#') {
             continue; // preprocessor
         }
-        let code = line.split("//").next().unwrap_or("");
         for tok in tokenize(code) {
             if !is_identifier(&tok) || tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
                 continue;
@@ -194,7 +364,35 @@ pub fn lint_source(source: &str) -> Vec<LintError> {
             });
         }
     }
+}
+
+/// Lint a generated translation unit. Returns all findings (empty = clean).
+pub fn lint_source(source: &str) -> Vec<LintError> {
+    let stripped = strip_comments_and_strings(source);
+    let mut errors = Vec::new();
+    check_delimiters(&stripped, &mut errors);
+    check_identifiers(&stripped, &mut errors);
     errors
+}
+
+/// Lint a generated translation unit and report findings as structured
+/// diagnostics: delimiter problems as `A0501`, undeclared identifiers as
+/// `A0502`, both error severity (malformed generated code must never
+/// reach a vendor toolchain).
+pub fn lint_diagnostics(source: &str, kernel: &str) -> Vec<Diagnostic> {
+    let stripped = strip_comments_and_strings(source);
+    let mut delims = Vec::new();
+    check_delimiters(&stripped, &mut delims);
+    let mut idents = Vec::new();
+    check_identifiers(&stripped, &mut idents);
+    delims
+        .into_iter()
+        .map(|e| ("A0501", e))
+        .chain(idents.into_iter().map(|e| ("A0502", e)))
+        .map(|(code, e)| {
+            Diagnostic::error(code, kernel, e.message).with_lines(e.line as u32, e.line as u32)
+        })
+        .collect()
 }
 
 /// Convenience assertion used by tests: lint and panic with a readable
@@ -246,6 +444,39 @@ mod tests {
     fn comments_are_ignored() {
         let src = "void f() { // an ( unbalanced comment with ghost\n}\n";
         assert!(lint_source(src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_are_ignored() {
+        // An unbalanced `{`, a stray `]` and an undeclared word, all
+        // inside /* */ — including across lines.
+        let src = "void f() { /* { ] ghost */\n/* spans\n   lines } phantom */\n}\n";
+        assert!(lint_source(src).is_empty(), "{:?}", lint_source(src));
+    }
+
+    #[test]
+    fn string_literals_are_ignored() {
+        let src = "void f(char *s) {\n    s = \"){ ghost \\\" ]\";\n}\n";
+        assert!(lint_source(src).is_empty(), "{:?}", lint_source(src));
+    }
+
+    #[test]
+    fn stripping_preserves_line_numbers() {
+        let src = "void f() {\n/* a\n   b */ ghost;\n}\n";
+        let errors = lint_source(src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 3, "{errors:?}");
+    }
+
+    #[test]
+    fn diagnostics_carry_codes_and_lines() {
+        let d = lint_diagnostics("void f() {\n    ghost;\n", "k");
+        let codes: Vec<&str> = d.iter().map(|x| x.code).collect();
+        assert!(codes.contains(&"A0501"), "{d:?}");
+        assert!(codes.contains(&"A0502"), "{d:?}");
+        assert!(d.iter().all(|x| x.is_error() && x.lines.is_some()));
+        let ident = d.iter().find(|x| x.code == "A0502").unwrap();
+        assert_eq!(ident.lines, Some((2, 2)));
     }
 
     #[test]

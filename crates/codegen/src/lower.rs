@@ -109,8 +109,25 @@ impl<'a> Lowering<'a> {
             .values()
             .fold((0u32, 0u32), |a, h| (a.0.max(h.0), a.1.max(h.1)));
         let (ox, oy, rw, rh) = spec.iteration_space();
+        // Overlap must be judged on the *effective* tile width — a
+        // vectorized block covers `bx * vectorize` pixels, and the region
+        // dispatch thresholds are computed against that tile. Using the
+        // raw launch shape here can miss an overlap on narrow grids and
+        // emit single-sided checks for a block that touches both edges.
+        let eff = LaunchConfig {
+            bx: cfg.bx * spec.vectorize.max(1),
+            by: cfg.by,
+        };
         let g = RegionGrid::compute_roi(
-            spec.width, spec.height, ox, oy, rw, rh, max_half.0, max_half.1, cfg,
+            spec.width,
+            spec.height,
+            ox,
+            oy,
+            rw,
+            rh,
+            max_half.0,
+            max_half.1,
+            eff,
         );
         let (x_overlap, y_overlap) = (g.x_overlap, g.y_overlap);
         Self {
@@ -198,12 +215,8 @@ impl<'a> Lowering<'a> {
             let (hx, hy) = self.half_of(acc);
             return Expr::SharedLoad {
                 buf: Self::smem_name(acc),
-                y: Box::new(
-                    Expr::Builtin(Builtin::ThreadIdxY) + Expr::int(hy as i64) + dy.clone(),
-                ),
-                x: Box::new(
-                    Expr::Builtin(Builtin::ThreadIdxX) + Expr::int(hx as i64) + dx.clone(),
-                ),
+                y: Box::new(Expr::Builtin(Builtin::ThreadIdxY) + Expr::int(hy as i64) + dy.clone()),
+                x: Box::new(Expr::Builtin(Builtin::ThreadIdxX) + Expr::int(hx as i64) + dx.clone()),
             };
         }
 
@@ -235,14 +248,9 @@ impl<'a> Lowering<'a> {
                 self.load_at(acc, ax, ay)
             }
             BoundaryMode::Constant(c) => {
-                match in_bounds_expr(&ix, &iy, &Self::width(), &Self::height(), x_sides, y_sides)
-                {
+                match in_bounds_expr(&ix, &iy, &Self::width(), &Self::height(), x_sides, y_sides) {
                     None => self.load_at(acc, ix, iy),
-                    Some(pred) => Expr::select(
-                        pred,
-                        self.load_at(acc, ix, iy),
-                        Expr::float(c),
-                    ),
+                    Some(pred) => Expr::select(pred, self.load_at(acc, ix, iy), Expr::float(c)),
                 }
             }
         }
@@ -254,8 +262,7 @@ impl<'a> Lowering<'a> {
             .kernel
             .mask(mask)
             .unwrap_or_else(|| panic!("unknown mask {mask}"));
-        let idx = (dy.clone() + Expr::int(decl.half_h() as i64))
-            * Expr::int(decl.width as i64)
+        let idx = (dy.clone() + Expr::int(decl.half_h() as i64)) * Expr::int(decl.width as i64)
             + dx.clone()
             + Expr::int(decl.half_w() as i64);
         if self.spec.use_const_masks {
@@ -373,10 +380,8 @@ impl<'a> Lowering<'a> {
             let mode = self.mode_of(&acc.name);
             for step_y in 0..steps_y {
                 for step_x in 0..steps_x {
-                    let lx = Expr::Builtin(Builtin::ThreadIdxX)
-                        + Expr::int((step_x * bsx) as i64);
-                    let ly = Expr::Builtin(Builtin::ThreadIdxY)
-                        + Expr::int((step_y * bsy) as i64);
+                    let lx = Expr::Builtin(Builtin::ThreadIdxX) + Expr::int((step_x * bsx) as i64);
+                    let ly = Expr::Builtin(Builtin::ThreadIdxY) + Expr::int((step_y * bsy) as i64);
                     // Image coordinates with full boundary handling: the
                     // staged tile must be valid for every region.
                     let ix = Expr::var(&base_x) + lx.clone();
@@ -408,13 +413,12 @@ impl<'a> Lowering<'a> {
                         value,
                     };
                     // Guard partial staging steps.
-                    let needs_guard =
-                        (step_x + 1) * bsx > tile_w || (step_y + 1) * bsy > tile_h;
+                    let needs_guard = (step_x + 1) * bsx > tile_w || (step_y + 1) * bsy > tile_h;
                     if needs_guard {
                         stmts.push(Stmt::If {
-                            cond: lx.lt(Expr::int(tile_w as i64)).and(
-                                ly.lt(Expr::int(tile_h as i64)),
-                            ),
+                            cond: lx
+                                .lt(Expr::int(tile_w as i64))
+                                .and(ly.lt(Expr::int(tile_h as i64))),
                             then: vec![store],
                             els: vec![],
                         });
@@ -508,8 +512,7 @@ impl<'a> Lowering<'a> {
                 init: Some(Self::gid_x() + Expr::var("_vlane")),
             }];
             lane_body.push(Stmt::If {
-                cond: Expr::var("_vgid_x")
-                    .lt(Expr::var("is_offset_x") + Expr::var("is_width")),
+                cond: Expr::var("_vgid_x").lt(Expr::var("is_offset_x") + Expr::var("is_width")),
                 then: rebased,
                 els: vec![],
             });
@@ -719,9 +722,7 @@ mod tests {
                 let lo = Lowering::new(&kernel, &spec, mem, halves(), cfg());
                 let grid = RegionGrid::compute(256, 256, 1, 1, cfg());
                 let dk = lo.device_kernel(Some(&grid));
-                check_device(&dk).unwrap_or_else(|e| {
-                    panic!("{mode:?}/{variant:?}: {e}")
-                });
+                check_device(&dk).unwrap_or_else(|e| panic!("{mode:?}/{variant:?}: {e}"));
             }
         }
     }

@@ -171,7 +171,10 @@ impl CompileSpec {
 
     /// Restrict the iteration space to a sub-rectangle of the image.
     pub fn with_roi(mut self, x: u32, y: u32, w: u32, h: u32) -> Self {
-        assert!(x + w <= self.width && y + h <= self.height, "ROI outside image");
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "ROI outside image"
+        );
         self.roi = Some((x, y, w, h));
         self
     }

@@ -206,7 +206,13 @@ impl RegionGrid {
     /// Compute just the overlap flags (used by the lowering, which widens
     /// boundary checks to both sides of an axis when the border block
     /// bands overlap).
-    pub fn overlaps(width: u32, height: u32, half_x: u32, half_y: u32, cfg: LaunchConfig) -> (bool, bool) {
+    pub fn overlaps(
+        width: u32,
+        height: u32,
+        half_x: u32,
+        half_y: u32,
+        cfg: LaunchConfig,
+    ) -> (bool, bool) {
         let g = RegionGrid::compute(width, height, half_x, half_y, cfg);
         (g.x_overlap, g.y_overlap)
     }
@@ -233,8 +239,7 @@ impl RegionGrid {
     /// Number of blocks executing each region, for the timing model's
     /// region weighting.
     pub fn block_counts(&self) -> Vec<(Region, u64)> {
-        let mut counts: Vec<(Region, u64)> =
-            Region::all().iter().map(|r| (*r, 0u64)).collect();
+        let mut counts: Vec<(Region, u64)> = Region::all().iter().map(|r| (*r, 0u64)).collect();
         for by in 0..self.grid_y {
             for bx in 0..self.grid_x {
                 let r = self.region_of(bx, by);
@@ -298,7 +303,10 @@ mod tests {
             .find(|(r, _)| *r == Region::Interior)
             .unwrap()
             .1;
-        assert!(interior * 2 > total, "interior should dominate: {interior}/{total}");
+        assert!(
+            interior * 2 > total,
+            "interior should dominate: {interior}/{total}"
+        );
     }
 
     #[test]

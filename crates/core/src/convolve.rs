@@ -117,8 +117,8 @@ mod tests {
     #[test]
     fn convolve_sum_matches_reference_gaussian() {
         let img = phantom::vessel_tree(40, 32, &phantom::VesselParams::default());
-        let op = Operator::new(gaussian_via_convolve(5, 1.0))
-            .boundary("IN", BoundaryMode::Mirror, 5, 5);
+        let op =
+            Operator::new(gaussian_via_convolve(5, 1.0)).boundary("IN", BoundaryMode::Mirror, 5, 5);
         let result = op
             .execute(&[("IN", &img)], &Target::cuda(tesla_c2050()))
             .unwrap();

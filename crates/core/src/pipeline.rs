@@ -139,12 +139,7 @@ mod tests {
     #[test]
     fn timing_input_blocks_sum_to_grid() {
         let c = compiled();
-        let t = timing_input(
-            &c,
-            &Target::cuda(tesla_c2050()),
-            &HashMap::new(),
-            1,
-        );
+        let t = timing_input(&c, &Target::cuda(tesla_c2050()), &HashMap::new(), 1);
         let total: u64 = t.regions.iter().map(|r| r.blocks).sum();
         assert_eq!(total, c.grid.0 as u64 * c.grid.1 as u64);
         assert!(t.occupancy > 0.0);

@@ -193,7 +193,11 @@ pub fn reduce_image(
     op: ReduceOp,
     target: &Target,
 ) -> Result<(f64, ExecStats), hipacc_sim::SimError> {
-    let threads = 128u32.min(target.device.max_threads_per_block).next_power_of_two() / 2 * 2;
+    let threads = 128u32
+        .min(target.device.max_threads_per_block)
+        .next_power_of_two()
+        / 2
+        * 2;
     let threads = if threads.is_power_of_two() {
         threads
     } else {

@@ -39,17 +39,13 @@ pub fn bilateral_kernel(sigma_d: u32) -> KernelDef {
         "c_r",
         ScalarType::F32,
         Expr::float(1.0)
-            / (Expr::float(2.0)
-                * sr.get().cast(ScalarType::F32)
-                * sr.get().cast(ScalarType::F32)),
+            / (Expr::float(2.0) * sr.get().cast(ScalarType::F32) * sr.get().cast(ScalarType::F32)),
     );
     let c_d = b.let_(
         "c_d",
         ScalarType::F32,
         Expr::float(1.0)
-            / (Expr::float(2.0)
-                * sd.get().cast(ScalarType::F32)
-                * sd.get().cast(ScalarType::F32)),
+            / (Expr::float(2.0) * sd.get().cast(ScalarType::F32) * sd.get().cast(ScalarType::F32)),
     );
     let d = b.let_("d", ScalarType::F32, Expr::float(0.0));
     let p = b.let_("p", ScalarType::F32, Expr::float(0.0));
@@ -70,15 +66,17 @@ pub fn bilateral_kernel(sigma_d: u32) -> KernelDef {
             let c = b.let_(
                 "c",
                 ScalarType::F32,
-                Expr::exp(-(c_d.get() * xf.get().cast(ScalarType::F32) * xf.get().cast(ScalarType::F32)))
-                    * Expr::exp(
-                        -(c_d.get()
-                            * yf.get().cast(ScalarType::F32)
-                            * yf.get().cast(ScalarType::F32)),
-                    ),
+                Expr::exp(
+                    -(c_d.get() * xf.get().cast(ScalarType::F32) * xf.get().cast(ScalarType::F32)),
+                ) * Expr::exp(
+                    -(c_d.get() * yf.get().cast(ScalarType::F32) * yf.get().cast(ScalarType::F32)),
+                ),
             );
             b.add_assign(&d, s.get() * c.get());
-            b.add_assign(&p, s.get() * c.get() * b.read_at(&input, xf.get(), yf.get()));
+            b.add_assign(
+                &p,
+                s.get() * c.get() * b.read_at(&input, xf.get(), yf.get()),
+            );
         });
     });
     b.output(p.get() / d.get());
@@ -99,9 +97,7 @@ pub fn bilateral_masked_kernel(sigma_d: u32) -> KernelDef {
         "c_r",
         ScalarType::F32,
         Expr::float(1.0)
-            / (Expr::float(2.0)
-                * sr.get().cast(ScalarType::F32)
-                * sr.get().cast(ScalarType::F32)),
+            / (Expr::float(2.0) * sr.get().cast(ScalarType::F32) * sr.get().cast(ScalarType::F32)),
     );
     let d = b.let_("d", ScalarType::F32, Expr::float(0.0));
     let p = b.let_("p", ScalarType::F32, Expr::float(0.0));
@@ -121,7 +117,10 @@ pub fn bilateral_masked_kernel(sigma_d: u32) -> KernelDef {
             );
             let c = b.let_("c", ScalarType::F32, b.mask_at(&mask, xf.get(), yf.get()));
             b.add_assign(&d, s.get() * c.get());
-            b.add_assign(&p, s.get() * c.get() * b.read_at(&input, xf.get(), yf.get()));
+            b.add_assign(
+                &p,
+                s.get() * c.get() * b.read_at(&input, xf.get(), yf.get()),
+            );
         });
     });
     b.output(p.get() / d.get());
@@ -132,7 +131,12 @@ pub fn bilateral_masked_kernel(sigma_d: u32) -> KernelDef {
 ///
 /// `masked` selects the Listing-5 variant; `mode` is the boundary handling
 /// of the single accessor.
-pub fn bilateral_operator(sigma_d: u32, sigma_r: u32, masked: bool, mode: BoundaryMode) -> Operator {
+pub fn bilateral_operator(
+    sigma_d: u32,
+    sigma_r: u32,
+    masked: bool,
+    mode: BoundaryMode,
+) -> Operator {
     let size = window_size(sigma_d);
     let def = if masked {
         bilateral_masked_kernel(sigma_d)

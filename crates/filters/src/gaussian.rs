@@ -93,10 +93,7 @@ pub fn run_separable(
     let (row, col) = gaussian_separable_operators(size, sigma, mode);
     let pass1 = row.execute(&[("Input", img)], target)?;
     let pass2 = col.execute(&[("Input", &pass1.output)], target)?;
-    Ok((
-        pass2.output,
-        pass1.time.total_ms + pass2.time.total_ms,
-    ))
+    Ok((pass2.output, pass1.time.total_ms + pass2.time.total_ms))
 }
 
 #[cfg(test)]
@@ -113,8 +110,7 @@ mod tests {
             let result = op
                 .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
                 .unwrap();
-            let expected =
-                reference::convolve2d(&img, &MaskCoeffs::gaussian(5, 5, 1.2), mode);
+            let expected = reference::convolve2d(&img, &MaskCoeffs::gaussian(5, 5, 1.2), mode);
             assert!(
                 result.output.max_abs_diff(&expected) < 1e-4,
                 "{mode:?}: {}",
@@ -126,9 +122,14 @@ mod tests {
     #[test]
     fn separable_matches_reference_separable() {
         let img = phantom::gradient(40, 28);
-        let (out, time_ms) =
-            run_separable(&img, 5, 1.0, BoundaryMode::Clamp, &Target::cuda(tesla_c2050()))
-                .unwrap();
+        let (out, time_ms) = run_separable(
+            &img,
+            5,
+            1.0,
+            BoundaryMode::Clamp,
+            &Target::cuda(tesla_c2050()),
+        )
+        .unwrap();
         let taps = MaskCoeffs1D::gaussian(5, 1.0);
         let expected = reference::convolve_separable(&img, &taps, &taps, BoundaryMode::Clamp);
         assert!(out.max_abs_diff(&expected) < 1e-4);

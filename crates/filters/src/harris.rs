@@ -79,10 +79,7 @@ pub fn harris(
         .boundary("Ixx", mode, window, window)
         .boundary("Iyy", mode, window, window)
         .boundary("Ixy", mode, window, window);
-    let response = response_op.execute(
-        &[("Ixx", &ixx), ("Iyy", &iyy), ("Ixy", &ixy)],
-        target,
-    )?;
+    let response = response_op.execute(&[("Ixx", &ixx), ("Iyy", &iyy), ("Ixy", &ixy)], target)?;
     Ok(HarrisResult {
         total_time_ms: gx.time.total_ms + gy.time.total_ms + response.time.total_ms,
         response: response.output,

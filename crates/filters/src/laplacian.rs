@@ -32,10 +32,7 @@ pub fn unsharp_kernel(amount: f32) -> KernelDef {
         });
     });
     let center = b.let_("center", ScalarType::F32, b.read_center(&input));
-    b.output(
-        center.get()
-            + Expr::float(amount) * (center.get() - blur.get() / Expr::float(9.0)),
-    );
+    b.output(center.get() + Expr::float(amount) * (center.get() - blur.get() / Expr::float(9.0)));
     b.finish()
 }
 
@@ -62,8 +59,7 @@ mod tests {
         let result = op
             .execute(&[("Input", &img)], &Target::cuda(tesla_c2050()))
             .unwrap();
-        let expected =
-            reference::convolve2d(&img, &MaskCoeffs::laplacian(), BoundaryMode::Mirror);
+        let expected = reference::convolve2d(&img, &MaskCoeffs::laplacian(), BoundaryMode::Mirror);
         assert!(result.output.max_abs_diff(&expected) < 1e-4);
     }
 

@@ -117,8 +117,8 @@ pub fn multiresolution_denoise(
         let detail = Image::from_fn(img.width(), img.height(), |x, y| {
             img.get(x, y) - up.get(x, y)
         });
-        let attenuate = hipacc_core::Operator::new(attenuate_kernel())
-            .param_float("threshold", threshold);
+        let attenuate =
+            hipacc_core::Operator::new(attenuate_kernel()).param_float("threshold", threshold);
         let result = attenuate.execute(&[("Input", &detail)], target)?;
         let out = Image::from_fn(img.width(), img.height(), |x, y| {
             up.get(x, y) + result.output.get(x, y)
@@ -155,8 +155,7 @@ mod tests {
     fn pyramid_halves_each_level() {
         let img = phantom::gradient(64, 48);
         let res =
-            pyramid_roundtrip(&img, 2, BoundaryMode::Mirror, &Target::cuda(tesla_c2050()))
-                .unwrap();
+            pyramid_roundtrip(&img, 2, BoundaryMode::Mirror, &Target::cuda(tesla_c2050())).unwrap();
         assert_eq!(res.levels.len(), 3);
         assert_eq!(res.levels[1].width(), 32);
         assert_eq!(res.levels[2].width(), 16);
@@ -168,8 +167,7 @@ mod tests {
     fn smooth_image_reconstructs_well() {
         let img = phantom::gradient(64, 64);
         let res =
-            pyramid_roundtrip(&img, 1, BoundaryMode::Mirror, &Target::cuda(tesla_c2050()))
-                .unwrap();
+            pyramid_roundtrip(&img, 1, BoundaryMode::Mirror, &Target::cuda(tesla_c2050())).unwrap();
         // Interior reconstruction error of a linear ramp is small.
         let mut worst = 0.0f32;
         for y in 8..56 {

@@ -116,6 +116,11 @@ pub struct DeviceModel {
     pub shared_granularity: u32,
     /// Number of scratchpad banks (conflict modelling).
     pub shared_banks: u32,
+    /// Constant-memory bytes available to one kernel (64 KiB on every
+    /// CUDA generation; AMD exposes the same budget per kernel through
+    /// OpenCL's `__constant` limit). Filter masks placed in constant
+    /// memory are checked against this by the kernel verifier.
+    pub const_mem_bytes: u32,
 
     // ---- Memory system (timing model inputs) ----
     /// Peak global-memory bandwidth in GB/s.
@@ -194,6 +199,7 @@ pub fn tesla_c2050() -> DeviceModel {
         shared_mem_per_sm: 49152,
         shared_granularity: 128,
         shared_banks: 32,
+        const_mem_bytes: 65536,
         mem_bandwidth_gbs: 144.0,
         mem_latency_cycles: 600.0,
         mem_segment_bytes: 128,
@@ -229,6 +235,7 @@ pub fn quadro_fx_5800() -> DeviceModel {
         shared_mem_per_sm: 16384,
         shared_granularity: 512,
         shared_banks: 16,
+        const_mem_bytes: 65536,
         mem_bandwidth_gbs: 102.0,
         mem_latency_cycles: 500.0,
         mem_segment_bytes: 64,
@@ -264,6 +271,7 @@ pub fn radeon_hd_5870() -> DeviceModel {
         shared_mem_per_sm: 32768,
         shared_granularity: 256,
         shared_banks: 32,
+        const_mem_bytes: 65536,
         mem_bandwidth_gbs: 153.6,
         mem_latency_cycles: 500.0,
         mem_segment_bytes: 64,
@@ -299,6 +307,7 @@ pub fn radeon_hd_6970() -> DeviceModel {
         shared_mem_per_sm: 32768,
         shared_granularity: 256,
         shared_banks: 32,
+        const_mem_bytes: 65536,
         mem_bandwidth_gbs: 176.0,
         mem_latency_cycles: 500.0,
         mem_segment_bytes: 64,
@@ -336,6 +345,7 @@ pub fn geforce_8800_gtx() -> DeviceModel {
         shared_mem_per_sm: 16384,
         shared_granularity: 512,
         shared_banks: 16,
+        const_mem_bytes: 65536,
         mem_bandwidth_gbs: 86.4,
         mem_latency_cycles: 500.0,
         mem_segment_bytes: 64,
@@ -413,7 +423,12 @@ mod tests {
 
     #[test]
     fn evaluation_devices_present() {
-        for name in ["Tesla C2050", "Quadro FX 5800", "Radeon HD 5870", "Radeon HD 6970"] {
+        for name in [
+            "Tesla C2050",
+            "Quadro FX 5800",
+            "Radeon HD 5870",
+            "Radeon HD 6970",
+        ] {
             assert!(find_device(name).is_some(), "{name} missing");
         }
     }

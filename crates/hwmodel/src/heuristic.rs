@@ -243,8 +243,7 @@ mod tests {
     #[test]
     fn border_selection_minimizes_threads_bh() {
         let sel =
-            select_configuration(&tesla_c2050(), &bilateral_like(), Some(border_13x13()))
-                .unwrap();
+            select_configuration(&tesla_c2050(), &bilateral_like(), Some(border_13x13())).unwrap();
         // The winner must not be beaten by any same-occupancy candidate.
         let top = sel.occupancy.occupancy;
         for (c, o) in &sel.candidates {

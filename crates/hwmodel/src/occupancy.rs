@@ -216,7 +216,10 @@ mod tests {
             validate(&dev, &light(), 512, 1),
             ConfigValidity::TooManyThreads
         );
-        assert_eq!(validate(&dev, &light(), 0, 4), ConfigValidity::ZeroDimension);
+        assert_eq!(
+            validate(&dev, &light(), 0, 4),
+            ConfigValidity::ZeroDimension
+        );
         let smem_over = KernelResources {
             shared_bytes: 64 * 1024,
             ..light()

@@ -58,7 +58,12 @@ impl OptimizationDb {
     /// Decide optimization flags for a device/backend pair, optionally
     /// overridden by the local-operator window size (scratchpad staging
     /// only pays off for large windows).
-    pub fn flags(&self, dev: &DeviceModel, backend: Backend, window: (u32, u32)) -> OptimizationFlags {
+    pub fn flags(
+        &self,
+        dev: &DeviceModel,
+        backend: Backend,
+        window: (u32, u32),
+    ) -> OptimizationFlags {
         let window_area = window.0 as u64 * window.1 as u64;
         // Threshold where data reuse beats the lost multithreading:
         // micro-benchmarks in the paper put 13x13 below it on all targets
@@ -125,8 +130,14 @@ mod tests {
     #[test]
     fn opencl_avoids_image_objects() {
         let db = OptimizationDb::new();
-        assert!(!db.flags(&tesla_c2050(), Backend::OpenCl, (13, 13)).use_texture);
-        assert!(!db.flags(&radeon_hd_5870(), Backend::OpenCl, (13, 13)).use_texture);
+        assert!(
+            !db.flags(&tesla_c2050(), Backend::OpenCl, (13, 13))
+                .use_texture
+        );
+        assert!(
+            !db.flags(&radeon_hd_5870(), Backend::OpenCl, (13, 13))
+                .use_texture
+        );
     }
 
     #[test]

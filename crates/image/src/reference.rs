@@ -131,20 +131,12 @@ impl MaskCoeffs {
 
     /// Horizontal Sobel derivative mask (3×3).
     pub fn sobel_x() -> Self {
-        Self::new(
-            3,
-            3,
-            vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],
-        )
+        Self::new(3, 3, vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0])
     }
 
     /// Vertical Sobel derivative mask (3×3).
     pub fn sobel_y() -> Self {
-        Self::new(
-            3,
-            3,
-            vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0],
-        )
+        Self::new(3, 3, vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0])
     }
 
     /// 4-connected Laplacian mask (3×3).
@@ -295,12 +287,7 @@ pub fn convolve_separable(
 /// The bilateral filter exactly as Listing 1 / Algorithm 1 of the paper:
 /// window `[-2σd, +2σd]²`, closeness `exp(-(xf² + yf²)/(2σd²))`, similarity
 /// `exp(-diff²/(2σr²))`, output `p/d`.
-pub fn bilateral(
-    input: &Image<f32>,
-    sigma_d: u32,
-    sigma_r: f32,
-    mode: BoundaryMode,
-) -> Image<f32> {
+pub fn bilateral(input: &Image<f32>, sigma_d: u32, sigma_r: f32, mode: BoundaryMode) -> Image<f32> {
     let c_r = 1.0 / (2.0 * sigma_r * sigma_r);
     let c_d = 1.0 / (2.0 * (sigma_d * sigma_d) as f32);
     let half = 2 * sigma_d as i32;
@@ -657,7 +644,9 @@ mod tests {
     fn roi_restricts_writes() {
         let img = phantom::gradient(16, 16);
         let roi = Rect::new(4, 4, 8, 8);
-        let out = apply_local_op(&img, BoundaryMode::Clamp, roi, |read, _, _| read(0, 0) + 1.0);
+        let out = apply_local_op(&img, BoundaryMode::Clamp, roi, |read, _, _| {
+            read(0, 0) + 1.0
+        });
         assert_eq!(out.get(0, 0), 0.0); // untouched outside ROI
         assert!(out.get(5, 5) > 1.0); // written inside ROI
     }

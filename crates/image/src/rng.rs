@@ -23,7 +23,9 @@ impl Pcg32 {
         let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        let mut rng = Self { state: z ^ (z >> 31) };
+        let mut rng = Self {
+            state: z ^ (z >> 31),
+        };
         rng.next_u32(); // decorrelate the first output from the raw seed
         rng
     }

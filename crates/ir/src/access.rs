@@ -75,12 +75,7 @@ pub fn eval_range(e: &Expr, env: &HashMap<String, Interval>) -> Option<Interval>
                     hi: ra.hi - rb.lo,
                 }),
                 BinOp::Mul => {
-                    let candidates = [
-                        ra.lo * rb.lo,
-                        ra.lo * rb.hi,
-                        ra.hi * rb.lo,
-                        ra.hi * rb.hi,
-                    ];
+                    let candidates = [ra.lo * rb.lo, ra.lo * rb.hi, ra.hi * rb.lo, ra.hi * rb.hi];
                     Some(Interval {
                         lo: *candidates.iter().min().unwrap(),
                         hi: *candidates.iter().max().unwrap(),
@@ -112,9 +107,7 @@ impl AccessPattern {
     /// if statically bounded.
     pub fn window(&self) -> Option<(u32, u32)> {
         match (self.max_dx, self.max_dy, self.unbounded) {
-            (Some(dx), Some(dy), false) => {
-                Some(((2 * dx + 1) as u32, (2 * dy + 1) as u32))
-            }
+            (Some(dx), Some(dy), false) => Some(((2 * dx + 1) as u32, (2 * dy + 1) as u32)),
             _ => None,
         }
     }
@@ -181,8 +174,9 @@ fn collect_loop_env(
                         lo: f.as_i64(),
                         hi: t.as_i64(),
                     }),
-                    _ => eval_range(from, env)
-                        .and_then(|f| eval_range(to, env).map(|t| f.union(t))),
+                    _ => {
+                        eval_range(from, env).and_then(|f| eval_range(to, env).map(|t| f.union(t)))
+                    }
                 };
                 let saved = env.get(var).copied();
                 match range {
@@ -279,10 +273,7 @@ fn record_exprs_in_stmt(
             record(x);
             record(value);
         }
-        Stmt::Decl { init: None, .. }
-        | Stmt::Return
-        | Stmt::Comment(_)
-        | Stmt::Barrier => {}
+        Stmt::Decl { init: None, .. } | Stmt::Return | Stmt::Comment(_) | Stmt::Barrier => {}
     }
 }
 

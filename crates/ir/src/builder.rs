@@ -337,7 +337,10 @@ mod tests {
                 );
                 let c = b.let_("c", ScalarType::F32, b.mask_at(&cmask, xf.get(), yf.get()));
                 b.add_assign(&d, s.get() * c.get());
-                b.add_assign(&p, s.get() * c.get() * b.read_at(&input, xf.get(), yf.get()));
+                b.add_assign(
+                    &p,
+                    s.get() * c.get() * b.read_at(&input, xf.get(), yf.get()),
+                );
             });
         });
         b.output(p.get() / d.get());

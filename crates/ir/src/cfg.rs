@@ -86,9 +86,7 @@ impl Cfg {
                     self.add_edge(els_exit, join);
                     current = join;
                 }
-                Stmt::For {
-                    from, to, body, ..
-                } => {
+                Stmt::For { from, to, body, .. } => {
                     self.blocks[current].conditions.push(from.clone());
                     self.blocks[current].conditions.push(to.clone());
                     let header = self.new_block();

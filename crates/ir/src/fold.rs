@@ -349,9 +349,7 @@ fn eliminate_dead_decls(stmts: Vec<Stmt>) -> Vec<Stmt> {
         stmts
             .into_iter()
             .filter_map(|s| match s {
-                Stmt::Decl { ref name, .. }
-                    if !used.contains(name) && !assigned.contains(name) =>
-                {
+                Stmt::Decl { ref name, .. } if !used.contains(name) && !assigned.contains(name) => {
                     None
                 }
                 Stmt::For {

@@ -147,7 +147,6 @@ impl Default for CountConfig {
     }
 }
 
-
 /// Whether an expression contains any memory operation (load of any kind).
 fn contains_memory(e: &Expr) -> bool {
     let mut found = false;
@@ -183,8 +182,10 @@ fn count_expr(e: &Expr, c: &mut OpCounts) {
         Expr::Call(f, _) => {
             if f.uses_sfu() {
                 c.sfu += 1.0;
-            } else if matches!(f, MathFn::Min | MathFn::Max | MathFn::Abs | MathFn::Floor | MathFn::Round)
-            {
+            } else if matches!(
+                f,
+                MathFn::Min | MathFn::Max | MathFn::Abs | MathFn::Floor | MathFn::Round
+            ) {
                 c.alu += 1.0;
             }
         }
@@ -204,11 +205,7 @@ fn count_expr(e: &Expr, c: &mut OpCounts) {
     });
 }
 
-fn count_stmts(
-    stmts: &[Stmt],
-    cfg: &CountConfig,
-    consts: &HashMap<String, Const>,
-) -> OpCounts {
+fn count_stmts(stmts: &[Stmt], cfg: &CountConfig, consts: &HashMap<String, Const>) -> OpCounts {
     let mut total = OpCounts::default();
     for s in stmts {
         match s {
@@ -224,9 +221,7 @@ fn count_stmts(
                     total.global_stores += 1.0;
                 }
             }
-            Stmt::For {
-                from, to, body, ..
-            } => {
+            Stmt::For { from, to, body, .. } => {
                 count_expr(from, &mut total);
                 count_expr(to, &mut total);
                 let trip = match (eval_const(from, consts), eval_const(to, consts)) {
@@ -278,11 +273,7 @@ fn count_stmts(
 
 /// Count per-thread dynamic operations for a statement list, resolving
 /// loop trip counts with the given parameter bindings.
-pub fn count_ops(
-    stmts: &[Stmt],
-    cfg: &CountConfig,
-    params: &HashMap<String, Const>,
-) -> OpCounts {
+pub fn count_ops(stmts: &[Stmt], cfg: &CountConfig, params: &HashMap<String, Const>) -> OpCounts {
     count_stmts(stmts, cfg, params)
 }
 
@@ -567,10 +558,7 @@ impl Licm<'_> {
                 } => {
                     self.split(from);
                     self.split(to);
-                    let trip = match (
-                        eval_const(from, self.consts),
-                        eval_const(to, self.consts),
-                    ) {
+                    let trip = match (eval_const(from, self.consts), eval_const(to, self.consts)) {
                         (Some(f), Some(t)) => ((t.as_i64() - f.as_i64() + 1).max(0)) as f64,
                         _ => self.cfg.default_trip,
                     };
@@ -872,9 +860,11 @@ mod tests {
     fn licm_hoists_row_term_out_of_inner_loop() {
         // exp(-(c*y*y)) depends only on the outer loop variable: charged 13
         // times (once per outer iteration) instead of 169.
-        let inner_exp = Expr::exp(-(Expr::var("c")
-            * Expr::var("y").cast(ScalarType::F32)
-            * Expr::var("y").cast(ScalarType::F32)));
+        let inner_exp = Expr::exp(
+            -(Expr::var("c")
+                * Expr::var("y").cast(ScalarType::F32)
+                * Expr::var("y").cast(ScalarType::F32)),
+        );
         let stmts = vec![Stmt::For {
             var: "y".into(),
             from: Expr::int(-6),
@@ -887,9 +877,11 @@ mod tests {
                     target: crate::stmt::LValue::Var("d".into()),
                     value: Expr::var("d")
                         + inner_exp.clone()
-                            * Expr::exp(-(Expr::var("c")
-                                * Expr::var("x").cast(ScalarType::F32)
-                                * Expr::var("x").cast(ScalarType::F32))),
+                            * Expr::exp(
+                                -(Expr::var("c")
+                                    * Expr::var("x").cast(ScalarType::F32)
+                                    * Expr::var("x").cast(ScalarType::F32)),
+                            ),
                 }],
             }],
         }];

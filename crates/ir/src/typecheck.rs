@@ -295,7 +295,9 @@ fn check_stmts(stmts: &[Stmt], ctx: &mut Ctx<'_>) -> Result<(), TypeError> {
                     .ok_or_else(|| TypeError(format!("assignment to undeclared `{name}`")))?;
                 let et = infer(value, ctx)?;
                 promote(vt, et).map_err(|_| {
-                    TypeError(format!("cannot assign expression of type {et} to `{name}: {vt}`"))
+                    TypeError(format!(
+                        "cannot assign expression of type {et} to `{name}: {vt}`"
+                    ))
                 })?;
             }
             Stmt::For {
@@ -316,16 +318,26 @@ fn check_stmts(stmts: &[Stmt], ctx: &mut Ctx<'_>) -> Result<(), TypeError> {
                 if infer(cond, ctx)? != ScalarType::Bool {
                     return err("if condition must be bool");
                 }
+                // The branches are exclusive: each starts from the same
+                // incoming output state, and `output()` in both arms is a
+                // single write on every path.
+                let output_before = ctx.output_seen;
                 ctx.push_scope();
                 check_stmts(then, ctx)?;
                 ctx.pop_scope();
+                let output_then = ctx.output_seen;
+                ctx.output_seen = output_before;
                 ctx.push_scope();
                 check_stmts(els, ctx)?;
                 ctx.pop_scope();
+                ctx.output_seen |= output_then;
             }
             Stmt::Output(e) => {
                 if ctx.level != Level::Dsl {
                     return err("output() is not allowed in device-level kernels");
+                }
+                if ctx.output_seen {
+                    return err("output() written more than once");
                 }
                 infer(e, ctx)?;
                 ctx.output_seen = true;
@@ -474,16 +486,61 @@ mod tests {
     }
 
     #[test]
-    fn device_nodes_rejected_in_dsl() {
+    fn double_output_rejected() {
         let k = kernel_with_body(vec![
-            Stmt::Barrier,
             Stmt::Output(Expr::input_center("IN")),
+            Stmt::Output(Expr::float(0.0)),
         ]);
+        let e = check_dsl(&k).unwrap_err();
+        assert!(e.0.contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn bool_init_of_float_rejected() {
+        let k = kernel_with_body(vec![
+            Stmt::Decl {
+                name: "v".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::ImmBool(true)),
+            },
+            Stmt::Output(Expr::float(0.0)),
+        ]);
+        let e = check_dsl(&k).unwrap_err();
+        assert!(e.0.contains("cannot initialize"), "{e}");
+    }
+
+    #[test]
+    fn dsl_nodes_rejected_in_device_kernel() {
+        use crate::kernel::*;
+        let dk = DeviceKernelDef {
+            name: "k".into(),
+            buffers: vec![BufferParam {
+                name: "OUT".into(),
+                ty: ScalarType::F32,
+                access: BufferAccess::WriteOnly,
+                space: MemorySpace::Global,
+                address_mode: AddressMode::None,
+            }],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared: vec![],
+            body: vec![Stmt::GlobalStore {
+                buf: "OUT".into(),
+                idx: Expr::int(0),
+                value: Expr::input_center("IN"),
+            }],
+        };
+        let e = check_device(&dk).unwrap_err();
+        assert!(e.0.contains("not allowed"), "{e}");
+    }
+
+    #[test]
+    fn device_nodes_rejected_in_dsl() {
+        let k = kernel_with_body(vec![Stmt::Barrier, Stmt::Output(Expr::input_center("IN"))]);
         assert!(check_dsl(&k).unwrap_err().0.contains("not allowed"));
-        let k = kernel_with_body(vec![Stmt::Output(Expr::Builtin(
-            crate::expr::Builtin::ThreadIdxX,
-        )
-        .cast(ScalarType::F32))]);
+        let k = kernel_with_body(vec![Stmt::Output(
+            Expr::Builtin(crate::expr::Builtin::ThreadIdxX).cast(ScalarType::F32),
+        )]);
         assert!(check_dsl(&k).unwrap_err().0.contains("not allowed"));
     }
 
@@ -545,9 +602,7 @@ mod tests {
 
     #[test]
     fn rem_on_floats_rejected() {
-        let k = kernel_with_body(vec![Stmt::Output(
-            Expr::float(1.0).rem(Expr::float(2.0)),
-        )]);
+        let k = kernel_with_body(vec![Stmt::Output(Expr::float(1.0).rem(Expr::float(2.0)))]);
         assert!(check_dsl(&k).unwrap_err().0.contains("integer"));
     }
 

@@ -299,8 +299,7 @@ mod tests {
                 to: Expr::int(1),
                 body: vec![Stmt::Assign {
                     target: LValue::Var("acc".into()),
-                    value: Expr::var("acc")
-                        + Expr::input_at("IN", Expr::var("x"), Expr::var("y")),
+                    value: Expr::var("acc") + Expr::input_at("IN", Expr::var("x"), Expr::var("y")),
                 }],
             }],
         }];
@@ -341,7 +340,11 @@ mod tests {
         let names = declared_names(&out);
         assert_eq!(
             names,
-            vec!["diff_xfm1".to_string(), "diff_xf0".into(), "diff_xf1".into()]
+            vec![
+                "diff_xfm1".to_string(),
+                "diff_xf0".into(),
+                "diff_xf1".into()
+            ]
         );
     }
 

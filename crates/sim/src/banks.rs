@@ -58,9 +58,7 @@ pub fn analyze_bank_conflicts(
     let mut full_env = env.clone();
     Stmt::visit_all(&kernel.body, &mut |s| {
         if let Stmt::For { var, .. } = s {
-            full_env
-                .entry(var.clone())
-                .or_insert(Const::Int(0));
+            full_env.entry(var.clone()).or_insert(Const::Int(0));
         }
         if let Stmt::Decl { name, .. } = s {
             full_env.entry(name.clone()).or_insert(Const::Int(0));
@@ -80,10 +78,9 @@ pub fn analyze_bank_conflicts(
         };
         let mut per_bank: HashMap<u32, u32> = HashMap::new();
         for lane in 0..banks as i64 {
-            let (Some(yy), Some(xx)) = (
-                eval_lane(y, lane, &full_env),
-                eval_lane(x, lane, &full_env),
-            ) else {
+            let (Some(yy), Some(xx)) =
+                (eval_lane(y, lane, &full_env), eval_lane(x, lane, &full_env))
+            else {
                 return; // address not statically analyzable for this site
             };
             let addr = yy * cols + xx;

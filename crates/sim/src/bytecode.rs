@@ -75,7 +75,11 @@ enum Inst {
     /// interpreter applies to `&&`/`||` operands.
     AsBool { dst: Reg, a: Reg },
     /// Math-function call via `eval_mathfn`.
-    Call { dst: Reg, f: MathFn, args: Box<[Reg]> },
+    Call {
+        dst: Reg,
+        f: MathFn,
+        args: Box<[Reg]>,
+    },
     /// C-style cast, identical to the interpreter's `Expr::Cast`.
     Cast { dst: Reg, ty: ScalarType, a: Reg },
     /// Unconditional jump.
@@ -165,9 +169,7 @@ impl InteriorCheck {
             None => return false,
         };
         base.checked_add(self.lo).is_some_and(|v| v >= 0)
-            && base
-                .checked_add(self.hi)
-                .is_some_and(|v| v < self.limit)
+            && base.checked_add(self.hi).is_some_and(|v| v < self.limit)
     }
 }
 
@@ -632,7 +634,11 @@ impl<'a> Compiler<'a> {
             Expr::Unary(op, a) => {
                 let ra = self.compile_uniform_expr(a)?;
                 let dst = self.alloc_ureg();
-                self.prologue.push(Inst::Un { dst, op: *op, a: ra });
+                self.prologue.push(Inst::Un {
+                    dst,
+                    op: *op,
+                    a: ra,
+                });
                 Ok(dst)
             }
             Expr::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
@@ -970,7 +976,11 @@ impl<'a> Compiler<'a> {
             Expr::Unary(op, a) => {
                 let ra = self.compile_expr(a, out)?;
                 let dst = self.alloc_temp();
-                out.push(Inst::Un { dst, op: *op, a: ra });
+                out.push(Inst::Un {
+                    dst,
+                    op: *op,
+                    a: ra,
+                });
                 Ok(dst)
             }
             Expr::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
@@ -1084,11 +1094,7 @@ impl<'a> Compiler<'a> {
                 let cb = self.const_binding(buf)?;
                 let ri = self.compile_expr(idx, out)?;
                 let dst = self.alloc_temp();
-                out.push(Inst::CLoad {
-                    dst,
-                    cb,
-                    idx: ri,
-                });
+                out.push(Inst::CLoad { dst, cb, idx: ri });
                 Ok(dst)
             }
             Expr::SharedLoad { buf, y, x } => {
@@ -1154,7 +1160,15 @@ impl Abs {
     fn float_const(f: f32) -> Abs {
         if f.fract() == 0.0 && f.abs() < F32_EXACT as f32 {
             match Abs::constant(f as i64) {
-                Abs::Aff { tx, ty, bx, by, lo, hi, .. } => Abs::Aff {
+                Abs::Aff {
+                    tx,
+                    ty,
+                    bx,
+                    by,
+                    lo,
+                    hi,
+                    ..
+                } => Abs::Aff {
                     tx,
                     ty,
                     bx,
@@ -1192,12 +1206,26 @@ impl Abs {
 
     /// Global value bounds with the builtin ranges substituted in.
     fn bounds(&self, r: &VarRanges) -> Option<(i64, i64)> {
-        let Abs::Aff { tx, ty, bx, by, lo, hi, .. } = *self else {
+        let Abs::Aff {
+            tx,
+            ty,
+            bx,
+            by,
+            lo,
+            hi,
+            ..
+        } = *self
+        else {
             return None;
         };
         let mut min = lo;
         let mut max = hi;
-        for (c, m) in [(tx, r.tx_max), (ty, r.ty_max), (bx, r.bx_max), (by, r.by_max)] {
+        for (c, m) in [
+            (tx, r.tx_max),
+            (ty, r.ty_max),
+            (bx, r.bx_max),
+            (by, r.by_max),
+        ] {
             let term = c.checked_mul(m)?;
             min = min.checked_add(term.min(0))?;
             max = max.checked_add(term.max(0))?;
@@ -1218,9 +1246,26 @@ impl Abs {
     }
 
     fn add(self, other: Abs, r: &VarRanges) -> Abs {
-        let (Abs::Aff { tx: atx, ty: aty, bx: abx, by: aby, lo: alo, hi: ahi, taint: at },
-             Abs::Aff { tx: btx, ty: bty, bx: bbx, by: bby, lo: blo, hi: bhi, taint: bt }) =
-            (self, other)
+        let (
+            Abs::Aff {
+                tx: atx,
+                ty: aty,
+                bx: abx,
+                by: aby,
+                lo: alo,
+                hi: ahi,
+                taint: at,
+            },
+            Abs::Aff {
+                tx: btx,
+                ty: bty,
+                bx: bbx,
+                by: bby,
+                lo: blo,
+                hi: bhi,
+                taint: bt,
+            },
+        ) = (self, other)
         else {
             return Abs::Any;
         };
@@ -1239,7 +1284,16 @@ impl Abs {
     }
 
     fn neg(self) -> Abs {
-        let Abs::Aff { tx, ty, bx, by, lo, hi, taint } = self else {
+        let Abs::Aff {
+            tx,
+            ty,
+            bx,
+            by,
+            lo,
+            hi,
+            taint,
+        } = self
+        else {
             return Abs::Any;
         };
         (|| {
@@ -1262,15 +1316,30 @@ impl Abs {
 
     fn is_singleton(&self) -> Option<(i64, bool)> {
         match *self {
-            Abs::Aff { tx: 0, ty: 0, bx: 0, by: 0, lo, hi, taint } if lo == hi => {
-                Some((lo, taint))
-            }
+            Abs::Aff {
+                tx: 0,
+                ty: 0,
+                bx: 0,
+                by: 0,
+                lo,
+                hi,
+                taint,
+            } if lo == hi => Some((lo, taint)),
             _ => None,
         }
     }
 
     fn scale(self, k: i64, k_taint: bool, r: &VarRanges) -> Abs {
-        let Abs::Aff { tx, ty, bx, by, lo, hi, taint } = self else {
+        let Abs::Aff {
+            tx,
+            ty,
+            bx,
+            by,
+            lo,
+            hi,
+            taint,
+        } = self
+        else {
             return Abs::Any;
         };
         let aff = (|| {
@@ -1319,7 +1388,15 @@ impl Abs {
 
     fn pure_interval(&self) -> Option<(i64, i64)> {
         match *self {
-            Abs::Aff { tx: 0, ty: 0, bx: 0, by: 0, lo, hi, .. } => Some((lo, hi)),
+            Abs::Aff {
+                tx: 0,
+                ty: 0,
+                bx: 0,
+                by: 0,
+                lo,
+                hi,
+                ..
+            } => Some((lo, hi)),
             _ => None,
         }
     }
@@ -1357,8 +1434,24 @@ impl Abs {
     /// form; otherwise degrade to the union of global bounds.
     fn join(self, other: Abs, r: &VarRanges) -> Abs {
         if let (
-            Abs::Aff { tx: atx, ty: aty, bx: abx, by: aby, lo: alo, hi: ahi, taint: at },
-            Abs::Aff { tx: btx, ty: bty, bx: bbx, by: bby, lo: blo, hi: bhi, taint: bt },
+            Abs::Aff {
+                tx: atx,
+                ty: aty,
+                bx: abx,
+                by: aby,
+                lo: alo,
+                hi: ahi,
+                taint: at,
+            },
+            Abs::Aff {
+                tx: btx,
+                ty: bty,
+                bx: bbx,
+                by: bby,
+                lo: blo,
+                hi: bhi,
+                taint: bt,
+            },
         ) = (self, other)
         {
             if atx == btx && aty == bty && abx == bbx && aby == bby {
@@ -1440,7 +1533,15 @@ impl<'a> InteriorScan<'a> {
     /// Record an access constraint: `abs` must stay inside `[0, limit)`.
     fn record(&mut self, abs: Abs, limit: i64) {
         let check = match abs {
-            Abs::Aff { tx, ty, bx, by, lo, hi, .. } => (|| {
+            Abs::Aff {
+                tx,
+                ty,
+                bx,
+                by,
+                lo,
+                hi,
+                ..
+            } => (|| {
                 let mut lo_t = lo;
                 let mut hi_t = hi;
                 for (c, m) in [(tx, self.ranges.tx_max), (ty, self.ranges.ty_max)] {
@@ -1472,16 +1573,40 @@ impl<'a> InteriorScan<'a> {
             Expr::ImmBool(_) => Abs::Any,
             Expr::Var(n) => self.lookup(n),
             Expr::Builtin(Builtin::ThreadIdxX) => Abs::Aff {
-                tx: 1, ty: 0, bx: 0, by: 0, lo: 0, hi: 0, taint: false,
+                tx: 1,
+                ty: 0,
+                bx: 0,
+                by: 0,
+                lo: 0,
+                hi: 0,
+                taint: false,
             },
             Expr::Builtin(Builtin::ThreadIdxY) => Abs::Aff {
-                tx: 0, ty: 1, bx: 0, by: 0, lo: 0, hi: 0, taint: false,
+                tx: 0,
+                ty: 1,
+                bx: 0,
+                by: 0,
+                lo: 0,
+                hi: 0,
+                taint: false,
             },
             Expr::Builtin(Builtin::BlockIdxX) => Abs::Aff {
-                tx: 0, ty: 0, bx: 1, by: 0, lo: 0, hi: 0, taint: false,
+                tx: 0,
+                ty: 0,
+                bx: 1,
+                by: 0,
+                lo: 0,
+                hi: 0,
+                taint: false,
             },
             Expr::Builtin(Builtin::BlockIdxY) => Abs::Aff {
-                tx: 0, ty: 0, bx: 0, by: 1, lo: 0, hi: 0, taint: false,
+                tx: 0,
+                ty: 0,
+                bx: 0,
+                by: 1,
+                lo: 0,
+                hi: 0,
+                taint: false,
             },
             Expr::Builtin(Builtin::BlockDimX) => Abs::constant(r.tx_max + 1),
             Expr::Builtin(Builtin::BlockDimY) => Abs::constant(r.ty_max + 1),
@@ -1520,9 +1645,7 @@ impl<'a> InteriorScan<'a> {
                     // Aff values are integral by construction, so int
                     // truncation and float widening are identities.
                     ScalarType::I32 | ScalarType::U32 | ScalarType::F32 => va,
-                    ScalarType::Bool => {
-                        Abs::Any
-                    }
+                    ScalarType::Bool => Abs::Any,
                 }
             }
             Expr::Select(c, a, b) => {
@@ -1587,7 +1710,12 @@ impl<'a> InteriorScan<'a> {
                     let v = self.abs_expr(value);
                     self.set(name, v);
                 }
-                Stmt::For { var, from, to, body } => {
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
                     let vf = self.abs_expr(from);
                     let vt = self.abs_expr(to);
                     let var_abs = match (vf.bounds(&self.ranges), vt.bounds(&self.ranges)) {
@@ -1727,9 +1855,8 @@ impl BlockRun<'_> {
                             return Err(SimError::DivisionByZero);
                         }
                     }
-                    regs[*dst as usize] = eval_binop(*op, va, vb).ok_or_else(|| {
-                        SimError::EvalError(format!("{op:?} on {va:?}, {vb:?}"))
-                    })?;
+                    regs[*dst as usize] = eval_binop(*op, va, vb)
+                        .ok_or_else(|| SimError::EvalError(format!("{op:?} on {va:?}, {vb:?}")))?;
                 }
                 Inst::AsBool { dst, a } => {
                     regs[*dst as usize] = Const::Bool(regs[*a as usize].as_bool());
@@ -1739,10 +1866,9 @@ impl BlockRun<'_> {
                     for &r in args.iter() {
                         self.call_scratch.push(regs[r as usize]);
                     }
-                    regs[*dst as usize] =
-                        eval_mathfn(*f, &self.call_scratch).ok_or_else(|| {
-                            SimError::EvalError(format!("{f:?} on {:?}", self.call_scratch))
-                        })?;
+                    regs[*dst as usize] = eval_mathfn(*f, &self.call_scratch).ok_or_else(|| {
+                        SimError::EvalError(format!("{f:?} on {:?}", self.call_scratch))
+                    })?;
                 }
                 Inst::Cast { dst, ty, a } => {
                     let v = regs[*a as usize];
@@ -1850,9 +1976,7 @@ impl BlockRun<'_> {
                 Inst::CLoad { dst, cb, idx } => {
                     self.stats.const_loads += 1;
                     let data = &self.prog.consts[*cb as usize].data;
-                    let i = regs[*idx as usize]
-                        .as_i64()
-                        .clamp(0, data.len() as i64 - 1) as usize;
+                    let i = regs[*idx as usize].as_i64().clamp(0, data.len() as i64 - 1) as usize;
                     regs[*dst as usize] = Const::Float(data[i]);
                 }
                 Inst::SLoad { dst, sb, y, x } => {
@@ -2066,8 +2190,7 @@ mod tests {
         for name in mem_tree.buffer_names() {
             let a = &mem_tree.buffer(&name).unwrap().data;
             let b = &mem_bc.buffer(&name).unwrap().data;
-            let eq = a.len() == b.len()
-                && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+            let eq = a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
             assert!(eq, "buffer `{name}` diverges for `{}`", k.name);
         }
         (mem_bc, stats_bc)
@@ -2435,10 +2558,7 @@ mod tests {
                     buf: "IN".into(),
                     idx: Box::new(Expr::var("gid")),
                 } * Expr::float(0.1),
-            ) + Expr::max(
-                Expr::var("gid").cast(ScalarType::F32),
-                Expr::float(7.0),
-            ),
+            ) + Expr::max(Expr::var("gid").cast(ScalarType::F32), Expr::float(7.0)),
         };
         let mem = linear_mem(64);
         let mut p = LaunchParams::new((2, 1), (32, 1));

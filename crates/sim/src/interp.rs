@@ -22,6 +22,7 @@
 //! static estimates of `hipacc-ir::metrics`.
 
 use crate::memory::{DeviceMemory, LaunchParams};
+use crate::observer::ObserverReport;
 use hipacc_image::boundary::{clamp_index, repeat_index};
 use hipacc_ir::fold::{eval_binop, eval_mathfn, eval_unop};
 use hipacc_ir::kernel::{AddressMode, DeviceKernelDef};
@@ -194,6 +195,9 @@ struct BlockState {
     shared: HashMap<String, (Vec<f32>, u32 /* cols */)>,
     stores: Vec<PendingStore>,
     stats: ExecStats,
+    /// Present only on observed runs ([`execute_observed`]); never alters
+    /// execution semantics or statistics.
+    obs: Option<crate::observer::BlockObserver>,
 }
 
 struct Interp<'a> {
@@ -231,7 +235,12 @@ impl<'a> Interp<'a> {
         Ok(b.data[idx as usize])
     }
 
-    fn tex_read(&mut self, buf: &str, coords: &TexCoords, t: &mut ThreadState) -> Result<f32, SimError> {
+    fn tex_read(
+        &mut self,
+        buf: &str,
+        coords: &TexCoords,
+        t: &mut ThreadState,
+    ) -> Result<f32, SimError> {
         self.block.stats.tex_fetches += 1;
         let b = self
             .ctx
@@ -383,8 +392,14 @@ impl<'a> Interp<'a> {
                     .shared
                     .get(buf)
                     .ok_or_else(|| SimError::UnboundBuffer(buf.clone()))?;
-                let idx = (yi * *cols as i64 + xi).clamp(0, data.len() as i64 - 1) as usize;
-                Ok(Const::Float(data[idx]))
+                let (cols, len) = (*cols, data.len());
+                let idx = (yi * cols as i64 + xi).clamp(0, len as i64 - 1) as usize;
+                let v = data[idx];
+                if let Some(obs) = self.block.obs.as_mut() {
+                    let lane = t.ty * self.ctx.params.block.0 as i64 + t.tx;
+                    obs.shared_access(buf, (yi, xi), (cols, len), lane, false);
+                }
+                Ok(Const::Float(v))
             }
             Expr::InputAt { .. } | Expr::MaskAt { .. } | Expr::OutputX | Expr::OutputY => Err(
                 SimError::EvalError("DSL-level node reached the interpreter".into()),
@@ -477,8 +492,13 @@ impl<'a> Interp<'a> {
                         .shared
                         .get_mut(buf)
                         .ok_or_else(|| SimError::UnboundBuffer(buf.clone()))?;
-                    let idx = (yi * *cols as i64 + xi).clamp(0, data.len() as i64 - 1) as usize;
+                    let (cols, len) = (*cols, data.len());
+                    let idx = (yi * cols as i64 + xi).clamp(0, len as i64 - 1) as usize;
                     data[idx] = v;
+                    if let Some(obs) = self.block.obs.as_mut() {
+                        let lane = t.ty * self.ctx.params.block.0 as i64 + t.tx;
+                        obs.shared_access(buf, (yi, xi), (cols, len), lane, true);
+                    }
                 }
                 Stmt::Barrier => return Err(SimError::NestedBarrier),
                 Stmt::Return => return Ok(Flow::Returned),
@@ -508,14 +528,16 @@ pub(crate) fn phases(body: &[Stmt]) -> Vec<&[Stmt]> {
     out
 }
 
-/// Execute one block, returning its buffered stores and stats.
+/// Execute one block, returning its buffered stores, stats, and (on
+/// observed runs) the block's observer report.
 fn run_block(
     kernel: &DeviceKernelDef,
     mem: &DeviceMemory,
     params: &LaunchParams,
     bx: u32,
     by: u32,
-) -> Result<(Vec<PendingStore>, ExecStats), SimError> {
+    observe: bool,
+) -> Result<(Vec<PendingStore>, ExecStats, Option<ObserverReport>), SimError> {
     let mut shared = HashMap::new();
     for sh in &kernel.shared {
         shared.insert(
@@ -535,6 +557,7 @@ fn run_block(
             shared,
             stores: Vec::new(),
             stats: ExecStats::default(),
+            obs: observe.then(crate::observer::BlockObserver::new),
         },
     };
 
@@ -557,10 +580,17 @@ fn run_block(
         }
         if pi + 1 < n_phases {
             interp.block.stats.barriers += threads.iter().filter(|t| !t.done).count() as u64;
+            if let Some(obs) = interp.block.obs.as_mut() {
+                obs.next_phase();
+            }
         }
     }
 
-    Ok((interp.block.stores, interp.block.stats))
+    Ok((
+        interp.block.stores,
+        interp.block.stats,
+        interp.block.obs.map(|o| o.report),
+    ))
 }
 
 /// Execute a kernel launch over the whole grid. Blocks run in parallel
@@ -571,6 +601,31 @@ pub fn execute(
     params: &LaunchParams,
     mem: &mut DeviceMemory,
 ) -> Result<ExecStats, SimError> {
+    execute_inner(kernel, params, mem, false).map(|(stats, _)| stats)
+}
+
+/// Execute a kernel launch with the dynamic observer attached: identical
+/// semantics and statistics to [`execute`], plus an [`ObserverReport`]
+/// witnessing shared-memory races, shared out-of-bounds accesses, global
+/// out-of-bounds accesses and global store conflicts.
+pub fn execute_observed(
+    kernel: &DeviceKernelDef,
+    params: &LaunchParams,
+    mem: &mut DeviceMemory,
+) -> Result<(ExecStats, ObserverReport), SimError> {
+    let (stats, report) = execute_inner(kernel, params, mem, true)?;
+    let mut report = report.unwrap_or_default();
+    report.global_oob_reads = stats.oob_reads;
+    report.global_oob_stores = stats.oob_stores;
+    Ok((stats, report))
+}
+
+fn execute_inner(
+    kernel: &DeviceKernelDef,
+    params: &LaunchParams,
+    mem: &mut DeviceMemory,
+    observe: bool,
+) -> Result<(ExecStats, Option<ObserverReport>), SimError> {
     // Every scalar parameter must be supplied.
     for p in &kernel.scalars {
         if !params.scalars.contains_key(&p.name) {
@@ -593,8 +648,9 @@ pub fn execute(
         .unwrap_or(4)
         .min(blocks.len().max(1));
 
+    type WorkerOut = (Vec<PendingStore>, ExecStats, Option<ObserverReport>);
     let mem_ro: &DeviceMemory = mem;
-    let mut results: Vec<Result<(Vec<PendingStore>, ExecStats), SimError>> = Vec::new();
+    let mut results: Vec<Result<WorkerOut, SimError>> = Vec::new();
     std::thread::scope(|scope| {
         let chunk = blocks.len().div_ceil(n_workers);
         let mut handles = Vec::new();
@@ -602,12 +658,17 @@ pub fn execute(
             handles.push(scope.spawn(move || {
                 let mut stores = Vec::new();
                 let mut stats = ExecStats::default();
+                let mut report: Option<ObserverReport> = None;
                 for &(bx, by) in worker_blocks {
-                    let (mut s, block_stats) = run_block(kernel, mem_ro, params, bx, by)?;
+                    let (mut s, block_stats, block_report) =
+                        run_block(kernel, mem_ro, params, bx, by, observe)?;
                     stats.merge(&block_stats);
                     stores.append(&mut s);
+                    if let Some(r) = block_report {
+                        report.get_or_insert_with(ObserverReport::default).merge(&r);
+                    }
                 }
-                Ok((stores, stats))
+                Ok((stores, stats, report))
             }));
         }
         for h in handles {
@@ -616,10 +677,27 @@ pub fn execute(
     });
 
     let mut stats_total = ExecStats::default();
+    let mut report_total: Option<ObserverReport> = observe.then(ObserverReport::default);
+    // Generated kernels write each output pixel exactly once, so two
+    // stores landing on one cell mean overlapping iteration spaces.
+    let mut store_counts: HashMap<(String, usize), u64> = HashMap::new();
     for result in results {
-        let (stores, worker_stats) = result?;
+        let (stores, worker_stats, worker_report) = result?;
         stats_total.merge(&worker_stats);
+        if let (Some(total), Some(r)) = (report_total.as_mut(), worker_report.as_ref()) {
+            total.merge(r);
+        }
         for st in stores {
+            if observe {
+                let n = store_counts.entry((st.buf.clone(), st.idx)).or_insert(0);
+                *n += 1;
+                if *n == 2 {
+                    if let Some(total) = report_total.as_mut() {
+                        total.global_store_conflicts += 1;
+                        total.example(format!("multiple threads store `{}`[{}]", st.buf, st.idx));
+                    }
+                }
+            }
             let buf = mem
                 .buffer_mut(&st.buf)
                 .ok_or_else(|| SimError::UnboundBuffer(st.buf.clone()))?;
@@ -627,7 +705,7 @@ pub fn execute(
         }
     }
 
-    Ok(stats_total)
+    Ok((stats_total, report_total))
 }
 
 #[cfg(test)]
@@ -827,6 +905,89 @@ mod tests {
         assert_eq!(stats.shared_stores, 64);
     }
 
+    /// The observer sees the barrier-separated reversal kernel as clean,
+    /// flags a collapsed-index variant as racy, and never perturbs the
+    /// statistics of the unobserved run.
+    #[test]
+    fn observer_separates_clean_from_racy() {
+        let clean = {
+            let mut mem = linear_mem(64);
+            let p = LaunchParams::new((2, 1), (32, 1));
+            let k = reversal_kernel();
+            let base = execute(&k, &p, &mut mem).unwrap();
+            let mut mem2 = linear_mem(64);
+            let (stats, report) = execute_observed(&k, &p, &mut mem2).unwrap();
+            assert_eq!(stats, base, "observation must not alter statistics");
+            assert_eq!(
+                mem.buffer("OUT").unwrap().data,
+                mem2.buffer("OUT").unwrap().data
+            );
+            report
+        };
+        assert!(clean.is_clean(), "{clean:?}");
+
+        // Same kernel, but every pair of lanes stages into tile cell
+        // tx/2: a write/write race inside the first phase.
+        let mut k = reversal_kernel();
+        if let Stmt::SharedStore { x, .. } = &mut k.body[1] {
+            *x = Expr::Builtin(Builtin::ThreadIdxX) / Expr::int(2);
+        } else {
+            panic!("expected the staging store");
+        }
+        let mut mem = linear_mem(64);
+        let p = LaunchParams::new((2, 1), (32, 1));
+        let (_, report) = execute_observed(&k, &p, &mut mem).unwrap();
+        assert!(report.shared_write_write > 0, "{report:?}");
+    }
+
+    fn reversal_kernel() -> DeviceKernelDef {
+        DeviceKernelDef {
+            name: "rev".into(),
+            buffers: double_kernel().buffers,
+            scalars: vec![],
+            const_buffers: vec![],
+            shared: vec![SharedDecl {
+                name: "_s".into(),
+                ty: ScalarType::F32,
+                rows: 1,
+                cols: 32,
+            }],
+            body: vec![
+                Stmt::Decl {
+                    name: "gid".into(),
+                    ty: ScalarType::I32,
+                    init: Some(
+                        Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)
+                            + Expr::Builtin(Builtin::ThreadIdxX),
+                    ),
+                },
+                Stmt::SharedStore {
+                    buf: "_s".into(),
+                    y: Expr::int(0),
+                    x: Expr::Builtin(Builtin::ThreadIdxX),
+                    value: Expr::GlobalLoad {
+                        buf: "IN".into(),
+                        idx: Box::new(Expr::var("gid")),
+                    },
+                },
+                Stmt::Barrier,
+                Stmt::GlobalStore {
+                    buf: "OUT".into(),
+                    idx: Expr::var("gid"),
+                    value: Expr::SharedLoad {
+                        buf: "_s".into(),
+                        y: Box::new(Expr::int(0)),
+                        x: Box::new(
+                            Expr::Builtin(Builtin::BlockDimX)
+                                - Expr::int(1)
+                                - Expr::Builtin(Builtin::ThreadIdxX),
+                        ),
+                    },
+                },
+            ],
+        }
+    }
+
     #[test]
     fn texture_address_modes_apply() {
         // OUT[tx] = tex2D(IN, tx - 2, 0) with clamp: first three reads all
@@ -876,7 +1037,8 @@ mod tests {
             },
         }];
         let mut mem = linear_mem(32);
-        mem.tex_modes.insert("IN".into(), AddressMode::BorderConstant(1.0));
+        mem.tex_modes
+            .insert("IN".into(), AddressMode::BorderConstant(1.0));
         let p = LaunchParams::new((1, 1), (32, 1));
         execute(&k, &p, &mut mem).unwrap();
         let out = &mem.buffer("OUT").unwrap().data;

@@ -15,6 +15,7 @@
 
 use crate::interp::{ExecStats, SimError};
 use crate::memory::{BufferGeometry, DeviceBuffer, DeviceMemory, LaunchParams};
+use crate::observer::ObserverReport;
 use hipacc_image::Image;
 use hipacc_ir::kernel::{BufferAccess, DeviceKernelDef};
 use hipacc_ir::ty::Const;
@@ -76,6 +77,41 @@ pub fn run_on_image_with(
     spec: &LaunchSpec<'_>,
     engine: Engine,
 ) -> Result<LaunchResult, SimError> {
+    let (mut mem, params) = prepare(kernel, spec)?;
+    let stats = match engine {
+        Engine::Bytecode => crate::bytecode::execute(kernel, &params, &mut mem)?,
+        Engine::TreeWalk => crate::interp::execute(kernel, &params, &mut mem)?,
+    };
+    let output = download_output(&mem)?;
+    Ok(LaunchResult { output, stats })
+}
+
+/// Run a device kernel with the dynamic observer attached (tree-walk
+/// engine): the launch result plus an [`ObserverReport`] witnessing
+/// races, out-of-bounds accesses and store conflicts. Execution semantics
+/// and statistics are identical to [`run_on_image`].
+pub fn run_on_image_observed(
+    kernel: &DeviceKernelDef,
+    spec: &LaunchSpec<'_>,
+) -> Result<(LaunchResult, ObserverReport), SimError> {
+    let (mut mem, params) = prepare(kernel, spec)?;
+    let (stats, report) = crate::interp::execute_observed(kernel, &params, &mut mem)?;
+    let output = download_output(&mem)?;
+    Ok((LaunchResult { output, stats }, report))
+}
+
+fn download_output(mem: &DeviceMemory) -> Result<Image<f32>, SimError> {
+    Ok(mem
+        .buffer("OUT")
+        .ok_or_else(|| SimError::UnboundBuffer("OUT".into()))?
+        .to_image())
+}
+
+/// Bind buffers, masks and geometry scalars for a launch.
+fn prepare(
+    kernel: &DeviceKernelDef,
+    spec: &LaunchSpec<'_>,
+) -> Result<(DeviceMemory, LaunchParams), SimError> {
     let reference = spec
         .inputs
         .values()
@@ -142,15 +178,7 @@ pub fn run_on_image_with(
             .or_insert(Const::Int(v));
     }
 
-    let stats = match engine {
-        Engine::Bytecode => crate::bytecode::execute(kernel, &params, &mut mem)?,
-        Engine::TreeWalk => crate::interp::execute(kernel, &params, &mut mem)?,
-    };
-    let output = mem
-        .buffer("OUT")
-        .ok_or_else(|| SimError::UnboundBuffer("OUT".into()))?
-        .to_image();
-    Ok(LaunchResult { output, stats })
+    Ok((mem, params))
 }
 
 #[cfg(test)]

@@ -37,7 +37,10 @@
 //! (validating the paper's +1-column pad); [`memory`] holds the simulated
 //! device memory (buffers with strides and
 //! texture geometry); [`launch`] wires compiled kernels, images and the
-//! interpreter together.
+//! interpreter together. [`observer`] attaches a dynamic race and
+//! bounds watcher to a launch ([`execute_observed`] /
+//! [`run_on_image_observed`]) — the runtime cross-check of the static
+//! verifier in `hipacc-analysis`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -47,10 +50,12 @@ pub mod bytecode;
 pub mod interp;
 pub mod launch;
 pub mod memory;
+pub mod observer;
 pub mod timing;
 
 pub use bytecode::{compile, execute as execute_bytecode, CompiledKernel};
-pub use interp::{execute, ExecStats, SimError};
-pub use launch::{run_on_image, run_on_image_with, Engine, LaunchResult};
+pub use interp::{execute, execute_observed, ExecStats, SimError};
+pub use launch::{run_on_image, run_on_image_observed, run_on_image_with, Engine, LaunchResult};
 pub use memory::{DeviceMemory, LaunchParams};
+pub use observer::ObserverReport;
 pub use timing::{estimate_time, TimeBreakdown, TimingInput};

@@ -67,7 +67,11 @@ impl DeviceBuffer {
     /// Download into a host image of the same geometry.
     pub fn to_image(&self) -> hipacc_image::Image<f32> {
         let mut img = hipacc_image::Image::new(self.geom.width, self.geom.height);
-        assert_eq!(img.stride(), self.geom.stride, "stride mismatch on download");
+        assert_eq!(
+            img.stride(),
+            self.geom.stride,
+            "stride mismatch on download"
+        );
         img.raw_mut().copy_from_slice(&self.data);
         img
     }

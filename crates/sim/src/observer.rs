@@ -1,0 +1,241 @@
+//! Dynamic execution observer: the runtime cross-check of the static
+//! kernel verifier (`hipacc-analysis`).
+//!
+//! The static passes *prove* properties over abstract thread/block
+//! ranges; this observer *witnesses* them on a concrete launch. During an
+//! observed run the interpreter records, per block and per
+//! barrier-delimited phase:
+//!
+//! * shared-memory **write/write** conflicts — two different lanes
+//!   writing the same scratchpad cell with no barrier in between (the
+//!   dynamic shadow of diagnostic `A0201`),
+//! * shared-memory **read/write** conflicts — one lane reading a cell a
+//!   different lane writes in the same phase (`A0202`),
+//! * shared-memory **out-of-bounds** accesses, judged on the linearized
+//!   index before the interpreter's safety clamp (`A0302`),
+//!
+//! and, at launch scope, global out-of-bounds reads/stores (from the
+//! execution statistics, `A0301`) and global store conflicts (two stores
+//! to the same output cell — generated kernels write each pixel exactly
+//! once, so any collision is suspect).
+//!
+//! The property test in `tests/properties.rs` closes the loop: a kernel
+//! the verifier calls clean must produce a clean [`ObserverReport`].
+//! Observation never changes execution semantics or [`ExecStats`] — the
+//! observer only watches.
+//!
+//! [`ExecStats`]: crate::interp::ExecStats
+
+use std::collections::HashMap;
+
+/// What an observed launch saw. All counters zero ⇒ the launch exhibited
+/// none of the defect classes the static verifier reasons about.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObserverReport {
+    /// Same-phase writes to one shared cell from two different lanes.
+    pub shared_write_write: u64,
+    /// Same-phase read and write of one shared cell by different lanes.
+    pub shared_read_write: u64,
+    /// Shared accesses whose linearized index fell outside the array.
+    pub shared_oob: u64,
+    /// Out-of-bounds global/texture reads (mirrors `ExecStats::oob_reads`).
+    pub global_oob_reads: u64,
+    /// Out-of-bounds global stores (mirrors `ExecStats::oob_stores`).
+    pub global_oob_stores: u64,
+    /// Stores from two threads landing on the same output cell.
+    pub global_store_conflicts: u64,
+    /// Human-readable samples of the first few events (capped).
+    pub examples: Vec<String>,
+}
+
+/// Cap on retained example strings per report.
+const MAX_EXAMPLES: usize = 8;
+
+impl ObserverReport {
+    /// True when no defect of any class was witnessed.
+    pub fn is_clean(&self) -> bool {
+        self.shared_write_write == 0
+            && self.shared_read_write == 0
+            && self.shared_oob == 0
+            && self.global_oob_reads == 0
+            && self.global_oob_stores == 0
+            && self.global_store_conflicts == 0
+    }
+
+    /// Accumulate another block's (or worker's) report into this one.
+    pub fn merge(&mut self, other: &ObserverReport) {
+        self.shared_write_write += other.shared_write_write;
+        self.shared_read_write += other.shared_read_write;
+        self.shared_oob += other.shared_oob;
+        self.global_oob_reads += other.global_oob_reads;
+        self.global_oob_stores += other.global_oob_stores;
+        self.global_store_conflicts += other.global_store_conflicts;
+        for e in &other.examples {
+            if self.examples.len() >= MAX_EXAMPLES {
+                break;
+            }
+            self.examples.push(e.clone());
+        }
+    }
+
+    pub(crate) fn example(&mut self, msg: String) {
+        if self.examples.len() < MAX_EXAMPLES {
+            self.examples.push(msg);
+        }
+    }
+}
+
+/// Per-block recording state. The interpreter resets the access maps at
+/// every barrier (phase boundary): accesses in different phases are
+/// ordered by the barrier and never conflict.
+pub(crate) struct BlockObserver {
+    /// Lane that first wrote each (buffer, linear index) this phase.
+    writers: HashMap<(String, i64), i64>,
+    /// Lane that first read each (buffer, linear index) this phase.
+    readers: HashMap<(String, i64), i64>,
+    pub(crate) report: ObserverReport,
+}
+
+impl BlockObserver {
+    pub(crate) fn new() -> Self {
+        Self {
+            writers: HashMap::new(),
+            readers: HashMap::new(),
+            report: ObserverReport::default(),
+        }
+    }
+
+    /// A barrier was crossed: conflicts cannot span it.
+    pub(crate) fn next_phase(&mut self) {
+        self.writers.clear();
+        self.readers.clear();
+    }
+
+    /// Record one shared-memory access by `lane` (linear thread id within
+    /// the block) at row/column `at` of an array with `cols` columns and
+    /// `len` elements total (`shape`).
+    pub(crate) fn shared_access(
+        &mut self,
+        buf: &str,
+        at: (i64, i64),
+        shape: (u32, usize),
+        lane: i64,
+        write: bool,
+    ) {
+        let (yi, xi) = at;
+        let (cols, len) = shape;
+        let idx = yi * cols as i64 + xi;
+        if idx < 0 || idx >= len as i64 {
+            self.report.shared_oob += 1;
+            let kind = if write { "write" } else { "read" };
+            self.report
+                .example(format!("shared {kind} out of bounds: `{buf}`[{yi}][{xi}]"));
+        }
+        let key = (buf.to_string(), idx);
+        if write {
+            if let Some(&r) = self.readers.get(&key) {
+                if r != lane {
+                    self.report.shared_read_write += 1;
+                    self.report.example(format!(
+                        "lane {lane} writes `{buf}`[{yi}][{xi}] read by lane {r} in the same phase"
+                    ));
+                }
+            }
+            match self.writers.get(&key) {
+                Some(&w) if w != lane => {
+                    self.report.shared_write_write += 1;
+                    self.report.example(format!(
+                        "lanes {w} and {lane} both write `{buf}`[{yi}][{xi}] in one phase"
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    self.writers.insert(key, lane);
+                }
+            }
+        } else {
+            if let Some(&w) = self.writers.get(&key) {
+                if w != lane {
+                    self.report.shared_read_write += 1;
+                    self.report.example(format!(
+                        "lane {lane} reads `{buf}`[{yi}][{xi}] written by lane {w} in the same phase"
+                    ));
+                }
+            }
+            self.readers.entry(key).or_insert(lane);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_cells_are_clean() {
+        let mut o = BlockObserver::new();
+        for lane in 0..8 {
+            o.shared_access("s", (0, lane), (16, 16), lane, true);
+        }
+        o.next_phase();
+        for lane in 0..8 {
+            o.shared_access("s", (0, (lane + 1) % 8), (16, 16), lane, false);
+        }
+        assert!(o.report.is_clean(), "{:?}", o.report);
+    }
+
+    #[test]
+    fn same_cell_writes_conflict() {
+        let mut o = BlockObserver::new();
+        o.shared_access("s", (0, 3), (16, 16), 0, true);
+        o.shared_access("s", (0, 3), (16, 16), 1, true);
+        assert_eq!(o.report.shared_write_write, 1);
+    }
+
+    #[test]
+    fn cross_lane_read_of_fresh_write_conflicts() {
+        let mut o = BlockObserver::new();
+        o.shared_access("s", (0, 3), (16, 16), 0, true);
+        o.shared_access("s", (0, 3), (16, 16), 1, false);
+        assert_eq!(o.report.shared_read_write, 1);
+        // Own-write read-back is fine.
+        let mut o = BlockObserver::new();
+        o.shared_access("s", (0, 3), (16, 16), 0, true);
+        o.shared_access("s", (0, 3), (16, 16), 0, false);
+        assert!(o.report.is_clean());
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let mut o = BlockObserver::new();
+        o.shared_access("s", (0, 3), (16, 16), 0, true);
+        o.next_phase();
+        o.shared_access("s", (0, 3), (16, 16), 1, false);
+        assert!(o.report.is_clean(), "{:?}", o.report);
+    }
+
+    #[test]
+    fn oob_is_judged_before_the_clamp() {
+        let mut o = BlockObserver::new();
+        // Row 1 of a 1-row array: linearized index 16 >= len 16.
+        o.shared_access("s", (1, 0), (16, 16), 0, true);
+        assert_eq!(o.report.shared_oob, 1);
+        assert!(!o.report.is_clean());
+    }
+
+    #[test]
+    fn merge_accumulates_and_caps_examples() {
+        let mut a = ObserverReport::default();
+        for i in 0..MAX_EXAMPLES {
+            a.example(format!("e{i}"));
+        }
+        let mut b = ObserverReport {
+            shared_oob: 2,
+            ..Default::default()
+        };
+        b.example("late".into());
+        a.merge(&b);
+        assert_eq!(a.shared_oob, 2);
+        assert_eq!(a.examples.len(), MAX_EXAMPLES, "examples stay capped");
+    }
+}

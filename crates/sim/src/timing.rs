@@ -178,8 +178,7 @@ fn input_bytes_per_thread(input: &TimingInput, ops: &OpCounts) -> f64 {
                 let simd = dev.simd_width as f64;
                 let window_h = 2.0 * hy as f64 + 1.0;
                 let footprint = window_h * (simd * vec + 2.0 * hx as f64) * pb / simd;
-                let window_taps =
-                    (2.0 * hx as f64 + 1.0) * (2.0 * hy as f64 + 1.0) * vec;
+                let window_taps = (2.0 * hx as f64 + 1.0) * (2.0 * hy as f64 + 1.0) * vec;
                 let site_factor = (reads / window_taps).max(1.0);
                 2.0 * footprint * site_factor
             }
@@ -195,10 +194,8 @@ fn input_bytes_per_thread(input: &TimingInput, ops: &OpCounts) -> f64 {
                     let (hx, hy) = input.halo;
                     let simd = dev.simd_width as f64;
                     let window_h = 2.0 * hy as f64 + 1.0;
-                    let footprint =
-                        window_h * (simd * vec + 2.0 * hx as f64) * pb / simd;
-                    let window_taps =
-                        (2.0 * hx as f64 + 1.0) * (2.0 * hy as f64 + 1.0) * vec;
+                    let footprint = window_h * (simd * vec + 2.0 * hx as f64) * pb / simd;
+                    let window_taps = (2.0 * hx as f64 + 1.0) * (2.0 * hy as f64 + 1.0) * vec;
                     let site_factor = (reads / window_taps).max(1.0);
                     2.0 * footprint * site_factor
                 } else {
@@ -252,7 +249,11 @@ pub fn estimate_time(input: &TimingInput) -> TimeBreakdown {
     }
 
     let util = utilization(dev, input.occupancy);
-    let penalty = if input.opencl { dev.opencl_penalty } else { 1.0 };
+    let penalty = if input.opencl {
+        dev.opencl_penalty
+    } else {
+        1.0
+    };
     // Vectorized code fills up to `vector_width` VLIW lanes per slot; on
     // scalar-issue NVIDIA parts the factor is 1.
     let vliw = dev.arch.vliw_width() as f64;

@@ -85,13 +85,12 @@ fn main() {
         ("texture + mask", MemVariant::Texture, true),
     ];
     for (label, variant, mask) in variants {
-        let op = bilateral_operator(3, 5, mask, BoundaryMode::Clamp).with_options(
-            PipelineOptions {
+        let op =
+            bilateral_operator(3, 5, mask, BoundaryMode::Clamp).with_options(PipelineOptions {
                 variant,
                 force_config: Some((128, 1)),
                 ..PipelineOptions::default()
-            },
-        );
+            });
         let compiled = op.compile(&target, 4096, 4096).unwrap();
         let t = op.estimate(&compiled, &target);
         println!("  {:<22} {:>10.2}", label, t.total_ms);

@@ -24,7 +24,11 @@ fn main() {
     match mode.as_str() {
         "cuda" => {
             let c = op
-                .compile(&Target::cuda(hipacc_hwmodel::device::tesla_c2050()), 4096, 4096)
+                .compile(
+                    &Target::cuda(hipacc_hwmodel::device::tesla_c2050()),
+                    4096,
+                    4096,
+                )
                 .unwrap();
             println!("{}", c.source);
         }
@@ -40,14 +44,21 @@ fn main() {
         }
         "host" => {
             let c = op
-                .compile(&Target::cuda(hipacc_hwmodel::device::tesla_c2050()), 4096, 4096)
+                .compile(
+                    &Target::cuda(hipacc_hwmodel::device::tesla_c2050()),
+                    4096,
+                    4096,
+                )
                 .unwrap();
             println!("{}", c.host_source);
         }
         "sweep" => {
             let e = hipacc_bench::figures::figure4();
             println!("configuration sweep (bilateral 13x13, 4096^2, Tesla C2050):");
-            println!("{:>8} {:>8} {:>10} {:>10}", "config", "threads", "occ", "ms");
+            println!(
+                "{:>8} {:>8} {:>10} {:>10}",
+                "config", "threads", "occ", "ms"
+            );
             let mut pts = e.points.clone();
             pts.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap());
             for p in pts.iter().take(10) {

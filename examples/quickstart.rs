@@ -29,9 +29,15 @@ fn main() {
         3,
         3,
         vec![
-            1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
-            2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0,
-            1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
+            1.0 / 16.0,
+            2.0 / 16.0,
+            1.0 / 16.0,
+            2.0 / 16.0,
+            4.0 / 16.0,
+            2.0 / 16.0,
+            1.0 / 16.0,
+            2.0 / 16.0,
+            1.0 / 16.0,
         ],
     );
     let acc = b.let_("acc", ScalarType::F32, Expr::float(0.0));
@@ -88,7 +94,10 @@ fn main() {
         result.stats.global_stores,
         result.stats.const_loads
     );
-    println!("out-of-bounds:   {} (0 = boundary handling correct)", result.stats.oob_reads);
+    println!(
+        "out-of-bounds:   {} (0 = boundary handling correct)",
+        result.stats.oob_reads
+    );
 
     println!("\n--- modelled time on a real Tesla C2050 ---");
     println!("compute:         {:.3} ms", result.time.compute_ms);

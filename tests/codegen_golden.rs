@@ -27,7 +27,9 @@ fn cuda_source_has_paper_structure() {
     // Statically initialized constant memory for the closeness mask (§IV-C).
     assert!(src.contains("__device__ __constant__ float _constCMask[169]"));
     // Nine region bodies (§IV-B).
-    for label in ["TL_BH", "T_BH", "TR_BH", "L_BH", "NO_BH", "R_BH", "BL_BH", "B_BH", "BR_BH"] {
+    for label in [
+        "TL_BH", "T_BH", "TR_BH", "L_BH", "NO_BH", "R_BH", "BL_BH", "B_BH", "BR_BH",
+    ] {
         assert!(src.contains(label), "missing region {label}");
     }
     // Region dispatch on block indices, as Listing 8.

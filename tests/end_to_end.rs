@@ -41,11 +41,8 @@ fn gaussian_all_modes_all_paths() {
         BoundaryMode::Mirror,
         BoundaryMode::Constant(0.5),
     ] {
-        let expected = reference::convolve2d(
-            &img,
-            &reference::MaskCoeffs::gaussian(5, 5, 1.1),
-            mode,
-        );
+        let expected =
+            reference::convolve2d(&img, &reference::MaskCoeffs::gaussian(5, 5, 1.1), mode);
         for variant in [
             MemVariant::Global,
             MemVariant::Texture,
@@ -218,14 +215,10 @@ fn region_of_interest_untouched_outside() {
         &op.params,
         &op.mask_uploads,
     );
-    spec.scalars.insert(
-        "is_width".to_string(),
-        hipacc_ir::Const::Int(16),
-    );
-    spec.scalars.insert(
-        "is_height".to_string(),
-        hipacc_ir::Const::Int(8),
-    );
+    spec.scalars
+        .insert("is_width".to_string(), hipacc_ir::Const::Int(16));
+    spec.scalars
+        .insert("is_height".to_string(), hipacc_ir::Const::Int(8));
     let run = hipacc_sim::launch::run_on_image(&compiled.device_kernel, &spec).unwrap();
     // Inside the ROI: incremented. Outside: zero (fresh output buffer).
     assert_eq!(run.output.get(5, 5), img.get(5, 5) + 1.0);

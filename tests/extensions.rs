@@ -207,11 +207,12 @@ fn reductions_work_on_all_targets() {
 #[test]
 fn unrolled_convolution_eliminates_loops_from_generated_source() {
     let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
-    let op = hipacc_filters::gaussian::gaussian_operator(3, 0.8, BoundaryMode::Clamp)
-        .with_options(PipelineOptions {
+    let op = hipacc_filters::gaussian::gaussian_operator(3, 0.8, BoundaryMode::Clamp).with_options(
+        PipelineOptions {
             unroll_limit: 16,
             ..PipelineOptions::default()
-        });
+        },
+    );
     let compiled = op.compile(&target, 128, 128).unwrap();
     assert!(
         !compiled.source.contains("for ("),

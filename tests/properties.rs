@@ -37,7 +37,10 @@ fn index_maps_are_inbounds_and_idempotent() {
         let n = rng.gen_range_i64(1, 4096) as u32;
         for f in [clamp_index, repeat_index, mirror_index] {
             let m = f(i, n);
-            assert!((0..n as i32).contains(&m), "map({i}, {n}) = {m} [seed {seed:#x}]");
+            assert!(
+                (0..n as i32).contains(&m),
+                "map({i}, {n}) = {m} [seed {seed:#x}]"
+            );
             assert_eq!(f(m, n), m, "not idempotent at {i} [seed {seed:#x}]");
         }
     });
@@ -227,8 +230,14 @@ fn region_partition_is_total() {
         let total: u64 = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, grid.total_blocks(), "[seed {seed:#x}]");
         // Threshold sanity.
-        assert!(grid.left_blocks + grid.right_blocks <= grid.grid_x, "[seed {seed:#x}]");
-        assert!(grid.top_blocks + grid.bottom_blocks <= grid.grid_y, "[seed {seed:#x}]");
+        assert!(
+            grid.left_blocks + grid.right_blocks <= grid.grid_x,
+            "[seed {seed:#x}]"
+        );
+        assert!(
+            grid.top_blocks + grid.bottom_blocks <= grid.grid_y,
+            "[seed {seed:#x}]"
+        );
     });
 }
 
@@ -264,13 +273,16 @@ fn random_convolutions_match_reference() {
             b.mask_at(&m2, dx.clone(), dy.clone()) * b.read_at(&input, dx, dy)
         });
         b.output(acc.get());
-        let op = hipacc_core::Operator::new(b.finish())
-            .boundary("Input", mode, w.max(3) | 1, h.max(3) | 1);
+        let op = hipacc_core::Operator::new(b.finish()).boundary(
+            "Input",
+            mode,
+            w.max(3) | 1,
+            h.max(3) | 1,
+        );
         let target = hipacc_core::Target::cuda(hipacc_hwmodel::device::tesla_c2050());
         let result = op.execute(&[("Input", &img)], &target).unwrap();
 
-        let expected =
-            reference::convolve2d(&img, &reference::MaskCoeffs::new(w, h, coeffs), mode);
+        let expected = reference::convolve2d(&img, &reference::MaskCoeffs::new(w, h, coeffs), mode);
         assert!(
             result.output.max_abs_diff(&expected) < 1e-3,
             "diff {} [seed {seed:#x}]",
@@ -343,8 +355,14 @@ fn interpreter_agrees_with_const_evaluator() {
                 address_mode: AddressMode::None,
             }],
             scalars: vec![
-                ParamDecl { name: "a".into(), ty: ScalarType::I32 },
-                ParamDecl { name: "b".into(), ty: ScalarType::I32 },
+                ParamDecl {
+                    name: "a".into(),
+                    ty: ScalarType::I32,
+                },
+                ParamDecl {
+                    name: "b".into(),
+                    ty: ScalarType::I32,
+                },
             ],
             const_buffers: vec![],
             shared: vec![],
@@ -357,7 +375,11 @@ fn interpreter_agrees_with_const_evaluator() {
         let mut mem = DeviceMemory::new();
         mem.bind(
             "OUT",
-            DeviceBuffer::new(BufferGeometry { width: 1, height: 1, stride: 1 }),
+            DeviceBuffer::new(BufferGeometry {
+                width: 1,
+                height: 1,
+                stride: 1,
+            }),
         );
         let mut params = LaunchParams::new((1, 1), (1, 1));
         params.set_int("a", a).set_int("b", b);
@@ -408,9 +430,7 @@ mod engines {
                     let far = if rng.gen_below(8) == 0 { 1000 } else { 1 };
                     Expr::GlobalLoad {
                         buf: "IN".into(),
-                        idx: Box::new(
-                            Expr::var("gid") + Expr::int(rng.gen_range_i64(-4, 4) * far),
-                        ),
+                        idx: Box::new(Expr::var("gid") + Expr::int(rng.gen_range_i64(-4, 4) * far)),
                     }
                 }
             };
@@ -428,12 +448,16 @@ mod engines {
                 Expr::select(x.lt(y), z, Expr::float(0.5))
             }
             6 => Expr::select(
-                x.clone().lt(Expr::float(0.0)).and(y.clone().gt(Expr::float(-1.0))),
+                x.clone()
+                    .lt(Expr::float(0.0))
+                    .and(y.clone().gt(Expr::float(-1.0))),
                 x,
                 y,
             ),
             _ => Expr::select(
-                x.clone().ge(Expr::float(1.0)).or(y.clone().le(Expr::float(0.0))),
+                x.clone()
+                    .ge(Expr::float(1.0))
+                    .or(y.clone().le(Expr::float(0.0))),
                 y,
                 x,
             ),
@@ -555,7 +579,9 @@ mod engines {
                         let a = &mem_tree.buffer(name).unwrap().data;
                         let b = &mem_bc.buffer(name).unwrap().data;
                         let same = a.len() == b.len()
-                            && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+                            && a.iter()
+                                .zip(b.iter())
+                                .all(|(x, y)| x.to_bits() == y.to_bits());
                         assert!(same, "buffer `{name}` diverges [seed {seed:#x}]");
                     }
                 }
@@ -570,5 +596,232 @@ mod engines {
                 }
             }
         });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static verifier vs dynamic observer: a kernel the verifier calls clean
+// must run clean under the execution observer, and both engines must
+// stay bit-identical on it. Roughly a third of the generated kernels
+// carry a seeded defect; those must be flagged statically.
+// ---------------------------------------------------------------------
+
+mod verifier_cross_validation {
+    use super::*;
+    use hipacc_analysis::{has_errors, verify, VerifyInput};
+    use hipacc_ir::kernel::{
+        AddressMode, BufferAccess, BufferParam, DeviceKernelDef, MemorySpace, SharedDecl,
+    };
+    use hipacc_ir::{Builtin, ScalarType};
+    use hipacc_sim::memory::{BufferGeometry, DeviceBuffer, DeviceMemory, LaunchParams};
+
+    const BLOCK: (u32, u32) = (16, 1);
+    const GRID: (u32, u32) = (3, 1);
+    const N: usize = 48; // GRID.0 * BLOCK.0 threads, one element each
+
+    fn tid() -> Expr {
+        Expr::Builtin(Builtin::ThreadIdxX)
+    }
+
+    fn gid() -> Expr {
+        Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX) + tid()
+    }
+
+    /// The defect classes a dirty kernel can be seeded with. Each maps to
+    /// one static diagnostic family and (where observable) one observer
+    /// counter.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Defect {
+        /// `IN[gid + 1000]` — provably out of bounds (A0301).
+        FarLoad,
+        /// Barrier under a `threadIdx`-dependent branch (A0101).
+        DivergentBarrier,
+        /// Staging store at `2 * tid` past the padded tile (A0302).
+        SharedOverrun,
+        /// Two lanes write one cell: store at `tid / 2` (A0201).
+        SharedCollision,
+        /// Cross-lane read with the barrier removed (A0202).
+        MissingBarrier,
+        /// `OUT[gid + 20]` — the tail of the grid stores past the end
+        /// (A0301).
+        FarStore,
+    }
+
+    /// A 1-D kernel: load, optional shared-memory staging with a
+    /// reversed cross-lane read after a barrier, store. `defect`
+    /// mutates one spot.
+    fn gen_kernel(rng: &mut Pcg32, defect: Option<Defect>) -> DeviceKernelDef {
+        let stage = defect
+            .map(|d| {
+                matches!(
+                    d,
+                    Defect::SharedOverrun | Defect::SharedCollision | Defect::MissingBarrier
+                )
+            })
+            .unwrap_or(rng.gen_below(2) == 0);
+
+        let mut body = vec![Stmt::Decl {
+            name: "gid".into(),
+            ty: ScalarType::I32,
+            init: Some(gid()),
+        }];
+        let load_off = if defect == Some(Defect::FarLoad) {
+            1000
+        } else {
+            0
+        };
+        body.push(Stmt::Decl {
+            name: "v".into(),
+            ty: ScalarType::F32,
+            init: Some(Expr::GlobalLoad {
+                buf: "IN".into(),
+                idx: Box::new(Expr::var("gid") + Expr::int(load_off)),
+            }),
+        });
+        if defect == Some(Defect::DivergentBarrier) {
+            body.push(Stmt::If {
+                cond: tid().lt(Expr::int(8)),
+                then: vec![Stmt::Barrier],
+                els: vec![],
+            });
+        }
+        let value = if stage {
+            let x = match defect {
+                Some(Defect::SharedOverrun) => tid() * Expr::int(2),
+                Some(Defect::SharedCollision) => tid() / Expr::int(2),
+                _ => tid(),
+            };
+            body.push(Stmt::SharedStore {
+                buf: "tile".into(),
+                y: Expr::int(0),
+                x,
+                value: Expr::var("v"),
+            });
+            if defect != Some(Defect::MissingBarrier) {
+                body.push(Stmt::Barrier);
+            }
+            // Reversed cross-lane read: safe exactly when the barrier
+            // orders it after every lane's store.
+            Expr::SharedLoad {
+                buf: "tile".into(),
+                y: Box::new(Expr::int(0)),
+                x: Box::new(Expr::int(15) - tid()),
+            }
+        } else {
+            Expr::var("v") * Expr::float(rng.gen_range_f32(0.5, 2.0))
+        };
+        let store_off = if defect == Some(Defect::FarStore) {
+            20
+        } else {
+            0
+        };
+        body.push(Stmt::GlobalStore {
+            buf: "OUT".into(),
+            idx: Expr::var("gid") + Expr::int(store_off),
+            value,
+        });
+
+        let shared = if stage {
+            vec![SharedDecl {
+                name: "tile".into(),
+                ty: ScalarType::F32,
+                rows: 1,
+                cols: 17, // 16 lanes + the bank-conflict pad
+            }]
+        } else {
+            vec![]
+        };
+        let buffer = |name: &str, access| BufferParam {
+            name: name.into(),
+            ty: ScalarType::F32,
+            access,
+            space: MemorySpace::Global,
+            address_mode: AddressMode::None,
+        };
+        DeviceKernelDef {
+            name: "propkern".into(),
+            buffers: vec![
+                buffer("IN", BufferAccess::ReadOnly),
+                buffer("OUT", BufferAccess::WriteOnly),
+            ],
+            scalars: vec![],
+            const_buffers: vec![],
+            shared,
+            body,
+        }
+    }
+
+    #[test]
+    fn static_clean_implies_dynamically_clean() {
+        let dev = hipacc_hwmodel::device::tesla_c2050();
+        let defects = [
+            Defect::FarLoad,
+            Defect::DivergentBarrier,
+            Defect::SharedOverrun,
+            Defect::SharedCollision,
+            Defect::MissingBarrier,
+            Defect::FarStore,
+        ];
+        let (mut clean, mut dirty) = (0u32, 0u32);
+        cases(90, |seed, rng| {
+            // Every third case carries a seeded defect.
+            let defect =
+                (seed % 3 == 0).then(|| defects[rng.gen_below(defects.len() as u32) as usize]);
+            let k = gen_kernel(rng, defect);
+
+            let mut input = VerifyInput::new(&k, &dev, BLOCK, GRID);
+            input.buffer_len.insert("IN".into(), N as i64);
+            input.buffer_len.insert("OUT".into(), N as i64);
+            let diags = verify(&input);
+
+            if let Some(d) = defect {
+                assert!(
+                    has_errors(&diags),
+                    "seeded {d:?} not caught [seed {seed:#x}]: {diags:?}"
+                );
+                dirty += 1;
+                return;
+            }
+            assert!(
+                !has_errors(&diags),
+                "clean kernel flagged [seed {seed:#x}]: {diags:?}"
+            );
+            clean += 1;
+
+            // Dynamic cross-check on the statically clean kernel.
+            let geom = BufferGeometry {
+                width: N as u32,
+                height: 1,
+                stride: N as u32,
+            };
+            let mut mem = DeviceMemory::new();
+            let mut inp = DeviceBuffer::new(geom);
+            for v in inp.data.iter_mut() {
+                *v = rng.gen_range_f32(-3.0, 3.0);
+            }
+            mem.bind("IN", inp);
+            mem.bind("OUT", DeviceBuffer::new(geom));
+            let params = LaunchParams::new(GRID, BLOCK);
+
+            let mut mem_obs = mem.clone();
+            let mut mem_bc = mem;
+            let (stats, report) = hipacc_sim::execute_observed(&k, &params, &mut mem_obs).unwrap();
+            assert!(
+                report.is_clean(),
+                "static-clean kernel observed dirty [seed {seed:#x}]: {report:?}"
+            );
+            let stats_bc = hipacc_sim::execute_bytecode(&k, &params, &mut mem_bc).unwrap();
+            assert_eq!(stats, stats_bc, "ExecStats diverge [seed {seed:#x}]");
+            let a = &mem_obs.buffer("OUT").unwrap().data;
+            let b = &mem_bc.buffer("OUT").unwrap().data;
+            assert!(
+                a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "outputs diverge [seed {seed:#x}]"
+            );
+        });
+        assert!(clean >= 40, "only {clean} clean kernels generated");
+        assert!(dirty >= 20, "only {dirty} dirty kernels generated");
     }
 }

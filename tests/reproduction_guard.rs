@@ -72,7 +72,11 @@ fn heuristic_still_picks_the_papers_configuration() {
     use hipacc_image::BoundaryMode;
     let op = bilateral_operator(3, 5, true, BoundaryMode::Clamp);
     let c = op
-        .compile(&Target::cuda(hipacc_hwmodel::device::tesla_c2050()), 4096, 4096)
+        .compile(
+            &Target::cuda(hipacc_hwmodel::device::tesla_c2050()),
+            4096,
+            4096,
+        )
         .unwrap();
     assert_eq!((c.config.bx, c.config.by), (32, 6), "Figure 4's optimum");
 }
