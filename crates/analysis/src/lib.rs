@@ -8,7 +8,7 @@
 //! GPUVerify/GKLEE-style analyses over the *final lowered* device kernel
 //! — the same IR the CUDA/OpenCL emitters print and the simulator
 //! executes — and reports findings as structured
-//! [`Diagnostic`](diag::Diagnostic)s:
+//! [`Diagnostic`]s:
 //!
 //! 1. **Barrier divergence** ([`taint`]) — a taint lattice seeded from
 //!    the thread-index builtins, run to fixpoint over the CFG with the
@@ -119,10 +119,31 @@ impl<'a> VerifyInput<'a> {
 /// Run all four verifier passes and collect their findings
 /// (errors and warnings, in pass order).
 pub fn verify(input: &VerifyInput<'_>) -> Vec<Diagnostic> {
-    let mut diags = taint::check_barrier_divergence(input.kernel);
-    diags.extend(races::check_shared_races(input));
-    diags.extend(limits::check_limits(input));
-    diags.extend(bounds::check_bounds(input));
+    verify_with_sink(input, &mut hipacc_profile::NullSink)
+}
+
+/// [`verify`] with one timed span per analysis pass recorded into `sink`
+/// (category `"verify"`). With a disabled sink — [`NullSink`] is what
+/// [`verify`] passes — no clocks are read at all.
+///
+/// [`NullSink`]: hipacc_profile::NullSink
+pub fn verify_with_sink(
+    input: &VerifyInput<'_>,
+    sink: &mut dyn hipacc_profile::ProfileSink,
+) -> Vec<Diagnostic> {
+    use hipacc_profile::timed;
+    let mut diags = timed(sink, "verify:taint", "verify", || {
+        taint::check_barrier_divergence(input.kernel)
+    });
+    diags.extend(timed(sink, "verify:races", "verify", || {
+        races::check_shared_races(input)
+    }));
+    diags.extend(timed(sink, "verify:limits", "verify", || {
+        limits::check_limits(input)
+    }));
+    diags.extend(timed(sink, "verify:bounds", "verify", || {
+        bounds::check_bounds(input)
+    }));
     diags
 }
 

@@ -249,6 +249,7 @@ impl OpencvSeparable {
                 inputs,
                 mask_data: HashMap::new(),
                 scalars: HashMap::new(),
+                sim_threads: None,
             };
             let res = hipacc_sim::launch::run_on_image(&kernel, &spec)?;
             total.global_loads += res.stats.global_loads;

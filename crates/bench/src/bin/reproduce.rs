@@ -123,6 +123,44 @@ fn print_loc() {
     );
 }
 
+/// Profile representative launches (Gaussian 5x5 and bilateral 13x13 on
+/// the Tesla C2050) and write the combined Chrome trace to `path`.
+fn print_profile(path: &str) {
+    use hipacc_filters::bilateral::bilateral_operator;
+    use hipacc_filters::gaussian::gaussian_operator;
+    use hipacc_image::{phantom, BoundaryMode};
+
+    let image = phantom::vessel_tree(512, 512, &phantom::VesselParams::default());
+    let target = Target::cuda(tesla_c2050());
+    let mut spans = Vec::new();
+    for (label, op) in [
+        (
+            "gaussian 5x5",
+            gaussian_operator(5, 1.1, BoundaryMode::Clamp),
+        ),
+        (
+            "bilateral 13x13",
+            bilateral_operator(3, 5, true, BoundaryMode::Clamp),
+        ),
+    ] {
+        let (_, profile) = op
+            .execute_profiled(
+                &[("Input", &image)],
+                &target,
+                hipacc_core::Engine::default(),
+            )
+            .expect("profiled launch");
+        profile.cross_check().expect("region cross-check");
+        println!("--- {label} ---");
+        println!("{}", profile.render_text());
+        spans.extend(profile.spans);
+    }
+    let trace = hipacc_profile::chrome::trace_json(&spans);
+    let n = hipacc_profile::chrome::validate(&trace).expect("trace must validate");
+    std::fs::write(path, &trace).expect("write trace");
+    println!("wrote {n} trace events to {path}\n");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -183,6 +221,18 @@ fn main() {
                 println!("wrote CSVs to {}", dir.display());
                 did_anything = true;
             }
+            "--profile" => {
+                // Optional trace path; the next flag is not consumed.
+                let path = match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "target/reproduce_profile.json".to_string(),
+                };
+                print_profile(&path);
+                did_anything = true;
+            }
             "--raw" => {
                 // Raw model tables without paper comparison.
                 i += 1;
@@ -202,7 +252,7 @@ fn main() {
         i += 1;
     }
     if !did_anything {
-        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N]");
+        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]]");
         std::process::exit(2);
     }
 }

@@ -121,6 +121,11 @@ pub struct CompiledKernel {
     /// reach here — they fail the compile with
     /// [`CompileError::Verification`] instead.
     pub diagnostics: Vec<Diagnostic>,
+    /// Wall-clock time of each compile phase, `(name, milliseconds)` in
+    /// execution order — the compile half of the observability layer.
+    /// Always populated (the measurement is two clock reads per phase);
+    /// pass a sink to [`Compiler::compile_with_sink`] for full spans.
+    pub phase_times: Vec<(String, f64)>,
 }
 
 impl CompiledKernel {
@@ -150,6 +155,21 @@ impl Compiler {
         kernel: &KernelDef,
         spec: &CompileSpec,
     ) -> Result<CompiledKernel, CompileError> {
+        self.compile_with_sink(kernel, spec, &mut hipacc_profile::NullSink)
+    }
+
+    /// [`Self::compile`] with one timed span per compile phase recorded
+    /// into `sink` (category `"compile"`), plus one span per verifier
+    /// pass (category `"verify"`, via
+    /// [`hipacc_analysis::verify_with_sink`]). The phase-time breakdown
+    /// is also stored on the result as
+    /// [`CompiledKernel::phase_times`] regardless of the sink.
+    pub fn compile_with_sink(
+        &self,
+        kernel: &KernelDef,
+        spec: &CompileSpec,
+        sink: &mut dyn hipacc_profile::ProfileSink,
+    ) -> Result<CompiledKernel, CompileError> {
         if !self.db.backend_supported(&spec.device, spec.backend) {
             return Err(CompileError::UnsupportedBackend(format!(
                 "{} cannot target {}",
@@ -157,59 +177,71 @@ impl Compiler {
                 spec.device.name
             )));
         }
+        let mut ph = PhaseTimer {
+            sink,
+            times: Vec::new(),
+        };
 
         // 1. Optional optimization passes (Section VIII).
-        let mut work = kernel.clone();
-        if spec.constant_propagation && !spec.param_bindings.is_empty() {
-            work = specialize_kernel(&work, &spec.param_bindings);
-        }
-        if spec.unroll_limit > 0 {
-            let (unrolled, _stats) = unroll_kernel(&work, spec.unroll_limit);
-            work = unrolled;
-        }
+        let work = ph.run("specialize", || {
+            let mut work = kernel.clone();
+            if spec.constant_propagation && !spec.param_bindings.is_empty() {
+                work = specialize_kernel(&work, &spec.param_bindings);
+            }
+            if spec.unroll_limit > 0 {
+                let (unrolled, _stats) = unroll_kernel(&work, spec.unroll_limit);
+                work = unrolled;
+            }
+            work
+        });
 
         // 2. Access analysis: infer per-accessor windows.
-        let info = analyze(&work, &spec.param_bindings);
-        let mut halves: HashMap<String, (u32, u32)> = HashMap::new();
-        for acc in &work.accessors {
-            let inferred = info
-                .inputs
-                .get(&acc.name)
-                .and_then(|p| p.window())
-                .map(|(w, h)| (w / 2, h / 2))
-                .unwrap_or((0, 0));
-            let declared = spec
-                .boundaries
-                .get(&acc.name)
-                .map(|b| (b.half_x(), b.half_y()))
-                .unwrap_or((0, 0));
-            halves.insert(
-                acc.name.clone(),
-                (inferred.0.max(declared.0), inferred.1.max(declared.1)),
-            );
-        }
-        let max_half = halves
-            .values()
-            .fold((0u32, 0u32), |acc, h| (acc.0.max(h.0), acc.1.max(h.1)));
+        let (halves, max_half) = ph.run("access-analysis", || {
+            let info = analyze(&work, &spec.param_bindings);
+            let mut halves: HashMap<String, (u32, u32)> = HashMap::new();
+            for acc in &work.accessors {
+                let inferred = info
+                    .inputs
+                    .get(&acc.name)
+                    .and_then(|p| p.window())
+                    .map(|(w, h)| (w / 2, h / 2))
+                    .unwrap_or((0, 0));
+                let declared = spec
+                    .boundaries
+                    .get(&acc.name)
+                    .map(|b| (b.half_x(), b.half_y()))
+                    .unwrap_or((0, 0));
+                halves.insert(
+                    acc.name.clone(),
+                    (inferred.0.max(declared.0), inferred.1.max(declared.1)),
+                );
+            }
+            let max_half = halves
+                .values()
+                .fold((0u32, 0u32), |acc, h| (acc.0.max(h.0), acc.1.max(h.1)));
+            (halves, max_half)
+        });
         let window = (2 * max_half.0 + 1, 2 * max_half.1 + 1);
 
         // 3. Memory path + hardware-boundary validation.
-        let mem = resolve_mem(spec, window);
-        if mem == MemPath::TexHw {
-            for acc in &work.accessors {
-                let mode = spec.boundary_mode(&acc.name);
-                if mode != BoundaryMode::Undefined {
-                    hw_address_mode(mode, spec.backend)
-                        .map_err(CompileError::UnsupportedHwBoundary)?;
+        let mem = ph.run("mem-path", || -> Result<MemPath, CompileError> {
+            let mem = resolve_mem(spec, window);
+            if mem == MemPath::TexHw {
+                for acc in &work.accessors {
+                    let mode = spec.boundary_mode(&acc.name);
+                    if mode != BoundaryMode::Undefined {
+                        hw_address_mode(mode, spec.backend)
+                            .map_err(CompileError::UnsupportedHwBoundary)?;
+                    }
                 }
             }
-        }
-
-        if spec.vectorize > 1 && mem == MemPath::Scratchpad {
-            return Err(CompileError::UnsupportedCombination(
-                "vectorization is not implemented for scratchpad staging".into(),
-            ));
-        }
+            if spec.vectorize > 1 && mem == MemPath::Scratchpad {
+                return Err(CompileError::UnsupportedCombination(
+                    "vectorization is not implemented for scratchpad staging".into(),
+                ));
+            }
+            Ok(mem)
+        })?;
 
         // Boundary-specialized code is generated when any accessor needs
         // software handling of a real window; the TexHw path delegates to
@@ -223,30 +255,32 @@ impl Compiler {
         // already contains all nine region bodies ("the initial kernel code
         // that is used to determine the resource usage uses default
         // constants"), so its register pressure matches the final kernel.
-        let probe_cfg = LaunchConfig {
-            bx: spec
-                .device
-                .simd_width
-                .min(spec.device.max_threads_per_block),
-            by: 1,
-        };
-        let probe = Lowering::new(&work, spec, mem, halves.clone(), probe_cfg);
-        let probe_grid = needs_bh.then(|| {
-            let (ox, oy, rw, rh) = spec.iteration_space();
-            RegionGrid::compute_roi(
-                spec.width,
-                spec.height,
-                ox,
-                oy,
-                rw,
-                rh,
-                max_half.0,
-                max_half.1,
-                probe_cfg,
-            )
+        let probe_res = ph.run("resource-probe", || {
+            let probe_cfg = LaunchConfig {
+                bx: spec
+                    .device
+                    .simd_width
+                    .min(spec.device.max_threads_per_block),
+                by: 1,
+            };
+            let probe = Lowering::new(&work, spec, mem, halves.clone(), probe_cfg);
+            let probe_grid = needs_bh.then(|| {
+                let (ox, oy, rw, rh) = spec.iteration_space();
+                RegionGrid::compute_roi(
+                    spec.width,
+                    spec.height,
+                    ox,
+                    oy,
+                    rw,
+                    rh,
+                    max_half.0,
+                    max_half.1,
+                    probe_cfg,
+                )
+            });
+            let probe_kernel = probe.device_kernel(probe_grid.as_ref());
+            estimate_resources(&probe_kernel)
         });
-        let probe_kernel = probe.device_kernel(probe_grid.as_ref());
-        let probe_res = estimate_resources(&probe_kernel);
 
         // 5. Configuration selection (Algorithm 2) or forced config.
         let (roi_x, roi_y, roi_w, roi_h) = spec.iteration_space();
@@ -256,70 +290,76 @@ impl Compiler {
             width: roi_w,
             height: roi_h,
         });
-        let config = match spec.force_config {
-            Some((bx, by)) => {
-                let cfg = LaunchConfig { bx, by };
-                if occupancy(&spec.device, &probe_res, bx, by).is_none() {
-                    return Err(CompileError::InvalidForcedConfiguration(format!(
-                        "{cfg} on {}",
-                        spec.device.name
-                    )));
+        let config = ph.run("config-select", || -> Result<LaunchConfig, CompileError> {
+            match spec.force_config {
+                Some((bx, by)) => {
+                    let cfg = LaunchConfig { bx, by };
+                    if occupancy(&spec.device, &probe_res, bx, by).is_none() {
+                        return Err(CompileError::InvalidForcedConfiguration(format!(
+                            "{cfg} on {}",
+                            spec.device.name
+                        )));
+                    }
+                    Ok(cfg)
                 }
-                cfg
-            }
-            None => {
-                select_configuration(&spec.device, &probe_res, border)
+                None => Ok(select_configuration(&spec.device, &probe_res, border)
                     .ok_or(CompileError::NoValidConfiguration)?
-                    .config
+                    .config),
             }
-        };
+        })?;
 
         // 6. Final lowering with the tiling-dependent region constants.
-        let region_grid = needs_bh.then(|| {
-            // With vectorization a block tile spans `bx * vectorize` pixels.
-            let eff = LaunchConfig {
-                bx: config.bx * spec.vectorize.max(1),
-                by: config.by,
+        let (region_grid, device_kernel, region_bodies) = ph.run("lowering", || {
+            let region_grid = needs_bh.then(|| {
+                // With vectorization a block tile spans `bx * vectorize` pixels.
+                let eff = LaunchConfig {
+                    bx: config.bx * spec.vectorize.max(1),
+                    by: config.by,
+                };
+                RegionGrid::compute_roi(
+                    spec.width,
+                    spec.height,
+                    roi_x,
+                    roi_y,
+                    roi_w,
+                    roi_h,
+                    max_half.0,
+                    max_half.1,
+                    eff,
+                )
+            });
+            let lowering = Lowering::new(&work, spec, mem, halves.clone(), config);
+            let device_kernel = lowering.device_kernel(region_grid.as_ref());
+
+            // Per-region bodies for the timing model.
+            let region_bodies: Vec<(Region, Vec<Stmt>)> = if needs_bh {
+                Region::all()
+                    .iter()
+                    .map(|r| (*r, lowering_region_body(&lowering, *r)))
+                    .collect()
+            } else {
+                vec![(
+                    Region::Interior,
+                    lowering_region_body(&lowering, Region::Interior),
+                )]
             };
-            RegionGrid::compute_roi(
-                spec.width,
-                spec.height,
-                roi_x,
-                roi_y,
-                roi_w,
-                roi_h,
-                max_half.0,
-                max_half.1,
-                eff,
-            )
+            (region_grid, device_kernel, region_bodies)
         });
-        let lowering = Lowering::new(&work, spec, mem, halves.clone(), config);
-        let device_kernel = lowering.device_kernel(region_grid.as_ref());
         check_device(&device_kernel)
             .map_err(|e| CompileError::Internal(format!("device typecheck failed: {e}")))?;
 
-        // Per-region bodies for the timing model.
-        let region_bodies: Vec<(Region, Vec<Stmt>)> = if needs_bh {
-            Region::all()
-                .iter()
-                .map(|r| (*r, lowering_region_body(&lowering, *r)))
-                .collect()
-        } else {
-            vec![(
-                Region::Interior,
-                lowering_region_body(&lowering, Region::Interior),
-            )]
-        };
-
         // 7. Resources and occupancy of the final kernel.
-        let resources = estimate_resources(&device_kernel);
-        let occ = occupancy(&spec.device, &resources, config.bx, config.by);
+        let (resources, occ) = ph.run("resources", || {
+            let resources = estimate_resources(&device_kernel);
+            let occ = occupancy(&spec.device, &resources, config.bx, config.by);
+            (resources, occ)
+        });
 
         // 8. Source emission. The grid covers the iteration space, with
         // vectorized work-items owning `vectorize` pixels each.
         let vec_w = spec.vectorize.max(1);
         let grid = config.grid_for(roi_w.div_ceil(vec_w), roi_h);
-        let (source, host_source) = match spec.backend {
+        let (source, host_source) = ph.run("emission", || match spec.backend {
             Backend::Cuda => (
                 emit_cuda(&device_kernel, false),
                 emit_cuda_host(
@@ -342,7 +382,7 @@ impl Compiler {
                     spec.stride,
                 ),
             ),
-        };
+        });
 
         let mut out = CompiledKernel {
             device_kernel,
@@ -362,15 +402,20 @@ impl Compiler {
             iteration_space: (roi_x, roi_y, roi_w, roi_h),
             vector_width: vec_w,
             diagnostics: Vec::new(),
+            phase_times: Vec::new(),
         };
 
         // 9. Kernel verification: the four static analyses plus the source
         // lint run on every compile. Errors abort; warnings ride along.
-        let diags = verify_compiled(&out, spec);
+        let out_ref = &out;
+        let diags = ph.run_with_sink("verify", |sink| {
+            verify_compiled_with_sink(out_ref, spec, sink)
+        });
         if has_errors(&diags) {
             return Err(CompileError::Verification(diags));
         }
         out.diagnostics = diags;
+        out.phase_times = ph.times;
         Ok(out)
     }
 
@@ -393,6 +438,38 @@ impl Compiler {
     }
 }
 
+/// Times the numbered phases of one compilation: every phase duration is
+/// kept for [`CompiledKernel::phase_times`] (two clock reads per phase),
+/// and forwarded to the sink as a span when one is attached.
+struct PhaseTimer<'s> {
+    sink: &'s mut dyn hipacc_profile::ProfileSink,
+    times: Vec<(String, f64)>,
+}
+
+impl PhaseTimer<'_> {
+    fn run<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.run_with_sink(name, |_| f())
+    }
+
+    /// Like [`Self::run`] for phases that record sub-spans of their own
+    /// (the verifier's per-pass spans nest inside the `verify` phase).
+    fn run_with_sink<R>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut dyn hipacc_profile::ProfileSink) -> R,
+    ) -> R {
+        let start = hipacc_profile::now_us();
+        let out = f(self.sink);
+        let dur = hipacc_profile::now_us().saturating_sub(start);
+        self.times.push((name.to_string(), dur as f64 / 1000.0));
+        if self.sink.enabled() {
+            self.sink
+                .record(hipacc_profile::Span::new(name, "compile", start, dur));
+        }
+        out
+    }
+}
+
 fn lowering_region_body(lowering: &Lowering<'_>, region: Region) -> Vec<Stmt> {
     lowering.region_body(region)
 }
@@ -403,6 +480,16 @@ fn lowering_region_body(lowering: &Lowering<'_>, region: Region) -> Vec<Stmt> {
 /// on every kernel; it is public so the verifier can be rerun (and timed)
 /// in isolation.
 pub fn verify_compiled(out: &CompiledKernel, spec: &CompileSpec) -> Vec<Diagnostic> {
+    verify_compiled_with_sink(out, spec, &mut hipacc_profile::NullSink)
+}
+
+/// [`verify_compiled`] with one timed span per analysis pass (plus the
+/// source lint) recorded into `sink`.
+pub fn verify_compiled_with_sink(
+    out: &CompiledKernel,
+    spec: &CompileSpec,
+    sink: &mut dyn hipacc_profile::ProfileSink,
+) -> Vec<Diagnostic> {
     let k = &out.device_kernel;
     let mut input = VerifyInput::new(k, &spec.device, (out.config.bx, out.config.by), out.grid);
 
@@ -486,8 +573,10 @@ pub fn verify_compiled(out: &CompiledKernel, spec: &CompileSpec) -> Vec<Diagnost
 
     input.registers_per_thread = out.resources.registers_per_thread;
 
-    let mut diags = hipacc_analysis::verify(&input);
-    diags.extend(crate::lint::lint_diagnostics(&out.source, &k.name));
+    let mut diags = hipacc_analysis::verify_with_sink(&input, sink);
+    diags.extend(hipacc_profile::timed(sink, "verify:lint", "verify", || {
+        crate::lint::lint_diagnostics(&out.source, &k.name)
+    }));
     diags
 }
 

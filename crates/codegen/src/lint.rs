@@ -395,18 +395,52 @@ pub fn lint_diagnostics(source: &str, kernel: &str) -> Vec<Diagnostic> {
         .collect()
 }
 
+/// Lines of source context shown around each finding by [`assert_clean`].
+const CONTEXT_LINES: usize = 3;
+/// Cap on findings rendered by [`assert_clean`].
+const MAX_FINDINGS: usize = 10;
+
 /// Convenience assertion used by tests: lint and panic with a readable
 /// report on any finding.
+///
+/// Findings are reported through the structured [`Diagnostic`] pipeline
+/// (the same `A0501`/`A0502` records `Compiler::compile` attaches), each
+/// followed by a few lines of source context around the finding — not
+/// the whole translation unit, which for a nine-region kernel runs to
+/// hundreds of lines and buried the actual findings.
 pub fn assert_clean(source: &str) {
-    let errors = lint_source(source);
-    if !errors.is_empty() {
-        let mut msg = String::from("generated source failed lint:\n");
-        for e in errors.iter().take(10) {
-            msg.push_str(&format!("  line {}: {}\n", e.line, e.message));
-        }
-        msg.push_str(&format!("--- source ---\n{source}"));
-        panic!("{msg}");
+    let diags = lint_diagnostics(source, "generated source");
+    if diags.is_empty() {
+        return;
     }
+    let lines: Vec<&str> = source.lines().collect();
+    let mut msg = format!(
+        "generated source failed lint ({} finding(s)):\n",
+        diags.len()
+    );
+    for d in diags.iter().take(MAX_FINDINGS) {
+        msg.push_str(&format!("  {d}\n"));
+        if let Some((first, _)) = d.lines {
+            let at = (first as usize).saturating_sub(1);
+            let lo = at.saturating_sub(CONTEXT_LINES);
+            let hi = (at + CONTEXT_LINES + 1).min(lines.len());
+            for (i, line) in lines.iter().enumerate().take(hi).skip(lo) {
+                let marker = if i == at { ">" } else { " " };
+                msg.push_str(&format!("  {marker} {:>4} | {line}\n", i + 1));
+            }
+        }
+    }
+    if diags.len() > MAX_FINDINGS {
+        msg.push_str(&format!(
+            "  ... and {} more finding(s)\n",
+            diags.len() - MAX_FINDINGS
+        ));
+    }
+    msg.push_str(&format!(
+        "(source is {} lines; rerun lint_diagnostics() for the full record)",
+        lines.len()
+    ));
+    panic!("{msg}");
 }
 
 #[cfg(test)]

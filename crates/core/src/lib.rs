@@ -34,11 +34,13 @@
 pub mod convolve;
 pub mod operator;
 pub mod pipeline;
+pub mod profile;
 pub mod reduce;
 pub mod target;
 
 pub use hipacc_sim::Engine;
 pub use operator::{Execution, Operator, PipelineOptions};
+pub use profile::{LaunchProfile, RegionProfile};
 pub use target::Target;
 
 /// Convenience prelude for filter authors and examples.

@@ -48,6 +48,10 @@ pub struct PipelineOptions {
     /// Model a naive JIT backend (RapidMind): no loop-invariant code
     /// motion, no common-subexpression elimination in the op counting.
     pub naive_codegen: bool,
+    /// Host worker threads for the simulator's parallel block loop
+    /// (`None` = `HIPACC_SIM_THREADS` env var, then available
+    /// parallelism). Outputs are bit-identical for any value.
+    pub sim_threads: Option<usize>,
 }
 
 impl Default for PipelineOptions {
@@ -63,6 +67,7 @@ impl Default for PipelineOptions {
             vectorize: 1,
             generic_boundary: false,
             naive_codegen: false,
+            sim_threads: None,
         }
     }
 }
@@ -265,7 +270,8 @@ impl Operator {
     ) -> Result<Execution, OperatorError> {
         let (_, first) = inputs.first().ok_or(OperatorError::NoInputs)?;
         let compiled = self.compile(target, first.width(), first.height())?;
-        let spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
+        let mut spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
+        spec.sim_threads = self.options.sim_threads;
         let run = hipacc_sim::launch::run_on_image_with(&compiled.device_kernel, &spec, engine)?;
         let time = self.estimate(&compiled, target);
         Ok(Execution {
@@ -274,6 +280,83 @@ impl Operator {
             time,
             compiled,
         })
+    }
+
+    /// [`Self::execute`] with full observability: compile phases and
+    /// verifier passes are recorded as timed spans, the simulated launch
+    /// is profiled per block, and everything is joined with the timing
+    /// model and occupancy into a [`LaunchProfile`].
+    ///
+    /// Execution semantics — output image, statistics, modelled time —
+    /// are identical to [`Self::execute`]; only the instrumentation
+    /// differs.
+    ///
+    /// [`LaunchProfile`]: crate::profile::LaunchProfile
+    pub fn execute_profiled(
+        &self,
+        inputs: &[(&str, &Image<f32>)],
+        target: &Target,
+        engine: hipacc_sim::Engine,
+    ) -> Result<(Execution, crate::profile::LaunchProfile), OperatorError> {
+        use hipacc_profile::{now_us, ProfileSink, Recorder, Span};
+
+        let (_, first) = inputs.first().ok_or(OperatorError::NoInputs)?;
+        let mut rec = Recorder::new();
+        let compiled = Compiler::new().compile_with_sink(
+            &self.def,
+            &self.compile_spec(target, first.width(), first.height()),
+            &mut rec,
+        )?;
+        let mut spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
+        spec.sim_threads = self.options.sim_threads;
+
+        let engine_label = match engine {
+            hipacc_sim::Engine::Bytecode => "bytecode",
+            hipacc_sim::Engine::TreeWalk => "tree-walk",
+        };
+        let start = now_us();
+        let (run, exec) =
+            hipacc_sim::launch::run_on_image_profiled(&compiled.device_kernel, &spec, engine)?;
+        let end = now_us();
+        rec.record(
+            Span::new("execute", "launch", start, end.saturating_sub(start))
+                .arg("engine", engine_label)
+                .arg("workers", exec.n_workers.to_string())
+                .arg("blocks", exec.blocks.len().to_string()),
+        );
+
+        let time = self.estimate(&compiled, target);
+        let regions = crate::profile::LaunchProfile::attribute_regions(&exec, |bx, by| {
+            compiled
+                .region_grid
+                .as_ref()
+                .map(|g| g.region_of(bx, by))
+                .unwrap_or(hipacc_codegen::Region::Interior)
+        });
+        let profile = crate::profile::LaunchProfile {
+            kernel: self.def.name.clone(),
+            target: target.label(),
+            engine: engine_label,
+            grid: compiled.grid,
+            block: (compiled.config.bx, compiled.config.by),
+            n_workers: exec.n_workers,
+            regions,
+            totals: run.stats,
+            blocks_per_worker: exec.blocks_per_worker(),
+            time,
+            occupancy: compiled.occupancy,
+            phase_times: compiled.phase_times.clone(),
+            spans: rec.into_spans(),
+        };
+        Ok((
+            Execution {
+                output: run.output,
+                stats: run.stats,
+                time,
+                compiled,
+            },
+            profile,
+        ))
     }
 }
 

@@ -28,6 +28,7 @@ pub fn launch_spec<'a>(
         inputs: HashMap::new(),
         mask_data: mask_data.clone(),
         scalars: params.clone(),
+        sim_threads: None,
     };
     for (name, img) in inputs {
         spec.inputs.insert((*name).to_string(), img);

@@ -1,0 +1,315 @@
+//! The launch report: the pipeline's three observability feeds joined
+//! into one record.
+//!
+//! A [`LaunchProfile`] combines
+//!
+//! 1. **compile-phase spans** — wall-clock timings of the compiler's
+//!    numbered phases and each verifier pass, recorded through the
+//!    [`hipacc_profile::ProfileSink`] plumbing,
+//! 2. **per-region execution counters** — the simulator's per-block
+//!    [`ExecStats`] attributed to the paper's nine boundary regions via
+//!    the compiled kernel's [`RegionGrid`], cross-checked against the
+//!    launch totals, and
+//! 3. **the model view** — the analytical [`TimeBreakdown`] and hwmodel
+//!    occupancy for the same launch,
+//!
+//! and renders them as a human-readable text report
+//! ([`LaunchProfile::render_text`]) or a Chrome `trace_event` JSON
+//! document ([`LaunchProfile::chrome_trace`]) for `about:tracing` /
+//! Perfetto.
+//!
+//! Profiling is strictly opt-in: [`Operator::execute`] never records
+//! anything; [`Operator::execute_profiled`] is the instrumented path.
+//!
+//! [`RegionGrid`]: hipacc_codegen::regions::RegionGrid
+//! [`Operator::execute`]: crate::operator::Operator::execute
+//! [`Operator::execute_profiled`]: crate::operator::Operator::execute_profiled
+
+use hipacc_codegen::Region;
+use hipacc_hwmodel::Occupancy;
+use hipacc_profile::Span;
+use hipacc_sim::sched::ExecProfile;
+use hipacc_sim::timing::TimeBreakdown;
+use hipacc_sim::ExecStats;
+
+/// Execution counters attributed to one boundary region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionProfile {
+    /// The region (one of the paper's nine; `Interior` when the kernel
+    /// was compiled without boundary specialization).
+    pub region: Region,
+    /// Blocks that ran this region's body.
+    pub blocks: u64,
+    /// Summed dynamic statistics of those blocks.
+    pub stats: ExecStats,
+}
+
+/// One launch, observed end to end.
+#[derive(Clone, Debug)]
+pub struct LaunchProfile {
+    /// Kernel name.
+    pub kernel: String,
+    /// Target label (`"Tesla C2050 / CUDA"`).
+    pub target: String,
+    /// Which simulator engine ran the launch (`"bytecode"` /
+    /// `"tree-walk"`).
+    pub engine: &'static str,
+    /// Grid dimensions in blocks.
+    pub grid: (u32, u32),
+    /// Block dimensions in threads.
+    pub block: (u32, u32),
+    /// Effective host worker threads used by the simulator (after the
+    /// `sim_threads` / `HIPACC_SIM_THREADS` override resolution).
+    pub n_workers: usize,
+    /// Per-region execution counters, in [`Region::all`] order, regions
+    /// with zero blocks omitted.
+    pub regions: Vec<RegionProfile>,
+    /// Launch-total execution counters (what `execute()` reports).
+    pub totals: ExecStats,
+    /// Blocks run by each worker thread (index = worker id).
+    pub blocks_per_worker: Vec<usize>,
+    /// The analytical time model's verdict for this launch.
+    pub time: TimeBreakdown,
+    /// Occupancy at the chosen configuration, when available.
+    pub occupancy: Option<Occupancy>,
+    /// Compile-phase wall-clock breakdown `(phase, ms)`.
+    pub phase_times: Vec<(String, f64)>,
+    /// All recorded spans (compile phases, verifier passes, simulated
+    /// launch) on the shared profiling timeline.
+    pub spans: Vec<Span>,
+}
+
+impl LaunchProfile {
+    /// Attribute a per-block execution profile to boundary regions.
+    ///
+    /// `region_of` maps a block index to its region — the compiled
+    /// kernel's `RegionGrid::region_of`, or constant `Interior` when no
+    /// boundary specialization was generated.
+    pub fn attribute_regions(
+        exec: &ExecProfile,
+        region_of: impl Fn(u32, u32) -> Region,
+    ) -> Vec<RegionProfile> {
+        let mut per: Vec<RegionProfile> = Region::all()
+            .iter()
+            .map(|r| RegionProfile {
+                region: *r,
+                blocks: 0,
+                stats: ExecStats::default(),
+            })
+            .collect();
+        for b in &exec.blocks {
+            let r = region_of(b.bx, b.by);
+            let slot = per
+                .iter_mut()
+                .find(|p| p.region == r)
+                .expect("Region::all covers every region");
+            slot.blocks += 1;
+            slot.stats.merge(&b.stats);
+        }
+        per.retain(|p| p.blocks > 0);
+        per
+    }
+
+    /// Sum of the per-region counters. Equal to [`Self::totals`] for any
+    /// faithful profile — [`Self::cross_check`] asserts it.
+    pub fn region_sum(&self) -> ExecStats {
+        let mut sum = ExecStats::default();
+        for r in &self.regions {
+            sum.merge(&r.stats);
+        }
+        sum
+    }
+
+    /// Verify the per-region attribution against the launch totals:
+    /// every counter must sum exactly, and the region block counts must
+    /// cover the whole grid. Returns a description of the first mismatch.
+    pub fn cross_check(&self) -> Result<(), String> {
+        let sum = self.region_sum();
+        if sum != self.totals {
+            return Err(format!(
+                "per-region counters do not sum to launch totals:\n  regions: {sum:?}\n  totals:  {:?}",
+                self.totals
+            ));
+        }
+        let blocks: u64 = self.regions.iter().map(|r| r.blocks).sum();
+        let grid = self.grid.0 as u64 * self.grid.1 as u64;
+        if blocks != grid {
+            return Err(format!(
+                "region block counts cover {blocks} of {grid} grid blocks"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Render the profile as a Chrome `trace_event` JSON document.
+    pub fn chrome_trace(&self) -> String {
+        hipacc_profile::chrome::trace_json(&self.spans)
+    }
+
+    /// Render a human-readable text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "launch profile: {} on {} ({} engine)\n",
+            self.kernel, self.target, self.engine
+        ));
+        out.push_str(&format!(
+            "  grid {}x{} blocks of {}x{} threads, {} sim worker(s), blocks/worker {:?}\n",
+            self.grid.0,
+            self.grid.1,
+            self.block.0,
+            self.block.1,
+            self.n_workers,
+            self.blocks_per_worker,
+        ));
+        if let Some(o) = &self.occupancy {
+            out.push_str(&format!(
+                "  occupancy {:.2} ({} warps, limited by {:?})\n",
+                o.occupancy, o.active_warps, o.limiter
+            ));
+        }
+        out.push_str(&format!(
+            "  modelled time {:.3} ms (compute {:.3}, memory {:.3}, staging {:.3}, launch {:.3})\n",
+            self.time.total_ms,
+            self.time.compute_ms,
+            self.time.memory_ms,
+            self.time.staging_ms,
+            self.time.launch_ms,
+        ));
+
+        out.push_str("  compile phases:\n");
+        for (name, ms) in &self.phase_times {
+            out.push_str(&format!("    {name:<16} {ms:>9.3} ms\n"));
+        }
+
+        out.push_str(&format!(
+            "  {:<8} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+            "region", "blocks", "gloads", "gstores", "tex", "const", "shload", "shstore", "barrier"
+        ));
+        let mut rows: Vec<(&str, u64, ExecStats)> = self
+            .regions
+            .iter()
+            .map(|r| (r.region.label(), r.blocks, r.stats))
+            .collect();
+        rows.push((
+            "TOTAL",
+            self.grid.0 as u64 * self.grid.1 as u64,
+            self.totals,
+        ));
+        for (label, blocks, s) in rows {
+            out.push_str(&format!(
+                "  {:<8} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+                label,
+                blocks,
+                s.global_loads,
+                s.global_stores,
+                s.tex_fetches,
+                s.const_loads,
+                s.shared_loads,
+                s.shared_stores,
+                s.barriers,
+            ));
+        }
+        if self.totals.oob_reads > 0 || self.totals.oob_stores > 0 {
+            out.push_str(&format!(
+                "  out-of-bounds: {} reads, {} stores (the paper's crash cells)\n",
+                self.totals.oob_reads, self.totals.oob_stores
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_sim::sched::BlockProfile;
+
+    fn stats(n: u64) -> ExecStats {
+        ExecStats {
+            global_loads: n,
+            global_stores: 1,
+            ..Default::default()
+        }
+    }
+
+    fn profile_of(exec: &ExecProfile, grid: (u32, u32)) -> LaunchProfile {
+        LaunchProfile {
+            kernel: "k".into(),
+            target: "t".into(),
+            engine: "bytecode",
+            grid,
+            block: (8, 8),
+            n_workers: exec.n_workers,
+            regions: LaunchProfile::attribute_regions(exec, |bx, _| {
+                if bx == 0 {
+                    Region::Left
+                } else {
+                    Region::Interior
+                }
+            }),
+            totals: exec.total(),
+            blocks_per_worker: exec.blocks_per_worker(),
+            time: TimeBreakdown::default(),
+            occupancy: None,
+            phase_times: vec![("lowering".into(), 0.5)],
+            spans: Vec::new(),
+        }
+    }
+
+    fn exec_grid(gx: u32, gy: u32) -> ExecProfile {
+        let mut blocks = Vec::new();
+        for by in 0..gy {
+            for bx in 0..gx {
+                blocks.push(BlockProfile {
+                    bx,
+                    by,
+                    worker: (bx % 2) as usize,
+                    stats: stats((bx + 10 * by) as u64),
+                });
+            }
+        }
+        ExecProfile {
+            n_workers: 2,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn attribution_partitions_blocks_and_sums() {
+        let exec = exec_grid(4, 3);
+        let p = profile_of(&exec, (4, 3));
+        assert_eq!(p.regions.len(), 2);
+        let left = p.regions.iter().find(|r| r.region == Region::Left).unwrap();
+        assert_eq!(left.blocks, 3);
+        assert_eq!(left.stats.global_loads, 10 + 20);
+        p.cross_check().unwrap();
+    }
+
+    #[test]
+    fn cross_check_catches_dropped_counters() {
+        let exec = exec_grid(4, 3);
+        let mut p = profile_of(&exec, (4, 3));
+        p.totals.global_loads += 1;
+        assert!(p.cross_check().unwrap_err().contains("sum"));
+        let mut p = profile_of(&exec, (5, 3));
+        p.totals = p.region_sum();
+        assert!(p.cross_check().unwrap_err().contains("grid blocks"));
+    }
+
+    #[test]
+    fn text_report_mentions_every_section() {
+        let exec = exec_grid(4, 3);
+        let p = profile_of(&exec, (4, 3));
+        let text = p.render_text();
+        for needle in [
+            "launch profile",
+            "compile phases",
+            "lowering",
+            "L_BH",
+            "TOTAL",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

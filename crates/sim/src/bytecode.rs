@@ -190,6 +190,8 @@ struct StoreRec {
 pub struct CompiledKernel {
     grid: (u32, u32),
     block: (u32, u32),
+    /// Worker-count override captured from the launch parameters.
+    sim_threads: Option<usize>,
     /// Per-block prologue evaluating block-uniform subexpressions.
     prologue: Vec<Inst>,
     n_uregs: usize,
@@ -370,6 +372,7 @@ pub fn compile(
     Ok(CompiledKernel {
         grid: params.grid,
         block: params.block,
+        sim_threads: params.sim_threads,
         prologue: std::mem::take(&mut c.prologue),
         n_uregs: c.next_ureg as usize,
         phases: tapes,
@@ -2086,6 +2089,27 @@ impl CompiledKernel {
     /// The bound buffers must still have the geometry observed at compile
     /// time (the interior checks were derived from it).
     pub fn run(&self, mem: &mut DeviceMemory) -> Result<ExecStats, SimError> {
+        self.run_inner(mem, false).map(|(stats, _)| stats)
+    }
+
+    /// [`Self::run`] while recording per-block statistics: identical
+    /// semantics and totals, plus an [`ExecProfile`] with one
+    /// [`ExecStats`] record per block and the worker that ran it.
+    ///
+    /// [`ExecProfile`]: crate::sched::ExecProfile
+    pub fn run_profiled(
+        &self,
+        mem: &mut DeviceMemory,
+    ) -> Result<(ExecStats, crate::sched::ExecProfile), SimError> {
+        let (stats, profile) = self.run_inner(mem, true)?;
+        Ok((stats, profile.expect("profiling requested")))
+    }
+
+    fn run_inner(
+        &self,
+        mem: &mut DeviceMemory,
+        profile: bool,
+    ) -> Result<(ExecStats, Option<crate::sched::ExecProfile>), SimError> {
         let mem_ro: &DeviceMemory = mem;
         let mut bufs = Vec::with_capacity(self.globals.len());
         for g in &self.globals {
@@ -2111,26 +2135,31 @@ impl CompiledKernel {
         let blocks: Vec<(u32, u32)> = (0..gy)
             .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
             .collect();
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(blocks.len().max(1));
+        let n_workers = crate::sched::effective_workers(self.sim_threads, blocks.len());
 
+        // Strided block-to-worker assignment with results keyed by the
+        // linear block index, exactly like the tree-walk engine: stores
+        // are applied in block order afterwards, so outputs stay
+        // bit-identical regardless of the worker count.
+        type BlockOut = (usize, Vec<StoreRec>, ExecStats);
         let bufs_ref = &bufs;
-        let mut results: Vec<Result<(Vec<StoreRec>, ExecStats), SimError>> = Vec::new();
+        let blocks_ref = &blocks;
+        let mut results: Vec<Result<Vec<BlockOut>, SimError>> = Vec::new();
         std::thread::scope(|scope| {
-            let chunk = blocks.len().div_ceil(n_workers);
             let mut handles = Vec::new();
-            for worker_blocks in blocks.chunks(chunk.max(1)) {
+            for w in 0..n_workers {
                 handles.push(scope.spawn(move || {
-                    let mut stores = Vec::new();
-                    let mut stats = ExecStats::default();
-                    for &(bx, by) in worker_blocks {
-                        let (mut s, block_stats) = run_block(self, bufs_ref, bx, by)?;
-                        stats.merge(&block_stats);
-                        stores.append(&mut s);
+                    let mut out: Vec<BlockOut> = Vec::with_capacity(crate::sched::worker_share(
+                        blocks_ref.len(),
+                        n_workers,
+                        w,
+                    ));
+                    for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
+                        let (bx, by) = blocks_ref[i];
+                        let (s, block_stats) = run_block(self, bufs_ref, bx, by)?;
+                        out.push((i, s, block_stats));
                     }
-                    Ok((stores, stats))
+                    Ok(out)
                 }));
             }
             for h in handles {
@@ -2139,10 +2168,31 @@ impl CompiledKernel {
         });
         drop(bufs);
 
+        let mut slots: Vec<Option<(usize, Vec<StoreRec>, ExecStats)>> =
+            (0..blocks.len()).map(|_| None).collect();
+        for (w, result) in results.into_iter().enumerate() {
+            for (i, stores, stats) in result? {
+                slots[i] = Some((w, stores, stats));
+            }
+        }
+
         let mut stats_total = ExecStats::default();
-        for result in results {
-            let (stores, worker_stats) = result?;
-            stats_total.merge(&worker_stats);
+        let mut exec_profile = profile.then(|| crate::sched::ExecProfile {
+            n_workers,
+            blocks: Vec::with_capacity(blocks.len()),
+        });
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (worker, stores, block_stats) = slot.expect("every block ran");
+            stats_total.merge(&block_stats);
+            if let Some(p) = exec_profile.as_mut() {
+                let (bx, by) = blocks[i];
+                p.blocks.push(crate::sched::BlockProfile {
+                    bx,
+                    by,
+                    worker,
+                    stats: block_stats,
+                });
+            }
             for st in stores {
                 let name = &self.globals[st.buf as usize].name;
                 let buf = mem
@@ -2151,7 +2201,7 @@ impl CompiledKernel {
                 buf.data[st.idx as usize] = st.value;
             }
         }
-        Ok(stats_total)
+        Ok((stats_total, exec_profile))
     }
 }
 

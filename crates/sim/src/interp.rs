@@ -91,18 +91,33 @@ impl ExecStats {
     /// Accumulate another block's (or launch's) counters into this one.
     ///
     /// Counters are accumulated in plain per-block structs on the worker
-    /// threads and merged once per worker at join time — no atomics in
+    /// threads and merged once per block at join time — no atomics in
     /// (or anywhere near) the per-thread hot loop.
+    ///
+    /// `other` is destructured exhaustively: adding a counter field
+    /// without merging it is a compile error, which the profiler's
+    /// per-region/launch-total cross-check depends on.
     pub fn merge(&mut self, other: &ExecStats) {
-        self.global_loads += other.global_loads;
-        self.global_stores += other.global_stores;
-        self.tex_fetches += other.tex_fetches;
-        self.const_loads += other.const_loads;
-        self.shared_loads += other.shared_loads;
-        self.shared_stores += other.shared_stores;
-        self.barriers += other.barriers;
-        self.oob_reads += other.oob_reads;
-        self.oob_stores += other.oob_stores;
+        let ExecStats {
+            global_loads,
+            global_stores,
+            tex_fetches,
+            const_loads,
+            shared_loads,
+            shared_stores,
+            barriers,
+            oob_reads,
+            oob_stores,
+        } = *other;
+        self.global_loads += global_loads;
+        self.global_stores += global_stores;
+        self.tex_fetches += tex_fetches;
+        self.const_loads += const_loads;
+        self.shared_loads += shared_loads;
+        self.shared_stores += shared_stores;
+        self.barriers += barriers;
+        self.oob_reads += oob_reads;
+        self.oob_stores += oob_stores;
     }
 }
 
@@ -601,7 +616,22 @@ pub fn execute(
     params: &LaunchParams,
     mem: &mut DeviceMemory,
 ) -> Result<ExecStats, SimError> {
-    execute_inner(kernel, params, mem, false).map(|(stats, _)| stats)
+    execute_inner(kernel, params, mem, false, false).map(|(stats, _, _)| stats)
+}
+
+/// Execute a kernel launch while recording per-block statistics: identical
+/// semantics and totals to [`execute`], plus an [`ExecProfile`] with one
+/// [`ExecStats`] record per block (in linear block order) and the worker
+/// that ran it.
+///
+/// [`ExecProfile`]: crate::sched::ExecProfile
+pub fn execute_profiled(
+    kernel: &DeviceKernelDef,
+    params: &LaunchParams,
+    mem: &mut DeviceMemory,
+) -> Result<(ExecStats, crate::sched::ExecProfile), SimError> {
+    let (stats, _, profile) = execute_inner(kernel, params, mem, false, true)?;
+    Ok((stats, profile.expect("profiling requested")))
 }
 
 /// Execute a kernel launch with the dynamic observer attached: identical
@@ -613,7 +643,7 @@ pub fn execute_observed(
     params: &LaunchParams,
     mem: &mut DeviceMemory,
 ) -> Result<(ExecStats, ObserverReport), SimError> {
-    let (stats, report) = execute_inner(kernel, params, mem, true)?;
+    let (stats, report, _) = execute_inner(kernel, params, mem, true, false)?;
     let mut report = report.unwrap_or_default();
     report.global_oob_reads = stats.oob_reads;
     report.global_oob_stores = stats.oob_stores;
@@ -625,7 +655,15 @@ fn execute_inner(
     params: &LaunchParams,
     mem: &mut DeviceMemory,
     observe: bool,
-) -> Result<(ExecStats, Option<ObserverReport>), SimError> {
+    profile: bool,
+) -> Result<
+    (
+        ExecStats,
+        Option<ObserverReport>,
+        Option<crate::sched::ExecProfile>,
+    ),
+    SimError,
+> {
     // Every scalar parameter must be supplied.
     for p in &kernel.scalars {
         if !params.scalars.contains_key(&p.name) {
@@ -643,32 +681,29 @@ fn execute_inner(
         .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
         .collect();
 
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(blocks.len().max(1));
+    let n_workers = crate::sched::effective_workers(params.sim_threads, blocks.len());
 
-    type WorkerOut = (Vec<PendingStore>, ExecStats, Option<ObserverReport>);
+    // Each worker returns its per-block results keyed by the linear block
+    // index; the main thread re-assembles them into block order below, so
+    // store application (and report merging) stays deterministic and
+    // independent of the worker count.
+    type BlockOut = (usize, Vec<PendingStore>, ExecStats, Option<ObserverReport>);
     let mem_ro: &DeviceMemory = mem;
-    let mut results: Vec<Result<WorkerOut, SimError>> = Vec::new();
+    let blocks_ref = &blocks;
+    let mut results: Vec<Result<Vec<BlockOut>, SimError>> = Vec::new();
     std::thread::scope(|scope| {
-        let chunk = blocks.len().div_ceil(n_workers);
         let mut handles = Vec::new();
-        for worker_blocks in blocks.chunks(chunk.max(1)) {
+        for w in 0..n_workers {
             handles.push(scope.spawn(move || {
-                let mut stores = Vec::new();
-                let mut stats = ExecStats::default();
-                let mut report: Option<ObserverReport> = None;
-                for &(bx, by) in worker_blocks {
-                    let (mut s, block_stats, block_report) =
+                let mut out: Vec<BlockOut> =
+                    Vec::with_capacity(crate::sched::worker_share(blocks_ref.len(), n_workers, w));
+                for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
+                    let (bx, by) = blocks_ref[i];
+                    let (s, block_stats, block_report) =
                         run_block(kernel, mem_ro, params, bx, by, observe)?;
-                    stats.merge(&block_stats);
-                    stores.append(&mut s);
-                    if let Some(r) = block_report {
-                        report.get_or_insert_with(ObserverReport::default).merge(&r);
-                    }
+                    out.push((i, s, block_stats, block_report));
                 }
-                Ok((stores, stats, report))
+                Ok(out)
             }));
         }
         for h in handles {
@@ -676,16 +711,38 @@ fn execute_inner(
         }
     });
 
+    // Reassemble into linear block order ((worker, stores, stats, report)
+    // per block, as in BlockOut but keyed by position).
+    let mut slots: Vec<Option<BlockOut>> = (0..blocks.len()).map(|_| None).collect();
+    for (w, result) in results.into_iter().enumerate() {
+        for (i, stores, stats, report) in result? {
+            slots[i] = Some((w, stores, stats, report));
+        }
+    }
+
     let mut stats_total = ExecStats::default();
     let mut report_total: Option<ObserverReport> = observe.then(ObserverReport::default);
+    let mut exec_profile = profile.then(|| crate::sched::ExecProfile {
+        n_workers,
+        blocks: Vec::with_capacity(blocks.len()),
+    });
     // Generated kernels write each output pixel exactly once, so two
     // stores landing on one cell mean overlapping iteration spaces.
     let mut store_counts: HashMap<(String, usize), u64> = HashMap::new();
-    for result in results {
-        let (stores, worker_stats, worker_report) = result?;
-        stats_total.merge(&worker_stats);
-        if let (Some(total), Some(r)) = (report_total.as_mut(), worker_report.as_ref()) {
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (worker, stores, block_stats, block_report) = slot.expect("every block ran");
+        stats_total.merge(&block_stats);
+        if let (Some(total), Some(r)) = (report_total.as_mut(), block_report.as_ref()) {
             total.merge(r);
+        }
+        if let Some(p) = exec_profile.as_mut() {
+            let (bx, by) = blocks[i];
+            p.blocks.push(crate::sched::BlockProfile {
+                bx,
+                by,
+                worker,
+                stats: block_stats,
+            });
         }
         for st in stores {
             if observe {
@@ -705,7 +762,7 @@ fn execute_inner(
         }
     }
 
-    Ok((stats_total, report_total))
+    Ok((stats_total, report_total, exec_profile))
 }
 
 #[cfg(test)]

@@ -35,6 +35,9 @@ pub struct LaunchSpec<'a> {
     pub mask_data: HashMap<String, Vec<f32>>,
     /// Additional scalar arguments (filter parameters).
     pub scalars: HashMap<String, Const>,
+    /// Explicit host worker-thread count for the parallel block loop
+    /// (`None` = `HIPACC_SIM_THREADS`, then available parallelism).
+    pub sim_threads: Option<usize>,
 }
 
 /// Result of a simulated launch.
@@ -100,6 +103,28 @@ pub fn run_on_image_observed(
     Ok((LaunchResult { output, stats }, report))
 }
 
+/// Run a device kernel while recording a per-block execution profile on
+/// an explicitly chosen engine. Execution semantics and statistics are
+/// identical to [`run_on_image_with`]; the extra [`ExecProfile`] carries
+/// one [`ExecStats`] record per block plus the effective worker count.
+///
+/// [`ExecProfile`]: crate::sched::ExecProfile
+pub fn run_on_image_profiled(
+    kernel: &DeviceKernelDef,
+    spec: &LaunchSpec<'_>,
+    engine: Engine,
+) -> Result<(LaunchResult, crate::sched::ExecProfile), SimError> {
+    let (mut mem, params) = prepare(kernel, spec)?;
+    let (stats, profile) = match engine {
+        Engine::Bytecode => {
+            crate::bytecode::compile(kernel, &params, &mem)?.run_profiled(&mut mem)?
+        }
+        Engine::TreeWalk => crate::interp::execute_profiled(kernel, &params, &mut mem)?,
+    };
+    let output = download_output(&mem)?;
+    Ok((LaunchResult { output, stats }, profile))
+}
+
 fn download_output(mem: &DeviceMemory) -> Result<Image<f32>, SimError> {
     Ok(mem
         .buffer("OUT")
@@ -161,6 +186,7 @@ fn prepare(
 
     let mut params = LaunchParams::new(spec.grid, spec.block);
     params.scalars = spec.scalars.clone();
+    params.sim_threads = spec.sim_threads;
     // Standard geometry scalars, unless explicitly overridden.
     let defaults = [
         ("width", geom.width as i64),

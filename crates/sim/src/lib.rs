@@ -51,11 +51,16 @@ pub mod interp;
 pub mod launch;
 pub mod memory;
 pub mod observer;
+pub mod sched;
 pub mod timing;
 
 pub use bytecode::{compile, execute as execute_bytecode, CompiledKernel};
-pub use interp::{execute, execute_observed, ExecStats, SimError};
-pub use launch::{run_on_image, run_on_image_observed, run_on_image_with, Engine, LaunchResult};
+pub use interp::{execute, execute_observed, execute_profiled, ExecStats, SimError};
+pub use launch::{
+    run_on_image, run_on_image_observed, run_on_image_profiled, run_on_image_with, Engine,
+    LaunchResult,
+};
 pub use memory::{DeviceMemory, LaunchParams};
 pub use observer::ObserverReport;
+pub use sched::{effective_workers, BlockProfile, ExecProfile};
 pub use timing::{estimate_time, TimeBreakdown, TimingInput};

@@ -131,6 +131,10 @@ pub struct LaunchParams {
     pub block: (u32, u32),
     /// Scalar kernel arguments by parameter name.
     pub scalars: HashMap<String, Const>,
+    /// Explicit host worker-thread count for the parallel block loop.
+    /// `None` falls back to `HIPACC_SIM_THREADS`, then to the machine's
+    /// available parallelism (see [`crate::sched::effective_workers`]).
+    pub sim_threads: Option<usize>,
 }
 
 impl LaunchParams {
@@ -140,6 +144,7 @@ impl LaunchParams {
             grid,
             block,
             scalars: HashMap::new(),
+            sim_threads: None,
         }
     }
 

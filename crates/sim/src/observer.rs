@@ -63,14 +63,28 @@ impl ObserverReport {
     }
 
     /// Accumulate another block's (or worker's) report into this one.
+    ///
+    /// `other` is destructured exhaustively, like [`ExecStats::merge`]:
+    /// a new counter field that is not merged fails to compile.
+    ///
+    /// [`ExecStats::merge`]: crate::interp::ExecStats::merge
     pub fn merge(&mut self, other: &ObserverReport) {
-        self.shared_write_write += other.shared_write_write;
-        self.shared_read_write += other.shared_read_write;
-        self.shared_oob += other.shared_oob;
-        self.global_oob_reads += other.global_oob_reads;
-        self.global_oob_stores += other.global_oob_stores;
-        self.global_store_conflicts += other.global_store_conflicts;
-        for e in &other.examples {
+        let ObserverReport {
+            shared_write_write,
+            shared_read_write,
+            shared_oob,
+            global_oob_reads,
+            global_oob_stores,
+            global_store_conflicts,
+            examples,
+        } = other;
+        self.shared_write_write += shared_write_write;
+        self.shared_read_write += shared_read_write;
+        self.shared_oob += shared_oob;
+        self.global_oob_reads += global_oob_reads;
+        self.global_oob_stores += global_oob_stores;
+        self.global_store_conflicts += global_store_conflicts;
+        for e in examples {
             if self.examples.len() >= MAX_EXAMPLES {
                 break;
             }

@@ -1,0 +1,180 @@
+//! Worker scheduling for the parallel block loop, shared by both engines.
+//!
+//! Blocks are assigned to host-thread workers **strided** (worker `w` of
+//! `n` runs blocks `w, w+n, w+2n, …` in linear block order). The earlier
+//! contiguous `chunks()` split put all top-border blocks — the
+//! conditional-heavy ones under boundary specialization — on worker 0,
+//! so join time was gated by one thread; striding interleaves border and
+//! interior blocks across all workers, keeping per-worker block counts
+//! within one of each other for any grid.
+//!
+//! The worker count defaults to the host's available parallelism but can
+//! be pinned for reproducible profiles and benches, either per launch
+//! ([`LaunchParams::sim_threads`]) or process-wide with the
+//! `HIPACC_SIM_THREADS` environment variable (the explicit field wins).
+//!
+//! Per-block execution profiles ([`ExecProfile`]) record which worker ran
+//! each block along with the block's [`ExecStats`], so the launch report
+//! can attribute dynamic counters to boundary regions.
+//!
+//! [`LaunchParams::sim_threads`]: crate::memory::LaunchParams::sim_threads
+
+use crate::interp::ExecStats;
+
+/// Environment variable overriding the worker count (lowest precedence).
+pub const THREADS_ENV: &str = "HIPACC_SIM_THREADS";
+
+/// Resolve the effective worker count for a launch of `n_blocks` blocks.
+///
+/// Precedence: the explicit `requested` override (a [`LaunchParams`]
+/// field), then the `HIPACC_SIM_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. The result is clamped to
+/// `1..=n_blocks` (at least one worker, never more workers than blocks).
+///
+/// [`LaunchParams`]: crate::memory::LaunchParams
+pub fn effective_workers(requested: Option<usize>, n_blocks: usize) -> usize {
+    let n = requested
+        .or_else(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    n.clamp(1, n_blocks.max(1))
+}
+
+/// The linear block indices worker `worker` of `n_workers` runs, strided.
+pub fn worker_indices(
+    n_blocks: usize,
+    n_workers: usize,
+    worker: usize,
+) -> impl Iterator<Item = usize> {
+    (worker..n_blocks).step_by(n_workers.max(1))
+}
+
+/// How many blocks [`worker_indices`] yields for one worker.
+pub fn worker_share(n_blocks: usize, n_workers: usize, worker: usize) -> usize {
+    if worker >= n_blocks {
+        return 0;
+    }
+    (n_blocks - worker).div_ceil(n_workers.max(1))
+}
+
+/// One block's contribution to an execution profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// Block index along x.
+    pub bx: u32,
+    /// Block index along y.
+    pub by: u32,
+    /// Which worker thread ran the block.
+    pub worker: usize,
+    /// The block's dynamic statistics.
+    pub stats: ExecStats,
+}
+
+/// Per-block execution profile of one launch, in linear block order
+/// (`by * grid_x + bx`).
+#[derive(Clone, Debug, Default)]
+pub struct ExecProfile {
+    /// Effective number of worker threads used for the launch.
+    pub n_workers: usize,
+    /// Per-block records, ordered by linear block index.
+    pub blocks: Vec<BlockProfile>,
+}
+
+impl ExecProfile {
+    /// Sum of all per-block statistics; equals the launch totals by
+    /// construction (the launch totals are merged from the same records).
+    pub fn total(&self) -> ExecStats {
+        let mut t = ExecStats::default();
+        for b in &self.blocks {
+            t.merge(&b.stats);
+        }
+        t
+    }
+
+    /// Blocks run by each worker, indexed by worker id.
+    pub fn blocks_per_worker(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_workers];
+        for b in &self.blocks {
+            if b.worker < counts.len() {
+                counts[b.worker] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_override_wins_and_is_clamped() {
+        assert_eq!(effective_workers(Some(3), 100), 3);
+        assert_eq!(effective_workers(Some(0), 100), 1, "zero clamps to one");
+        assert_eq!(effective_workers(Some(64), 10), 10, "capped at blocks");
+        assert_eq!(effective_workers(Some(4), 0), 1, "empty grid still valid");
+    }
+
+    #[test]
+    fn strided_assignment_is_balanced() {
+        for n_blocks in [1usize, 2, 7, 64, 65, 127, 4096] {
+            for n_workers in [1usize, 2, 3, 4, 7, 16] {
+                let n_workers = n_workers.min(n_blocks);
+                let counts: Vec<usize> = (0..n_workers)
+                    .map(|w| worker_indices(n_blocks, n_workers, w).count())
+                    .collect();
+                let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+                assert!(
+                    max - min <= 1,
+                    "{n_blocks} blocks / {n_workers} workers: counts {counts:?}"
+                );
+                assert_eq!(counts.iter().sum::<usize>(), n_blocks);
+                for (w, &c) in counts.iter().enumerate() {
+                    assert_eq!(c, worker_share(n_blocks, n_workers, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_assignment_partitions_all_blocks() {
+        let n_blocks = 37;
+        let n_workers = 5;
+        let mut seen = vec![false; n_blocks];
+        for w in 0..n_workers {
+            for i in worker_indices(n_blocks, n_workers, w) {
+                assert!(!seen[i], "block {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn profile_totals_and_worker_counts() {
+        let mut p = ExecProfile {
+            n_workers: 2,
+            blocks: Vec::new(),
+        };
+        for i in 0..5u32 {
+            p.blocks.push(BlockProfile {
+                bx: i,
+                by: 0,
+                worker: (i % 2) as usize,
+                stats: ExecStats {
+                    global_loads: 10,
+                    ..Default::default()
+                },
+            });
+        }
+        assert_eq!(p.total().global_loads, 50);
+        assert_eq!(p.blocks_per_worker(), vec![3, 2]);
+    }
+}

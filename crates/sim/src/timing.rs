@@ -94,7 +94,7 @@ pub struct TimingInput {
 }
 
 /// The time estimate, decomposed.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TimeBreakdown {
     /// Compute-pipeline time (ms).
     pub compute_ms: f64,

@@ -1,0 +1,93 @@
+//! End-to-end profiling: compile-phase tracing plus per-region execution
+//! profiles, exported as one Chrome `trace_event` file.
+//!
+//! Profiles a Gaussian blur and the three kernels of the Harris corner
+//! pipeline on the simulated Tesla C2050, prints the text report for
+//! each launch, and writes all recorded spans to a trace viewable in
+//! `about:tracing` or <https://ui.perfetto.dev>.
+//!
+//! ```text
+//! cargo run --release --example profile [TRACE_PATH]
+//! ```
+//!
+//! `TRACE_PATH` defaults to `target/profile_trace.json`. The example
+//! validates its own output with the bundled JSON parser before exiting,
+//! so a zero exit status means the trace file is well-formed.
+
+use hipacc::prelude::*;
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_filters::harris::harris_response_kernel;
+use hipacc_filters::sobel::sobel_operator;
+use hipacc_image::phantom;
+use hipacc_profile::Span;
+
+fn main() {
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/profile_trace.json".to_string());
+
+    let image = phantom::vessel_tree(128, 128, &phantom::VesselParams::default());
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+    let engine = hipacc_core::Engine::default();
+    let mut spans: Vec<Span> = Vec::new();
+
+    // --- Gaussian blur: one boundary-specialized kernel. ---------------
+    let gaussian = gaussian_operator(5, 1.1, BoundaryMode::Clamp);
+    let (_, profile) = gaussian
+        .execute_profiled(&[("Input", &image)], &target, engine)
+        .expect("gaussian profiling run");
+    profile.cross_check().expect("gaussian region cross-check");
+    println!("{}", profile.render_text());
+    spans.extend(profile.spans.iter().cloned());
+
+    // --- Harris pipeline: two Sobel passes feed the response kernel. ---
+    let gx = sobel_operator(true, BoundaryMode::Clamp);
+    let (gx_run, gx_profile) = gx
+        .execute_profiled(&[("Input", &image)], &target, engine)
+        .expect("sobel-x profiling run");
+    let gy = sobel_operator(false, BoundaryMode::Clamp);
+    let (gy_run, gy_profile) = gy
+        .execute_profiled(&[("Input", &image)], &target, engine)
+        .expect("sobel-y profiling run");
+    for p in [&gx_profile, &gy_profile] {
+        p.cross_check().expect("sobel region cross-check");
+        println!("{}", p.render_text());
+        spans.extend(p.spans.iter().cloned());
+    }
+
+    let ixx = Image::from_fn(image.width(), image.height(), |x, y| {
+        gx_run.output.get(x, y) * gx_run.output.get(x, y)
+    });
+    let iyy = Image::from_fn(image.width(), image.height(), |x, y| {
+        gy_run.output.get(x, y) * gy_run.output.get(x, y)
+    });
+    let ixy = Image::from_fn(image.width(), image.height(), |x, y| {
+        gx_run.output.get(x, y) * gy_run.output.get(x, y)
+    });
+    let response = hipacc_core::Operator::new(harris_response_kernel(3, 0.04))
+        .boundary("Ixx", BoundaryMode::Clamp, 3, 3)
+        .boundary("Iyy", BoundaryMode::Clamp, 3, 3)
+        .boundary("Ixy", BoundaryMode::Clamp, 3, 3);
+    let (_, response_profile) = response
+        .execute_profiled(
+            &[("Ixx", &ixx), ("Iyy", &iyy), ("Ixy", &ixy)],
+            &target,
+            engine,
+        )
+        .expect("harris-response profiling run");
+    response_profile
+        .cross_check()
+        .expect("harris region cross-check");
+    println!("{}", response_profile.render_text());
+    spans.extend(response_profile.spans.iter().cloned());
+
+    // --- Export and self-validate the combined trace. ------------------
+    let trace = hipacc_profile::chrome::trace_json(&spans);
+    let n_events = hipacc_profile::chrome::validate(&trace).expect("emitted trace must validate");
+    std::fs::write(&trace_path, &trace).expect("write trace file");
+    println!(
+        "wrote {n_events} trace events ({} spans from 4 launches) to {trace_path}",
+        spans.len()
+    );
+    println!("ok: profile finished");
+}

@@ -14,6 +14,8 @@
 //! * [`codegen`] — CUDA/OpenCL source emission with device-specific memory
 //!   mapping and boundary-handling specialization.
 //! * [`sim`] — a SIMT functional interpreter plus analytical timing model.
+//! * [`profile`] — spans, profile sinks and Chrome-trace export: the
+//!   observability layer behind `Operator::execute_profiled`.
 //! * [`core`] — the DSL front-end (`Image`, `IterationSpace`, `Accessor`,
 //!   `BoundaryCondition`, `Mask`, `Kernel`) and the compile/execute
 //!   pipeline.
@@ -31,6 +33,7 @@ pub use hipacc_filters as filters;
 pub use hipacc_hwmodel as hwmodel;
 pub use hipacc_image as image;
 pub use hipacc_ir as ir;
+pub use hipacc_profile as profile;
 pub use hipacc_sim as sim;
 
 /// Convenience prelude re-exporting the types most programs need.
