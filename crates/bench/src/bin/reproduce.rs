@@ -5,6 +5,7 @@
 //! reproduce --table 2        # one table
 //! reproduce --figure 4       # one figure
 //! reproduce --loc            # the §VI-C lines-of-code metric
+//! reproduce --inject 42      # seeded fault-injection drill under the supervisor
 //! ```
 
 use hipacc_bench::ablation;
@@ -161,6 +162,70 @@ fn print_profile(path: &str) {
     println!("wrote {n} trace events to {path}\n");
 }
 
+/// Run representative filters under the launch supervisor with a seeded
+/// fault plan arming every fault class, and print each recovery log.
+/// Exits non-zero on silent corruption (a recovered output that is not
+/// bit-identical to the fault-free reference).
+fn print_inject(seed: u64) {
+    use hipacc_core::{Engine, FaultPlan, SupervisorConfig};
+    use hipacc_filters::bilateral::bilateral_operator;
+    use hipacc_filters::gaussian::gaussian_operator;
+    use hipacc_filters::sobel::sobel_operator;
+    use hipacc_image::{phantom, BoundaryMode};
+
+    let image = phantom::vessel_tree(256, 256, &phantom::VesselParams::default());
+    let target = Target::cuda(tesla_c2050());
+    let engine = Engine::default();
+    let cfg = SupervisorConfig::default();
+    println!("Fault injection drill, seed {seed} (Tesla C2050, CUDA)");
+    for (i, (label, op)) in [
+        (
+            "gaussian 5x5",
+            gaussian_operator(5, 1.1, BoundaryMode::Clamp),
+        ),
+        (
+            "bilateral 13x13",
+            bilateral_operator(3, 5, true, BoundaryMode::Clamp),
+        ),
+        ("sobel-x 3x3", sobel_operator(true, BoundaryMode::Clamp)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Store and latency faults only: a hang would dominate every run
+        // on a grid this size (the hung-worker drill lives in
+        // `examples/fault_drill.rs`).
+        let plan = FaultPlan {
+            seed: seed.wrapping_add(i as u64),
+            global_flip_rate: 0.01,
+            drop_rate: 0.01,
+            poison_boundary_rate: 0.02,
+            stall_rate: 0.05,
+            stall_us: 20,
+            deadline_us: Some(50_000),
+            ..FaultPlan::default()
+        };
+        let reference = op
+            .execute_with(&[("Input", &image)], &target, engine)
+            .expect("fault-free reference");
+        println!("--- {label} ---");
+        match op.execute_supervised(&[("Input", &image)], &target, engine, &plan, &cfg) {
+            Ok(sup) => {
+                if reference.output.max_abs_diff(&sup.execution.output) != 0.0 {
+                    eprintln!("SILENT CORRUPTION under {plan}");
+                    std::process::exit(1);
+                }
+                print!("{}", sup.recovery.render_text());
+                println!("validated: output bit-identical to fault-free reference\n");
+            }
+            Err(e) => {
+                print!("{}", e.report.render_text());
+                println!("surfaced typed error: {}\n", e.error.diagnostic());
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -233,6 +298,12 @@ fn main() {
                 print_profile(&path);
                 did_anything = true;
             }
+            "--inject" => {
+                i += 1;
+                let seed: u64 = args[i].parse().expect("injection seed");
+                print_inject(seed);
+                did_anything = true;
+            }
             "--raw" => {
                 // Raw model tables without paper comparison.
                 i += 1;
@@ -252,7 +323,7 @@ fn main() {
         i += 1;
     }
     if !did_anything {
-        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]]");
+        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]] [--inject SEED]");
         std::process::exit(2);
     }
 }

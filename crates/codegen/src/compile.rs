@@ -78,6 +78,26 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+impl CompileError {
+    /// Whether the failure is a *resource-limit* failure — the kernel (or
+    /// its forced configuration) does not fit the device — as opposed to a
+    /// structural one (unsupported backend, ill-formed kernel). Resource
+    /// failures are the ones the launch supervisor's config-degradation
+    /// fallback can work around by recompiling with a cheaper memory
+    /// variant or a smaller tile; structural failures are final.
+    pub fn is_resource_limit(&self) -> bool {
+        match self {
+            CompileError::NoValidConfiguration | CompileError::InvalidForcedConfiguration(_) => {
+                true
+            }
+            // A04xx is the verifier's resource-limit band (shared memory,
+            // registers, constant bytes, block shape).
+            CompileError::Verification(diags) => diags.iter().any(|d| d.code.starts_with("A04")),
+            _ => false,
+        }
+    }
+}
+
 /// The product of one compilation, ready for the simulator and for
 /// inspection.
 #[derive(Clone, Debug)]

@@ -1,0 +1,127 @@
+//! Graceful configuration degradation for resilient launches.
+//!
+//! When a launch keeps failing — the device rejects the kernel's
+//! resource demands, or the supervisor exhausts its retries on an
+//! attempt that never validates — the next-cheapest thing to try is not
+//! the same binary again but a *cheaper compilation* of the same filter:
+//! drop the texture path back to plain global loads, give up the
+//! scratchpad staging, shrink the tile. Each of those is a fresh
+//! [`Compiler`] run with a degraded [`CompileSpec`], trading the
+//! device-specific optimizations of Section IV for a configuration that
+//! is far more likely to fit and to survive.
+//!
+//! [`fallback_chain`] enumerates that ladder for a requested memory
+//! variant and an optional tile hint, most-capable first. The launch
+//! supervisor in `hipacc-core` walks it step by step, recording a
+//! recovery event per attempt.
+//!
+//! [`Compiler`]: crate::compile::Compiler
+//! [`CompileSpec`]: crate::options::CompileSpec
+
+use crate::options::MemVariant;
+use hipacc_hwmodel::LaunchConfig;
+
+/// Smallest tile the degradation ladder will try (one SIMD-width row on
+/// every modeled device).
+pub const MIN_FALLBACK_THREADS: u32 = 32;
+
+/// One rung of the degradation ladder: a memory variant plus an optional
+/// forced tile, with a human-readable label for recovery logs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FallbackStep {
+    /// What the step does, e.g. `scratchpad->global` or `tile 128x1`.
+    pub label: String,
+    /// Memory variant to recompile with.
+    pub variant: MemVariant,
+    /// Tile to force instead of re-running Algorithm 2 (`None` keeps the
+    /// heuristic's choice).
+    pub force_config: Option<(u32, u32)>,
+}
+
+fn variant_name(v: MemVariant) -> &'static str {
+    match v {
+        MemVariant::Auto => "auto",
+        MemVariant::Global => "global",
+        MemVariant::Texture => "texture",
+        MemVariant::TextureHwBoundary => "texture-hw",
+        MemVariant::Scratchpad => "scratchpad",
+    }
+}
+
+/// The degradation ladder for a kernel compiled with `requested` and
+/// (optionally) launched at `config_hint`.
+///
+/// Steps, in order:
+///
+/// 1. If the requested variant is not already plain global memory, one
+///    step dropping it to [`MemVariant::Global`] (e.g. texture→global or
+///    scratchpad→global) while keeping the heuristic tile.
+/// 2. If a tile hint is given, successive halvings of it (y first, then
+///    x — [`LaunchConfig::halved`]) down to [`MIN_FALLBACK_THREADS`]
+///    threads, each forced on a global-memory compilation.
+///
+/// The ladder can be empty (already-global variant, no tile hint): then
+/// there is nothing cheaper to try and the supervisor must surface the
+/// error.
+pub fn fallback_chain(
+    requested: MemVariant,
+    config_hint: Option<LaunchConfig>,
+) -> Vec<FallbackStep> {
+    let mut steps = Vec::new();
+    if requested != MemVariant::Global {
+        steps.push(FallbackStep {
+            label: format!("{}->global", variant_name(requested)),
+            variant: MemVariant::Global,
+            force_config: None,
+        });
+    }
+    let mut cfg = config_hint;
+    while let Some(c) = cfg.and_then(|c| c.halved(MIN_FALLBACK_THREADS)) {
+        steps.push(FallbackStep {
+            label: format!("tile {c}"),
+            variant: MemVariant::Global,
+            force_config: Some((c.bx, c.by)),
+        });
+        cfg = Some(c);
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratchpad_chain_drops_to_global_then_shrinks_tiles() {
+        let chain = fallback_chain(
+            MemVariant::Scratchpad,
+            Some(LaunchConfig { bx: 128, by: 2 }),
+        );
+        let labels: Vec<&str> = chain.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["scratchpad->global", "tile 128x1", "tile 64x1", "tile 32x1"]
+        );
+        assert!(chain.iter().all(|s| s.variant == MemVariant::Global));
+        assert_eq!(chain[0].force_config, None, "first step keeps the tile");
+        assert_eq!(chain.last().unwrap().force_config, Some((32, 1)));
+    }
+
+    #[test]
+    fn texture_variants_label_their_downgrade() {
+        let chain = fallback_chain(MemVariant::TextureHwBoundary, None);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].label, "texture-hw->global");
+        assert_eq!(
+            fallback_chain(MemVariant::Texture, None)[0].label,
+            "texture->global"
+        );
+    }
+
+    #[test]
+    fn global_variant_without_hint_has_nothing_to_degrade() {
+        assert!(fallback_chain(MemVariant::Global, None).is_empty());
+        let tiny = fallback_chain(MemVariant::Global, Some(LaunchConfig { bx: 32, by: 1 }));
+        assert!(tiny.is_empty(), "tile already at the floor");
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod compile;
 pub mod cuda;
+pub mod fallback;
 pub mod funcmap;
 pub mod host;
 pub mod index;
@@ -42,5 +43,6 @@ pub mod options;
 pub mod regions;
 
 pub use compile::{verify_compiled, CompileError, CompiledKernel, Compiler};
+pub use fallback::{fallback_chain, FallbackStep};
 pub use options::{BoundarySpec, CompileSpec, MemVariant};
 pub use regions::Region;

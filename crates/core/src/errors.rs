@@ -1,0 +1,204 @@
+//! The unified error surface of the pipeline.
+//!
+//! Compilation fails with [`CompileError`], simulation with [`SimError`],
+//! and the operator API wraps both in [`OperatorError`] — three enums
+//! that grew separately. The launch supervisor needs one consistent view
+//! over them to decide what to *do* with a failure:
+//!
+//! * [`OperatorError::class`] splits failures into **transient** (a
+//!   retry may cure them — today only a launch-deadline cancellation,
+//!   the signature of a hung worker) and **permanent** (retrying the
+//!   same configuration is pointless);
+//! * [`OperatorError::diagnostic`] converts any failure into the same
+//!   structured [`Diagnostic`] the kernel verifier emits, with a stable
+//!   `C`-prefixed code for compile failures and `R`-prefixed code for
+//!   runtime failures (verifier failures keep their original `A` code);
+//! * [`error_chain`] walks `std::error::Error::source` links and renders
+//!   each level, so a supervisor log can show "compile error: … ←
+//!   kernel verification failed: …" without hand-written matching.
+//!
+//! # Runtime/compile diagnostic code space
+//!
+//! | Code  | Failure |
+//! |-------|---------|
+//! | C0101 | backend cannot target the device |
+//! | C0102 | requested hardware boundary handling does not exist |
+//! | C0103 | unsupported feature combination |
+//! | C0201 | no launch configuration fits the device |
+//! | C0202 | forced launch configuration invalid |
+//! | C0301 | internal codegen error |
+//! | R0001 | operator executed with no inputs |
+//! | R0101 | read of an undefined variable |
+//! | R0102 | buffer not bound |
+//! | R0103 | scalar argument missing |
+//! | R0104 | integer division by zero |
+//! | R0105 | barrier inside control flow |
+//! | R0106 | expression evaluation failed |
+//! | R0201 | invalid `HIPACC_SIM_THREADS` value |
+//! | R0202 | invalid launch geometry |
+//! | R0301 | launch deadline exceeded (hung worker) — *transient* |
+//! | R0401 | supervisor exhausted retries and fallbacks |
+
+use crate::operator::OperatorError;
+use hipacc_analysis::Diagnostic;
+use hipacc_codegen::CompileError;
+use hipacc_sim::SimError;
+
+/// Whether a failure is worth retrying.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The failure can vanish on a retry of the same configuration
+    /// (e.g. a hung worker cancelled by the launch deadline).
+    Transient,
+    /// Retrying the identical launch will fail the identical way; only
+    /// a *different* configuration (or giving up) makes progress.
+    Permanent,
+}
+
+impl FailureClass {
+    /// `true` for [`FailureClass::Transient`].
+    pub fn is_transient(self) -> bool {
+        self == FailureClass::Transient
+    }
+}
+
+impl OperatorError {
+    /// Classify the failure for retry policy. Only a launch-deadline
+    /// cancellation is transient: every other failure is deterministic
+    /// in this simulator and will recur verbatim.
+    pub fn class(&self) -> FailureClass {
+        match self {
+            OperatorError::Sim(SimError::DeadlineExceeded { .. }) => FailureClass::Transient,
+            _ => FailureClass::Permanent,
+        }
+    }
+
+    /// The failure as a structured [`Diagnostic`] with a stable code
+    /// (see the module docs for the code space). Verification failures
+    /// return their first verifier diagnostic unchanged, so `A`-codes
+    /// survive the conversion.
+    pub fn diagnostic(&self) -> Diagnostic {
+        let msg = self.to_string();
+        match self {
+            OperatorError::Compile(e) => {
+                if let CompileError::Verification(diags) = e {
+                    if let Some(d) = diags.first() {
+                        return d.clone();
+                    }
+                }
+                let code = match e {
+                    CompileError::UnsupportedBackend(_) => "C0101",
+                    CompileError::UnsupportedHwBoundary(_) => "C0102",
+                    CompileError::UnsupportedCombination(_) => "C0103",
+                    CompileError::NoValidConfiguration => "C0201",
+                    CompileError::InvalidForcedConfiguration(_) => "C0202",
+                    CompileError::Internal(_) => "C0301",
+                    CompileError::Verification(_) => "C0301",
+                };
+                Diagnostic::error(code, "<operator>", msg)
+            }
+            OperatorError::Sim(e) => {
+                let code = match e {
+                    SimError::UndefinedVariable(_) => "R0101",
+                    SimError::UnboundBuffer(_) => "R0102",
+                    SimError::MissingScalar(_) => "R0103",
+                    SimError::DivisionByZero => "R0104",
+                    SimError::NestedBarrier => "R0105",
+                    SimError::EvalError(_) => "R0106",
+                    SimError::InvalidThreadCount(_) => "R0201",
+                    SimError::InvalidLaunch(_) => "R0202",
+                    SimError::DeadlineExceeded { .. } => "R0301",
+                };
+                Diagnostic::error(code, "<operator>", msg)
+            }
+            OperatorError::NoInputs => Diagnostic::error("R0001", "<operator>", msg),
+            OperatorError::Unrecovered(_) => Diagnostic::error("R0401", "<operator>", msg),
+        }
+    }
+}
+
+/// Render an error and its `source()` chain, outermost first.
+pub fn error_chain(e: &(dyn std::error::Error + 'static)) -> Vec<String> {
+    let mut chain = vec![e.to_string()];
+    let mut cur = e.source();
+    while let Some(src) = cur {
+        chain.push(src.to_string());
+        cur = src.source();
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deadline() -> OperatorError {
+        OperatorError::Sim(SimError::DeadlineExceeded {
+            worker: 1,
+            elapsed_us: 900,
+            deadline_us: 500,
+        })
+    }
+
+    #[test]
+    fn classification_table() {
+        let cases: Vec<(OperatorError, FailureClass, &str)> = vec![
+            (deadline(), FailureClass::Transient, "R0301"),
+            (
+                OperatorError::Sim(SimError::InvalidThreadCount("x".into())),
+                FailureClass::Permanent,
+                "R0201",
+            ),
+            (
+                OperatorError::Sim(SimError::InvalidLaunch("zero grid".into())),
+                FailureClass::Permanent,
+                "R0202",
+            ),
+            (
+                OperatorError::Sim(SimError::UnboundBuffer("IN".into())),
+                FailureClass::Permanent,
+                "R0102",
+            ),
+            (
+                OperatorError::Compile(CompileError::NoValidConfiguration),
+                FailureClass::Permanent,
+                "C0201",
+            ),
+            (
+                OperatorError::Compile(CompileError::UnsupportedBackend("cuda/amd".into())),
+                FailureClass::Permanent,
+                "C0101",
+            ),
+            (OperatorError::NoInputs, FailureClass::Permanent, "R0001"),
+            (
+                OperatorError::Unrecovered("retries exhausted".into()),
+                FailureClass::Permanent,
+                "R0401",
+            ),
+        ];
+        for (err, class, code) in cases {
+            assert_eq!(err.class(), class, "{err}");
+            let d = err.diagnostic();
+            assert_eq!(d.code, code, "{err}");
+            assert!(d.is_error());
+            assert!(!d.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn verification_failures_keep_their_verifier_code() {
+        let inner = Diagnostic::error("A0401", "blur", "too much shared memory");
+        let err = OperatorError::Compile(CompileError::Verification(vec![inner.clone()]));
+        assert_eq!(err.diagnostic(), inner);
+        assert_eq!(err.class(), FailureClass::Permanent);
+    }
+
+    #[test]
+    fn chains_render_outermost_first() {
+        let err = deadline();
+        let chain = error_chain(&err);
+        assert_eq!(chain.len(), 2);
+        assert!(chain[0].starts_with("simulation error:"), "{}", chain[0]);
+        assert!(chain[1].contains("deadline"), "{}", chain[1]);
+    }
+}

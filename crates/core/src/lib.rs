@@ -32,15 +32,23 @@
 #![warn(rust_2018_idioms)]
 
 pub mod convolve;
+pub mod errors;
 pub mod operator;
 pub mod pipeline;
 pub mod profile;
 pub mod reduce;
+pub mod supervisor;
 pub mod target;
 
+pub use errors::{error_chain, FailureClass};
+pub use hipacc_faults::{FaultPlan, FaultSession};
 pub use hipacc_sim::Engine;
-pub use operator::{Execution, Operator, PipelineOptions};
+pub use operator::{Execution, Operator, OperatorError, PipelineOptions};
 pub use profile::{LaunchProfile, RegionProfile};
+pub use supervisor::{
+    supervise, RecoveryAction, RecoveryEvent, RecoveryReport, Supervised, SupervisedError,
+    SupervisorConfig,
+};
 pub use target::Target;
 
 /// Convenience prelude for filter authors and examples.

@@ -81,6 +81,10 @@ pub enum OperatorError {
     Sim(hipacc_sim::SimError),
     /// No input image was provided.
     NoInputs,
+    /// The launch supervisor exhausted its retries and fallback
+    /// configurations without obtaining a validated result (see
+    /// [`crate::supervisor`]).
+    Unrecovered(String),
 }
 
 impl fmt::Display for OperatorError {
@@ -89,11 +93,20 @@ impl fmt::Display for OperatorError {
             OperatorError::Compile(e) => write!(f, "compile error: {e}"),
             OperatorError::Sim(e) => write!(f, "simulation error: {e}"),
             OperatorError::NoInputs => write!(f, "operator executed with no input images"),
+            OperatorError::Unrecovered(m) => write!(f, "unrecovered launch: {m}"),
         }
     }
 }
 
-impl std::error::Error for OperatorError {}
+impl std::error::Error for OperatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OperatorError::Compile(e) => Some(e),
+            OperatorError::Sim(e) => Some(e),
+            OperatorError::NoInputs | OperatorError::Unrecovered(_) => None,
+        }
+    }
+}
 
 impl From<CompileError> for OperatorError {
     fn from(e: CompileError) -> Self {
@@ -347,6 +360,7 @@ impl Operator {
             occupancy: compiled.occupancy,
             phase_times: compiled.phase_times.clone(),
             spans: rec.into_spans(),
+            fault_plan: None,
         };
         Ok((
             Execution {

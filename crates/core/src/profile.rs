@@ -77,6 +77,10 @@ pub struct LaunchProfile {
     /// All recorded spans (compile phases, verifier passes, simulated
     /// launch) on the shared profiling timeline.
     pub spans: Vec<Span>,
+    /// The fault plan injected into this launch (its stable summary
+    /// string), when the launch ran under the supervisor with fault
+    /// injection armed. `None` for plain launches.
+    pub fault_plan: Option<String>,
 }
 
 impl LaunchProfile {
@@ -162,6 +166,9 @@ impl LaunchProfile {
             self.n_workers,
             self.blocks_per_worker,
         ));
+        if let Some(plan) = &self.fault_plan {
+            out.push_str(&format!("  injected: {plan}\n"));
+        }
         if let Some(o) = &self.occupancy {
             out.push_str(&format!(
                 "  occupancy {:.2} ({} warps, limited by {:?})\n",
@@ -254,6 +261,7 @@ mod tests {
             occupancy: None,
             phase_times: vec![("lowering".into(), 0.5)],
             spans: Vec::new(),
+            fault_plan: None,
         }
     }
 

@@ -1,0 +1,609 @@
+//! The resilient launch supervisor.
+//!
+//! [`supervise`] wraps the plain compile-and-execute pipeline of
+//! [`Operator::execute`] in a recovery loop that survives every fault
+//! class the injection plane ([`hipacc_faults`]) can produce:
+//!
+//! * **hung or stalled workers** — every faulted launch runs under the
+//!   plan's virtual deadline; a cancellation
+//!   ([`SimError::DeadlineExceeded`]) is classified *transient* and
+//!   retried with exponential backoff. Both the launch cost and the
+//!   backoff live on a **virtual clock** (microseconds accumulated in
+//!   the report), so tests never sleep;
+//! * **dropped, bit-flipped, or poisoned block results** — the engines
+//!   keep per-block checksums of computed vs. committed stores; blocks
+//!   whose checksums diverge are **selectively re-executed** on clean
+//!   memory ([`repair_blocks`]) and patched into the output, and the
+//!   repair itself is validated against the original checksums;
+//! * **corrupted constant banks** — the post-launch scrub compares the
+//!   uploaded coefficients bit-for-bit; a dirty bank invalidates the
+//!   whole launch, which is retried (with the plan's seed rotated by the
+//!   attempt counter, so transient flips do not recur);
+//! * **configurations the device cannot sustain** — resource-limit
+//!   compile failures and exhausted retries walk the degradation ladder
+//!   of [`hipacc_codegen::fallback`]: drop texture/scratchpad paths back
+//!   to global memory, then shrink the tile, recompiling at each rung.
+//!
+//! Every decision is recorded as a [`RecoveryEvent`]; the final
+//! [`RecoveryReport`] renders as text or as `"recovery"`-category trace
+//! spans merged into the launch profile. With an inert plan
+//! ([`FaultPlan::none`]) the supervised result is **bit-identical** to
+//! [`Operator::execute`] on the same engine.
+//!
+//! [`SimError::DeadlineExceeded`]: hipacc_sim::SimError::DeadlineExceeded
+//! [`repair_blocks`]: hipacc_sim::launch::repair_blocks
+
+use crate::operator::{Execution, Operator, OperatorError};
+use crate::pipeline::launch_spec;
+use crate::profile::LaunchProfile;
+use crate::target::Target;
+use hipacc_codegen::{fallback_chain, CompiledKernel, Compiler, MemVariant};
+use hipacc_faults::{FaultPlan, FaultSession};
+use hipacc_image::Image;
+use hipacc_profile::{now_us, ProfileSink, Recorder, Span};
+use hipacc_sim::inject::{combine_hash, store_hash};
+use hipacc_sim::launch::{repair_blocks, run_on_image_faulted, FaultedLaunch};
+use hipacc_sim::Engine;
+
+/// Retry and fallback policy for [`supervise`].
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Launch attempts per configuration before degrading (≥ 1).
+    pub max_attempts: u32,
+    /// Base of the exponential virtual backoff charged after a transient
+    /// failure: attempt `k` waits `backoff_base_us << k` virtual µs.
+    pub backoff_base_us: u64,
+    /// Walk the config-degradation ladder when retries are exhausted or
+    /// compilation hits a resource limit. `false` = retry-only.
+    pub fallback: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base_us: 100,
+            fallback: true,
+        }
+    }
+}
+
+/// What the supervisor did in response to one attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The attempt validated clean; its output is the result.
+    Completed,
+    /// Corrupted blocks were re-executed on clean memory and patched in;
+    /// the repaired output is the result.
+    Repaired,
+    /// The attempt was discarded and relaunched (transient failure,
+    /// constant-bank corruption, or a repair that did not validate).
+    Retried,
+    /// The configuration was abandoned for the next rung of the
+    /// degradation ladder (recompile with cheaper options).
+    Degraded,
+    /// Recovery gave up; the error is surfaced to the caller.
+    Surfaced,
+}
+
+impl std::fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoveryAction::Completed => "completed",
+            RecoveryAction::Repaired => "repaired",
+            RecoveryAction::Retried => "retried",
+            RecoveryAction::Degraded => "degraded",
+            RecoveryAction::Surfaced => "surfaced",
+        })
+    }
+}
+
+/// One structured entry of the supervisor's recovery log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Configuration rung the attempt ran under (`initial`,
+    /// `scratchpad->global`, `tile 64x1`, …).
+    pub step: String,
+    /// Attempt index within the step (0-based).
+    pub attempt: u32,
+    /// What the supervisor did.
+    pub action: RecoveryAction,
+    /// Human-readable specifics (corrupted blocks, dirty banks, the
+    /// failure diagnostic, …). Deterministic for a given plan.
+    pub detail: String,
+    /// Virtual time charged for the attempt (launch plus any backoff).
+    pub virtual_us: u64,
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} attempt {}] {}: {} ({}us)",
+            self.step, self.attempt, self.action, self.detail, self.virtual_us
+        )
+    }
+}
+
+/// The full recovery log of one supervised execution.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Events in the order they happened.
+    pub events: Vec<RecoveryEvent>,
+    /// Total launches attempted (including the successful one).
+    pub attempts: u32,
+    /// Total virtual time: launches, backoffs, repairs.
+    pub virtual_us: u64,
+    /// The fault plan's stable summary string.
+    pub plan: String,
+}
+
+impl RecoveryReport {
+    /// Whether any recovery action (beyond a clean first launch) was
+    /// needed.
+    pub fn recovered(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.action != RecoveryAction::Completed)
+    }
+
+    /// The recovery log as `"recovery"`-category trace spans laid out
+    /// sequentially on the virtual timeline starting at `base_us`.
+    pub fn spans(&self, base_us: u64) -> Vec<Span> {
+        let mut out = Vec::new();
+        let mut cursor = base_us;
+        for e in &self.events {
+            let dur = e.virtual_us.max(1);
+            out.push(
+                Span::new(format!("{}: {}", e.action, e.step), "recovery", cursor, dur)
+                    .arg("attempt", e.attempt.to_string())
+                    .arg("detail", e.detail.clone())
+                    .arg("virtual_us", e.virtual_us.to_string()),
+            );
+            cursor = cursor.saturating_add(dur);
+        }
+        out
+    }
+
+    /// Render the log as deterministic text, one event per line.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "recovery report: {} attempt(s), {} virtual us, plan: {}\n",
+            self.attempts, self.virtual_us, self.plan
+        );
+        for e in &self.events {
+            out.push_str(&format!("  {e}\n"));
+        }
+        out
+    }
+}
+
+/// A supervised execution that (eventually) produced a validated result.
+#[derive(Clone, Debug)]
+pub struct Supervised {
+    /// The validated execution (output, stats, modelled time, artifact).
+    pub execution: Execution,
+    /// What it took to get there.
+    pub recovery: RecoveryReport,
+    /// The launch profile of the successful attempt, with the fault plan
+    /// recorded and the recovery spans merged in.
+    pub profile: LaunchProfile,
+}
+
+/// A supervised execution that exhausted every recovery option.
+#[derive(Debug)]
+pub struct SupervisedError {
+    /// The final, unrecoverable failure.
+    pub error: OperatorError,
+    /// Everything the supervisor tried before giving up.
+    pub report: RecoveryReport,
+}
+
+impl std::fmt::Display for SupervisedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "supervision failed after {} attempt(s): {}",
+            self.report.attempts, self.error
+        )
+    }
+}
+
+impl std::error::Error for SupervisedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// One rung of the configuration ladder the supervisor walks.
+#[derive(Clone, Debug)]
+struct StepSpec {
+    label: String,
+    variant: MemVariant,
+    force_config: Option<(u32, u32)>,
+}
+
+fn engine_label(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Bytecode => "bytecode",
+        Engine::TreeWalk => "tree-walk",
+    }
+}
+
+fn block_list(blocks: &[(u32, u32)]) -> String {
+    blocks
+        .iter()
+        .map(|(x, y)| format!("({x},{y})"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Execute `op` under the supervisor: inject `plan`, validate the
+/// output, and retry / repair / degrade per `cfg` until a validated
+/// result exists or every option is exhausted.
+///
+/// With [`FaultPlan::none`] the result is bit-identical to
+/// [`Operator::execute_with`] on the same engine.
+pub fn supervise(
+    op: &Operator,
+    inputs: &[(&str, &Image<f32>)],
+    target: &Target,
+    engine: Engine,
+    plan: &FaultPlan,
+    cfg: &SupervisorConfig,
+) -> Result<Supervised, SupervisedError> {
+    let mut report = RecoveryReport {
+        plan: plan.summary(),
+        ..RecoveryReport::default()
+    };
+    let fail = |error: OperatorError, mut report: RecoveryReport, step: &str, attempt: u32| {
+        report.events.push(RecoveryEvent {
+            step: step.to_string(),
+            attempt,
+            action: RecoveryAction::Surfaced,
+            detail: error.diagnostic().to_string(),
+            virtual_us: 0,
+        });
+        Err(SupervisedError { error, report })
+    };
+
+    let Some((_, first)) = inputs.first() else {
+        return fail(OperatorError::NoInputs, report, "initial", 0);
+    };
+    let (width, height) = (first.width(), first.height());
+
+    let mut steps = vec![StepSpec {
+        label: "initial".into(),
+        variant: op.options.variant,
+        force_config: op.options.force_config,
+    }];
+    let mut ladder_built = !cfg.fallback;
+    // The fault session's attempt counter is global across rungs, so a
+    // transient plan (faulty_attempts = 1) stays cured after a retry even
+    // if the supervisor later degrades the configuration.
+    let mut fault_attempt: u32 = 0;
+    let mut step_idx = 0;
+
+    while step_idx < steps.len() {
+        let step = steps[step_idx].clone();
+        let mut op_step = op.clone();
+        op_step.options.variant = step.variant;
+        op_step.options.force_config = step.force_config.or(op.options.force_config);
+
+        let mut rec = Recorder::new();
+        let spec_c = op_step.compile_spec(target, width, height);
+        let compiled: CompiledKernel =
+            match Compiler::new().compile_with_sink(&op.def, &spec_c, &mut rec) {
+                Ok(c) => c,
+                Err(e) => {
+                    let resource = e.is_resource_limit();
+                    let err = OperatorError::Compile(e);
+                    if resource && cfg.fallback {
+                        if !ladder_built {
+                            // No tile hint from a failed compile: degrade
+                            // the memory variant only.
+                            steps.extend(ladder_steps(op.options.variant, None));
+                            ladder_built = true;
+                        }
+                        if step_idx + 1 < steps.len() {
+                            report.events.push(RecoveryEvent {
+                                step: step.label.clone(),
+                                attempt: 0,
+                                action: RecoveryAction::Degraded,
+                                detail: format!(
+                                    "{} -> trying {}",
+                                    err.diagnostic(),
+                                    steps[step_idx + 1].label
+                                ),
+                                virtual_us: 0,
+                            });
+                            step_idx += 1;
+                            continue;
+                        }
+                    }
+                    return fail(err, report, &step.label, 0);
+                }
+            };
+        if !ladder_built {
+            steps.extend(ladder_steps(op.options.variant, Some(compiled.config)));
+            ladder_built = true;
+        }
+
+        let mut spec = launch_spec(&compiled, inputs, &op.params, &op.mask_uploads);
+        spec.sim_threads = op.options.sim_threads;
+
+        let mut attempt = 0;
+        while attempt < cfg.max_attempts.max(1) {
+            let session = FaultSession::new(plan.clone(), fault_attempt);
+            report.attempts += 1;
+            fault_attempt += 1;
+            // Pushes the retry event; virtual-time accounting is the
+            // caller's (launch time is already counted on success paths).
+            let retry = |report: &mut RecoveryReport, detail: String, virtual_us: u64| {
+                report.events.push(RecoveryEvent {
+                    step: step.label.clone(),
+                    attempt,
+                    action: RecoveryAction::Retried,
+                    detail,
+                    virtual_us,
+                });
+            };
+
+            match run_on_image_faulted(&compiled.device_kernel, &spec, engine, &session) {
+                Err(e) => {
+                    let err = OperatorError::Sim(e);
+                    let transient = err.class().is_transient();
+                    // Charge the deadline, not the saturated worker time:
+                    // the watchdog cancels *at* the deadline, and a hung
+                    // worker's own clock reads (near) u64::MAX.
+                    let elapsed = match &err {
+                        OperatorError::Sim(hipacc_sim::SimError::DeadlineExceeded {
+                            elapsed_us,
+                            deadline_us,
+                            ..
+                        }) => (*elapsed_us).min(*deadline_us),
+                        _ => 0,
+                    };
+                    if transient && attempt + 1 < cfg.max_attempts {
+                        let backoff = cfg.backoff_base_us << attempt;
+                        report.virtual_us = report
+                            .virtual_us
+                            .saturating_add(elapsed.saturating_add(backoff));
+                        retry(
+                            &mut report,
+                            format!("{} -> backoff {}us", err.diagnostic(), backoff),
+                            elapsed.saturating_add(backoff),
+                        );
+                        attempt += 1;
+                        continue;
+                    }
+                    if transient && cfg.fallback && step_idx + 1 < steps.len() {
+                        report.virtual_us = report.virtual_us.saturating_add(elapsed);
+                        report.events.push(RecoveryEvent {
+                            step: step.label.clone(),
+                            attempt,
+                            action: RecoveryAction::Degraded,
+                            detail: format!(
+                                "retries exhausted -> trying {}",
+                                steps[step_idx + 1].label
+                            ),
+                            virtual_us: elapsed,
+                        });
+                        break; // next rung
+                    }
+                    return fail(err, report, &step.label, attempt);
+                }
+                Ok(run) => {
+                    report.virtual_us += run.run.virtual_us;
+                    if !run.corrupt_const_banks.is_empty() {
+                        let detail =
+                            format!("constant banks corrupted: {:?}", run.corrupt_const_banks);
+                        if attempt + 1 < cfg.max_attempts {
+                            retry(&mut report, detail, run.run.virtual_us);
+                            attempt += 1;
+                            continue;
+                        }
+                        return fail(
+                            OperatorError::Unrecovered(detail),
+                            report,
+                            &step.label,
+                            attempt,
+                        );
+                    }
+
+                    let corrupted = run.run.corrupted_blocks();
+                    if corrupted.is_empty() {
+                        report.events.push(RecoveryEvent {
+                            step: step.label.clone(),
+                            attempt,
+                            action: RecoveryAction::Completed,
+                            detail: "validated clean".into(),
+                            virtual_us: run.run.virtual_us,
+                        });
+                        return finish(
+                            op, target, engine, plan, compiled, run, rec, report, step_idx,
+                        );
+                    }
+
+                    let launch_us = run.run.virtual_us;
+                    match try_repair(&compiled, &spec, engine, &corrupted, run) {
+                        Ok(run) => {
+                            report.events.push(RecoveryEvent {
+                                step: step.label.clone(),
+                                attempt,
+                                action: RecoveryAction::Repaired,
+                                detail: format!(
+                                    "re-executed {} corrupted block(s): {}",
+                                    corrupted.len(),
+                                    block_list(&corrupted)
+                                ),
+                                virtual_us: run.run.virtual_us,
+                            });
+                            return finish(
+                                op, target, engine, plan, compiled, run, rec, report, step_idx,
+                            );
+                        }
+                        Err(detail) => {
+                            if attempt + 1 < cfg.max_attempts {
+                                retry(&mut report, detail, launch_us);
+                                attempt += 1;
+                                continue;
+                            }
+                            return fail(
+                                OperatorError::Unrecovered(detail),
+                                report,
+                                &step.label,
+                                attempt,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if attempt >= cfg.max_attempts.max(1) {
+            // Retries exhausted without a break-to-degrade: surface.
+            return fail(
+                OperatorError::Unrecovered(format!(
+                    "{} attempt(s) exhausted on step `{}`",
+                    cfg.max_attempts, step.label
+                )),
+                report,
+                &step.label,
+                attempt.saturating_sub(1),
+            );
+        }
+        step_idx += 1;
+    }
+
+    let err = OperatorError::Unrecovered("configuration ladder exhausted".into());
+    fail(err, report, "ladder", 0)
+}
+
+/// The degradation ladder as supervisor steps.
+fn ladder_steps(
+    requested: MemVariant,
+    config: Option<hipacc_hwmodel::LaunchConfig>,
+) -> Vec<StepSpec> {
+    fallback_chain(requested, config)
+        .into_iter()
+        .map(|s| StepSpec {
+            label: s.label,
+            variant: s.variant,
+            force_config: s.force_config,
+        })
+        .collect()
+}
+
+/// Selectively re-execute `corrupted` blocks on clean memory, validate
+/// the recomputed stores against the ledger's expected checksums, and
+/// patch them into the run's output. Returns the repaired run, or a
+/// description of why the repair did not validate.
+fn try_repair(
+    compiled: &CompiledKernel,
+    spec: &hipacc_sim::launch::LaunchSpec<'_>,
+    engine: Engine,
+    corrupted: &[(u32, u32)],
+    mut run: FaultedLaunch,
+) -> Result<FaultedLaunch, String> {
+    let (stores, _stats) = repair_blocks(&compiled.device_kernel, spec, engine, corrupted)
+        .map_err(|e| format!("repair failed: {e}"))?;
+    let expected: u64 = run
+        .run
+        .ledger
+        .iter()
+        .filter(|l| corrupted.contains(&(l.bx, l.by)))
+        .fold(0u64, |acc, l| acc.wrapping_add(l.expected));
+    let recomputed = stores.iter().fold(0u64, |acc, s| {
+        combine_hash(acc, store_hash(&s.buf, s.idx, s.value))
+    });
+    if recomputed != expected {
+        return Err(format!(
+            "repair of blocks {} did not validate against the ledger",
+            block_list(corrupted)
+        ));
+    }
+    let raw = run.output.raw_mut();
+    for s in &stores {
+        if s.buf == "OUT" && s.idx < raw.len() {
+            raw[s.idx] = s.value;
+        }
+    }
+    Ok(run)
+}
+
+/// Assemble the successful result: execution, profile (fault plan and
+/// recovery spans included), and the recovery report.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    op: &Operator,
+    target: &Target,
+    engine: Engine,
+    plan: &FaultPlan,
+    compiled: CompiledKernel,
+    run: FaultedLaunch,
+    mut rec: Recorder,
+    report: RecoveryReport,
+    step_idx: usize,
+) -> Result<Supervised, SupervisedError> {
+    let time = op.estimate(&compiled, target);
+    let launch_start = now_us();
+    rec.record(
+        Span::new("execute", "launch", launch_start, run.run.virtual_us.max(1))
+            .arg("engine", engine_label(engine))
+            .arg("workers", run.exec.n_workers.to_string())
+            .arg("blocks", run.exec.blocks.len().to_string()),
+    );
+    let mut spans = rec.into_spans();
+    spans.extend(report.spans(launch_start));
+
+    let regions = LaunchProfile::attribute_regions(&run.exec, |bx, by| {
+        compiled
+            .region_grid
+            .as_ref()
+            .map(|g| g.region_of(bx, by))
+            .unwrap_or(hipacc_codegen::Region::Interior)
+    });
+    let profile = LaunchProfile {
+        kernel: op.def.name.clone(),
+        target: target.label(),
+        engine: engine_label(engine),
+        grid: compiled.grid,
+        block: (compiled.config.bx, compiled.config.by),
+        n_workers: run.exec.n_workers,
+        regions,
+        totals: run.stats,
+        blocks_per_worker: run.exec.blocks_per_worker(),
+        time,
+        occupancy: compiled.occupancy,
+        phase_times: compiled.phase_times.clone(),
+        spans,
+        fault_plan: plan.any_armed().then(|| plan.summary()),
+    };
+    let _ = step_idx;
+    Ok(Supervised {
+        execution: Execution {
+            output: run.output,
+            stats: run.stats,
+            time,
+            compiled,
+        },
+        recovery: report,
+        profile,
+    })
+}
+
+impl Operator {
+    /// [`Self::execute_with`] wrapped in the launch supervisor: inject
+    /// `plan`, validate per-block checksums and constant banks, retry /
+    /// repair / degrade per `cfg`. See [`supervise`].
+    pub fn execute_supervised(
+        &self,
+        inputs: &[(&str, &Image<f32>)],
+        target: &Target,
+        engine: Engine,
+        plan: &FaultPlan,
+        cfg: &SupervisorConfig,
+    ) -> Result<Supervised, SupervisedError> {
+        supervise(self, inputs, target, engine, plan, cfg)
+    }
+}

@@ -1,0 +1,636 @@
+//! Deterministic, seedable fault-injection plans for the SIMT simulator.
+//!
+//! The paper's pipeline compiles one filter into device-specific kernels
+//! and trusts the device to execute them; this crate models the ways a
+//! real accelerator breaks that trust — flipped bits in constant and
+//! global memory, stalled or hung compute units, lost block results,
+//! poisoned boundary reads — so the launch supervisor in `hipacc-core`
+//! can be exercised against every failure class it claims to survive.
+//!
+//! Everything is **reproducible**: a [`FaultPlan`] is a value (seed +
+//! per-class rates), and a [`FaultSession`] derives every decision as a
+//! pure function of `(seed, attempt, block)` through the workspace PCG32.
+//! There is no interior mutability and no wall clock: running the same
+//! plan twice — or asking [`FaultSession::census`] what *would* happen —
+//! always yields the same faults. Retries rotate the `attempt` counter,
+//! which both reshuffles the streams and, once `attempt` reaches
+//! [`FaultPlan::faulty_attempts`], disables the hook entirely: the
+//! standard model of a *transient* fault that a retry cures.
+//!
+//! The crate deliberately depends only on `hipacc-sim` (for the
+//! [`FaultHook`] seam) and `hipacc-image` (for the PCG32); the
+//! supervisor, recovery policy, and reporting live in `hipacc-core`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use hipacc_image::rng::Pcg32;
+use hipacc_sim::inject::{is_border_block, BlockFault, FaultHook};
+use hipacc_sim::memory::DeviceMemory;
+
+/// Stream-separation tags mixed into the per-decision PRNG seeds so the
+/// store-fault, latency, and constant-flip draws are independent.
+const TAG_STORE: u64 = 0x53544f52; // "STOR"
+const TAG_LATENCY: u64 = 0x4c415459; // "LATY"
+const TAG_CONST: u64 = 0x434f4e53; // "CONS"
+
+/// A declarative, seedable description of the faults to inject into one
+/// launch (or a retry sequence of launches).
+///
+/// All rates are probabilities in `[0, 1]` evaluated independently per
+/// block from the plan's seed. A plan is inert when every rate is zero
+/// and `const_flips` is zero — [`FaultPlan::none`] — in which case the
+/// faulted execution paths are bit-identical to the plain ones.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed; every injected fault is a deterministic function of it.
+    pub seed: u64,
+    /// Per-block probability of a bit flip in a store destined for
+    /// global memory (applied to an interior or border block alike).
+    pub global_flip_rate: f32,
+    /// Per-block probability of a bit flip modeling shared-memory
+    /// (scratchpad staging) corruption. Drawn before the global flip;
+    /// first match wins.
+    pub shared_flip_rate: f32,
+    /// XOR mask for flip faults; its population count is the number of
+    /// bits flipped (`1 << 22` models a single-event upset, `0x0018_0000`
+    /// a multi-bit burst).
+    pub flip_bits: u32,
+    /// Number of single-bit flips to apply to the uploaded constant
+    /// banks (mask coefficients) before the launch.
+    pub const_flips: u32,
+    /// Per-block probability that the block's result is dropped
+    /// wholesale (a lost writeback).
+    pub drop_rate: f32,
+    /// Per-**border**-block probability that every output of the block
+    /// is poisoned with NaN (corrupted boundary-region reads).
+    pub poison_boundary_rate: f32,
+    /// Per-block probability of a latency spike of `stall_us`.
+    pub stall_rate: f32,
+    /// Extra virtual microseconds a stalled block costs.
+    pub stall_us: u64,
+    /// Per-block probability of a hang (infinite virtual latency; only a
+    /// launch deadline can recover from it).
+    pub hang_rate: f32,
+    /// Baseline virtual cost per block in microseconds.
+    pub base_block_us: u64,
+    /// Virtual launch deadline; a worker whose accumulated virtual time
+    /// exceeds it cancels the launch.
+    pub deadline_us: Option<u64>,
+    /// How many attempts the faults persist for. The default `1` models
+    /// transient faults: attempt 0 is faulted, every retry runs clean.
+    /// `u32::MAX` models a permanent fault no retry can outlast.
+    pub faulty_attempts: u32,
+    /// Restrict store and latency faults to a single block, for
+    /// targeted drills and repair tests. Constant flips are unaffected.
+    pub target_block: Option<(u32, u32)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            global_flip_rate: 0.0,
+            shared_flip_rate: 0.0,
+            flip_bits: 1 << 22,
+            const_flips: 0,
+            drop_rate: 0.0,
+            poison_boundary_rate: 0.0,
+            stall_rate: 0.0,
+            stall_us: 0,
+            hang_rate: 0.0,
+            base_block_us: 1,
+            deadline_us: None,
+            faulty_attempts: 1,
+            target_block: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults can fire, the faulted paths behave
+    /// bit-identically to the plain ones.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault class is armed (independent of the attempt).
+    pub fn any_armed(&self) -> bool {
+        self.const_flips > 0
+            || [
+                self.global_flip_rate,
+                self.shared_flip_rate,
+                self.drop_rate,
+                self.poison_boundary_rate,
+                self.stall_rate,
+                self.hang_rate,
+            ]
+            .iter()
+            .any(|r| *r > 0.0)
+    }
+
+    /// Drop the result of exactly one block.
+    pub fn drop_block(seed: u64, block: (u32, u32)) -> Self {
+        Self {
+            seed,
+            drop_rate: 1.0,
+            target_block: Some(block),
+            ..Self::default()
+        }
+    }
+
+    /// Flip bits (per `mask`) in one store of exactly one block.
+    pub fn flip_block(seed: u64, block: (u32, u32), mask: u32) -> Self {
+        Self {
+            seed,
+            global_flip_rate: 1.0,
+            flip_bits: mask,
+            target_block: Some(block),
+            ..Self::default()
+        }
+    }
+
+    /// Poison the outputs of one border block with NaN.
+    pub fn poison_block(seed: u64, block: (u32, u32)) -> Self {
+        Self {
+            seed,
+            poison_boundary_rate: 1.0,
+            target_block: Some(block),
+            ..Self::default()
+        }
+    }
+
+    /// Hang exactly one block against a launch deadline.
+    pub fn hang_block(seed: u64, block: (u32, u32), deadline_us: u64) -> Self {
+        Self {
+            seed,
+            hang_rate: 1.0,
+            target_block: Some(block),
+            deadline_us: Some(deadline_us),
+            ..Self::default()
+        }
+    }
+
+    /// Flip `n` bits in the uploaded constant banks.
+    pub fn corrupt_constants(seed: u64, n: u32) -> Self {
+        Self {
+            seed,
+            const_flips: n,
+            ..Self::default()
+        }
+    }
+
+    /// A compact, stable summary string recorded into launch profiles.
+    pub fn summary(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.any_armed() {
+            return write!(f, "fault-plan none");
+        }
+        write!(f, "fault-plan seed={}", self.seed)?;
+        let mut rate = |name: &str, r: f32| -> std::fmt::Result {
+            if r > 0.0 {
+                write!(f, " {name}={r}")?;
+            }
+            Ok(())
+        };
+        rate("gflip", self.global_flip_rate)?;
+        rate("sflip", self.shared_flip_rate)?;
+        rate("drop", self.drop_rate)?;
+        rate("poison", self.poison_boundary_rate)?;
+        rate("stall", self.stall_rate)?;
+        rate("hang", self.hang_rate)?;
+        if self.const_flips > 0 {
+            write!(f, " cflips={}", self.const_flips)?;
+        }
+        if let Some(d) = self.deadline_us {
+            write!(f, " deadline={d}us")?;
+        }
+        if let Some((bx, by)) = self.target_block {
+            write!(f, " target=({bx},{by})")?;
+        }
+        if self.faulty_attempts != 1 {
+            write!(f, " attempts={}", self.faulty_attempts)?;
+        }
+        Ok(())
+    }
+}
+
+/// The class of an injected (or planned) fault, for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Block result discarded before commit.
+    Drop,
+    /// Bit flip in a committed store.
+    Flip,
+    /// Block outputs replaced with NaN.
+    Poison,
+    /// Latency spike on the block.
+    Stall,
+    /// Block never finishes (virtual hang).
+    Hang,
+    /// Bit flip in an uploaded constant bank.
+    ConstFlip,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Flip => "flip",
+            FaultKind::Poison => "poison",
+            FaultKind::Stall => "stall",
+            FaultKind::Hang => "hang",
+            FaultKind::ConstFlip => "const-flip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One fault a session will inject, as enumerated by
+/// [`FaultSession::census`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Target block, when the fault is block-scoped (`None` for
+    /// constant-bank flips, which precede the launch).
+    pub block: Option<(u32, u32)>,
+}
+
+/// One bit flip applied to an uploaded constant bank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstFlip {
+    /// Constant bank (mask) name.
+    pub bank: String,
+    /// Element index within the bank.
+    pub idx: usize,
+    /// Which bit of the IEEE-754 representation is flipped.
+    pub bit: u32,
+}
+
+/// One attempt's worth of fault decisions for a [`FaultPlan`].
+///
+/// Implements the simulator's [`FaultHook`] seam. Stateless and pure:
+/// every decision is recomputed on demand from `(plan.seed, attempt,
+/// block)`, so the engines (which query from worker threads in arbitrary
+/// order) and the census (which enumerates in block order) always agree.
+#[derive(Clone, Debug)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    attempt: u32,
+}
+
+impl FaultSession {
+    /// Session for `attempt` (0-based) of `plan`.
+    pub fn new(plan: FaultPlan, attempt: u32) -> Self {
+        Self { plan, attempt }
+    }
+
+    /// The plan this session draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The attempt index this session injects for.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    fn rng_for(&self, tag: u64, bx: u32, by: u32) -> Pcg32 {
+        let block = ((bx as u64) << 32) | by as u64;
+        let mix = self.plan.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (self.attempt as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            ^ tag.wrapping_mul(0x94d0_49bb_1331_11eb)
+            ^ block.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        Pcg32::seed_from_u64(mix)
+    }
+
+    fn targets(&self, bx: u32, by: u32) -> bool {
+        match self.plan.target_block {
+            Some(t) => t == (bx, by),
+            None => true,
+        }
+    }
+
+    /// The store fault this session injects into block `(bx, by)`.
+    /// Identical to what the engines apply; usable for post-hoc
+    /// reporting without rerunning the launch.
+    pub fn store_fault(&self, bx: u32, by: u32, border: bool) -> BlockFault {
+        if !self.enabled() || !self.targets(bx, by) {
+            return BlockFault::None;
+        }
+        // Fixed draw order; first match wins. Each class consumes its
+        // draws unconditionally so one class's rate never perturbs
+        // another's stream.
+        let mut rng = self.rng_for(TAG_STORE, bx, by);
+        let p_drop = rng.gen_f32();
+        let p_poison = rng.gen_f32();
+        let p_shared = rng.gen_f32();
+        let p_global = rng.gen_f32();
+        let nth = rng.next_u32();
+        if p_drop < self.plan.drop_rate {
+            BlockFault::Drop
+        } else if border && p_poison < self.plan.poison_boundary_rate {
+            BlockFault::Poison
+        } else if p_shared < self.plan.shared_flip_rate || p_global < self.plan.global_flip_rate {
+            BlockFault::FlipBits {
+                nth,
+                mask: self.plan.flip_bits,
+            }
+        } else {
+            BlockFault::None
+        }
+    }
+
+    /// The virtual latency this session charges block `(bx, by)`.
+    pub fn latency(&self, bx: u32, by: u32) -> u64 {
+        if !self.enabled() || !self.targets(bx, by) {
+            return self.plan.base_block_us;
+        }
+        let mut rng = self.rng_for(TAG_LATENCY, bx, by);
+        let p_hang = rng.gen_f32();
+        let p_stall = rng.gen_f32();
+        if p_hang < self.plan.hang_rate {
+            u64::MAX
+        } else if p_stall < self.plan.stall_rate {
+            self.plan.base_block_us.saturating_add(self.plan.stall_us)
+        } else {
+            self.plan.base_block_us
+        }
+    }
+
+    /// The constant-bank bit flips this session applies, given the
+    /// sorted `(bank, len)` table of uploaded banks. Mirrors
+    /// [`FaultHook::corrupt_memory`] exactly.
+    pub fn const_flip_plan(&self, banks: &[(String, usize)]) -> Vec<ConstFlip> {
+        if !self.enabled() || self.plan.const_flips == 0 || banks.is_empty() {
+            return Vec::new();
+        }
+        let total: usize = banks.iter().map(|(_, len)| len).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut flips = Vec::new();
+        for k in 0..self.plan.const_flips {
+            let mut rng = self.rng_for(TAG_CONST, k, 0);
+            let mut slot = rng.gen_below(total as u32) as usize;
+            let bit = rng.gen_below(32);
+            for (bank, len) in banks {
+                if slot < *len {
+                    flips.push(ConstFlip {
+                        bank: bank.clone(),
+                        idx: slot,
+                        bit,
+                    });
+                    break;
+                }
+                slot -= len;
+            }
+        }
+        flips
+    }
+
+    /// Every fault this session will inject into a `grid`-sized launch,
+    /// in deterministic order: constant flips first, then block faults
+    /// in linear block order (latency faults before store faults per
+    /// block). `banks` is the sorted `(name, len)` constant-bank table.
+    pub fn census(&self, grid: (u32, u32), banks: &[(String, usize)]) -> Vec<PlannedFault> {
+        let mut out = Vec::new();
+        for _ in self.const_flip_plan(banks) {
+            out.push(PlannedFault {
+                kind: FaultKind::ConstFlip,
+                block: None,
+            });
+        }
+        for by in 0..grid.1 {
+            for bx in 0..grid.0 {
+                match self.latency(bx, by) {
+                    u64::MAX => out.push(PlannedFault {
+                        kind: FaultKind::Hang,
+                        block: Some((bx, by)),
+                    }),
+                    l if l > self.plan.base_block_us => out.push(PlannedFault {
+                        kind: FaultKind::Stall,
+                        block: Some((bx, by)),
+                    }),
+                    _ => {}
+                }
+                let kind = match self.store_fault(bx, by, is_border_block(bx, by, grid)) {
+                    BlockFault::Drop => Some(FaultKind::Drop),
+                    BlockFault::FlipBits { .. } => Some(FaultKind::Flip),
+                    BlockFault::Poison => Some(FaultKind::Poison),
+                    BlockFault::None => None,
+                };
+                if let Some(kind) = kind {
+                    out.push(PlannedFault {
+                        kind,
+                        block: Some((bx, by)),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The sorted `(name, len)` table of constant banks bound in `mem`:
+    /// the dynamically uploaded banks plus their `_gmask*` global
+    /// fallbacks. This is the domain [`FaultHook::corrupt_memory`] flips
+    /// bits in.
+    pub fn const_banks(mem: &DeviceMemory) -> Vec<(String, usize)> {
+        let mut banks: Vec<(String, usize)> = mem
+            .dynamic_const
+            .iter()
+            .map(|(name, data)| (name.clone(), data.len()))
+            .collect();
+        for name in mem.buffer_names() {
+            if name.starts_with("_gmask") {
+                if let Some(buf) = mem.buffer(&name) {
+                    banks.push((name, buf.data.len()));
+                }
+            }
+        }
+        banks.sort();
+        banks
+    }
+}
+
+impl FaultHook for FaultSession {
+    fn enabled(&self) -> bool {
+        self.plan.any_armed() && self.attempt < self.plan.faulty_attempts
+    }
+
+    fn corrupt_memory(&self, mem: &mut DeviceMemory) {
+        let banks = Self::const_banks(mem);
+        for flip in self.const_flip_plan(&banks) {
+            let cell = match mem.dynamic_const.get_mut(&flip.bank) {
+                Some(data) => data.get_mut(flip.idx),
+                None => mem
+                    .buffer_mut(&flip.bank)
+                    .and_then(|b| b.data.get_mut(flip.idx)),
+            };
+            if let Some(v) = cell {
+                *v = f32::from_bits(v.to_bits() ^ (1 << flip.bit));
+            }
+        }
+    }
+
+    fn block_fault(&self, bx: u32, by: u32, border: bool) -> BlockFault {
+        self.store_fault(bx, by, border)
+    }
+
+    fn block_latency_us(&self, bx: u32, by: u32) -> u64 {
+        self.latency(bx, by)
+    }
+
+    fn deadline_us(&self) -> Option<u64> {
+        if self.enabled() {
+            self.plan.deadline_us
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_is_disabled() {
+        let s = FaultSession::new(FaultPlan::none(), 0);
+        assert!(!s.enabled());
+        assert_eq!(s.store_fault(0, 0, true), BlockFault::None);
+        assert_eq!(s.latency(3, 1), FaultPlan::none().base_block_us);
+        assert_eq!(s.deadline_us(), None);
+        assert_eq!(FaultPlan::none().summary(), "fault-plan none");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_sensitive() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_rate: 0.5,
+            stall_rate: 0.5,
+            stall_us: 100,
+            faulty_attempts: u32::MAX,
+            ..FaultPlan::default()
+        };
+        let a = FaultSession::new(plan.clone(), 0);
+        let b = FaultSession::new(plan.clone(), 0);
+        let c = FaultSession::new(plan, 1);
+        let mut differs = false;
+        for by in 0..8 {
+            for bx in 0..8 {
+                assert_eq!(a.store_fault(bx, by, false), b.store_fault(bx, by, false));
+                assert_eq!(a.latency(bx, by), b.latency(bx, by));
+                differs |= a.store_fault(bx, by, false) != c.store_fault(bx, by, false);
+            }
+        }
+        assert!(differs, "attempt rotation must reshuffle the fault stream");
+    }
+
+    #[test]
+    fn transient_faults_clear_after_faulty_attempts() {
+        let plan = FaultPlan {
+            seed: 3,
+            drop_rate: 1.0,
+            faulty_attempts: 2,
+            ..FaultPlan::default()
+        };
+        assert!(FaultSession::new(plan.clone(), 0).enabled());
+        assert!(FaultSession::new(plan.clone(), 1).enabled());
+        let cured = FaultSession::new(plan, 2);
+        assert!(!cured.enabled());
+        assert_eq!(cured.store_fault(0, 0, false), BlockFault::None);
+    }
+
+    #[test]
+    fn targeting_restricts_block_faults() {
+        let plan = FaultPlan::drop_block(11, (2, 3));
+        let s = FaultSession::new(plan, 0);
+        assert_eq!(s.store_fault(2, 3, false), BlockFault::Drop);
+        assert_eq!(s.store_fault(2, 2, false), BlockFault::None);
+        assert_eq!(s.store_fault(0, 0, true), BlockFault::None);
+    }
+
+    #[test]
+    fn poison_fires_only_on_border_blocks() {
+        let plan = FaultPlan {
+            seed: 5,
+            poison_boundary_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let s = FaultSession::new(plan, 0);
+        assert_eq!(s.store_fault(0, 0, true), BlockFault::Poison);
+        assert_eq!(s.store_fault(1, 1, false), BlockFault::None);
+    }
+
+    #[test]
+    fn census_matches_hook_decisions() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_rate: 0.3,
+            hang_rate: 0.2,
+            poison_boundary_rate: 0.4,
+            faulty_attempts: u32::MAX,
+            ..FaultPlan::default()
+        };
+        let s = FaultSession::new(plan, 0);
+        let grid = (6, 4);
+        let census = s.census(grid, &[]);
+        assert!(!census.is_empty(), "rates this high must plan something");
+        for f in &census {
+            let (bx, by) = f.block.expect("block-scoped fault");
+            match f.kind {
+                FaultKind::Drop => {
+                    assert_eq!(
+                        s.store_fault(bx, by, is_border_block(bx, by, grid)),
+                        BlockFault::Drop
+                    );
+                }
+                FaultKind::Poison => {
+                    assert!(is_border_block(bx, by, grid));
+                }
+                FaultKind::Hang => assert_eq!(s.latency(bx, by), u64::MAX),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn const_flip_plan_is_stable_and_bounded() {
+        let banks = vec![("_cmask".to_string(), 9), ("_gmask0".to_string(), 25)];
+        let plan = FaultPlan::corrupt_constants(9, 3);
+        let s = FaultSession::new(plan, 0);
+        let flips = s.const_flip_plan(&banks);
+        assert_eq!(flips.len(), 3);
+        for f in &flips {
+            let len = banks.iter().find(|(n, _)| *n == f.bank).unwrap().1;
+            assert!(f.idx < len);
+            assert!(f.bit < 32);
+        }
+        assert_eq!(flips, s.const_flip_plan(&banks), "plan must be pure");
+        assert!(s.const_flip_plan(&[]).is_empty());
+    }
+
+    #[test]
+    fn plan_summary_mentions_armed_classes() {
+        let plan = FaultPlan {
+            seed: 1,
+            drop_rate: 0.25,
+            deadline_us: Some(500),
+            target_block: Some((1, 2)),
+            ..FaultPlan::default()
+        };
+        let s = plan.summary();
+        assert!(s.contains("seed=1"), "{s}");
+        assert!(s.contains("drop=0.25"), "{s}");
+        assert!(s.contains("deadline=500us"), "{s}");
+        assert!(s.contains("target=(1,2)"), "{s}");
+    }
+}

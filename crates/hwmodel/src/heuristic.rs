@@ -36,6 +36,28 @@ impl LaunchConfig {
     pub fn grid_for(&self, width: u32, height: u32) -> (u32, u32) {
         (width.div_ceil(self.bx), height.div_ceil(self.by))
     }
+
+    /// The next step of graceful tile degradation: halve the y-tiling
+    /// first (it is the optional dimension Algorithm 2 added for border
+    /// handling), then the block width, never shrinking below
+    /// `min_threads` total threads. Returns `None` once the tile cannot
+    /// shrink further — the degradation chain is exhausted.
+    pub fn halved(&self, min_threads: u32) -> Option<LaunchConfig> {
+        let next = if self.by > 1 {
+            LaunchConfig {
+                bx: self.bx,
+                by: self.by / 2,
+            }
+        } else if self.bx > 1 {
+            LaunchConfig {
+                bx: self.bx / 2,
+                by: 1,
+            }
+        } else {
+            return None;
+        };
+        (next.threads() >= min_threads.max(1)).then_some(next)
+    }
 }
 
 impl std::fmt::Display for LaunchConfig {
@@ -311,6 +333,27 @@ mod tests {
         assert_eq!(c.grid_for(4096, 4096), (32, 4096));
         let c = LaunchConfig { bx: 32, by: 6 };
         assert_eq!(c.grid_for(4096, 4096), (128, 683));
+    }
+
+    #[test]
+    fn halved_degrades_y_then_x_down_to_the_floor() {
+        let mut cfg = LaunchConfig { bx: 128, by: 4 };
+        let mut chain = Vec::new();
+        while let Some(next) = cfg.halved(32) {
+            chain.push(next);
+            cfg = next;
+        }
+        assert_eq!(
+            chain,
+            vec![
+                LaunchConfig { bx: 128, by: 2 },
+                LaunchConfig { bx: 128, by: 1 },
+                LaunchConfig { bx: 64, by: 1 },
+                LaunchConfig { bx: 32, by: 1 },
+            ]
+        );
+        assert_eq!(cfg.halved(32), None, "at the floor");
+        assert_eq!(LaunchConfig { bx: 1, by: 1 }.halved(1), None);
     }
 
     #[test]

@@ -2089,7 +2089,7 @@ impl CompiledKernel {
     /// The bound buffers must still have the geometry observed at compile
     /// time (the interior checks were derived from it).
     pub fn run(&self, mem: &mut DeviceMemory) -> Result<ExecStats, SimError> {
-        self.run_inner(mem, false).map(|(stats, _)| stats)
+        self.run_inner(mem, false, None).map(|(stats, _, _)| stats)
     }
 
     /// [`Self::run`] while recording per-block statistics: identical
@@ -2101,19 +2101,67 @@ impl CompiledKernel {
         &self,
         mem: &mut DeviceMemory,
     ) -> Result<(ExecStats, crate::sched::ExecProfile), SimError> {
-        let (stats, profile) = self.run_inner(mem, true)?;
+        let (stats, profile, _) = self.run_inner(mem, true, None)?;
         Ok((stats, profile.expect("profiling requested")))
     }
 
-    fn run_inner(
+    /// [`Self::run_profiled`] with a fault injector attached: the hook may
+    /// corrupt memory, stall or hang workers on the virtual clock, and
+    /// mutate or drop block stores before commit, mirroring
+    /// [`crate::interp::execute_faulted`] exactly. Note that constant
+    /// banks are captured at [`compile`] time, so constant-memory
+    /// corruption must be applied to the [`DeviceMemory`] *before*
+    /// compiling (the launch-level entry point does this).
+    pub fn run_faulted(
         &self,
         mem: &mut DeviceMemory,
-        profile: bool,
-    ) -> Result<(ExecStats, Option<crate::sched::ExecProfile>), SimError> {
-        let mem_ro: &DeviceMemory = mem;
+        hook: &dyn crate::inject::FaultHook,
+    ) -> Result<
+        (
+            ExecStats,
+            crate::sched::ExecProfile,
+            crate::inject::FaultedRun,
+        ),
+        SimError,
+    > {
+        let (stats, profile, faults) = self.run_inner(mem, true, Some(hook))?;
+        Ok((
+            stats,
+            profile.expect("profiling requested"),
+            faults.expect("fault hook attached"),
+        ))
+    }
+
+    /// Re-execute the listed blocks fault-free and return their stores
+    /// *without committing them* — the bytecode half of the
+    /// selective-repair primitive ([`crate::interp::execute_blocks`] is
+    /// the tree-walk half).
+    pub fn run_blocks(
+        &self,
+        mem: &DeviceMemory,
+        blocks: &[(u32, u32)],
+    ) -> Result<(Vec<crate::inject::RepairStore>, ExecStats), SimError> {
+        let bufs = self.buffer_views(mem)?;
+        let mut out = Vec::new();
+        let mut stats = ExecStats::default();
+        for &(bx, by) in blocks {
+            let (stores, block_stats) = run_block(self, &bufs, bx, by)?;
+            stats.merge(&block_stats);
+            out.extend(stores.into_iter().map(|s| crate::inject::RepairStore {
+                buf: self.globals[s.buf as usize].name.clone(),
+                idx: s.idx as usize,
+                value: s.value,
+            }));
+        }
+        Ok((out, stats))
+    }
+
+    /// Resolve the binding table against bound memory (shared by the run
+    /// paths and the repair path).
+    fn buffer_views<'m>(&self, mem: &'m DeviceMemory) -> Result<Vec<BufView<'m>>, SimError> {
         let mut bufs = Vec::with_capacity(self.globals.len());
         for g in &self.globals {
-            let b = mem_ro
+            let b = mem
                 .buffer(&g.name)
                 .ok_or_else(|| SimError::UnboundBuffer(g.name.clone()))?;
             if b.geom != g.geom {
@@ -2130,18 +2178,43 @@ impl CompiledKernel {
                 mode: g.mode,
             });
         }
+        Ok(bufs)
+    }
+
+    fn run_inner(
+        &self,
+        mem: &mut DeviceMemory,
+        profile: bool,
+        hook: Option<&dyn crate::inject::FaultHook>,
+    ) -> Result<
+        (
+            ExecStats,
+            Option<crate::sched::ExecProfile>,
+            Option<crate::inject::FaultedRun>,
+        ),
+        SimError,
+    > {
+        // A disabled hook leaves this launch byte-for-byte on the plain
+        // path. Constant banks were captured at compile time, so
+        // corrupt_memory must already have run before [`compile`]; the
+        // launch-level entry point owns that ordering.
+        let hook = hook.filter(|h| h.enabled());
+        let deadline = hook.and_then(|h| h.deadline_us());
+
+        let bufs = self.buffer_views(mem)?;
 
         let (gx, gy) = self.grid;
         let blocks: Vec<(u32, u32)> = (0..gy)
             .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
             .collect();
-        let n_workers = crate::sched::effective_workers(self.sim_threads, blocks.len());
+        let n_workers = crate::sched::effective_workers(self.sim_threads, blocks.len())?;
 
         // Strided block-to-worker assignment with results keyed by the
         // linear block index, exactly like the tree-walk engine: stores
         // are applied in block order afterwards, so outputs stay
-        // bit-identical regardless of the worker count.
-        type BlockOut = (usize, Vec<StoreRec>, ExecStats);
+        // bit-identical regardless of the worker count. The trailing u64
+        // is the block's virtual latency (0 without a fault hook).
+        type BlockOut = (usize, Vec<StoreRec>, ExecStats, u64);
         let bufs_ref = &bufs;
         let blocks_ref = &blocks;
         let mut results: Vec<Result<Vec<BlockOut>, SimError>> = Vec::new();
@@ -2154,10 +2227,25 @@ impl CompiledKernel {
                         n_workers,
                         w,
                     ));
+                    let mut vtime: u64 = 0;
                     for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
                         let (bx, by) = blocks_ref[i];
+                        let mut lat = 0u64;
+                        if let Some(h) = hook {
+                            lat = h.block_latency_us(bx, by);
+                            vtime = vtime.saturating_add(lat);
+                            if let Some(d) = deadline {
+                                if vtime > d {
+                                    return Err(SimError::DeadlineExceeded {
+                                        worker: w,
+                                        elapsed_us: vtime,
+                                        deadline_us: d,
+                                    });
+                                }
+                            }
+                        }
                         let (s, block_stats) = run_block(self, bufs_ref, bx, by)?;
-                        out.push((i, s, block_stats));
+                        out.push((i, s, block_stats, lat));
                     }
                     Ok(out)
                 }));
@@ -2168,11 +2256,12 @@ impl CompiledKernel {
         });
         drop(bufs);
 
-        let mut slots: Vec<Option<(usize, Vec<StoreRec>, ExecStats)>> =
-            (0..blocks.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<BlockOut>> = (0..blocks.len()).map(|_| None).collect();
+        let mut worker_vtime = vec![0u64; n_workers];
         for (w, result) in results.into_iter().enumerate() {
-            for (i, stores, stats) in result? {
-                slots[i] = Some((w, stores, stats));
+            for (i, stores, stats, lat) in result? {
+                worker_vtime[w] = worker_vtime[w].saturating_add(lat);
+                slots[i] = Some((w, stores, stats, lat));
             }
         }
 
@@ -2181,16 +2270,58 @@ impl CompiledKernel {
             n_workers,
             blocks: Vec::with_capacity(blocks.len()),
         });
+        let mut faulted = hook.map(|_| crate::inject::FaultedRun {
+            ledger: Vec::with_capacity(blocks.len()),
+            virtual_us: worker_vtime.iter().copied().max().unwrap_or(0),
+        });
         for (i, slot) in slots.into_iter().enumerate() {
-            let (worker, stores, block_stats) = slot.expect("every block ran");
+            let (worker, mut stores, block_stats, lat) = slot.expect("every block ran");
             stats_total.merge(&block_stats);
+            let (bx, by) = blocks[i];
             if let Some(p) = exec_profile.as_mut() {
-                let (bx, by) = blocks[i];
                 p.blocks.push(crate::sched::BlockProfile {
                     bx,
                     by,
                     worker,
                     stats: block_stats,
+                });
+            }
+            if let (Some(h), Some(run)) = (hook, faulted.as_mut()) {
+                use crate::inject::{combine_hash, store_hash, BlockFault, POISON_BITS};
+                let border = crate::inject::is_border_block(bx, by, self.grid);
+                let mut expected = 0u64;
+                for st in &stores {
+                    let name = &self.globals[st.buf as usize].name;
+                    expected = combine_hash(expected, store_hash(name, st.idx as usize, st.value));
+                }
+                match h.block_fault(bx, by, border) {
+                    BlockFault::None => {}
+                    BlockFault::Drop => stores.clear(),
+                    BlockFault::FlipBits { nth, mask } => {
+                        if !stores.is_empty() {
+                            let t = nth as usize % stores.len();
+                            stores[t].value = f32::from_bits(stores[t].value.to_bits() ^ mask);
+                        }
+                    }
+                    BlockFault::Poison => {
+                        for st in &mut stores {
+                            st.value = f32::from_bits(POISON_BITS);
+                        }
+                    }
+                }
+                let mut committed = 0u64;
+                for st in &stores {
+                    let name = &self.globals[st.buf as usize].name;
+                    committed =
+                        combine_hash(committed, store_hash(name, st.idx as usize, st.value));
+                }
+                run.ledger.push(crate::inject::BlockLedger {
+                    bx,
+                    by,
+                    border,
+                    expected,
+                    committed,
+                    virtual_us: lat,
                 });
             }
             for st in stores {
@@ -2201,7 +2332,7 @@ impl CompiledKernel {
                 buf.data[st.idx as usize] = st.value;
             }
         }
-        Ok((stats_total, exec_profile))
+        Ok((stats_total, exec_profile, faulted))
     }
 }
 

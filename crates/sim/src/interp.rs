@@ -47,6 +47,23 @@ pub enum SimError {
     /// Expression evaluation failed (type confusion — should be caught by
     /// the device type check).
     EvalError(String),
+    /// The `HIPACC_SIM_THREADS` environment variable held a non-numeric
+    /// or zero value (see [`crate::sched::parse_thread_env`]).
+    InvalidThreadCount(String),
+    /// The launch geometry is invalid (zero-sized grid or block, or an
+    /// empty iteration space) — rejected before dispatch.
+    InvalidLaunch(String),
+    /// A worker's virtual clock passed the launch deadline (a hung or
+    /// badly stalled worker under fault injection); the launch was
+    /// cancelled.
+    DeadlineExceeded {
+        /// Worker whose virtual clock tripped the deadline.
+        worker: usize,
+        /// The worker's accumulated virtual time in µs (saturating).
+        elapsed_us: u64,
+        /// The deadline it exceeded, in µs.
+        deadline_us: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +75,27 @@ impl fmt::Display for SimError {
             SimError::DivisionByZero => write!(f, "integer division by zero"),
             SimError::NestedBarrier => write!(f, "barrier inside control flow"),
             SimError::EvalError(m) => write!(f, "evaluation error: {m}"),
+            SimError::InvalidThreadCount(m) => write!(f, "invalid worker count: {m}"),
+            SimError::InvalidLaunch(m) => write!(f, "invalid launch: {m}"),
+            SimError::DeadlineExceeded {
+                worker,
+                elapsed_us,
+                deadline_us,
+            } => {
+                if *elapsed_us == u64::MAX {
+                    write!(
+                        f,
+                        "launch deadline exceeded: worker {worker} hung (virtual \
+                         clock saturated) against a {deadline_us} µs deadline"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "launch deadline exceeded: worker {worker} at {elapsed_us} µs \
+                         (virtual) against a {deadline_us} µs deadline"
+                    )
+                }
+            }
         }
     }
 }
@@ -616,7 +654,7 @@ pub fn execute(
     params: &LaunchParams,
     mem: &mut DeviceMemory,
 ) -> Result<ExecStats, SimError> {
-    execute_inner(kernel, params, mem, false, false).map(|(stats, _, _)| stats)
+    execute_inner(kernel, params, mem, false, false, None).map(|(stats, _, _, _)| stats)
 }
 
 /// Execute a kernel launch while recording per-block statistics: identical
@@ -630,8 +668,59 @@ pub fn execute_profiled(
     params: &LaunchParams,
     mem: &mut DeviceMemory,
 ) -> Result<(ExecStats, crate::sched::ExecProfile), SimError> {
-    let (stats, _, profile) = execute_inner(kernel, params, mem, false, true)?;
+    let (stats, _, profile, _) = execute_inner(kernel, params, mem, false, true, None)?;
     Ok((stats, profile.expect("profiling requested")))
+}
+
+/// Execute a kernel launch with a fault injector attached: semantics are
+/// identical to [`execute_profiled`] except that the hook may corrupt
+/// memory, stall or hang workers on the virtual clock, and mutate or drop
+/// block stores before commit. Returns the per-block execution profile
+/// plus the per-block checksum ledger (see [`crate::inject`]).
+pub fn execute_faulted(
+    kernel: &DeviceKernelDef,
+    params: &LaunchParams,
+    mem: &mut DeviceMemory,
+    hook: &dyn crate::inject::FaultHook,
+) -> Result<
+    (
+        ExecStats,
+        crate::sched::ExecProfile,
+        crate::inject::FaultedRun,
+    ),
+    SimError,
+> {
+    let (stats, _, profile, faults) = execute_inner(kernel, params, mem, false, true, Some(hook))?;
+    Ok((
+        stats,
+        profile.expect("profiling requested"),
+        faults.expect("fault hook attached"),
+    ))
+}
+
+/// Re-execute the listed blocks fault-free against the bound memory and
+/// return their stores *without committing them* — the selective-repair
+/// primitive. Input buffers are read-only during a launch and generated
+/// kernels write disjoint cells per block, so re-running a block in
+/// isolation reproduces exactly the stores of a clean launch.
+pub fn execute_blocks(
+    kernel: &DeviceKernelDef,
+    params: &LaunchParams,
+    mem: &DeviceMemory,
+    blocks: &[(u32, u32)],
+) -> Result<(Vec<crate::inject::RepairStore>, ExecStats), SimError> {
+    let mut out = Vec::new();
+    let mut stats = ExecStats::default();
+    for &(bx, by) in blocks {
+        let (stores, block_stats, _) = run_block(kernel, mem, params, bx, by, false)?;
+        stats.merge(&block_stats);
+        out.extend(stores.into_iter().map(|s| crate::inject::RepairStore {
+            buf: s.buf,
+            idx: s.idx,
+            value: s.value,
+        }));
+    }
+    Ok((out, stats))
 }
 
 /// Execute a kernel launch with the dynamic observer attached: identical
@@ -643,12 +732,22 @@ pub fn execute_observed(
     params: &LaunchParams,
     mem: &mut DeviceMemory,
 ) -> Result<(ExecStats, ObserverReport), SimError> {
-    let (stats, report, _) = execute_inner(kernel, params, mem, true, false)?;
+    let (stats, report, _, _) = execute_inner(kernel, params, mem, true, false, None)?;
     let mut report = report.unwrap_or_default();
     report.global_oob_reads = stats.oob_reads;
     report.global_oob_stores = stats.oob_stores;
     Ok((stats, report))
 }
+
+/// Everything [`execute_inner`] can produce, depending on what the entry
+/// point asked for: stats always, plus the optional observer report,
+/// per-block profile, and fault-plane ledger.
+type InnerOutcome = (
+    ExecStats,
+    Option<ObserverReport>,
+    Option<crate::sched::ExecProfile>,
+    Option<crate::inject::FaultedRun>,
+);
 
 fn execute_inner(
     kernel: &DeviceKernelDef,
@@ -656,14 +755,8 @@ fn execute_inner(
     mem: &mut DeviceMemory,
     observe: bool,
     profile: bool,
-) -> Result<
-    (
-        ExecStats,
-        Option<ObserverReport>,
-        Option<crate::sched::ExecProfile>,
-    ),
-    SimError,
-> {
+    hook: Option<&dyn crate::inject::FaultHook>,
+) -> Result<InnerOutcome, SimError> {
     // Every scalar parameter must be supplied.
     for p in &kernel.scalars {
         if !params.scalars.contains_key(&p.name) {
@@ -676,18 +769,34 @@ fn execute_inner(
         }
     }
 
+    // The fault hook participates only when it says it can fire; a
+    // disabled hook leaves this launch byte-for-byte on the plain path.
+    // Memory corruption is NOT applied here: the launch-level entry point
+    // owns that ordering (it must corrupt before bytecode compilation
+    // captures the constant banks), and both engines must see identically
+    // corrupted memory.
+    let hook = hook.filter(|h| h.enabled());
+    let deadline = hook.and_then(|h| h.deadline_us());
+
     let (gx, gy) = params.grid;
     let blocks: Vec<(u32, u32)> = (0..gy)
         .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
         .collect();
 
-    let n_workers = crate::sched::effective_workers(params.sim_threads, blocks.len());
+    let n_workers = crate::sched::effective_workers(params.sim_threads, blocks.len())?;
 
     // Each worker returns its per-block results keyed by the linear block
     // index; the main thread re-assembles them into block order below, so
     // store application (and report merging) stays deterministic and
-    // independent of the worker count.
-    type BlockOut = (usize, Vec<PendingStore>, ExecStats, Option<ObserverReport>);
+    // independent of the worker count. The trailing u64 is the block's
+    // virtual latency (always 0 without a fault hook).
+    type BlockOut = (
+        usize,
+        Vec<PendingStore>,
+        ExecStats,
+        Option<ObserverReport>,
+        u64,
+    );
     let mem_ro: &DeviceMemory = mem;
     let blocks_ref = &blocks;
     let mut results: Vec<Result<Vec<BlockOut>, SimError>> = Vec::new();
@@ -697,11 +806,28 @@ fn execute_inner(
             handles.push(scope.spawn(move || {
                 let mut out: Vec<BlockOut> =
                     Vec::with_capacity(crate::sched::worker_share(blocks_ref.len(), n_workers, w));
+                let mut vtime: u64 = 0;
                 for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
                     let (bx, by) = blocks_ref[i];
+                    let mut lat = 0u64;
+                    if let Some(h) = hook {
+                        lat = h.block_latency_us(bx, by);
+                        vtime = vtime.saturating_add(lat);
+                        if let Some(d) = deadline {
+                            if vtime > d {
+                                // A hung (or badly stalled) block: the
+                                // supervisor's deadline cancels the launch.
+                                return Err(SimError::DeadlineExceeded {
+                                    worker: w,
+                                    elapsed_us: vtime,
+                                    deadline_us: d,
+                                });
+                            }
+                        }
+                    }
                     let (s, block_stats, block_report) =
                         run_block(kernel, mem_ro, params, bx, by, observe)?;
-                    out.push((i, s, block_stats, block_report));
+                    out.push((i, s, block_stats, block_report, lat));
                 }
                 Ok(out)
             }));
@@ -711,12 +837,14 @@ fn execute_inner(
         }
     });
 
-    // Reassemble into linear block order ((worker, stores, stats, report)
-    // per block, as in BlockOut but keyed by position).
+    // Reassemble into linear block order ((worker, stores, stats, report,
+    // latency) per block, as in BlockOut but keyed by position).
     let mut slots: Vec<Option<BlockOut>> = (0..blocks.len()).map(|_| None).collect();
+    let mut worker_vtime = vec![0u64; n_workers];
     for (w, result) in results.into_iter().enumerate() {
-        for (i, stores, stats, report) in result? {
-            slots[i] = Some((w, stores, stats, report));
+        for (i, stores, stats, report, lat) in result? {
+            worker_vtime[w] = worker_vtime[w].saturating_add(lat);
+            slots[i] = Some((w, stores, stats, report, lat));
         }
     }
 
@@ -726,22 +854,61 @@ fn execute_inner(
         n_workers,
         blocks: Vec::with_capacity(blocks.len()),
     });
+    let mut faulted = hook.map(|_| crate::inject::FaultedRun {
+        ledger: Vec::with_capacity(blocks.len()),
+        virtual_us: worker_vtime.iter().copied().max().unwrap_or(0),
+    });
     // Generated kernels write each output pixel exactly once, so two
     // stores landing on one cell mean overlapping iteration spaces.
     let mut store_counts: HashMap<(String, usize), u64> = HashMap::new();
     for (i, slot) in slots.into_iter().enumerate() {
-        let (worker, stores, block_stats, block_report) = slot.expect("every block ran");
+        let (worker, mut stores, block_stats, block_report, lat) = slot.expect("every block ran");
         stats_total.merge(&block_stats);
         if let (Some(total), Some(r)) = (report_total.as_mut(), block_report.as_ref()) {
             total.merge(r);
         }
+        let (bx, by) = blocks[i];
         if let Some(p) = exec_profile.as_mut() {
-            let (bx, by) = blocks[i];
             p.blocks.push(crate::sched::BlockProfile {
                 bx,
                 by,
                 worker,
                 stats: block_stats,
+            });
+        }
+        if let (Some(h), Some(run)) = (hook, faulted.as_mut()) {
+            use crate::inject::{combine_hash, store_hash, BlockFault, POISON_BITS};
+            let border = crate::inject::is_border_block(bx, by, params.grid);
+            let mut expected = 0u64;
+            for st in &stores {
+                expected = combine_hash(expected, store_hash(&st.buf, st.idx, st.value));
+            }
+            match h.block_fault(bx, by, border) {
+                BlockFault::None => {}
+                BlockFault::Drop => stores.clear(),
+                BlockFault::FlipBits { nth, mask } => {
+                    if !stores.is_empty() {
+                        let t = nth as usize % stores.len();
+                        stores[t].value = f32::from_bits(stores[t].value.to_bits() ^ mask);
+                    }
+                }
+                BlockFault::Poison => {
+                    for st in &mut stores {
+                        st.value = f32::from_bits(POISON_BITS);
+                    }
+                }
+            }
+            let mut committed = 0u64;
+            for st in &stores {
+                committed = combine_hash(committed, store_hash(&st.buf, st.idx, st.value));
+            }
+            run.ledger.push(crate::inject::BlockLedger {
+                bx,
+                by,
+                border,
+                expected,
+                committed,
+                virtual_us: lat,
             });
         }
         for st in stores {
@@ -762,7 +929,7 @@ fn execute_inner(
         }
     }
 
-    Ok((stats_total, report_total, exec_profile))
+    Ok((stats_total, report_total, exec_profile, faulted))
 }
 
 #[cfg(test)]

@@ -125,6 +125,123 @@ pub fn run_on_image_profiled(
     Ok((LaunchResult { output, stats }, profile))
 }
 
+/// Result of a simulated launch under fault injection.
+#[derive(Clone, Debug)]
+pub struct FaultedLaunch {
+    /// The output image (downloaded `OUT` buffer, faults included).
+    pub output: Image<f32>,
+    /// Dynamic execution statistics of the (faulted) launch.
+    pub stats: ExecStats,
+    /// Per-block execution profile.
+    pub exec: crate::sched::ExecProfile,
+    /// Per-block checksum ledger and virtual launch time.
+    pub run: crate::inject::FaultedRun,
+    /// Constant banks whose contents no longer match what was uploaded —
+    /// the result of the post-launch constant-memory scrub. Non-empty
+    /// means every output of this launch is suspect.
+    pub corrupt_const_banks: Vec<String>,
+}
+
+/// Run a device kernel with a fault injector attached.
+///
+/// Semantics with a disabled hook are identical to
+/// [`run_on_image_with`]; an enabled hook may corrupt constant banks
+/// before execution, stall or hang workers on the virtual clock
+/// (cancelled via [`SimError::DeadlineExceeded`] when the hook sets a
+/// deadline), and drop or corrupt block stores before commit. After the
+/// launch the uploaded constant banks are scrubbed against the spec's
+/// coefficients, the simulator-side equivalent of a parameter-bank CRC.
+pub fn run_on_image_faulted(
+    kernel: &DeviceKernelDef,
+    spec: &LaunchSpec<'_>,
+    engine: Engine,
+    hook: &dyn crate::inject::FaultHook,
+) -> Result<FaultedLaunch, SimError> {
+    let (mut mem, params) = prepare(kernel, spec)?;
+    if !hook.enabled() {
+        // Disabled hook (inert plan, or a transient session past its
+        // faulty attempts): take the plain profiled path so the launch
+        // is byte-for-byte and cost-for-cost identical to an unfaulted
+        // one, and report an empty (trivially clean) ledger.
+        let (stats, exec) = match engine {
+            Engine::Bytecode => {
+                crate::bytecode::compile(kernel, &params, &mem)?.run_profiled(&mut mem)?
+            }
+            Engine::TreeWalk => crate::interp::execute_profiled(kernel, &params, &mut mem)?,
+        };
+        let output = download_output(&mem)?;
+        return Ok(FaultedLaunch {
+            output,
+            stats,
+            exec,
+            run: crate::inject::FaultedRun::default(),
+            corrupt_const_banks: Vec::new(),
+        });
+    }
+    // The bytecode engine captures constant banks at compile time, so
+    // memory corruption must land before either engine compiles.
+    hook.corrupt_memory(&mut mem);
+    let (stats, exec, run) = match engine {
+        Engine::Bytecode => {
+            crate::bytecode::compile(kernel, &params, &mem)?.run_faulted(&mut mem, hook)?
+        }
+        Engine::TreeWalk => crate::interp::execute_faulted(kernel, &params, &mut mem, hook)?,
+    };
+    let output = download_output(&mem)?;
+    Ok(FaultedLaunch {
+        output,
+        stats,
+        exec,
+        run,
+        corrupt_const_banks: scrub_const_banks(&mem, spec),
+    })
+}
+
+/// Compare the uploaded constant banks (dynamic constant buffers and
+/// their `_gmask*` global fallbacks) against the coefficients the spec
+/// uploaded. Returns the names of banks that differ bit-for-bit.
+fn scrub_const_banks(mem: &DeviceMemory, spec: &LaunchSpec<'_>) -> Vec<String> {
+    let mut corrupt: Vec<String> = Vec::new();
+    for (name, coeffs) in &spec.mask_data {
+        let dirty = if let Some(bank) = mem.dynamic_const.get(name) {
+            bank.iter()
+                .map(|v| v.to_bits())
+                .ne(coeffs.iter().map(|v| v.to_bits()))
+        } else if let Some(buf) = mem.buffer(name) {
+            buf.data
+                .iter()
+                .map(|v| v.to_bits())
+                .ne(coeffs.iter().map(|v| v.to_bits()))
+        } else {
+            false
+        };
+        if dirty {
+            corrupt.push(name.clone());
+        }
+    }
+    corrupt.sort();
+    corrupt
+}
+
+/// Re-execute the listed blocks fault-free on freshly prepared memory and
+/// return their stores (buffer-name resolved) plus the re-execution
+/// statistics — the launch-level selective-repair primitive. The caller
+/// patches the stores into its downloaded output.
+pub fn repair_blocks(
+    kernel: &DeviceKernelDef,
+    spec: &LaunchSpec<'_>,
+    engine: Engine,
+    blocks: &[(u32, u32)],
+) -> Result<(Vec<crate::inject::RepairStore>, ExecStats), SimError> {
+    let (mem, params) = prepare(kernel, spec)?;
+    match engine {
+        Engine::Bytecode => {
+            crate::bytecode::compile(kernel, &params, &mem)?.run_blocks(&mem, blocks)
+        }
+        Engine::TreeWalk => crate::interp::execute_blocks(kernel, &params, &mem, blocks),
+    }
+}
+
 fn download_output(mem: &DeviceMemory) -> Result<Image<f32>, SimError> {
     Ok(mem
         .buffer("OUT")
@@ -132,11 +249,40 @@ fn download_output(mem: &DeviceMemory) -> Result<Image<f32>, SimError> {
         .to_image())
 }
 
+/// Reject launch geometries that would otherwise dispatch nothing or
+/// panic mid-launch: zero-sized grids or blocks and empty iteration
+/// spaces fail here, before any buffer is bound.
+fn validate_spec(spec: &LaunchSpec<'_>) -> Result<(), SimError> {
+    if spec.grid.0 == 0 || spec.grid.1 == 0 {
+        return Err(SimError::InvalidLaunch(format!(
+            "grid {}x{} has a zero dimension",
+            spec.grid.0, spec.grid.1
+        )));
+    }
+    if spec.block.0 == 0 || spec.block.1 == 0 {
+        return Err(SimError::InvalidLaunch(format!(
+            "block {}x{} has a zero dimension",
+            spec.block.0, spec.block.1
+        )));
+    }
+    for name in ["is_width", "is_height"] {
+        if let Some(Const::Int(v)) = spec.scalars.get(name) {
+            if *v <= 0 {
+                return Err(SimError::InvalidLaunch(format!(
+                    "iteration space is empty ({name} = {v})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Bind buffers, masks and geometry scalars for a launch.
 fn prepare(
     kernel: &DeviceKernelDef,
     spec: &LaunchSpec<'_>,
 ) -> Result<(DeviceMemory, LaunchParams), SimError> {
+    validate_spec(spec)?;
     let reference = spec
         .inputs
         .values()
@@ -325,6 +471,51 @@ mod tests {
         let tw = run_on_image_with(&k, &spec, Engine::TreeWalk).unwrap();
         assert_eq!(bc.stats, tw.stats);
         assert_eq!(bc.output.max_abs_diff(&tw.output), 0.0);
+    }
+
+    #[test]
+    fn zero_sized_launches_are_rejected_before_dispatch() {
+        let img = Image::from_fn(8, 8, |x, _| x as f32);
+        let mut inputs = HashMap::new();
+        inputs.insert("IN".to_string(), &img);
+        for (grid, block) in [
+            ((0, 1), (32, 1)),
+            ((1, 0), (32, 1)),
+            ((1, 1), (0, 1)),
+            ((1, 1), (32, 0)),
+        ] {
+            let spec = LaunchSpec {
+                grid,
+                block,
+                inputs: inputs.clone(),
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    run_on_image(&add_one_kernel(), &spec).unwrap_err(),
+                    SimError::InvalidLaunch(_)
+                ),
+                "grid {grid:?} block {block:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_iteration_space_is_rejected_before_dispatch() {
+        let img = Image::from_fn(8, 8, |x, _| x as f32);
+        let mut inputs = HashMap::new();
+        inputs.insert("IN".to_string(), &img);
+        let mut scalars = HashMap::new();
+        scalars.insert("is_width".to_string(), Const::Int(0));
+        let spec = LaunchSpec {
+            grid: (1, 8),
+            block: (8, 1),
+            inputs,
+            scalars,
+            ..Default::default()
+        };
+        let err = run_on_image(&add_one_kernel(), &spec).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch(ref m) if m.contains("is_width")));
     }
 
     #[test]

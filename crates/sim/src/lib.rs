@@ -47,6 +47,7 @@
 
 pub mod banks;
 pub mod bytecode;
+pub mod inject;
 pub mod interp;
 pub mod launch;
 pub mod memory;
@@ -55,12 +56,13 @@ pub mod sched;
 pub mod timing;
 
 pub use bytecode::{compile, execute as execute_bytecode, CompiledKernel};
+pub use inject::{BlockFault, BlockLedger, FaultHook, FaultedRun, RepairStore};
 pub use interp::{execute, execute_observed, execute_profiled, ExecStats, SimError};
 pub use launch::{
-    run_on_image, run_on_image_observed, run_on_image_profiled, run_on_image_with, Engine,
-    LaunchResult,
+    repair_blocks, run_on_image, run_on_image_faulted, run_on_image_observed,
+    run_on_image_profiled, run_on_image_with, Engine, FaultedLaunch, LaunchResult,
 };
 pub use memory::{DeviceMemory, LaunchParams};
 pub use observer::ObserverReport;
-pub use sched::{effective_workers, BlockProfile, ExecProfile};
+pub use sched::{effective_workers, parse_thread_env, BlockProfile, ExecProfile};
 pub use timing::{estimate_time, TimeBreakdown, TimingInput};

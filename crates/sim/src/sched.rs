@@ -19,10 +19,28 @@
 //!
 //! [`LaunchParams::sim_threads`]: crate::memory::LaunchParams::sim_threads
 
-use crate::interp::ExecStats;
+use crate::interp::{ExecStats, SimError};
 
 /// Environment variable overriding the worker count (lowest precedence).
 pub const THREADS_ENV: &str = "HIPACC_SIM_THREADS";
+
+/// Parse a `HIPACC_SIM_THREADS` value: a positive decimal integer.
+///
+/// Non-numeric input and zero are rejected with a description — a typo'd
+/// override must fail the launch, not silently fall back to the machine's
+/// parallelism (which can hide a 10× reproducibility bug in benchmarks).
+pub fn parse_thread_env(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV} must be a positive worker count, got `0`"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{THREADS_ENV} must be a positive integer, got `{trimmed}`"
+        )),
+    }
+}
 
 /// Resolve the effective worker count for a launch of `n_blocks` blocks.
 ///
@@ -31,20 +49,22 @@ pub const THREADS_ENV: &str = "HIPACC_SIM_THREADS";
 /// [`std::thread::available_parallelism`]. The result is clamped to
 /// `1..=n_blocks` (at least one worker, never more workers than blocks).
 ///
+/// An invalid `HIPACC_SIM_THREADS` value (non-numeric or zero) is a
+/// launch error ([`SimError::InvalidThreadCount`]), not a silent
+/// fallback.
+///
 /// [`LaunchParams`]: crate::memory::LaunchParams
-pub fn effective_workers(requested: Option<usize>, n_blocks: usize) -> usize {
-    let n = requested
-        .or_else(|| {
-            std::env::var(THREADS_ENV)
-                .ok()
-                .and_then(|s| s.trim().parse::<usize>().ok())
-        })
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
+pub fn effective_workers(requested: Option<usize>, n_blocks: usize) -> Result<usize, SimError> {
+    let n = match requested {
+        Some(n) => n,
+        None => match std::env::var(THREADS_ENV) {
+            Ok(raw) => parse_thread_env(&raw).map_err(SimError::InvalidThreadCount)?,
+            Err(_) => std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(4)
-        });
-    n.clamp(1, n_blocks.max(1))
+                .unwrap_or(4),
+        },
+    };
+    Ok(n.clamp(1, n_blocks.max(1)))
 }
 
 /// The linear block indices worker `worker` of `n_workers` runs, strided.
@@ -116,10 +136,32 @@ mod tests {
 
     #[test]
     fn explicit_override_wins_and_is_clamped() {
-        assert_eq!(effective_workers(Some(3), 100), 3);
-        assert_eq!(effective_workers(Some(0), 100), 1, "zero clamps to one");
-        assert_eq!(effective_workers(Some(64), 10), 10, "capped at blocks");
-        assert_eq!(effective_workers(Some(4), 0), 1, "empty grid still valid");
+        assert_eq!(effective_workers(Some(3), 100).unwrap(), 3);
+        assert_eq!(
+            effective_workers(Some(0), 100).unwrap(),
+            1,
+            "explicit zero clamps to one"
+        );
+        assert_eq!(
+            effective_workers(Some(64), 10).unwrap(),
+            10,
+            "capped at blocks"
+        );
+        assert_eq!(
+            effective_workers(Some(4), 0).unwrap(),
+            1,
+            "empty grid still valid"
+        );
+    }
+
+    #[test]
+    fn thread_env_values_parse_strictly() {
+        assert_eq!(parse_thread_env("4"), Ok(4));
+        assert_eq!(parse_thread_env("  16 "), Ok(16), "whitespace trimmed");
+        for bad in ["0", "", "four", "3.5", "-2", "0x10"] {
+            let err = parse_thread_env(bad).unwrap_err();
+            assert!(err.contains(THREADS_ENV), "{bad:?}: {err}");
+        }
     }
 
     #[test]
