@@ -250,6 +250,7 @@ impl OpencvSeparable {
                 mask_data: HashMap::new(),
                 scalars: HashMap::new(),
                 sim_threads: None,
+                engine: None,
             };
             let res = hipacc_sim::launch::run_on_image(&kernel, &spec)?;
             total.global_loads += res.stats.global_loads;

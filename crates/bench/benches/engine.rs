@@ -1,11 +1,12 @@
-//! Tree-walk vs bytecode execution-engine comparison.
+//! Tree-walk vs bytecode vs simd execution-engine comparison.
 //!
-//! Measures the simulator's two engines on the same compiled device
+//! Measures the simulator's three engines on the same compiled device
 //! kernels — the paper's 5×5 Gaussian and the 5×5 bilateral filter — and
-//! prints the speedup of the bytecode register machine over the reference
-//! tree-walking interpreter. The device kernel is compiled from the DSL
-//! once outside the timed region, so the comparison isolates launch +
-//! execution (the part the bytecode engine restructures).
+//! prints the speedup of the bytecode register machine and the
+//! warp-vectorized simd engine over the reference tree-walking
+//! interpreter. The device kernel is compiled from the DSL once outside
+//! the timed region, so the comparison isolates launch + execution (the
+//! part the bytecode and simd engines restructure).
 //!
 //! ```text
 //! cargo bench -p hipacc-bench --bench engine
@@ -24,29 +25,42 @@ use std::hint::black_box;
 const SIZE: u32 = 128;
 const SAMPLES: usize = 8;
 
-/// Compare both engines on one operator; returns (tree-walk, bytecode)
-/// median times and asserts the engines still agree on the output.
-fn compare(op: &Operator, img: &Image<f32>, name: &str) -> (f64, f64) {
+/// Compare the three engines on one operator; returns (tree-walk,
+/// bytecode, simd) median times and asserts the engines still agree
+/// bit-for-bit on output and statistics.
+fn compare(op: &Operator, img: &Image<f32>, name: &str) -> (f64, f64, f64) {
     let target = Target::cuda(tesla_c2050());
     let compiled = op.compile(&target, img.width(), img.height()).unwrap();
     let spec = launch_spec(&compiled, &[("Input", img)], &op.params, &op.mask_uploads);
 
     let ref_out = run_on_image_with(&compiled.device_kernel, &spec, Engine::TreeWalk).unwrap();
-    let bc_out = run_on_image_with(&compiled.device_kernel, &spec, Engine::Bytecode).unwrap();
-    assert_eq!(ref_out.stats, bc_out.stats, "{name}: engine stats diverge");
-    assert_eq!(
-        ref_out.output.max_abs_diff(&bc_out.output),
-        0.0,
-        "{name}: engine outputs diverge"
-    );
+    for engine in [Engine::Bytecode, Engine::Simd] {
+        let out = run_on_image_with(&compiled.device_kernel, &spec, engine).unwrap();
+        assert_eq!(
+            ref_out.stats,
+            out.stats,
+            "{name}: {} stats diverge",
+            engine.label()
+        );
+        assert_eq!(
+            ref_out.output.max_abs_diff(&out.output),
+            0.0,
+            "{name}: {} outputs diverge",
+            engine.label()
+        );
+    }
 
-    let tree = time_median(SAMPLES, || {
-        black_box(run_on_image_with(&compiled.device_kernel, &spec, Engine::TreeWalk).unwrap())
-    });
-    let bc = time_median(SAMPLES, || {
-        black_box(run_on_image_with(&compiled.device_kernel, &spec, Engine::Bytecode).unwrap())
-    });
-    (tree.as_secs_f64(), bc.as_secs_f64())
+    let time = |engine: Engine| {
+        time_median(SAMPLES, || {
+            black_box(run_on_image_with(&compiled.device_kernel, &spec, engine).unwrap())
+        })
+        .as_secs_f64()
+    };
+    (
+        time(Engine::TreeWalk),
+        time(Engine::Bytecode),
+        time(Engine::Simd),
+    )
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -68,37 +82,37 @@ fn bench_engines(c: &mut Criterion) {
 
     let mut report = Vec::new();
     for (name, op) in &benches {
-        let (tree, bc) = compare(op, &img, name);
-        report.push((*name, tree, bc));
+        let (tree, bc, simd) = compare(op, &img, name);
+        report.push((*name, tree, bc, simd));
         // Standard criterion lines for each engine as well, so the bench
         // output stays comparable across runs.
         let target = Target::cuda(tesla_c2050());
         let compiled = op.compile(&target, img.width(), img.height()).unwrap();
         let spec = launch_spec(&compiled, &[("Input", &img)], &op.params, &op.mask_uploads);
-        group.bench_function(format!("{name}_treewalk"), |b| {
-            b.iter(|| {
-                black_box(
-                    run_on_image_with(&compiled.device_kernel, &spec, Engine::TreeWalk).unwrap(),
-                )
-            })
-        });
-        group.bench_function(format!("{name}_bytecode"), |b| {
-            b.iter(|| {
-                black_box(
-                    run_on_image_with(&compiled.device_kernel, &spec, Engine::Bytecode).unwrap(),
-                )
-            })
-        });
+        for (suffix, engine) in [
+            ("treewalk", Engine::TreeWalk),
+            ("bytecode", Engine::Bytecode),
+            ("simd", Engine::Simd),
+        ] {
+            group.bench_function(format!("{name}_{suffix}"), |b| {
+                b.iter(|| {
+                    black_box(run_on_image_with(&compiled.device_kernel, &spec, engine).unwrap())
+                })
+            });
+        }
     }
     group.finish();
 
-    println!("\nengine speedup (tree-walk / bytecode), {SIZE}x{SIZE}:");
-    for (name, tree, bc) in &report {
+    println!("\nengine speedup over tree-walk, {SIZE}x{SIZE}:");
+    for (name, tree, bc, simd) in &report {
         println!(
-            "  {name:<16} tree-walk {:>8.2} ms   bytecode {:>8.2} ms   speedup {:>5.2}x",
+            "  {name:<16} tree-walk {:>8.2} ms   bytecode {:>8.2} ms ({:>5.2}x)   simd {:>8.2} ms ({:>5.2}x, {:>5.2}x vs bytecode)",
             tree * 1e3,
             bc * 1e3,
-            tree / bc
+            tree / bc,
+            simd * 1e3,
+            tree / simd,
+            bc / simd
         );
     }
 }

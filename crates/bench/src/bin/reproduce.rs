@@ -6,6 +6,7 @@
 //! reproduce --figure 4       # one figure
 //! reproduce --loc            # the §VI-C lines-of-code metric
 //! reproduce --inject 42      # seeded fault-injection drill under the supervisor
+//! reproduce --bench-json BENCH_engine.json   # per-engine frame times
 //! ```
 
 use hipacc_bench::ablation;
@@ -226,6 +227,18 @@ fn print_inject(seed: u64) {
     }
 }
 
+/// Time every execution engine (tree-walk, bytecode, simd) on the
+/// representative cells and write the machine-readable report to `path`
+/// (the `BENCH_engine.json` artifact the CI bench-smoke job gates on).
+fn print_bench_json(path: &str) {
+    use hipacc_bench::enginebench;
+
+    let bench = enginebench::run(enginebench::DEFAULT_SAMPLES);
+    print!("{}", bench.render_text());
+    std::fs::write(path, bench.to_json()).expect("write bench json");
+    println!("wrote engine bench report to {path}\n");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -298,6 +311,11 @@ fn main() {
                 print_profile(&path);
                 did_anything = true;
             }
+            "--bench-json" => {
+                i += 1;
+                print_bench_json(&args[i]);
+                did_anything = true;
+            }
             "--inject" => {
                 i += 1;
                 let seed: u64 = args[i].parse().expect("injection seed");
@@ -323,7 +341,7 @@ fn main() {
         i += 1;
     }
     if !did_anything {
-        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]] [--inject SEED]");
+        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]] [--inject SEED] [--bench-json PATH]");
         std::process::exit(2);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`render`] — plain-text and Markdown rendering.
 //! * [`ablation`] — what each design choice is worth (region
 //!   specialization, constant masks, the heuristic, vectorization).
+//! * [`enginebench`] — per-engine frame times (tree-walk, bytecode,
+//!   simd) with the `BENCH_engine.json` export the CI bench-smoke job
+//!   gates on.
 //!
 //! The `reproduce` binary drives everything:
 //! `cargo run -p hipacc-bench --bin reproduce -- --all`.
@@ -23,6 +26,7 @@
 
 pub mod ablation;
 pub mod cells;
+pub mod enginebench;
 pub mod figures;
 pub mod paper;
 pub mod render;

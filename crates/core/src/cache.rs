@@ -1,0 +1,290 @@
+//! Cross-launch compiled-kernel cache.
+//!
+//! Compiling a kernel — specialization, access analysis, lowering,
+//! configuration selection, emission, verification — is pure: its output
+//! depends only on the kernel definition and the [`CompileSpec`]. In a
+//! steady-state pipeline (video frames, iterative solvers) the same
+//! operator is launched over and over with identical geometry, so every
+//! launch after the first repeats work whose result is already known.
+//!
+//! [`KernelCache`] memoizes the compiler artifact across launches. The key
+//! is a *fingerprint*: a canonical rendering of the kernel definition plus
+//! every compile-relevant field of the spec (device, backend, image
+//! geometry, boundary handling, bound parameters, memory-path variant,
+//! unrolling, forced configuration, ROI, vectorization). Anything that can
+//! change the emitted code changes the key, so a cache hit is reuse of a
+//! bit-identical artifact by construction — there is no invalidation
+//! protocol to get wrong, only a bounded LRU that drops the
+//! least-recently-used entry when full.
+//!
+//! The cache is **opt-in**: install one with
+//! [`PipelineOptions::cache`](crate::PipelineOptions) (an `Arc`, so one
+//! cache can back many operators). The default path compiles fresh every
+//! launch, which keeps compile-phase traces intact for profiling tests.
+//! Fault-recovery rungs that degrade the launch configuration compile with
+//! a different `force_config`, hence a different fingerprint — a degraded
+//! artifact can never be served for a healthy launch or vice versa. The
+//! supervisor additionally bypasses the cache entirely on degraded rungs
+//! (recorded as a bypass, not a miss) so recovery timing is never skewed
+//! by warm-cache effects.
+
+use hipacc_codegen::{CompileSpec, CompiledKernel};
+use hipacc_ir::kernel::KernelDef;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default number of compiled kernels retained (LRU beyond this).
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// What the cache did for one launch, embedded in
+/// [`LaunchProfile`](crate::LaunchProfile).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheReport {
+    /// `"hit"`, `"miss"`, or `"bypass: <reason>"`.
+    pub outcome: String,
+    /// Cumulative hits on the cache at the time of this launch.
+    pub hits: u64,
+    /// Cumulative misses on the cache at the time of this launch.
+    pub misses: u64,
+}
+
+impl CacheReport {
+    /// True when this launch was served from the cache.
+    pub fn is_hit(&self) -> bool {
+        self.outcome == "hit"
+    }
+}
+
+struct Inner {
+    map: HashMap<String, (u64, CompiledKernel)>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe LRU cache of compiler artifacts keyed by kernel
+/// fingerprint. See the module docs for keying and invalidation semantics.
+pub struct KernelCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl std::fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("bypasses", &self.bypasses())
+            .finish()
+    }
+}
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl KernelCache {
+    /// A cache retaining at most `capacity` compiled kernels (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// Canonical cache key for compiling `def` under `spec`.
+    ///
+    /// The spec's boundary and parameter maps are sorted by name before
+    /// rendering: `HashMap`'s iteration (and hence `Debug`) order is
+    /// unspecified and varies between separately built maps, which would
+    /// otherwise turn identical launches into spurious misses.
+    pub fn fingerprint(def: &KernelDef, spec: &CompileSpec) -> String {
+        let mut bounds: Vec<_> = spec.boundaries.iter().collect();
+        bounds.sort_by(|a, b| a.0.cmp(b.0));
+        let mut params: Vec<_> = spec.param_bindings.iter().collect();
+        params.sort_by(|a, b| a.0.cmp(b.0));
+        let mut key = String::new();
+        let _ = write!(
+            key,
+            "dev={:?}/{:?} geom={}x{}s{} bounds={bounds:?} params={params:?} \
+             variant={:?} cmask={} cprop={} unroll={} force={:?} roi={:?} \
+             vec={} generic={} def={def:?}",
+            spec.device,
+            spec.backend,
+            spec.width,
+            spec.height,
+            spec.stride,
+            spec.variant,
+            spec.use_const_masks,
+            spec.constant_propagation,
+            spec.unroll_limit,
+            spec.force_config,
+            spec.roi,
+            spec.vectorize,
+            spec.generic_boundary,
+        );
+        key
+    }
+
+    /// Fetch the artifact for `key`, refreshing its LRU stamp. Counts a
+    /// hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<CompiledKernel> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.0 = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.1.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store an artifact under `key`, evicting the least-recently-used
+    /// entry when the cache is full.
+    pub fn insert(&self, key: String, compiled: CompiledKernel) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, (tick, compiled));
+    }
+
+    /// Record a deliberate bypass (e.g. a degraded supervisor rung).
+    pub fn note_bypass(&self) {
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bypass count.
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses.load(Ordering::Relaxed)
+    }
+
+    /// Number of artifacts currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when no artifact is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A report describing `outcome` with the current counters attached.
+    pub fn report(&self, outcome: impl Into<String>) -> CacheReport {
+        CacheReport {
+            outcome: outcome.into(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_codegen::{BoundarySpec, Compiler};
+    use hipacc_hwmodel::device::tesla_c2050;
+    use hipacc_hwmodel::Backend;
+    use hipacc_image::BoundaryMode;
+    use hipacc_ir::{Expr, KernelBuilder, ScalarType};
+
+    fn kernel() -> KernelDef {
+        let mut b = KernelBuilder::new("k", ScalarType::F32);
+        let input = b.accessor("IN", ScalarType::F32);
+        b.output(b.read(&input, 0, 0) * Expr::float(2.0));
+        b.finish()
+    }
+
+    fn spec() -> CompileSpec {
+        CompileSpec::new(tesla_c2050(), Backend::Cuda, 64, 64)
+            .with_boundary("IN", BoundarySpec::new(BoundaryMode::Clamp, 3, 3))
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_recomputation() {
+        let (def, sp) = (kernel(), spec());
+        // Build the spec twice: HashMap internals may differ; the key
+        // must not.
+        assert_eq!(
+            KernelCache::fingerprint(&def, &sp),
+            KernelCache::fingerprint(&kernel(), &spec())
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let def = kernel();
+        let a = KernelCache::fingerprint(&def, &spec());
+        let mut forced = spec();
+        forced.force_config = Some((32, 4));
+        let b = KernelCache::fingerprint(&def, &forced);
+        assert_ne!(a, b, "force_config must change the key");
+    }
+
+    #[test]
+    fn hit_returns_identical_artifact() {
+        let cache = KernelCache::default();
+        let (def, sp) = (kernel(), spec());
+        let key = KernelCache::fingerprint(&def, &sp);
+        assert!(cache.lookup(&key).is_none());
+        let compiled = Compiler::new().compile(&def, &sp).unwrap();
+        cache.insert(key.clone(), compiled.clone());
+        let cached = cache.lookup(&key).expect("inserted entry");
+        assert_eq!(format!("{compiled:?}"), format!("{cached:?}"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = KernelCache::new(2);
+        let (def, sp) = (kernel(), spec());
+        let compiled = Compiler::new().compile(&def, &sp).unwrap();
+        cache.insert("a".into(), compiled.clone());
+        cache.insert("b".into(), compiled.clone());
+        assert!(cache.lookup("a").is_some()); // refresh a; b is now oldest
+        cache.insert("c".into(), compiled);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("b").is_none(), "b was least recently used");
+        assert!(cache.lookup("a").is_some());
+        assert!(cache.lookup("c").is_some());
+    }
+}

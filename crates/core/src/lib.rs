@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod convolve;
 pub mod errors;
 pub mod operator;
@@ -40,6 +41,7 @@ pub mod reduce;
 pub mod supervisor;
 pub mod target;
 
+pub use cache::{CacheReport, KernelCache};
 pub use errors::{error_chain, FailureClass};
 pub use hipacc_faults::{FaultPlan, FaultSession};
 pub use hipacc_sim::Engine;

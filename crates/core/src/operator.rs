@@ -52,6 +52,14 @@ pub struct PipelineOptions {
     /// (`None` = `HIPACC_SIM_THREADS` env var, then available
     /// parallelism). Outputs are bit-identical for any value.
     pub sim_threads: Option<usize>,
+    /// Simulator execution engine (`None` = the `HIPACC_SIM_ENGINE` env
+    /// var, then the default bytecode engine). Outputs and statistics are
+    /// bit-identical across engines.
+    pub engine: Option<hipacc_sim::Engine>,
+    /// Cross-launch compiled-kernel cache (see [`crate::cache`]). `None`
+    /// compiles fresh on every launch; sharing one `Arc` across operators
+    /// lets steady-state pipelines skip the compile phases entirely.
+    pub cache: Option<std::sync::Arc<crate::cache::KernelCache>>,
 }
 
 impl Default for PipelineOptions {
@@ -68,6 +76,8 @@ impl Default for PipelineOptions {
             generic_boundary: false,
             naive_codegen: false,
             sim_threads: None,
+            engine: None,
+            cache: None,
         }
     }
 }
@@ -263,18 +273,53 @@ impl Operator {
         ))
     }
 
+    /// Compile through the configured [`KernelCache`](crate::KernelCache)
+    /// when one is installed, otherwise compile fresh (recording phase
+    /// spans into `rec` when given). Returns the artifact and, when a
+    /// cache was consulted, a report of what it did.
+    fn compile_maybe_cached(
+        &self,
+        target: &Target,
+        width: u32,
+        height: u32,
+        rec: Option<&mut hipacc_profile::Recorder>,
+    ) -> Result<(CompiledKernel, Option<crate::cache::CacheReport>), OperatorError> {
+        let spec = self.compile_spec(target, width, height);
+        let fresh = |rec: Option<&mut hipacc_profile::Recorder>| match rec {
+            Some(r) => Compiler::new().compile_with_sink(&self.def, &spec, r),
+            None => Compiler::new().compile(&self.def, &spec),
+        };
+        let Some(cache) = &self.options.cache else {
+            return Ok((fresh(rec)?, None));
+        };
+        let key = crate::cache::KernelCache::fingerprint(&self.def, &spec);
+        if let Some(hit) = cache.lookup(&key) {
+            return Ok((hit, Some(cache.report("hit"))));
+        }
+        let compiled = fresh(rec)?;
+        cache.insert(key, compiled.clone());
+        Ok((compiled, Some(cache.report("miss"))))
+    }
+
     /// Full pipeline: compile, execute on the simulated device, estimate
-    /// the time. Runs on the simulator's default engine.
+    /// the time. Runs on the engine selected by
+    /// [`PipelineOptions::engine`] (falling back to `HIPACC_SIM_ENGINE`,
+    /// then the default bytecode engine).
     pub fn execute(
         &self,
         inputs: &[(&str, &Image<f32>)],
         target: &Target,
     ) -> Result<Execution, OperatorError> {
-        self.execute_with(inputs, target, hipacc_sim::Engine::default())
+        self.execute_with(
+            inputs,
+            target,
+            hipacc_sim::resolve_engine(self.options.engine)?,
+        )
     }
 
     /// [`Self::execute`] on an explicitly chosen simulator engine
-    /// (bytecode register machine or the reference tree-walk).
+    /// (bytecode register machine, warp-vectorized simd, or the reference
+    /// tree-walk).
     pub fn execute_with(
         &self,
         inputs: &[(&str, &Image<f32>)],
@@ -282,7 +327,8 @@ impl Operator {
         engine: hipacc_sim::Engine,
     ) -> Result<Execution, OperatorError> {
         let (_, first) = inputs.first().ok_or(OperatorError::NoInputs)?;
-        let compiled = self.compile(target, first.width(), first.height())?;
+        let (compiled, _) =
+            self.compile_maybe_cached(target, first.width(), first.height(), None)?;
         let mut spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
         spec.sim_threads = self.options.sim_threads;
         let run = hipacc_sim::launch::run_on_image_with(&compiled.device_kernel, &spec, engine)?;
@@ -315,18 +361,12 @@ impl Operator {
 
         let (_, first) = inputs.first().ok_or(OperatorError::NoInputs)?;
         let mut rec = Recorder::new();
-        let compiled = Compiler::new().compile_with_sink(
-            &self.def,
-            &self.compile_spec(target, first.width(), first.height()),
-            &mut rec,
-        )?;
+        let (compiled, cache_report) =
+            self.compile_maybe_cached(target, first.width(), first.height(), Some(&mut rec))?;
         let mut spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
         spec.sim_threads = self.options.sim_threads;
 
-        let engine_label = match engine {
-            hipacc_sim::Engine::Bytecode => "bytecode",
-            hipacc_sim::Engine::TreeWalk => "tree-walk",
-        };
+        let engine_label = engine.label();
         let start = now_us();
         let (run, exec) =
             hipacc_sim::launch::run_on_image_profiled(&compiled.device_kernel, &spec, engine)?;
@@ -346,6 +386,14 @@ impl Operator {
                 .map(|g| g.region_of(bx, by))
                 .unwrap_or(hipacc_codegen::Region::Interior)
         });
+        // On a cache hit the compile phases never ran this launch: the
+        // profile must show zero compile time, even though the cached
+        // artifact still carries its original `phase_times`.
+        let phase_times = if cache_report.as_ref().is_some_and(|c| c.is_hit()) {
+            Vec::new()
+        } else {
+            compiled.phase_times.clone()
+        };
         let profile = crate::profile::LaunchProfile {
             kernel: self.def.name.clone(),
             target: target.label(),
@@ -358,9 +406,11 @@ impl Operator {
             blocks_per_worker: exec.blocks_per_worker(),
             time,
             occupancy: compiled.occupancy,
-            phase_times: compiled.phase_times.clone(),
+            phase_times,
             spans: rec.into_spans(),
             fault_plan: None,
+            cache: cache_report,
+            warp_occupancy: exec.simd.and_then(|t| t.mean_active_fraction()),
         };
         Ok((
             Execution {

@@ -29,6 +29,7 @@ pub fn launch_spec<'a>(
         mask_data: mask_data.clone(),
         scalars: params.clone(),
         sim_threads: None,
+        engine: None,
     };
     for (name, img) in inputs {
         spec.inputs.insert((*name).to_string(), img);

@@ -52,7 +52,7 @@ pub struct LaunchProfile {
     /// Target label (`"Tesla C2050 / CUDA"`).
     pub target: String,
     /// Which simulator engine ran the launch (`"bytecode"` /
-    /// `"tree-walk"`).
+    /// `"tree-walk"` / `"simd"`).
     pub engine: &'static str,
     /// Grid dimensions in blocks.
     pub grid: (u32, u32),
@@ -81,6 +81,14 @@ pub struct LaunchProfile {
     /// string), when the launch ran under the supervisor with fault
     /// injection armed. `None` for plain launches.
     pub fault_plan: Option<String>,
+    /// What the kernel cache did for this launch, when one was installed
+    /// ([`crate::cache::KernelCache`]). `None` when no cache was
+    /// consulted.
+    pub cache: Option<crate::cache::CacheReport>,
+    /// Mean active-lane fraction across all warp execution steps, when
+    /// the launch ran on the simd engine. 1.0 means no divergence and no
+    /// partially filled warps.
+    pub warp_occupancy: Option<f64>,
 }
 
 impl LaunchProfile {
@@ -168,6 +176,18 @@ impl LaunchProfile {
         ));
         if let Some(plan) = &self.fault_plan {
             out.push_str(&format!("  injected: {plan}\n"));
+        }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "  kernel cache: {} ({} hits, {} misses)\n",
+                c.outcome, c.hits, c.misses
+            ));
+        }
+        if let Some(w) = self.warp_occupancy {
+            out.push_str(&format!(
+                "  warp occupancy {:.3} (mean active-lane fraction)\n",
+                w
+            ));
         }
         if let Some(o) = &self.occupancy {
             out.push_str(&format!(
@@ -262,6 +282,8 @@ mod tests {
             phase_times: vec![("lowering".into(), 0.5)],
             spans: Vec::new(),
             fault_plan: None,
+            cache: None,
+            warp_occupancy: None,
         }
     }
 
@@ -280,6 +302,7 @@ mod tests {
         ExecProfile {
             n_workers: 2,
             blocks,
+            simd: None,
         }
     }
 

@@ -223,13 +223,6 @@ struct StepSpec {
     force_config: Option<(u32, u32)>,
 }
 
-fn engine_label(engine: Engine) -> &'static str {
-    match engine {
-        Engine::Bytecode => "bytecode",
-        Engine::TreeWalk => "tree-walk",
-    }
-}
-
 fn block_list(blocks: &[(u32, u32)]) -> String {
     blocks
         .iter()
@@ -292,9 +285,42 @@ pub fn supervise(
 
         let mut rec = Recorder::new();
         let spec_c = op_step.compile_spec(target, width, height);
-        let compiled: CompiledKernel =
-            match Compiler::new().compile_with_sink(&op.def, &spec_c, &mut rec) {
-                Ok(c) => c,
+        // Kernel-cache policy: only the pristine `initial` rung may be
+        // served from (or populate) the cache. Degraded rungs compile with
+        // a different fingerprint anyway (variant / force_config are part
+        // of the key), but they bypass the cache entirely — recovery
+        // timing must never be skewed by warm-cache effects, and a
+        // degraded artifact must never linger for later healthy launches.
+        let mut cache_report: Option<crate::cache::CacheReport> = None;
+        let mut cache_key: Option<String> = None;
+        let mut from_cache: Option<CompiledKernel> = None;
+        if let Some(cache) = op.options.cache.as_deref() {
+            if step.label == "initial" {
+                let key = crate::cache::KernelCache::fingerprint(&op.def, &spec_c);
+                match cache.lookup(&key) {
+                    Some(hit) => {
+                        cache_report = Some(cache.report("hit"));
+                        from_cache = Some(hit);
+                    }
+                    None => {
+                        cache_report = Some(cache.report("miss"));
+                        cache_key = Some(key);
+                    }
+                }
+            } else {
+                cache.note_bypass();
+                cache_report = Some(cache.report("bypass: degraded-config"));
+            }
+        }
+        let compiled: CompiledKernel = match from_cache {
+            Some(c) => c,
+            None => match Compiler::new().compile_with_sink(&op.def, &spec_c, &mut rec) {
+                Ok(c) => {
+                    if let (Some(cache), Some(key)) = (op.options.cache.as_deref(), cache_key) {
+                        cache.insert(key, c.clone());
+                    }
+                    c
+                }
                 Err(e) => {
                     let resource = e.is_resource_limit();
                     let err = OperatorError::Compile(e);
@@ -323,7 +349,8 @@ pub fn supervise(
                     }
                     return fail(err, report, &step.label, 0);
                 }
-            };
+            },
+        };
         if !ladder_built {
             steps.extend(ladder_steps(op.options.variant, Some(compiled.config)));
             ladder_built = true;
@@ -421,7 +448,15 @@ pub fn supervise(
                             virtual_us: run.run.virtual_us,
                         });
                         return finish(
-                            op, target, engine, plan, compiled, run, rec, report, step_idx,
+                            op,
+                            target,
+                            engine,
+                            plan,
+                            compiled,
+                            run,
+                            rec,
+                            report,
+                            cache_report,
                         );
                     }
 
@@ -440,7 +475,15 @@ pub fn supervise(
                                 virtual_us: run.run.virtual_us,
                             });
                             return finish(
-                                op, target, engine, plan, compiled, run, rec, report, step_idx,
+                                op,
+                                target,
+                                engine,
+                                plan,
+                                compiled,
+                                run,
+                                rec,
+                                report,
+                                cache_report,
                             );
                         }
                         Err(detail) => {
@@ -543,13 +586,13 @@ fn finish(
     run: FaultedLaunch,
     mut rec: Recorder,
     report: RecoveryReport,
-    step_idx: usize,
+    cache_report: Option<crate::cache::CacheReport>,
 ) -> Result<Supervised, SupervisedError> {
     let time = op.estimate(&compiled, target);
     let launch_start = now_us();
     rec.record(
         Span::new("execute", "launch", launch_start, run.run.virtual_us.max(1))
-            .arg("engine", engine_label(engine))
+            .arg("engine", engine.label())
             .arg("workers", run.exec.n_workers.to_string())
             .arg("blocks", run.exec.blocks.len().to_string()),
     );
@@ -563,10 +606,16 @@ fn finish(
             .map(|g| g.region_of(bx, by))
             .unwrap_or(hipacc_codegen::Region::Interior)
     });
+    // A cache hit means the compile phases never ran for this launch.
+    let phase_times = if cache_report.as_ref().is_some_and(|c| c.is_hit()) {
+        Vec::new()
+    } else {
+        compiled.phase_times.clone()
+    };
     let profile = LaunchProfile {
         kernel: op.def.name.clone(),
         target: target.label(),
-        engine: engine_label(engine),
+        engine: engine.label(),
         grid: compiled.grid,
         block: (compiled.config.bx, compiled.config.by),
         n_workers: run.exec.n_workers,
@@ -575,11 +624,12 @@ fn finish(
         blocks_per_worker: run.exec.blocks_per_worker(),
         time,
         occupancy: compiled.occupancy,
-        phase_times: compiled.phase_times.clone(),
+        phase_times,
         spans,
         fault_plan: plan.any_armed().then(|| plan.summary()),
+        cache: cache_report,
+        warp_occupancy: run.exec.simd.and_then(|t| t.mean_active_fraction()),
     };
-    let _ = step_idx;
     Ok(Supervised {
         execution: Execution {
             output: run.output,

@@ -236,7 +236,9 @@ mod tests {
 
     #[test]
     fn time_median_is_positive() {
-        let d = time_median(3, || (0..100).sum::<u64>());
+        // `black_box` keeps the summation from being const-folded to a
+        // sub-nanosecond no-op in release builds.
+        let d = time_median(3, || (0..10_000).map(black_box).sum::<u64>());
         assert!(d.as_nanos() > 0);
     }
 

@@ -47,7 +47,7 @@ use hipacc_ir::{BinOp, Builtin, Expr, LValue, MathFn, Stmt, TexCoords, UnOp};
 use std::collections::{HashMap, HashSet};
 
 /// A register index in the per-thread (or per-block uniform) register file.
-type Reg = u16;
+pub(crate) type Reg = u16;
 
 /// One register-machine instruction.
 ///
@@ -55,7 +55,7 @@ type Reg = u16;
 /// interpreter's variable slots). Jump targets are absolute instruction
 /// indices within the containing tape.
 #[derive(Clone, Debug)]
-enum Inst {
+pub(crate) enum Inst {
     /// `regs[dst] = v`.
     Imm { dst: Reg, v: Const },
     /// `regs[dst] = regs[src]`.
@@ -113,34 +113,34 @@ enum Inst {
 
 /// A global/texture buffer referenced by the program.
 #[derive(Clone, Debug)]
-struct GlobalBinding {
-    name: String,
+pub(crate) struct GlobalBinding {
+    pub(crate) name: String,
     /// Geometry observed at compile time; re-validated before running so a
     /// stale `CompiledKernel` cannot index with outdated interior checks.
-    geom: BufferGeometry,
-    mode: AddressMode,
+    pub(crate) geom: BufferGeometry,
+    pub(crate) mode: AddressMode,
 }
 
 /// A constant buffer with its coefficients (static mask data or uploaded
 /// dynamic coefficients; both are small, so they are owned by the program).
 #[derive(Clone, Debug)]
-struct ConstBinding {
-    name: String,
-    data: Vec<f32>,
+pub(crate) struct ConstBinding {
+    pub(crate) name: String,
+    pub(crate) data: Vec<f32>,
 }
 
 /// Shared-memory tile layout.
 #[derive(Clone, Copy, Debug)]
-struct SharedLayout {
-    len: usize,
-    cols: u32,
+pub(crate) struct SharedLayout {
+    pub(crate) len: usize,
+    pub(crate) cols: u32,
 }
 
 /// A per-block interior test: the access `cbx·bx + cby·by + [lo, hi]`
 /// (thread extremes already folded into `lo`/`hi`) stays inside
 /// `[0, limit)` — i.e. the block never needs boundary handling for it.
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct InteriorCheck {
+pub(crate) struct InteriorCheck {
     cbx: i64,
     cby: i64,
     lo: i64,
@@ -175,10 +175,10 @@ impl InteriorCheck {
 
 /// A buffered global store (binding index instead of a name — applying
 /// stores does not clone strings).
-struct StoreRec {
-    buf: u16,
-    idx: u32,
-    value: f32,
+pub(crate) struct StoreRec {
+    pub(crate) buf: u16,
+    pub(crate) idx: u32,
+    pub(crate) value: f32,
 }
 
 /// A kernel lowered to register-machine tapes for one launch configuration.
@@ -188,20 +188,34 @@ struct StoreRec {
 /// the launch's grid/block dimensions and scalar arguments, so it is only
 /// valid for the `LaunchParams` it was compiled against.
 pub struct CompiledKernel {
-    grid: (u32, u32),
-    block: (u32, u32),
+    pub(crate) grid: (u32, u32),
+    pub(crate) block: (u32, u32),
     /// Worker-count override captured from the launch parameters.
-    sim_threads: Option<usize>,
+    pub(crate) sim_threads: Option<usize>,
     /// Per-block prologue evaluating block-uniform subexpressions.
-    prologue: Vec<Inst>,
-    n_uregs: usize,
+    pub(crate) prologue: Vec<Inst>,
+    pub(crate) n_uregs: usize,
     /// Barrier-delimited phase tapes.
-    phases: Vec<Vec<Inst>>,
-    n_regs: usize,
-    globals: Vec<GlobalBinding>,
-    consts: Vec<ConstBinding>,
-    shared: Vec<SharedLayout>,
-    checks: Vec<InteriorCheck>,
+    pub(crate) phases: Vec<Vec<Inst>>,
+    pub(crate) n_regs: usize,
+    pub(crate) globals: Vec<GlobalBinding>,
+    pub(crate) consts: Vec<ConstBinding>,
+    pub(crate) shared: Vec<SharedLayout>,
+    pub(crate) checks: Vec<InteriorCheck>,
+}
+
+/// How block bodies execute: one thread at a time on the scalar register
+/// machine, or a whole warp per instruction on the SoA lanes of
+/// [`crate::simd`]. Both modes are bit- and stat-identical; the mode only
+/// changes cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The scalar bytecode engine (one thread at a time).
+    #[default]
+    Scalar,
+    /// The warp-vectorized SoA engine, falling back to the scalar path
+    /// per block on anything it cannot vectorize.
+    Simd,
 }
 
 impl CompiledKernel {
@@ -244,6 +258,54 @@ impl CompiledKernel {
     /// compile time (a re-upload requires recompiling).
     pub fn captured_const_buffers(&self) -> impl Iterator<Item = &str> {
         self.consts.iter().map(|c| c.name.as_str())
+    }
+
+    /// Human-readable dump of the compiled tapes: the uniform prologue
+    /// followed by every barrier-delimited phase tape. The format is a
+    /// stable function of the program alone, so two compiles of the same
+    /// kernel/launch pair disassemble to byte-identical strings — the
+    /// property the kernel-cache tests assert.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "kernel: grid {:?} block {:?} uregs {} regs {}",
+            self.grid, self.block, self.n_uregs, self.n_regs
+        );
+        let _ = writeln!(s, "prologue:");
+        for (i, inst) in self.prologue.iter().enumerate() {
+            let _ = writeln!(s, "  {i:4}: {inst:?}");
+        }
+        for (pi, tape) in self.phases.iter().enumerate() {
+            let _ = writeln!(s, "phase {pi}:");
+            for (i, inst) in tape.iter().enumerate() {
+                let _ = writeln!(s, "  {i:4}: {inst:?}");
+            }
+        }
+        s
+    }
+
+    /// Geometry key for the scratch pool: launches agree on this hash
+    /// only when their register files, thread counts and shared tiles
+    /// have identical shapes. (A colliding key is still harmless — the
+    /// per-block reset re-sizes everything — it just wastes the reuse.)
+    fn scratch_key(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(&mut h, self.n_regs as u64);
+        mix(&mut h, self.n_uregs as u64);
+        mix(&mut h, self.block.0 as u64);
+        mix(&mut h, self.block.1 as u64);
+        mix(&mut h, self.phases.len() as u64);
+        for l in &self.shared {
+            mix(&mut h, l.len as u64);
+            mix(&mut h, l.cols as u64);
+        }
+        h
     }
 }
 
@@ -1801,31 +1863,76 @@ fn analyze_interior(body: &[Stmt], params: &LaunchParams, c: &Compiler<'_>) -> V
 
 /// Resolved view of one bound buffer.
 #[derive(Clone, Copy)]
-struct BufView<'m> {
-    data: &'m [f32],
-    w: u32,
-    h: u32,
-    stride: u32,
-    mode: AddressMode,
+pub(crate) struct BufView<'m> {
+    pub(crate) data: &'m [f32],
+    pub(crate) w: u32,
+    pub(crate) h: u32,
+    pub(crate) stride: u32,
+    pub(crate) mode: AddressMode,
 }
 
-/// Mutable per-block machine state.
-struct BlockRun<'r> {
-    prog: &'r CompiledKernel,
-    bufs: &'r [BufView<'r>],
-    shared: Vec<Vec<f32>>,
-    stores: Vec<StoreRec>,
-    stats: ExecStats,
-    call_scratch: Vec<Const>,
-    fast: bool,
-    bx: i64,
-    by: i64,
+/// Reusable per-worker execution scratch: register files, shared-memory
+/// tiles, the store journal and (lazily) the simd engine's SoA slabs.
+///
+/// One instance lives per worker for the duration of a launch and is
+/// parked in [`SCRATCH_POOL`] between launches, so steady-state frames
+/// allocate nothing in the block loop. Every per-block reset is a fill
+/// of an existing allocation, never a fresh `Vec`.
+#[derive(Default)]
+pub(crate) struct BlockScratch {
+    /// Block-uniform register file (the prologue's output).
+    pub(crate) uregs: Vec<Const>,
+    /// Thread register file: `n_regs` slots for single-phase kernels
+    /// (reused across threads and blocks — every read is dominated by a
+    /// write), `n_regs × nthreads` for multi-phase kernels (zeroed per
+    /// block, exactly like the former per-block allocation).
+    pub(crate) regs: Vec<Const>,
+    /// Per-thread halt flags (multi-phase kernels only).
+    pub(crate) done: Vec<bool>,
+    /// Shared-memory tiles, zeroed per block.
+    pub(crate) shared: Vec<Vec<f32>>,
+    /// Argument scratch for `Inst::Call`.
+    pub(crate) call_scratch: Vec<Const>,
+    /// The worker's store journal; blocks own disjoint ranges of it.
+    pub(crate) journal: Vec<StoreRec>,
+    /// SoA lane slabs, created on first use by the simd engine.
+    pub(crate) simd: Option<crate::simd::SimdScratch>,
+}
+
+impl BlockScratch {
+    /// Size and zero the shared tiles for one block.
+    pub(crate) fn reset_tiles(&mut self, prog: &CompiledKernel) {
+        self.shared.resize(prog.shared.len(), Vec::new());
+        for (tile, l) in self.shared.iter_mut().zip(&prog.shared) {
+            tile.clear();
+            tile.resize(l.len, 0.0);
+        }
+    }
+}
+
+/// Cross-launch pool of per-worker scratch, keyed by
+/// [`CompiledKernel::scratch_key`] so reuse only happens between
+/// launches whose register files and tiles have identical shapes.
+static SCRATCH_POOL: crate::sched::ScratchPool<BlockScratch> = crate::sched::ScratchPool::new(32);
+
+/// Mutable per-block machine state, borrowing its allocations from the
+/// worker's [`BlockScratch`].
+pub(crate) struct BlockRun<'r> {
+    pub(crate) prog: &'r CompiledKernel,
+    pub(crate) bufs: &'r [BufView<'r>],
+    pub(crate) shared: &'r mut Vec<Vec<f32>>,
+    pub(crate) stores: &'r mut Vec<StoreRec>,
+    pub(crate) stats: ExecStats,
+    pub(crate) call_scratch: &'r mut Vec<Const>,
+    pub(crate) fast: bool,
+    pub(crate) bx: i64,
+    pub(crate) by: i64,
 }
 
 impl BlockRun<'_> {
     /// Execute one tape over a register file. Returns `true` when the
     /// thread hit `Halt` (returned) and must skip the remaining phases.
-    fn exec_tape(
+    pub(crate) fn exec_tape(
         &mut self,
         insts: &[Inst],
         regs: &mut [Const],
@@ -1869,7 +1976,7 @@ impl BlockRun<'_> {
                     for &r in args.iter() {
                         self.call_scratch.push(regs[r as usize]);
                     }
-                    regs[*dst as usize] = eval_mathfn(*f, &self.call_scratch).ok_or_else(|| {
+                    regs[*dst as usize] = eval_mathfn(*f, self.call_scratch).ok_or_else(|| {
                         SimError::EvalError(format!("{f:?} on {:?}", self.call_scratch))
                     })?;
                 }
@@ -2009,54 +2116,93 @@ impl BlockRun<'_> {
     }
 }
 
-/// Run one block: uniform prologue, interior classification, then all
-/// threads phase by phase.
-fn run_block(
+/// Evaluate the block-uniform prologue into `scratch.uregs` (shared by
+/// the scalar and simd engines so the two can never drift). The prologue
+/// tape contains no memory operations and no thread builtins, so it
+/// touches neither the journal nor the statistics.
+pub(crate) fn exec_prologue(
     prog: &CompiledKernel,
     bufs: &[BufView<'_>],
     bx: u32,
     by: u32,
-) -> Result<(Vec<StoreRec>, ExecStats), SimError> {
+    scratch: &mut BlockScratch,
+) -> Result<(), SimError> {
+    scratch.uregs.clear();
+    scratch.uregs.resize(prog.n_uregs, Const::Int(0));
+    if prog.prologue.is_empty() {
+        return Ok(());
+    }
+    let mut sink = Vec::new();
     let mut run = BlockRun {
         prog,
         bufs,
-        shared: prog.shared.iter().map(|l| vec![0.0f32; l.len]).collect(),
-        stores: Vec::new(),
+        shared: &mut scratch.shared,
+        stores: &mut sink,
         stats: ExecStats::default(),
-        call_scratch: Vec::with_capacity(4),
+        call_scratch: &mut scratch.call_scratch,
         fast: false,
         bx: bx as i64,
         by: by as i64,
     };
+    // The prologue's register file *is* the uniform file.
+    run.exec_tape(&prog.prologue, &mut scratch.uregs, &[], 0, 0)?;
+    debug_assert!(sink.is_empty(), "prologue tapes never store");
+    Ok(())
+}
 
-    let mut uregs = vec![Const::Int(0); prog.n_uregs];
-    if !prog.prologue.is_empty() {
-        // The prologue's register file *is* the uniform file.
-        let mut prologue_regs = std::mem::take(&mut uregs);
-        run.exec_tape(&prog.prologue, &mut prologue_regs, &[], 0, 0)?;
-        uregs = prologue_regs;
-    }
-    run.fast = prog.block_is_interior(bx, by);
+/// Run one block on the scalar engine: uniform prologue, interior
+/// classification, then all threads phase by phase. Stores land in
+/// `journal`; the returned range is this block's slice of it.
+pub(crate) fn run_block(
+    prog: &CompiledKernel,
+    bufs: &[BufView<'_>],
+    bx: u32,
+    by: u32,
+    scratch: &mut BlockScratch,
+    journal: &mut Vec<StoreRec>,
+) -> Result<(std::ops::Range<usize>, ExecStats), SimError> {
+    let start = journal.len();
+    scratch.reset_tiles(prog);
+    exec_prologue(prog, bufs, bx, by, scratch)?;
+    let mut run = BlockRun {
+        prog,
+        bufs,
+        shared: &mut scratch.shared,
+        stores: journal,
+        stats: ExecStats::default(),
+        call_scratch: &mut scratch.call_scratch,
+        fast: prog.block_is_interior(bx, by),
+        bx: bx as i64,
+        by: by as i64,
+    };
+    let uregs = &scratch.uregs;
 
     let (tbx, tby) = prog.block;
     let n_regs = prog.n_regs.max(1);
     if prog.phases.len() == 1 {
         // Single phase: one reusable register file. Every register read
         // is dominated by a write in the same run (declare-before-use is
-        // enforced at compile time), so stale values are never observed.
-        let mut regs = vec![Const::Int(0); n_regs];
+        // enforced at compile time), so stale values are never observed —
+        // which also makes reuse across blocks and launches safe.
+        scratch.regs.resize(n_regs, Const::Int(0));
+        let regs = &mut scratch.regs;
         let tape = &prog.phases[0];
         for ty in 0..tby {
             for tx in 0..tbx {
-                run.exec_tape(tape, &mut regs, &uregs, tx as i64, ty as i64)?;
+                run.exec_tape(tape, regs, uregs, tx as i64, ty as i64)?;
             }
         }
     } else {
         // Registers persist across phases per thread, like the
-        // interpreter's thread-local variables.
+        // interpreter's thread-local variables; zeroed per block exactly
+        // like the former per-block allocation.
         let nthreads = (tbx * tby) as usize;
-        let mut all_regs = vec![Const::Int(0); n_regs * nthreads];
-        let mut done = vec![false; nthreads];
+        scratch.regs.clear();
+        scratch.regs.resize(n_regs * nthreads, Const::Int(0));
+        scratch.done.clear();
+        scratch.done.resize(nthreads, false);
+        let all_regs = &mut scratch.regs;
+        let done = &mut scratch.done;
         let n_phases = prog.phases.len();
         for (pi, tape) in prog.phases.iter().enumerate() {
             let mut ti = 0usize;
@@ -2064,7 +2210,7 @@ fn run_block(
                 for tx in 0..tbx {
                     if !done[ti] {
                         let regs = &mut all_regs[ti * n_regs..(ti + 1) * n_regs];
-                        if run.exec_tape(tape, regs, &uregs, tx as i64, ty as i64)? {
+                        if run.exec_tape(tape, regs, uregs, tx as i64, ty as i64)? {
                             done[ti] = true;
                         }
                     }
@@ -2077,7 +2223,31 @@ fn run_block(
         }
     }
 
-    Ok((run.stores, run.stats))
+    let end = run.stores.len();
+    Ok((start..end, run.stats))
+}
+
+/// Run one block under `mode`. The simd engine rolls back its partial
+/// journal and re-runs the whole block on the scalar path whenever it
+/// hits an error, so error identity — like everything else observable —
+/// is always decided by the scalar engine.
+#[allow(clippy::too_many_arguments)]
+fn run_block_dispatch(
+    prog: &CompiledKernel,
+    bufs: &[BufView<'_>],
+    bx: u32,
+    by: u32,
+    scratch: &mut BlockScratch,
+    journal: &mut Vec<StoreRec>,
+    simd_ok: bool,
+    tel: &mut crate::sched::SimdTelemetry,
+) -> Result<(std::ops::Range<usize>, ExecStats), SimError> {
+    if simd_ok {
+        if let Ok(out) = crate::simd::run_block_simd(prog, bufs, bx, by, scratch, journal, tel) {
+            return Ok(out);
+        }
+    }
+    run_block(prog, bufs, bx, by, scratch, journal)
 }
 
 impl CompiledKernel {
@@ -2089,7 +2259,13 @@ impl CompiledKernel {
     /// The bound buffers must still have the geometry observed at compile
     /// time (the interior checks were derived from it).
     pub fn run(&self, mem: &mut DeviceMemory) -> Result<ExecStats, SimError> {
-        self.run_inner(mem, false, None).map(|(stats, _, _)| stats)
+        self.run_with(mem, ExecMode::Scalar)
+    }
+
+    /// [`Self::run`] under an explicit [`ExecMode`].
+    pub fn run_with(&self, mem: &mut DeviceMemory, mode: ExecMode) -> Result<ExecStats, SimError> {
+        self.run_inner(mem, false, None, mode)
+            .map(|(stats, _, _)| stats)
     }
 
     /// [`Self::run`] while recording per-block statistics: identical
@@ -2101,7 +2277,16 @@ impl CompiledKernel {
         &self,
         mem: &mut DeviceMemory,
     ) -> Result<(ExecStats, crate::sched::ExecProfile), SimError> {
-        let (stats, profile, _) = self.run_inner(mem, true, None)?;
+        self.run_profiled_with(mem, ExecMode::Scalar)
+    }
+
+    /// [`Self::run_profiled`] under an explicit [`ExecMode`].
+    pub fn run_profiled_with(
+        &self,
+        mem: &mut DeviceMemory,
+        mode: ExecMode,
+    ) -> Result<(ExecStats, crate::sched::ExecProfile), SimError> {
+        let (stats, profile, _) = self.run_inner(mem, true, None, mode)?;
         Ok((stats, profile.expect("profiling requested")))
     }
 
@@ -2124,7 +2309,24 @@ impl CompiledKernel {
         ),
         SimError,
     > {
-        let (stats, profile, faults) = self.run_inner(mem, true, Some(hook))?;
+        self.run_faulted_with(mem, hook, ExecMode::Scalar)
+    }
+
+    /// [`Self::run_faulted`] under an explicit [`ExecMode`].
+    pub fn run_faulted_with(
+        &self,
+        mem: &mut DeviceMemory,
+        hook: &dyn crate::inject::FaultHook,
+        mode: ExecMode,
+    ) -> Result<
+        (
+            ExecStats,
+            crate::sched::ExecProfile,
+            crate::inject::FaultedRun,
+        ),
+        SimError,
+    > {
+        let (stats, profile, faults) = self.run_inner(mem, true, Some(hook), mode)?;
         Ok((
             stats,
             profile.expect("profiling requested"),
@@ -2141,13 +2343,37 @@ impl CompiledKernel {
         mem: &DeviceMemory,
         blocks: &[(u32, u32)],
     ) -> Result<(Vec<crate::inject::RepairStore>, ExecStats), SimError> {
+        self.run_blocks_with(mem, blocks, ExecMode::Scalar)
+    }
+
+    /// [`Self::run_blocks`] under an explicit [`ExecMode`].
+    pub fn run_blocks_with(
+        &self,
+        mem: &DeviceMemory,
+        blocks: &[(u32, u32)],
+        mode: ExecMode,
+    ) -> Result<(Vec<crate::inject::RepairStore>, ExecStats), SimError> {
         let bufs = self.buffer_views(mem)?;
+        let simd_ok = mode == ExecMode::Simd && crate::simd::plan_supported(self);
+        let mut scratch = BlockScratch::default();
+        let mut journal = Vec::new();
+        let mut tel = crate::sched::SimdTelemetry::default();
         let mut out = Vec::new();
         let mut stats = ExecStats::default();
         for &(bx, by) in blocks {
-            let (stores, block_stats) = run_block(self, &bufs, bx, by)?;
+            journal.clear();
+            let (range, block_stats) = run_block_dispatch(
+                self,
+                &bufs,
+                bx,
+                by,
+                &mut scratch,
+                &mut journal,
+                simd_ok,
+                &mut tel,
+            )?;
             stats.merge(&block_stats);
-            out.extend(stores.into_iter().map(|s| crate::inject::RepairStore {
+            out.extend(journal[range].iter().map(|s| crate::inject::RepairStore {
                 buf: self.globals[s.buf as usize].name.clone(),
                 idx: s.idx as usize,
                 value: s.value,
@@ -2186,6 +2412,7 @@ impl CompiledKernel {
         mem: &mut DeviceMemory,
         profile: bool,
         hook: Option<&dyn crate::inject::FaultHook>,
+        mode: ExecMode,
     ) -> Result<
         (
             ExecStats,
@@ -2202,6 +2429,8 @@ impl CompiledKernel {
         let deadline = hook.and_then(|h| h.deadline_us());
 
         let bufs = self.buffer_views(mem)?;
+        let simd_ok = mode == ExecMode::Simd && crate::simd::plan_supported(self);
+        let key = self.scratch_key();
 
         let (gx, gy) = self.grid;
         let blocks: Vec<(u32, u32)> = (0..gy)
@@ -2212,16 +2441,28 @@ impl CompiledKernel {
         // Strided block-to-worker assignment with results keyed by the
         // linear block index, exactly like the tree-walk engine: stores
         // are applied in block order afterwards, so outputs stay
-        // bit-identical regardless of the worker count. The trailing u64
-        // is the block's virtual latency (0 without a fault hook).
-        type BlockOut = (usize, Vec<StoreRec>, ExecStats, u64);
+        // bit-identical regardless of the worker count. Each worker owns
+        // one pooled journal; a block's stores are a range of it. The
+        // trailing u64 is the block's virtual latency (0 without a fault
+        // hook).
+        type BlockOut = (usize, std::ops::Range<usize>, ExecStats, u64);
+        type WorkerOut = (
+            Vec<BlockOut>,
+            Vec<StoreRec>,
+            crate::sched::SimdTelemetry,
+            BlockScratch,
+        );
         let bufs_ref = &bufs;
         let blocks_ref = &blocks;
-        let mut results: Vec<Result<Vec<BlockOut>, SimError>> = Vec::new();
+        let mut results: Vec<Result<WorkerOut, SimError>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for w in 0..n_workers {
                 handles.push(scope.spawn(move || {
+                    let mut scratch = SCRATCH_POOL.checkout(key).unwrap_or_default();
+                    let mut journal = std::mem::take(&mut scratch.journal);
+                    journal.clear();
+                    let mut tel = crate::sched::SimdTelemetry::default();
                     let mut out: Vec<BlockOut> = Vec::with_capacity(crate::sched::worker_share(
                         blocks_ref.len(),
                         n_workers,
@@ -2244,10 +2485,19 @@ impl CompiledKernel {
                                 }
                             }
                         }
-                        let (s, block_stats) = run_block(self, bufs_ref, bx, by)?;
-                        out.push((i, s, block_stats, lat));
+                        let (range, block_stats) = run_block_dispatch(
+                            self,
+                            bufs_ref,
+                            bx,
+                            by,
+                            &mut scratch,
+                            &mut journal,
+                            simd_ok,
+                            &mut tel,
+                        )?;
+                        out.push((i, range, block_stats, lat));
                     }
-                    Ok(out)
+                    Ok((out, journal, tel, scratch))
                 }));
             }
             for h in handles {
@@ -2258,24 +2508,32 @@ impl CompiledKernel {
 
         let mut slots: Vec<Option<BlockOut>> = (0..blocks.len()).map(|_| None).collect();
         let mut worker_vtime = vec![0u64; n_workers];
+        let mut journals: Vec<Vec<StoreRec>> = Vec::with_capacity(n_workers);
+        let mut scratches: Vec<BlockScratch> = Vec::with_capacity(n_workers);
+        let mut tel_total = crate::sched::SimdTelemetry::default();
         for (w, result) in results.into_iter().enumerate() {
-            for (i, stores, stats, lat) in result? {
+            let (outs, journal, tel, scratch) = result?;
+            tel_total.merge(&tel);
+            for (i, range, stats, lat) in outs {
                 worker_vtime[w] = worker_vtime[w].saturating_add(lat);
-                slots[i] = Some((w, stores, stats, lat));
+                slots[i] = Some((w, range, stats, lat));
             }
+            journals.push(journal);
+            scratches.push(scratch);
         }
 
         let mut stats_total = ExecStats::default();
         let mut exec_profile = profile.then(|| crate::sched::ExecProfile {
             n_workers,
             blocks: Vec::with_capacity(blocks.len()),
+            simd: (mode == ExecMode::Simd).then_some(tel_total),
         });
         let mut faulted = hook.map(|_| crate::inject::FaultedRun {
             ledger: Vec::with_capacity(blocks.len()),
             virtual_us: worker_vtime.iter().copied().max().unwrap_or(0),
         });
         for (i, slot) in slots.into_iter().enumerate() {
-            let (worker, mut stores, block_stats, lat) = slot.expect("every block ran");
+            let (worker, range, block_stats, lat) = slot.expect("every block ran");
             stats_total.merge(&block_stats);
             let (bx, by) = blocks[i];
             if let Some(p) = exec_profile.as_mut() {
@@ -2286,17 +2544,21 @@ impl CompiledKernel {
                     stats: block_stats,
                 });
             }
+            // Faults mutate the journal range in place; `Drop` skips the
+            // commit entirely (the former `stores.clear()`).
+            let mut dropped = false;
             if let (Some(h), Some(run)) = (hook, faulted.as_mut()) {
                 use crate::inject::{combine_hash, store_hash, BlockFault, POISON_BITS};
                 let border = crate::inject::is_border_block(bx, by, self.grid);
+                let stores = &mut journals[worker][range.clone()];
                 let mut expected = 0u64;
-                for st in &stores {
+                for st in stores.iter() {
                     let name = &self.globals[st.buf as usize].name;
                     expected = combine_hash(expected, store_hash(name, st.idx as usize, st.value));
                 }
                 match h.block_fault(bx, by, border) {
                     BlockFault::None => {}
-                    BlockFault::Drop => stores.clear(),
+                    BlockFault::Drop => dropped = true,
                     BlockFault::FlipBits { nth, mask } => {
                         if !stores.is_empty() {
                             let t = nth as usize % stores.len();
@@ -2304,16 +2566,18 @@ impl CompiledKernel {
                         }
                     }
                     BlockFault::Poison => {
-                        for st in &mut stores {
+                        for st in stores.iter_mut() {
                             st.value = f32::from_bits(POISON_BITS);
                         }
                     }
                 }
                 let mut committed = 0u64;
-                for st in &stores {
-                    let name = &self.globals[st.buf as usize].name;
-                    committed =
-                        combine_hash(committed, store_hash(name, st.idx as usize, st.value));
+                if !dropped {
+                    for st in stores.iter() {
+                        let name = &self.globals[st.buf as usize].name;
+                        committed =
+                            combine_hash(committed, store_hash(name, st.idx as usize, st.value));
+                    }
                 }
                 run.ledger.push(crate::inject::BlockLedger {
                     bx,
@@ -2324,13 +2588,23 @@ impl CompiledKernel {
                     virtual_us: lat,
                 });
             }
-            for st in stores {
-                let name = &self.globals[st.buf as usize].name;
-                let buf = mem
-                    .buffer_mut(name)
-                    .ok_or_else(|| SimError::UnboundBuffer(name.clone()))?;
-                buf.data[st.idx as usize] = st.value;
+            if !dropped {
+                for st in &journals[worker][range] {
+                    let name = &self.globals[st.buf as usize].name;
+                    let buf = mem
+                        .buffer_mut(name)
+                        .ok_or_else(|| SimError::UnboundBuffer(name.clone()))?;
+                    buf.data[st.idx as usize] = st.value;
+                }
             }
+        }
+
+        // Park the per-worker scratch for the next launch of the same
+        // geometry (journals keep their capacity, not their contents).
+        for (journal, mut scratch) in journals.into_iter().zip(scratches) {
+            scratch.journal = journal;
+            scratch.journal.clear();
+            SCRATCH_POOL.publish(key, scratch);
         }
         Ok((stats_total, exec_profile, faulted))
     }
@@ -2356,8 +2630,9 @@ mod tests {
     };
     use hipacc_ir::stmt::LValue;
 
-    /// Run the same launch through both engines and assert bit-identical
-    /// outputs and identical dynamic statistics, then return them.
+    /// Run the same launch through all three engines and assert
+    /// bit-identical outputs and identical dynamic statistics, then
+    /// return them.
     fn engines_agree(
         k: &DeviceKernelDef,
         p: &LaunchParams,
@@ -2365,14 +2640,27 @@ mod tests {
     ) -> (DeviceMemory, ExecStats) {
         let mut mem_tree = mem.clone();
         let mut mem_bc = mem.clone();
+        let mut mem_simd = mem.clone();
         let stats_tree = interp::execute(k, p, &mut mem_tree).unwrap();
         let stats_bc = execute(k, p, &mut mem_bc).unwrap();
+        let stats_simd = compile(k, p, &mem_simd)
+            .unwrap()
+            .run_with(&mut mem_simd, ExecMode::Simd)
+            .unwrap();
         assert_eq!(stats_tree, stats_bc, "ExecStats diverge for `{}`", k.name);
+        assert_eq!(
+            stats_tree, stats_simd,
+            "simd ExecStats diverge for `{}`",
+            k.name
+        );
         for name in mem_tree.buffer_names() {
             let a = &mem_tree.buffer(&name).unwrap().data;
-            let b = &mem_bc.buffer(&name).unwrap().data;
-            let eq = a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
-            assert!(eq, "buffer `{name}` diverges for `{}`", k.name);
+            for (engine, m) in [("bytecode", &mem_bc), ("simd", &mem_simd)] {
+                let b = &m.buffer(&name).unwrap().data;
+                let eq =
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(eq, "buffer `{name}` diverges for `{}` on {engine}", k.name);
+            }
         }
         (mem_bc, stats_bc)
     }

@@ -853,6 +853,7 @@ fn execute_inner(
     let mut exec_profile = profile.then(|| crate::sched::ExecProfile {
         n_workers,
         blocks: Vec::with_capacity(blocks.len()),
+        simd: None,
     });
     let mut faulted = hook.map(|_| crate::inject::FaultedRun {
         ledger: Vec::with_capacity(blocks.len()),

@@ -38,6 +38,10 @@ pub struct LaunchSpec<'a> {
     /// Explicit host worker-thread count for the parallel block loop
     /// (`None` = `HIPACC_SIM_THREADS`, then available parallelism).
     pub sim_threads: Option<usize>,
+    /// Explicit engine override (`None` = `HIPACC_SIM_ENGINE`, then
+    /// [`Engine::default`]). Only consulted by [`run_on_image`]; the
+    /// `*_with` entry points take the engine as an argument.
+    pub engine: Option<Engine>,
 }
 
 /// Result of a simulated launch.
@@ -59,10 +63,71 @@ pub enum Engine {
     /// Walk the IR tree directly per thread (see [`crate::interp`]).
     /// Reference semantics; slower.
     TreeWalk,
+    /// The bytecode tape executed warp-vectorized over SoA register
+    /// lanes (see [`crate::simd`]). Bit- and stat-identical to the other
+    /// engines; fastest on convergent stencil kernels.
+    Simd,
 }
 
-/// Run a device kernel over host images with the default engine
-/// ([`Engine::Bytecode`]).
+impl Engine {
+    /// Stable lowercase name, also accepted by [`parse_engine_env`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Bytecode => "bytecode",
+            Engine::TreeWalk => "tree-walk",
+            Engine::Simd => "simd",
+        }
+    }
+
+    /// The [`crate::bytecode::ExecMode`] implementing this engine on the
+    /// compiled-tape runner (`None` for the tree-walk interpreter, which
+    /// has no tape).
+    pub fn exec_mode(self) -> Option<crate::bytecode::ExecMode> {
+        match self {
+            Engine::Bytecode => Some(crate::bytecode::ExecMode::Scalar),
+            Engine::Simd => Some(crate::bytecode::ExecMode::Simd),
+            Engine::TreeWalk => None,
+        }
+    }
+}
+
+/// Environment variable selecting the execution engine (lowest
+/// precedence, below [`LaunchSpec::engine`] and the explicit `*_with`
+/// arguments).
+pub const ENGINE_ENV: &str = "HIPACC_SIM_ENGINE";
+
+/// Parse a `HIPACC_SIM_ENGINE` value: `bytecode`, `tree-walk` or `simd`.
+///
+/// Unknown names are rejected with a description — a typo'd override
+/// must fail the launch, not silently run a different engine than the
+/// benchmark believes it is measuring.
+pub fn parse_engine_env(raw: &str) -> Result<Engine, String> {
+    match raw.trim() {
+        "bytecode" => Ok(Engine::Bytecode),
+        "tree-walk" => Ok(Engine::TreeWalk),
+        "simd" => Ok(Engine::Simd),
+        other => Err(format!(
+            "{ENGINE_ENV} must be one of `bytecode`, `tree-walk`, `simd`, got `{other}`"
+        )),
+    }
+}
+
+/// Resolve the effective engine: the explicit override wins, then
+/// `HIPACC_SIM_ENGINE`, then [`Engine::default`]. An invalid environment
+/// value is a launch error, not a silent fallback.
+pub fn resolve_engine(explicit: Option<Engine>) -> Result<Engine, SimError> {
+    if let Some(e) = explicit {
+        return Ok(e);
+    }
+    match std::env::var(ENGINE_ENV) {
+        Ok(raw) => parse_engine_env(&raw).map_err(SimError::InvalidLaunch),
+        Err(_) => Ok(Engine::default()),
+    }
+}
+
+/// Run a device kernel over host images with the resolved engine:
+/// [`LaunchSpec::engine`] if set, else `HIPACC_SIM_ENGINE`, else
+/// [`Engine::Bytecode`].
 ///
 /// The first input image defines the output geometry. Buffers named in the
 /// kernel but missing from `inputs`/`mask_data` produce
@@ -71,7 +136,7 @@ pub fn run_on_image(
     kernel: &DeviceKernelDef,
     spec: &LaunchSpec<'_>,
 ) -> Result<LaunchResult, SimError> {
-    run_on_image_with(kernel, spec, Engine::default())
+    run_on_image_with(kernel, spec, resolve_engine(spec.engine)?)
 }
 
 /// Run a device kernel over host images on an explicitly chosen engine.
@@ -81,9 +146,9 @@ pub fn run_on_image_with(
     engine: Engine,
 ) -> Result<LaunchResult, SimError> {
     let (mut mem, params) = prepare(kernel, spec)?;
-    let stats = match engine {
-        Engine::Bytecode => crate::bytecode::execute(kernel, &params, &mut mem)?,
-        Engine::TreeWalk => crate::interp::execute(kernel, &params, &mut mem)?,
+    let stats = match engine.exec_mode() {
+        Some(mode) => crate::bytecode::compile(kernel, &params, &mem)?.run_with(&mut mem, mode)?,
+        None => crate::interp::execute(kernel, &params, &mut mem)?,
     };
     let output = download_output(&mem)?;
     Ok(LaunchResult { output, stats })
@@ -115,11 +180,11 @@ pub fn run_on_image_profiled(
     engine: Engine,
 ) -> Result<(LaunchResult, crate::sched::ExecProfile), SimError> {
     let (mut mem, params) = prepare(kernel, spec)?;
-    let (stats, profile) = match engine {
-        Engine::Bytecode => {
-            crate::bytecode::compile(kernel, &params, &mem)?.run_profiled(&mut mem)?
+    let (stats, profile) = match engine.exec_mode() {
+        Some(mode) => {
+            crate::bytecode::compile(kernel, &params, &mem)?.run_profiled_with(&mut mem, mode)?
         }
-        Engine::TreeWalk => crate::interp::execute_profiled(kernel, &params, &mut mem)?,
+        None => crate::interp::execute_profiled(kernel, &params, &mut mem)?,
     };
     let output = download_output(&mem)?;
     Ok((LaunchResult { output, stats }, profile))
@@ -163,11 +228,10 @@ pub fn run_on_image_faulted(
         // faulty attempts): take the plain profiled path so the launch
         // is byte-for-byte and cost-for-cost identical to an unfaulted
         // one, and report an empty (trivially clean) ledger.
-        let (stats, exec) = match engine {
-            Engine::Bytecode => {
-                crate::bytecode::compile(kernel, &params, &mem)?.run_profiled(&mut mem)?
-            }
-            Engine::TreeWalk => crate::interp::execute_profiled(kernel, &params, &mut mem)?,
+        let (stats, exec) = match engine.exec_mode() {
+            Some(mode) => crate::bytecode::compile(kernel, &params, &mem)?
+                .run_profiled_with(&mut mem, mode)?,
+            None => crate::interp::execute_profiled(kernel, &params, &mut mem)?,
         };
         let output = download_output(&mem)?;
         return Ok(FaultedLaunch {
@@ -181,11 +245,10 @@ pub fn run_on_image_faulted(
     // The bytecode engine captures constant banks at compile time, so
     // memory corruption must land before either engine compiles.
     hook.corrupt_memory(&mut mem);
-    let (stats, exec, run) = match engine {
-        Engine::Bytecode => {
-            crate::bytecode::compile(kernel, &params, &mem)?.run_faulted(&mut mem, hook)?
-        }
-        Engine::TreeWalk => crate::interp::execute_faulted(kernel, &params, &mut mem, hook)?,
+    let (stats, exec, run) = match engine.exec_mode() {
+        Some(mode) => crate::bytecode::compile(kernel, &params, &mem)?
+            .run_faulted_with(&mut mem, hook, mode)?,
+        None => crate::interp::execute_faulted(kernel, &params, &mut mem, hook)?,
     };
     let output = download_output(&mem)?;
     Ok(FaultedLaunch {
@@ -234,11 +297,11 @@ pub fn repair_blocks(
     blocks: &[(u32, u32)],
 ) -> Result<(Vec<crate::inject::RepairStore>, ExecStats), SimError> {
     let (mem, params) = prepare(kernel, spec)?;
-    match engine {
-        Engine::Bytecode => {
-            crate::bytecode::compile(kernel, &params, &mem)?.run_blocks(&mem, blocks)
+    match engine.exec_mode() {
+        Some(mode) => {
+            crate::bytecode::compile(kernel, &params, &mem)?.run_blocks_with(&mem, blocks, mode)
         }
-        Engine::TreeWalk => crate::interp::execute_blocks(kernel, &params, &mem, blocks),
+        None => crate::interp::execute_blocks(kernel, &params, &mem, blocks),
     }
 }
 

@@ -53,16 +53,18 @@ pub mod launch;
 pub mod memory;
 pub mod observer;
 pub mod sched;
+pub mod simd;
 pub mod timing;
 
-pub use bytecode::{compile, execute as execute_bytecode, CompiledKernel};
+pub use bytecode::{compile, execute as execute_bytecode, CompiledKernel, ExecMode};
 pub use inject::{BlockFault, BlockLedger, FaultHook, FaultedRun, RepairStore};
 pub use interp::{execute, execute_observed, execute_profiled, ExecStats, SimError};
 pub use launch::{
-    repair_blocks, run_on_image, run_on_image_faulted, run_on_image_observed,
-    run_on_image_profiled, run_on_image_with, Engine, FaultedLaunch, LaunchResult,
+    parse_engine_env, repair_blocks, resolve_engine, run_on_image, run_on_image_faulted,
+    run_on_image_observed, run_on_image_profiled, run_on_image_with, Engine, FaultedLaunch,
+    LaunchResult, ENGINE_ENV,
 };
 pub use memory::{DeviceMemory, LaunchParams};
 pub use observer::ObserverReport;
-pub use sched::{effective_workers, parse_thread_env, BlockProfile, ExecProfile};
+pub use sched::{effective_workers, parse_thread_env, BlockProfile, ExecProfile, SimdTelemetry};
 pub use timing::{estimate_time, TimeBreakdown, TimingInput};

@@ -20,6 +20,7 @@
 //! [`LaunchParams::sim_threads`]: crate::memory::LaunchParams::sim_threads
 
 use crate::interp::{ExecStats, SimError};
+use std::sync::Mutex;
 
 /// Environment variable overriding the worker count (lowest precedence).
 pub const THREADS_ENV: &str = "HIPACC_SIM_THREADS";
@@ -84,6 +85,93 @@ pub fn worker_share(n_blocks: usize, n_workers: usize, worker: usize) -> usize {
     (n_blocks - worker).div_ceil(n_workers.max(1))
 }
 
+/// A bounded pool of reusable per-worker scratch allocations, shared
+/// across launches.
+///
+/// Workers check an item out at launch start and publish it back after
+/// the block loop, so steady-state launches reuse the register files,
+/// shared-memory tiles and store journals of earlier launches instead of
+/// reallocating them per launch (and, since the refactor that introduced
+/// this pool, never per *block*). Items are keyed by a caller-computed
+/// geometry hash: a checkout only returns an item published under the
+/// same key, so a kernel with a different register-file or tile shape
+/// can never observe a mismatched allocation.
+///
+/// The pool is deliberately tiny and lock-per-op: checkouts happen once
+/// per worker per launch, not in the hot loop.
+pub struct ScratchPool<T> {
+    slots: Mutex<Vec<(u64, T)>>,
+    capacity: usize,
+}
+
+impl<T> ScratchPool<T> {
+    /// An empty pool holding at most `capacity` parked items.
+    pub const fn new(capacity: usize) -> Self {
+        ScratchPool {
+            slots: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    /// Take one item published under `key`, if any.
+    pub fn checkout(&self, key: u64) -> Option<T> {
+        let mut slots = self.slots.lock().ok()?;
+        let pos = slots.iter().position(|(k, _)| *k == key)?;
+        Some(slots.swap_remove(pos).1)
+    }
+
+    /// Park an item for later checkouts under `key`. Dropped silently
+    /// when the pool is full — pooling is an optimization, never a
+    /// correctness dependency.
+    pub fn publish(&self, key: u64, item: T) {
+        if let Ok(mut slots) = self.slots.lock() {
+            if slots.len() < self.capacity {
+                slots.push((key, item));
+            }
+        }
+    }
+
+    /// Number of currently parked items (for tests).
+    pub fn parked(&self) -> usize {
+        self.slots.lock().map(|s| s.len()).unwrap_or(0)
+    }
+}
+
+/// Warp-level occupancy telemetry of the simd engine: how full the
+/// active-lane mask was, averaged over every executed instruction group.
+///
+/// One "step" is one instruction executed for one set of lanes; fully
+/// converged warps contribute one step per instruction with all live
+/// lanes active, while divergent warps take extra steps with partial
+/// masks — so `mean_active_fraction` is exactly the classic SIMT
+/// "warp execution efficiency" metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimdTelemetry {
+    /// Lanes per warp (the engine's compile-time warp width).
+    pub warp_width: u32,
+    /// Instruction groups executed across all warps and blocks.
+    pub warp_steps: u64,
+    /// Sum over steps of the number of active lanes.
+    pub active_lane_sum: u64,
+}
+
+impl SimdTelemetry {
+    /// Accumulate another block's telemetry.
+    pub fn merge(&mut self, other: &SimdTelemetry) {
+        self.warp_width = self.warp_width.max(other.warp_width);
+        self.warp_steps += other.warp_steps;
+        self.active_lane_sum += other.active_lane_sum;
+    }
+
+    /// Mean fraction of the warp active per executed instruction group,
+    /// in `[0, 1]`. `None` when no warp instructions ran (e.g. every
+    /// block fell back to the scalar path).
+    pub fn mean_active_fraction(&self) -> Option<f64> {
+        let denom = self.warp_steps as f64 * self.warp_width as f64;
+        (denom > 0.0).then(|| self.active_lane_sum as f64 / denom)
+    }
+}
+
 /// One block's contribution to an execution profile.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockProfile {
@@ -105,6 +193,8 @@ pub struct ExecProfile {
     pub n_workers: usize,
     /// Per-block records, ordered by linear block index.
     pub blocks: Vec<BlockProfile>,
+    /// Warp-occupancy telemetry when the launch ran on the simd engine.
+    pub simd: Option<SimdTelemetry>,
 }
 
 impl ExecProfile {
@@ -204,6 +294,7 @@ mod tests {
         let mut p = ExecProfile {
             n_workers: 2,
             blocks: Vec::new(),
+            simd: None,
         };
         for i in 0..5u32 {
             p.blocks.push(BlockProfile {
@@ -218,5 +309,31 @@ mod tests {
         }
         assert_eq!(p.total().global_loads, 50);
         assert_eq!(p.blocks_per_worker(), vec![3, 2]);
+    }
+
+    #[test]
+    fn scratch_pool_respects_keys_and_capacity() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new(2);
+        assert_eq!(pool.checkout(1), None, "empty pool");
+        pool.publish(1, vec![1]);
+        pool.publish(2, vec![2]);
+        pool.publish(3, vec![3]); // over capacity: dropped
+        assert_eq!(pool.parked(), 2);
+        assert_eq!(pool.checkout(3), None, "dropped item never surfaces");
+        assert_eq!(pool.checkout(2), Some(vec![2]), "keyed checkout");
+        assert_eq!(pool.checkout(2), None, "checkout removes the item");
+        assert_eq!(pool.checkout(1), Some(vec![1]));
+    }
+
+    #[test]
+    fn simd_telemetry_mean_active_fraction() {
+        let mut t = SimdTelemetry::default();
+        assert_eq!(t.mean_active_fraction(), None, "no steps, no fraction");
+        t.merge(&SimdTelemetry {
+            warp_width: 16,
+            warp_steps: 10,
+            active_lane_sum: 120,
+        });
+        assert_eq!(t.mean_active_fraction(), Some(0.75));
     }
 }

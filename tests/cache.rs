@@ -1,0 +1,277 @@
+//! Integration tests for the cross-launch kernel cache and the
+//! engine/warp reporting in the launch profile.
+//!
+//! * A cache hit serves an artifact byte-identical to a fresh compile —
+//!   same generated sources, same device IR, same launch outputs.
+//! * A warm cache removes the compile phases from steady-state launch
+//!   profiles entirely: no compile spans, empty `phase_times`, and the
+//!   report says so.
+//! * The supervisor bypasses the cache on degraded rungs and never
+//!   retains a degraded artifact, so config degradation can never leak
+//!   a stale tape into later healthy launches.
+//! * The profile names the engine that ran and, on the simd engine,
+//!   reports mean warp occupancy.
+
+use hipacc_core::prelude::*;
+use hipacc_core::{Engine, FaultPlan, KernelCache, SupervisorConfig, Target};
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_hwmodel::device;
+use hipacc_image::phantom;
+use std::sync::Arc;
+
+fn test_image() -> Image<f32> {
+    phantom::vessel_tree(96, 80, &phantom::VesselParams::default())
+}
+
+fn cached_op(cache: &Arc<KernelCache>) -> hipacc_core::Operator {
+    let mut op = gaussian_operator(5, 1.1, BoundaryMode::Clamp);
+    op.options.cache = Some(Arc::clone(cache));
+    op
+}
+
+/// The artifact served from the cache is byte-identical to a fresh
+/// compile: identical `Debug` rendering (device IR, generated sources,
+/// config, phase structure) and identical launch behaviour.
+#[test]
+fn cached_and_fresh_compiles_produce_byte_identical_tapes() {
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+    let cache = Arc::new(KernelCache::default());
+
+    let fresh = gaussian_operator(5, 1.1, BoundaryMode::Clamp)
+        .execute(&[("Input", &img)], &target)
+        .unwrap();
+    let miss = cached_op(&cache)
+        .execute(&[("Input", &img)], &target)
+        .unwrap();
+    let hit = cached_op(&cache)
+        .execute(&[("Input", &img)], &target)
+        .unwrap();
+    assert_eq!(cache.hits(), 1, "second launch must be served from cache");
+    assert_eq!(cache.misses(), 1);
+
+    // `phase_times` carries wall-clock timings, which legitimately differ
+    // between compiles; everything else must match bit for bit.
+    let strip = |mut c: hipacc_codegen::CompiledKernel| {
+        c.phase_times.clear();
+        format!("{c:?}")
+    };
+    let fresh_tape = strip(fresh.compiled);
+    assert_eq!(fresh_tape, strip(miss.compiled.clone()));
+    assert_eq!(fresh_tape, strip(hit.compiled.clone()));
+    assert_eq!(
+        format!("{:?}", miss.compiled),
+        format!("{:?}", hit.compiled),
+        "the cached artifact must be the inserted artifact, timings included"
+    );
+    assert_eq!(fresh.output.max_abs_diff(&miss.output), 0.0);
+    assert_eq!(fresh.output.max_abs_diff(&hit.output), 0.0);
+    assert_eq!(fresh.stats, hit.stats);
+}
+
+/// Steady state: the second profiled launch hits the cache, records zero
+/// compile time (no compile spans, empty phase breakdown) and says so in
+/// the report.
+#[test]
+fn warm_cache_removes_compile_phases_from_the_profile() {
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+    let cache = Arc::new(KernelCache::default());
+    let op = cached_op(&cache);
+
+    let (cold_run, cold) = op
+        .execute_profiled(&[("Input", &img)], &target, Engine::default())
+        .unwrap();
+    let cold_cache = cold.cache.as_ref().expect("cache was installed");
+    assert_eq!(cold_cache.outcome, "miss");
+    assert!(!cold.phase_times.is_empty(), "cold compile has phases");
+    assert!(cold.spans.iter().any(|s| s.name == "specialize"));
+
+    let (warm_run, warm) = op
+        .execute_profiled(&[("Input", &img)], &target, Engine::default())
+        .unwrap();
+    let warm_cache = warm.cache.as_ref().expect("cache was installed");
+    assert_eq!(warm_cache.outcome, "hit");
+    assert_eq!(warm_cache.hits, 1);
+    assert!(
+        warm.phase_times.is_empty(),
+        "a cache hit must report zero compile-phase time, got {:?}",
+        warm.phase_times
+    );
+    assert!(
+        warm.spans.iter().all(|s| s.cat != "compile"),
+        "a cache hit must record no compile spans, got {:?}",
+        warm.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert!(
+        warm.spans.iter().any(|s| s.name == "execute"),
+        "the launch span itself must still be recorded"
+    );
+    assert_eq!(cold_run.output.max_abs_diff(&warm_run.output), 0.0);
+    assert_eq!(cold_run.stats, warm_run.stats);
+    assert!(warm.render_text().contains("kernel cache: hit"));
+}
+
+/// The cache key covers everything that changes the artifact: different
+/// geometry, options or kernels never collide.
+#[test]
+fn distinct_configurations_never_share_an_entry() {
+    let img_a = test_image();
+    let img_b = phantom::gradient(64, 64);
+    let target = Target::cuda(device::tesla_c2050());
+    let cache = Arc::new(KernelCache::default());
+
+    let op = cached_op(&cache);
+    op.execute(&[("Input", &img_a)], &target).unwrap();
+    // Different geometry → different key → miss.
+    op.execute(&[("Input", &img_b)], &target).unwrap();
+    // Different compile options → different key → miss.
+    let mut forced = cached_op(&cache);
+    forced.options.force_config = Some((64, 2));
+    let run = forced.execute(&[("Input", &img_a)], &target).unwrap();
+    assert_eq!(
+        (run.compiled.config.bx, run.compiled.config.by),
+        (64, 2),
+        "forced config must not be shadowed by a cached artifact"
+    );
+    assert_eq!(cache.hits(), 0);
+    assert_eq!(cache.misses(), 3);
+    assert_eq!(cache.len(), 3);
+}
+
+/// Degraded supervisor rungs bypass the cache (recorded as bypasses, not
+/// misses) and never insert, so a fault-driven config degradation leaves
+/// no stale tape behind: a healthy launch afterwards still compiles (or
+/// reuses) the *healthy* configuration.
+#[test]
+fn degraded_rungs_bypass_the_cache_and_leave_no_stale_tape() {
+    let img = test_image();
+    let cfg = SupervisorConfig::default();
+    // A device whose scratchpad cannot hold the 5x5 tile: the initial
+    // rung fails at compile time and the supervisor degrades to global
+    // memory (see the fallback-chain fault tests).
+    let mut small = device::tesla_c2050();
+    small.shared_mem_per_sm = 512;
+    let degraded_target = Target::cuda(small);
+    let cache = Arc::new(KernelCache::default());
+
+    let mut op = cached_op(&cache);
+    op.options.variant = MemVariant::Scratchpad;
+    let sup = op
+        .execute_supervised(
+            &[("Input", &img)],
+            &degraded_target,
+            Engine::default(),
+            &FaultPlan::none(),
+            &cfg,
+        )
+        .expect("fallback must recover the launch");
+    assert_eq!(
+        sup.execution.compiled.mem_path,
+        hipacc_codegen::lower::MemPath::Global
+    );
+    let report = sup.profile.cache.as_ref().expect("cache was installed");
+    assert!(
+        report.outcome.starts_with("bypass"),
+        "degraded rung must bypass, got {:?}",
+        report.outcome
+    );
+    assert!(cache.bypasses() >= 1);
+    assert_eq!(
+        cache.len(),
+        0,
+        "no artifact may be retained from a degraded recovery"
+    );
+
+    // A healthy launch with the same cache compiles fresh — it cannot be
+    // served the degraded global-memory artifact.
+    let healthy_target = Target::cuda(device::tesla_c2050());
+    let mut healthy = cached_op(&cache);
+    healthy.options.variant = MemVariant::Scratchpad;
+    let run = healthy
+        .execute(&[("Input", &img)], &healthy_target)
+        .unwrap();
+    assert_eq!(
+        run.compiled.mem_path,
+        hipacc_codegen::lower::MemPath::Scratchpad,
+        "healthy launch must get the scratchpad artifact, not a stale tape"
+    );
+}
+
+/// The supervisor serves its initial rung from the cache: a repeated
+/// healthy supervised launch is a hit with zero compile-phase time and a
+/// bit-identical result.
+#[test]
+fn supervised_steady_state_hits_the_cache() {
+    let img = test_image();
+    let cfg = SupervisorConfig::default();
+    let target = Target::cuda(device::tesla_c2050());
+    let cache = Arc::new(KernelCache::default());
+    let op = cached_op(&cache);
+    let run = |op: &hipacc_core::Operator| {
+        op.execute_supervised(
+            &[("Input", &img)],
+            &target,
+            Engine::default(),
+            &FaultPlan::none(),
+            &cfg,
+        )
+        .unwrap()
+    };
+    let cold = run(&op);
+    let warm = run(&op);
+    assert_eq!(
+        warm.profile.cache.as_ref().map(|c| c.outcome.as_str()),
+        Some("hit")
+    );
+    assert!(warm.profile.phase_times.is_empty());
+    assert!(warm.profile.spans.iter().all(|s| s.cat != "compile"));
+    assert_eq!(
+        cold.execution.output.max_abs_diff(&warm.execution.output),
+        0.0
+    );
+}
+
+/// The profile names the engine and, on the simd engine, reports the
+/// mean active-lane fraction of all warp steps.
+#[test]
+fn profile_reports_engine_and_warp_occupancy() {
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+    let op = gaussian_operator(5, 1.1, BoundaryMode::Clamp);
+
+    let (_, simd) = op
+        .execute_profiled(&[("Input", &img)], &target, Engine::Simd)
+        .unwrap();
+    assert_eq!(simd.engine, "simd");
+    let w = simd.warp_occupancy.expect("simd launches report occupancy");
+    assert!(w > 0.0 && w <= 1.0, "occupancy {w} out of range");
+    let text = simd.render_text();
+    assert!(text.contains("simd engine"), "{text}");
+    assert!(text.contains("warp occupancy"), "{text}");
+
+    let (_, bc) = op
+        .execute_profiled(&[("Input", &img)], &target, Engine::Bytecode)
+        .unwrap();
+    assert_eq!(bc.engine, "bytecode");
+    assert_eq!(
+        bc.warp_occupancy, None,
+        "scalar engines have no warp telemetry"
+    );
+}
+
+/// `PipelineOptions::engine` selects the engine for `execute()` and the
+/// result is bit-identical to the default engine.
+#[test]
+fn engine_option_selects_the_simd_engine() {
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+    let reference = gaussian_operator(5, 1.1, BoundaryMode::Clamp)
+        .execute(&[("Input", &img)], &target)
+        .unwrap();
+    let mut op = gaussian_operator(5, 1.1, BoundaryMode::Clamp);
+    op.options.engine = Some(Engine::Simd);
+    let simd = op.execute(&[("Input", &img)], &target).unwrap();
+    assert_eq!(reference.output.max_abs_diff(&simd.output), 0.0);
+    assert_eq!(reference.stats, simd.stats);
+}

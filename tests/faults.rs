@@ -115,7 +115,7 @@ fn inert_plan_is_bit_identical_to_plain_execute_on_both_engines() {
     let cfg = SupervisorConfig::default();
     let target = Target::cuda(device::tesla_c2050());
     for (name, op) in shipped_operators() {
-        for engine in [Engine::Bytecode, Engine::TreeWalk] {
+        for engine in [Engine::Bytecode, Engine::TreeWalk, Engine::Simd] {
             let ins = inputs(name, &img);
             let plain = op.execute_with(&ins, &target, engine).unwrap();
             let sup = op
@@ -208,7 +208,7 @@ fn hung_worker_is_cancelled_and_cured_by_retry() {
     let reference = op
         .execute_with(&[("Input", &img)], &target, Engine::default())
         .unwrap();
-    for engine in [Engine::Bytecode, Engine::TreeWalk] {
+    for engine in [Engine::Bytecode, Engine::TreeWalk, Engine::Simd] {
         let plan = FaultPlan::hang_block(99, (0, 3), 10_000);
         let sup = op
             .execute_supervised(&[("Input", &img)], &target, engine, &plan, &cfg)
@@ -351,7 +351,7 @@ fn targeted_drop_is_repaired_selectively() {
     let reference = op
         .execute_with(&[("Input", &img)], &target, Engine::default())
         .unwrap();
-    for engine in [Engine::Bytecode, Engine::TreeWalk] {
+    for engine in [Engine::Bytecode, Engine::TreeWalk, Engine::Simd] {
         // Permanent drop: proves repair (not the seed rotation) cures it.
         let plan = FaultPlan {
             faulty_attempts: u32::MAX,
@@ -428,10 +428,16 @@ fn engines_agree_under_the_same_plan() {
     };
     let bc = run(Engine::Bytecode);
     let tw = run(Engine::TreeWalk);
+    let sd = run(Engine::Simd);
     assert_eq!(
         bc.execution.output.max_abs_diff(&tw.execution.output),
         0.0,
         "engines diverged under faults"
+    );
+    assert_eq!(
+        bc.execution.output.max_abs_diff(&sd.execution.output),
+        0.0,
+        "simd engine diverged under faults"
     );
     let actions = |s: &hipacc_core::Supervised| {
         s.recovery
@@ -441,6 +447,7 @@ fn engines_agree_under_the_same_plan() {
             .collect::<Vec<_>>()
     };
     assert_eq!(actions(&bc), actions(&tw));
+    assert_eq!(actions(&bc), actions(&sd));
 }
 
 /// The supervised profile carries the fault plan and a recovery span per

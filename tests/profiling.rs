@@ -114,7 +114,7 @@ fn profiled_run_matches_plain_execute() {
     let img = test_image();
     let op = gaussian_operator(5, 1.1, BoundaryMode::Clamp);
     let target = Target::cuda(device::tesla_c2050());
-    for engine in [Engine::Bytecode, Engine::TreeWalk] {
+    for engine in [Engine::Bytecode, Engine::TreeWalk, Engine::Simd] {
         let plain = op
             .execute_with(&[("Input", &img)], &target, engine)
             .unwrap();
@@ -157,7 +157,7 @@ fn engines_agree_on_region_profiles() {
 fn outputs_bit_identical_across_worker_counts() {
     let img = test_image();
     let target = Target::cuda(device::tesla_c2050());
-    for engine in [Engine::Bytecode, Engine::TreeWalk] {
+    for engine in [Engine::Bytecode, Engine::TreeWalk, Engine::Simd] {
         let mut reference: Option<(Image<f32>, hipacc_sim::ExecStats)> = None;
         for workers in [1usize, 3, 4, 7] {
             let mut op = gaussian_operator(5, 1.1, BoundaryMode::Clamp);

@@ -507,6 +507,33 @@ mod engines {
             });
             vars.push("acc");
         }
+        if rng.gen_below(2) == 0 {
+            // A *divergent* loop: the trip count depends on the thread
+            // index, so the lanes of one simd warp run different
+            // iteration counts and the engines must agree on the
+            // per-lane traces (loads included), not just on the final
+            // values.
+            body.push(Stmt::Decl {
+                name: "div".into(),
+                ty: ScalarType::F32,
+                init: Some(Expr::float(0.0)),
+            });
+            let modulus = rng.gen_range_i64(2, 7);
+            body.push(Stmt::For {
+                var: "j".into(),
+                from: Expr::int(0),
+                to: Expr::var("gid").rem(Expr::int(modulus)),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("div".into()),
+                    value: Expr::var("div")
+                        + Expr::GlobalLoad {
+                            buf: "IN".into(),
+                            idx: Box::new(Expr::var("gid") - Expr::var("j")),
+                        },
+                }],
+            });
+            vars.push("div");
+        }
         let value = gen_val_expr(rng, 3, &vars);
         if rng.gen_below(3) == 0 {
             body.push(Stmt::If {
@@ -569,29 +596,140 @@ mod engines {
             params.set_float("bias", rng.gen_range_f32(-1.0, 1.0));
 
             let mut mem_tree = mem.clone();
-            let mut mem_bc = mem;
+            let mut mem_bc = mem.clone();
+            let mut mem_simd = mem;
             let r_tree = hipacc_sim::execute(&k, &params, &mut mem_tree);
             let r_bc = hipacc_sim::execute_bytecode(&k, &params, &mut mem_bc);
-            match (r_tree, r_bc) {
-                (Ok(stats_tree), Ok(stats_bc)) => {
+            let r_simd = hipacc_sim::compile(&k, &params, &mem_simd)
+                .and_then(|c| c.run_with(&mut mem_simd, hipacc_sim::ExecMode::Simd));
+            match (r_tree, r_bc, r_simd) {
+                (Ok(stats_tree), Ok(stats_bc), Ok(stats_simd)) => {
                     assert_eq!(stats_tree, stats_bc, "ExecStats diverge [seed {seed:#x}]");
+                    assert_eq!(
+                        stats_tree, stats_simd,
+                        "simd ExecStats diverge [seed {seed:#x}]"
+                    );
                     for name in ["IN", "OUT"] {
                         let a = &mem_tree.buffer(name).unwrap().data;
-                        let b = &mem_bc.buffer(name).unwrap().data;
-                        let same = a.len() == b.len()
-                            && a.iter()
-                                .zip(b.iter())
-                                .all(|(x, y)| x.to_bits() == y.to_bits());
-                        assert!(same, "buffer `{name}` diverges [seed {seed:#x}]");
+                        for (engine, m) in [("bytecode", &mem_bc), ("simd", &mem_simd)] {
+                            let b = &m.buffer(name).unwrap().data;
+                            let same = a.len() == b.len()
+                                && a.iter()
+                                    .zip(b.iter())
+                                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                            assert!(
+                                same,
+                                "buffer `{name}` diverges on {engine} [seed {seed:#x}]"
+                            );
+                        }
                     }
                 }
-                (r_tree, r_bc) => {
-                    // If one engine rejects the kernel, both must, with
+                (r_tree, r_bc, r_simd) => {
+                    // If one engine rejects the kernel, all must, with
                     // the same error.
+                    let t = r_tree.map(|_| ());
                     assert_eq!(
-                        r_tree.map(|_| ()),
+                        t,
                         r_bc.map(|_| ()),
                         "engines disagree on failure [seed {seed:#x}]"
+                    );
+                    assert_eq!(
+                        t,
+                        r_simd.map(|_| ()),
+                        "simd disagrees on failure [seed {seed:#x}]"
+                    );
+                }
+            }
+        });
+    }
+
+    /// Under an armed fault plan (memory corruption before compile, store
+    /// drops and bit flips at commit) all three engines must still agree
+    /// bit-for-bit: same stats, same outputs, same corrupted-block
+    /// ledger. This pins the store-journal ordering contract — the nth
+    /// store a fault picks must be the same store on every engine.
+    #[test]
+    fn random_kernels_agree_under_faults() {
+        use hipacc_core::{FaultPlan, FaultSession};
+        use hipacc_sim::inject::FaultHook;
+
+        cases(24, |seed, rng| {
+            let k = gen_kernel(rng);
+            let n = 48usize;
+            let geom = BufferGeometry {
+                width: n as u32,
+                height: 1,
+                stride: n as u32,
+            };
+            let mut mem = DeviceMemory::new();
+            let mut inp = DeviceBuffer::new(geom);
+            for v in inp.data.iter_mut() {
+                *v = rng.gen_range_f32(-3.0, 3.0);
+            }
+            mem.bind("IN", inp);
+            mem.bind("OUT", DeviceBuffer::new(geom));
+            let mut params = LaunchParams::new((2, 1), (32, 1));
+            params.set_float("bias", rng.gen_range_f32(-1.0, 1.0));
+
+            let plan = FaultPlan {
+                seed,
+                global_flip_rate: 0.08,
+                drop_rate: 0.08,
+                poison_boundary_rate: 0.08,
+                faulty_attempts: 1,
+                ..FaultPlan::default()
+            };
+            // Mirrors the launch-layer ordering: memory corruption lands
+            // before either engine compiles (the bytecode engines capture
+            // constant banks at compile time).
+            let run = |mode: Option<hipacc_sim::ExecMode>| {
+                let mut m = mem.clone();
+                let session = FaultSession::new(plan.clone(), 0);
+                session.corrupt_memory(&mut m);
+                let r = match mode {
+                    Some(mode) => hipacc_sim::compile(&k, &params, &m)
+                        .and_then(|c| c.run_faulted_with(&mut m, &session, mode)),
+                    None => hipacc_sim::interp::execute_faulted(&k, &params, &mut m, &session),
+                };
+                r.map(|(stats, _, frun)| (stats, frun.corrupted_blocks(), m))
+            };
+            let r_tree = run(None);
+            let r_bc = run(Some(hipacc_sim::ExecMode::Scalar));
+            let r_simd = run(Some(hipacc_sim::ExecMode::Simd));
+            match (r_tree, r_bc, r_simd) {
+                (Ok(tree), Ok(bc), Ok(simd)) => {
+                    for (engine, r) in [("bytecode", &bc), ("simd", &simd)] {
+                        assert_eq!(
+                            tree.0, r.0,
+                            "faulted ExecStats diverge on {engine} [seed {seed:#x}]"
+                        );
+                        assert_eq!(
+                            tree.1, r.1,
+                            "corrupted-block ledgers diverge on {engine} [seed {seed:#x}]"
+                        );
+                        for name in ["IN", "OUT"] {
+                            let a = &tree.2.buffer(name).unwrap().data;
+                            let b = &r.2.buffer(name).unwrap().data;
+                            assert!(
+                                a.iter()
+                                    .zip(b.iter())
+                                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                                "faulted buffer `{name}` diverges on {engine} [seed {seed:#x}]"
+                            );
+                        }
+                    }
+                }
+                (t, b, s) => {
+                    let t = t.map(|_| ());
+                    assert_eq!(
+                        t,
+                        b.map(|_| ()),
+                        "faulted engines disagree on failure [seed {seed:#x}]"
+                    );
+                    assert_eq!(
+                        t,
+                        s.map(|_| ()),
+                        "faulted simd disagrees on failure [seed {seed:#x}]"
                     );
                 }
             }
