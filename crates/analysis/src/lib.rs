@@ -33,11 +33,15 @@
 pub mod bounds;
 pub mod dataflow;
 pub mod diag;
+pub mod interval;
 pub mod limits;
 pub mod races;
+pub mod range;
 pub mod taint;
+pub mod uniformity;
 
 pub use diag::{has_errors, Diagnostic, Severity};
+pub use interval::Ival;
 
 use hipacc_hwmodel::DeviceModel;
 use hipacc_ir::kernel::DeviceKernelDef;

@@ -224,30 +224,37 @@ fn bind_builtins(e: &Expr, tx: i64, ty: i64, block: (u32, u32), grid: (u32, u32)
     })
 }
 
-/// Enumerate loop-variable assignments depth-first.
+/// Enumerate loop-variable assignments depth-first. `complete` is
+/// cleared when any part of the space was skipped (non-constant bound,
+/// budget exhausted), so callers that must *over*-approximate can tell.
 fn for_each_combo(
     loops: &[(String, Expr, Expr)],
     env: &mut HashMap<String, Const>,
     budget: &mut u64,
+    complete: &mut bool,
     f: &mut impl FnMut(&mut HashMap<String, Const>, &mut u64),
 ) {
     let Some((var, from, to)) = loops.first() else {
         if *budget > 0 {
             *budget -= 1;
             f(env, budget);
+        } else {
+            *complete = false;
         }
         return;
     };
     let (Some(Const::Int(lo)), Some(Const::Int(hi))) = (eval_const(from, env), eval_const(to, env))
     else {
+        *complete = false;
         return; // non-constant loop bound: skip this site
     };
     for v in lo..=hi {
         if *budget == 0 {
+            *complete = false;
             return;
         }
         env.insert(var.clone(), Const::Int(v));
-        for_each_combo(&loops[1..], env, budget, f);
+        for_each_combo(&loops[1..], env, budget, complete, f);
     }
     env.remove(var);
 }
@@ -308,27 +315,36 @@ pub fn check_shared_races(input: &VerifyInput<'_>) -> Vec<Diagnostic> {
                         .map(|(v, f, t)| (v.clone(), bind(f), bind(t)))
                         .collect();
                     let mut env = scalar_env.clone();
-                    for_each_combo(&loops, &mut env, &mut budget, &mut |env, _| {
-                        // A guard folding to false disables the lane; one
-                        // that does not fold is conservatively taken.
-                        if guards
-                            .iter()
-                            .any(|g| matches!(eval_const(g, env), Some(Const::Bool(false))))
-                        {
-                            return;
-                        }
-                        let (Some(Const::Int(y)), Some(Const::Int(x))) =
-                            (eval_const(&y_e, env), eval_const(&x_e, env))
-                        else {
-                            return; // address does not fold: skip lane
-                        };
-                        let key = (site.buf.clone(), y * cols + x);
-                        if site.write {
-                            writers.entry(key).or_default().insert(tid);
-                        } else {
-                            readers.entry(key).or_default().insert(tid);
-                        }
-                    });
+                    // The race check may under-approximate (skipped lanes
+                    // only lose reports), so completeness is not tracked.
+                    let mut _complete = true;
+                    for_each_combo(
+                        &loops,
+                        &mut env,
+                        &mut budget,
+                        &mut _complete,
+                        &mut |env, _| {
+                            // A guard folding to false disables the lane; one
+                            // that does not fold is conservatively taken.
+                            if guards
+                                .iter()
+                                .any(|g| matches!(eval_const(g, env), Some(Const::Bool(false))))
+                            {
+                                return;
+                            }
+                            let (Some(Const::Int(y)), Some(Const::Int(x))) =
+                                (eval_const(&y_e, env), eval_const(&x_e, env))
+                            else {
+                                return; // address does not fold: skip lane
+                            };
+                            let key = (site.buf.clone(), y * cols + x);
+                            if site.write {
+                                writers.entry(key).or_default().insert(tid);
+                            } else {
+                                readers.entry(key).or_default().insert(tid);
+                            }
+                        },
+                    );
                 }
             }
         }
@@ -378,6 +394,229 @@ pub fn check_shared_races(input: &VerifyInput<'_>) -> Vec<Diagnostic> {
         }
     }
     diags
+}
+
+/// Concrete memory footprint of one barrier interval, keyed by
+/// `(buffer, flat address) -> thread ids`. `ok` means every shared
+/// access site in the phase folded for every lane — only then is the
+/// footprint a trustworthy *over*-approximation.
+struct Foot {
+    ok: bool,
+    sw: HashMap<(String, i64), BTreeSet<i64>>,
+    sr: HashMap<(String, i64), BTreeSet<i64>>,
+    /// Whether the phase contains any global-memory store.
+    global: bool,
+}
+
+impl Foot {
+    fn new() -> Foot {
+        Foot {
+            ok: true,
+            sw: HashMap::new(),
+            sr: HashMap::new(),
+            global: false,
+        }
+    }
+
+    fn shared_empty(&self) -> bool {
+        self.sw.is_empty() && self.sr.is_empty()
+    }
+
+    fn absorb(&mut self, other: Foot) {
+        self.ok &= other.ok;
+        self.global |= other.global;
+        for (k, tids) in other.sw {
+            self.sw.entry(k).or_default().extend(tids);
+        }
+        for (k, tids) in other.sr {
+            self.sr.entry(k).or_default().extend(tids);
+        }
+    }
+}
+
+/// Whether merging footprints `a` and `b` into one barrier interval can
+/// introduce a cross-thread conflict.
+fn merge_conflicts(a: &Foot, b: &Foot) -> bool {
+    // Two phases that both store to global memory must stay ordered:
+    // the store journal arbitrates same-cell writes by phase first, so
+    // merging could flip which write lands last.
+    if a.global && b.global {
+        return true;
+    }
+    // A phase with no shared accesses merges freely.
+    if (a.ok && a.shared_empty()) || (b.ok && b.shared_empty()) {
+        return false;
+    }
+    if !a.ok || !b.ok {
+        return true; // unknown footprint: conservatively conflicting
+    }
+    let cross = |x: &HashMap<(String, i64), BTreeSet<i64>>,
+                 y: &HashMap<(String, i64), BTreeSet<i64>>| {
+        x.iter().any(|(k, ta)| {
+            y.get(k).is_some_and(|tb| {
+                // distinct threads touch one cell
+                ta.union(tb).count() >= 2
+            })
+        })
+    };
+    cross(&a.sw, &b.sw) || cross(&a.sw, &b.sr) || cross(&a.sr, &b.sw)
+}
+
+/// Per-phase "contains a global store" flags, split at top-level
+/// barriers exactly like the site collector.
+fn phase_global_stores(body: &[Stmt]) -> Vec<bool> {
+    let mut flags = vec![false];
+    for s in body {
+        if matches!(s, Stmt::Barrier) {
+            flags.push(false);
+            continue;
+        }
+        let mut has = false;
+        Stmt::visit_all(std::slice::from_ref(s), &mut |n| {
+            if matches!(n, Stmt::GlobalStore { .. } | Stmt::Output(_)) {
+                has = true;
+            }
+        });
+        if has {
+            *flags.last_mut().unwrap() = true;
+        }
+    }
+    flags
+}
+
+/// Identify provably dead top-level barriers, returned as 0-based
+/// ordinals among the body's top-level `Stmt::Barrier`s.
+///
+/// A barrier is dead when the two race phases it separates could run as
+/// one phase without changing any memory outcome: their concrete
+/// shared-memory footprints (evaluated per thread of a representative
+/// block, like [`check_shared_races`]) touch no common cell from two
+/// distinct threads, and at most one side stores to global memory (the
+/// store journal orders same-cell writes by phase). Any lane or site
+/// that fails to evaluate makes its phase's footprint unknown and
+/// pins every barrier adjacent to it — the polarity is flipped from the
+/// race *checker*, which may under-approximate because skipped lanes
+/// only cost reports. Removed barriers merge, so a chain is only
+/// removed while the accumulated interval stays conflict-free.
+pub fn removable_barriers(input: &VerifyInput<'_>) -> Vec<usize> {
+    let nbar = input
+        .kernel
+        .body
+        .iter()
+        .filter(|s| matches!(s, Stmt::Barrier))
+        .count();
+    if nbar == 0 {
+        return Vec::new();
+    }
+
+    let mut col = Collector {
+        sites: Vec::new(),
+        guards: Vec::new(),
+        loops: Vec::new(),
+        phase: 0,
+    };
+    let mut defs = HashMap::new();
+    col.collect(&input.kernel.body, &mut defs, true);
+    if col.phase != nbar {
+        // A top-level `return` cut collection short; barriers past it
+        // were not analyzed. Keep everything.
+        return Vec::new();
+    }
+
+    let cols_of: HashMap<&str, i64> = input
+        .kernel
+        .shared
+        .iter()
+        .map(|s| (s.name.as_str(), s.cols as i64))
+        .collect();
+    let scalar_env: HashMap<String, Const> = input
+        .scalars
+        .iter()
+        .map(|(k, &v)| (k.clone(), Const::Int(v)))
+        .collect();
+    let (bx, by) = (input.block.0 as i64, input.block.1 as i64);
+
+    let mut feet: Vec<Foot> = (0..=nbar).map(|_| Foot::new()).collect();
+    for (foot, has_global) in feet.iter_mut().zip(phase_global_stores(&input.kernel.body)) {
+        foot.global = has_global;
+    }
+
+    let mut budget = MAX_EVALS;
+    for site in &col.sites {
+        let foot = &mut feet[site.phase];
+        let Some(&cols) = cols_of.get(site.buf.as_str()) else {
+            foot.ok = false;
+            continue;
+        };
+        for ty in 0..by {
+            for tx in 0..bx {
+                let tid = ty * bx + tx;
+                let bind = |e: &Expr| bind_builtins(e, tx, ty, input.block, input.grid);
+                let y_e = bind(&site.y);
+                let x_e = bind(&site.x);
+                let guards: Vec<Expr> = site.guards.iter().map(&bind).collect();
+                let loops: Vec<(String, Expr, Expr)> = site
+                    .loops
+                    .iter()
+                    .map(|(v, f, t)| (v.clone(), bind(f), bind(t)))
+                    .collect();
+                let mut env = scalar_env.clone();
+                let mut complete = true;
+                let mut ok = true;
+                let (sw, sr) = (&mut foot.sw, &mut foot.sr);
+                for_each_combo(
+                    &loops,
+                    &mut env,
+                    &mut budget,
+                    &mut complete,
+                    &mut |env, _| {
+                        // A guard folding to false disables the lane; one
+                        // that does not fold is *included* — for removal the
+                        // footprint must over-approximate.
+                        if guards
+                            .iter()
+                            .any(|g| matches!(eval_const(g, env), Some(Const::Bool(false))))
+                        {
+                            return;
+                        }
+                        let (Some(Const::Int(y)), Some(Const::Int(x))) =
+                            (eval_const(&y_e, env), eval_const(&x_e, env))
+                        else {
+                            ok = false; // unknown address: footprint unknown
+                            return;
+                        };
+                        let key = (site.buf.clone(), y * cols + x);
+                        if site.write {
+                            sw.entry(key).or_default().insert(tid);
+                        } else {
+                            sr.entry(key).or_default().insert(tid);
+                        }
+                    },
+                );
+                if !ok || !complete {
+                    foot.ok = false;
+                }
+            }
+        }
+    }
+    if budget == 0 {
+        return Vec::new();
+    }
+
+    // Greedy left-to-right merge: each removed barrier folds its right
+    // phase into the accumulated interval.
+    let mut dead = Vec::new();
+    let mut iter = feet.into_iter();
+    let mut acc = iter.next().unwrap();
+    for (i, next) in iter.enumerate() {
+        if merge_conflicts(&acc, &next) {
+            acc = next;
+        } else {
+            dead.push(i);
+            acc.absorb(next);
+        }
+    }
+    dead
 }
 
 #[cfg(test)]
@@ -512,6 +751,89 @@ mod tests {
                 init: Some(tid() + Expr::int(3)),
             },
             store(Expr::int(0), Expr::var("lx")),
+        ]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    fn removable(body: Vec<Stmt>) -> Vec<usize> {
+        let k = kernel(body);
+        let dev = devices::tesla_c2050();
+        let inp = crate::VerifyInput::new(&k, &dev, (16, 1), (4, 1));
+        removable_barriers(&inp)
+    }
+
+    #[test]
+    fn disjoint_phase_footprints_free_the_barrier() {
+        // Row 0 vs row 1: no cell is shared across the barrier.
+        let d = removable(vec![
+            store(Expr::int(0), tid()),
+            Stmt::Barrier,
+            store(Expr::int(1), tid()),
+        ]);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn cross_thread_reuse_pins_the_barrier() {
+        // Classic staging: the read pulls a neighbour's cell.
+        let d = removable(vec![
+            store(Expr::int(0), tid()),
+            Stmt::Barrier,
+            load(Expr::int(0), tid() + Expr::int(1)),
+        ]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn same_thread_reuse_frees_the_barrier() {
+        // Every thread reads back exactly its own cell.
+        let d = removable(vec![
+            store(Expr::int(0), tid()),
+            Stmt::Barrier,
+            load(Expr::int(0), tid()),
+        ]);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn empty_phase_frees_trailing_barrier() {
+        let d = removable(vec![store(Expr::int(0), tid()), Stmt::Barrier]);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn global_stores_on_both_sides_pin_the_barrier() {
+        let gstore = |v: i64| Stmt::GlobalStore {
+            buf: "out".into(),
+            idx: tid(),
+            value: Expr::float(v as f32),
+        };
+        let d = removable(vec![gstore(1), Stmt::Barrier, gstore(2)]);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn merged_chain_rechecks_accumulated_footprint() {
+        // Barrier 0 separates disjoint rows and is removed; barrier 1's
+        // right side reads row 0 from a neighbour, conflicting with the
+        // *accumulated* interval, so it stays.
+        let d = removable(vec![
+            store(Expr::int(0), tid()),
+            Stmt::Barrier,
+            store(Expr::int(1), tid()),
+            Stmt::Barrier,
+            load(Expr::int(0), tid() + Expr::int(1)),
+        ]);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn unknown_address_pins_adjacent_barriers() {
+        // `_mystery` never folds: the footprint is unknown.
+        let d = removable(vec![
+            store(Expr::int(0), Expr::var("_mystery")),
+            Stmt::Barrier,
+            store(Expr::int(1), tid()),
         ]);
         assert!(d.is_empty(), "unexpected: {d:?}");
     }

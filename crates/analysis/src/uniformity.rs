@@ -1,0 +1,102 @@
+//! Uniformity analysis: which values are block-uniform vs thread-varying.
+//!
+//! This generalizes the taint pass ([`crate::taint`]) from a
+//! barrier-divergence *checker* into a reusable analysis result the IR
+//! optimizer consumes. The underlying lattice is the same — a value is
+//! *thread-varying* if it (transitively) depends on `threadIdx.x/y` or
+//! on shared memory (written per-thread), and *block-uniform* otherwise
+//! (`blockIdx`, `blockDim`, `gridDim`, scalar parameters, literals) —
+//! computed to fixpoint over the CFG so loop-carried taint converges.
+//!
+//! The optimizer uses it in two directions:
+//!
+//! * branch flattening (`ir::opt::flatten_branches`) fires only on
+//!   thread-*varying* conditions — uniform branches already execute
+//!   converged on the SIMD engine;
+//! * block-uniform expressions are safe loop-hoisting anchors and, via
+//!   `RangeState::is_uniform`, feed the [`Oracle`] the passes query.
+//!
+//! [`Oracle`]: hipacc_ir::opt::Oracle
+
+use crate::taint;
+use hipacc_ir::{Expr, Stmt};
+use std::collections::BTreeSet;
+
+/// The analysis result: the set of thread-varying variables of one
+/// kernel body, with uniformity queries for arbitrary expressions.
+#[derive(Clone, Debug)]
+pub struct Uniformity {
+    varying: BTreeSet<String>,
+}
+
+impl Uniformity {
+    /// Analyze a (device-level) kernel body: CFG taint fixpoint seeded
+    /// from the thread-index builtins and shared-memory loads.
+    pub fn of_body(body: &[Stmt]) -> Uniformity {
+        Uniformity {
+            varying: taint::thread_dependent_vars(body),
+        }
+    }
+
+    /// Whether `e` evaluates to the same value on every thread of a
+    /// block. `false` is the conservative answer: the flow-insensitive
+    /// variable set may over-approximate varying.
+    pub fn is_uniform(&self, e: &Expr) -> bool {
+        !taint::expr_thread_dependent(e, &self.varying)
+    }
+
+    /// The thread-varying variable set (flow-insensitive fixpoint).
+    pub fn varying(&self) -> &BTreeSet<String> {
+        &self.varying
+    }
+
+    /// Consume the analysis, yielding the varying set.
+    pub fn into_varying(self) -> BTreeSet<String> {
+        self.varying
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipacc_ir::{Builtin, Expr, LValue, ScalarType, Stmt};
+
+    #[test]
+    fn classifies_uniform_and_varying() {
+        let body = vec![
+            Stmt::Decl {
+                name: "tid".into(),
+                ty: ScalarType::I32,
+                init: Some(Expr::Builtin(Builtin::ThreadIdxX)),
+            },
+            Stmt::Decl {
+                name: "base".into(),
+                ty: ScalarType::I32,
+                init: Some(Expr::Builtin(Builtin::BlockIdxX) * Expr::Builtin(Builtin::BlockDimX)),
+            },
+            // Loop-carried taint: u starts uniform, becomes varying.
+            Stmt::Decl {
+                name: "u".into(),
+                ty: ScalarType::I32,
+                init: Some(Expr::int(0)),
+            },
+            Stmt::For {
+                var: "i".into(),
+                from: Expr::int(0),
+                to: Expr::int(3),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("u".into()),
+                    value: Expr::var("u") + Expr::var("tid"),
+                }],
+            },
+        ];
+        let uni = Uniformity::of_body(&body);
+        assert!(uni.is_uniform(&Expr::var("base")));
+        assert!(uni.is_uniform(&(Expr::var("base") + Expr::int(7))));
+        assert!(!uni.is_uniform(&Expr::var("tid")));
+        assert!(!uni.is_uniform(&Expr::var("u")));
+        assert!(!uni.is_uniform(&Expr::Builtin(Builtin::ThreadIdxX)));
+        assert!(uni.is_uniform(&Expr::Builtin(Builtin::BlockIdxX)));
+        assert!(uni.varying().contains("tid"));
+    }
+}

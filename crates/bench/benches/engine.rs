@@ -65,11 +65,12 @@ fn compare(op: &Operator, img: &Image<f32>, name: &str) -> (f64, f64, f64) {
 
 fn bench_engines(c: &mut Criterion) {
     let img = phantom::vessel_tree(SIZE, SIZE, &phantom::VesselParams::default());
+    let opt_level = hipacc_bench::enginebench::opt_level_from_env();
     let mut group = c.benchmark_group("engine");
     group.sample_size(SAMPLES);
     group.throughput(Throughput::Elements((SIZE * SIZE) as u64));
 
-    let benches: Vec<(&str, Operator)> = vec![
+    let mut benches: Vec<(&str, Operator)> = vec![
         (
             "gaussian_5x5",
             gaussian_operator(5, 1.0, BoundaryMode::Clamp),
@@ -79,6 +80,9 @@ fn bench_engines(c: &mut Criterion) {
             bilateral_operator(1, 5, true, BoundaryMode::Clamp),
         ),
     ];
+    for (_, op) in &mut benches {
+        op.options.opt_level = opt_level;
+    }
 
     let mut report = Vec::new();
     for (name, op) in &benches {
@@ -103,7 +107,7 @@ fn bench_engines(c: &mut Criterion) {
     }
     group.finish();
 
-    println!("\nengine speedup over tree-walk, {SIZE}x{SIZE}:");
+    println!("\nengine speedup over tree-walk, {SIZE}x{SIZE}, opt {opt_level}:");
     for (name, tree, bc, simd) in &report {
         println!(
             "  {name:<16} tree-walk {:>8.2} ms   bytecode {:>8.2} ms ({:>5.2}x)   simd {:>8.2} ms ({:>5.2}x, {:>5.2}x vs bytecode)",

@@ -7,6 +7,7 @@
 //! reproduce --loc            # the §VI-C lines-of-code metric
 //! reproduce --inject 42      # seeded fault-injection drill under the supervisor
 //! reproduce --bench-json BENCH_engine.json   # per-engine frame times
+//! reproduce --explain A0301  # describe one diagnostic code (or `all`)
 //! ```
 
 use hipacc_bench::ablation;
@@ -239,6 +240,35 @@ fn print_bench_json(path: &str) {
     println!("wrote engine bench report to {path}\n");
 }
 
+/// Describe one diagnostic code from the stable registry, or the whole
+/// registry for `all`. Unknown codes list the valid ones and exit 2.
+fn print_explain(code: &str) {
+    use hipacc_core::{diagnostic_registry, explain};
+
+    let render = |info: &hipacc_core::CodeInfo| {
+        println!("{}  [{}]", info.code, info.origin);
+        println!("  {}", info.summary);
+        println!("  {}\n", info.advice);
+    };
+    if code.eq_ignore_ascii_case("all") {
+        for info in diagnostic_registry() {
+            render(info);
+        }
+        return;
+    }
+    match explain(code) {
+        Some(info) => render(info),
+        None => {
+            let known: Vec<&str> = diagnostic_registry().iter().map(|c| c.code).collect();
+            eprintln!(
+                "unknown diagnostic code {code:?}; known codes: {}",
+                known.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -316,6 +346,11 @@ fn main() {
                 print_bench_json(&args[i]);
                 did_anything = true;
             }
+            "--explain" => {
+                i += 1;
+                print_explain(args.get(i).map(String::as_str).unwrap_or("all"));
+                did_anything = true;
+            }
             "--inject" => {
                 i += 1;
                 let seed: u64 = args[i].parse().expect("injection seed");
@@ -341,7 +376,7 @@ fn main() {
         i += 1;
     }
     if !did_anything {
-        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]] [--inject SEED] [--bench-json PATH]");
+        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]] [--inject SEED] [--bench-json PATH] [--explain CODE]");
         std::process::exit(2);
     }
 }

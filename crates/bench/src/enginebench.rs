@@ -41,8 +41,20 @@ pub const ENGINES: [Engine; 3] = [Engine::TreeWalk, Engine::Bytecode, Engine::Si
 
 /// The cell whose simd-vs-bytecode speedup the CI bench-smoke job gates
 /// on: an interior-only ROI where every warp takes the uniform in-bounds
-/// branch, so the simd engine has no divergence to hide behind.
+/// branch, so the simd engine has no divergence to hide behind. The CI
+/// opt-smoke job additionally gates this cell at `opt_level` 1 vs 0.
 pub const GATE_CELL: &str = "gaussian5x5_interior";
+
+/// The optimizer level under benchmark: `HIPACC_OPT_LEVEL` (0 or 1),
+/// defaulting to the pipeline default of 1. Invalid values fall back to
+/// the default rather than failing a benchmark run.
+pub fn opt_level_from_env() -> u8 {
+    std::env::var("HIPACC_OPT_LEVEL")
+        .ok()
+        .and_then(|v| v.trim().parse::<u8>().ok())
+        .map(|v| v.min(1))
+        .unwrap_or(1)
+}
 
 /// Median frame time per engine for one benchmark cell.
 #[derive(Clone, Debug)]
@@ -77,14 +89,17 @@ pub struct EngineBench {
     pub warp: usize,
     /// Timed frames per engine per cell.
     pub samples: usize,
+    /// Optimizer level the kernels were compiled at (0 or 1).
+    pub opt_level: u8,
     /// Per-cell timings.
     pub cells: Vec<CellTiming>,
 }
 
 /// The benchmark cells: representative local operators from the paper's
-/// evaluation plus the interior-only CI gate cell.
-fn cells() -> Vec<(&'static str, Operator)> {
-    vec![
+/// evaluation plus the interior-only CI gate cell, compiled at
+/// `opt_level`.
+fn cells(opt_level: u8) -> Vec<(&'static str, Operator)> {
+    let mut cells = vec![
         (
             "gaussian3x3",
             gaussian_operator(3, 1.0, BoundaryMode::Clamp),
@@ -101,7 +116,11 @@ fn cells() -> Vec<(&'static str, Operator)> {
             GATE_CELL,
             gaussian_operator(5, 1.0, BoundaryMode::Clamp).with_roi(8, 8, SIZE - 16, SIZE - 16),
         ),
-    ]
+    ];
+    for (_, op) in &mut cells {
+        op.options.opt_level = opt_level;
+    }
+    cells
 }
 
 /// Median wall-clock nanoseconds of `samples` runs of `f`.
@@ -153,10 +172,17 @@ fn time_cell(name: &'static str, op: &Operator, img: &Image<f32>, samples: usize
     CellTiming { name, engines }
 }
 
-/// Run every cell with `samples` timed frames per engine.
+/// Run every cell with `samples` timed frames per engine at the
+/// optimizer level from `HIPACC_OPT_LEVEL` (default 1).
 pub fn run(samples: usize) -> EngineBench {
+    run_at(samples, opt_level_from_env())
+}
+
+/// Run every cell with `samples` timed frames per engine, compiling the
+/// kernels at an explicit optimizer level.
+pub fn run_at(samples: usize, opt_level: u8) -> EngineBench {
     let img = phantom::vessel_tree(SIZE, SIZE, &phantom::VesselParams::default());
-    let cells = cells()
+    let cells = cells(opt_level)
         .iter()
         .map(|(name, op)| time_cell(name, op, &img, samples))
         .collect();
@@ -164,6 +190,7 @@ pub fn run(samples: usize) -> EngineBench {
         size: SIZE,
         warp: hipacc_sim::simd::WARP,
         samples,
+        opt_level,
         cells,
     }
 }
@@ -181,8 +208,8 @@ impl EngineBench {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"size\":{},\"warp\":{},\"samples\":{},\"cells\":[",
-            self.size, self.warp, self.samples
+            "{{\"size\":{},\"warp\":{},\"samples\":{},\"opt_level\":{},\"cells\":[",
+            self.size, self.warp, self.samples, self.opt_level
         );
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
@@ -204,8 +231,8 @@ impl EngineBench {
     /// Human-readable table with simd-over-bytecode speedups.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "engine frame times, {0}x{0}, median of {1} (warp width {2}):\n",
-            self.size, self.samples, self.warp
+            "engine frame times, {0}x{0}, median of {1} (warp width {2}, opt {3}):\n",
+            self.size, self.samples, self.warp, self.opt_level
         );
         let _ = writeln!(
             out,
@@ -234,9 +261,10 @@ mod tests {
 
     #[test]
     fn covers_every_cell_and_engine() {
-        let bench = run(1);
+        let bench = run_at(1, 1);
         assert_eq!(bench.size, SIZE);
         assert_eq!(bench.warp, hipacc_sim::simd::WARP);
+        assert_eq!(bench.opt_level, 1);
         assert_eq!(bench.cells.len(), 4);
         assert!(bench.cell(GATE_CELL).is_some());
         for cell in &bench.cells {
@@ -250,11 +278,12 @@ mod tests {
 
     #[test]
     fn json_round_trips_through_the_bundled_parser() {
-        let bench = run(1);
+        let bench = run_at(1, 0);
         let doc = hipacc_profile::json::parse(&bench.to_json()).expect("valid JSON");
         let obj = doc.as_object().unwrap();
         assert_eq!(obj["size"].as_number(), Some(SIZE as f64));
         assert_eq!(obj["warp"].as_number(), Some(hipacc_sim::simd::WARP as f64));
+        assert_eq!(obj["opt_level"].as_number(), Some(0.0));
         let cells = obj["cells"].as_array().unwrap();
         assert_eq!(cells.len(), 4);
         for cell in cells {
@@ -267,9 +296,15 @@ mod tests {
 
     #[test]
     fn text_report_names_every_engine() {
-        let bench = run(1);
+        let bench = run_at(1, 1);
         let text = bench.render_text();
-        for needle in ["tree-walk", "bytecode", "simd", "gaussian5x5_interior"] {
+        for needle in [
+            "tree-walk",
+            "bytecode",
+            "simd",
+            "gaussian5x5_interior",
+            "opt 1",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -146,6 +146,10 @@ pub struct CompiledKernel {
     /// Always populated (the measurement is two clock reads per phase);
     /// pass a sink to [`Compiler::compile_with_sink`] for full spans.
     pub phase_times: Vec<(String, f64)>,
+    /// What the device-IR optimizer did: the level it ran at and the
+    /// rewrite count of every executed pass, in pipeline order. Empty
+    /// pass list at `opt_level = 0`.
+    pub opt: hipacc_ir::opt::OptReport,
 }
 
 impl CompiledKernel {
@@ -365,20 +369,47 @@ impl Compiler {
             };
             (region_grid, device_kernel, region_bodies)
         });
+        let mut device_kernel = device_kernel;
         check_device(&device_kernel)
             .map_err(|e| CompileError::Internal(format!("device typecheck failed: {e}")))?;
 
-        // 7. Resources and occupancy of the final kernel.
+        // 7. Resources and occupancy. Estimated on the *unoptimized*
+        // kernel, like the region timing bodies: the analytical model
+        // reflects the paper's per-region costs, and counting the
+        // optimizer's named temporaries as registers would skew the
+        // occupancy the timing model feeds on (the op-count model is
+        // already LICM-aware).
         let (resources, occ) = ph.run("resources", || {
             let resources = estimate_resources(&device_kernel);
             let occ = occupancy(&spec.device, &resources, config.bx, config.by);
             (resources, occ)
         });
 
-        // 8. Source emission. The grid covers the iteration space, with
-        // vectorized work-items owning `vectorize` pixels each.
+        // 7b. Analysis-driven optimization of the device IR (`ir::opt`),
+        // oracle-fed by the same launch facts the verifier uses. The
+        // optimized kernel is what emission and the execution engines
+        // see; phase 9 then re-runs the full verifier over it.
         let vec_w = spec.vectorize.max(1);
         let grid = config.grid_for(roi_w.div_ceil(vec_w), roi_h);
+        let opt_report = ph.run_with_sink("optimize", |sink| {
+            let scalars = launch_scalars(spec, (roi_x, roi_y, roi_w, roi_h));
+            crate::optimize::optimize_device_kernel(
+                &mut device_kernel,
+                spec,
+                config,
+                grid,
+                &scalars,
+                sink,
+            )
+        });
+        if opt_report.total() > 0 {
+            check_device(&device_kernel).map_err(|e| {
+                CompileError::Internal(format!("optimized kernel typecheck failed: {e}"))
+            })?;
+        }
+
+        // 8. Source emission. The grid covers the iteration space, with
+        // vectorized work-items owning `vectorize` pixels each.
         let (source, host_source) = ph.run("emission", || match spec.backend {
             Backend::Cuda => (
                 emit_cuda(&device_kernel, false),
@@ -423,6 +454,7 @@ impl Compiler {
             vector_width: vec_w,
             diagnostics: Vec::new(),
             phase_times: Vec::new(),
+            opt: opt_report,
         };
 
         // 9. Kernel verification: the four static analyses plus the source
@@ -494,6 +526,35 @@ fn lowering_region_body(lowering: &Lowering<'_>, region: Region) -> Vec<Stmt> {
     lowering.region_body(region)
 }
 
+/// The integer scalar bindings every launch provides: the geometry
+/// scalars the host launcher always passes plus the compile-time-bound
+/// integer parameters. Shared between the optimizer's oracle seeding and
+/// the verifier's [`VerifyInput`], so both reason from the same facts.
+pub(crate) fn launch_scalars(
+    spec: &CompileSpec,
+    iteration_space: (u32, u32, u32, u32),
+) -> HashMap<String, i64> {
+    let (ox, oy, rw, rh) = iteration_space;
+    let mut scalars = HashMap::new();
+    for (name, v) in [
+        ("width", spec.width as i64),
+        ("height", spec.height as i64),
+        ("stride", spec.stride as i64),
+        ("is_offset_x", ox as i64),
+        ("is_offset_y", oy as i64),
+        ("is_width", rw as i64),
+        ("is_height", rh as i64),
+    ] {
+        scalars.insert(name.to_string(), v);
+    }
+    for (name, c) in &spec.param_bindings {
+        if let Const::Int(v) = c {
+            scalars.insert(name.clone(), *v);
+        }
+    }
+    scalars
+}
+
 /// Build the verifier's view of a compiled kernel and run every analysis
 /// pass over it — barrier divergence, shared-memory races, bounds,
 /// resource limits — plus the generated-source lint. `compile` calls this
@@ -513,24 +574,9 @@ pub fn verify_compiled_with_sink(
     let k = &out.device_kernel;
     let mut input = VerifyInput::new(k, &spec.device, (out.config.bx, out.config.by), out.grid);
 
-    // Geometry scalars: the launcher always binds these.
-    let (ox, oy, rw, rh) = out.iteration_space;
-    for (name, v) in [
-        ("width", spec.width as i64),
-        ("height", spec.height as i64),
-        ("stride", spec.stride as i64),
-        ("is_offset_x", ox as i64),
-        ("is_offset_y", oy as i64),
-        ("is_width", rw as i64),
-        ("is_height", rh as i64),
-    ] {
-        input.scalars.insert(name.to_string(), v);
-    }
-    for (name, c) in &spec.param_bindings {
-        if let Const::Int(v) = c {
-            input.scalars.insert(name.clone(), *v);
-        }
-    }
+    // Geometry scalars and bound integer parameters: the launcher always
+    // binds these (same seeding the optimizer's oracle uses).
+    input.scalars = launch_scalars(spec, out.iteration_space);
 
     // Buffer geometry. Image buffers hold `stride * height` elements;
     // `_gmask*` fallback buffers hold the mask coefficients row-major.

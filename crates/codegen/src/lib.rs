@@ -39,10 +39,12 @@ pub mod index;
 pub mod lint;
 pub mod lower;
 pub mod opencl;
+pub mod optimize;
 pub mod options;
 pub mod regions;
 
 pub use compile::{verify_compiled, CompileError, CompiledKernel, Compiler};
 pub use fallback::{fallback_chain, FallbackStep};
+pub use optimize::disabled_passes;
 pub use options::{BoundarySpec, CompileSpec, MemVariant};
 pub use regions::Region;

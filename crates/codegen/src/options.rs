@@ -111,6 +111,11 @@ pub struct CompileSpec {
     /// straightforward hand-written kernel (or RapidMind's generic
     /// handling) behaves. Used by the "Manual" baseline rows.
     pub generic_boundary: bool,
+    /// Analysis-driven optimization level for the device IR: `0` lowers
+    /// only (the pre-optimizer pipeline, bit-for-bit), `1` (default) runs
+    /// the uniformity/value-range pass pipeline (`ir::opt`). Individual
+    /// passes can be vetoed with the `HIPACC_OPT_DISABLE` env var.
+    pub opt_level: u8,
 }
 
 impl CompileSpec {
@@ -135,6 +140,7 @@ impl CompileSpec {
             vectorize: 1,
             roi: None,
             generic_boundary: false,
+            opt_level: 1,
         }
     }
 
@@ -159,6 +165,12 @@ impl CompileSpec {
     /// Pin the launch configuration.
     pub fn with_config(mut self, bx: u32, by: u32) -> Self {
         self.force_config = Some((bx, by));
+        self
+    }
+
+    /// Set the device-IR optimization level (0 = off, 1 = default).
+    pub fn with_opt_level(mut self, level: u8) -> Self {
+        self.opt_level = level;
         self
     }
 

@@ -121,7 +121,7 @@ impl KernelCache {
             key,
             "dev={:?}/{:?} geom={}x{}s{} bounds={bounds:?} params={params:?} \
              variant={:?} cmask={} cprop={} unroll={} force={:?} roi={:?} \
-             vec={} generic={} def={def:?}",
+             vec={} generic={} opt={} disable={:?} def={def:?}",
             spec.device,
             spec.backend,
             spec.width,
@@ -135,6 +135,12 @@ impl KernelCache {
             spec.roi,
             spec.vectorize,
             spec.generic_boundary,
+            spec.opt_level,
+            // The env veto changes the emitted kernel without touching the
+            // spec; folding it into the key keeps opt variants from
+            // aliasing (the IR the artifact was built from is implied by
+            // level + veto set, both deterministic).
+            hipacc_codegen::disabled_passes(),
         );
         key
     }

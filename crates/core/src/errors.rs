@@ -15,7 +15,10 @@
 //!   runtime failures (verifier failures keep their original `A` code);
 //! * [`error_chain`] walks `std::error::Error::source` links and renders
 //!   each level, so a supervisor log can show "compile error: … ←
-//!   kernel verification failed: …" without hand-written matching.
+//!   kernel verification failed: …" without hand-written matching;
+//! * [`diagnostic_registry`] / [`explain`] index *every* stable code of
+//!   the three spaces (`A`/`C`/`R`) with a summary and advice —
+//!   `reproduce --explain CODE` renders from it.
 //!
 //! # Runtime/compile diagnostic code space
 //!
@@ -116,6 +119,109 @@ impl OperatorError {
         }
     }
 }
+
+/// One entry of the stable diagnostic-code registry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable code: `A…` (verifier / source linter), `C…` (compile
+    /// failure), `R…` (runtime failure).
+    pub code: &'static str,
+    /// The subsystem that emits the code.
+    pub origin: &'static str,
+    /// One-line summary, matching the code-space tables in the module
+    /// docs here and in `hipacc_analysis::diag`.
+    pub summary: &'static str,
+    /// What the code means for the kernel author and how to react.
+    pub advice: &'static str,
+}
+
+/// Every diagnostic code any layer of the pipeline can emit, in code
+/// order. The registry is the single human-readable index over the three
+/// code spaces; `reproduce --explain CODE` renders entries from it.
+pub fn diagnostic_registry() -> &'static [CodeInfo] {
+    REGISTRY
+}
+
+/// Look up one code, case-insensitively and ignoring surrounding
+/// whitespace. Returns `None` for unknown codes.
+pub fn explain(code: &str) -> Option<&'static CodeInfo> {
+    let needle = code.trim().to_ascii_uppercase();
+    REGISTRY.iter().find(|c| c.code == needle)
+}
+
+macro_rules! registry {
+    ($($code:literal, $origin:literal : $summary:literal => $advice:literal;)*) => {
+        &[$(CodeInfo {
+            code: $code,
+            origin: $origin,
+            summary: $summary,
+            advice: $advice,
+        },)*]
+    };
+}
+
+static REGISTRY: &[CodeInfo] = registry![
+    "A0101", "verifier:barriers": "barrier under thread-dependent control flow" =>
+        "Every thread of a block must reach the same barriers; hoist the barrier out of the divergent branch or make the condition block-uniform.";
+    "A0102", "verifier:barriers": "barrier reachable after a thread-dependent early return" =>
+        "Threads that returned early never arrive at the barrier and the block deadlocks; guard the returning path or drop the barrier.";
+    "A0201", "verifier:races": "write/write race on shared memory in one barrier interval" =>
+        "Two threads store to the same scratchpad cell between barriers; separate the phases with a barrier or make the store footprints disjoint.";
+    "A0202", "verifier:races": "read/write race on shared memory in one barrier interval" =>
+        "A thread reads a scratchpad cell another thread writes in the same interval; insert a barrier between the staging and consuming phases.";
+    "A0301", "verifier:bounds": "global or texture access not provably in bounds" =>
+        "The index interval escapes the buffer; clamp or wrap the coordinate (boundary handling), or shrink the iteration space.";
+    "A0302", "verifier:bounds": "shared-memory access not provably in bounds" =>
+        "The scratchpad index interval escapes the declared tile; check the tile geometry against the block size and filter radius.";
+    "A0303", "verifier:bounds": "constant-memory access not provably in bounds" =>
+        "The mask index interval escapes the constant buffer; check the mask dimensions against the loop bounds.";
+    "A0401", "verifier:resources": "shared memory exceeds the device budget" =>
+        "The scratchpad tiles do not fit the device's shared memory; shrink the block or switch the memory variant.";
+    "A0402", "verifier:resources": "register estimate exceeds the per-thread limit" =>
+        "The kernel's estimated register pressure exceeds the device limit; simplify the kernel or reduce unrolling.";
+    "A0403", "verifier:resources": "constant-mask bytes exceed constant memory" =>
+        "The compiled-in masks are larger than the device's constant memory; use dynamic masks or a smaller window.";
+    "A0404", "verifier:resources": "block shape exceeds the device thread limits" =>
+        "The launch configuration violates the device's block-dimension or thread-count limits; let the heuristic pick, or force a smaller block.";
+    "A0501", "linter": "unbalanced delimiters in generated source" =>
+        "The emitted source has mismatched braces/parens — a codegen bug; report it with the kernel that triggered it.";
+    "A0502", "linter": "undeclared identifier in generated source" =>
+        "The emitted source references a name it never declares — a codegen bug; report it with the kernel that triggered it.";
+    "C0101", "compiler": "backend cannot target the device" =>
+        "The vendor/backend pair is unsupported (e.g. CUDA on an AMD device); pick the device's native backend.";
+    "C0102", "compiler": "requested hardware boundary handling does not exist" =>
+        "The device's texture hardware has no unit for this boundary mode; use software boundary handling.";
+    "C0103", "compiler": "unsupported feature combination" =>
+        "Two requested options are mutually exclusive for this target; the message names the pair.";
+    "C0201", "compiler": "no launch configuration fits the device" =>
+        "The resource heuristic found no block shape satisfying all device limits; reduce the kernel's footprint.";
+    "C0202", "compiler": "forced launch configuration invalid" =>
+        "The `force_config` block shape violates a device limit; drop the override or pick a legal shape.";
+    "C0301", "compiler": "internal codegen error" =>
+        "The compiler reached an inconsistent state; this is a bug — report it with the kernel that triggered it.";
+    "R0001", "runtime": "operator executed with no inputs" =>
+        "Bind at least one input image; the first input defines the output geometry.";
+    "R0101", "runtime": "read of an undefined variable" =>
+        "The kernel reads a local before any assignment on some path; initialize it at declaration.";
+    "R0102", "runtime": "buffer not bound" =>
+        "A buffer the kernel names was not supplied at launch; bind it in the inputs or mask uploads.";
+    "R0103", "runtime": "scalar argument missing" =>
+        "A scalar parameter has no binding at launch; supply it via the operator's params.";
+    "R0104", "runtime": "integer division by zero" =>
+        "An integer `/` or `%` evaluated with a zero divisor; guard the divisor.";
+    "R0105", "runtime": "barrier inside control flow" =>
+        "The engine refuses barriers nested in loops or branches; restructure so barriers sit at the kernel's top level.";
+    "R0106", "runtime": "expression evaluation failed" =>
+        "An expression produced no value (e.g. a type confusion); the message pinpoints the node.";
+    "R0201", "runtime": "invalid HIPACC_SIM_THREADS value" =>
+        "The worker-count override is not a positive integer; fix or unset the environment variable.";
+    "R0202", "runtime": "invalid launch geometry" =>
+        "Grid or block has a zero dimension, or the spec is otherwise degenerate; check the launch spec.";
+    "R0301", "runtime": "launch deadline exceeded (hung worker)" =>
+        "A simulator worker missed the deadline — the signature of a hang; transient, the supervisor retries it.";
+    "R0401", "supervisor": "supervisor exhausted retries and fallbacks" =>
+        "Every retry and fallback in the recovery chain failed; the report lists each attempt's diagnostic.";
+];
 
 /// Render an error and its `source()` chain, outermost first.
 pub fn error_chain(e: &(dyn std::error::Error + 'static)) -> Vec<String> {

@@ -42,7 +42,7 @@ pub mod supervisor;
 pub mod target;
 
 pub use cache::{CacheReport, KernelCache};
-pub use errors::{error_chain, FailureClass};
+pub use errors::{diagnostic_registry, error_chain, explain, CodeInfo, FailureClass};
 pub use hipacc_faults::{FaultPlan, FaultSession};
 pub use hipacc_sim::Engine;
 pub use operator::{Execution, Operator, OperatorError, PipelineOptions};

@@ -45,6 +45,9 @@ pub struct PipelineOptions {
     /// Naive boundary handling everywhere, no region specialization (the
     /// "Manual" baseline behaviour).
     pub generic_boundary: bool,
+    /// Device-IR optimization level (0 = lower only, 1 = run the
+    /// analysis-driven `ir::opt` pipeline; the default).
+    pub opt_level: u8,
     /// Model a naive JIT backend (RapidMind): no loop-invariant code
     /// motion, no common-subexpression elimination in the op counting.
     pub naive_codegen: bool,
@@ -74,6 +77,7 @@ impl Default for PipelineOptions {
             roi: None,
             vectorize: 1,
             generic_boundary: false,
+            opt_level: 1,
             naive_codegen: false,
             sim_threads: None,
             engine: None,
@@ -243,6 +247,7 @@ impl Operator {
         spec.unroll_limit = self.options.unroll_limit;
         spec.force_config = self.options.force_config;
         spec.generic_boundary = self.options.generic_boundary;
+        spec.opt_level = self.options.opt_level;
         if let Some((x, y, w, h)) = self.options.roi {
             spec = spec.with_roi(x, y, w, h);
         }

@@ -228,6 +228,83 @@ pub fn fold_expr(e: Expr, env: &HashMap<String, Const>) -> Expr {
     })
 }
 
+/// Widened, *device-safe* single-node simplification used by the
+/// optimizer's cleanup pass (`ir::opt`). Unlike [`fold_expr`]'s
+/// identities, every rewrite here is observationally invisible on the
+/// lowered device IR, where subexpressions may carry counted memory
+/// accesses or traps:
+///
+/// * constant subtrees fold (such a subtree is literal-only, so it can
+///   neither access memory nor trap — division by a constant zero
+///   refuses to fold);
+/// * identities only ever drop a *literal* operand (`x-0`, `x*1`,
+///   `1*x`, `x/1` — but not `x+0`, which flips the sign of a float
+///   `-0.0` and would break bit-identity) or an operand the engines
+///   provably never evaluate
+///   (the untaken branch of a literal `Select`, the right side of a
+///   short-circuited `false && _` / `true || _`);
+/// * boolean widenings: `b && true → b`, `b || false → b`, `!!b → b`,
+///   gated on `b` being syntactically boolean so the result's constant
+///   kind is unchanged.
+///
+/// The input is a single node whose children are already simplified (the
+/// shape `Expr::rewrite` hands out); callers drive it bottom-up.
+pub fn widen_fold(node: Expr) -> Expr {
+    let empty = HashMap::new();
+    if let Some(c) = eval_const(&node, &empty) {
+        if !matches!(c, Const::Float(f) if !f.is_finite()) {
+            return const_to_expr(c);
+        }
+    }
+    fn boolish(e: &Expr) -> bool {
+        matches!(e, Expr::ImmBool(_) | Expr::Unary(UnOp::Not, _))
+            || matches!(e, Expr::Binary(op, _, _) if op.is_comparison())
+    }
+    // `x - (-0.0)` is not identity for `x = -0.0`; only drop `+0.0`.
+    let is_pos_zero = |e: &Expr| {
+        matches!(e, Expr::ImmInt(0))
+            || matches!(e, Expr::ImmFloat(f) if *f == 0.0 && !f.is_sign_negative())
+    };
+    match node {
+        Expr::Binary(BinOp::Sub, a, b) if is_pos_zero(&b) => *a,
+        Expr::Binary(BinOp::Mul, a, b) => {
+            if is_one(&a) {
+                *b
+            } else if is_one(&b) {
+                *a
+            } else {
+                Expr::Binary(BinOp::Mul, a, b)
+            }
+        }
+        Expr::Binary(BinOp::Div, a, b) if is_one(&b) => *a,
+        Expr::Binary(BinOp::And, a, b) => match (&*a, &*b) {
+            // false && _ short-circuits: b never runs.
+            (Expr::ImmBool(false), _) => Expr::ImmBool(false),
+            (Expr::ImmBool(true), _) if boolish(&b) => *b,
+            (_, Expr::ImmBool(true)) if boolish(&a) => *a,
+            _ => Expr::Binary(BinOp::And, a, b),
+        },
+        Expr::Binary(BinOp::Or, a, b) => match (&*a, &*b) {
+            // true || _ short-circuits: b never runs.
+            (Expr::ImmBool(true), _) => Expr::ImmBool(true),
+            (Expr::ImmBool(false), _) if boolish(&b) => *b,
+            (_, Expr::ImmBool(false)) if boolish(&a) => *a,
+            _ => Expr::Binary(BinOp::Or, a, b),
+        },
+        Expr::Unary(UnOp::Not, a) => match *a {
+            Expr::Unary(UnOp::Not, inner) if boolish(&inner) => *inner,
+            a => Expr::Unary(UnOp::Not, Box::new(a)),
+        },
+        Expr::Select(c, a, b) => match *c {
+            // Lazy: the untaken branch never evaluated.
+            Expr::ImmBool(true) => *a,
+            Expr::ImmBool(false) => *b,
+            c => Expr::Select(Box::new(c), a, b),
+        },
+        other => other,
+    }
+}
+
 /// Names of variables that are ever the target of an assignment.
 fn assigned_vars(stmts: &[Stmt]) -> HashSet<String> {
     let mut set = HashSet::new();

@@ -37,6 +37,7 @@ pub mod expr;
 pub mod fold;
 pub mod kernel;
 pub mod metrics;
+pub mod opt;
 pub mod stmt;
 pub mod ty;
 pub mod typecheck;

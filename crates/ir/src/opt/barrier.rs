@@ -1,0 +1,45 @@
+//! Dead-barrier elimination (mechanical half).
+//!
+//! Which barriers are removable is decided by the race analysis — it
+//! owns the phase model and the per-lane footprint evaluation (see
+//! `hipacc_analysis::races::removable_barriers`). This module is only
+//! the IR surgery: given the ordinals of removable *top-level* barriers
+//! (the only kind the engines accept — nested barriers are runtime
+//! errors), delete them.
+//!
+//! Note the `ExecStats::barriers` counter necessarily drops with each
+//! removed phase boundary; the translation-validation protocol compares
+//! stats *within* an opt level, not across levels, for exactly this
+//! reason.
+
+use crate::kernel::DeviceKernelDef;
+use crate::stmt::Stmt;
+use std::collections::HashSet;
+
+/// Delete the top-level barriers whose ordinal (0-based, in body order)
+/// appears in `dead`. Returns how many were removed.
+pub fn remove_barriers(k: &mut DeviceKernelDef, dead: &[usize]) -> u32 {
+    if dead.is_empty() {
+        return 0;
+    }
+    let dead: HashSet<usize> = dead.iter().copied().collect();
+    let mut ord = 0usize;
+    let mut removed = 0u32;
+    let body = std::mem::take(&mut k.body);
+    k.body = body
+        .into_iter()
+        .filter(|s| {
+            if matches!(s, Stmt::Barrier) {
+                let drop = dead.contains(&ord);
+                ord += 1;
+                if drop {
+                    removed += 1;
+                }
+                !drop
+            } else {
+                true
+            }
+        })
+        .collect();
+    removed
+}

@@ -1,0 +1,61 @@
+//! Clamp and bounds-check elision.
+//!
+//! Interior-region specializations carry boundary machinery that their
+//! block rectangle makes dead: `min`/`max` clamps whose input range
+//! already lies inside the clamp bound, region-dispatch branches whose
+//! condition the launch geometry decides, and border loops that never
+//! trip. This pass removes all three, driven by the value-range oracle:
+//!
+//! * `min(a, b)` → `a` when `range(a).hi <= range(b).lo` (symmetric),
+//! * `max(a, b)` → `a` when `range(a).lo >= range(b).hi` (symmetric),
+//! * decided `if`s inline their taken arm (the walker's job),
+//! * provably zero-trip `for`s disappear (also the walker).
+//!
+//! Soundness: replacements only apply to *integer*-valued operands (the
+//! oracle refuses ranges for anything else; integer `min`/`max` are
+//! value-preserving in the engines), and the dropped operand must be
+//! [`transparent`](super::transparent) since it is no longer evaluated.
+
+use super::{transparent, Oracle, WalkConfig};
+use crate::expr::{Expr, MathFn};
+use crate::kernel::DeviceKernelDef;
+
+/// Run clamp/bounds-check elision over `k`. Returns the rewrite count.
+pub fn elide_clamps<O: Oracle>(k: &mut DeviceKernelDef, o: &mut O) -> u32 {
+    let cfg = WalkConfig {
+        collapse_ifs: true,
+        flatten: false,
+    };
+    let body = std::mem::take(&mut k.body);
+    let (body, fires) = super::run_walker(body, &k.scalars, o, &cfg, &mut reduce_clamp);
+    k.body = body;
+    fires
+}
+
+fn reduce_clamp<O: Oracle>(e: Expr, o: &O, fires: &mut u32) -> Expr {
+    let Expr::Call(f @ (MathFn::Min | MathFn::Max), args) = e else {
+        return e;
+    };
+    let (ra, rb) = (o.range(&args[0]), o.range(&args[1]));
+    if let (Some((al, ah)), Some((bl, bh))) = (ra, rb) {
+        let keep_a = match f {
+            MathFn::Min => ah <= bl,
+            _ => al >= bh,
+        };
+        let keep_b = match f {
+            MathFn::Min => bh <= al,
+            _ => bl >= ah,
+        };
+        let mut args = args;
+        if keep_a && transparent(&args[1]) {
+            *fires += 1;
+            return args.swap_remove(0);
+        }
+        if keep_b && transparent(&args[0]) {
+            *fires += 1;
+            return args.swap_remove(1);
+        }
+        return Expr::Call(f, args);
+    }
+    Expr::Call(f, args)
+}

@@ -1,0 +1,92 @@
+//! Range-based strength reduction.
+//!
+//! Rewrites driven by the value-range oracle:
+//!
+//! * comparisons and boolean operators whose truth value the ranges
+//!   decide fold to `true`/`false` literals,
+//! * `Select`s with a decided condition collapse to the taken branch
+//!   (the untaken branch was never evaluated — `Select` is lazy in every
+//!   engine — so only the condition must be transparent),
+//! * `a % b` → `a` when `0 <= a < b` is provable,
+//! * `a / b` → `0` under the same ranges.
+//!
+//! Each rewrite drops only [`transparent`](super::transparent)
+//! subexpressions (no memory access, no possible trap), so outputs *and*
+//! `ExecStats` are preserved bit-for-bit. Decided `if` statements are
+//! left for the clamp-elision and cleanup passes; this pass only touches
+//! expressions.
+
+use super::{transparent, Oracle, WalkConfig};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::kernel::DeviceKernelDef;
+
+/// Run strength reduction over `k`. Returns the rewrite count.
+pub fn strength_reduce<O: Oracle>(k: &mut DeviceKernelDef, o: &mut O) -> u32 {
+    let cfg = WalkConfig {
+        collapse_ifs: false,
+        flatten: false,
+    };
+    let body = std::mem::take(&mut k.body);
+    let (body, fires) = super::run_walker(body, &k.scalars, o, &cfg, &mut reduce);
+    k.body = body;
+    fires
+}
+
+fn reduce<O: Oracle>(e: Expr, o: &O, fires: &mut u32) -> Expr {
+    match e {
+        // Decided boolean expression → literal. The engines evaluate a
+        // comparison to the same `Bool` constant the literal produces.
+        Expr::Binary(op, a, b) if op.is_comparison() => {
+            let e = Expr::Binary(op, a, b);
+            if transparent(&e) {
+                if let Some(t) = o.truth(&e) {
+                    *fires += 1;
+                    return Expr::ImmBool(t);
+                }
+            }
+            e
+        }
+        Expr::Unary(UnOp::Not, a) => {
+            let e = Expr::Unary(UnOp::Not, a);
+            if transparent(&e) {
+                if let Some(t) = o.truth(&e) {
+                    *fires += 1;
+                    return Expr::ImmBool(t);
+                }
+            }
+            e
+        }
+        // Decided select → taken branch (lazy: the other branch never
+        // ran; the dropped condition must be transparent).
+        Expr::Select(c, a, b) => {
+            if transparent(&c) {
+                if let Some(t) = o.truth(&c) {
+                    *fires += 1;
+                    return if t { *a } else { *b };
+                }
+            }
+            Expr::Select(c, a, b)
+        }
+        // 0 <= a < b proves a % b == a and a / b == 0. The ranges also
+        // prove b != 0, so the (integer) division cannot trap.
+        Expr::Binary(op @ (BinOp::Rem | BinOp::Div), a, b) => {
+            if let (Some((al, ah)), Some((bl, _))) = (o.range(&a), o.range(&b)) {
+                if al >= 0 && bl > 0 && ah < bl {
+                    match op {
+                        BinOp::Rem if transparent(&b) => {
+                            *fires += 1;
+                            return *a;
+                        }
+                        BinOp::Div if transparent(&a) && transparent(&b) => {
+                            *fires += 1;
+                            return Expr::ImmInt(0);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Expr::Binary(op, a, b)
+        }
+        other => other,
+    }
+}

@@ -10,9 +10,10 @@
 
 use hipacc_ir::fold::eval_const;
 use hipacc_ir::kernel::DeviceKernelDef;
+use hipacc_ir::stmt::LValue;
 use hipacc_ir::ty::Const;
 use hipacc_ir::{Builtin, Expr, Stmt};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The conflict report for one shared-memory access site.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,6 +46,30 @@ fn eval_lane(e: &Expr, lane: i64, extra: &HashMap<String, Const>) -> Option<i64>
     eval_const(&substituted, extra).map(|c| c.as_i64())
 }
 
+/// Inline single-assignment declaration initializers into `e` until no
+/// resolvable variable remains (bounded — shadowing cannot cycle, but
+/// the cap makes that a non-assumption).
+fn resolve(e: &Expr, inits: &HashMap<String, Expr>) -> Expr {
+    let mut cur = e.clone();
+    for _ in 0..8 {
+        let mut changed = false;
+        cur = cur.rewrite(&mut |n| match n {
+            Expr::Var(v) => match inits.get(&v) {
+                Some(init) => {
+                    changed = true;
+                    init.clone()
+                }
+                None => Expr::Var(v),
+            },
+            other => other,
+        });
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
 /// Analyze every shared-memory access in a kernel body.
 ///
 /// Loop variables and scalar parameters are pinned through `env` (defaults
@@ -68,6 +93,39 @@ pub fn analyze_bank_conflicts(
         full_env.entry(p.name.clone()).or_insert(Const::Int(0));
     }
 
+    // Single-assignment declarations (declared once, never reassigned,
+    // with an initializer) are resolved through their initializer rather
+    // than pinned at 0 — the optimizer's hoisted temporaries name
+    // lane-dependent address components, and pinning those would report
+    // phantom full-warp conflicts.
+    let mut assigned: HashSet<String> = HashSet::new();
+    let mut decl_count: HashMap<String, u32> = HashMap::new();
+    Stmt::visit_all(&kernel.body, &mut |s| match s {
+        Stmt::Assign {
+            target: LValue::Var(v),
+            ..
+        } => {
+            assigned.insert(v.clone());
+        }
+        Stmt::Decl { name, .. } => {
+            *decl_count.entry(name.clone()).or_insert(0) += 1;
+        }
+        _ => {}
+    });
+    let mut inits: HashMap<String, Expr> = HashMap::new();
+    Stmt::visit_all(&kernel.body, &mut |s| {
+        if let Stmt::Decl {
+            name,
+            init: Some(e),
+            ..
+        } = s
+        {
+            if !assigned.contains(name) && decl_count.get(name) == Some(&1) {
+                inits.insert(name.clone(), e.clone());
+            }
+        }
+    });
+
     let banks = 32u32; // both vendors of the era use 32 (16 on pre-Fermi,
                        // which only strengthens the padding argument).
     let mut reports = Vec::new();
@@ -76,11 +134,13 @@ pub fn analyze_bank_conflicts(
             Some(s) => s.cols as i64,
             None => return,
         };
+        let (y, x) = (resolve(y, &inits), resolve(x, &inits));
         let mut per_bank: HashMap<u32, u32> = HashMap::new();
         for lane in 0..banks as i64 {
-            let (Some(yy), Some(xx)) =
-                (eval_lane(y, lane, &full_env), eval_lane(x, lane, &full_env))
-            else {
+            let (Some(yy), Some(xx)) = (
+                eval_lane(&y, lane, &full_env),
+                eval_lane(&x, lane, &full_env),
+            ) else {
                 return; // address not statically analyzable for this site
             };
             let addr = yy * cols + xx;

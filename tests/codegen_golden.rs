@@ -6,21 +6,25 @@ use hipacc_core::PipelineOptions;
 use hipacc_filters::bilateral::bilateral_operator;
 use hipacc_hwmodel::device::{quadro_fx_5800, tesla_c2050};
 
-fn compile_bilateral_cuda() -> hipacc_codegen::CompiledKernel {
+fn compile_bilateral_cuda_at(opt_level: u8) -> hipacc_codegen::CompiledKernel {
     bilateral_operator(3, 5, true, BoundaryMode::Clamp)
         .with_options(PipelineOptions {
             variant: MemVariant::Texture,
             force_config: Some((128, 1)),
+            opt_level,
             ..PipelineOptions::default()
         })
         .compile(&Target::cuda(tesla_c2050()), 4096, 4096)
         .unwrap()
 }
 
-#[test]
-fn cuda_source_has_paper_structure() {
-    let c = compile_bilateral_cuda();
-    let src = &c.source;
+fn compile_bilateral_cuda() -> hipacc_codegen::CompiledKernel {
+    compile_bilateral_cuda_at(PipelineOptions::default().opt_level)
+}
+
+/// The paper-structure assertions shared by the default and the
+/// `opt_level = 0` compiles — the optimizer must not disturb any of them.
+fn assert_cuda_paper_structure(src: &str) {
     // Texture reference declared globally, not as a parameter (§IV-A).
     assert!(src.contains("texture<float, cudaTextureType1D, cudaReadModeElementType> _texInput;"));
     assert!(!src.contains("(_texInput,") || src.contains("tex1Dfetch(_texInput,"));
@@ -39,6 +43,27 @@ fn cuda_source_has_paper_structure() {
     assert!(!src.contains(" exp("));
     // Balanced braces — a cheap syntactic sanity check.
     assert_eq!(src.matches('{').count(), src.matches('}').count());
+}
+
+#[test]
+fn cuda_source_has_paper_structure() {
+    let c = compile_bilateral_cuda();
+    assert_cuda_paper_structure(&c.source);
+}
+
+/// `opt_level = 0` reproduces the pre-optimizer generated code: same
+/// paper structure, no optimizer temporaries, empty optimization report.
+#[test]
+fn opt0_source_keeps_pre_optimizer_golden_structure() {
+    let c = compile_bilateral_cuda_at(0);
+    assert_cuda_paper_structure(&c.source);
+    assert!(
+        !c.source.contains("_opt_h"),
+        "opt 0 must not contain hoisted temporaries"
+    );
+    assert_eq!(c.opt.level, 0);
+    assert_eq!(c.opt.total(), 0);
+    assert!(c.opt.passes.is_empty());
 }
 
 #[test]

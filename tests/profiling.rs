@@ -254,6 +254,7 @@ fn phase_times_populated_on_plain_compiles() {
             "config-select",
             "lowering",
             "resources",
+            "optimize",
             "emission",
             "verify",
         ]

@@ -195,3 +195,72 @@ fn verification_errors_render_their_diagnostics() {
         "unhelpful error message: {msg}"
     );
 }
+
+// ---------------------------------------------------------------------
+// The diagnostic-code registry.
+// ---------------------------------------------------------------------
+
+/// The registry covers all three code spaces exactly, in sorted order
+/// (which also proves uniqueness), and every entry carries a summary and
+/// advice.
+#[test]
+fn diagnostic_registry_is_complete_sorted_and_described() {
+    let codes: Vec<&str> = hipacc_core::diagnostic_registry()
+        .iter()
+        .map(|c| c.code)
+        .collect();
+    let expected = [
+        // Verifier and source linter (hipacc_analysis::diag).
+        "A0101", "A0102", "A0201", "A0202", "A0301", "A0302", "A0303", "A0401", "A0402", "A0403",
+        "A0404", "A0501", "A0502", // Compile failures (hipacc_core::errors).
+        "C0101", "C0102", "C0103", "C0201", "C0202", "C0301",
+        // Runtime and supervisor failures.
+        "R0001", "R0101", "R0102", "R0103", "R0104", "R0105", "R0106", "R0201", "R0202", "R0301",
+        "R0401",
+    ];
+    assert_eq!(codes, expected);
+    let mut sorted = codes.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(codes, sorted, "registry must be sorted and duplicate-free");
+    for info in hipacc_core::diagnostic_registry() {
+        assert!(!info.origin.is_empty(), "{}", info.code);
+        assert!(!info.summary.is_empty(), "{}", info.code);
+        assert!(
+            info.advice.len() > info.summary.len(),
+            "{}: advice should expand on the summary",
+            info.code
+        );
+    }
+}
+
+/// `explain` is case/whitespace-insensitive and rejects unknown codes;
+/// every code an `OperatorError` can produce resolves in the registry.
+#[test]
+fn explain_resolves_every_emitted_code() {
+    assert_eq!(hipacc_core::explain(" a0301 ").unwrap().code, "A0301");
+    assert_eq!(hipacc_core::explain("r0401").unwrap().code, "R0401");
+    assert!(hipacc_core::explain("Z9999").is_none());
+    assert!(hipacc_core::explain("").is_none());
+
+    use hipacc_core::OperatorError;
+    use hipacc_sim::SimError;
+    let samples = [
+        OperatorError::NoInputs,
+        OperatorError::Unrecovered("gone".into()),
+        OperatorError::Sim(SimError::UnboundBuffer("IN".into())),
+        OperatorError::Sim(SimError::DivisionByZero),
+        OperatorError::Compile(CompileError::NoValidConfiguration),
+        OperatorError::Compile(CompileError::Internal("bug".into())),
+        OperatorError::Compile(CompileError::Verification(vec![
+            hipacc_analysis::Diagnostic::error("A0302", "k", "oob"),
+        ])),
+    ];
+    for err in samples {
+        let code = err.diagnostic().code;
+        assert!(
+            hipacc_core::explain(code).is_some(),
+            "{code} emitted but not in the registry"
+        );
+    }
+}
