@@ -247,10 +247,7 @@ impl OpencvSeparable {
                 grid: self.grid(current.width(), current.height()),
                 block: OPENCV_CONFIG,
                 inputs,
-                mask_data: HashMap::new(),
-                scalars: HashMap::new(),
-                sim_threads: None,
-                engine: None,
+                ..Default::default()
             };
             let res = hipacc_sim::launch::run_on_image(&kernel, &spec)?;
             total.global_loads += res.stats.global_loads;

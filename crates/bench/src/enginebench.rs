@@ -93,6 +93,10 @@ pub struct EngineBench {
     pub opt_level: u8,
     /// Per-cell timings.
     pub cells: Vec<CellTiming>,
+    /// Streaming-throughput cell (3-stage chain, pipelined vs
+    /// sequential per-frame). Populated by [`EngineBench::with_streaming`];
+    /// absent in the quick per-engine runs.
+    pub streaming: Option<crate::streambench::StreamingBench>,
 }
 
 /// The benchmark cells: representative local operators from the paper's
@@ -192,6 +196,7 @@ pub fn run_at(samples: usize, opt_level: u8) -> EngineBench {
         samples,
         opt_level,
         cells,
+        streaming: None,
     }
 }
 
@@ -199,6 +204,13 @@ impl EngineBench {
     /// Look up a cell by name.
     pub fn cell(&self, name: &str) -> Option<&CellTiming> {
         self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Run the streaming-throughput cell and attach it to the report
+    /// (see [`crate::streambench`]).
+    pub fn with_streaming(mut self) -> Self {
+        self.streaming = Some(crate::streambench::run());
+        self
     }
 
     /// The `BENCH_engine.json` document: sizes, warp width and per-cell
@@ -224,7 +236,11 @@ impl EngineBench {
             }
             out.push_str("}}");
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(streaming) = &self.streaming {
+            let _ = write!(out, ",\"streaming\":{}", streaming.to_json());
+        }
+        out.push('}');
         out
     }
 
@@ -250,6 +266,9 @@ impl EngineBench {
                 ms("simd"),
                 cell.speedup("simd", "bytecode").unwrap_or(f64::NAN)
             );
+        }
+        if let Some(streaming) = &self.streaming {
+            out.push_str(&streaming.render_text());
         }
         out
     }
@@ -292,6 +311,19 @@ mod tests {
                 assert!(engines[engine].as_number().unwrap() > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn streaming_cell_attaches_to_the_json_report() {
+        let bench = run_at(1, 1).with_streaming();
+        let streaming = bench.streaming.as_ref().expect("cell attached");
+        assert!(streaming.bit_identical);
+        let doc = hipacc_profile::json::parse(&bench.to_json()).expect("valid JSON");
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj["cells"].as_array().unwrap().len(), 4);
+        let s = obj["streaming"].as_object().unwrap();
+        assert!(s["speedup"].as_number().unwrap() > 0.0);
+        assert!(bench.render_text().contains("streaming"));
     }
 
     #[test]

@@ -30,4 +30,5 @@ pub mod enginebench;
 pub mod figures;
 pub mod paper;
 pub mod render;
+pub mod streambench;
 pub mod tables;

@@ -1,0 +1,206 @@
+//! Streaming-throughput benchmark: a 3-stage operator chain over a
+//! multi-frame sequence, pipelined with the shared worker pool and
+//! kernel cache, against the sequential per-frame baseline that
+//! compiles fresh on every launch (the pre-streaming behaviour).
+//!
+//! Before any timing, the streamed outputs are asserted **bit-identical**
+//! per frame to the sequential baseline — throughput that computes
+//! something else does not count. The speedup comes from two effects the
+//! streaming runtime adds: steady-state frames skip the compile+verify
+//! phases entirely (cache amortization), and stage launches overlap
+//! across the pipeline.
+
+use hipacc_core::{Engine, Target};
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_filters::laplacian::laplacian_operator;
+use hipacc_filters::sobel::sobel_operator;
+use hipacc_hwmodel::device::tesla_c2050;
+use hipacc_image::{phantom, BoundaryMode, Image};
+use hipacc_runtime::{Stream, StreamConfig};
+use std::fmt::Write as _;
+
+/// Square frame edge of the streaming cell (smaller than the per-engine
+/// cells: the cell isolates pipeline overheads, not pixel throughput).
+pub const SIZE: u32 = 16;
+
+/// Frames per timed run.
+pub const FRAMES: usize = 16;
+
+/// Worker threads of the shared pool.
+pub const WORKERS: usize = 4;
+
+/// The streaming cell of `BENCH_engine.json`.
+#[derive(Clone, Debug)]
+pub struct StreamingBench {
+    /// Frame edge (frames are `size`×`size`).
+    pub size: u32,
+    /// Frames per run.
+    pub frames: usize,
+    /// Stage names of the chain.
+    pub stages: Vec<String>,
+    /// Worker threads of the shared pool.
+    pub workers: usize,
+    /// Engine every launch ran on.
+    pub engine: &'static str,
+    /// Wall time of the sequential per-frame baseline (fresh compile
+    /// every launch), in nanoseconds.
+    pub sequential_ns: f64,
+    /// Wall time of the streaming run (shared cache + pipeline), ns.
+    pub streaming_ns: f64,
+    /// Baseline frames per second.
+    pub sequential_fps: f64,
+    /// Streaming frames per second.
+    pub streaming_fps: f64,
+    /// `streaming_fps / sequential_fps`.
+    pub speedup: f64,
+    /// Streaming cache hit rate (steady state ⇒ close to 1).
+    pub cache_hit_rate: f64,
+    /// Whether every streamed frame matched the baseline bit for bit
+    /// (asserted, so always `true` in a report that exists).
+    pub bit_identical: bool,
+}
+
+/// The frame sequence: a drifting vessel phantom.
+fn frames() -> Vec<Image<f32>> {
+    (0..FRAMES)
+        .map(|i| {
+            let mut img = phantom::vessel_tree(SIZE, SIZE, &phantom::VesselParams::default());
+            for (j, px) in img.raw_mut().iter_mut().enumerate() {
+                *px += ((i * 11 + j) % 17) as f32 * 1e-3;
+            }
+            img
+        })
+        .collect()
+}
+
+/// The representative 3-stage chain (smooth → edge → sharpen).
+fn chain(name: &str, share_cache: bool) -> Stream {
+    let m = BoundaryMode::Clamp;
+    Stream::new(name, Target::cuda(tesla_c2050()))
+        .stage("gauss5", gaussian_operator(5, 1.1, m))
+        .stage("sobel", sobel_operator(true, m))
+        .stage("laplace", laplacian_operator(m))
+        .with_config(StreamConfig {
+            workers: Some(WORKERS),
+            engine: Some(Engine::Simd),
+            share_cache,
+            ..StreamConfig::default()
+        })
+}
+
+/// Run the streaming cell: sequential fresh-compile baseline, then the
+/// pipelined run, bit-identity asserted per frame before any number is
+/// reported.
+pub fn run() -> StreamingBench {
+    let input = frames();
+
+    // Baseline: frames one at a time, every launch compiling fresh —
+    // the cost model of per-frame `Operator::execute` before streaming.
+    let sequential = chain("baseline", false)
+        .run_sequential(input.clone())
+        .expect("sequential baseline");
+    assert_eq!(sequential.report.frames_out, FRAMES);
+
+    // Streaming: same chain, shared cache, pipelined stages.
+    let stream = chain("streaming", true);
+    let streamed = stream.run(input).expect("streaming run");
+    assert_eq!(streamed.report.frames_out, FRAMES);
+
+    for (s, r) in streamed.outputs.iter().zip(&sequential.outputs) {
+        assert_eq!(
+            s.image.max_abs_diff(&r.image),
+            0.0,
+            "frame {}: streaming output diverged from the sequential baseline",
+            s.seq
+        );
+    }
+
+    let sequential_ns = (sequential.report.wall_us as f64) * 1e3;
+    let streaming_ns = (streamed.report.wall_us as f64) * 1e3;
+    StreamingBench {
+        size: SIZE,
+        frames: FRAMES,
+        stages: streamed.report.stages.clone(),
+        workers: WORKERS,
+        engine: Engine::Simd.label(),
+        sequential_ns,
+        streaming_ns,
+        sequential_fps: sequential.report.frames_per_sec,
+        streaming_fps: streamed.report.frames_per_sec,
+        speedup: streamed.report.frames_per_sec / sequential.report.frames_per_sec,
+        cache_hit_rate: streamed.report.cache_hit_rate,
+        bit_identical: true,
+    }
+}
+
+impl StreamingBench {
+    /// The `"streaming"` member of `BENCH_engine.json` (hand-rolled;
+    /// every emitted string is a known identifier).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self.stages.iter().map(|s| format!("\"{s}\"")).collect();
+        let mut out = String::from("{");
+        let _ = write!(out, "\"size\":{}", self.size);
+        let _ = write!(out, ",\"frames\":{}", self.frames);
+        let _ = write!(out, ",\"stages\":[{}]", stages.join(","));
+        let _ = write!(out, ",\"workers\":{}", self.workers);
+        let _ = write!(out, ",\"engine\":\"{}\"", self.engine);
+        let _ = write!(out, ",\"sequential_ns\":{:.1}", self.sequential_ns);
+        let _ = write!(out, ",\"streaming_ns\":{:.1}", self.streaming_ns);
+        let _ = write!(out, ",\"sequential_fps\":{:.2}", self.sequential_fps);
+        let _ = write!(out, ",\"streaming_fps\":{:.2}", self.streaming_fps);
+        let _ = write!(out, ",\"speedup\":{:.3}", self.speedup);
+        let _ = write!(out, ",\"cache_hit_rate\":{:.3}", self.cache_hit_rate);
+        let _ = write!(out, ",\"bit_identical\":{}", self.bit_identical);
+        out.push('}');
+        out
+    }
+
+    /// Human-readable one-cell summary.
+    pub fn render_text(&self) -> String {
+        format!(
+            "streaming {0} frames {1}x{1} through [{2}] at {3} workers ({4}):\n  \
+             sequential {5:.3} ms ({6:.1} frames/s), streaming {7:.3} ms ({8:.1} frames/s), \
+             speedup {9:.2}x, cache hit rate {10:.2}\n",
+            self.frames,
+            self.size,
+            self.stages.join(" -> "),
+            self.workers,
+            self.engine,
+            self.sequential_ns / 1e6,
+            self.sequential_fps,
+            self.streaming_ns / 1e6,
+            self.streaming_fps,
+            self.speedup,
+            self.cache_hit_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_cell_reports_and_round_trips() {
+        let cell = run();
+        assert!(cell.bit_identical);
+        assert_eq!(cell.frames, FRAMES);
+        assert_eq!(cell.stages.len(), 3);
+        assert!(cell.speedup > 0.0);
+        assert!(cell.cache_hit_rate > 0.8, "steady state must hit the cache");
+
+        let doc = hipacc_profile::json::parse(&cell.to_json()).expect("valid JSON");
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj["frames"].as_number(), Some(FRAMES as f64));
+        assert_eq!(obj["workers"].as_number(), Some(WORKERS as f64));
+        assert!(obj["speedup"].as_number().unwrap() > 0.0);
+        assert!(matches!(
+            obj["bit_identical"],
+            hipacc_profile::json::Value::Bool(true)
+        ));
+
+        let text = cell.render_text();
+        assert!(text.contains("speedup"), "{text}");
+        assert!(text.contains("gauss5 -> sobel -> laplace"), "{text}");
+    }
+}

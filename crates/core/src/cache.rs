@@ -33,7 +33,7 @@ use hipacc_ir::kernel::KernelDef;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Default number of compiled kernels retained (LRU beyond this).
 pub const DEFAULT_CACHE_CAPACITY: usize = 32;
@@ -48,6 +48,10 @@ pub struct CacheReport {
     pub hits: u64,
     /// Cumulative misses on the cache at the time of this launch.
     pub misses: u64,
+    /// Times the cache adopted its state out of a poisoned lock (a
+    /// launch thread panicked while holding it). Non-zero is worth a
+    /// look but never fatal — see [`KernelCache::poison_diagnostic`].
+    pub poison_recoveries: u64,
 }
 
 impl CacheReport {
@@ -70,6 +74,7 @@ pub struct KernelCache {
     hits: AtomicU64,
     misses: AtomicU64,
     bypasses: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl std::fmt::Debug for KernelCache {
@@ -102,6 +107,29 @@ impl KernelCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the cache state, recovering from mutex poisoning.
+    ///
+    /// A panic in one launch thread (a worker assertion, a test
+    /// `should_panic`, an injected fault) poisons the mutex for every
+    /// *unrelated* subsequent launch; propagating that panic turns one
+    /// failure into a process-wide cascade. The inner state is safe to
+    /// adopt as-is: every critical section either completes its
+    /// `HashMap` operation or panics before mutating (`tick += 1` and
+    /// map ops are individually atomic with respect to unwinding), and a
+    /// worst-case stale LRU stamp or missing entry only costs a
+    /// recompile. The recovery is counted and surfaced as a typed
+    /// diagnostic ([`Self::poison_diagnostic`]) instead of a panic.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                poisoned.into_inner()
+            }
         }
     }
 
@@ -148,7 +176,7 @@ impl KernelCache {
     /// Fetch the artifact for `key`, refreshing its LRU stamp. Counts a
     /// hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<CompiledKernel> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -167,7 +195,7 @@ impl KernelCache {
     /// Store an artifact under `key`, evicting the least-recently-used
     /// entry when the cache is full.
     pub fn insert(&self, key: String, compiled: CompiledKernel) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
@@ -205,12 +233,47 @@ impl KernelCache {
 
     /// Number of artifacts currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.lock_inner().map.len()
     }
 
     /// True when no artifact is retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Times the cache recovered from a poisoned lock (see
+    /// [`Self::poison_diagnostic`]).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// The typed diagnostic for poisoned-lock recoveries: `Some` once
+    /// any launch thread has panicked while holding the cache lock
+    /// (diagnostic code `R0501`), `None` while the cache has only ever
+    /// seen clean unlocks. The cache keeps serving either way; this is
+    /// the record that a panic happened nearby, not an error.
+    pub fn poison_diagnostic(&self) -> Option<hipacc_analysis::Diagnostic> {
+        let n = self.poison_recoveries();
+        (n > 0).then(|| {
+            hipacc_analysis::Diagnostic::warning(
+                "R0501",
+                "<kernel-cache>",
+                format!(
+                    "kernel cache recovered from a poisoned lock {n} time(s): \
+                     a launch thread panicked while holding it; cached state \
+                     was adopted and service continued"
+                ),
+            )
+        })
+    }
+
+    /// Run `f` while holding the cache lock. Test seam for poisoning the
+    /// mutex (panic inside `f` under `catch_unwind`); not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn with_lock_for_test(&self, f: impl FnOnce()) {
+        let _guard = self.lock_inner();
+        f();
     }
 
     /// A report describing `outcome` with the current counters attached.
@@ -219,6 +282,7 @@ impl KernelCache {
             outcome: outcome.into(),
             hits: self.hits(),
             misses: self.misses(),
+            poison_recoveries: self.poison_recoveries(),
         }
     }
 }

@@ -39,8 +39,10 @@
 //! | R0106 | expression evaluation failed |
 //! | R0201 | invalid `HIPACC_SIM_THREADS` value |
 //! | R0202 | invalid launch geometry |
+//! | R0203 | explicit launch override shadows a conflicting `HIPACC_SIM_*` variable — *warning* |
 //! | R0301 | launch deadline exceeded (hung worker) — *transient* |
 //! | R0401 | supervisor exhausted retries and fallbacks |
+//! | R0501 | kernel cache recovered from a poisoned lock — *warning* |
 
 use crate::operator::OperatorError;
 use hipacc_analysis::Diagnostic;
@@ -217,10 +219,14 @@ static REGISTRY: &[CodeInfo] = registry![
         "The worker-count override is not a positive integer; fix or unset the environment variable.";
     "R0202", "runtime": "invalid launch geometry" =>
         "Grid or block has a zero dimension, or the spec is otherwise degenerate; check the launch spec.";
+    "R0203", "runtime": "explicit launch override shadows a conflicting HIPACC_SIM_* variable" =>
+        "An explicit engine/sim_threads setting and the environment disagree; the explicit setting always wins — unset the stale variable if the environment was meant to apply.";
     "R0301", "runtime": "launch deadline exceeded (hung worker)" =>
         "A simulator worker missed the deadline — the signature of a hang; transient, the supervisor retries it.";
     "R0401", "supervisor": "supervisor exhausted retries and fallbacks" =>
         "Every retry and fallback in the recovery chain failed; the report lists each attempt's diagnostic.";
+    "R0501", "runtime": "kernel cache recovered from a poisoned lock" =>
+        "A launch thread panicked while holding the cache lock; the cache adopted its state and kept serving — investigate the panic, the cache itself is healthy.";
 ];
 
 /// Render an error and its `source()` chain, outermost first.

@@ -63,6 +63,12 @@ pub struct PipelineOptions {
     /// compiles fresh on every launch; sharing one `Arc` across operators
     /// lets steady-state pipelines skip the compile phases entirely.
     pub cache: Option<std::sync::Arc<crate::cache::KernelCache>>,
+    /// Shared simulator worker pool (see [`hipacc_sim::WorkerPool`]).
+    /// `None` spawns per-launch scoped threads; sharing one `Arc` across
+    /// operators multiplexes the block work of concurrent launches over
+    /// one set of persistent threads. Outputs are bit-identical either
+    /// way.
+    pub pool: Option<std::sync::Arc<hipacc_sim::WorkerPool>>,
 }
 
 impl Default for PipelineOptions {
@@ -82,6 +88,7 @@ impl Default for PipelineOptions {
             sim_threads: None,
             engine: None,
             cache: None,
+            pool: None,
         }
     }
 }
@@ -162,10 +169,15 @@ pub struct Operator {
     pub def: KernelDef,
     /// Per-accessor boundary conditions.
     pub boundaries: HashMap<String, BoundarySpec>,
-    /// Scalar parameter values (compile-time bound *and* passed at launch).
-    pub params: HashMap<String, Const>,
-    /// Coefficients for dynamically initialized masks.
-    pub mask_uploads: HashMap<String, Vec<f32>>,
+    /// Scalar parameter values (compile-time bound *and* passed at
+    /// launch). Behind an `Arc` so every per-frame [`launch_spec`] shares
+    /// one allocation instead of deep-cloning the map; the builder
+    /// methods copy-on-write via [`std::sync::Arc::make_mut`].
+    pub params: std::sync::Arc<HashMap<String, Const>>,
+    /// Coefficients for dynamically initialized masks. Shared like
+    /// [`Self::params`] — a 13×13 bilateral mask is uploaded by
+    /// reference, never cloned per launch.
+    pub mask_uploads: std::sync::Arc<HashMap<String, Vec<f32>>>,
     /// Pipeline options.
     pub options: PipelineOptions,
 }
@@ -176,8 +188,8 @@ impl Operator {
         Self {
             def,
             boundaries: HashMap::new(),
-            params: HashMap::new(),
-            mask_uploads: HashMap::new(),
+            params: std::sync::Arc::new(HashMap::new()),
+            mask_uploads: std::sync::Arc::new(HashMap::new()),
             options: PipelineOptions::default(),
         }
     }
@@ -192,13 +204,13 @@ impl Operator {
 
     /// Bind an integer parameter.
     pub fn param_int(mut self, name: &str, v: i64) -> Self {
-        self.params.insert(name.to_string(), Const::Int(v));
+        std::sync::Arc::make_mut(&mut self.params).insert(name.to_string(), Const::Int(v));
         self
     }
 
     /// Bind a float parameter.
     pub fn param_float(mut self, name: &str, v: f32) -> Self {
-        self.params.insert(name.to_string(), Const::Float(v));
+        std::sync::Arc::make_mut(&mut self.params).insert(name.to_string(), Const::Float(v));
         self
     }
 
@@ -206,9 +218,9 @@ impl Operator {
     pub fn upload_mask(mut self, name: &str, coeffs: Vec<f32>) -> Self {
         // Both the constant-memory name and the global fallback name are
         // registered; the compiled kernel uses whichever exists.
-        self.mask_uploads
-            .insert(format!("_const{name}"), coeffs.clone());
-        self.mask_uploads.insert(format!("_gmask{name}"), coeffs);
+        let uploads = std::sync::Arc::make_mut(&mut self.mask_uploads);
+        uploads.insert(format!("_const{name}"), coeffs.clone());
+        uploads.insert(format!("_gmask{name}"), coeffs);
         self
     }
 
@@ -238,7 +250,7 @@ impl Operator {
         for (acc, b) in &self.boundaries {
             spec = spec.with_boundary(acc, *b);
         }
-        for (name, v) in &self.params {
+        for (name, v) in self.params.iter() {
             spec = spec.with_param(name, *v);
         }
         spec.variant = self.options.variant;
@@ -336,6 +348,7 @@ impl Operator {
             self.compile_maybe_cached(target, first.width(), first.height(), None)?;
         let mut spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
         spec.sim_threads = self.options.sim_threads;
+        spec.pool = self.options.pool.clone();
         let run = hipacc_sim::launch::run_on_image_with(&compiled.device_kernel, &spec, engine)?;
         let time = self.estimate(&compiled, target);
         Ok(Execution {
@@ -370,6 +383,22 @@ impl Operator {
             self.compile_maybe_cached(target, first.width(), first.height(), Some(&mut rec))?;
         let mut spec = launch_spec(&compiled, inputs, &self.params, &self.mask_uploads);
         spec.sim_threads = self.options.sim_threads;
+        spec.pool = self.options.pool.clone();
+
+        // Explicit overrides always beat the environment; when both are
+        // set and disagree, say so in the profile instead of letting a
+        // stale shell variable silently lose.
+        let conflicts: Vec<String> =
+            hipacc_sim::override_conflicts(Some(engine), self.options.sim_threads)
+                .into_iter()
+                .map(|c| c.to_string())
+                .collect();
+        for c in &conflicts {
+            rec.record(
+                hipacc_profile::Span::new("override-conflict", "diagnostic", now_us(), 0)
+                    .arg("detail", c.clone()),
+            );
+        }
 
         let engine_label = engine.label();
         let start = now_us();
@@ -416,6 +445,7 @@ impl Operator {
             fault_plan: None,
             cache: cache_report,
             warp_occupancy: exec.simd.and_then(|t| t.mean_active_fraction()),
+            override_conflicts: conflicts,
         };
         Ok((
             Execution {

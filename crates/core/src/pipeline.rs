@@ -14,22 +14,31 @@ use hipacc_ir::ty::Const;
 use hipacc_sim::launch::LaunchSpec;
 use hipacc_sim::timing::{MemClass, RegionCost, TimingInput};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Build the simulator launch spec for a compiled kernel.
+///
+/// The filter parameters and mask coefficients are *shared* into the
+/// spec (`Arc::clone`), never deep-cloned: building a spec per frame in
+/// a streaming loop allocates nothing proportional to mask size. The
+/// per-launch `scalars` overlay carries only the iteration-space
+/// geometry and shadows `params` by name.
 pub fn launch_spec<'a>(
     compiled: &CompiledKernel,
     inputs: &[(&str, &'a Image<f32>)],
-    params: &HashMap<String, Const>,
-    mask_data: &HashMap<String, Vec<f32>>,
+    params: &Arc<HashMap<String, Const>>,
+    mask_data: &Arc<HashMap<String, Vec<f32>>>,
 ) -> LaunchSpec<'a> {
     let mut spec = LaunchSpec {
         grid: compiled.grid,
         block: (compiled.config.bx, compiled.config.by),
         inputs: HashMap::new(),
-        mask_data: mask_data.clone(),
-        scalars: params.clone(),
+        mask_data: Arc::clone(mask_data),
+        params: Arc::clone(params),
+        scalars: HashMap::with_capacity(4),
         sim_threads: None,
         engine: None,
+        pool: None,
     };
     for (name, img) in inputs {
         spec.inputs.insert((*name).to_string(), img);

@@ -89,6 +89,11 @@ pub struct LaunchProfile {
     /// the launch ran on the simd engine. 1.0 means no divergence and no
     /// partially filled warps.
     pub warp_occupancy: Option<f64>,
+    /// Explicit-vs-environment override conflicts detected for this
+    /// launch (rendered [`hipacc_sim::OverrideConflict`]s): the explicit
+    /// spec value won, the listed `HIPACC_SIM_*` variable was ignored.
+    /// Empty when the two levels agree or only one is set.
+    pub override_conflicts: Vec<String>,
 }
 
 impl LaunchProfile {
@@ -176,6 +181,9 @@ impl LaunchProfile {
         ));
         if let Some(plan) = &self.fault_plan {
             out.push_str(&format!("  injected: {plan}\n"));
+        }
+        for c in &self.override_conflicts {
+            out.push_str(&format!("  override conflict: {c}\n"));
         }
         if let Some(c) = &self.cache {
             out.push_str(&format!(
@@ -284,6 +292,7 @@ mod tests {
             fault_plan: None,
             cache: None,
             warp_occupancy: None,
+            override_conflicts: Vec::new(),
         }
     }
 

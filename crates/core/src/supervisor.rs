@@ -358,6 +358,7 @@ pub fn supervise(
 
         let mut spec = launch_spec(&compiled, inputs, &op.params, &op.mask_uploads);
         spec.sim_threads = op.options.sim_threads;
+        spec.pool = op.options.pool.clone();
 
         let mut attempt = 0;
         while attempt < cfg.max_attempts.max(1) {
@@ -629,6 +630,10 @@ fn finish(
         fault_plan: plan.any_armed().then(|| plan.summary()),
         cache: cache_report,
         warp_occupancy: run.exec.simd.and_then(|t| t.mean_active_fraction()),
+        override_conflicts: hipacc_sim::override_conflicts(Some(engine), op.options.sim_threads)
+            .into_iter()
+            .map(|c| c.to_string())
+            .collect(),
     };
     Ok(Supervised {
         execution: Execution {

@@ -30,11 +30,12 @@ pub fn trace_json(spans: &[Span]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1",
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
             json::escape(&s.name),
             json::escape(&s.cat),
             s.start_us,
             s.dur_us,
+            s.lane,
         ));
         if !s.args.is_empty() {
             out.push_str(",\"args\":{");
@@ -142,6 +143,17 @@ mod tests {
             {"name":"a","cat":"c","ph":"X","ts":10,"dur":1,"pid":1,"tid":1},
             {"name":"b","cat":"c","ph":"X","ts":5,"dur":1,"pid":1,"tid":1}]}"#;
         assert!(validate(non_monotonic).unwrap_err().contains("monotonic"));
+    }
+
+    #[test]
+    fn lanes_become_trace_tids() {
+        let s = vec![
+            Span::new("frame:0", "stream", 0, 10).lane(2),
+            Span::new("frame:1", "stream", 5, 10).lane(3),
+        ];
+        let trace = trace_json(&s);
+        assert!(trace.contains("\"tid\":2") && trace.contains("\"tid\":3"));
+        assert_eq!(validate(&trace).unwrap(), 2);
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct Span {
     pub start_us: u64,
     /// Duration in microseconds.
     pub dur_us: u64,
+    /// Trace lane (`tid` in the Chrome trace). Spans from different
+    /// streams carry different lanes so viewers draw one track each.
+    pub lane: u32,
     /// Free-form key/value annotations (counters, labels).
     pub args: Vec<(String, String)>,
 }
@@ -67,6 +70,7 @@ impl Span {
             cat: cat.into(),
             start_us,
             dur_us,
+            lane: 1,
             args: Vec::new(),
         }
     }
@@ -74,6 +78,12 @@ impl Span {
     /// Attach one key/value argument.
     pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
         self.args.push((key.into(), value.into()));
+        self
+    }
+
+    /// Assign the span to a trace lane (Chrome trace `tid`).
+    pub fn lane(mut self, lane: u32) -> Self {
+        self.lane = lane;
         self
     }
 

@@ -1,0 +1,44 @@
+//! # hipacc-runtime — batched multi-frame streaming
+//!
+//! Medical-imaging pipelines are rarely single-shot: an angiography
+//! sequence is hundreds of frames through the *same* operator chain.
+//! This crate adds the streaming tier above the per-launch machinery of
+//! `hipacc-core`:
+//!
+//! * [`Stream`] — an ordered [`Operator`](hipacc_core::Operator) chain
+//!   executed as a pipeline: one thread per stage, frames flowing
+//!   through bounded [`FrameQueue`]s, producers throttled by
+//!   backpressure so the in-flight window (and peak memory) stays
+//!   bounded;
+//! * a **shared** [`WorkerPool`](hipacc_sim::WorkerPool) — the block
+//!   work of all concurrent stage launches is multiplexed over one set
+//!   of persistent threads instead of per-launch scoped spawns;
+//! * a shared [`KernelCache`](hipacc_core::KernelCache) consulted per
+//!   stage, so steady-state frames pay zero compile time;
+//! * the launch **supervisor** around every frame×stage launch: a fault
+//!   on frame *N* is retried / repaired / degraded (or surfaced and the
+//!   frame skipped) without ever stalling frame *N+1*;
+//! * per-stream telemetry ([`StreamReport`]): frames/s, p50/p99 frame
+//!   latency, queue high-water marks, cache hit rate, and trace spans
+//!   on a per-stream lane (`tid`) for Chrome-trace export.
+//!
+//! Determinism: with a fixed engine and seeded fault plans the
+//! per-frame outputs of [`Stream::run`] are bit-identical to
+//! [`Stream::run_sequential`] for **any** worker count, on all three
+//! engines — the simulator's store commit order is scheduling-invariant
+//! and supervision is a deterministic function of the plan.
+//!
+//! Streaming knobs (precedence: explicit config > environment >
+//! default): [`WORKERS_ENV`] (`HIPACC_STREAM_WORKERS`) and
+//! [`QUEUE_ENV`] (`HIPACC_STREAM_QUEUE`).
+
+pub mod metrics;
+pub mod queue;
+pub mod stream;
+
+pub use metrics::{percentile_us, FrameFailure, StreamReport};
+pub use queue::{Closed, FrameQueue};
+pub use stream::{
+    Frame, Stage, Stream, StreamConfig, StreamRun, DEFAULT_QUEUE_CAPACITY, DEFAULT_WORKERS,
+    QUEUE_ENV, WORKERS_ENV,
+};

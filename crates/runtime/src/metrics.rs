@@ -1,0 +1,261 @@
+//! Per-stream metrics: throughput, latency percentiles, queue pressure
+//! and cache effectiveness, with deterministic text and JSON renderings
+//! in the style of the launch profile.
+
+use hipacc_profile::{json, Span};
+use std::fmt::Write as _;
+
+/// One frame the stream could not recover, with its typed diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameFailure {
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Stage that surfaced the failure.
+    pub stage: String,
+    /// Rendered supervisor error (carries the diagnostic code).
+    pub error: String,
+}
+
+/// The full telemetry of one [`crate::Stream`] run.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Stream name (also the trace lane's label).
+    pub stream: String,
+    /// Stage names, in chain order.
+    pub stages: Vec<String>,
+    /// The engine every launch ran on.
+    pub engine: String,
+    /// Worker threads in the shared pool.
+    pub workers: usize,
+    /// Bound of every inter-stage queue.
+    pub queue_capacity: usize,
+    /// Frames pushed by the producer.
+    pub frames_in: usize,
+    /// Frames that completed every stage.
+    pub frames_out: usize,
+    /// Frames the supervisor could not recover (skipped, never stalled).
+    pub failed: Vec<FrameFailure>,
+    /// Frames that needed at least one recovery action.
+    pub recovered_frames: usize,
+    /// Wall-clock time from first push to last completion.
+    pub wall_us: u64,
+    /// Completed frames per wall-clock second.
+    pub frames_per_sec: f64,
+    /// Median end-to-end frame latency (enqueue to last stage).
+    pub latency_p50_us: u64,
+    /// 99th-percentile end-to-end frame latency.
+    pub latency_p99_us: u64,
+    /// High-water mark of each queue (producer side first).
+    pub queue_max_depths: Vec<usize>,
+    /// Kernel-cache hits across all stage launches.
+    pub cache_hits: u64,
+    /// Kernel-cache misses across all stage launches.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when the cache saw no traffic.
+    pub cache_hit_rate: f64,
+    /// Explicit-vs-environment launch override conflicts (see
+    /// [`hipacc_sim::override_conflicts`], diagnostic `R0203`).
+    pub override_conflicts: Vec<String>,
+    /// Trace lane (`tid`) every span of this stream carries.
+    pub lane: u32,
+    /// One span per frame×stage launch plus per-frame summary spans,
+    /// all on this stream's lane.
+    pub spans: Vec<Span>,
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice of
+/// latencies; 0 for an empty slice.
+pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl StreamReport {
+    /// Deterministic human-readable rendering, one fact per line.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "stream `{}`: {} -> {} frame(s), {} failed, chain [{}], engine {}\n",
+            self.stream,
+            self.frames_in,
+            self.frames_out,
+            self.failed.len(),
+            self.stages.join(" -> "),
+            self.engine,
+        );
+        let _ = writeln!(
+            out,
+            "  {} worker(s), queue capacity {}, wall {:.3} ms, {:.1} frames/s",
+            self.workers,
+            self.queue_capacity,
+            self.wall_us as f64 / 1000.0,
+            self.frames_per_sec,
+        );
+        let _ = writeln!(
+            out,
+            "  latency p50 {:.3} ms, p99 {:.3} ms",
+            self.latency_p50_us as f64 / 1000.0,
+            self.latency_p99_us as f64 / 1000.0,
+        );
+        let depths: Vec<String> = self
+            .queue_max_depths
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        let _ = writeln!(out, "  queue high-water marks: [{}]", depths.join(", "));
+        let _ = writeln!(
+            out,
+            "  kernel cache: {} hit(s), {} miss(es), hit rate {:.2}",
+            self.cache_hits, self.cache_misses, self.cache_hit_rate,
+        );
+        if self.recovered_frames > 0 {
+            let _ = writeln!(out, "  recovered frames: {}", self.recovered_frames);
+        }
+        for f in &self.failed {
+            let _ = writeln!(
+                out,
+                "  failed frame {} at `{}`: {}",
+                f.seq, f.stage, f.error
+            );
+        }
+        for c in &self.override_conflicts {
+            let _ = writeln!(out, "  override conflict: {c}");
+        }
+        out
+    }
+
+    /// Machine-readable report (hand-rolled, mirrors
+    /// `BENCH_engine.json` style; all strings escaped).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"stream\":\"{}\"", json::escape(&self.stream));
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| format!("\"{}\"", json::escape(s)))
+            .collect();
+        let _ = write!(out, ",\"stages\":[{}]", stages.join(","));
+        let _ = write!(out, ",\"engine\":\"{}\"", json::escape(&self.engine));
+        let _ = write!(out, ",\"workers\":{}", self.workers);
+        let _ = write!(out, ",\"queue_capacity\":{}", self.queue_capacity);
+        let _ = write!(out, ",\"frames_in\":{}", self.frames_in);
+        let _ = write!(out, ",\"frames_out\":{}", self.frames_out);
+        let failed: Vec<String> = self
+            .failed
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"seq\":{},\"stage\":\"{}\",\"error\":\"{}\"}}",
+                    f.seq,
+                    json::escape(&f.stage),
+                    json::escape(&f.error)
+                )
+            })
+            .collect();
+        let _ = write!(out, ",\"failed\":[{}]", failed.join(","));
+        let _ = write!(out, ",\"recovered_frames\":{}", self.recovered_frames);
+        let _ = write!(out, ",\"wall_us\":{}", self.wall_us);
+        let _ = write!(out, ",\"frames_per_sec\":{:.3}", self.frames_per_sec);
+        let _ = write!(out, ",\"latency_p50_us\":{}", self.latency_p50_us);
+        let _ = write!(out, ",\"latency_p99_us\":{}", self.latency_p99_us);
+        let depths: Vec<String> = self
+            .queue_max_depths
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        let _ = write!(out, ",\"queue_max_depths\":[{}]", depths.join(","));
+        let _ = write!(out, ",\"cache_hits\":{}", self.cache_hits);
+        let _ = write!(out, ",\"cache_misses\":{}", self.cache_misses);
+        let _ = write!(out, ",\"cache_hit_rate\":{:.3}", self.cache_hit_rate);
+        let conflicts: Vec<String> = self
+            .override_conflicts
+            .iter()
+            .map(|c| format!("\"{}\"", json::escape(c)))
+            .collect();
+        let _ = write!(out, ",\"override_conflicts\":[{}]", conflicts.join(","));
+        let _ = write!(out, ",\"lane\":{}", self.lane);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> StreamReport {
+        StreamReport {
+            stream: "angio".into(),
+            stages: vec!["gauss".into(), "sobel".into()],
+            engine: "bytecode".into(),
+            workers: 4,
+            queue_capacity: 4,
+            frames_in: 10,
+            frames_out: 9,
+            failed: vec![FrameFailure {
+                seq: 3,
+                stage: "gauss".into(),
+                error: "R0105: hung \"worker\"".into(),
+            }],
+            recovered_frames: 2,
+            wall_us: 5_000,
+            frames_per_sec: 1800.0,
+            latency_p50_us: 400,
+            latency_p99_us: 900,
+            queue_max_depths: vec![4, 2, 1],
+            cache_hits: 18,
+            cache_misses: 2,
+            cache_hit_rate: 0.9,
+            override_conflicts: vec!["explicit engine=simd overrides HIPACC_SIM_ENGINE".into()],
+            lane: 2,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&lat, 0.5), 51);
+        assert_eq!(percentile_us(&lat, 0.99), 99);
+        assert_eq!(percentile_us(&lat, 0.0), 1);
+        assert_eq!(percentile_us(&lat, 1.0), 100);
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        assert_eq!(percentile_us(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_bundled_parser() {
+        let doc = json::parse(&report().to_json()).expect("valid JSON");
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj["frames_in"].as_number(), Some(10.0));
+        assert_eq!(obj["frames_out"].as_number(), Some(9.0));
+        assert_eq!(obj["cache_hit_rate"].as_number(), Some(0.9));
+        assert_eq!(obj["lane"].as_number(), Some(2.0));
+        let failed = obj["failed"].as_array().unwrap();
+        assert_eq!(failed.len(), 1);
+        let f = failed[0].as_object().unwrap();
+        assert_eq!(f["seq"].as_number(), Some(3.0));
+        assert!(f["error"].as_str().unwrap().contains("hung \"worker\""));
+    }
+
+    #[test]
+    fn text_report_names_every_fact() {
+        let text = report().render_text();
+        for needle in [
+            "10 -> 9 frame(s)",
+            "1 failed",
+            "gauss -> sobel",
+            "4 worker(s)",
+            "p50",
+            "p99",
+            "hit rate 0.90",
+            "failed frame 3",
+            "override conflict",
+            "recovered frames: 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

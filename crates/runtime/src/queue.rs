@@ -1,0 +1,236 @@
+//! A bounded, closable frame queue — the backpressure primitive of the
+//! streaming runtime.
+//!
+//! Each stage of a [`crate::Stream`] is connected to the next by one
+//! `FrameQueue`. The queue holds at most `capacity` items: a producer
+//! that outruns its consumer blocks in [`FrameQueue::push`] until a slot
+//! frees up, which bounds the number of in-flight frames (and therefore
+//! the peak memory of the whole pipeline) without any polling.
+//!
+//! Shutdown is cooperative: the producer calls [`FrameQueue::close`]
+//! when it has pushed its last item; consumers drain the remaining items
+//! and then see `None` from [`FrameQueue::pop`]. Closing also wakes any
+//! blocked producer, whose rejected item is handed back so nothing is
+//! silently dropped.
+//!
+//! Like [`hipacc_core::cache::KernelCache`], the queue treats a poisoned
+//! lock as recoverable: the state is a plain deque plus counters, every
+//! mutation leaves it structurally valid, and a panicked peer must not
+//! cascade into every other stage thread.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Error returned by [`FrameQueue::push`] on a closed queue, carrying
+/// the rejected item back to the caller.
+#[derive(Debug)]
+pub struct Closed<T>(pub T);
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of the queue depth, for the stream report.
+    max_depth: usize,
+}
+
+/// A bounded multi-producer / multi-consumer blocking queue.
+pub struct FrameQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item is popped (a slot freed) or the queue
+    /// closes.
+    not_full: Condvar,
+    /// Signalled when an item is pushed or the queue closes.
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// Take the lock, adopting the inner state if a peer thread panicked
+/// while holding it (see the module docs).
+fn lock_state<T>(m: &Mutex<State<T>>) -> MutexGuard<'_, State<T>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<T> FrameQueue<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an item, blocking while the queue is full. Returns the
+    /// item in [`Closed`] if the queue was closed before a slot freed.
+    pub fn push(&self, item: T) -> Result<(), Closed<T>> {
+        let mut s = lock_state(&self.state);
+        while s.items.len() >= self.capacity && !s.closed {
+            s = self
+                .not_full
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if s.closed {
+            return Err(Closed(item));
+        }
+        s.items.push_back(item);
+        s.max_depth = s.max_depth.max(s.items.len());
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Remove the oldest item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = lock_state(&self.state);
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .not_empty
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Close the queue: no further pushes succeed; consumers drain the
+    /// remaining items and then see `None`.
+    pub fn close(&self) {
+        let mut s = lock_state(&self.state);
+        s.closed = true;
+        drop(s);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// High-water mark of the queue depth since construction.
+    pub fn max_depth(&self) -> usize {
+        lock_state(&self.state).max_depth
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        lock_state(&self.state).items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = FrameQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.max_depth(), 5);
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_a_pop_frees_a_slot() {
+        let q = FrameQueue::new(2);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..50 {
+                    q.push(i).unwrap();
+                    peak.fetch_max(q.len(), Ordering::SeqCst);
+                }
+                q.close();
+            });
+            let mut next = 0;
+            while let Some(v) = q.pop() {
+                assert_eq!(v, next);
+                next += 1;
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 2, "bound must hold");
+        assert!(q.max_depth() <= 2);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_returns_the_item() {
+        let q = FrameQueue::new(1);
+        q.push("kept").unwrap();
+        q.close();
+        let Closed(rejected) = q.push("rejected").unwrap_err();
+        assert_eq!(rejected, "rejected");
+        assert_eq!(q.pop(), Some("kept"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_producer() {
+        let q = FrameQueue::new(1);
+        q.push(0).unwrap();
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| q.push(1));
+            // Give the producer a moment to block on the full queue,
+            // then close underneath it.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert!(t.join().unwrap().is_err(), "push must observe the close");
+        });
+    }
+
+    #[test]
+    fn pop_on_closed_empty_queue_is_none_not_a_hang() {
+        let q: FrameQueue<u32> = FrameQueue::new(4);
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn many_producers_one_consumer_loses_nothing() {
+        let q = FrameQueue::new(3);
+        let total = 4 * 25;
+        std::thread::scope(|scope| {
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        for i in 0..25 {
+                            q.push(p * 25 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            scope.spawn(|| {
+                for h in producers {
+                    h.join().unwrap();
+                }
+                q.close();
+            });
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..total).collect::<Vec<_>>());
+        });
+    }
+}

@@ -1,0 +1,489 @@
+//! The streaming executor: an ordered operator chain over bounded frame
+//! queues, one thread per stage, all block-level work multiplexed over
+//! one shared [`WorkerPool`].
+//!
+//! A [`Stream`] is a pipeline `producer -> stage 0 -> … -> stage N-1 ->
+//! collector` where every arrow is a bounded [`FrameQueue`]. The
+//! producer pushes frames with backpressure (a full queue blocks it), so
+//! at most `queue capacity × (stages + 1)` frames are ever in flight.
+//! Each stage thread pops a frame, runs its operator under the launch
+//! supervisor, and pushes the result downstream; a frame the supervisor
+//! cannot recover is recorded as failed and *passed through* — it never
+//! stalls the frames behind it.
+//!
+//! Steady-state launches are served from the shared
+//! [`KernelCache`], so only the first frame of a stage pays the
+//! compile + verify cost. Determinism: for a fixed worker count, a fixed
+//! engine and a seeded fault plan, the per-frame outputs are
+//! **bit-identical** to [`Stream::run_sequential`] on every engine —
+//! the simulator commits stores in linear block order regardless of
+//! scheduling, and the supervisor's recovery is a deterministic function
+//! of the plan.
+
+use crate::metrics::{percentile_us, FrameFailure, StreamReport};
+use crate::queue::FrameQueue;
+use hipacc_core::supervisor::SupervisorConfig;
+use hipacc_core::{Engine, FaultPlan, KernelCache, Operator, Target};
+use hipacc_image::Image;
+use hipacc_profile::{now_us, Span};
+use hipacc_sim::launch::resolve_engine;
+use hipacc_sim::{SimError, WorkerPool};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Environment variable for the shared pool's worker count, consulted
+/// when [`StreamConfig::workers`] is `None` (explicit > env > default,
+/// the same precedence as the `HIPACC_SIM_*` launch knobs).
+pub const WORKERS_ENV: &str = "HIPACC_STREAM_WORKERS";
+
+/// Environment variable for the inter-stage queue bound, consulted when
+/// [`StreamConfig::queue_capacity`] is `None`.
+pub const QUEUE_ENV: &str = "HIPACC_STREAM_QUEUE";
+
+/// Default worker count when neither the config nor [`WORKERS_ENV`]
+/// says otherwise.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Default queue bound when neither the config nor [`QUEUE_ENV`] says
+/// otherwise.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4;
+
+fn env_usize(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+}
+
+/// One input frame, or one fully processed output frame.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Position in the input sequence (0-based). Outputs are returned
+    /// sorted by `seq`, failed frames omitted.
+    pub seq: u64,
+    /// The pixel payload.
+    pub image: Image<f32>,
+}
+
+/// One stage of the chain: an operator plus the buffer name the
+/// incoming frame binds to.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// Stage name, used in spans and failure records.
+    pub name: String,
+    /// Input buffer the frame is bound to (usually `"Input"`).
+    pub input: String,
+    /// The operator to run.
+    pub op: Operator,
+}
+
+/// Knobs of one stream run. Precedence for the sizing knobs is always
+/// **explicit config > environment > default**.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Worker threads of the shared pool (`None` = [`WORKERS_ENV`],
+    /// then [`DEFAULT_WORKERS`]). Outputs are bit-identical for any
+    /// value; fix it for reproducible *timing*.
+    pub workers: Option<usize>,
+    /// Bound of every inter-stage queue (`None` = [`QUEUE_ENV`], then
+    /// [`DEFAULT_QUEUE_CAPACITY`]).
+    pub queue_capacity: Option<usize>,
+    /// Engine for every launch (`None` = `HIPACC_SIM_ENGINE`, then the
+    /// default bytecode engine).
+    pub engine: Option<Engine>,
+    /// Serve steady-state launches from the stream's kernel cache.
+    /// `false` compiles fresh on every frame (the per-frame baseline).
+    pub share_cache: bool,
+    /// Trace lane (`tid`) for every span this stream records; give
+    /// concurrent streams distinct lanes to get one track per stream.
+    pub lane: u32,
+    /// Retry / repair / degrade policy for every frame launch.
+    pub supervisor: SupervisorConfig,
+    /// Seeded per-frame fault plans, keyed by frame `seq`. Frames
+    /// without an entry run fault-free. Part of the deterministic
+    /// replay: the same map drives [`Stream::run_sequential`].
+    pub faults: HashMap<u64, FaultPlan>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            queue_capacity: None,
+            engine: None,
+            share_cache: true,
+            lane: 1,
+            supervisor: SupervisorConfig::default(),
+            faults: HashMap::new(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Resolved worker count: explicit > [`WORKERS_ENV`] > default.
+    pub fn effective_workers(&self) -> usize {
+        self.workers
+            .or_else(|| env_usize(WORKERS_ENV))
+            .unwrap_or(DEFAULT_WORKERS)
+            .max(1)
+    }
+
+    /// Resolved queue bound: explicit > [`QUEUE_ENV`] > default.
+    pub fn effective_queue_capacity(&self) -> usize {
+        self.queue_capacity
+            .or_else(|| env_usize(QUEUE_ENV))
+            .unwrap_or(DEFAULT_QUEUE_CAPACITY)
+            .max(1)
+    }
+}
+
+/// A frame travelling through the pipeline.
+struct InFlight {
+    seq: u64,
+    image: Image<f32>,
+    enqueued_us: u64,
+    done_us: u64,
+    failed: Option<FrameFailure>,
+    recovered: bool,
+    spans: Vec<Span>,
+}
+
+/// The outputs and telemetry of one stream run.
+#[derive(Clone, Debug)]
+pub struct StreamRun {
+    /// Completed frames, sorted by `seq`; failed frames are absent (and
+    /// listed in `report.failed`).
+    pub outputs: Vec<Frame>,
+    /// Throughput, latency, queue and cache telemetry.
+    pub report: StreamReport,
+}
+
+/// An operator chain executing frames in a streaming pipeline.
+pub struct Stream {
+    /// Stream name (labels the report and the trace lane).
+    pub name: String,
+    /// Run knobs.
+    pub config: StreamConfig,
+    target: Target,
+    stages: Vec<Stage>,
+    cache: Arc<KernelCache>,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Stream {
+    /// An empty stream; add stages with [`Self::stage`].
+    pub fn new(name: impl Into<String>, target: Target) -> Self {
+        Self {
+            name: name.into(),
+            config: StreamConfig::default(),
+            target,
+            stages: Vec::new(),
+            cache: Arc::new(KernelCache::default()),
+            pool: None,
+        }
+    }
+
+    /// Append a stage whose frame binds to the conventional `"Input"`
+    /// buffer.
+    pub fn stage(self, name: impl Into<String>, op: Operator) -> Self {
+        self.stage_bound(name, "Input", op)
+    }
+
+    /// Append a stage with an explicit input-buffer binding.
+    pub fn stage_bound(
+        mut self,
+        name: impl Into<String>,
+        input: impl Into<String>,
+        op: Operator,
+    ) -> Self {
+        self.stages.push(Stage {
+            name: name.into(),
+            input: input.into(),
+            op,
+        });
+        self
+    }
+
+    /// Replace the run configuration.
+    pub fn with_config(mut self, config: StreamConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Share a kernel cache and worker pool with other streams.
+    /// Concurrent streams then multiplex their block work over one set
+    /// of persistent threads and reuse each other's compiled kernels.
+    pub fn with_shared(mut self, cache: Arc<KernelCache>, pool: Arc<WorkerPool>) -> Self {
+        self.cache = cache;
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The stream's kernel cache (shared or private).
+    pub fn cache(&self) -> &Arc<KernelCache> {
+        &self.cache
+    }
+
+    /// Stage names in chain order.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Run one stage's operator on one frame under the supervisor,
+    /// recording a span either way. A surfaced failure marks the frame
+    /// failed; it keeps flowing so later frames are never stalled.
+    fn run_stage(
+        &self,
+        stage: &Stage,
+        engine: Engine,
+        pool: Option<&Arc<WorkerPool>>,
+        cache: Option<&Arc<KernelCache>>,
+        frame: &mut InFlight,
+    ) {
+        let mut op = stage.op.clone();
+        op.options.engine = Some(engine);
+        op.options.cache = cache.map(Arc::clone);
+        op.options.pool = pool.map(Arc::clone);
+        let plan = self
+            .config
+            .faults
+            .get(&frame.seq)
+            .cloned()
+            .unwrap_or_else(FaultPlan::none);
+        let start = now_us();
+        let result = op.execute_supervised(
+            &[(stage.input.as_str(), &frame.image)],
+            &self.target,
+            engine,
+            &plan,
+            &self.config.supervisor,
+        );
+        let dur = now_us().saturating_sub(start).max(1);
+        let span = Span::new(
+            format!("{}:{}", stage.name, frame.seq),
+            "stream",
+            start,
+            dur,
+        )
+        .lane(self.config.lane)
+        .arg("stream", self.name.clone())
+        .arg("seq", frame.seq.to_string());
+        match result {
+            Ok(sup) => {
+                let outcome = sup
+                    .profile
+                    .cache
+                    .as_ref()
+                    .map(|c| c.outcome.clone())
+                    .unwrap_or_else(|| "uncached".into());
+                frame.spans.push(span.arg("cache", outcome));
+                if sup.recovery.recovered() {
+                    frame.recovered = true;
+                }
+                frame.image = sup.execution.output;
+            }
+            Err(e) => {
+                frame.spans.push(span.arg("failed", e.to_string()));
+                frame.failed = Some(FrameFailure {
+                    seq: frame.seq,
+                    stage: stage.name.clone(),
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Run the chain over `frames` as a streaming pipeline: one thread
+    /// per stage, bounded queues between them, block work multiplexed
+    /// over the shared pool. Fails only on an unresolvable engine
+    /// override; per-frame failures are recorded in the report instead.
+    pub fn run(&self, frames: Vec<Image<f32>>) -> Result<StreamRun, SimError> {
+        let engine = resolve_engine(self.config.engine)?;
+        assert!(!self.stages.is_empty(), "stream has no stages");
+        let n_stages = self.stages.len();
+        let cap = self.config.effective_queue_capacity();
+        let workers = self.config.effective_workers();
+        let pool = self
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::new(WorkerPool::new(workers)));
+        let cache = self.config.share_cache.then(|| Arc::clone(&self.cache));
+        let frames_in = frames.len();
+        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+
+        let queues: Vec<FrameQueue<InFlight>> =
+            (0..=n_stages).map(|_| FrameQueue::new(cap)).collect();
+        let mut collected: Vec<InFlight> = Vec::with_capacity(frames_in);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let queues = &queues;
+            scope.spawn(move || {
+                for (seq, image) in frames.into_iter().enumerate() {
+                    let frame = InFlight {
+                        seq: seq as u64,
+                        image,
+                        enqueued_us: now_us(),
+                        done_us: 0,
+                        failed: None,
+                        recovered: false,
+                        spans: Vec::new(),
+                    };
+                    if queues[0].push(frame).is_err() {
+                        break;
+                    }
+                }
+                queues[0].close();
+            });
+            for (idx, stage) in self.stages.iter().enumerate() {
+                let (pool, cache) = (&pool, &cache);
+                scope.spawn(move || {
+                    while let Some(mut frame) = queues[idx].pop() {
+                        if frame.failed.is_none() {
+                            self.run_stage(stage, engine, Some(pool), cache.as_ref(), &mut frame);
+                        }
+                        if queues[idx + 1].push(frame).is_err() {
+                            break;
+                        }
+                    }
+                    queues[idx + 1].close();
+                });
+            }
+            // The collector runs on the calling thread.
+            while let Some(mut frame) = queues[n_stages].pop() {
+                frame.done_us = now_us();
+                collected.push(frame);
+            }
+        });
+        let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+        let queue_max_depths = queues.iter().map(|q| q.max_depth()).collect();
+        Ok(self.assemble(
+            engine,
+            workers,
+            cap,
+            frames_in,
+            wall_us,
+            queue_max_depths,
+            (hits0, misses0),
+            collected,
+        ))
+    }
+
+    /// The sequential reference: the same per-frame supervised launches
+    /// in `seq` order on the calling thread, no queues, no pool. With
+    /// the same config (engine, fault plans) its per-frame outputs are
+    /// bit-identical to [`Self::run`].
+    pub fn run_sequential(&self, frames: Vec<Image<f32>>) -> Result<StreamRun, SimError> {
+        let engine = resolve_engine(self.config.engine)?;
+        assert!(!self.stages.is_empty(), "stream has no stages");
+        let cache = self.config.share_cache.then(|| Arc::clone(&self.cache));
+        let frames_in = frames.len();
+        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+
+        let t0 = Instant::now();
+        let mut collected: Vec<InFlight> = Vec::with_capacity(frames_in);
+        for (seq, image) in frames.into_iter().enumerate() {
+            let mut frame = InFlight {
+                seq: seq as u64,
+                image,
+                enqueued_us: now_us(),
+                done_us: 0,
+                failed: None,
+                recovered: false,
+                spans: Vec::new(),
+            };
+            for stage in &self.stages {
+                if frame.failed.is_some() {
+                    break;
+                }
+                self.run_stage(stage, engine, None, cache.as_ref(), &mut frame);
+            }
+            frame.done_us = now_us();
+            collected.push(frame);
+        }
+        let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+        Ok(self.assemble(
+            engine,
+            1,
+            0,
+            frames_in,
+            wall_us,
+            Vec::new(),
+            (hits0, misses0),
+            collected,
+        ))
+    }
+
+    /// Fold the collected frames into outputs plus a [`StreamReport`].
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        engine: Engine,
+        workers: usize,
+        queue_capacity: usize,
+        frames_in: usize,
+        wall_us: u64,
+        queue_max_depths: Vec<usize>,
+        counters_before: (u64, u64),
+        mut collected: Vec<InFlight>,
+    ) -> StreamRun {
+        collected.sort_by_key(|f| f.seq);
+        let mut latencies: Vec<u64> = collected
+            .iter()
+            .filter(|f| f.failed.is_none())
+            .map(|f| f.done_us.saturating_sub(f.enqueued_us))
+            .collect();
+        latencies.sort_unstable();
+        let failed: Vec<FrameFailure> = collected.iter().filter_map(|f| f.failed.clone()).collect();
+        let recovered_frames = collected.iter().filter(|f| f.recovered).count();
+        let spans: Vec<Span> = collected
+            .iter()
+            .flat_map(|f| f.spans.iter().cloned())
+            .collect();
+        let outputs: Vec<Frame> = collected
+            .into_iter()
+            .filter(|f| f.failed.is_none())
+            .map(|f| Frame {
+                seq: f.seq,
+                image: f.image,
+            })
+            .collect();
+        let (hits, misses) = (
+            self.cache.hits().saturating_sub(counters_before.0),
+            self.cache.misses().saturating_sub(counters_before.1),
+        );
+        let traffic = hits + misses;
+        let report = StreamReport {
+            stream: self.name.clone(),
+            stages: self.stage_names(),
+            engine: engine.label().to_string(),
+            workers,
+            queue_capacity,
+            frames_in,
+            frames_out: outputs.len(),
+            failed,
+            recovered_frames,
+            wall_us,
+            frames_per_sec: outputs.len() as f64 / (wall_us as f64 / 1e6),
+            latency_p50_us: percentile_us(&latencies, 0.50),
+            latency_p99_us: percentile_us(&latencies, 0.99),
+            queue_max_depths,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if traffic > 0 {
+                hits as f64 / traffic as f64
+            } else {
+                0.0
+            },
+            override_conflicts: hipacc_sim::override_conflicts(self.config.engine, None)
+                .into_iter()
+                .map(|c| c.to_string())
+                .collect(),
+            lane: self.config.lane,
+            spans,
+        };
+        StreamRun { outputs, report }
+    }
+}

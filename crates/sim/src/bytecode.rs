@@ -192,6 +192,8 @@ pub struct CompiledKernel {
     pub(crate) block: (u32, u32),
     /// Worker-count override captured from the launch parameters.
     pub(crate) sim_threads: Option<usize>,
+    /// Shared worker pool captured from the launch parameters.
+    pub(crate) pool: Option<std::sync::Arc<crate::pool::WorkerPool>>,
     /// Per-block prologue evaluating block-uniform subexpressions.
     pub(crate) prologue: Vec<Inst>,
     pub(crate) n_uregs: usize,
@@ -435,6 +437,7 @@ pub fn compile(
         grid: params.grid,
         block: params.block,
         sim_threads: params.sim_threads,
+        pool: params.pool.clone(),
         prologue: std::mem::take(&mut c.prologue),
         n_uregs: c.next_ureg as usize,
         phases: tapes,
@@ -2436,7 +2439,9 @@ impl CompiledKernel {
         let blocks: Vec<(u32, u32)> = (0..gy)
             .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
             .collect();
-        let n_workers = crate::sched::effective_workers(self.sim_threads, blocks.len())?;
+        let pool = self.pool.as_deref();
+        let n_workers =
+            crate::sched::effective_workers_pooled(self.sim_threads, blocks.len(), pool)?;
 
         // Strided block-to-worker assignment with results keyed by the
         // linear block index, exactly like the tree-walk engine: stores
@@ -2454,56 +2459,45 @@ impl CompiledKernel {
         );
         let bufs_ref = &bufs;
         let blocks_ref = &blocks;
-        let mut results: Vec<Result<WorkerOut, SimError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..n_workers {
-                handles.push(scope.spawn(move || {
-                    let mut scratch = SCRATCH_POOL.checkout(key).unwrap_or_default();
-                    let mut journal = std::mem::take(&mut scratch.journal);
-                    journal.clear();
-                    let mut tel = crate::sched::SimdTelemetry::default();
-                    let mut out: Vec<BlockOut> = Vec::with_capacity(crate::sched::worker_share(
-                        blocks_ref.len(),
-                        n_workers,
-                        w,
-                    ));
-                    let mut vtime: u64 = 0;
-                    for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
-                        let (bx, by) = blocks_ref[i];
-                        let mut lat = 0u64;
-                        if let Some(h) = hook {
-                            lat = h.block_latency_us(bx, by);
-                            vtime = vtime.saturating_add(lat);
-                            if let Some(d) = deadline {
-                                if vtime > d {
-                                    return Err(SimError::DeadlineExceeded {
-                                        worker: w,
-                                        elapsed_us: vtime,
-                                        deadline_us: d,
-                                    });
-                                }
+        let results: Vec<Result<WorkerOut, SimError>> =
+            crate::sched::run_workers(pool, n_workers, |w| {
+                let mut scratch = SCRATCH_POOL.checkout(key).unwrap_or_default();
+                let mut journal = std::mem::take(&mut scratch.journal);
+                journal.clear();
+                let mut tel = crate::sched::SimdTelemetry::default();
+                let mut out: Vec<BlockOut> =
+                    Vec::with_capacity(crate::sched::worker_share(blocks_ref.len(), n_workers, w));
+                let mut vtime: u64 = 0;
+                for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
+                    let (bx, by) = blocks_ref[i];
+                    let mut lat = 0u64;
+                    if let Some(h) = hook {
+                        lat = h.block_latency_us(bx, by);
+                        vtime = vtime.saturating_add(lat);
+                        if let Some(d) = deadline {
+                            if vtime > d {
+                                return Err(SimError::DeadlineExceeded {
+                                    worker: w,
+                                    elapsed_us: vtime,
+                                    deadline_us: d,
+                                });
                             }
                         }
-                        let (range, block_stats) = run_block_dispatch(
-                            self,
-                            bufs_ref,
-                            bx,
-                            by,
-                            &mut scratch,
-                            &mut journal,
-                            simd_ok,
-                            &mut tel,
-                        )?;
-                        out.push((i, range, block_stats, lat));
                     }
-                    Ok((out, journal, tel, scratch))
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("simulator worker panicked"));
-            }
-        });
+                    let (range, block_stats) = run_block_dispatch(
+                        self,
+                        bufs_ref,
+                        bx,
+                        by,
+                        &mut scratch,
+                        &mut journal,
+                        simd_ok,
+                        &mut tel,
+                    )?;
+                    out.push((i, range, block_stats, lat));
+                }
+                Ok((out, journal, tel, scratch))
+            });
         drop(bufs);
 
         let mut slots: Vec<Option<BlockOut>> = (0..blocks.len()).map(|_| None).collect();

@@ -783,7 +783,8 @@ fn execute_inner(
         .flat_map(|by| (0..gx).map(move |bx| (bx, by)))
         .collect();
 
-    let n_workers = crate::sched::effective_workers(params.sim_threads, blocks.len())?;
+    let pool = params.pool.as_deref();
+    let n_workers = crate::sched::effective_workers_pooled(params.sim_threads, blocks.len(), pool)?;
 
     // Each worker returns its per-block results keyed by the linear block
     // index; the main thread re-assembles them into block order below, so
@@ -799,43 +800,35 @@ fn execute_inner(
     );
     let mem_ro: &DeviceMemory = mem;
     let blocks_ref = &blocks;
-    let mut results: Vec<Result<Vec<BlockOut>, SimError>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..n_workers {
-            handles.push(scope.spawn(move || {
-                let mut out: Vec<BlockOut> =
-                    Vec::with_capacity(crate::sched::worker_share(blocks_ref.len(), n_workers, w));
-                let mut vtime: u64 = 0;
-                for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
-                    let (bx, by) = blocks_ref[i];
-                    let mut lat = 0u64;
-                    if let Some(h) = hook {
-                        lat = h.block_latency_us(bx, by);
-                        vtime = vtime.saturating_add(lat);
-                        if let Some(d) = deadline {
-                            if vtime > d {
-                                // A hung (or badly stalled) block: the
-                                // supervisor's deadline cancels the launch.
-                                return Err(SimError::DeadlineExceeded {
-                                    worker: w,
-                                    elapsed_us: vtime,
-                                    deadline_us: d,
-                                });
-                            }
+    let results: Vec<Result<Vec<BlockOut>, SimError>> =
+        crate::sched::run_workers(pool, n_workers, |w| {
+            let mut out: Vec<BlockOut> =
+                Vec::with_capacity(crate::sched::worker_share(blocks_ref.len(), n_workers, w));
+            let mut vtime: u64 = 0;
+            for i in crate::sched::worker_indices(blocks_ref.len(), n_workers, w) {
+                let (bx, by) = blocks_ref[i];
+                let mut lat = 0u64;
+                if let Some(h) = hook {
+                    lat = h.block_latency_us(bx, by);
+                    vtime = vtime.saturating_add(lat);
+                    if let Some(d) = deadline {
+                        if vtime > d {
+                            // A hung (or badly stalled) block: the
+                            // supervisor's deadline cancels the launch.
+                            return Err(SimError::DeadlineExceeded {
+                                worker: w,
+                                elapsed_us: vtime,
+                                deadline_us: d,
+                            });
                         }
                     }
-                    let (s, block_stats, block_report) =
-                        run_block(kernel, mem_ro, params, bx, by, observe)?;
-                    out.push((i, s, block_stats, block_report, lat));
                 }
-                Ok(out)
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("simulator worker panicked"));
-        }
-    });
+                let (s, block_stats, block_report) =
+                    run_block(kernel, mem_ro, params, bx, by, observe)?;
+                out.push((i, s, block_stats, block_report, lat));
+            }
+            Ok(out)
+        });
 
     // Reassemble into linear block order ((worker, stores, stats, report,
     // latency) per block, as in BlockOut but keyed by position).

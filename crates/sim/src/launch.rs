@@ -20,8 +20,14 @@ use hipacc_image::Image;
 use hipacc_ir::kernel::{BufferAccess, DeviceKernelDef};
 use hipacc_ir::ty::Const;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Everything a launch needs besides the kernel itself.
+///
+/// The mask coefficients and filter parameters are behind [`Arc`]s so
+/// repeated launches of one compiled kernel (the streaming steady state)
+/// share them instead of deep-cloning a 13×13 mask per frame; cloning a
+/// `LaunchSpec` is O(inputs), not O(mask bytes).
 #[derive(Clone, Debug, Default)]
 pub struct LaunchSpec<'a> {
     /// Grid dimensions in blocks.
@@ -31,17 +37,30 @@ pub struct LaunchSpec<'a> {
     /// Input images by accessor/buffer name.
     pub inputs: HashMap<String, &'a Image<f32>>,
     /// Coefficients for dynamically initialized masks (constant buffers
-    /// with no static data, and `_gmask*` global fallbacks).
-    pub mask_data: HashMap<String, Vec<f32>>,
-    /// Additional scalar arguments (filter parameters).
+    /// with no static data, and `_gmask*` global fallbacks). Shared:
+    /// launches never mutate the coefficients.
+    pub mask_data: Arc<HashMap<String, Vec<f32>>>,
+    /// Filter parameters shared across launches of one operator. At
+    /// launch, [`Self::scalars`] entries win over same-named parameters.
+    pub params: Arc<HashMap<String, Const>>,
+    /// Per-launch scalar arguments and overrides (geometry scalars, ROI
+    /// offsets). Highest precedence: a name set here shadows the same
+    /// name in [`Self::params`] and the derived geometry defaults.
     pub scalars: HashMap<String, Const>,
     /// Explicit host worker-thread count for the parallel block loop
-    /// (`None` = `HIPACC_SIM_THREADS`, then available parallelism).
+    /// (`None` = `HIPACC_SIM_THREADS`, then the pool width, then
+    /// available parallelism). When both this field and the environment
+    /// variable are set, this field wins — see [`override_conflicts`].
     pub sim_threads: Option<usize>,
     /// Explicit engine override (`None` = `HIPACC_SIM_ENGINE`, then
     /// [`Engine::default`]). Only consulted by [`run_on_image`]; the
-    /// `*_with` entry points take the engine as an argument.
+    /// `*_with` entry points take the engine as an argument. When both
+    /// this field and the environment variable are set, this field wins —
+    /// see [`override_conflicts`].
     pub engine: Option<Engine>,
+    /// Shared worker pool executing the block loop (`None` = per-launch
+    /// scoped threads, the historical behaviour).
+    pub pool: Option<Arc<crate::pool::WorkerPool>>,
 }
 
 /// Result of a simulated launch.
@@ -123,6 +142,74 @@ pub fn resolve_engine(explicit: Option<Engine>) -> Result<Engine, SimError> {
         Ok(raw) => parse_engine_env(&raw).map_err(SimError::InvalidLaunch),
         Err(_) => Ok(Engine::default()),
     }
+}
+
+/// One launch override where an explicit setting and the environment
+/// disagree. The explicit setting always wins (see [`override_conflicts`]);
+/// the conflict is reported so a benchmark run with a stale
+/// `HIPACC_SIM_*` variable in the shell cannot silently believe the
+/// environment took effect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverrideConflict {
+    /// The environment variable that lost ([`ENGINE_ENV`] or
+    /// [`crate::sched::THREADS_ENV`]).
+    pub env_var: &'static str,
+    /// The raw environment value that was ignored.
+    pub env_value: String,
+    /// The explicit spec value that won, rendered for display.
+    pub explicit: String,
+}
+
+impl std::fmt::Display for OverrideConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "explicit {} overrides conflicting {}={}",
+            self.explicit, self.env_var, self.env_value
+        )
+    }
+}
+
+/// Detect explicit-vs-environment override conflicts for one launch.
+///
+/// Precedence is always **explicit spec > environment > default**:
+/// [`LaunchSpec::engine`] (or a `*_with` engine argument) beats
+/// `HIPACC_SIM_ENGINE`, and [`LaunchSpec::sim_threads`] beats
+/// `HIPACC_SIM_THREADS`. This function reports every knob where the two
+/// levels are simultaneously set *and disagree* — including an
+/// unparsable environment value shadowed by an explicit setting, which
+/// would have failed the launch on its own. Agreeing values are not a
+/// conflict.
+pub fn override_conflicts(
+    engine: Option<Engine>,
+    sim_threads: Option<usize>,
+) -> Vec<OverrideConflict> {
+    let mut conflicts = Vec::new();
+    if let (Some(explicit), Ok(raw)) = (engine, std::env::var(ENGINE_ENV)) {
+        let agree = parse_engine_env(&raw)
+            .map(|e| e == explicit)
+            .unwrap_or(false);
+        if !agree {
+            conflicts.push(OverrideConflict {
+                env_var: ENGINE_ENV,
+                env_value: raw,
+                explicit: format!("engine={}", explicit.label()),
+            });
+        }
+    }
+    if let (Some(explicit), Ok(raw)) = (sim_threads, std::env::var(crate::sched::THREADS_ENV)) {
+        let agree = crate::sched::parse_thread_env(&raw)
+            .map(|n| n == explicit)
+            .unwrap_or(false);
+        if !agree {
+            conflicts.push(OverrideConflict {
+                env_var: crate::sched::THREADS_ENV,
+                env_value: raw,
+                explicit: format!("sim_threads={explicit}"),
+            });
+        }
+    }
+    conflicts
 }
 
 /// Run a device kernel over host images with the resolved engine:
@@ -265,7 +352,7 @@ pub fn run_on_image_faulted(
 /// uploaded. Returns the names of banks that differ bit-for-bit.
 fn scrub_const_banks(mem: &DeviceMemory, spec: &LaunchSpec<'_>) -> Vec<String> {
     let mut corrupt: Vec<String> = Vec::new();
-    for (name, coeffs) in &spec.mask_data {
+    for (name, coeffs) in spec.mask_data.iter() {
         let dirty = if let Some(bank) = mem.dynamic_const.get(name) {
             bank.iter()
                 .map(|v| v.to_bits())
@@ -394,8 +481,15 @@ fn prepare(
     }
 
     let mut params = LaunchParams::new(spec.grid, spec.block);
+    // Per-launch overrides first, then the shared filter parameters:
+    // `or_insert` makes earlier layers win, so precedence is
+    // scalars > params > geometry defaults.
     params.scalars = spec.scalars.clone();
+    for (name, v) in spec.params.iter() {
+        params.scalars.entry(name.clone()).or_insert(*v);
+    }
     params.sim_threads = spec.sim_threads;
+    params.pool = spec.pool.clone();
     // Standard geometry scalars, unless explicitly overridden.
     let defaults = [
         ("width", geom.width as i64),

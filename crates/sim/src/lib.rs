@@ -52,6 +52,7 @@ pub mod interp;
 pub mod launch;
 pub mod memory;
 pub mod observer;
+pub mod pool;
 pub mod sched;
 pub mod simd;
 pub mod timing;
@@ -60,11 +61,12 @@ pub use bytecode::{compile, execute as execute_bytecode, CompiledKernel, ExecMod
 pub use inject::{BlockFault, BlockLedger, FaultHook, FaultedRun, RepairStore};
 pub use interp::{execute, execute_observed, execute_profiled, ExecStats, SimError};
 pub use launch::{
-    parse_engine_env, repair_blocks, resolve_engine, run_on_image, run_on_image_faulted,
-    run_on_image_observed, run_on_image_profiled, run_on_image_with, Engine, FaultedLaunch,
-    LaunchResult, ENGINE_ENV,
+    override_conflicts, parse_engine_env, repair_blocks, resolve_engine, run_on_image,
+    run_on_image_faulted, run_on_image_observed, run_on_image_profiled, run_on_image_with, Engine,
+    FaultedLaunch, LaunchResult, OverrideConflict, ENGINE_ENV,
 };
 pub use memory::{DeviceMemory, LaunchParams};
 pub use observer::ObserverReport;
+pub use pool::WorkerPool;
 pub use sched::{effective_workers, parse_thread_env, BlockProfile, ExecProfile, SimdTelemetry};
 pub use timing::{estimate_time, TimeBreakdown, TimingInput};

@@ -135,6 +135,12 @@ pub struct LaunchParams {
     /// `None` falls back to `HIPACC_SIM_THREADS`, then to the machine's
     /// available parallelism (see [`crate::sched::effective_workers`]).
     pub sim_threads: Option<usize>,
+    /// Shared worker pool for the block loop. `None` spawns per-launch
+    /// scoped threads (the historical behaviour); `Some` multiplexes
+    /// this launch's block work onto the pool's persistent threads so
+    /// concurrent launches share one set of workers
+    /// (see [`crate::pool::WorkerPool`]).
+    pub pool: Option<std::sync::Arc<crate::pool::WorkerPool>>,
 }
 
 impl LaunchParams {
@@ -145,6 +151,7 @@ impl LaunchParams {
             block,
             scalars: HashMap::new(),
             sim_threads: None,
+            pool: None,
         }
     }
 

@@ -20,6 +20,7 @@
 //! [`LaunchParams::sim_threads`]: crate::memory::LaunchParams::sim_threads
 
 use crate::interp::{ExecStats, SimError};
+use crate::pool::WorkerPool;
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker count (lowest precedence).
@@ -56,16 +57,65 @@ pub fn parse_thread_env(raw: &str) -> Result<usize, String> {
 ///
 /// [`LaunchParams`]: crate::memory::LaunchParams
 pub fn effective_workers(requested: Option<usize>, n_blocks: usize) -> Result<usize, SimError> {
+    effective_workers_pooled(requested, n_blocks, None)
+}
+
+/// [`effective_workers`] with an optional shared [`WorkerPool`] in the
+/// default chain: explicit `requested` > `HIPACC_SIM_THREADS` > the
+/// pool's thread count > [`std::thread::available_parallelism`]. A
+/// launch running on a pool should default to exactly the pool's width —
+/// more would oversubscribe the queue, fewer would idle paid-for
+/// threads.
+pub fn effective_workers_pooled(
+    requested: Option<usize>,
+    n_blocks: usize,
+    pool: Option<&WorkerPool>,
+) -> Result<usize, SimError> {
     let n = match requested {
         Some(n) => n,
         None => match std::env::var(THREADS_ENV) {
             Ok(raw) => parse_thread_env(&raw).map_err(SimError::InvalidThreadCount)?,
-            Err(_) => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            Err(_) => match pool {
+                Some(p) => p.workers(),
+                None => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
+            },
         },
     };
     Ok(n.clamp(1, n_blocks.max(1)))
+}
+
+/// Run `n_workers` copies of the per-worker closure and collect their
+/// results in worker order: the one seam both engines' block loops go
+/// through.
+///
+/// With a pool, jobs are queued on its persistent threads
+/// ([`WorkerPool::run_scoped`]); without one, fresh scoped threads are
+/// spawned per launch — `n_workers == 1` runs inline either way. The
+/// closure receives the worker index and must use
+/// [`worker_indices`] for block assignment, so results (and therefore
+/// store order, applied by the caller in linear block order) are
+/// identical on both paths.
+pub fn run_workers<T, F>(pool: Option<&WorkerPool>, n_workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_workers <= 1 {
+        return (0..n_workers).map(f).collect();
+    }
+    match pool {
+        Some(p) => p.run_scoped(n_workers, f),
+        None => std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = (0..n_workers).map(|w| scope.spawn(move || f(w))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulator worker panicked"))
+                .collect()
+        }),
+    }
 }
 
 /// The linear block indices worker `worker` of `n_workers` runs, strided.

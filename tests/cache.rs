@@ -260,6 +260,185 @@ fn profile_reports_engine_and_warp_occupancy() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Concurrency: the cache as the shared resource of a streaming fleet.
+// ---------------------------------------------------------------------
+
+/// N threads hammering the same kernel agree on one cache entry, every
+/// lookup is counted exactly once, and every output is bit-identical to
+/// an uncached reference.
+#[test]
+fn concurrent_launches_of_one_kernel_share_one_entry() {
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+    let cache = Arc::new(KernelCache::default());
+    let reference = gaussian_operator(5, 1.1, BoundaryMode::Clamp)
+        .execute(&[("Input", &img)], &target)
+        .unwrap();
+
+    let threads = 6;
+    let launches_per_thread = 4;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (cache, img, target, reference) = (&cache, &img, &target, &reference);
+            scope.spawn(move || {
+                for _ in 0..launches_per_thread {
+                    let run = cached_op(cache).execute(&[("Input", img)], target).unwrap();
+                    assert_eq!(reference.output.max_abs_diff(&run.output), 0.0);
+                }
+            });
+        }
+    });
+
+    assert_eq!(cache.len(), 1, "one kernel, one entry");
+    assert_eq!(
+        cache.hits() + cache.misses(),
+        (threads * launches_per_thread) as u64,
+        "every lookup must be counted exactly once under contention"
+    );
+    assert!(cache.misses() >= 1 && cache.misses() <= threads as u64);
+}
+
+/// Threads compiling *different* kernels concurrently never collide:
+/// each gets its own entry and its own correct artifact.
+#[test]
+fn concurrent_distinct_kernels_get_distinct_entries() {
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+    let cache = Arc::new(KernelCache::default());
+    let sizes = [3u32, 5, 7, 9];
+
+    std::thread::scope(|scope| {
+        for &size in &sizes {
+            let (cache, img, target) = (&cache, &img, &target);
+            scope.spawn(move || {
+                let reference = gaussian_operator(size, 1.1, BoundaryMode::Clamp)
+                    .execute(&[("Input", img)], target)
+                    .unwrap();
+                for _ in 0..2 {
+                    let mut op = gaussian_operator(size, 1.1, BoundaryMode::Clamp);
+                    op.options.cache = Some(Arc::clone(cache));
+                    let run = op.execute(&[("Input", img)], target).unwrap();
+                    assert_eq!(
+                        reference.output.max_abs_diff(&run.output),
+                        0.0,
+                        "gaussian{size} served a foreign artifact"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(cache.len(), sizes.len());
+    assert_eq!(cache.hits() + cache.misses(), (sizes.len() * 2) as u64);
+}
+
+/// An uncached reference output for the poison-recovery test.
+fn reference_free_of_poison(img: &Image<f32>, target: &Target) -> Image<f32> {
+    gaussian_operator(5, 1.1, BoundaryMode::Clamp)
+        .execute(&[("Input", img)], target)
+        .unwrap()
+        .output
+}
+
+/// A thread panicking while holding the cache lock poisons it; the
+/// cache recovers by adopting the state (every mutation leaves it
+/// valid), counts the recovery, and reports it as an `R0501` warning —
+/// instead of cascading the panic into every later launch.
+#[test]
+fn poisoned_lock_recovers_with_a_typed_diagnostic() {
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+    let cache = Arc::new(KernelCache::default());
+    cached_op(&cache)
+        .execute(&[("Input", &img)], &target)
+        .unwrap();
+    assert_eq!(cache.poison_recoveries(), 0);
+    assert!(cache.poison_diagnostic().is_none());
+
+    // Poison the lock: panic while holding it (on another thread, so
+    // the unwind crosses the guard exactly as a crashed peer would).
+    let result = std::thread::scope(|scope| {
+        scope
+            .spawn(|| cache.with_lock_for_test(|| panic!("peer thread crashed mid-insert")))
+            .join()
+    });
+    assert!(result.is_err(), "the probe thread must have panicked");
+
+    // The cache keeps working: the pre-poison entry is still served.
+    let run = cached_op(&cache)
+        .execute(&[("Input", &img)], &target)
+        .unwrap();
+    assert_eq!(
+        reference_free_of_poison(&img, &target).max_abs_diff(&run.output),
+        0.0
+    );
+    assert_eq!(cache.hits(), 1, "post-poison lookup must hit");
+    assert_eq!(cache.len(), 1);
+    assert!(cache.poison_recoveries() >= 1);
+
+    let diag = cache
+        .poison_diagnostic()
+        .expect("recovery must be reported");
+    assert_eq!(diag.code, "R0501");
+    assert!(!diag.is_error(), "recovery is a warning, not an error");
+    assert!(diag.message.contains("poisoned"));
+    assert!(hipacc_core::explain("R0501").is_some());
+    assert!(cache.report("hit").poison_recoveries >= 1);
+}
+
+/// Degraded supervisor rungs bypassing the cache while healthy cached
+/// launches run concurrently: no deadlock, no stale degraded artifact,
+/// and the healthy entry survives.
+#[test]
+fn degraded_bypass_and_healthy_launches_share_the_cache_without_deadlock() {
+    let img = test_image();
+    let cfg = SupervisorConfig::default();
+    let cache = Arc::new(KernelCache::default());
+    let mut small = device::tesla_c2050();
+    small.shared_mem_per_sm = 512;
+    let degraded_target = Target::cuda(small);
+    let healthy_target = Target::cuda(device::tesla_c2050());
+    let reference = gaussian_operator(5, 1.1, BoundaryMode::Clamp)
+        .execute(&[("Input", &img)], &healthy_target)
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            let (cache, img, cfg, reference) = (&cache, &img, &cfg, &reference);
+            let (degraded_target, healthy_target) = (&degraded_target, &healthy_target);
+            scope.spawn(move || {
+                if i % 2 == 0 {
+                    let mut op = cached_op(cache);
+                    op.options.variant = MemVariant::Scratchpad;
+                    let sup = op
+                        .execute_supervised(
+                            &[("Input", img)],
+                            degraded_target,
+                            Engine::default(),
+                            &FaultPlan::none(),
+                            cfg,
+                        )
+                        .expect("fallback must recover");
+                    assert_eq!(reference.output.max_abs_diff(&sup.execution.output), 0.0);
+                } else {
+                    let run = cached_op(cache)
+                        .execute(&[("Input", img)], healthy_target)
+                        .unwrap();
+                    assert_eq!(reference.output.max_abs_diff(&run.output), 0.0);
+                }
+            });
+        }
+    });
+
+    assert!(cache.bypasses() >= 2, "each degraded rung must bypass");
+    assert_eq!(
+        cache.len(),
+        1,
+        "only the healthy artifact may be retained, got {} entries",
+        cache.len()
+    );
+}
+
 /// `PipelineOptions::engine` selects the engine for `execute()` and the
 /// result is bit-identical to the default engine.
 #[test]

@@ -255,3 +255,50 @@ fn u16_pixels_roundtrip_via_widening() {
     );
     assert_eq!(back.get(10, 10), out.get(10, 10).round() as u16);
 }
+
+/// Repeated launches share the operator's parameter and mask storage by
+/// `Arc` — `launch_spec` must never deep-clone a 13×13 bilateral mask
+/// (or any params map) per frame. Pinned by pointer identity: the spec
+/// holds the *same* allocation as the operator, launch after launch.
+#[test]
+fn launch_spec_shares_params_and_masks_without_copying() {
+    use std::sync::Arc;
+
+    let img = phantom::vessel_tree(40, 32, &phantom::VesselParams::default());
+    let target = Target::cuda(hipacc_hwmodel::device::tesla_c2050());
+    let op = bilateral_operator(1, 5, true, BoundaryMode::Clamp);
+    assert!(
+        !op.params.is_empty(),
+        "the bilateral operator must carry params for this test to bite"
+    );
+    let compiled = op.compile(&target, img.width(), img.height()).unwrap();
+
+    for _frame in 0..3 {
+        let spec = hipacc_core::pipeline::launch_spec(
+            &compiled,
+            &[("Input", &img)],
+            &op.params,
+            &op.mask_uploads,
+        );
+        assert!(
+            Arc::ptr_eq(&spec.params, &op.params),
+            "params must be shared by Arc, not cloned per launch"
+        );
+        assert!(
+            Arc::ptr_eq(&spec.mask_data, &op.mask_uploads),
+            "mask data must be shared by Arc, not cloned per launch"
+        );
+    }
+
+    // Per-launch scalar overlays leave the shared map untouched.
+    let mut spec = hipacc_core::pipeline::launch_spec(
+        &compiled,
+        &[("Input", &img)],
+        &op.params,
+        &op.mask_uploads,
+    );
+    spec.scalars
+        .insert("is_width".into(), hipacc_ir::Const::Int(7));
+    assert!(Arc::ptr_eq(&spec.params, &op.params));
+    assert!(!op.params.contains_key("is_width"));
+}

@@ -1,0 +1,155 @@
+//! Launch override precedence: **explicit spec > environment >
+//! default**, with conflicts surfaced as `R0203` diagnostics instead of
+//! silently ignored environment variables.
+//!
+//! The failure mode under test: a benchmark shell exports
+//! `HIPACC_SIM_ENGINE=simd`, the code under measurement pins
+//! `engine: Some(Bytecode)` — before this contract, the run silently
+//! measured a different engine than one of the two parties believed.
+//! Now the explicit setting always wins and the disagreement lands in
+//! the launch profile.
+
+use hipacc_core::{Engine, Target};
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_hwmodel::device;
+use hipacc_image::{phantom, BoundaryMode, Image};
+use hipacc_sim::launch::ENGINE_ENV;
+use hipacc_sim::sched::THREADS_ENV;
+use std::sync::Mutex;
+
+/// Env-var manipulation must be serialized across the test threads of
+/// this binary (same pattern as `tests/optimizer.rs`).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn test_image() -> Image<f32> {
+    phantom::vessel_tree(64, 48, &phantom::VesselParams::default())
+}
+
+fn op() -> hipacc_core::Operator {
+    gaussian_operator(5, 1.1, BoundaryMode::Clamp)
+}
+
+#[test]
+fn explicit_engine_beats_conflicting_env_and_is_reported() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+
+    std::env::remove_var(ENGINE_ENV);
+    std::env::remove_var(THREADS_ENV);
+    let (reference, clean) = op()
+        .execute_profiled(&[("Input", &img)], &target, Engine::Bytecode)
+        .unwrap();
+    assert!(clean.override_conflicts.is_empty());
+
+    std::env::set_var(ENGINE_ENV, "simd");
+    let (run, profile) = op()
+        .execute_profiled(&[("Input", &img)], &target, Engine::Bytecode)
+        .unwrap();
+    std::env::remove_var(ENGINE_ENV);
+
+    assert_eq!(profile.engine, "bytecode", "the explicit engine must run");
+    assert_eq!(profile.override_conflicts.len(), 1);
+    let c = &profile.override_conflicts[0];
+    assert!(
+        c.contains(ENGINE_ENV) && c.contains("engine=bytecode") && c.contains("simd"),
+        "conflict must name both sides: {c}"
+    );
+    assert!(profile.render_text().contains("override conflict"));
+    assert!(
+        profile
+            .spans
+            .iter()
+            .any(|s| s.name == "override-conflict" && s.cat == "diagnostic"),
+        "the conflict must appear as a diagnostic span"
+    );
+    assert_eq!(reference.output.max_abs_diff(&run.output), 0.0);
+}
+
+#[test]
+fn explicit_threads_beat_conflicting_env_and_are_reported() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+
+    std::env::set_var(THREADS_ENV, "7");
+    let mut pinned = op();
+    pinned.options.sim_threads = Some(2);
+    let (run, profile) = pinned
+        .execute_profiled(&[("Input", &img)], &target, Engine::Bytecode)
+        .unwrap();
+    std::env::remove_var(THREADS_ENV);
+
+    assert_eq!(profile.n_workers, 2, "the explicit thread count must run");
+    assert_eq!(profile.override_conflicts.len(), 1);
+    let c = &profile.override_conflicts[0];
+    assert!(
+        c.contains(THREADS_ENV) && c.contains("sim_threads=2") && c.contains('7'),
+        "conflict must name both sides: {c}"
+    );
+
+    std::env::remove_var(ENGINE_ENV);
+    let reference = op().execute(&[("Input", &img)], &target).unwrap();
+    assert_eq!(reference.output.max_abs_diff(&run.output), 0.0);
+}
+
+#[test]
+fn agreeing_explicit_and_env_settings_are_not_a_conflict() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+
+    std::env::set_var(ENGINE_ENV, "simd");
+    std::env::set_var(THREADS_ENV, "2");
+    let mut pinned = op();
+    pinned.options.sim_threads = Some(2);
+    let (_, profile) = pinned
+        .execute_profiled(&[("Input", &img)], &target, Engine::Simd)
+        .unwrap();
+    std::env::remove_var(ENGINE_ENV);
+    std::env::remove_var(THREADS_ENV);
+
+    assert!(
+        profile.override_conflicts.is_empty(),
+        "agreement is not a conflict: {:?}",
+        profile.override_conflicts
+    );
+}
+
+#[test]
+fn unparsable_env_shadowed_by_explicit_is_reported_not_fatal() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+
+    std::env::set_var(ENGINE_ENV, "warpdrive");
+    let result = op().execute_profiled(&[("Input", &img)], &target, Engine::Simd);
+    std::env::remove_var(ENGINE_ENV);
+
+    let (_, profile) = result.expect("the explicit engine shadows the broken env value");
+    assert_eq!(profile.engine, "simd");
+    assert_eq!(profile.override_conflicts.len(), 1);
+    assert!(profile.override_conflicts[0].contains("warpdrive"));
+}
+
+#[test]
+fn invalid_env_without_an_explicit_override_fails_the_launch() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let img = test_image();
+    let target = Target::cuda(device::tesla_c2050());
+
+    std::env::set_var(ENGINE_ENV, "warpdrive");
+    let err = op().execute(&[("Input", &img)], &target).unwrap_err();
+    std::env::remove_var(ENGINE_ENV);
+    assert!(
+        err.to_string().contains(ENGINE_ENV),
+        "a typo'd engine must fail loudly, got: {err}"
+    );
+}
+
+#[test]
+fn override_conflict_code_is_registered() {
+    let info = hipacc_core::explain("R0203").expect("R0203 must be in the registry");
+    assert!(info.summary.contains("override"));
+    assert!(info.advice.contains("explicit"));
+}
