@@ -8,6 +8,7 @@
 //! reproduce --inject 42      # seeded fault-injection drill under the supervisor
 //! reproduce --bench-json BENCH_engine.json   # per-engine frame times
 //! reproduce --explain A0301  # describe one diagnostic code (or `all`)
+//! reproduce --replay PATH    # re-execute recorded stream failures, assert their codes
 //! ```
 
 use hipacc_bench::ablation;
@@ -240,6 +241,76 @@ fn print_bench_json(path: &str) {
     println!("wrote engine bench report to {path}\n");
 }
 
+/// Re-execute the failing launch(es) a replay file describes — either a
+/// single `ReplayBundle` JSON or a stream report carrying a `replay`
+/// array — against the canonical streaming chain, and assert each one
+/// reproduces exactly the diagnostic code it recorded. Exits non-zero
+/// on any mismatch, so CI can gate on bit-deterministic replay.
+fn print_replay(path: &str) {
+    use hipacc_filters::gaussian::gaussian_operator;
+    use hipacc_filters::laplacian::laplacian_operator;
+    use hipacc_filters::sobel::sobel_operator;
+    use hipacc_image::BoundaryMode;
+    use hipacc_profile::json::{self, Value};
+    use hipacc_runtime::{replay, ReplayBundle, Stream};
+
+    let text = std::fs::read_to_string(path).expect("read replay file");
+    let doc = json::parse(&text).expect("parse replay file");
+    let bundles: Vec<ReplayBundle> = match doc
+        .as_object()
+        .and_then(|o| o.get("replay"))
+        .and_then(Value::as_array)
+    {
+        Some(arr) => arr
+            .iter()
+            .map(|v| ReplayBundle::from_value(v).expect("bundle in stream report"))
+            .collect(),
+        None => vec![ReplayBundle::from_value(&doc).expect("replay bundle")],
+    };
+    if bundles.is_empty() {
+        println!("no replay bundles in {path}: nothing failed, nothing to reproduce\n");
+        return;
+    }
+    // The canonical chain of the streaming examples; the bundle's stage
+    // names are validated against it by `replay`.
+    let m = BoundaryMode::Clamp;
+    let chain = Stream::new("replay", Target::cuda(tesla_c2050()))
+        .stage("gauss5", gaussian_operator(5, 1.1, m))
+        .stage("sobel", sobel_operator(true, m))
+        .stage("laplace", laplacian_operator(m));
+    let target = Target::cuda(tesla_c2050());
+    let mut mismatches = 0u32;
+    for b in &bundles {
+        match replay(b, chain.stages(), &target) {
+            Ok(code) if code == b.expected_code => {
+                println!(
+                    "replayed frame {} at `{}` (rung `{}`, attempt {}): reproduced {code}",
+                    b.seq, b.stage, b.rung, b.attempt
+                );
+            }
+            Ok(code) => {
+                eprintln!(
+                    "replayed frame {} at `{}`: got {code}, bundle expected {}",
+                    b.seq, b.stage, b.expected_code
+                );
+                mismatches += 1;
+            }
+            Err(e) => {
+                eprintln!("replay of frame {} at `{}` failed: {e}", b.seq, b.stage);
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("{mismatches} bundle(s) did not reproduce their recorded code");
+        std::process::exit(1);
+    }
+    println!(
+        "ok: {} replay bundle(s) reproduced their diagnostic codes\n",
+        bundles.len()
+    );
+}
+
 /// Describe one diagnostic code from the stable registry, or the whole
 /// registry for `all`. Unknown codes list the valid ones and exit 2.
 fn print_explain(code: &str) {
@@ -351,6 +422,11 @@ fn main() {
                 print_explain(args.get(i).map(String::as_str).unwrap_or("all"));
                 did_anything = true;
             }
+            "--replay" => {
+                i += 1;
+                print_replay(&args[i]);
+                did_anything = true;
+            }
             "--inject" => {
                 i += 1;
                 let seed: u64 = args[i].parse().expect("injection seed");
@@ -376,7 +452,7 @@ fn main() {
         i += 1;
     }
     if !did_anything {
-        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]] [--inject SEED] [--bench-json PATH] [--explain CODE]");
+        eprintln!("usage: reproduce [--all] [--table N] [--figure N] [--loc] [--ablation] [--csv DIR] [--raw N] [--profile [TRACE]] [--inject SEED] [--bench-json PATH] [--explain CODE] [--replay PATH]");
         std::process::exit(2);
     }
 }

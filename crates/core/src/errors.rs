@@ -43,6 +43,12 @@
 //! | R0301 | launch deadline exceeded (hung worker) — *transient* |
 //! | R0401 | supervisor exhausted retries and fallbacks |
 //! | R0501 | kernel cache recovered from a poisoned lock — *warning* |
+//! | R0601 | stage worker panic contained (frame failed, pipeline kept draining) |
+//! | R0602 | per-frame deadline budget exhausted |
+//! | R0603 | whole-stream deadline budget exhausted |
+//! | R0604 | frame shed under sustained queue pressure |
+//! | R0605 | invalid stream configuration |
+//! | R0606 | circuit breaker pinned a stage to its degraded rung — *warning* |
 
 use crate::operator::OperatorError;
 use hipacc_analysis::Diagnostic;
@@ -227,6 +233,18 @@ static REGISTRY: &[CodeInfo] = registry![
         "Every retry and fallback in the recovery chain failed; the report lists each attempt's diagnostic.";
     "R0501", "runtime": "kernel cache recovered from a poisoned lock" =>
         "A launch thread panicked while holding the cache lock; the cache adopted its state and kept serving — investigate the panic, the cache itself is healthy.";
+    "R0601", "stream": "stage worker panic contained (frame failed, pipeline kept draining)" =>
+        "A stage's launch panicked (e.g. an injected driver abort); the frame is recorded as failed with this code, the stage thread survives, and successor frames keep flowing — replay the bundle to reproduce the panic standalone.";
+    "R0602", "stream": "per-frame deadline budget exhausted" =>
+        "A frame's supervised launches spent more virtual time than HIPACC_STREAM_DEADLINE_US / StreamConfig.frame_deadline_us allows; the frame is cancelled with a typed failure instead of stalling the queue chain — raise the budget or fix the hang.";
+    "R0603", "stream": "whole-stream deadline budget exhausted" =>
+        "The stream's cumulative virtual time crossed StreamConfig.stream_budget_us; every frame from the crossing point on is cancelled deterministically — raise the budget or shed load earlier.";
+    "R0604", "stream": "frame shed under sustained queue pressure" =>
+        "The producer queue sat at its high-water mark past StreamConfig.shed_after_us, so the oldest undispatched frame was dropped with a typed event; downstream stages never saw it — slow the producer or raise the capacity.";
+    "R0605", "stream": "invalid stream configuration" =>
+        "A stream knob is out of range (zero workers, zero queue capacity, a zero deadline, or a malformed HIPACC_STREAM_* value); fix the config or environment — the stream refuses to start rather than surface the error mid-run.";
+    "R0606", "stream": "circuit breaker pinned a stage to its degraded rung" =>
+        "A stage kept succeeding only via its degradation ladder, so the breaker opened and pinned the proven rung (one recompile, no per-frame ladder walk); half-open probes restore the healthy config after enough clean frames — a warning, not an error.";
 ];
 
 /// Render an error and its `source()` chain, outermost first.

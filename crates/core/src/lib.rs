@@ -48,8 +48,8 @@ pub use hipacc_sim::Engine;
 pub use operator::{Execution, Operator, OperatorError, PipelineOptions};
 pub use profile::{LaunchProfile, RegionProfile};
 pub use supervisor::{
-    supervise, RecoveryAction, RecoveryEvent, RecoveryReport, Supervised, SupervisedError,
-    SupervisorConfig,
+    supervise, RecoveryAction, RecoveryEvent, RecoveryReport, RungOutcome, Supervised,
+    SupervisedError, SupervisorConfig,
 };
 pub use target::Target;
 

@@ -125,11 +125,83 @@ impl std::fmt::Display for RecoveryEvent {
     }
 }
 
+/// Outcome counters for one configuration rung the supervisor visited:
+/// how many events on that rung ended in each [`RecoveryAction`], plus
+/// the compile options the rung ran under. This is the machine-readable
+/// side of the event log — the stream resilience governor keys its
+/// circuit breaker on the **final** rung (`RecoveryReport::final_rung`),
+/// and `StreamReport` derives its action totals from these counters, so
+/// both share one source of truth with the rendered text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RungOutcome {
+    /// Rung label (`initial`, `scratchpad->global`, `tile 64x1`, …).
+    pub rung: String,
+    /// Memory variant the rung compiled with.
+    pub variant: MemVariant,
+    /// Forced launch config of the rung (`None` = the database's pick).
+    pub force_config: Option<(u32, u32)>,
+    /// Attempts on this rung that validated clean.
+    pub completed: u32,
+    /// Attempts recovered by selective block re-execution.
+    pub repaired: u32,
+    /// Attempts discarded and relaunched.
+    pub retried: u32,
+    /// Times this rung was abandoned for the next one.
+    pub degraded: u32,
+    /// Failures surfaced to the caller from this rung.
+    pub surfaced: u32,
+}
+
+impl RungOutcome {
+    fn new(rung: &str, variant: MemVariant, force_config: Option<(u32, u32)>) -> Self {
+        Self {
+            rung: rung.to_string(),
+            variant,
+            force_config,
+            completed: 0,
+            repaired: 0,
+            retried: 0,
+            degraded: 0,
+            surfaced: 0,
+        }
+    }
+
+    fn bump(&mut self, action: RecoveryAction) {
+        match action {
+            RecoveryAction::Completed => self.completed += 1,
+            RecoveryAction::Repaired => self.repaired += 1,
+            RecoveryAction::Retried => self.retried += 1,
+            RecoveryAction::Degraded => self.degraded += 1,
+            RecoveryAction::Surfaced => self.surfaced += 1,
+        }
+    }
+
+    /// The counter for `action`.
+    pub fn count(&self, action: RecoveryAction) -> u32 {
+        match action {
+            RecoveryAction::Completed => self.completed,
+            RecoveryAction::Repaired => self.repaired,
+            RecoveryAction::Retried => self.retried,
+            RecoveryAction::Degraded => self.degraded,
+            RecoveryAction::Surfaced => self.surfaced,
+        }
+    }
+
+    /// Whether this rung produced the validated result (clean or
+    /// repaired).
+    pub fn succeeded(&self) -> bool {
+        self.completed + self.repaired > 0
+    }
+}
+
 /// The full recovery log of one supervised execution.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
     /// Events in the order they happened.
     pub events: Vec<RecoveryEvent>,
+    /// Per-rung outcome counters, in ladder order as visited. The last
+    /// entry is the rung execution ended on (successfully or not).
+    pub rungs: Vec<RungOutcome>,
     /// Total launches attempted (including the successful one).
     pub attempts: u32,
     /// Total virtual time: launches, backoffs, repairs.
@@ -145,6 +217,24 @@ impl RecoveryReport {
         self.events
             .iter()
             .any(|e| e.action != RecoveryAction::Completed)
+    }
+
+    /// Total events across all rungs that ended in `action`.
+    pub fn action_total(&self, action: RecoveryAction) -> u32 {
+        self.rungs.iter().map(|r| r.count(action)).sum()
+    }
+
+    /// The rung execution ended on — the one a circuit breaker pins a
+    /// stage to when it decides the ladder's verdict is stable.
+    pub fn final_rung(&self) -> Option<&RungOutcome> {
+        self.rungs.last()
+    }
+
+    /// Whether execution succeeded only after abandoning the requested
+    /// configuration (the final rung is a degraded one).
+    pub fn degraded_success(&self) -> bool {
+        self.final_rung()
+            .is_some_and(|r| r.succeeded() && r.rung != "initial")
     }
 
     /// The recovery log as `"recovery"`-category trace spans laid out
@@ -173,6 +263,12 @@ impl RecoveryReport {
         );
         for e in &self.events {
             out.push_str(&format!("  {e}\n"));
+        }
+        for r in &self.rungs {
+            out.push_str(&format!(
+                "  rung {}: completed={} repaired={} retried={} degraded={} surfaced={}\n",
+                r.rung, r.completed, r.repaired, r.retried, r.degraded, r.surfaced
+            ));
         }
         out
     }
@@ -223,6 +319,26 @@ struct StepSpec {
     force_config: Option<(u32, u32)>,
 }
 
+/// Find-or-create the [`RungOutcome`] entry for `rung` and bump its
+/// `action` counter. Rung labels are unique across the ladder, so the
+/// entries stay in visit order.
+fn note_rung(
+    report: &mut RecoveryReport,
+    rung: &str,
+    variant: MemVariant,
+    force_config: Option<(u32, u32)>,
+    action: RecoveryAction,
+) {
+    match report.rungs.iter_mut().find(|r| r.rung == rung) {
+        Some(r) => r.bump(action),
+        None => {
+            let mut r = RungOutcome::new(rung, variant, force_config);
+            r.bump(action);
+            report.rungs.push(r);
+        }
+    }
+}
+
 fn block_list(blocks: &[(u32, u32)]) -> String {
     blocks
         .iter()
@@ -237,6 +353,7 @@ fn block_list(blocks: &[(u32, u32)]) -> String {
 ///
 /// With [`FaultPlan::none`] the result is bit-identical to
 /// [`Operator::execute_with`] on the same engine.
+#[allow(clippy::result_large_err)] // the Err carries the full RecoveryReport by design
 pub fn supervise(
     op: &Operator,
     inputs: &[(&str, &Image<f32>)],
@@ -249,7 +366,13 @@ pub fn supervise(
         plan: plan.summary(),
         ..RecoveryReport::default()
     };
-    let fail = |error: OperatorError, mut report: RecoveryReport, step: &str, attempt: u32| {
+    let fail = |error: OperatorError,
+                mut report: RecoveryReport,
+                step: &str,
+                attempt: u32,
+                variant: MemVariant,
+                force: Option<(u32, u32)>| {
+        note_rung(&mut report, step, variant, force, RecoveryAction::Surfaced);
         report.events.push(RecoveryEvent {
             step: step.to_string(),
             attempt,
@@ -261,7 +384,14 @@ pub fn supervise(
     };
 
     let Some((_, first)) = inputs.first() else {
-        return fail(OperatorError::NoInputs, report, "initial", 0);
+        return fail(
+            OperatorError::NoInputs,
+            report,
+            "initial",
+            0,
+            op.options.variant,
+            op.options.force_config,
+        );
     };
     let (width, height) = (first.width(), first.height());
 
@@ -282,6 +412,11 @@ pub fn supervise(
         let mut op_step = op.clone();
         op_step.options.variant = step.variant;
         op_step.options.force_config = step.force_config.or(op.options.force_config);
+        // The effective compile options of this rung, recorded into the
+        // per-rung outcome counters so a circuit breaker can re-create
+        // exactly this configuration when it pins the stage.
+        let rung_variant = op_step.options.variant;
+        let rung_force = op_step.options.force_config;
 
         let mut rec = Recorder::new();
         let spec_c = op_step.compile_spec(target, width, height);
@@ -332,6 +467,13 @@ pub fn supervise(
                             ladder_built = true;
                         }
                         if step_idx + 1 < steps.len() {
+                            note_rung(
+                                &mut report,
+                                &step.label,
+                                rung_variant,
+                                rung_force,
+                                RecoveryAction::Degraded,
+                            );
                             report.events.push(RecoveryEvent {
                                 step: step.label.clone(),
                                 attempt: 0,
@@ -347,7 +489,7 @@ pub fn supervise(
                             continue;
                         }
                     }
-                    return fail(err, report, &step.label, 0);
+                    return fail(err, report, &step.label, 0, rung_variant, rung_force);
                 }
             },
         };
@@ -368,6 +510,13 @@ pub fn supervise(
             // Pushes the retry event; virtual-time accounting is the
             // caller's (launch time is already counted on success paths).
             let retry = |report: &mut RecoveryReport, detail: String, virtual_us: u64| {
+                note_rung(
+                    report,
+                    &step.label,
+                    rung_variant,
+                    rung_force,
+                    RecoveryAction::Retried,
+                );
                 report.events.push(RecoveryEvent {
                     step: step.label.clone(),
                     attempt,
@@ -407,6 +556,13 @@ pub fn supervise(
                     }
                     if transient && cfg.fallback && step_idx + 1 < steps.len() {
                         report.virtual_us = report.virtual_us.saturating_add(elapsed);
+                        note_rung(
+                            &mut report,
+                            &step.label,
+                            rung_variant,
+                            rung_force,
+                            RecoveryAction::Degraded,
+                        );
                         report.events.push(RecoveryEvent {
                             step: step.label.clone(),
                             attempt,
@@ -419,7 +575,7 @@ pub fn supervise(
                         });
                         break; // next rung
                     }
-                    return fail(err, report, &step.label, attempt);
+                    return fail(err, report, &step.label, attempt, rung_variant, rung_force);
                 }
                 Ok(run) => {
                     report.virtual_us += run.run.virtual_us;
@@ -436,11 +592,20 @@ pub fn supervise(
                             report,
                             &step.label,
                             attempt,
+                            rung_variant,
+                            rung_force,
                         );
                     }
 
                     let corrupted = run.run.corrupted_blocks();
                     if corrupted.is_empty() {
+                        note_rung(
+                            &mut report,
+                            &step.label,
+                            rung_variant,
+                            rung_force,
+                            RecoveryAction::Completed,
+                        );
                         report.events.push(RecoveryEvent {
                             step: step.label.clone(),
                             attempt,
@@ -464,6 +629,13 @@ pub fn supervise(
                     let launch_us = run.run.virtual_us;
                     match try_repair(&compiled, &spec, engine, &corrupted, run) {
                         Ok(run) => {
+                            note_rung(
+                                &mut report,
+                                &step.label,
+                                rung_variant,
+                                rung_force,
+                                RecoveryAction::Repaired,
+                            );
                             report.events.push(RecoveryEvent {
                                 step: step.label.clone(),
                                 attempt,
@@ -498,6 +670,8 @@ pub fn supervise(
                                 report,
                                 &step.label,
                                 attempt,
+                                rung_variant,
+                                rung_force,
                             );
                         }
                     }
@@ -514,13 +688,15 @@ pub fn supervise(
                 report,
                 &step.label,
                 attempt.saturating_sub(1),
+                rung_variant,
+                rung_force,
             );
         }
         step_idx += 1;
     }
 
     let err = OperatorError::Unrecovered("configuration ladder exhausted".into());
-    fail(err, report, "ladder", 0)
+    fail(err, report, "ladder", 0, op.options.variant, None)
 }
 
 /// The degradation ladder as supervisor steps.
@@ -577,7 +753,7 @@ fn try_repair(
 
 /// Assemble the successful result: execution, profile (fault plan and
 /// recovery spans included), and the recovery report.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::result_large_err)]
 fn finish(
     op: &Operator,
     target: &Target,
@@ -651,6 +827,7 @@ impl Operator {
     /// [`Self::execute_with`] wrapped in the launch supervisor: inject
     /// `plan`, validate per-block checksums and constant banks, retry /
     /// repair / degrade per `cfg`. See [`supervise`].
+    #[allow(clippy::result_large_err)]
     pub fn execute_supervised(
         &self,
         inputs: &[(&str, &Image<f32>)],

@@ -33,6 +33,7 @@ use hipacc_sim::memory::DeviceMemory;
 const TAG_STORE: u64 = 0x53544f52; // "STOR"
 const TAG_LATENCY: u64 = 0x4c415459; // "LATY"
 const TAG_CONST: u64 = 0x434f4e53; // "CONS"
+const TAG_PANIC: u64 = 0x50414e43; // "PANC"
 
 /// A declarative, seedable description of the faults to inject into one
 /// launch (or a retry sequence of launches).
@@ -72,6 +73,11 @@ pub struct FaultPlan {
     /// Per-block probability of a hang (infinite virtual latency; only a
     /// launch deadline can recover from it).
     pub hang_rate: f32,
+    /// Per-block probability that the worker executing the block
+    /// **panics** (models a driver abort / firmware assert — the failure
+    /// escapes the launch result channel entirely and must be contained
+    /// by the caller's panic isolation, not by the supervisor).
+    pub panic_rate: f32,
     /// Baseline virtual cost per block in microseconds.
     pub base_block_us: u64,
     /// Virtual launch deadline; a worker whose accumulated virtual time
@@ -99,6 +105,7 @@ impl Default for FaultPlan {
             stall_rate: 0.0,
             stall_us: 0,
             hang_rate: 0.0,
+            panic_rate: 0.0,
             base_block_us: 1,
             deadline_us: None,
             faulty_attempts: 1,
@@ -124,6 +131,7 @@ impl FaultPlan {
                 self.poison_boundary_rate,
                 self.stall_rate,
                 self.hang_rate,
+                self.panic_rate,
             ]
             .iter()
             .any(|r| *r > 0.0)
@@ -171,6 +179,16 @@ impl FaultPlan {
         }
     }
 
+    /// Panic the worker executing exactly one block.
+    pub fn panic_block(seed: u64, block: (u32, u32)) -> Self {
+        Self {
+            seed,
+            panic_rate: 1.0,
+            target_block: Some(block),
+            ..Self::default()
+        }
+    }
+
     /// Flip `n` bits in the uploaded constant banks.
     pub fn corrupt_constants(seed: u64, n: u32) -> Self {
         Self {
@@ -204,6 +222,7 @@ impl std::fmt::Display for FaultPlan {
         rate("poison", self.poison_boundary_rate)?;
         rate("stall", self.stall_rate)?;
         rate("hang", self.hang_rate)?;
+        rate("panic", self.panic_rate)?;
         if self.const_flips > 0 {
             write!(f, " cflips={}", self.const_flips)?;
         }
@@ -233,6 +252,8 @@ pub enum FaultKind {
     Stall,
     /// Block never finishes (virtual hang).
     Hang,
+    /// Worker thread panics while executing the block.
+    Panic,
     /// Bit flip in an uploaded constant bank.
     ConstFlip,
 }
@@ -245,6 +266,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Poison => "poison",
             FaultKind::Stall => "stall",
             FaultKind::Hang => "hang",
+            FaultKind::Panic => "panic",
             FaultKind::ConstFlip => "const-flip",
         };
         f.write_str(s)
@@ -364,6 +386,17 @@ impl FaultSession {
         }
     }
 
+    /// Whether this session panics the worker executing block
+    /// `(bx, by)`. Drawn from its own stream so arming panics never
+    /// perturbs the latency or store-fault decisions.
+    pub fn panics(&self, bx: u32, by: u32) -> bool {
+        if !self.enabled() || !self.targets(bx, by) || self.plan.panic_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = self.rng_for(TAG_PANIC, bx, by);
+        rng.gen_f32() < self.plan.panic_rate
+    }
+
     /// The constant-bank bit flips this session applies, given the
     /// sorted `(bank, len)` table of uploaded banks. Mirrors
     /// [`FaultHook::corrupt_memory`] exactly.
@@ -409,6 +442,12 @@ impl FaultSession {
         }
         for by in 0..grid.1 {
             for bx in 0..grid.0 {
+                if self.panics(bx, by) {
+                    out.push(PlannedFault {
+                        kind: FaultKind::Panic,
+                        block: Some((bx, by)),
+                    });
+                }
                 match self.latency(bx, by) {
                     u64::MAX => out.push(PlannedFault {
                         kind: FaultKind::Hang,
@@ -485,6 +524,10 @@ impl FaultHook for FaultSession {
 
     fn block_latency_us(&self, bx: u32, by: u32) -> u64 {
         self.latency(bx, by)
+    }
+
+    fn block_panic(&self, bx: u32, by: u32) -> bool {
+        self.panics(bx, by)
     }
 
     fn deadline_us(&self) -> Option<u64> {

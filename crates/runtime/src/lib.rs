@@ -18,27 +18,50 @@
 //! * the launch **supervisor** around every frame×stage launch: a fault
 //!   on frame *N* is retried / repaired / degraded (or surfaced and the
 //!   frame skipped) without ever stalling frame *N+1*;
+//! * the stream-level **resilience governor**: per-stage circuit
+//!   breakers that pin chronically degraded stages to their proven rung
+//!   (`R0606`, [`governor`]), a watchdog enforcing per-frame and
+//!   whole-stream virtual budgets (`R0602` / `R0603`), panic-isolated
+//!   stage execution (`R0601`), typed load shedding under backpressure
+//!   (`R0604`), and a deterministic [`ReplayBundle`] recorded for every
+//!   failed frame so `reproduce --replay` can re-execute the failing
+//!   launch standalone ([`replay`]);
 //! * per-stream telemetry ([`StreamReport`]): frames/s, p50/p99 frame
-//!   latency, queue high-water marks, cache hit rate, and trace spans
-//!   on a per-stream lane (`tid`) for Chrome-trace export.
+//!   latency, queue high-water marks, cache hit rate, recovery-action
+//!   totals, breaker transitions, and trace spans on a per-stream lane
+//!   (`tid`) for Chrome-trace export — with the accounting invariant
+//!   `frames_in == frames_out + failed + shed` always holding
+//!   ([`StreamReport::accounted`]).
 //!
 //! Determinism: with a fixed engine and seeded fault plans the
-//! per-frame outputs of [`Stream::run`] are bit-identical to
-//! [`Stream::run_sequential`] for **any** worker count, on all three
-//! engines — the simulator's store commit order is scheduling-invariant
-//! and supervision is a deterministic function of the plan.
+//! per-frame outputs **and** governor decisions of [`Stream::run`] are
+//! bit-identical to [`Stream::run_sequential`] for **any** worker
+//! count, on all three engines — the simulator's store commit order is
+//! scheduling-invariant, supervision is a deterministic function of the
+//! plan, and each stage sees its frames in `seq` order in both modes.
 //!
 //! Streaming knobs (precedence: explicit config > environment >
-//! default): [`WORKERS_ENV`] (`HIPACC_STREAM_WORKERS`) and
-//! [`QUEUE_ENV`] (`HIPACC_STREAM_QUEUE`).
+//! default): [`WORKERS_ENV`] (`HIPACC_STREAM_WORKERS`), [`QUEUE_ENV`]
+//! (`HIPACC_STREAM_QUEUE`), [`DEADLINE_ENV`]
+//! (`HIPACC_STREAM_DEADLINE_US`) and [`BREAKER_ENV`]
+//! (`HIPACC_BREAKER_THRESHOLD`). Invalid knobs are rejected up front
+//! with `R0605` ([`StreamError::InvalidConfig`]).
 
+pub mod governor;
 pub mod metrics;
 pub mod queue;
+pub mod replay;
 pub mod stream;
 
-pub use metrics::{percentile_us, FrameFailure, StreamReport};
+pub use governor::{
+    parse_variant, variant_label, BreakerState, BreakerTransition, FrameOutcome, Governor,
+    PinnedRung,
+};
+pub use metrics::{percentile_us, ActionTotals, FrameFailure, FrameShed, StreamReport};
 pub use queue::{Closed, FrameQueue};
+pub use replay::{drifting_frame, replay, PinSpec, ReplayBundle, TrailEntry};
 pub use stream::{
-    Frame, Stage, Stream, StreamConfig, StreamRun, DEFAULT_QUEUE_CAPACITY, DEFAULT_WORKERS,
-    QUEUE_ENV, WORKERS_ENV,
+    Frame, Stage, Stream, StreamConfig, StreamError, StreamRun, BREAKER_ENV, DEADLINE_ENV,
+    DEFAULT_BREAKER_THRESHOLD, DEFAULT_CLOSE_AFTER, DEFAULT_PROBE_AFTER, DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_WORKERS, QUEUE_ENV, WORKERS_ENV,
 };

@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Error returned by [`FrameQueue::push`] on a closed queue, carrying
 /// the rejected item back to the caller.
@@ -88,6 +89,48 @@ impl<T> FrameQueue<T> {
         drop(s);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Append an item, blocking at most `budget` while the queue is
+    /// full; if the queue is *still* full when the budget runs out, the
+    /// **oldest undispatched** items are shed to make room and handed
+    /// back to the caller for accounting (diagnostic `R0604` at the
+    /// stream layer — a shed is always a typed event, never a silent
+    /// drop). A zero budget sheds immediately on a full queue.
+    ///
+    /// Shedding the oldest (not the newest) frame is the right policy
+    /// for a live imaging feed: when the pipeline cannot keep up, the
+    /// stalest frame is the least valuable one.
+    ///
+    /// Returns the shed items (usually empty) or the rejected `item` in
+    /// [`Closed`] if the queue was closed first.
+    pub fn push_shedding(&self, item: T, budget: Duration) -> Result<Vec<T>, Closed<T>> {
+        let mut s = lock_state(&self.state);
+        let deadline = std::time::Instant::now() + budget;
+        while s.items.len() >= self.capacity && !s.closed {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            s = self
+                .not_full
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .0;
+        }
+        if s.closed {
+            return Err(Closed(item));
+        }
+        let mut shed = Vec::new();
+        while s.items.len() >= self.capacity {
+            // Non-empty: capacity >= 1 and len >= capacity here.
+            shed.push(s.items.pop_front().expect("full queue has a front"));
+        }
+        s.items.push_back(item);
+        s.max_depth = s.max_depth.max(s.items.len());
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(shed)
     }
 
     /// Remove the oldest item, blocking while the queue is empty and
@@ -205,6 +248,81 @@ mod tests {
         let q: FrameQueue<u32> = FrameQueue::new(4);
         q.close();
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_shedding_drops_the_oldest_when_full_past_the_budget() {
+        let q = FrameQueue::new(2);
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        // No consumer: a zero budget must shed immediately, oldest first.
+        let shed = q.push_shedding(2, std::time::Duration::ZERO).unwrap();
+        assert_eq!(shed, vec![0], "oldest undispatched frame is shed");
+        let drained: Vec<i32> = {
+            q.close();
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        assert_eq!(drained, vec![1, 2], "newer frames survive in order");
+    }
+
+    #[test]
+    fn push_shedding_prefers_a_freed_slot_over_shedding() {
+        let q = FrameQueue::new(1);
+        q.push(0).unwrap();
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| q.push_shedding(1, std::time::Duration::from_secs(5)));
+            // A pop inside the budget frees a slot: nothing is shed.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(q.pop(), Some(0));
+            assert_eq!(t.join().unwrap().unwrap(), Vec::<i32>::new());
+        });
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn push_shedding_on_closed_queue_returns_the_item() {
+        let q = FrameQueue::new(1);
+        q.push(7).unwrap();
+        q.close();
+        let Closed(rejected) = q.push_shedding(8, std::time::Duration::ZERO).unwrap_err();
+        assert_eq!(rejected, 8, "a closed queue never sheds, it rejects");
+        assert_eq!(q.pop(), Some(7));
+    }
+
+    #[test]
+    fn producer_panic_mid_push_poisons_but_consumer_adopts_and_drains() {
+        // A producer that panics *while holding the state lock* leaves
+        // the mutex poisoned with a structurally valid deque inside.
+        // Every queue operation must adopt that state rather than
+        // cascade the panic into the other stage threads.
+        let q = FrameQueue::new(4);
+        q.push(1).unwrap();
+        std::thread::scope(|scope| {
+            // A consumer already blocked in pop() when the panic lands:
+            // it must wake (via the notify below) and see both items.
+            let consumer = scope.spawn(|| {
+                let mut seen = Vec::new();
+                while let Some(v) = q.pop() {
+                    seen.push(v);
+                }
+                seen
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let panicked = scope.spawn(|| {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut s = q.state.lock().unwrap();
+                    s.items.push_back(2);
+                    panic!("producer dies mid-push, lock held");
+                }));
+            });
+            panicked.join().unwrap();
+            // The queue still works end to end on the poisoned mutex.
+            q.push(3).unwrap();
+            q.close();
+            assert_eq!(consumer.join().unwrap(), vec![1, 2, 3]);
+        });
+        assert!(q.is_empty());
+        assert!(q.max_depth() >= 2, "poisoned state kept its counters");
     }
 
     #[test]

@@ -1,27 +1,50 @@
 //! The streaming executor: an ordered operator chain over bounded frame
 //! queues, one thread per stage, all block-level work multiplexed over
-//! one shared [`WorkerPool`].
+//! one shared [`WorkerPool`] — wrapped in a stream-level **resilience
+//! governor**.
 //!
 //! A [`Stream`] is a pipeline `producer -> stage 0 -> … -> stage N-1 ->
 //! collector` where every arrow is a bounded [`FrameQueue`]. The
-//! producer pushes frames with backpressure (a full queue blocks it), so
-//! at most `queue capacity × (stages + 1)` frames are ever in flight.
-//! Each stage thread pops a frame, runs its operator under the launch
-//! supervisor, and pushes the result downstream; a frame the supervisor
-//! cannot recover is recorded as failed and *passed through* — it never
-//! stalls the frames behind it.
+//! producer pushes frames with backpressure (a full queue blocks it —
+//! or, past [`StreamConfig::shed_after_us`], **sheds** the oldest
+//! undispatched frame as a typed `R0604` event), so at most
+//! `queue capacity × (stages + 1)` frames are ever in flight. Each
+//! stage thread pops a frame, runs its operator under the launch
+//! supervisor *inside a panic shield* (`R0601`), and pushes the result
+//! downstream; a frame the supervisor cannot recover is recorded as
+//! failed and *passed through* — it never stalls the frames behind it.
+//! Every frame is accounted for: `frames_in == frames_out + failed +
+//! shed`, always.
 //!
-//! Steady-state launches are served from the shared
-//! [`KernelCache`], so only the first frame of a stage pays the
-//! compile + verify cost. Determinism: for a fixed worker count, a fixed
-//! engine and a seeded fault plan, the per-frame outputs are
-//! **bit-identical** to [`Stream::run_sequential`] on every engine —
-//! the simulator commits stores in linear block order regardless of
-//! scheduling, and the supervisor's recovery is a deterministic function
-//! of the plan.
+//! On top of the per-frame supervisor sit three stream-level organs:
+//!
+//! * the **circuit breaker** ([`crate::governor`]) — a stage that keeps
+//!   succeeding only via the degradation ladder is *pinned* to its
+//!   proven rung (`R0606`), compiled once, then probed back to health;
+//! * the **watchdog** — a per-frame virtual budget
+//!   ([`StreamConfig::frame_deadline_us`], `R0602`) and a whole-stream
+//!   virtual budget ([`StreamConfig::stream_budget_us`], `R0603`), both
+//!   on the supervisor's deterministic virtual clock;
+//! * the **replay recorder** ([`crate::replay`]) — every failed frame
+//!   leaves a [`ReplayBundle`] from which `reproduce --replay`
+//!   re-executes the failing launch standalone and asserts the same
+//!   diagnostic code.
+//!
+//! Steady-state launches are served from the shared [`KernelCache`], so
+//! only the first frame of a stage pays the compile + verify cost.
+//! Determinism: for a fixed worker count, a fixed engine and a seeded
+//! fault plan, the per-frame outputs **and** the governor's decisions
+//! are bit-identical to [`Stream::run_sequential`] on every engine —
+//! each stage sees its frames in FIFO `seq` order in both modes, the
+//! simulator commits stores in linear block order regardless of
+//! scheduling, and supervision is a deterministic function of the plan.
+//! (Load shedding is the one wall-clock-driven mechanism: the
+//! sequential reference never sheds.)
 
-use crate::metrics::{percentile_us, FrameFailure, StreamReport};
+use crate::governor::{variant_label, FrameOutcome, Governor, PinnedRung};
+use crate::metrics::{percentile_us, ActionTotals, FrameFailure, FrameShed, StreamReport};
 use crate::queue::FrameQueue;
+use crate::replay::{PinSpec, ReplayBundle, TrailEntry};
 use hipacc_core::supervisor::SupervisorConfig;
 use hipacc_core::{Engine, FaultPlan, KernelCache, Operator, Target};
 use hipacc_image::Image;
@@ -29,8 +52,9 @@ use hipacc_profile::{now_us, Span};
 use hipacc_sim::launch::resolve_engine;
 use hipacc_sim::{SimError, WorkerPool};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Environment variable for the shared pool's worker count, consulted
 /// when [`StreamConfig::workers`] is `None` (explicit > env > default,
@@ -41,6 +65,15 @@ pub const WORKERS_ENV: &str = "HIPACC_STREAM_WORKERS";
 /// [`StreamConfig::queue_capacity`] is `None`.
 pub const QUEUE_ENV: &str = "HIPACC_STREAM_QUEUE";
 
+/// Environment variable for the per-frame virtual deadline budget in
+/// microseconds, consulted when [`StreamConfig::frame_deadline_us`] is
+/// `None`.
+pub const DEADLINE_ENV: &str = "HIPACC_STREAM_DEADLINE_US";
+
+/// Environment variable for the circuit-breaker strike threshold,
+/// consulted when [`StreamConfig::breaker_threshold`] is `None`.
+pub const BREAKER_ENV: &str = "HIPACC_BREAKER_THRESHOLD";
+
 /// Default worker count when neither the config nor [`WORKERS_ENV`]
 /// says otherwise.
 pub const DEFAULT_WORKERS: usize = 2;
@@ -49,6 +82,16 @@ pub const DEFAULT_WORKERS: usize = 2;
 /// otherwise.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 4;
 
+/// Default breaker strike threshold (consecutive degraded-success
+/// frames before a stage is pinned).
+pub const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
+
+/// Default pinned frames before a half-open probe.
+pub const DEFAULT_PROBE_AFTER: u32 = 4;
+
+/// Default consecutive clean probes before the breaker closes.
+pub const DEFAULT_CLOSE_AFTER: u32 = 2;
+
 fn env_usize(var: &str) -> Option<usize> {
     std::env::var(var)
         .ok()?
@@ -56,6 +99,52 @@ fn env_usize(var: &str) -> Option<usize> {
         .parse::<usize>()
         .ok()
         .filter(|n| *n >= 1)
+}
+
+/// A stream run that could not start (diagnostic `R0605`) or could not
+/// resolve its engine. Per-frame failures never surface here — they are
+/// typed events in the [`StreamReport`].
+#[derive(Debug)]
+pub enum StreamError {
+    /// The stream configuration is invalid (`R0605`): a zero worker
+    /// count, queue capacity, deadline, budget or breaker knob, or a
+    /// malformed `HIPACC_STREAM_*` / `HIPACC_BREAKER_*` value.
+    InvalidConfig {
+        /// What exactly was rejected.
+        what: String,
+    },
+    /// The engine override could not be resolved.
+    Engine(SimError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::InvalidConfig { what } => {
+                write!(f, "R0605: invalid stream configuration: {what}")
+            }
+            StreamError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Engine(e) => Some(e),
+            StreamError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for StreamError {
+    fn from(e: SimError) -> Self {
+        StreamError::Engine(e)
+    }
+}
+
+fn invalid(what: impl Into<String>) -> StreamError {
+    StreamError::InvalidConfig { what: what.into() }
 }
 
 /// One input frame, or one fully processed output frame.
@@ -81,7 +170,10 @@ pub struct Stage {
 }
 
 /// Knobs of one stream run. Precedence for the sizing knobs is always
-/// **explicit config > environment > default**.
+/// **explicit config > environment > default**; the strict
+/// `resolve_*` methods reject zero or malformed values with `R0605`
+/// ([`StreamError::InvalidConfig`]) at construction time, before any
+/// thread is spawned.
 #[derive(Clone, Debug)]
 pub struct StreamConfig {
     /// Worker threads of the shared pool (`None` = [`WORKERS_ENV`],
@@ -106,6 +198,30 @@ pub struct StreamConfig {
     /// without an entry run fault-free. Part of the deterministic
     /// replay: the same map drives [`Stream::run_sequential`].
     pub faults: HashMap<u64, FaultPlan>,
+    /// Per-frame virtual budget in µs across all stages (`None` =
+    /// [`DEADLINE_ENV`], then unbounded). A frame that exhausts it is
+    /// failed with `R0602`; the remaining budget also caps every
+    /// launch's fault-plan deadline, so a hung stage is cancelled on
+    /// the virtual clock instead of wedging its thread.
+    pub frame_deadline_us: Option<u64>,
+    /// Whole-stream virtual budget in µs (`None` = unbounded). Once the
+    /// scheduling-invariant projection exceeds it, further frames fail
+    /// with `R0603` instead of launching.
+    pub stream_budget_us: Option<u64>,
+    /// Circuit-breaker strike threshold (`None` = [`BREAKER_ENV`],
+    /// then [`DEFAULT_BREAKER_THRESHOLD`]): consecutive
+    /// degraded-success frames before a stage is pinned (`R0606`).
+    pub breaker_threshold: Option<u32>,
+    /// Pinned frames before the breaker half-opens and probes the
+    /// healthy configuration again.
+    pub probe_after: u32,
+    /// Consecutive clean probes before the breaker closes.
+    pub close_after: u32,
+    /// Load shedding: how long (wall µs) the producer may block on a
+    /// full queue before shedding the oldest undispatched frame
+    /// (`R0604`). `None` = never shed, block forever (the default, and
+    /// the only mode [`Stream::run_sequential`] has).
+    pub shed_after_us: Option<u64>,
 }
 
 impl Default for StreamConfig {
@@ -118,12 +234,20 @@ impl Default for StreamConfig {
             lane: 1,
             supervisor: SupervisorConfig::default(),
             faults: HashMap::new(),
+            frame_deadline_us: None,
+            stream_budget_us: None,
+            breaker_threshold: None,
+            probe_after: DEFAULT_PROBE_AFTER,
+            close_after: DEFAULT_CLOSE_AFTER,
+            shed_after_us: None,
         }
     }
 }
 
 impl StreamConfig {
     /// Resolved worker count: explicit > [`WORKERS_ENV`] > default.
+    /// Lenient (clamps to ≥ 1) — display/telemetry only; runs go
+    /// through [`Self::resolve_workers`].
     pub fn effective_workers(&self) -> usize {
         self.workers
             .or_else(|| env_usize(WORKERS_ENV))
@@ -132,23 +256,194 @@ impl StreamConfig {
     }
 
     /// Resolved queue bound: explicit > [`QUEUE_ENV`] > default.
+    /// Lenient — see [`Self::resolve_queue_capacity`] for the strict
+    /// form runs use.
     pub fn effective_queue_capacity(&self) -> usize {
         self.queue_capacity
             .or_else(|| env_usize(QUEUE_ENV))
             .unwrap_or(DEFAULT_QUEUE_CAPACITY)
             .max(1)
     }
+
+    /// Strict worker count: an explicit `Some(0)` or a present but
+    /// malformed / zero [`WORKERS_ENV`] is rejected with `R0605`.
+    pub fn resolve_workers(&self) -> Result<usize, StreamError> {
+        if let Some(n) = self.workers {
+            return if n >= 1 {
+                Ok(n)
+            } else {
+                Err(invalid("workers must be >= 1"))
+            };
+        }
+        match std::env::var(WORKERS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(invalid(format!(
+                    "{WORKERS_ENV}=`{}` must be an integer >= 1",
+                    raw.trim()
+                ))),
+            },
+            Err(_) => Ok(DEFAULT_WORKERS),
+        }
+    }
+
+    /// Strict queue bound: rejects zero / malformed values with `R0605`.
+    pub fn resolve_queue_capacity(&self) -> Result<usize, StreamError> {
+        if let Some(n) = self.queue_capacity {
+            return if n >= 1 {
+                Ok(n)
+            } else {
+                Err(invalid("queue capacity must be >= 1"))
+            };
+        }
+        match std::env::var(QUEUE_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(invalid(format!(
+                    "{QUEUE_ENV}=`{}` must be an integer >= 1",
+                    raw.trim()
+                ))),
+            },
+            Err(_) => Ok(DEFAULT_QUEUE_CAPACITY),
+        }
+    }
+
+    /// Strict per-frame deadline budget: `None` means unbounded, but an
+    /// explicit zero or a malformed / zero [`DEADLINE_ENV`] is `R0605`.
+    pub fn resolve_frame_deadline(&self) -> Result<Option<u64>, StreamError> {
+        if let Some(us) = self.frame_deadline_us {
+            return if us >= 1 {
+                Ok(Some(us))
+            } else {
+                Err(invalid("frame deadline must be >= 1 virtual us"))
+            };
+        }
+        match std::env::var(DEADLINE_ENV) {
+            Ok(raw) => match raw.trim().parse::<u64>() {
+                Ok(us) if us >= 1 => Ok(Some(us)),
+                _ => Err(invalid(format!(
+                    "{DEADLINE_ENV}=`{}` must be an integer >= 1",
+                    raw.trim()
+                ))),
+            },
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Strict breaker threshold: explicit zero or malformed / zero
+    /// [`BREAKER_ENV`] is `R0605`.
+    pub fn resolve_breaker_threshold(&self) -> Result<u32, StreamError> {
+        if let Some(n) = self.breaker_threshold {
+            return if n >= 1 {
+                Ok(n)
+            } else {
+                Err(invalid("breaker threshold must be >= 1"))
+            };
+        }
+        match std::env::var(BREAKER_ENV) {
+            Ok(raw) => match raw.trim().parse::<u32>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(invalid(format!(
+                    "{BREAKER_ENV}=`{}` must be an integer >= 1",
+                    raw.trim()
+                ))),
+            },
+            Err(_) => Ok(DEFAULT_BREAKER_THRESHOLD),
+        }
+    }
+
+    /// Validate every knob at construction time; the first offending
+    /// one is reported as `R0605`. [`Stream::run`] and
+    /// [`Stream::run_sequential`] call this before spawning anything.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        self.resolve_workers()?;
+        self.resolve_queue_capacity()?;
+        self.resolve_frame_deadline()?;
+        self.resolve_breaker_threshold()?;
+        if self.stream_budget_us == Some(0) {
+            return Err(invalid("stream budget must be >= 1 virtual us"));
+        }
+        if self.probe_after == 0 {
+            return Err(invalid("probe_after must be >= 1"));
+        }
+        if self.close_after == 0 {
+            return Err(invalid("close_after must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Watchdog budgets and pool sizing resolved once per run.
+#[derive(Copy, Clone)]
+struct Budgets {
+    /// Per-frame virtual budget (`R0602`).
+    frame_us: Option<u64>,
+    /// Whole-stream virtual budget (`R0603`).
+    stream_us: Option<u64>,
+    /// Worker-pool size, recorded into replay bundles (the virtual
+    /// clock depends on it).
+    workers: usize,
 }
 
 /// A frame travelling through the pipeline.
 struct InFlight {
     seq: u64,
     image: Image<f32>,
+    /// Input dimensions at the producer, recorded for replay bundles.
+    width: u32,
+    height: u32,
     enqueued_us: u64,
     done_us: u64,
     failed: Option<FrameFailure>,
     recovered: bool,
+    /// Virtual µs this frame has spent across its stages so far.
+    spent_us: u64,
+    /// Scheduling-invariant whole-stream clock: after stage `s` this is
+    /// the rectangle sum Σ_{s'≤s} Σ_{f'≤seq} virtual_us(f', s') — the
+    /// same in pipelined and sequential execution, because each stage
+    /// processes frames in `seq` order in both.
+    carried_us: u64,
+    /// Supervisor action totals accumulated across this frame's stages.
+    actions: ActionTotals,
+    /// Stages completed so far, with the pins and deadlines they ran
+    /// under — the replay trail.
+    trail: Vec<TrailEntry>,
+    /// The replay bundle, recorded at the moment of failure.
+    replay: Option<ReplayBundle>,
     spans: Vec<Span>,
+}
+
+impl InFlight {
+    fn new(seq: u64, image: Image<f32>) -> Self {
+        let (width, height) = (image.width(), image.height());
+        Self {
+            seq,
+            image,
+            width,
+            height,
+            enqueued_us: now_us(),
+            done_us: 0,
+            failed: None,
+            recovered: false,
+            spent_us: 0,
+            carried_us: 0,
+            actions: ActionTotals::default(),
+            trail: Vec::new(),
+            replay: None,
+            spans: Vec::new(),
+        }
+    }
+}
+
+/// Everything a failure record needs beyond the frame itself.
+struct FailSpec {
+    code: String,
+    error: String,
+    rung: String,
+    attempt: u32,
+    deadline_us: Option<u64>,
+    stream_check: Option<(u64, u64)>,
+    spent_before_us: u64,
 }
 
 /// The outputs and telemetry of one stream run.
@@ -157,7 +452,7 @@ pub struct StreamRun {
     /// Completed frames, sorted by `seq`; failed frames are absent (and
     /// listed in `report.failed`).
     pub outputs: Vec<Frame>,
-    /// Throughput, latency, queue and cache telemetry.
+    /// Throughput, latency, queue, cache and resilience telemetry.
     pub report: StreamReport,
 }
 
@@ -227,85 +522,383 @@ impl Stream {
         &self.cache
     }
 
+    /// The stage chain (for [`crate::replay::replay`] round trips).
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
     /// Stage names in chain order.
     pub fn stage_names(&self) -> Vec<String> {
         self.stages.iter().map(|s| s.name.clone()).collect()
     }
 
-    /// Run one stage's operator on one frame under the supervisor,
-    /// recording a span either way. A surfaced failure marks the frame
-    /// failed; it keeps flowing so later frames are never stalled.
-    fn run_stage(
+    /// Mark the frame failed with a typed diagnostic and record its
+    /// replay bundle. The frame keeps flowing so later frames are never
+    /// stalled.
+    #[allow(clippy::too_many_arguments)]
+    fn note_failure(
         &self,
+        frame: &mut InFlight,
+        stage: &Stage,
+        idx: usize,
+        engine: Engine,
+        base_plan: &FaultPlan,
+        pinned: &Option<PinSpec>,
+        budgets: &Budgets,
+        spec: FailSpec,
+    ) {
+        frame.failed = Some(FrameFailure {
+            seq: frame.seq,
+            stage: stage.name.clone(),
+            code: spec.code.clone(),
+            error: spec.error,
+        });
+        frame.replay = Some(ReplayBundle {
+            stream: self.name.clone(),
+            seq: frame.seq,
+            stage: stage.name.clone(),
+            stage_index: idx,
+            engine: engine.label().to_string(),
+            opt_level: stage.op.options.opt_level,
+            rung: spec.rung,
+            attempt: spec.attempt,
+            pinned: pinned.clone(),
+            deadline_us: spec.deadline_us,
+            frame_budget_us: budgets.frame_us,
+            spent_before_us: spec.spent_before_us,
+            stream_check: spec.stream_check,
+            fault: base_plan.clone(),
+            max_attempts: self.config.supervisor.max_attempts,
+            backoff_base_us: self.config.supervisor.backoff_base_us,
+            fallback: self.config.supervisor.fallback,
+            workers: budgets.workers,
+            width: frame.width,
+            height: frame.height,
+            trail: frame.trail.clone(),
+            expected_code: spec.code,
+        });
+    }
+
+    /// Run one stage's operator on one frame under the supervisor,
+    /// governed by the breaker and the watchdog, inside a panic shield.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::result_large_err)]
+    fn process_stage(
+        &self,
+        idx: usize,
         stage: &Stage,
         engine: Engine,
         pool: Option<&Arc<WorkerPool>>,
         cache: Option<&Arc<KernelCache>>,
+        gov: &Governor,
+        budgets: &Budgets,
+        col_us: &mut u64,
         frame: &mut InFlight,
     ) {
-        let mut op = stage.op.clone();
-        op.options.engine = Some(engine);
-        op.options.cache = cache.map(Arc::clone);
-        op.options.pool = pool.map(Arc::clone);
-        let plan = self
+        let start = now_us();
+        let spent_before = frame.spent_us;
+        let stage_plan = gov.plan(idx);
+        let pinned_spec = stage_plan.pinned.as_ref().map(|p| PinSpec {
+            rung: p.rung.clone(),
+            variant: variant_label(p.variant).to_string(),
+            force_config: p.force_config,
+        });
+        let base_plan = self
             .config
             .faults
             .get(&frame.seq)
             .cloned()
             .unwrap_or_else(FaultPlan::none);
-        let start = now_us();
-        let result = op.execute_supervised(
-            &[(stage.input.as_str(), &frame.image)],
-            &self.target,
-            engine,
-            &plan,
-            &self.config.supervisor,
-        );
-        let dur = now_us().saturating_sub(start).max(1);
-        let span = Span::new(
-            format!("{}:{}", stage.name, frame.seq),
-            "stream",
-            start,
-            dur,
-        )
-        .lane(self.config.lane)
-        .arg("stream", self.name.clone())
-        .arg("seq", frame.seq.to_string());
+        let span = |outcome: &str, detail: String| {
+            Span::new(
+                format!("{}:{}", stage.name, frame.seq),
+                "stream",
+                start,
+                now_us().saturating_sub(start).max(1),
+            )
+            .lane(self.config.lane)
+            .arg("stream", self.name.clone())
+            .arg("seq", frame.seq.to_string())
+            .arg(outcome, detail)
+        };
+
+        // Watchdog, frame budget: a frame that arrives with nothing
+        // left is failed without launching.
+        let remaining = match budgets.frame_us {
+            Some(budget) if frame.spent_us >= budget => {
+                let error = format!(
+                    "R0602: frame budget {budget}us exhausted before stage `{}` (spent {}us)",
+                    stage.name, frame.spent_us
+                );
+                frame.spans.push(span("failed", error.clone()));
+                gov.record(idx, &stage.name, frame.seq, FrameOutcome::Failed);
+                self.note_failure(
+                    frame,
+                    stage,
+                    idx,
+                    engine,
+                    &base_plan,
+                    &pinned_spec,
+                    budgets,
+                    FailSpec {
+                        code: "R0602".into(),
+                        error,
+                        rung: "initial".into(),
+                        attempt: 0,
+                        deadline_us: None,
+                        stream_check: None,
+                        spent_before_us: spent_before,
+                    },
+                );
+                return;
+            }
+            Some(budget) => Some(budget - frame.spent_us),
+            None => None,
+        };
+
+        // Watchdog, whole-stream budget: the scheduling-invariant
+        // projection (carried rectangle sum, see [`InFlight`]) must
+        // stay inside the budget *before* the launch is paid for.
+        if let Some(budget) = budgets.stream_us {
+            let projected = frame.carried_us + *col_us;
+            if projected > budget {
+                let error = format!(
+                    "R0603: stream budget {budget}us would be exceeded at stage `{}` \
+                     (projected {projected}us)",
+                    stage.name
+                );
+                frame.spans.push(span("failed", error.clone()));
+                gov.record(idx, &stage.name, frame.seq, FrameOutcome::Failed);
+                self.note_failure(
+                    frame,
+                    stage,
+                    idx,
+                    engine,
+                    &base_plan,
+                    &pinned_spec,
+                    budgets,
+                    FailSpec {
+                        code: "R0603".into(),
+                        error,
+                        rung: "initial".into(),
+                        attempt: 0,
+                        deadline_us: None,
+                        stream_check: Some((projected, budget)),
+                        spent_before_us: spent_before,
+                    },
+                );
+                return;
+            }
+        }
+
+        // The effective launch deadline: the plan's own, capped by what
+        // is left of the frame budget — a hung stage is cancelled on
+        // the virtual clock, never left to wedge its thread.
+        let mut plan = base_plan.clone();
+        plan.deadline_us = match (plan.deadline_us, remaining) {
+            (Some(d), Some(r)) => Some(d.min(r)),
+            (Some(d), None) => Some(d),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        };
+        let effective_deadline = plan.deadline_us;
+
+        let mut op = stage.op.clone();
+        op.options.engine = Some(engine);
+        op.options.cache = cache.map(Arc::clone);
+        op.options.pool = pool.map(Arc::clone);
+        let mut sup_cfg = self.config.supervisor.clone();
+        if let Some(pin) = &stage_plan.pinned {
+            // Breaker open: run the proven rung as the *initial* (and
+            // only) configuration. The retry/degradation ladder is
+            // bypassed, and the pinned rung is now cache-served — it
+            // recompiles exactly once.
+            op.options.variant = pin.variant;
+            op.options.force_config = pin.force_config;
+            sup_cfg.max_attempts = 1;
+            sup_cfg.fallback = false;
+        }
+
+        // Panic isolation: an injected (or real) worker panic unwinds
+        // through the launch into this shield; the frame becomes a
+        // typed R0601 failure and the stage thread keeps draining.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            op.execute_supervised(
+                &[(stage.input.as_str(), &frame.image)],
+                &self.target,
+                engine,
+                &plan,
+                &sup_cfg,
+            )
+        }));
+
         match result {
-            Ok(sup) => {
-                let outcome = sup
+            Err(payload) => {
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                let error = format!(
+                    "R0601: stage worker panic contained at `{}`: {what}",
+                    stage.name
+                );
+                frame.spans.push(span("failed", error.clone()));
+                gov.record(idx, &stage.name, frame.seq, FrameOutcome::Failed);
+                self.note_failure(
+                    frame,
+                    stage,
+                    idx,
+                    engine,
+                    &base_plan,
+                    &pinned_spec,
+                    budgets,
+                    FailSpec {
+                        code: "R0601".into(),
+                        error,
+                        rung: "initial".into(),
+                        attempt: 1,
+                        deadline_us: effective_deadline,
+                        stream_check: None,
+                        spent_before_us: spent_before,
+                    },
+                );
+            }
+            Ok(Err(e)) => {
+                frame.actions.absorb(&e.report);
+                frame.spent_us = frame.spent_us.saturating_add(e.report.virtual_us);
+                let code = e.error.diagnostic().code.to_string();
+                let rung = e
+                    .report
+                    .final_rung()
+                    .map(|r| r.rung.clone())
+                    .unwrap_or_else(|| "initial".into());
+                let error = e.to_string();
+                frame.spans.push(span("failed", error.clone()));
+                gov.record(idx, &stage.name, frame.seq, FrameOutcome::Failed);
+                self.note_failure(
+                    frame,
+                    stage,
+                    idx,
+                    engine,
+                    &base_plan,
+                    &pinned_spec,
+                    budgets,
+                    FailSpec {
+                        code,
+                        error,
+                        rung,
+                        attempt: e.report.attempts,
+                        deadline_us: effective_deadline,
+                        stream_check: None,
+                        spent_before_us: spent_before,
+                    },
+                );
+            }
+            Ok(Ok(sup)) => {
+                frame.actions.absorb(&sup.recovery);
+                frame.spent_us = frame.spent_us.saturating_add(sup.recovery.virtual_us);
+                // Watchdog, frame budget, post-launch: the launch ran
+                // but cost more virtual time than the frame had left.
+                if let Some(budget) = budgets.frame_us {
+                    if frame.spent_us > budget {
+                        let error = format!(
+                            "R0602: frame budget {budget}us exceeded at stage `{}` \
+                             (spent {}us)",
+                            stage.name, frame.spent_us
+                        );
+                        frame.spans.push(span("failed", error.clone()));
+                        gov.record(idx, &stage.name, frame.seq, FrameOutcome::Failed);
+                        self.note_failure(
+                            frame,
+                            stage,
+                            idx,
+                            engine,
+                            &base_plan,
+                            &pinned_spec,
+                            budgets,
+                            FailSpec {
+                                code: "R0602".into(),
+                                error,
+                                rung: sup
+                                    .recovery
+                                    .final_rung()
+                                    .map(|r| r.rung.clone())
+                                    .unwrap_or_else(|| "initial".into()),
+                                attempt: sup.recovery.attempts,
+                                deadline_us: effective_deadline,
+                                stream_check: None,
+                                spent_before_us: spent_before,
+                            },
+                        );
+                        return;
+                    }
+                }
+                // Success: advance the stream clock and the breaker.
+                *col_us = col_us.saturating_add(sup.recovery.virtual_us);
+                frame.carried_us = frame.carried_us.saturating_add(*col_us);
+                let outcome = if sup.recovery.degraded_success() {
+                    let r = sup
+                        .recovery
+                        .final_rung()
+                        .expect("degraded success has a rung");
+                    FrameOutcome::DegradedSuccess(PinnedRung {
+                        rung: r.rung.clone(),
+                        variant: r.variant,
+                        force_config: r.force_config,
+                    })
+                } else {
+                    FrameOutcome::Clean
+                };
+                gov.record(idx, &stage.name, frame.seq, outcome);
+                if sup.recovery.recovered() {
+                    frame.recovered = true;
+                }
+                let cache_outcome = sup
                     .profile
                     .cache
                     .as_ref()
                     .map(|c| c.outcome.clone())
                     .unwrap_or_else(|| "uncached".into());
-                frame.spans.push(span.arg("cache", outcome));
-                if sup.recovery.recovered() {
-                    frame.recovered = true;
-                }
-                frame.image = sup.execution.output;
-            }
-            Err(e) => {
-                frame.spans.push(span.arg("failed", e.to_string()));
-                frame.failed = Some(FrameFailure {
-                    seq: frame.seq,
+                frame.spans.push(span("cache", cache_outcome));
+                frame.trail.push(TrailEntry {
                     stage: stage.name.clone(),
-                    error: e.to_string(),
+                    pinned: pinned_spec,
+                    deadline_us: effective_deadline,
                 });
+                frame.image = sup.execution.output;
             }
         }
     }
 
     /// Run the chain over `frames` as a streaming pipeline: one thread
     /// per stage, bounded queues between them, block work multiplexed
-    /// over the shared pool. Fails only on an unresolvable engine
-    /// override; per-frame failures are recorded in the report instead.
-    pub fn run(&self, frames: Vec<Image<f32>>) -> Result<StreamRun, SimError> {
+    /// over the shared pool, all under the resilience governor. Fails
+    /// only on an invalid configuration (`R0605`) or an unresolvable
+    /// engine override; per-frame failures, sheds and breaker
+    /// transitions are typed events in the report instead.
+    pub fn run(&self, frames: Vec<Image<f32>>) -> Result<StreamRun, StreamError> {
+        self.config.validate()?;
         let engine = resolve_engine(self.config.engine)?;
         assert!(!self.stages.is_empty(), "stream has no stages");
         let n_stages = self.stages.len();
-        let cap = self.config.effective_queue_capacity();
-        let workers = self.config.effective_workers();
+        let cap = self.config.resolve_queue_capacity()?;
+        let workers = self.config.resolve_workers()?;
+        // A shared pool's real size wins over the config: the virtual
+        // clock follows the threads that actually run the blocks.
+        let pool_workers = self.pool.as_ref().map(|p| p.workers()).unwrap_or(workers);
+        let budgets = Budgets {
+            frame_us: self.config.resolve_frame_deadline()?,
+            stream_us: self.config.stream_budget_us,
+            workers: pool_workers,
+        };
+        let gov = Governor::new(
+            n_stages,
+            self.config.resolve_breaker_threshold()?,
+            self.config.probe_after,
+            self.config.close_after,
+        );
+        let shed_after = self.config.shed_after_us;
         let pool = self
             .pool
             .clone()
@@ -317,32 +910,50 @@ impl Stream {
         let queues: Vec<FrameQueue<InFlight>> =
             (0..=n_stages).map(|_| FrameQueue::new(cap)).collect();
         let mut collected: Vec<InFlight> = Vec::with_capacity(frames_in);
+        let mut shed_seqs: Vec<u64> = Vec::new();
         let t0 = Instant::now();
         std::thread::scope(|scope| {
             let queues = &queues;
-            scope.spawn(move || {
+            let producer = scope.spawn(move || {
+                let mut shed: Vec<u64> = Vec::new();
                 for (seq, image) in frames.into_iter().enumerate() {
-                    let frame = InFlight {
-                        seq: seq as u64,
-                        image,
-                        enqueued_us: now_us(),
-                        done_us: 0,
-                        failed: None,
-                        recovered: false,
-                        spans: Vec::new(),
-                    };
-                    if queues[0].push(frame).is_err() {
-                        break;
+                    let frame = InFlight::new(seq as u64, image);
+                    match shed_after {
+                        None => {
+                            if queues[0].push(frame).is_err() {
+                                break;
+                            }
+                        }
+                        Some(budget_us) => {
+                            match queues[0].push_shedding(frame, Duration::from_micros(budget_us)) {
+                                Ok(dropped) => shed.extend(dropped.into_iter().map(|f| f.seq)),
+                                Err(_) => break,
+                            }
+                        }
                     }
                 }
                 queues[0].close();
+                shed
             });
             for (idx, stage) in self.stages.iter().enumerate() {
-                let (pool, cache) = (&pool, &cache);
+                let (pool, cache, gov, budgets) = (&pool, &cache, &gov, &budgets);
                 scope.spawn(move || {
+                    // The stage's column of the stream-clock rectangle
+                    // sum; owned by this thread, advanced in seq order.
+                    let mut col_us: u64 = 0;
                     while let Some(mut frame) = queues[idx].pop() {
                         if frame.failed.is_none() {
-                            self.run_stage(stage, engine, Some(pool), cache.as_ref(), &mut frame);
+                            self.process_stage(
+                                idx,
+                                stage,
+                                engine,
+                                Some(pool),
+                                cache.as_ref(),
+                                gov,
+                                budgets,
+                                &mut col_us,
+                                &mut frame,
+                            );
                         }
                         if queues[idx + 1].push(frame).is_err() {
                             break;
@@ -356,6 +967,7 @@ impl Stream {
                 frame.done_us = now_us();
                 collected.push(frame);
             }
+            shed_seqs = producer.join().expect("producer thread");
         });
         let wall_us = (t0.elapsed().as_micros() as u64).max(1);
         let queue_max_depths = queues.iter().map(|q| q.max_depth()).collect();
@@ -367,38 +979,67 @@ impl Stream {
             wall_us,
             queue_max_depths,
             (hits0, misses0),
+            shed_seqs,
+            gov.transitions(),
             collected,
         ))
     }
 
     /// The sequential reference: the same per-frame supervised launches
-    /// in `seq` order on the calling thread, no queues, no pool. With
-    /// the same config (engine, fault plans) its per-frame outputs are
-    /// bit-identical to [`Self::run`].
-    pub fn run_sequential(&self, frames: Vec<Image<f32>>) -> Result<StreamRun, SimError> {
+    /// in `seq` order on the calling thread, no queues, no shedding.
+    /// With the same config (engine, fault plans, budgets, breaker
+    /// knobs) its per-frame outputs **and** governor decisions are
+    /// bit-identical to [`Self::run`]: block work runs over a pool of
+    /// the *same* worker count, so the virtual clock — and therefore
+    /// every watchdog and breaker decision — agrees exactly.
+    pub fn run_sequential(&self, frames: Vec<Image<f32>>) -> Result<StreamRun, StreamError> {
+        self.config.validate()?;
         let engine = resolve_engine(self.config.engine)?;
         assert!(!self.stages.is_empty(), "stream has no stages");
+        let n_stages = self.stages.len();
+        let workers = self.config.resolve_workers()?;
+        let pool = self
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::new(WorkerPool::new(workers)));
+        // A shared pool's real size wins over the config: the virtual
+        // clock follows the threads that actually run the blocks.
+        let pool_workers = self.pool.as_ref().map(|p| p.workers()).unwrap_or(workers);
+        let budgets = Budgets {
+            frame_us: self.config.resolve_frame_deadline()?,
+            stream_us: self.config.stream_budget_us,
+            workers: pool_workers,
+        };
+        let gov = Governor::new(
+            n_stages,
+            self.config.resolve_breaker_threshold()?,
+            self.config.probe_after,
+            self.config.close_after,
+        );
         let cache = self.config.share_cache.then(|| Arc::clone(&self.cache));
         let frames_in = frames.len();
         let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
 
         let t0 = Instant::now();
+        let mut cols = vec![0u64; n_stages];
         let mut collected: Vec<InFlight> = Vec::with_capacity(frames_in);
         for (seq, image) in frames.into_iter().enumerate() {
-            let mut frame = InFlight {
-                seq: seq as u64,
-                image,
-                enqueued_us: now_us(),
-                done_us: 0,
-                failed: None,
-                recovered: false,
-                spans: Vec::new(),
-            };
-            for stage in &self.stages {
+            let mut frame = InFlight::new(seq as u64, image);
+            for (idx, stage) in self.stages.iter().enumerate() {
                 if frame.failed.is_some() {
                     break;
                 }
-                self.run_stage(stage, engine, None, cache.as_ref(), &mut frame);
+                self.process_stage(
+                    idx,
+                    stage,
+                    engine,
+                    Some(&pool),
+                    cache.as_ref(),
+                    &gov,
+                    &budgets,
+                    &mut cols[idx],
+                    &mut frame,
+                );
             }
             frame.done_us = now_us();
             collected.push(frame);
@@ -412,6 +1053,8 @@ impl Stream {
             wall_us,
             Vec::new(),
             (hits0, misses0),
+            Vec::new(),
+            gov.transitions(),
             collected,
         ))
     }
@@ -427,9 +1070,19 @@ impl Stream {
         wall_us: u64,
         queue_max_depths: Vec<usize>,
         counters_before: (u64, u64),
+        mut shed_seqs: Vec<u64>,
+        breaker_transitions: Vec<crate::governor::BreakerTransition>,
         mut collected: Vec<InFlight>,
     ) -> StreamRun {
         collected.sort_by_key(|f| f.seq);
+        shed_seqs.sort_unstable();
+        let shed: Vec<FrameShed> = shed_seqs
+            .into_iter()
+            .map(|seq| FrameShed {
+                seq,
+                code: "R0604".into(),
+            })
+            .collect();
         let mut latencies: Vec<u64> = collected
             .iter()
             .filter(|f| f.failed.is_none())
@@ -437,7 +1090,22 @@ impl Stream {
             .collect();
         latencies.sort_unstable();
         let failed: Vec<FrameFailure> = collected.iter().filter_map(|f| f.failed.clone()).collect();
-        let recovered_frames = collected.iter().filter(|f| f.recovered).count();
+        // A frame that was recovered at one stage but failed at a later
+        // one is counted once, in `failed` — never double-counted here.
+        let recovered_frames = collected
+            .iter()
+            .filter(|f| f.recovered && f.failed.is_none())
+            .count();
+        let mut actions = ActionTotals::default();
+        for f in &collected {
+            let a = f.actions;
+            actions.completed += a.completed;
+            actions.repaired += a.repaired;
+            actions.retried += a.retried;
+            actions.degraded += a.degraded;
+            actions.surfaced += a.surfaced;
+        }
+        let replay: Vec<ReplayBundle> = collected.iter().filter_map(|f| f.replay.clone()).collect();
         let spans: Vec<Span> = collected
             .iter()
             .flat_map(|f| f.spans.iter().cloned())
@@ -464,7 +1132,11 @@ impl Stream {
             frames_in,
             frames_out: outputs.len(),
             failed,
+            shed,
             recovered_frames,
+            actions,
+            breaker_transitions,
+            replay,
             wall_us,
             frames_per_sec: outputs.len() as f64 / (wall_us as f64 / 1e6),
             latency_p50_us: percentile_us(&latencies, 0.50),

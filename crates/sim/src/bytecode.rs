@@ -2472,6 +2472,9 @@ impl CompiledKernel {
                     let (bx, by) = blocks_ref[i];
                     let mut lat = 0u64;
                     if let Some(h) = hook {
+                        if h.block_panic(bx, by) {
+                            panic!("injected worker panic at block ({bx},{by})");
+                        }
                         lat = h.block_latency_us(bx, by);
                         vtime = vtime.saturating_add(lat);
                         if let Some(d) = deadline {

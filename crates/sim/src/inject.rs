@@ -83,6 +83,15 @@ pub trait FaultHook: Sync {
     /// `u64::MAX` models a hung worker.
     fn block_latency_us(&self, bx: u32, by: u32) -> u64;
 
+    /// Whether the worker executing block `(bx, by)` should **panic**
+    /// (a driver abort / firmware assert). Unlike every other fault
+    /// class this escapes the launch's result channel: the engines
+    /// `panic!` on the worker and rely on the caller's panic isolation.
+    /// Defaults to `false` so existing hooks are unaffected.
+    fn block_panic(&self, _bx: u32, _by: u32) -> bool {
+        false
+    }
+
     /// Virtual launch deadline. A worker whose accumulated virtual time
     /// exceeds it cancels the launch with [`SimError::DeadlineExceeded`].
     ///

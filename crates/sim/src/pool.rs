@@ -32,6 +32,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// A queued unit of work: run one worker index of one launch.
@@ -50,6 +51,10 @@ struct Shared {
     queue: Mutex<(VecDeque<Job>, bool)>,
     /// Signalled on every push and on shutdown.
     work: Condvar,
+    /// Lifetime count of jobs whose closure panicked (and was contained).
+    /// Telemetry for the stream resilience governor: the pool always
+    /// survives a panic, this counter proves one happened.
+    panicked: AtomicU64,
 }
 
 /// Countdown latch: `run_scoped` waits until all of its jobs finished.
@@ -112,6 +117,7 @@ impl WorkerPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new((VecDeque::new(), false)),
             work: Condvar::new(),
+            panicked: AtomicU64::new(0),
         });
         let threads = (0..workers)
             .map(|i| {
@@ -155,6 +161,13 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Lifetime count of contained job panics. Every one of them was
+    /// re-raised on its own launch's calling thread; the pool threads
+    /// themselves never died.
+    pub fn panics(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
     /// Pop one queued job, without blocking.
     fn try_pop(&self) -> Option<Job> {
         lock_recover(&self.shared.queue).0.pop_front()
@@ -182,10 +195,12 @@ impl WorkerPool {
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let latch = Latch::new(n);
         {
+            let panicked = &self.shared.panicked;
             let task = |w: usize| {
                 match catch_unwind(AssertUnwindSafe(|| f(w))) {
                     Ok(v) => *lock_recover(&results[w]) = Some(v),
                     Err(payload) => {
+                        panicked.fetch_add(1, Ordering::Relaxed);
                         let mut slot = lock_recover(&panic_slot);
                         // Keep the first payload; later ones add nothing.
                         slot.get_or_insert(payload);
@@ -306,6 +321,27 @@ mod tests {
         assert!(msg.contains("boom"), "payload: {msg:?}");
         // The pool is still fully operational after the unwound scope.
         assert_eq!(pool.run_scoped(3, |w| w + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_telemetry_counts_contained_panics() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.panics(), 0);
+        for round in 0..3 {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_scoped(4, |w| {
+                    if w == 1 {
+                        panic!("round {round}");
+                    }
+                    w
+                })
+            }))
+            .unwrap_err();
+            drop(err);
+            assert_eq!(pool.panics(), round + 1, "one contained panic per round");
+            // Pool threads survived; the next scope runs clean.
+            assert_eq!(pool.run_scoped(2, |w| w), vec![0, 1]);
+        }
     }
 
     #[test]

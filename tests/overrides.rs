@@ -153,3 +153,140 @@ fn override_conflict_code_is_registered() {
     assert!(info.summary.contains("override"));
     assert!(info.advice.contains("explicit"));
 }
+
+// ---------------------------------------------------------------------
+// Stream configuration validation (R0605): a nonsensical resilience
+// knob is rejected at construction, before any frame is enqueued.
+// ---------------------------------------------------------------------
+
+use hipacc_filters::sobel::sobel_operator;
+use hipacc_runtime::{Stream, StreamConfig};
+
+fn stream_with(config: StreamConfig) -> Stream {
+    Stream::new("validated", Target::cuda(device::tesla_c2050()))
+        .stage("sobel", sobel_operator(true, BoundaryMode::Clamp))
+        .with_config(config)
+}
+
+fn reject(config: StreamConfig, what: &str) {
+    let err = stream_with(config.clone())
+        .run(vec![test_image()])
+        .expect_err(&format!("{what} must be rejected by run()"));
+    assert!(
+        err.to_string().contains("R0605"),
+        "{what}: the rejection must carry the typed code, got: {err}"
+    );
+    let err = stream_with(config)
+        .run_sequential(vec![test_image()])
+        .expect_err(&format!("{what} must be rejected by run_sequential()"));
+    assert!(err.to_string().contains("R0605"), "{what}: {err}");
+}
+
+#[test]
+fn zero_valued_stream_knobs_are_rejected_with_r0605() {
+    let _g = ENV_LOCK.lock().unwrap();
+    std::env::remove_var(hipacc_runtime::WORKERS_ENV);
+    std::env::remove_var(hipacc_runtime::QUEUE_ENV);
+    std::env::remove_var(hipacc_runtime::DEADLINE_ENV);
+    std::env::remove_var(hipacc_runtime::BREAKER_ENV);
+
+    reject(
+        StreamConfig {
+            workers: Some(0),
+            ..StreamConfig::default()
+        },
+        "zero workers",
+    );
+    reject(
+        StreamConfig {
+            queue_capacity: Some(0),
+            ..StreamConfig::default()
+        },
+        "zero queue capacity",
+    );
+    reject(
+        StreamConfig {
+            frame_deadline_us: Some(0),
+            ..StreamConfig::default()
+        },
+        "zero frame deadline",
+    );
+    reject(
+        StreamConfig {
+            stream_budget_us: Some(0),
+            ..StreamConfig::default()
+        },
+        "zero stream budget",
+    );
+    reject(
+        StreamConfig {
+            breaker_threshold: Some(0),
+            ..StreamConfig::default()
+        },
+        "zero breaker threshold",
+    );
+    reject(
+        StreamConfig {
+            probe_after: 0,
+            ..StreamConfig::default()
+        },
+        "zero probe interval",
+    );
+    reject(
+        StreamConfig {
+            close_after: 0,
+            ..StreamConfig::default()
+        },
+        "zero close interval",
+    );
+}
+
+/// A present-but-malformed resilience env var is a loud R0605, not a
+/// silently ignored knob — unlike the lenient `effective_*` accessors,
+/// which the legacy precedence test above exercises.
+#[test]
+fn malformed_resilience_env_vars_fail_validation_loudly() {
+    let _g = ENV_LOCK.lock().unwrap();
+    let defaults = StreamConfig::default();
+
+    for (var, value) in [
+        (hipacc_runtime::WORKERS_ENV, "zero"),
+        (hipacc_runtime::QUEUE_ENV, "-1"),
+        (hipacc_runtime::DEADLINE_ENV, "soon"),
+        (hipacc_runtime::BREAKER_ENV, "0"),
+    ] {
+        std::env::set_var(var, value);
+        let err = defaults
+            .validate()
+            .expect_err(&format!("{var}={value} must fail validation"));
+        std::env::remove_var(var);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("R0605") && msg.contains(var),
+            "{var}: the error must name the variable, got: {msg}"
+        );
+    }
+
+    // Well-formed env values resolve with the expected precedence.
+    std::env::set_var(hipacc_runtime::DEADLINE_ENV, "250000");
+    std::env::set_var(hipacc_runtime::BREAKER_ENV, "5");
+    assert_eq!(defaults.resolve_frame_deadline().unwrap(), Some(250_000));
+    assert_eq!(defaults.resolve_breaker_threshold().unwrap(), 5);
+    let explicit = StreamConfig {
+        frame_deadline_us: Some(9_000),
+        breaker_threshold: Some(2),
+        ..StreamConfig::default()
+    };
+    assert_eq!(
+        explicit.resolve_frame_deadline().unwrap(),
+        Some(9_000),
+        "explicit beats env"
+    );
+    assert_eq!(explicit.resolve_breaker_threshold().unwrap(), 2);
+    std::env::remove_var(hipacc_runtime::DEADLINE_ENV);
+    std::env::remove_var(hipacc_runtime::BREAKER_ENV);
+
+    assert!(defaults.validate().is_ok(), "defaults validate clean");
+    let info = hipacc_core::explain("R0605").expect("R0605 must be registered");
+    assert!(!info.summary.is_empty());
+}

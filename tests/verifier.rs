@@ -216,7 +216,8 @@ fn diagnostic_registry_is_complete_sorted_and_described() {
         "C0101", "C0102", "C0103", "C0201", "C0202", "C0301",
         // Runtime and supervisor failures.
         "R0001", "R0101", "R0102", "R0103", "R0104", "R0105", "R0106", "R0201", "R0202", "R0203",
-        "R0301", "R0401", "R0501",
+        "R0301", "R0401", "R0501", // Stream resilience governor (hipacc_runtime).
+        "R0601", "R0602", "R0603", "R0604", "R0605", "R0606",
     ];
     assert_eq!(codes, expected);
     let mut sorted = codes.clone();
