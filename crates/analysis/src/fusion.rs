@@ -1,0 +1,277 @@
+//! Fusion legality: when may a chain of operators become one kernel?
+//!
+//! The IR composer (`hipacc_ir::fuse`) checks that stage *bodies* are
+//! structurally composable; this module decides the semantic half. A
+//! chain is fusable iff every consumer's reads of its producer's output
+//! are expressible as a widened halo of the fused kernel:
+//!
+//! * **Linear pipeline** (`F0103`) — every stage reads exactly one input
+//!   accessor, so the chain is producer → consumer with no side inputs.
+//! * **Handoff boundary modes** (`F0102`) — an interior stage may read
+//!   its producer with `Clamp`, `Mirror` or `Constant` handling: those
+//!   adjusted coordinates stay within the producer's staging tile (the
+//!   tile always reaches the nearest image edge it pokes past, and
+//!   clamp/mirror land within the stencil reach of an edge). `Repeat`
+//!   wraps to the *opposite* side of the image — arbitrarily far from
+//!   the tile — and `Undefined` makes the handoff value unspecified, so
+//!   both reject fusion. The *first* stage reads a real global image and
+//!   may use any mode.
+//! * **Compatible ROIs** (`F0101`) — all stages must iterate the same
+//!   space; and a partial ROI is only fusable when no consumer has a
+//!   stencil (a producer computes nothing outside its ROI, so a consumer
+//!   halo would read pixels the unfused chain left untouched).
+//! * **Kernel shape** (`F0104`) — bounded stencil windows and scalar
+//!   (non-vectorized) stages only.
+//!
+//! Rejections are reported as error-severity [`Diagnostic`]s with the
+//! stable `F01xx` codes so runtimes can record *why* a chain stayed
+//! unfused; `F0105` (resource overflow at compile time, fall back
+//! per-stage) is emitted by the runtime layer, not here.
+
+use crate::diag::Diagnostic;
+use hipacc_image::BoundaryMode;
+use hipacc_ir::access::analyze;
+use hipacc_ir::KernelDef;
+use std::collections::HashMap;
+
+/// The fusion-relevant shape of one pipeline stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageShape {
+    /// Stage (kernel) name, used in diagnostics.
+    pub name: String,
+    /// Number of input accessors the kernel declares.
+    pub accessor_count: usize,
+    /// Boundary mode of the stage's reads of its input.
+    pub boundary: BoundaryMode,
+    /// Iteration-space ROI `(off_x, off_y, w, h)`, when restricted.
+    pub roi: Option<(u32, u32, u32, u32)>,
+    /// Stencil half-window on the input — the larger of the inferred
+    /// read window and the declared boundary window.
+    pub halo: (u32, u32),
+    /// Whether the read window could not be bounded statically.
+    pub unbounded: bool,
+    /// Pixels per work-item the stage was configured with.
+    pub vectorize: u32,
+}
+
+impl StageShape {
+    /// Derive a shape from a DSL kernel plus the access metadata the
+    /// framework carries outside the kernel body (boundary mode and
+    /// declared half-window, ROI, vectorization width).
+    pub fn of(
+        def: &KernelDef,
+        boundary: BoundaryMode,
+        declared_half: (u32, u32),
+        roi: Option<(u32, u32, u32, u32)>,
+        vectorize: u32,
+    ) -> Self {
+        let info = analyze(def, &HashMap::new());
+        let first = def.accessors.first().map(|a| a.name.clone());
+        let (halo, unbounded) = match first.and_then(|n| info.inputs.get(&n).cloned()) {
+            None => ((0, 0), false),
+            Some(p) => match p.window() {
+                Some((w, h)) if !p.unbounded => (
+                    ((w / 2).max(declared_half.0), (h / 2).max(declared_half.1)),
+                    false,
+                ),
+                _ => (declared_half, true),
+            },
+        };
+        StageShape {
+            name: def.name.clone(),
+            accessor_count: def.accessors.len(),
+            boundary,
+            roi,
+            halo,
+            unbounded,
+            vectorize: vectorize.max(1),
+        }
+    }
+}
+
+/// Check a chain of stages (producer first) for fusion legality.
+///
+/// Returns one error-severity diagnostic per violated rule, in chain
+/// order; an empty result means the chain is legal to fuse. Chains
+/// shorter than two stages are trivially "legal" (there is nothing to
+/// fuse) and return no findings.
+pub fn check_fusion(stages: &[StageShape]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if stages.len() < 2 {
+        return diags;
+    }
+
+    for s in stages {
+        if s.accessor_count != 1 {
+            diags.push(Diagnostic::error(
+                "F0103",
+                s.name.clone(),
+                format!(
+                    "stage reads {} input accessors; only linear single-input chains fuse",
+                    s.accessor_count
+                ),
+            ));
+        }
+        if s.unbounded {
+            diags.push(Diagnostic::error(
+                "F0104",
+                s.name.clone(),
+                "stage's read window is not statically bounded",
+            ));
+        }
+        if s.vectorize > 1 {
+            diags.push(Diagnostic::error(
+                "F0104",
+                s.name.clone(),
+                format!(
+                    "stage is vectorized ({} pixels per work-item); fused kernels are scalar",
+                    s.vectorize
+                ),
+            ));
+        }
+    }
+
+    // Handoff boundary modes: stages after the first read a staged
+    // intermediate, not a real image. Point consumers (halo 0) never
+    // read off their own pixel, so the handoff mode is never exercised
+    // and any mode is legal.
+    for s in &stages[1..] {
+        if s.halo == (0, 0) {
+            continue;
+        }
+        match s.boundary {
+            BoundaryMode::Repeat => diags.push(Diagnostic::error(
+                "F0102",
+                s.name.clone(),
+                "Repeat boundary handling wraps across the image and escapes the staging tile",
+            )),
+            BoundaryMode::Undefined => diags.push(Diagnostic::error(
+                "F0102",
+                s.name.clone(),
+                "Undefined boundary handling leaves fused handoff values unspecified",
+            )),
+            BoundaryMode::Clamp | BoundaryMode::Mirror | BoundaryMode::Constant(_) => {}
+        }
+    }
+
+    // ROIs: identical across the chain, and no stencil consumer when the
+    // chain iterates a sub-rectangle.
+    let roi0 = stages[0].roi;
+    for s in &stages[1..] {
+        if s.roi != roi0 {
+            diags.push(Diagnostic::error(
+                "F0101",
+                s.name.clone(),
+                format!("stage ROI {:?} differs from the chain's {:?}", s.roi, roi0),
+            ));
+        }
+    }
+    if roi0.is_some() && diags.is_empty() {
+        for s in &stages[1..] {
+            if s.halo != (0, 0) {
+                diags.push(Diagnostic::error(
+                    "F0101",
+                    s.name.clone(),
+                    "stage has a stencil halo but the chain iterates a partial ROI; \
+                     the unfused producer computes nothing outside the ROI",
+                ));
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(name: &str, mode: BoundaryMode, halo: (u32, u32)) -> StageShape {
+        StageShape {
+            name: name.into(),
+            accessor_count: 1,
+            boundary: mode,
+            roi: None,
+            halo,
+            unbounded: false,
+            vectorize: 1,
+        }
+    }
+
+    #[test]
+    fn clean_chain_is_legal() {
+        let chain = [
+            shape("gauss", BoundaryMode::Undefined, (2, 2)), // first stage: any mode
+            shape("sobel", BoundaryMode::Clamp, (1, 1)),
+            shape("laplace", BoundaryMode::Mirror, (1, 1)),
+        ];
+        assert!(check_fusion(&chain).is_empty());
+    }
+
+    #[test]
+    fn repeat_and_undefined_handoffs_reject() {
+        for mode in [BoundaryMode::Repeat, BoundaryMode::Undefined] {
+            let chain = [
+                shape("a", BoundaryMode::Clamp, (1, 1)),
+                shape("b", mode, (1, 1)),
+            ];
+            let d = check_fusion(&chain);
+            assert_eq!(d.len(), 1, "{mode:?}");
+            assert_eq!(d[0].code, "F0102");
+        }
+    }
+
+    #[test]
+    fn point_consumers_fuse_under_any_handoff_mode() {
+        // A halo-0 consumer never reads off its own pixel, so even the
+        // modes that are illegal for stencil handoffs are fine.
+        for mode in [BoundaryMode::Repeat, BoundaryMode::Undefined] {
+            let chain = [
+                shape("a", BoundaryMode::Clamp, (2, 2)),
+                shape("pt", mode, (0, 0)),
+            ];
+            assert!(check_fusion(&chain).is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn roi_mismatch_rejects() {
+        let mut a = shape("a", BoundaryMode::Clamp, (1, 1));
+        let b = shape("b", BoundaryMode::Clamp, (1, 1));
+        a.roi = Some((0, 0, 64, 64));
+        let d = check_fusion(&[a, b]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "F0101");
+    }
+
+    #[test]
+    fn partial_roi_with_stencil_consumer_rejects() {
+        let mut a = shape("a", BoundaryMode::Clamp, (1, 1));
+        let mut b = shape("b", BoundaryMode::Clamp, (1, 1));
+        a.roi = Some((4, 4, 32, 32));
+        b.roi = Some((4, 4, 32, 32));
+        let d = check_fusion(&[a, b]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "F0101");
+
+        // …but a point consumer over the same ROI is fine.
+        let mut c = shape("c", BoundaryMode::Clamp, (0, 0));
+        c.roi = Some((4, 4, 32, 32));
+        let mut a2 = shape("a", BoundaryMode::Clamp, (1, 1));
+        a2.roi = Some((4, 4, 32, 32));
+        assert!(check_fusion(&[a2, c]).is_empty());
+    }
+
+    #[test]
+    fn non_linear_and_vectorized_reject() {
+        let mut a = shape("a", BoundaryMode::Clamp, (1, 1));
+        a.accessor_count = 2;
+        let d = check_fusion(&[a, shape("b", BoundaryMode::Clamp, (0, 0))]);
+        assert_eq!(d[0].code, "F0103");
+
+        let mut v = shape("v", BoundaryMode::Clamp, (1, 1));
+        v.vectorize = 4;
+        let d = check_fusion(&[shape("a", BoundaryMode::Clamp, (1, 1)), v]);
+        assert_eq!(d[0].code, "F0104");
+    }
+}

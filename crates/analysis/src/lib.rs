@@ -33,6 +33,7 @@
 pub mod bounds;
 pub mod dataflow;
 pub mod diag;
+pub mod fusion;
 pub mod interval;
 pub mod limits;
 pub mod races;

@@ -235,7 +235,9 @@ fn print_inject(seed: u64) {
 fn print_bench_json(path: &str) {
     use hipacc_bench::enginebench;
 
-    let bench = enginebench::run(enginebench::DEFAULT_SAMPLES).with_streaming();
+    let bench = enginebench::run(enginebench::DEFAULT_SAMPLES)
+        .with_streaming()
+        .with_fusion();
     print!("{}", bench.render_text());
     std::fs::write(path, bench.to_json()).expect("write bench json");
     println!("wrote engine bench report to {path}\n");

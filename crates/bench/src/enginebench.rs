@@ -97,6 +97,10 @@ pub struct EngineBench {
     /// sequential per-frame). Populated by [`EngineBench::with_streaming`];
     /// absent in the quick per-engine runs.
     pub streaming: Option<crate::streambench::StreamingBench>,
+    /// Fusion-throughput cell (fused vs unfused 3-stage chain).
+    /// Populated by [`EngineBench::with_fusion`]; absent in the quick
+    /// per-engine runs.
+    pub fusion: Option<crate::fusionbench::FusionBench>,
 }
 
 /// The benchmark cells: representative local operators from the paper's
@@ -197,6 +201,7 @@ pub fn run_at(samples: usize, opt_level: u8) -> EngineBench {
         opt_level,
         cells,
         streaming: None,
+        fusion: None,
     }
 }
 
@@ -210,6 +215,13 @@ impl EngineBench {
     /// (see [`crate::streambench`]).
     pub fn with_streaming(mut self) -> Self {
         self.streaming = Some(crate::streambench::run());
+        self
+    }
+
+    /// Run the fusion-throughput cell and attach it to the report (see
+    /// [`crate::fusionbench`]).
+    pub fn with_fusion(mut self) -> Self {
+        self.fusion = Some(crate::fusionbench::run());
         self
     }
 
@@ -240,6 +252,9 @@ impl EngineBench {
         if let Some(streaming) = &self.streaming {
             let _ = write!(out, ",\"streaming\":{}", streaming.to_json());
         }
+        if let Some(fusion) = &self.fusion {
+            let _ = write!(out, ",\"fusion\":{}", fusion.to_json());
+        }
         out.push('}');
         out
     }
@@ -269,6 +284,9 @@ impl EngineBench {
         }
         if let Some(streaming) = &self.streaming {
             out.push_str(&streaming.render_text());
+        }
+        if let Some(fusion) = &self.fusion {
+            out.push_str(&fusion.render_text());
         }
         out
     }
@@ -324,6 +342,18 @@ mod tests {
         let s = obj["streaming"].as_object().unwrap();
         assert!(s["speedup"].as_number().unwrap() > 0.0);
         assert!(bench.render_text().contains("streaming"));
+    }
+
+    #[test]
+    fn fusion_cell_attaches_to_the_json_report() {
+        let bench = run_at(1, 1).with_fusion();
+        let fusion = bench.fusion.as_ref().expect("cell attached");
+        assert!(fusion.bit_identical);
+        let doc = hipacc_profile::json::parse(&bench.to_json()).expect("valid JSON");
+        let obj = doc.as_object().unwrap();
+        let f = obj["fusion"].as_object().unwrap();
+        assert!(f["speedup"].as_number().unwrap() > 0.0);
+        assert!(bench.render_text().contains("fusing"));
     }
 
     #[test]

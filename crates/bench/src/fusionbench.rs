@@ -1,0 +1,241 @@
+//! Fusion-throughput benchmark: a streaming 3-stage operator chain with
+//! producer–consumer kernel fusion on, against the identical chain with
+//! fusion off.
+//!
+//! The chain is fusion's sweet spot — one stencil producer feeding point
+//! consumers (smooth → detail-attenuate → window/level, a typical
+//! pre-display pipeline): the point stages add **zero** cumulative halo,
+//! so the fused kernel does no redundant staging work and the two saved
+//! launches (with their per-launch supervision, spec building, and
+//! intermediate frame round trips) are pure profit.
+//!
+//! Before any timing, the fused outputs are asserted **bit-identical**
+//! per frame to the unfused run — a fused kernel that computes something
+//! else does not count.
+
+use hipacc_core::{Engine, Operator, Target};
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_filters::pyramid::attenuate_kernel;
+use hipacc_hwmodel::device::tesla_c2050;
+use hipacc_image::{phantom, BoundaryMode, Image};
+use hipacc_ir::{KernelBuilder, ScalarType};
+use hipacc_runtime::{Stream, StreamConfig};
+use std::fmt::Write as _;
+
+/// Square frame edge of the fusion cell. Small on purpose: fusion's
+/// advantage is per-launch overhead, which small frames expose.
+pub const SIZE: u32 = 16;
+
+/// Frames per timed run.
+pub const FRAMES: usize = 16;
+
+/// Worker threads of the shared pool.
+pub const WORKERS: usize = 4;
+
+/// The fusion cell of `BENCH_engine.json`.
+#[derive(Clone, Debug)]
+pub struct FusionBench {
+    /// Frame edge (frames are `size`×`size`).
+    pub size: u32,
+    /// Frames per run.
+    pub frames: usize,
+    /// Stage names of the unfused chain.
+    pub stages: Vec<String>,
+    /// Stage names after fusion planning (e.g. `gauss5+attenuate+window`).
+    pub fused_stages: Vec<String>,
+    /// Worker threads of the shared pool.
+    pub workers: usize,
+    /// Engine every launch ran on.
+    pub engine: &'static str,
+    /// Wall time of the unfused streaming run, in nanoseconds.
+    pub unfused_ns: f64,
+    /// Wall time of the fused streaming run, in nanoseconds.
+    pub fused_ns: f64,
+    /// Unfused frames per second.
+    pub unfused_fps: f64,
+    /// Fused frames per second.
+    pub fused_fps: f64,
+    /// `fused_fps / unfused_fps`.
+    pub speedup: f64,
+    /// Whether every fused frame matched the unfused run bit for bit
+    /// (asserted, so always `true` in a report that exists).
+    pub bit_identical: bool,
+}
+
+/// The frame sequence: a drifting vessel phantom.
+fn frames() -> Vec<Image<f32>> {
+    (0..FRAMES)
+        .map(|i| {
+            let mut img = phantom::vessel_tree(SIZE, SIZE, &phantom::VesselParams::default());
+            for (j, px) in img.raw_mut().iter_mut().enumerate() {
+                *px += ((i * 11 + j) % 17) as f32 * 1e-3;
+            }
+            img
+        })
+        .collect()
+}
+
+/// The window/level point operator of the pre-display step: a linear
+/// contrast mapping `(v - level) / window + 0.5`.
+fn window_level_kernel() -> hipacc_ir::KernelDef {
+    let mut b = KernelBuilder::new("WindowLevel", ScalarType::F32);
+    let input = b.accessor("Input", ScalarType::F32);
+    let window = b.param("window", ScalarType::F32);
+    let level = b.param("level", ScalarType::F32);
+    let v = b.let_("v", ScalarType::F32, b.read_center(&input));
+    b.output((v.get() - level.get()) / window.get() + hipacc_ir::Expr::float(0.5));
+    b.finish()
+}
+
+/// The representative 3-stage chain (smooth → detail-attenuate →
+/// window/level), with the fusion planner on or off.
+fn chain(name: &str, fuse: bool) -> Stream {
+    let m = BoundaryMode::Clamp;
+    Stream::new(name, Target::cuda(tesla_c2050()))
+        .stage("gauss5", gaussian_operator(5, 1.1, m))
+        .stage(
+            "attenuate",
+            Operator::new(attenuate_kernel()).param_float("threshold", 0.05),
+        )
+        .stage(
+            "window",
+            Operator::new(window_level_kernel())
+                .param_float("window", 0.8)
+                .param_float("level", 0.3),
+        )
+        .with_config(StreamConfig {
+            workers: Some(WORKERS),
+            engine: Some(Engine::Simd),
+            share_cache: true,
+            fuse,
+            ..StreamConfig::default()
+        })
+}
+
+/// Run the fusion cell: unfused streaming baseline, then the fused run,
+/// bit-identity asserted per frame before any number is reported.
+///
+/// Both pipelines are warmed with one frame first so every timed launch
+/// is a cache hit: the cell isolates the steady-state launch cost —
+/// fusion's actual claim — rather than one-off compile time, whose
+/// amortization is [`crate::streambench`]'s story.
+pub fn run() -> FusionBench {
+    let input = frames();
+
+    let unfused_stream = chain("unfused", false);
+    let fused_stream = chain("fused", true);
+    for s in [&unfused_stream, &fused_stream] {
+        s.run(input[..1].to_vec()).expect("warmup");
+    }
+
+    let unfused = unfused_stream.run(input.clone()).expect("unfused run");
+    assert_eq!(unfused.report.frames_out, FRAMES);
+
+    let fused = fused_stream.run(input).expect("fused run");
+    assert_eq!(fused.report.frames_out, FRAMES);
+    assert!(
+        fused.report.fusion.iter().any(|d| d.fused),
+        "the fusion planner must fuse the benchmark chain"
+    );
+
+    for (f, r) in fused.outputs.iter().zip(&unfused.outputs) {
+        assert_eq!(
+            f.image.max_abs_diff(&r.image),
+            0.0,
+            "frame {}: fused output diverged from the unfused chain",
+            f.seq
+        );
+    }
+
+    FusionBench {
+        size: SIZE,
+        frames: FRAMES,
+        stages: unfused.report.stages.clone(),
+        fused_stages: fused.report.stages.clone(),
+        workers: WORKERS,
+        engine: Engine::Simd.label(),
+        unfused_ns: (unfused.report.wall_us as f64) * 1e3,
+        fused_ns: (fused.report.wall_us as f64) * 1e3,
+        unfused_fps: unfused.report.frames_per_sec,
+        fused_fps: fused.report.frames_per_sec,
+        speedup: fused.report.frames_per_sec / unfused.report.frames_per_sec,
+        bit_identical: true,
+    }
+}
+
+impl FusionBench {
+    /// The `"fusion"` member of `BENCH_engine.json` (hand-rolled; every
+    /// emitted string is a known identifier).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self.stages.iter().map(|s| format!("\"{s}\"")).collect();
+        let fused: Vec<String> = self
+            .fused_stages
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect();
+        let mut out = String::from("{");
+        let _ = write!(out, "\"size\":{}", self.size);
+        let _ = write!(out, ",\"frames\":{}", self.frames);
+        let _ = write!(out, ",\"stages\":[{}]", stages.join(","));
+        let _ = write!(out, ",\"fused_stages\":[{}]", fused.join(","));
+        let _ = write!(out, ",\"workers\":{}", self.workers);
+        let _ = write!(out, ",\"engine\":\"{}\"", self.engine);
+        let _ = write!(out, ",\"unfused_ns\":{:.1}", self.unfused_ns);
+        let _ = write!(out, ",\"fused_ns\":{:.1}", self.fused_ns);
+        let _ = write!(out, ",\"unfused_fps\":{:.2}", self.unfused_fps);
+        let _ = write!(out, ",\"fused_fps\":{:.2}", self.fused_fps);
+        let _ = write!(out, ",\"speedup\":{:.3}", self.speedup);
+        let _ = write!(out, ",\"bit_identical\":{}", self.bit_identical);
+        out.push('}');
+        out
+    }
+
+    /// Human-readable one-cell summary.
+    pub fn render_text(&self) -> String {
+        format!(
+            "fusing [{0}] into [{1}] over {2} frames {3}x{3} ({4}):\n  \
+             unfused {5:.3} ms ({6:.1} frames/s), fused {7:.3} ms ({8:.1} frames/s), \
+             speedup {9:.2}x\n",
+            self.stages.join(" -> "),
+            self.fused_stages.join(", "),
+            self.frames,
+            self.size,
+            self.engine,
+            self.unfused_ns / 1e6,
+            self.unfused_fps,
+            self.fused_ns / 1e6,
+            self.fused_fps,
+            self.speedup,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusion_cell_reports_and_round_trips() {
+        let cell = run();
+        assert!(cell.bit_identical);
+        assert_eq!(cell.frames, FRAMES);
+        assert_eq!(cell.stages.len(), 3);
+        assert_eq!(cell.fused_stages, vec!["gauss5+attenuate+window"]);
+        assert!(cell.speedup > 0.0);
+
+        let doc = hipacc_profile::json::parse(&cell.to_json()).expect("valid JSON");
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj["frames"].as_number(), Some(FRAMES as f64));
+        assert_eq!(obj["fused_stages"].as_array().unwrap().len(), 1);
+        assert!(obj["speedup"].as_number().unwrap() > 0.0);
+        assert!(matches!(
+            obj["bit_identical"],
+            hipacc_profile::json::Value::Bool(true)
+        ));
+
+        let text = cell.render_text();
+        assert!(text.contains("speedup"), "{text}");
+        assert!(text.contains("gauss5 -> attenuate -> window"), "{text}");
+        assert!(text.contains("gauss5+attenuate+window"), "{text}");
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`enginebench`] — per-engine frame times (tree-walk, bytecode,
 //!   simd) with the `BENCH_engine.json` export the CI bench-smoke job
 //!   gates on.
+//! * [`fusionbench`] — fused vs unfused streaming throughput of the
+//!   3-stage chain, the cell the CI fusion-smoke job gates on.
 //!
 //! The `reproduce` binary drives everything:
 //! `cargo run -p hipacc-bench --bin reproduce -- --all`.
@@ -28,6 +30,7 @@ pub mod ablation;
 pub mod cells;
 pub mod enginebench;
 pub mod figures;
+pub mod fusionbench;
 pub mod paper;
 pub mod render;
 pub mod streambench;

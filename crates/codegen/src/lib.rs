@@ -34,6 +34,7 @@ pub mod compile;
 pub mod cuda;
 pub mod fallback;
 pub mod funcmap;
+pub mod fuse;
 pub mod host;
 pub mod index;
 pub mod lint;

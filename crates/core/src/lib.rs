@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod convolve;
 pub mod errors;
+pub mod fusion;
 pub mod operator;
 pub mod pipeline;
 pub mod profile;
@@ -43,6 +44,7 @@ pub mod target;
 
 pub use cache::{CacheReport, KernelCache};
 pub use errors::{diagnostic_registry, error_chain, explain, CodeInfo, FailureClass};
+pub use fusion::{check_chain, fuse_operators, FusionError};
 pub use hipacc_faults::{FaultPlan, FaultSession};
 pub use hipacc_sim::Engine;
 pub use operator::{Execution, Operator, OperatorError, PipelineOptions};

@@ -69,6 +69,12 @@ pub struct PipelineOptions {
     /// one set of persistent threads. Outputs are bit-identical either
     /// way.
     pub pool: Option<std::sync::Arc<hipacc_sim::WorkerPool>>,
+    /// When set, this operator is a fused chain: compilation goes through
+    /// [`Compiler::compile_fused`] with this chain instead of lowering
+    /// [`Operator::def`] directly. Built by [`crate::fusion::fuse_operators`];
+    /// `def` then holds the chain's union kernel, which launches and cache
+    /// fingerprints are keyed against.
+    pub fused: Option<std::sync::Arc<hipacc_ir::fuse::FusionChain>>,
 }
 
 impl Default for PipelineOptions {
@@ -89,6 +95,7 @@ impl Default for PipelineOptions {
             engine: None,
             cache: None,
             pool: None,
+            fused: None,
         }
     }
 }
@@ -276,7 +283,11 @@ impl Operator {
         width: u32,
         height: u32,
     ) -> Result<CompiledKernel, OperatorError> {
-        Ok(Compiler::new().compile(&self.def, &self.compile_spec(target, width, height))?)
+        let spec = self.compile_spec(target, width, height);
+        Ok(match &self.options.fused {
+            Some(chain) => Compiler::new().compile_fused(chain, &spec)?,
+            None => Compiler::new().compile(&self.def, &spec)?,
+        })
     }
 
     /// Estimate the execution time of a compiled kernel on a target.
@@ -302,9 +313,11 @@ impl Operator {
         rec: Option<&mut hipacc_profile::Recorder>,
     ) -> Result<(CompiledKernel, Option<crate::cache::CacheReport>), OperatorError> {
         let spec = self.compile_spec(target, width, height);
-        let fresh = |rec: Option<&mut hipacc_profile::Recorder>| match rec {
-            Some(r) => Compiler::new().compile_with_sink(&self.def, &spec, r),
-            None => Compiler::new().compile(&self.def, &spec),
+        let fresh = |rec: Option<&mut hipacc_profile::Recorder>| match (&self.options.fused, rec) {
+            (Some(chain), Some(r)) => Compiler::new().compile_fused_with_sink(chain, &spec, r),
+            (Some(chain), None) => Compiler::new().compile_fused(chain, &spec),
+            (None, Some(r)) => Compiler::new().compile_with_sink(&self.def, &spec, r),
+            (None, None) => Compiler::new().compile(&self.def, &spec),
         };
         let Some(cache) = &self.options.cache else {
             return Ok((fresh(rec)?, None));

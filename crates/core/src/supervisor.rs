@@ -449,7 +449,10 @@ pub fn supervise(
         }
         let compiled: CompiledKernel = match from_cache {
             Some(c) => c,
-            None => match Compiler::new().compile_with_sink(&op.def, &spec_c, &mut rec) {
+            None => match match &op.options.fused {
+                Some(chain) => Compiler::new().compile_fused_with_sink(chain, &spec_c, &mut rec),
+                None => Compiler::new().compile_with_sink(&op.def, &spec_c, &mut rec),
+            } {
                 Ok(c) => {
                     if let (Some(cache), Some(key)) = (op.options.cache.as_deref(), cache_key) {
                         cache.insert(key, c.clone());

@@ -35,6 +35,7 @@ pub mod cfg;
 pub mod display;
 pub mod expr;
 pub mod fold;
+pub mod fuse;
 pub mod kernel;
 pub mod metrics;
 pub mod opt;
@@ -45,6 +46,7 @@ pub mod unroll;
 
 pub use builder::KernelBuilder;
 pub use expr::{BinOp, Builtin, Expr, MathFn, TexCoords, UnOp};
+pub use fuse::{FuseError, FusedStage, FusionChain};
 pub use kernel::{AccessorDecl, KernelDef, MaskDecl, ParamDecl};
 pub use stmt::{LValue, Stmt};
 pub use ty::{Const, ScalarType};

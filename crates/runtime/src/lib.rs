@@ -57,7 +57,9 @@ pub use governor::{
     parse_variant, variant_label, BreakerState, BreakerTransition, FrameOutcome, Governor,
     PinnedRung,
 };
-pub use metrics::{percentile_us, ActionTotals, FrameFailure, FrameShed, StreamReport};
+pub use metrics::{
+    percentile_us, ActionTotals, FrameFailure, FrameShed, FusionDecision, StreamReport,
+};
 pub use queue::{Closed, FrameQueue};
 pub use replay::{drifting_frame, replay, PinSpec, ReplayBundle, TrailEntry};
 pub use stream::{

@@ -38,6 +38,22 @@ pub struct FrameShed {
     pub code: String,
 }
 
+/// One fusion decision the stream planner took before the run: either a
+/// group of adjacent stages now running as one fused launch, or a pair
+/// that stayed separate with the typed `F01xx` reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusionDecision {
+    /// The stage names involved, in chain order.
+    pub stages: Vec<String>,
+    /// Whether the group runs as one fused kernel.
+    pub fused: bool,
+    /// The `F01xx` diagnostic when not fused (`F0105` when the fused
+    /// compile overflowed device resources and fell back per-stage).
+    pub code: Option<String>,
+    /// Human-readable reason.
+    pub detail: String,
+}
+
 /// Totals of every supervisor [`RecoveryAction`] across all frame×stage
 /// launches of a run, summed from the per-rung outcome counters
 /// ([`hipacc_core::RungOutcome`]) so the stream report and the
@@ -75,8 +91,11 @@ impl ActionTotals {
 pub struct StreamReport {
     /// Stream name (also the trace lane's label).
     pub stream: String,
-    /// Stage names, in chain order.
+    /// Stage names, in chain order (fused groups appear as one
+    /// `a+b`-style entry).
     pub stages: Vec<String>,
+    /// Fusion planning decisions (empty when fusion is off).
+    pub fusion: Vec<FusionDecision>,
     /// The engine every launch ran on.
     pub engine: String,
     /// Worker threads in the shared pool.
@@ -189,6 +208,19 @@ impl StreamReport {
         if self.recovered_frames > 0 {
             let _ = writeln!(out, "  recovered frames: {}", self.recovered_frames);
         }
+        for d in &self.fusion {
+            if d.fused {
+                let _ = writeln!(out, "  fused [{}]", d.stages.join(" + "));
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  not fused [{}] [{}]: {}",
+                    d.stages.join(" | "),
+                    d.code.as_deref().unwrap_or("-"),
+                    d.detail
+                );
+            }
+        }
         for t in &self.breaker_transitions {
             let _ = writeln!(out, "  {t}");
         }
@@ -260,6 +292,28 @@ impl StreamReport {
             .collect();
         let _ = write!(out, ",\"shed\":[{}]", shed.join(","));
         let _ = write!(out, ",\"recovered_frames\":{}", self.recovered_frames);
+        let fusion: Vec<String> = self
+            .fusion
+            .iter()
+            .map(|d| {
+                let stages: Vec<String> = d
+                    .stages
+                    .iter()
+                    .map(|s| format!("\"{}\"", json::escape(s)))
+                    .collect();
+                format!(
+                    "{{\"stages\":[{}],\"fused\":{},\"code\":{},\"detail\":\"{}\"}}",
+                    stages.join(","),
+                    d.fused,
+                    d.code
+                        .as_deref()
+                        .map(|c| format!("\"{}\"", json::escape(c)))
+                        .unwrap_or_else(|| "null".into()),
+                    json::escape(&d.detail)
+                )
+            })
+            .collect();
+        let _ = write!(out, ",\"fusion\":[{}]", fusion.join(","));
         let a = &self.actions;
         let _ = write!(
             out,
@@ -318,6 +372,20 @@ mod tests {
         StreamReport {
             stream: "angio".into(),
             stages: vec!["gauss".into(), "sobel".into()],
+            fusion: vec![
+                FusionDecision {
+                    stages: vec!["gauss".into(), "sobel".into()],
+                    fused: true,
+                    code: None,
+                    detail: "2 stage(s) fused".into(),
+                },
+                FusionDecision {
+                    stages: vec!["sobel".into(), "median".into()],
+                    fused: false,
+                    code: Some("F0102".into()),
+                    detail: "F0102: repeat handoff".into(),
+                },
+            ],
             engine: "bytecode".into(),
             workers: 4,
             queue_capacity: 4,
@@ -408,6 +476,14 @@ mod tests {
         assert_eq!(t["to"].as_str(), Some("open"));
         assert!(t["detail"].as_str().unwrap().contains("R0606"));
         assert!(obj["replay"].as_array().unwrap().is_empty());
+        let fusion = obj["fusion"].as_array().unwrap();
+        assert_eq!(fusion.len(), 2);
+        let d0 = fusion[0].as_object().unwrap();
+        assert_eq!(d0["fused"], json::Value::Bool(true));
+        assert_eq!(d0["code"], json::Value::Null);
+        let d1 = fusion[1].as_object().unwrap();
+        assert_eq!(d1["fused"], json::Value::Bool(false));
+        assert_eq!(d1["code"].as_str(), Some("F0102"));
     }
 
     #[test]
@@ -429,6 +505,8 @@ mod tests {
             "shed frame 0 [R0604]",
             "override conflict",
             "recovered frames: 2",
+            "fused [gauss + sobel]",
+            "not fused [sobel | median] [F0102]",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -42,9 +42,13 @@
 //! sequential reference never sheds.)
 
 use crate::governor::{variant_label, FrameOutcome, Governor, PinnedRung};
-use crate::metrics::{percentile_us, ActionTotals, FrameFailure, FrameShed, StreamReport};
+use crate::metrics::{
+    percentile_us, ActionTotals, FrameFailure, FrameShed, FusionDecision, StreamReport,
+};
 use crate::queue::FrameQueue;
 use crate::replay::{PinSpec, ReplayBundle, TrailEntry};
+use hipacc_core::fusion::{check_chain, fuse_operators};
+use hipacc_core::operator::OperatorError;
 use hipacc_core::supervisor::SupervisorConfig;
 use hipacc_core::{Engine, FaultPlan, KernelCache, Operator, Target};
 use hipacc_image::Image;
@@ -222,6 +226,15 @@ pub struct StreamConfig {
     /// (`R0604`). `None` = never shed, block forever (the default, and
     /// the only mode [`Stream::run_sequential`] has).
     pub shed_after_us: Option<u64>,
+    /// Greedily fuse maximal runs of adjacent stages into single
+    /// producer–consumer kernels before the run starts (default
+    /// `false`). Outputs are bit-identical either way; groups that are
+    /// illegal to fuse (`F0101`–`F0104`) or whose fused kernel
+    /// overflows device resources (`F0105`) fall back per-stage, with
+    /// each decision recorded in [`StreamReport::fusion`]. Applies to
+    /// [`Stream::run`] and [`Stream::run_sequential`] alike, so the
+    /// sequential reference stays bit-identical under the same config.
+    pub fuse: bool,
 }
 
 impl Default for StreamConfig {
@@ -240,6 +253,7 @@ impl Default for StreamConfig {
             probe_after: DEFAULT_PROBE_AFTER,
             close_after: DEFAULT_CLOSE_AFTER,
             shed_after_us: None,
+            fuse: false,
         }
     }
 }
@@ -530,6 +544,109 @@ impl Stream {
     /// Stage names in chain order.
     pub fn stage_names(&self) -> Vec<String> {
         self.stages.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// The fusion planner: greedily grow maximal runs of adjacent
+    /// fusable stages and replace each run with one fused stage (named
+    /// `a+b+...`). A candidate fused kernel is pre-flight compiled at
+    /// `probe` geometry; if it overflows device resources the group
+    /// falls back per-stage with an `F0105` decision. With `fuse` off
+    /// (the default) the chain is returned untouched.
+    fn plan_stages(&self, probe: Option<(u32, u32)>) -> (Vec<Stage>, Vec<FusionDecision>) {
+        if !self.config.fuse || self.stages.len() < 2 {
+            return (self.stages.clone(), Vec::new());
+        }
+        let mut planned = Vec::new();
+        let mut decisions = Vec::new();
+        let mut i = 0;
+        while i < self.stages.len() {
+            // Grow [i, j): the longest legal group starting at stage i.
+            let mut j = i + 1;
+            while j < self.stages.len() {
+                let next = &self.stages[j];
+                // The handoff must be the consumed buffer: a stage
+                // whose frame binds to anything but its single
+                // accessor cannot take the producer's output in-kernel.
+                let binding_ok =
+                    next.op.def.accessors.len() == 1 && next.input == next.op.def.accessors[0].name;
+                if !binding_ok {
+                    decisions.push(FusionDecision {
+                        stages: vec![self.stages[j - 1].name.clone(), next.name.clone()],
+                        fused: false,
+                        code: Some("F0103".into()),
+                        detail: format!(
+                            "stage `{}` binds `{}`, not its single accessor",
+                            next.name, next.input
+                        ),
+                    });
+                    break;
+                }
+                let ops: Vec<&Operator> = self.stages[i..=j].iter().map(|s| &s.op).collect();
+                let diags = check_chain(&ops);
+                if !diags.is_empty() {
+                    decisions.push(FusionDecision {
+                        stages: vec![self.stages[j - 1].name.clone(), next.name.clone()],
+                        fused: false,
+                        code: diags.first().map(|d| d.code.to_string()),
+                        detail: diags
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    });
+                    break;
+                }
+                j += 1;
+            }
+            if j - i >= 2 {
+                let group = &self.stages[i..j];
+                let names: Vec<String> = group.iter().map(|s| s.name.clone()).collect();
+                let ops: Vec<&Operator> = group.iter().map(|s| &s.op).collect();
+                // check_chain passed for the whole run, so this is
+                // structural bookkeeping, not a legality question.
+                let fused_op = fuse_operators(&ops).expect("checked chain must compose");
+                // Pre-flight resource probe at the run's frame
+                // geometry: a fused kernel whose merged halo overflows
+                // shared memory on this device falls back per-stage.
+                let overflow =
+                    probe.and_then(|(w, h)| match fused_op.compile(&self.target, w, h) {
+                        Err(OperatorError::Compile(e)) if e.is_resource_limit() => {
+                            Some(e.to_string())
+                        }
+                        _ => None,
+                    });
+                match overflow {
+                    Some(why) => {
+                        decisions.push(FusionDecision {
+                            stages: names,
+                            fused: false,
+                            code: Some("F0105".into()),
+                            detail: format!(
+                                "fused compile exceeded device resources, running per-stage: {why}"
+                            ),
+                        });
+                        planned.extend(group.iter().cloned());
+                    }
+                    None => {
+                        decisions.push(FusionDecision {
+                            stages: names.clone(),
+                            fused: true,
+                            code: None,
+                            detail: format!("{} stage(s) fused", names.len()),
+                        });
+                        planned.push(Stage {
+                            name: names.join("+"),
+                            input: group[0].input.clone(),
+                            op: fused_op,
+                        });
+                    }
+                }
+            } else {
+                planned.push(self.stages[i].clone());
+            }
+            i = j;
+        }
+        (planned, decisions)
     }
 
     /// Mark the frame failed with a typed diagnostic and record its
@@ -881,7 +998,9 @@ impl Stream {
         self.config.validate()?;
         let engine = resolve_engine(self.config.engine)?;
         assert!(!self.stages.is_empty(), "stream has no stages");
-        let n_stages = self.stages.len();
+        let probe = frames.first().map(|f| (f.width(), f.height()));
+        let (stages, fusion) = self.plan_stages(probe);
+        let n_stages = stages.len();
         let cap = self.config.resolve_queue_capacity()?;
         let workers = self.config.resolve_workers()?;
         // A shared pool's real size wins over the config: the virtual
@@ -935,7 +1054,7 @@ impl Stream {
                 queues[0].close();
                 shed
             });
-            for (idx, stage) in self.stages.iter().enumerate() {
+            for (idx, stage) in stages.iter().enumerate() {
                 let (pool, cache, gov, budgets) = (&pool, &cache, &gov, &budgets);
                 scope.spawn(move || {
                     // The stage's column of the stream-clock rectangle
@@ -981,6 +1100,8 @@ impl Stream {
             (hits0, misses0),
             shed_seqs,
             gov.transitions(),
+            stages.iter().map(|s| s.name.clone()).collect(),
+            fusion,
             collected,
         ))
     }
@@ -996,7 +1117,9 @@ impl Stream {
         self.config.validate()?;
         let engine = resolve_engine(self.config.engine)?;
         assert!(!self.stages.is_empty(), "stream has no stages");
-        let n_stages = self.stages.len();
+        let probe = frames.first().map(|f| (f.width(), f.height()));
+        let (stages, fusion) = self.plan_stages(probe);
+        let n_stages = stages.len();
         let workers = self.config.resolve_workers()?;
         let pool = self
             .pool
@@ -1025,7 +1148,7 @@ impl Stream {
         let mut collected: Vec<InFlight> = Vec::with_capacity(frames_in);
         for (seq, image) in frames.into_iter().enumerate() {
             let mut frame = InFlight::new(seq as u64, image);
-            for (idx, stage) in self.stages.iter().enumerate() {
+            for (idx, stage) in stages.iter().enumerate() {
                 if frame.failed.is_some() {
                     break;
                 }
@@ -1055,6 +1178,8 @@ impl Stream {
             (hits0, misses0),
             Vec::new(),
             gov.transitions(),
+            stages.iter().map(|s| s.name.clone()).collect(),
+            fusion,
             collected,
         ))
     }
@@ -1072,6 +1197,8 @@ impl Stream {
         counters_before: (u64, u64),
         mut shed_seqs: Vec<u64>,
         breaker_transitions: Vec<crate::governor::BreakerTransition>,
+        stage_names: Vec<String>,
+        fusion: Vec<FusionDecision>,
         mut collected: Vec<InFlight>,
     ) -> StreamRun {
         collected.sort_by_key(|f| f.seq);
@@ -1125,7 +1252,8 @@ impl Stream {
         let traffic = hits + misses;
         let report = StreamReport {
             stream: self.name.clone(),
-            stages: self.stage_names(),
+            stages: stage_names,
+            fusion,
             engine: engine.label().to_string(),
             workers,
             queue_capacity,

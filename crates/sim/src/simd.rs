@@ -120,15 +120,29 @@ impl SimdScratch {
 ///
 /// The only structural limit is shared memory: deferring a lane's tile
 /// writes to the end of the phase is invisible exactly when no phase both
-/// loads and stores the same-block tile. The tiling codegen always emits
+/// loads and stores the *same* tile. Arrays a phase only stores commit in
+/// lane order per warp, reproducing the scalar engine's thread-major
+/// final state; arrays a phase only loads are immutable for the whole
+/// phase. The check is therefore per shared array, not per phase: fused
+/// chains whose middle stages read the previous stage's tile while
+/// filling their own stay on the vector path. Single-stage tiling emits
 /// a store-only fill phase, a barrier, then load-only compute phases, so
-/// shipped kernels pass; a hand-built tape that mixes them falls back to
-/// the scalar engine for every block.
+/// shipped kernels pass either way; a hand-built tape that loads and
+/// stores one tile in the same phase falls back to the scalar engine for
+/// every block.
 pub(crate) fn plan_supported(prog: &CompiledKernel) -> bool {
     prog.phases.iter().all(|tape| {
-        let loads = tape.iter().any(|i| matches!(i, Inst::SLoad { .. }));
-        let stores = tape.iter().any(|i| matches!(i, Inst::SStore { .. }));
-        !(loads && stores)
+        let n = prog.shared.len();
+        let mut loaded = vec![false; n];
+        let mut stored = vec![false; n];
+        for inst in tape.iter() {
+            match inst {
+                Inst::SLoad { sb, .. } => loaded[*sb as usize] = true,
+                Inst::SStore { sb, .. } => stored[*sb as usize] = true,
+                _ => {}
+            }
+        }
+        (0..n).all(|i| !(loaded[i] && stored[i]))
     })
 }
 

@@ -1,0 +1,371 @@
+//! Acceptance tests for producer–consumer kernel fusion.
+//!
+//! The contract under test:
+//!
+//! * **Bit-identity** — a fused operator chain produces outputs
+//!   bit-identical to the unfused chain, on all three engines, for
+//!   every legal handoff boundary mode, including frames small enough
+//!   that every pixel is border territory, and under fault injection
+//!   and breaker pinning;
+//! * **Typed fallback** — chains that are illegal to fuse
+//!   (`F0101`–`F0104`) or whose fused kernel overflows device
+//!   resources (`F0105`) run per-stage, with the decision recorded in
+//!   the stream report;
+//! * **Cache amortization** — the fused kernel is fingerprinted into
+//!   the shared cache like any other: one miss, then steady-state hits.
+
+use hipacc_core::fusion::fuse_operators;
+use hipacc_core::supervisor::SupervisorConfig;
+use hipacc_core::{Engine, FaultPlan, Target};
+use hipacc_filters::gaussian::gaussian_operator;
+use hipacc_filters::laplacian::laplacian_operator;
+use hipacc_filters::sobel::sobel_operator;
+use hipacc_hwmodel::device;
+use hipacc_image::{phantom, BoundaryMode, Image};
+use hipacc_runtime::{Stream, StreamConfig};
+use std::collections::HashMap;
+
+/// A short sequence of distinct frames (a drifting vessel phantom).
+fn frame_sequence(n: usize, w: u32, h: u32) -> Vec<Image<f32>> {
+    (0..n)
+        .map(|i| {
+            let mut img = phantom::vessel_tree(w, h, &phantom::VesselParams::default());
+            for (j, px) in img.raw_mut().iter_mut().enumerate() {
+                *px += ((i * 7 + j) % 13) as f32 * 1e-3;
+            }
+            img
+        })
+        .collect()
+}
+
+/// The representative 3-stage chain: smooth, edge, sharpen.
+fn three_stage_stream(name: &str, fuse: bool, config: StreamConfig) -> Stream {
+    let m = BoundaryMode::Clamp;
+    Stream::new(name, Target::cuda(device::tesla_c2050()))
+        .stage("gauss5", gaussian_operator(5, 1.1, m))
+        .stage("sobel", sobel_operator(true, m))
+        .stage("laplace", laplacian_operator(m))
+        .with_config(StreamConfig { fuse, ..config })
+}
+
+fn assert_outputs_identical(
+    a: &hipacc_runtime::stream::StreamRun,
+    b: &hipacc_runtime::stream::StreamRun,
+    what: &str,
+) {
+    assert_eq!(a.outputs.len(), b.outputs.len(), "{what}: output counts");
+    for (x, y) in a.outputs.iter().zip(&b.outputs) {
+        assert_eq!(x.seq, y.seq, "{what}: sequence order");
+        assert_eq!(
+            x.image.max_abs_diff(&y.image),
+            0.0,
+            "{what}: frame {} diverged",
+            x.seq
+        );
+    }
+}
+
+/// The fused stream is bit-identical to the unfused stream on every
+/// engine, and the planner records one fused group covering the chain.
+#[test]
+fn fused_stream_matches_unfused_bit_for_bit_on_all_engines() {
+    for engine in [Engine::TreeWalk, Engine::Bytecode, Engine::Simd] {
+        let config = StreamConfig {
+            workers: Some(3),
+            engine: Some(engine),
+            ..StreamConfig::default()
+        };
+        let frames = frame_sequence(5, 16, 16);
+        let fused = three_stage_stream("fused", true, config.clone())
+            .run(frames.clone())
+            .unwrap();
+        let plain = three_stage_stream("plain", false, config)
+            .run(frames)
+            .unwrap();
+
+        assert_eq!(fused.report.frames_out, 5, "{}", engine.label());
+        assert_eq!(fused.report.stages, vec!["gauss5+sobel+laplace"]);
+        assert_eq!(fused.report.fusion.len(), 1);
+        assert!(fused.report.fusion[0].fused);
+        assert_eq!(
+            fused.report.fusion[0].stages,
+            vec!["gauss5", "sobel", "laplace"]
+        );
+        assert!(plain.report.fusion.is_empty(), "fusion off records nothing");
+        assert_outputs_identical(&fused, &plain, engine.label());
+    }
+}
+
+/// Operator-level differential: every legal handoff mode, on both
+/// backends, including a frame small enough that the fused halo covers
+/// every pixel.
+#[test]
+fn fused_operator_matches_sequential_for_every_legal_handoff() {
+    for mode in [
+        BoundaryMode::Clamp,
+        BoundaryMode::Mirror,
+        BoundaryMode::Constant(0.25),
+    ] {
+        for (w, h) in [(9, 7), (16, 16), (40, 33)] {
+            for target in [
+                Target::cuda(device::tesla_c2050()),
+                Target::opencl(device::radeon_hd_5870()),
+            ] {
+                let a = gaussian_operator(5, 1.1, BoundaryMode::Clamp);
+                let b = sobel_operator(true, mode);
+                let c = laplacian_operator(mode);
+                let fused = fuse_operators(&[&a, &b, &c]).unwrap();
+                let img = phantom::vessel_tree(w, h, &phantom::VesselParams::default());
+                let mut cur = img.clone();
+                for op in [&a, &b, &c] {
+                    cur = op.execute(&[("Input", &cur)], &target).unwrap().output;
+                }
+                let got = fused.execute(&[("Input", &img)], &target).unwrap().output;
+                assert_eq!(
+                    got.max_abs_diff(&cur),
+                    0.0,
+                    "{mode:?} {w}x{h} {:?} diverged",
+                    target.backend
+                );
+            }
+        }
+    }
+}
+
+/// A `Repeat` handoff is illegal in-kernel (the producer tile cannot
+/// cover wrap-around reads): the chain splits at that edge, the typed
+/// `F0102` decision is recorded, and outputs still match the unfused
+/// reference exactly.
+#[test]
+fn illegal_handoff_splits_the_chain_with_a_typed_decision() {
+    let config = StreamConfig {
+        workers: Some(2),
+        engine: Some(Engine::Bytecode),
+        ..StreamConfig::default()
+    };
+    let build = |name: &str, fuse: bool| {
+        let m = BoundaryMode::Clamp;
+        Stream::new(name, Target::cuda(device::tesla_c2050()))
+            .stage("gauss5", gaussian_operator(5, 1.1, m))
+            .stage("sobel", sobel_operator(true, m))
+            .stage("laplace", laplacian_operator(BoundaryMode::Repeat))
+            .with_config(StreamConfig {
+                fuse,
+                ..config.clone()
+            })
+    };
+    let frames = frame_sequence(4, 16, 16);
+    let fused = build("split", true).run(frames.clone()).unwrap();
+    let plain = build("plain", false).run(frames).unwrap();
+
+    // gauss5+sobel fuse; laplace stays separate behind its Repeat reads.
+    assert_eq!(fused.report.stages, vec!["gauss5+sobel", "laplace"]);
+    let reject = fused
+        .report
+        .fusion
+        .iter()
+        .find(|d| !d.fused)
+        .expect("a rejected pair is recorded");
+    assert_eq!(reject.code.as_deref(), Some("F0102"));
+    assert_eq!(reject.stages, vec!["sobel", "laplace"]);
+    assert!(fused.report.fusion.iter().any(|d| d.fused));
+    assert_outputs_identical(&fused, &plain, "split chain");
+}
+
+/// A fused kernel whose merged halo overflows the device's shared
+/// memory falls back per-stage with an `F0105` decision — and still
+/// produces the unfused chain's exact outputs.
+#[test]
+fn resource_overflow_falls_back_per_stage_with_f0105() {
+    // Three 27x27 Gaussians: 13-pixel halo per stage, so the first
+    // tile carries a 52-pixel cumulative halo — no configuration fits
+    // the Quadro FX 5800's 16 KiB of shared memory.
+    let build = |name: &str, fuse: bool| {
+        let m = BoundaryMode::Clamp;
+        Stream::new(name, Target::cuda(device::quadro_fx_5800()))
+            .stage("wide_a", gaussian_operator(27, 4.5, m))
+            .stage("wide_b", gaussian_operator(27, 4.5, m))
+            .stage("wide_c", gaussian_operator(27, 4.5, m))
+            .with_config(StreamConfig {
+                fuse,
+                workers: Some(2),
+                engine: Some(Engine::Bytecode),
+                ..StreamConfig::default()
+            })
+    };
+    let frames = frame_sequence(1, 16, 16);
+    let fused = build("overflow", true).run(frames.clone()).unwrap();
+    let plain = build("plain", false).run(frames).unwrap();
+
+    assert_eq!(
+        fused.report.stages,
+        vec!["wide_a", "wide_b", "wide_c"],
+        "the chain must run per-stage"
+    );
+    let d = fused
+        .report
+        .fusion
+        .iter()
+        .find(|d| d.code.as_deref() == Some("F0105"))
+        .expect("the overflow decision is recorded");
+    assert!(!d.fused);
+    assert_eq!(fused.report.frames_out, 1);
+    assert_outputs_identical(&fused, &plain, "resource fallback");
+}
+
+/// Fault injection on a fused chain: a hang recovered by a deadline
+/// retry leaves the outputs bit-identical to the clean unfused chain,
+/// and the pipelined run agrees with its own sequential reference.
+#[test]
+fn fused_chain_recovers_faults_bit_identically() {
+    let mut faults = HashMap::new();
+    faults.insert(2u64, FaultPlan::hang_block(44, (0, 1), 10_000));
+    let config = StreamConfig {
+        workers: Some(2),
+        engine: Some(Engine::Bytecode),
+        faults,
+        ..StreamConfig::default()
+    };
+    let frames = frame_sequence(5, 48, 40);
+    let fused = three_stage_stream("faulty", true, config.clone())
+        .run(frames.clone())
+        .unwrap();
+    let fused_seq = three_stage_stream("faulty-seq", true, config)
+        .run_sequential(frames.clone())
+        .unwrap();
+    let clean = three_stage_stream(
+        "clean",
+        false,
+        StreamConfig {
+            workers: Some(2),
+            engine: Some(Engine::Bytecode),
+            ..StreamConfig::default()
+        },
+    )
+    .run(frames)
+    .unwrap();
+
+    assert_eq!(fused.report.frames_out, 5, "no frame may be lost");
+    assert!(fused.report.failed.is_empty());
+    assert_outputs_identical(&fused, &fused_seq, "fused vs sequential");
+    assert_outputs_identical(&fused, &clean, "fused+faults vs clean unfused");
+}
+
+/// Breaker pinning on the fused stage: repeated degraded frames open
+/// the breaker and pin the proven rung onto the fused kernel — pinned
+/// launches recompile with the forced configuration and stay
+/// bit-identical to the clean unfused chain.
+#[test]
+fn breaker_pinning_on_fused_stage_stays_bit_identical() {
+    let faults: HashMap<u64, FaultPlan> = (0..3)
+        .map(|seq| {
+            (
+                seq,
+                FaultPlan {
+                    seed: 100 + seq,
+                    hang_rate: 1.0,
+                    deadline_us: Some(2_000),
+                    faulty_attempts: 3,
+                    ..FaultPlan::default()
+                },
+            )
+        })
+        .collect();
+    let config = StreamConfig {
+        workers: Some(2),
+        engine: Some(Engine::Bytecode),
+        supervisor: SupervisorConfig {
+            max_attempts: 3,
+            ..SupervisorConfig::default()
+        },
+        faults,
+        breaker_threshold: Some(3),
+        probe_after: 4,
+        close_after: 2,
+        ..StreamConfig::default()
+    };
+    let frames = frame_sequence(8, 16, 16);
+    let fused = three_stage_stream("pinned", true, config.clone())
+        .run(frames.clone())
+        .unwrap();
+    let fused_seq = three_stage_stream("pinned-seq", true, config)
+        .run_sequential(frames.clone())
+        .unwrap();
+    let clean = three_stage_stream(
+        "clean",
+        false,
+        StreamConfig {
+            workers: Some(2),
+            engine: Some(Engine::Bytecode),
+            ..StreamConfig::default()
+        },
+    )
+    .run(frames)
+    .unwrap();
+
+    assert!(fused.report.failed.is_empty(), "every frame recovers");
+    assert!(
+        !fused.report.breaker_transitions.is_empty(),
+        "the breaker must have opened on the fused stage"
+    );
+    assert_eq!(
+        fused.report.breaker_transitions[0].stage, "gauss5+sobel+laplace",
+        "transitions name the fused stage"
+    );
+    assert_eq!(
+        fused.report.breaker_transitions, fused_seq.report.breaker_transitions,
+        "governor decisions must not depend on pipelining"
+    );
+    assert_outputs_identical(&fused, &fused_seq, "pinned fused vs sequential");
+    assert_outputs_identical(&fused, &clean, "pinned fused vs clean unfused");
+}
+
+/// The fused kernel amortizes through the shared cache like any other:
+/// one compile miss for the whole chain, steady-state hits after.
+#[test]
+fn fused_kernel_is_served_from_the_cache() {
+    let config = StreamConfig {
+        workers: Some(2),
+        engine: Some(Engine::Bytecode),
+        ..StreamConfig::default()
+    };
+    let run = three_stage_stream("cached", true, config)
+        .run(frame_sequence(8, 16, 16))
+        .unwrap();
+    assert_eq!(run.report.frames_out, 8);
+    assert_eq!(
+        run.report.cache_misses, 1,
+        "one miss: the fused chain compiles once"
+    );
+    assert_eq!(run.report.cache_hits, 7, "steady-state frames hit");
+    assert!(run.report.cache_hit_rate > 0.8);
+}
+
+/// Property-style sweep: random-ish drifting geometries and modes stay
+/// bit-identical between the fused and unfused chains.
+#[test]
+fn fused_chain_is_bit_identical_across_geometry_sweep() {
+    for (i, (w, h)) in [(8, 8), (11, 5), (17, 23), (32, 9), (33, 31)]
+        .into_iter()
+        .enumerate()
+    {
+        let engine = match i % 3 {
+            0 => Engine::TreeWalk,
+            1 => Engine::Bytecode,
+            _ => Engine::Simd,
+        };
+        let config = StreamConfig {
+            workers: Some(2),
+            engine: Some(engine),
+            ..StreamConfig::default()
+        };
+        let frames = frame_sequence(3, w, h);
+        let fused = three_stage_stream("sweep-f", true, config.clone())
+            .run(frames.clone())
+            .unwrap();
+        let plain = three_stage_stream("sweep-p", false, config)
+            .run(frames)
+            .unwrap();
+        assert_outputs_identical(&fused, &plain, &format!("{w}x{h}"));
+    }
+}

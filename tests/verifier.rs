@@ -214,6 +214,8 @@ fn diagnostic_registry_is_complete_sorted_and_described() {
         "A0101", "A0102", "A0201", "A0202", "A0301", "A0302", "A0303", "A0401", "A0402", "A0403",
         "A0404", "A0501", "A0502", // Compile failures (hipacc_core::errors).
         "C0101", "C0102", "C0103", "C0201", "C0202", "C0301",
+        // Fusion legality and fallback (hipacc_analysis::fusion).
+        "F0101", "F0102", "F0103", "F0104", "F0105",
         // Runtime and supervisor failures.
         "R0001", "R0101", "R0102", "R0103", "R0104", "R0105", "R0106", "R0201", "R0202", "R0203",
         "R0301", "R0401", "R0501", // Stream resilience governor (hipacc_runtime).
